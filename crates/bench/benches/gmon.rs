@@ -1,0 +1,42 @@
+//! Monitor microbenchmarks: per-access record cost and curve extraction for
+//! GMONs and UMONs (the monitors run on every LLC access in hardware; in
+//! the simulator they must be cheap).
+
+use cdcs_cache::monitor::{Gmon, GmonConfig, Monitor, Umon, UmonConfig};
+use cdcs_cache::Line;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_monitors(c: &mut Criterion) {
+    let mut group = c.benchmark_group("monitor_record");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("gmon_64w", |b| {
+        let mut g = Gmon::new(GmonConfig::covering(64, 64, 4, 524_288));
+        let mut a = 0u64;
+        b.iter(|| {
+            a = a.wrapping_add(0x9e37_79b9);
+            g.record(Line(a % 100_000));
+        })
+    });
+    group.bench_function("umon_256w", |b| {
+        let mut u = Umon::new(UmonConfig { sets: 64, ways: 256, sample_period: 32 });
+        let mut a = 0u64;
+        b.iter(|| {
+            a = a.wrapping_add(0x9e37_79b9);
+            u.record(Line(a % 100_000));
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("monitor_curve");
+    group.bench_function("gmon_miss_curve", |b| {
+        let mut g = Gmon::new(GmonConfig::covering(64, 64, 4, 524_288));
+        for a in 0..200_000u64 {
+            g.record(Line(a % 30_000));
+        }
+        b.iter(|| g.miss_curve())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_monitors);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Simulator access-path microbenchmarks: LRU pool operations and
+//! end-to-end small simulations (the per-access cost bounds every
+//! experiment's runtime).
+
+use cdcs_cache::{Line, LruPool};
+use cdcs_sim::{Scheme, SimConfig, Simulation};
+use cdcs_workload::{MixSpec, WorkloadMix};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_pool(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lru_pool");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("access_insert_hot", |b| {
+        let mut pool = LruPool::new(8192);
+        for a in 0..8192u64 {
+            pool.insert(Line(a));
+        }
+        let mut a = 0u64;
+        b.iter(|| {
+            a = (a + 1) % 8192;
+            pool.access_insert(Line(a))
+        })
+    });
+    group.bench_function("access_insert_thrash", |b| {
+        let mut pool = LruPool::new(4096);
+        let mut a = 0u64;
+        b.iter(|| {
+            a += 1;
+            pool.access_insert(Line(a % 100_000))
+        })
+    });
+    group.finish();
+}
+
+fn bench_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulation");
+    group.sample_size(10);
+    for scheme in [Scheme::SNuca, Scheme::cdcs()] {
+        group.bench_function(scheme.name(), |b| {
+            b.iter(|| {
+                let mut config = SimConfig::small_test();
+                config.scheme = scheme;
+                config.warmup_epochs = 1;
+                config.measure_epochs = 1;
+                let mix = WorkloadMix::from_spec(&MixSpec::Named(vec![
+                    "calculix".into(),
+                    "milc".into(),
+                ]))
+                .expect("mix");
+                Simulation::new(config, mix).expect("sim").run()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pool, bench_sim);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Placement-algorithm scaling: optimistic placement, thread placement and
+//! the trade search as thread counts grow (the paper projects 1.2% overhead
+//! at 1024 cores from the quadratic steps).
+
+use cdcs_cache::MissCurve;
+use cdcs_core::place::{greedy_place, optimistic_place, place_threads, trade_refine};
+use cdcs_core::{PlacementProblem, SystemParams, ThreadInfo, VcInfo, VcKind};
+use cdcs_mesh::{Mesh, TileId};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn problem(threads: usize, side: u16) -> PlacementProblem {
+    let params = SystemParams::default_for_mesh(Mesh::square(side), 8192);
+    let vcs = (0..threads)
+        .map(|i| {
+            VcInfo::new(
+                i as u32,
+                VcKind::thread_private(i as u32),
+                MissCurve::new(vec![(0.0, 20_000.0), (8192.0, 500.0)]),
+            )
+        })
+        .collect();
+    let infos =
+        (0..threads).map(|i| ThreadInfo::new(i as u32, vec![(i as u32, 20_000.0)])).collect();
+    PlacementProblem::new(params, vcs, infos).expect("problem")
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("placement_scaling");
+    group.sample_size(10);
+    for &(threads, side) in &[(16usize, 4u16), (64, 8), (144, 12)] {
+        let p = problem(threads, side);
+        let cores: Vec<TileId> = (0..threads as u16).map(TileId).collect();
+        let sizes: Vec<u64> = vec![4096; threads];
+        group.bench_with_input(
+            BenchmarkId::new("full_pipeline", threads),
+            &p,
+            |b, p| {
+                b.iter(|| {
+                    let o = optimistic_place(p, &sizes, Some(&cores));
+                    let placed = place_threads(p, &sizes, &o, Some(&cores), 1.0);
+                    let mut pl = greedy_place(p, &sizes, &placed, 1024);
+                    trade_refine(p, &mut pl);
+                    pl
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Criterion counterpart of Table 3: cost of each CDCS reconfiguration step
+//! as the chip scales (16 threads/16 cores, 16/64, 64/64).
+
+use cdcs_cache::MissCurve;
+use cdcs_core::alloc::latency_aware_sizes;
+use cdcs_core::place::{greedy_place, optimistic_place, place_threads, trade_refine};
+use cdcs_core::{PlacementProblem, SystemParams, ThreadInfo, VcInfo, VcKind};
+use cdcs_mesh::{Mesh, TileId};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn problem(threads: usize, side: u16) -> PlacementProblem {
+    let params = SystemParams::default_for_mesh(Mesh::square(side), 8192);
+    let mut vcs: Vec<VcInfo> = (0..threads)
+        .map(|i| {
+            let cliff = 4096.0 + (i as f64 * 977.0) % 20_000.0;
+            VcInfo::new(
+                i as u32,
+                VcKind::thread_private(i as u32),
+                MissCurve::new(vec![(0.0, 30_000.0), (cliff, 2_000.0)]),
+            )
+        })
+        .collect();
+    vcs.push(VcInfo::new(
+        threads as u32,
+        VcKind::process_shared(0),
+        MissCurve::new(vec![(0.0, 50_000.0), (8192.0, 1_000.0)]),
+    ));
+    let infos = (0..threads)
+        .map(|i| ThreadInfo::new(i as u32, vec![(i as u32, 25_000.0), (threads as u32, 5_000.0)]))
+        .collect();
+    PlacementProblem::new(params, vcs, infos).expect("problem")
+}
+
+fn bench_steps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reconfig_steps");
+    group.sample_size(10);
+    for &(threads, side) in &[(16usize, 4u16), (16, 8), (64, 8)] {
+        let p = problem(threads, side);
+        let cores: Vec<TileId> = (0..threads as u16).map(TileId).collect();
+        let sizes = latency_aware_sizes(&p, 1024);
+        let id = format!("{threads}t-{}c", side as usize * side as usize);
+        group.bench_with_input(
+            BenchmarkId::new("capacity_allocation", &id),
+            &p,
+            |b, p| b.iter(|| latency_aware_sizes(p, 1024)),
+        );
+        group.bench_with_input(BenchmarkId::new("thread_placement", &id), &p, |b, p| {
+            b.iter(|| {
+                let o = optimistic_place(p, &sizes, Some(&cores));
+                place_threads(p, &sizes, &o, Some(&cores), 1.0)
+            })
+        });
+        let opt = optimistic_place(&p, &sizes, Some(&cores));
+        let placed = place_threads(&p, &sizes, &opt, Some(&cores), 1.0);
+        group.bench_with_input(BenchmarkId::new("data_placement", &id), &p, |b, p| {
+            b.iter(|| {
+                let mut pl = greedy_place(p, &sizes, &placed, 1024);
+                trade_refine(p, &mut pl);
+                pl
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_steps);
+criterion_main!(benches);

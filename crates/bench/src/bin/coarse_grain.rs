@@ -1,0 +1,30 @@
+//! §VI-C bank-granularity ablation: CDCS without fine-grained partitioning.
+//!
+//! The paper models 4x128 KB banks per tile with whole-bank allocation; we
+//! emulate whole-bank allocation by raising the allocation granularity from
+//! 64 KB chunks to full 512 KB banks (see DESIGN.md §6): coarse allocations
+//! over- and under-provision small VCs and cost weighted speedup.
+
+use cdcs_bench::{gmean, st_mix};
+use cdcs_sim::{runner, Scheme, SimConfig};
+
+fn main() {
+    let mixes = cdcs_bench::arg("mixes", 3);
+    let apps = cdcs_bench::arg("apps", 64);
+    println!("bank-granularity ablation: CDCS gmean WS vs S-NUCA ({mixes} mixes of {apps} apps)");
+    for (name, granularity) in [("fine (64KB)", 1024u64), ("coarse (full banks)", 8192)] {
+        let mut ws = Vec::new();
+        for m in 0..mixes {
+            let mut config = SimConfig::default();
+            config.scheme = Scheme::cdcs();
+            config.alloc_granularity = granularity;
+            let mix = st_mix(apps, m);
+            let alone = runner::alone_perf_for_mix(&config, &mix).expect("alone");
+            let base = runner::run_scheme(&config, &mix, Scheme::SNuca).expect("snuca");
+            let r = runner::run_scheme(&config, &mix, config.scheme).expect("run");
+            ws.push(runner::weighted_speedup_vs(&r, &base, &alone));
+        }
+        println!("{:<22} {:>8.3}", name, gmean(&ws));
+    }
+    println!("\npaper: 36% gmean at bank granularity vs 46% with fine-grained partitioning");
+}

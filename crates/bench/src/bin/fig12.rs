@@ -1,0 +1,45 @@
+//! Fig. 12: factor analysis — Jigsaw+R plus latency-aware allocation (+L),
+//! thread placement (+T) and refined data placement (+D); +LTD is CDCS.
+
+use cdcs_bench::{gmean, run_mix, st_mix};
+use cdcs_core::policy::CdcsPlanner;
+use cdcs_sim::{Scheme, SimConfig, ThreadSched};
+
+fn main() {
+    let mixes = cdcs_bench::arg("mixes", 4);
+    for apps in [cdcs_bench::arg("apps", 64), 4] {
+        let config = SimConfig::default();
+        let variants: Vec<Scheme> = vec![
+            Scheme::jigsaw_random(),
+            Scheme::Cdcs {
+                planner: CdcsPlanner::with_features(true, false, false),
+                sched: ThreadSched::Random,
+            },
+            Scheme::Cdcs {
+                planner: CdcsPlanner::with_features(false, true, false),
+                sched: ThreadSched::Random,
+            },
+            Scheme::Cdcs {
+                planner: CdcsPlanner::with_features(false, false, true),
+                sched: ThreadSched::Random,
+            },
+            Scheme::cdcs(),
+        ];
+        let mut ws: Vec<(String, Vec<f64>)> =
+            variants.iter().map(|s| (s.name(), Vec::new())).collect();
+        for m in 0..mixes {
+            let mix = st_mix(apps, m);
+            let out = run_mix(&config, &mix, &variants);
+            for (i, (_, w, _)) in out.runs.iter().enumerate() {
+                ws[i].1.push(*w);
+            }
+            eprintln!("[{apps}-app mix {m} done]");
+        }
+        println!("Fig. 12 ({apps} apps, {mixes} mixes): gmean weighted speedup vs S-NUCA");
+        for (name, v) in &ws {
+            println!("{:<14} {:>8.3}", name, gmean(v));
+        }
+        println!();
+    }
+    println!("paper: at 64 apps thread+data placement dominate; at 4 apps latency-aware allocation dominates");
+}

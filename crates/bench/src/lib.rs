@@ -1,0 +1,142 @@
+//! Shared harness utilities for the per-figure/per-table experiment
+//! binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure from the
+//! paper's evaluation (see `DESIGN.md` §4 for the index and `EXPERIMENTS.md`
+//! for recorded outputs). Binaries accept `--mixes N` (and where relevant
+//! `--apps N`) to trade runtime for statistical weight; defaults are sized
+//! for minutes-scale runs, the paper uses 50 mixes.
+
+use cdcs_sim::{runner, Scheme, SimConfig, SimResult};
+use cdcs_workload::{MixSpec, WorkloadMix};
+
+/// Parses `--name value` from the command line, falling back to `default`.
+pub fn arg(name: &str, default: usize) -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == &format!("--{name}"))
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// The paper's five schemes in figure order.
+pub fn all_schemes() -> Vec<Scheme> {
+    vec![
+        Scheme::SNuca,
+        Scheme::rnuca(),
+        Scheme::jigsaw_clustered(),
+        Scheme::jigsaw_random(),
+        Scheme::cdcs(),
+    ]
+}
+
+/// One mix's results: weighted speedup over S-NUCA plus the raw results,
+/// keyed by scheme name.
+pub struct MixOutcome {
+    /// `(scheme name, weighted speedup vs S-NUCA, result)`.
+    pub runs: Vec<(String, f64, SimResult)>,
+}
+
+/// Runs one mix under every scheme in `schemes` and computes weighted
+/// speedups over S-NUCA (running S-NUCA as the baseline even if not listed).
+///
+/// # Panics
+///
+/// Panics on simulation construction errors (fatal for a harness).
+pub fn run_mix(config: &SimConfig, mix: &WorkloadMix, schemes: &[Scheme]) -> MixOutcome {
+    let alone = runner::alone_perf_for_mix(config, mix).expect("alone runs");
+    let baseline = runner::run_scheme(config, mix, Scheme::SNuca).expect("snuca");
+    let runs = schemes
+        .iter()
+        .map(|&s| {
+            let r = if s == Scheme::SNuca {
+                baseline.clone()
+            } else {
+                runner::run_scheme(config, mix, s).expect("scheme run")
+            };
+            let ws = runner::weighted_speedup_vs(&r, &baseline, &alone);
+            (r.scheme.clone(), ws, r)
+        })
+        .collect();
+    MixOutcome { runs }
+}
+
+/// Builds the `n`-th random single-threaded mix of `count` apps.
+pub fn st_mix(count: usize, n: usize) -> WorkloadMix {
+    WorkloadMix::from_spec(&MixSpec::RandomSingleThreaded { count, mix_seed: n as u64 })
+        .expect("mix")
+}
+
+/// Builds the `n`-th random multi-threaded mix of `count` 8-thread apps.
+pub fn mt_mix(count: usize, n: usize) -> WorkloadMix {
+    WorkloadMix::from_spec(&MixSpec::RandomMultiThreaded { count, mix_seed: n as u64 })
+        .expect("mix")
+}
+
+/// Prints a sorted inverse-CDF line per scheme (the layout of Figs. 11a, 14,
+/// 15a, 16a): mix index vs weighted speedup, sorted descending.
+pub fn print_inverse_cdf(header: &str, per_scheme: &[(String, Vec<f64>)]) {
+    println!("{header}");
+    print!("{:<12}", "mix#");
+    for (name, _) in per_scheme {
+        print!(" {name:>10}");
+    }
+    println!();
+    let n = per_scheme.first().map_or(0, |(_, v)| v.len());
+    let mut sorted: Vec<Vec<f64>> = per_scheme
+        .iter()
+        .map(|(_, v)| {
+            let mut s = v.clone();
+            s.sort_by(|a, b| b.partial_cmp(a).unwrap());
+            s
+        })
+        .collect();
+    for i in 0..n {
+        print!("{i:<12}");
+        for s in &mut sorted {
+            print!(" {:>10.3}", s[i]);
+        }
+        println!();
+    }
+    print!("{:<12}", "gmean");
+    for (_, v) in per_scheme {
+        print!(" {:>10.3}", runner::gmean(v));
+    }
+    println!();
+}
+
+/// Geometric-mean helper re-exported for binaries.
+pub fn gmean(xs: &[f64]) -> f64 {
+    runner::gmean(xs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schemes_cover_the_paper_set() {
+        let names: Vec<String> = all_schemes().iter().map(|s| s.name()).collect();
+        assert_eq!(names, ["S-NUCA", "R-NUCA", "Jigsaw+C", "Jigsaw+R", "CDCS"]);
+    }
+
+    #[test]
+    fn mixes_are_deterministic() {
+        let a = st_mix(4, 1);
+        let b = st_mix(4, 1);
+        let na: Vec<&str> = a.processes().iter().map(|p| p.name.as_str()).collect();
+        let nb: Vec<&str> = b.processes().iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(na, nb);
+    }
+
+    #[test]
+    fn run_mix_small_smoke() {
+        let config = SimConfig::small_test();
+        let mix = st_mix(2, 0);
+        let out = run_mix(&config, &mix, &[Scheme::SNuca, Scheme::cdcs()]);
+        assert_eq!(out.runs.len(), 2);
+        assert!((out.runs[0].1 - 1.0).abs() < 1e-9, "baseline WS is 1");
+        assert!(out.runs[1].1 > 0.3, "CDCS WS sane");
+    }
+}

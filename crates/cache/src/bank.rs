@@ -1,0 +1,376 @@
+//! Partitioned LLC banks.
+//!
+//! Each tile's LLC slice is a bank that CDCS divides into up to 64 partitions
+//! (§III, "CDCS lets software divide each cache bank in multiple partitions,
+//! using Vantage to efficiently partition banks at cache-line granularity").
+//! Collections of bank partitions across the chip are ganged into virtual
+//! caches by the VTB, which lives in `cdcs-sim`; this module only models one
+//! bank's worth of partitions and statistics.
+
+use crate::{Line, LruPool};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of an LLC bank (one per tile in the default configuration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct BankId(pub u16);
+
+impl BankId {
+    /// The bank id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for BankId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "B{}", self.0)
+    }
+}
+
+/// Identifier of a partition within a bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PartitionId(pub u16);
+
+impl PartitionId {
+    /// The partition id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for PartitionId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// Hit/miss/eviction counters for one bank.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BankStats {
+    /// Accesses that found their line in the target partition.
+    pub hits: u64,
+    /// Accesses that did not.
+    pub misses: u64,
+    /// Lines evicted due to capacity.
+    pub evictions: u64,
+    /// Lines invalidated by reconfigurations.
+    pub invalidations: u64,
+}
+
+impl BankStats {
+    /// Total accesses observed.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Adds another counter set into this one.
+    pub fn merge(&mut self, other: &BankStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
+        self.invalidations += other.invalidations;
+    }
+}
+
+/// One LLC bank divided into line-granularity partitions.
+///
+/// The bank enforces that the sum of partition capacities never exceeds the
+/// bank's physical capacity — the same constraint the paper's allocator works
+/// under (`B = Σ_d s_d,b`, §IV-A).
+///
+/// # Example
+///
+/// ```
+/// use cdcs_cache::{Line, PartitionId, PartitionedBank};
+///
+/// // A 512 KB bank (8192 lines) with two partitions.
+/// let mut bank = PartitionedBank::new(8192, &[4096, 4096]);
+/// let p0 = PartitionId(0);
+/// assert!(!bank.access(p0, Line(42)));      // cold miss
+/// bank.fill(p0, Line(42));
+/// assert!(bank.access(p0, Line(42)));       // hit
+/// assert_eq!(bank.stats().hits, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PartitionedBank {
+    capacity: usize,
+    partitions: Vec<LruPool>,
+    stats: BankStats,
+}
+
+impl PartitionedBank {
+    /// Creates a bank of `capacity` lines with the given partition sizes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the partition sizes sum to more than `capacity`.
+    pub fn new(capacity: usize, partition_sizes: &[usize]) -> Self {
+        let total: usize = partition_sizes.iter().sum();
+        assert!(
+            total <= capacity,
+            "partition sizes sum to {total}, exceeding bank capacity {capacity}"
+        );
+        PartitionedBank {
+            capacity,
+            partitions: partition_sizes.iter().map(|&s| LruPool::new(s)).collect(),
+            stats: BankStats::default(),
+        }
+    }
+
+    /// Creates an unpartitioned bank (a single partition spanning the whole
+    /// bank) — the S-NUCA / R-NUCA configuration.
+    pub fn unpartitioned(capacity: usize) -> Self {
+        PartitionedBank::new(capacity, &[capacity])
+    }
+
+    /// Physical capacity of the bank, in lines.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Current allocation of a partition, in lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn partition_capacity(&self, p: PartitionId) -> usize {
+        self.partitions[p.index()].capacity()
+    }
+
+    /// Lines currently resident in a partition.
+    pub fn partition_len(&self, p: PartitionId) -> usize {
+        self.partitions[p.index()].len()
+    }
+
+    /// Looks up `line` in partition `p`, promoting it on a hit. Returns
+    /// whether it hit. Does *not* fill on a miss — the caller fills via
+    /// [`fill`](Self::fill) once the line arrives (from memory or, during
+    /// reconfigurations, from the line's old bank).
+    pub fn access(&mut self, p: PartitionId, line: Line) -> bool {
+        let hit = self.partitions[p.index()].touch(line);
+        if hit {
+            self.stats.hits += 1;
+        } else {
+            self.stats.misses += 1;
+        }
+        hit
+    }
+
+    /// Peeks whether `line` is resident in partition `p` without updating
+    /// LRU state or statistics.
+    pub fn peek(&self, p: PartitionId, line: Line) -> bool {
+        self.partitions[p.index()].contains(line)
+    }
+
+    /// Inserts `line` into partition `p`, returning the line evicted to make
+    /// room, if any.
+    pub fn fill(&mut self, p: PartitionId, line: Line) -> Option<Line> {
+        let evicted = self.partitions[p.index()].insert(line);
+        if evicted.is_some() {
+            self.stats.evictions += 1;
+        }
+        evicted
+    }
+
+    /// Removes `line` from partition `p` (an invalidation). Returns whether
+    /// the line was present.
+    pub fn invalidate(&mut self, p: PartitionId, line: Line) -> bool {
+        let present = self.partitions[p.index()].remove(line);
+        if present {
+            self.stats.invalidations += 1;
+        }
+        present
+    }
+
+    /// Resizes every partition at a reconfiguration. Lines that no longer
+    /// fit are evicted LRU-first and returned along with their partition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new sizes sum to more than the bank capacity. Missing
+    /// trailing sizes are treated as zero; extra sizes grow the partition
+    /// count.
+    pub fn resize_partitions(&mut self, sizes: &[usize]) -> Vec<(PartitionId, Line)> {
+        let total: usize = sizes.iter().sum();
+        assert!(
+            total <= self.capacity,
+            "partition sizes sum to {total}, exceeding bank capacity {}",
+            self.capacity
+        );
+        while self.partitions.len() < sizes.len() {
+            self.partitions.push(LruPool::new(0));
+        }
+        let mut evicted = Vec::new();
+        for (i, pool) in self.partitions.iter_mut().enumerate() {
+            let new_size = sizes.get(i).copied().unwrap_or(0);
+            for line in pool.resize(new_size) {
+                evicted.push((PartitionId(i as u16), line));
+            }
+        }
+        self.stats.evictions += evicted.len() as u64;
+        evicted
+    }
+
+    /// All lines resident in partition `p`, MRU first. Used by the
+    /// reconfiguration machinery to walk a bank's array.
+    pub fn partition_lines(&self, p: PartitionId) -> Vec<Line> {
+        self.partitions[p.index()].iter().collect()
+    }
+
+    /// Invalidates every line in partition `p`, returning them (MRU first).
+    /// This is the bulk-invalidation path used by Jigsaw-style
+    /// reconfigurations (§IV-H).
+    pub fn invalidate_partition(&mut self, p: PartitionId) -> Vec<Line> {
+        let lines = self.partitions[p.index()].drain();
+        self.stats.invalidations += lines.len() as u64;
+        lines
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> BankStats {
+        self.stats
+    }
+
+    /// Resets statistics (e.g. at an epoch boundary).
+    pub fn reset_stats(&mut self) {
+        self.stats = BankStats::default();
+    }
+
+    /// Total lines resident across all partitions.
+    pub fn occupancy(&self) -> usize {
+        self.partitions.iter().map(|p| p.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partitions_are_isolated() {
+        let mut bank = PartitionedBank::new(8, &[4, 4]);
+        let (p0, p1) = (PartitionId(0), PartitionId(1));
+        bank.fill(p0, Line(1));
+        assert!(!bank.access(p1, Line(1)), "line must not hit in another partition");
+        assert!(bank.access(p0, Line(1)));
+    }
+
+    #[test]
+    fn capacity_enforced_per_partition() {
+        let mut bank = PartitionedBank::new(8, &[2, 6]);
+        let p0 = PartitionId(0);
+        bank.fill(p0, Line(1));
+        bank.fill(p0, Line(2));
+        let ev = bank.fill(p0, Line(3));
+        assert_eq!(ev, Some(Line(1)));
+        assert_eq!(bank.partition_len(p0), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeding bank capacity")]
+    fn oversubscribed_partitions_panic() {
+        PartitionedBank::new(8, &[5, 5]);
+    }
+
+    #[test]
+    fn unpartitioned_bank_has_one_partition() {
+        let bank = PartitionedBank::unpartitioned(64);
+        assert_eq!(bank.num_partitions(), 1);
+        assert_eq!(bank.partition_capacity(PartitionId(0)), 64);
+    }
+
+    #[test]
+    fn stats_count_hits_misses_evictions() {
+        let mut bank = PartitionedBank::new(2, &[2]);
+        let p = PartitionId(0);
+        bank.access(p, Line(1)); // miss
+        bank.fill(p, Line(1));
+        bank.access(p, Line(1)); // hit
+        bank.fill(p, Line(2));
+        bank.fill(p, Line(3)); // evicts
+        let s = bank.stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.accesses(), 2);
+    }
+
+    #[test]
+    fn resize_partitions_moves_capacity() {
+        let mut bank = PartitionedBank::new(8, &[6, 2]);
+        let (p0, p1) = (PartitionId(0), PartitionId(1));
+        for i in 0..6 {
+            bank.fill(p0, Line(i));
+        }
+        let evicted = bank.resize_partitions(&[2, 6]);
+        assert_eq!(evicted.len(), 4);
+        assert!(evicted.iter().all(|&(p, _)| p == p0));
+        assert_eq!(bank.partition_capacity(p0), 2);
+        assert_eq!(bank.partition_capacity(p1), 6);
+        // LRU-first eviction: lines 0..4 go.
+        assert!(bank.peek(p0, Line(4)) && bank.peek(p0, Line(5)));
+    }
+
+    #[test]
+    fn resize_can_add_partitions() {
+        let mut bank = PartitionedBank::new(8, &[8]);
+        bank.resize_partitions(&[4, 2, 2]);
+        assert_eq!(bank.num_partitions(), 3);
+    }
+
+    #[test]
+    fn invalidate_partition_drains_and_counts() {
+        let mut bank = PartitionedBank::new(4, &[4]);
+        let p = PartitionId(0);
+        for i in 0..4 {
+            bank.fill(p, Line(i));
+        }
+        let lines = bank.invalidate_partition(p);
+        assert_eq!(lines.len(), 4);
+        assert_eq!(bank.stats().invalidations, 4);
+        assert_eq!(bank.partition_len(p), 0);
+    }
+
+    #[test]
+    fn invalidate_single_line() {
+        let mut bank = PartitionedBank::new(4, &[4]);
+        let p = PartitionId(0);
+        bank.fill(p, Line(9));
+        assert!(bank.invalidate(p, Line(9)));
+        assert!(!bank.invalidate(p, Line(9)));
+        assert_eq!(bank.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn occupancy_sums_partitions() {
+        let mut bank = PartitionedBank::new(8, &[4, 4]);
+        bank.fill(PartitionId(0), Line(1));
+        bank.fill(PartitionId(1), Line(2));
+        bank.fill(PartitionId(1), Line(3));
+        assert_eq!(bank.occupancy(), 3);
+    }
+
+    #[test]
+    fn reset_stats_zeroes() {
+        let mut bank = PartitionedBank::new(2, &[2]);
+        bank.access(PartitionId(0), Line(1));
+        bank.reset_stats();
+        assert_eq!(bank.stats(), BankStats::default());
+    }
+
+    #[test]
+    fn stats_merge() {
+        let mut a = BankStats { hits: 1, misses: 2, evictions: 3, invalidations: 4 };
+        let b = BankStats { hits: 10, misses: 20, evictions: 30, invalidations: 40 };
+        a.merge(&b);
+        assert_eq!(a.hits, 11);
+        assert_eq!(a.accesses(), 33);
+    }
+}

@@ -1,0 +1,327 @@
+//! Miss curves: misses as a function of allocated capacity.
+//!
+//! Miss curves are the currency of every capacity decision in the paper:
+//! GMONs produce them (§IV-G), the latency-aware allocator turns them into
+//! total-latency curves (§IV-C), and Peekahead partitions capacity over their
+//! convex hulls. Curves here are sparse piecewise-linear functions over
+//! capacity in *lines*, which matches the sparse output of a GMON ("high
+//! resolution at small sizes, reduced resolution at large sizes").
+
+use serde::{Deserialize, Serialize};
+
+/// A sparse, piecewise-linear, non-increasing curve of misses vs. allocated
+/// capacity (in lines).
+///
+/// Invariants (enforced on construction):
+/// * points are sorted by strictly increasing capacity;
+/// * the first point is at capacity 0;
+/// * miss counts are non-increasing in capacity (monotone repair is applied —
+///   real monitors can produce small non-monotonicities due to sampling).
+///
+/// # Example
+///
+/// ```
+/// use cdcs_cache::MissCurve;
+/// let curve = MissCurve::new(vec![(0.0, 100.0), (1024.0, 20.0), (4096.0, 5.0)]);
+/// assert_eq!(curve.misses_at(0.0), 100.0);
+/// assert_eq!(curve.misses_at(512.0), 60.0);   // interpolated
+/// assert_eq!(curve.misses_at(1_000_000.0), 5.0); // flat beyond last point
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MissCurve {
+    /// `(capacity_lines, misses)`, sorted by capacity.
+    points: Vec<(f64, f64)>,
+}
+
+impl MissCurve {
+    /// Builds a curve from `(capacity, misses)` samples.
+    ///
+    /// Points are sorted; duplicate capacities keep the *minimum* miss count;
+    /// monotone repair forces misses to be non-increasing; a point at
+    /// capacity 0 is synthesized (flat) if missing. Negative misses are
+    /// clamped to zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any capacity is negative or non-finite, or any miss count is
+    /// non-finite.
+    pub fn new(mut points: Vec<(f64, f64)>) -> Self {
+        for &(c, m) in &points {
+            assert!(c.is_finite() && c >= 0.0, "invalid capacity {c}");
+            assert!(m.is_finite(), "invalid miss count {m}");
+        }
+        points.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        let mut merged: Vec<(f64, f64)> = Vec::with_capacity(points.len());
+        for (c, m) in points {
+            let m = m.max(0.0);
+            match merged.last_mut() {
+                Some(last) if (last.0 - c).abs() < 1e-9 => last.1 = last.1.min(m),
+                _ => merged.push((c, m)),
+            }
+        }
+        if merged.first().map_or(true, |p| p.0 > 0.0) {
+            let first_m = merged.first().map_or(0.0, |p| p.1);
+            merged.insert(0, (0.0, first_m));
+        }
+        // Monotone repair: running minimum.
+        let mut running = f64::INFINITY;
+        for p in &mut merged {
+            running = running.min(p.1);
+            p.1 = running;
+        }
+        MissCurve { points: merged }
+    }
+
+    /// A curve that is identically zero (an app that never misses).
+    pub fn zero() -> Self {
+        MissCurve { points: vec![(0.0, 0.0)] }
+    }
+
+    /// A flat curve: `misses` at every capacity (a streaming app that gets no
+    /// benefit from cache, like the paper's `milc`).
+    pub fn flat(misses: f64) -> Self {
+        MissCurve::new(vec![(0.0, misses)])
+    }
+
+    /// The sample points, sorted by capacity.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Misses at capacity 0 — for a miss curve gathered over an interval this
+    /// equals the total accesses in the interval (every access misses with no
+    /// cache).
+    pub fn at_zero(&self) -> f64 {
+        self.points[0].1
+    }
+
+    /// The largest sampled capacity; the curve is flat beyond it.
+    pub fn max_capacity(&self) -> f64 {
+        self.points.last().unwrap().0
+    }
+
+    /// Misses at an arbitrary capacity, by linear interpolation between
+    /// samples and flat extrapolation beyond the last sample.
+    pub fn misses_at(&self, capacity: f64) -> f64 {
+        let pts = &self.points;
+        if capacity <= 0.0 {
+            return pts[0].1;
+        }
+        match pts.binary_search_by(|p| p.0.partial_cmp(&capacity).unwrap()) {
+            Ok(i) => pts[i].1,
+            Err(i) => {
+                if i >= pts.len() {
+                    pts[pts.len() - 1].1
+                } else {
+                    let (c0, m0) = pts[i - 1];
+                    let (c1, m1) = pts[i];
+                    m0 + (m1 - m0) * (capacity - c0) / (c1 - c0)
+                }
+            }
+        }
+    }
+
+    /// Scales miss counts by `factor` (e.g. to convert a sampled curve to
+    /// full-stream estimates, or per-interval counts to rates).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative or non-finite.
+    pub fn scale(&self, factor: f64) -> MissCurve {
+        assert!(factor.is_finite() && factor >= 0.0, "invalid scale {factor}");
+        MissCurve {
+            points: self.points.iter().map(|&(c, m)| (c, m * factor)).collect(),
+        }
+    }
+
+    /// Pointwise sum of two curves, sampled on the union of their capacity
+    /// grids. Models the combined misses of two access streams sharing one
+    /// virtual cache only approximately (true sharing interleaves stacks),
+    /// but is the standard composition and exact when streams do not
+    /// interleave.
+    pub fn add(&self, other: &MissCurve) -> MissCurve {
+        let mut grid: Vec<f64> = self
+            .points
+            .iter()
+            .map(|p| p.0)
+            .chain(other.points.iter().map(|p| p.0))
+            .collect();
+        grid.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        grid.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+        MissCurve::new(
+            grid.iter().map(|&c| (c, self.misses_at(c) + other.misses_at(c))).collect(),
+        )
+    }
+
+    /// The lower convex hull of the curve.
+    ///
+    /// Peekahead (and the latency-aware allocator built on it) operates on
+    /// convex curves: allocating along the hull is optimal for concave-benefit
+    /// resources, and convexity makes greedy marginal-utility allocation
+    /// exact. Returns a curve whose points are the hull vertices.
+    pub fn convex_hull(&self) -> MissCurve {
+        if self.points.len() <= 2 {
+            return self.clone();
+        }
+        let mut hull: Vec<(f64, f64)> = Vec::with_capacity(self.points.len());
+        for &p in &self.points {
+            while hull.len() >= 2 {
+                let a = hull[hull.len() - 2];
+                let b = hull[hull.len() - 1];
+                // Remove b if it lies on or above segment a->p (keeps the
+                // hull lower-convex).
+                let cross = (b.0 - a.0) * (p.1 - a.1) - (p.0 - a.0) * (b.1 - a.1);
+                if cross <= 1e-12 {
+                    hull.pop();
+                } else {
+                    break;
+                }
+            }
+            hull.push(p);
+        }
+        MissCurve { points: hull }
+    }
+
+    /// Builds a curve by evaluating `f` on a capacity grid. Used to build
+    /// total-latency curves (miss latency + on-chip latency) in `cdcs-core`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grid is empty.
+    pub fn from_fn(grid: &[f64], mut f: impl FnMut(f64) -> f64) -> MissCurve {
+        assert!(!grid.is_empty(), "capacity grid must be non-empty");
+        MissCurve::new(grid.iter().map(|&c| (c, f(c))).collect())
+    }
+
+    /// Hit count gained by growing the allocation from `from` to `to` lines.
+    pub fn hits_gained(&self, from: f64, to: f64) -> f64 {
+        self.misses_at(from) - self.misses_at(to)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructor_sorts_and_repairs() {
+        let c = MissCurve::new(vec![(100.0, 50.0), (0.0, 40.0), (200.0, 60.0)]);
+        // Monotone repair: 40 at 0 forces <= 40 later.
+        assert_eq!(c.misses_at(0.0), 40.0);
+        assert_eq!(c.misses_at(100.0), 40.0);
+        assert_eq!(c.misses_at(200.0), 40.0);
+    }
+
+    #[test]
+    fn synthesizes_zero_point() {
+        let c = MissCurve::new(vec![(64.0, 10.0)]);
+        assert_eq!(c.at_zero(), 10.0);
+        assert_eq!(c.points()[0].0, 0.0);
+    }
+
+    #[test]
+    fn interpolation_between_points() {
+        let c = MissCurve::new(vec![(0.0, 100.0), (100.0, 0.0)]);
+        assert!((c.misses_at(25.0) - 75.0).abs() < 1e-12);
+        assert!((c.misses_at(99.0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn flat_beyond_last_point() {
+        let c = MissCurve::new(vec![(0.0, 10.0), (50.0, 4.0)]);
+        assert_eq!(c.misses_at(1e9), 4.0);
+    }
+
+    #[test]
+    fn duplicate_capacities_keep_min() {
+        let c = MissCurve::new(vec![(0.0, 10.0), (64.0, 8.0), (64.0, 6.0)]);
+        assert_eq!(c.misses_at(64.0), 6.0);
+    }
+
+    #[test]
+    fn negative_misses_clamped() {
+        let c = MissCurve::new(vec![(0.0, 5.0), (10.0, -3.0)]);
+        assert_eq!(c.misses_at(10.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid capacity")]
+    fn negative_capacity_panics() {
+        MissCurve::new(vec![(-1.0, 5.0)]);
+    }
+
+    #[test]
+    fn zero_and_flat_constructors() {
+        assert_eq!(MissCurve::zero().misses_at(123.0), 0.0);
+        let f = MissCurve::flat(7.5);
+        assert_eq!(f.misses_at(0.0), 7.5);
+        assert_eq!(f.misses_at(1e6), 7.5);
+    }
+
+    #[test]
+    fn add_composes_pointwise() {
+        let a = MissCurve::new(vec![(0.0, 10.0), (100.0, 0.0)]);
+        let b = MissCurve::new(vec![(0.0, 6.0), (50.0, 2.0)]);
+        let s = a.add(&b);
+        assert!((s.misses_at(0.0) - 16.0).abs() < 1e-12);
+        assert!((s.misses_at(50.0) - 7.0).abs() < 1e-12);
+        assert!((s.misses_at(100.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scale_multiplies() {
+        let c = MissCurve::new(vec![(0.0, 10.0), (10.0, 4.0)]).scale(2.0);
+        assert_eq!(c.misses_at(0.0), 20.0);
+        assert_eq!(c.misses_at(10.0), 8.0);
+    }
+
+    #[test]
+    fn convex_hull_removes_concave_knees() {
+        // Points: (0,100), (10,90), (20,20), (30,10). The point (10,90) is
+        // above the chord from (0,100) to (20,20), so the hull drops it.
+        let c = MissCurve::new(vec![
+            (0.0, 100.0),
+            (10.0, 90.0),
+            (20.0, 20.0),
+            (30.0, 10.0),
+        ]);
+        let h = c.convex_hull();
+        assert_eq!(h.points().len(), 3);
+        assert!((h.misses_at(10.0) - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn convex_hull_of_convex_curve_is_identity() {
+        let c = MissCurve::new(vec![(0.0, 100.0), (10.0, 40.0), (20.0, 10.0), (30.0, 0.0)]);
+        let h = c.convex_hull();
+        assert_eq!(h.points(), c.points());
+    }
+
+    #[test]
+    fn hull_is_below_curve() {
+        let c = MissCurve::new(vec![
+            (0.0, 50.0),
+            (5.0, 49.0),
+            (10.0, 10.0),
+            (15.0, 9.0),
+            (20.0, 0.0),
+        ]);
+        let h = c.convex_hull();
+        for cap in 0..21 {
+            assert!(h.misses_at(cap as f64) <= c.misses_at(cap as f64) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn from_fn_builds_curve() {
+        let grid = [0.0, 10.0, 20.0];
+        let c = MissCurve::from_fn(&grid, |x| 100.0 - x);
+        assert_eq!(c.misses_at(10.0), 90.0);
+    }
+
+    #[test]
+    fn hits_gained_is_difference() {
+        let c = MissCurve::new(vec![(0.0, 100.0), (100.0, 0.0)]);
+        assert!((c.hits_gained(0.0, 50.0) - 50.0).abs() < 1e-12);
+    }
+}

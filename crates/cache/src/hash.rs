@@ -1,0 +1,136 @@
+//! Deterministic address hashing.
+//!
+//! The hardware CDCS describes hashes line addresses in two places: the VTB
+//! hashes an address to pick a descriptor bucket (§III, "the address is
+//! hashed, and the hash value selects the bucket"), and the monitors store
+//! 16-bit hashed addresses and use them both for matching and for the
+//! per-way sampling filter (§IV-G). We use a splitmix64 finalizer, which is
+//! cheap, high-quality, and fully deterministic — important for reproducible
+//! simulation runs.
+
+/// A 64-bit finalizing hash (splitmix64's mixing function).
+///
+/// ```
+/// use cdcs_cache::hash::mix64;
+/// assert_ne!(mix64(1), mix64(2));
+/// assert_eq!(mix64(42), mix64(42));
+/// ```
+#[inline]
+pub fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+/// Hash of a line address into `0..n` (used by the VTB to pick one of the
+/// `n = 64` descriptor buckets).
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+#[inline]
+pub fn bucket(addr: u64, n: usize) -> usize {
+    assert!(n > 0, "bucket count must be non-zero");
+    // Multiply-shift on the mixed value avoids modulo bias for small n.
+    ((mix64(addr) as u128 * n as u128) >> 64) as usize
+}
+
+/// The 16-bit hashed tag the monitors store instead of full addresses
+/// (§IV-H: "we do not store full addresses, since rare false positives are
+/// fine for monitoring purposes").
+#[inline]
+pub fn tag16(addr: u64) -> u16 {
+    (mix64(addr) >> 16) as u16
+}
+
+/// A second, independent 16-bit hash used by the GMON limit registers to
+/// decide whether a tag survives demotion to the next way. Independence from
+/// [`tag16`] avoids correlating the sampling filter with tag aliasing.
+#[inline]
+pub fn filter16(addr: u64) -> u16 {
+    (mix64(addr ^ 0xa5a5_5a5a_1234_8765) >> 24) as u16
+}
+
+/// Deterministic sampling decision at rate `num/den`: true for the fraction
+/// `num/den` of addresses (by hash). Used for monitor access sampling
+/// (the paper samples every 64th access for full-LLC GMON coverage).
+///
+/// # Panics
+///
+/// Panics if `den` is zero or `num > den`.
+#[inline]
+pub fn sampled(addr: u64, num: u32, den: u32) -> bool {
+    assert!(den > 0 && num <= den, "invalid sampling rate {num}/{den}");
+    let h = mix64(addr ^ 0x5bd1_e995_9e37_79b9);
+    ((h as u128 * den as u128) >> 64) < num as u128
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix64_is_deterministic_and_spreads() {
+        let a = mix64(0);
+        let b = mix64(1);
+        assert_ne!(a, b);
+        assert_eq!(mix64(0), a);
+        // Count differing bits; a good mixer flips ~half.
+        let diff = (a ^ b).count_ones();
+        assert!(diff > 16, "only {diff} bits differ");
+    }
+
+    #[test]
+    fn bucket_is_in_range_and_roughly_uniform() {
+        let n = 64;
+        let mut counts = vec![0u32; n];
+        for addr in 0..64_000u64 {
+            let b = bucket(addr, n);
+            assert!(b < n);
+            counts[b] += 1;
+        }
+        let expected = 1000.0;
+        for &c in &counts {
+            assert!(
+                (c as f64 - expected).abs() < expected * 0.25,
+                "bucket count {c} far from uniform"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn bucket_zero_n_panics() {
+        bucket(1, 0);
+    }
+
+    #[test]
+    fn sampled_rate_is_close_to_nominal() {
+        let hits = (0..100_000u64).filter(|&a| sampled(a, 1, 64)).count();
+        let expected = 100_000.0 / 64.0;
+        assert!(
+            (hits as f64 - expected).abs() < expected * 0.2,
+            "got {hits}, expected ~{expected}"
+        );
+    }
+
+    #[test]
+    fn sampled_full_and_empty_rates() {
+        assert!(sampled(123, 1, 1));
+        assert!(!sampled(123, 0, 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid sampling rate")]
+    fn sampled_invalid_rate_panics() {
+        sampled(1, 3, 2);
+    }
+
+    #[test]
+    fn tag_and_filter_hashes_are_independent() {
+        // The two 16-bit hashes should not be equal for most addresses.
+        let same = (0..10_000u64).filter(|&a| tag16(a) == filter16(a)).count();
+        assert!(same < 50, "{same} collisions out of 10000");
+    }
+}

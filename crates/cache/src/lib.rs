@@ -1,0 +1,93 @@
+//! Cache substrate for the CDCS reproduction.
+//!
+//! This crate provides the hardware structures that CDCS ([Beckmann, Tsai,
+//! Sanchez, HPCA 2015]) builds on:
+//!
+//! * [`LruPool`] / [`PartitionedBank`] — LLC banks partitioned at line
+//!   granularity. The paper partitions banks with Vantage; we model each
+//!   (bank, partition) pair as an exact-capacity fully-associative LRU pool,
+//!   which is the idealization Vantage approximates (see `DESIGN.md` §1).
+//! * [`MissCurve`] — sparse miss curves (misses as a function of allocated
+//!   capacity), the currency of all capacity-allocation decisions.
+//! * [`monitor::Umon`] and [`monitor::Gmon`] — utility monitors. GMONs are
+//!   the paper's novel geometric monitors (§IV-G): a small tag array whose
+//!   per-way limit registers implement a geometrically decreasing sampling
+//!   rate, giving fine resolution at small sizes and full-LLC coverage with
+//!   only 64 ways.
+//! * [`StackProfiler`] — an exact LRU stack-distance profiler, used in tests
+//!   and calibration to validate the monitors against ground truth.
+//! * [`SetAssocCache`] — a conventional set-associative cache model, used to
+//!   validate that the pool idealization tracks set-associative behaviour.
+//!
+//! # Example: measuring a miss curve with a GMON
+//!
+//! ```
+//! use cdcs_cache::monitor::{Gmon, Monitor};
+//! use cdcs_cache::Line;
+//!
+//! let mut gmon = Gmon::paper_default();
+//! // A scan over a small working set: 512 lines, touched repeatedly.
+//! for rep in 0..64u64 {
+//!     for l in 0..512u64 {
+//!         gmon.record(Line(l));
+//!     }
+//! }
+//! let curve = gmon.miss_curve();
+//! // Once the allocation covers the working set, misses nearly vanish.
+//! assert!(curve.misses_at(8192.0) < curve.misses_at(0.0) / 4.0);
+//! ```
+//!
+//! [Beckmann, Tsai, Sanchez, HPCA 2015]:
+//!     https://people.csail.mit.edu/sanchez/papers/2015.cdcs.hpca.pdf
+
+mod bank;
+mod curve;
+pub mod hash;
+pub mod monitor;
+mod pool;
+mod profiler;
+mod setassoc;
+
+pub use bank::{BankId, BankStats, PartitionId, PartitionedBank};
+pub use curve::MissCurve;
+pub use pool::LruPool;
+pub use profiler::StackProfiler;
+pub use setassoc::SetAssocCache;
+
+use serde::{Deserialize, Serialize};
+
+/// A cache-line address (64-byte granularity; the byte offset is already
+/// stripped).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Line(pub u64);
+
+impl Line {
+    /// The raw line address.
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for Line {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "0x{:x}", self.0)
+    }
+}
+
+/// Bytes per cache line throughout the modeled system (Table 2).
+pub const LINE_BYTES: u64 = 64;
+
+/// Converts a size in bytes to lines, rounding down.
+///
+/// ```
+/// assert_eq!(cdcs_cache::bytes_to_lines(512 * 1024), 8192);
+/// ```
+pub const fn bytes_to_lines(bytes: u64) -> u64 {
+    bytes / LINE_BYTES
+}
+
+/// Converts a size in lines to bytes.
+pub const fn lines_to_bytes(lines: u64) -> u64 {
+    lines * LINE_BYTES
+}

@@ -1,0 +1,360 @@
+//! Geometric monitors (GMONs) — the paper's §IV-G contribution.
+//!
+//! A GMON is a small set-associative tag array (1024 tags, 64 ways in the
+//! paper) augmented with one *limit register per way*. When a tag is demoted
+//! from way `w` to way `w+1`, its hash is compared against way `w+1`'s limit
+//! register; if it exceeds the limit the tag is discarded and the demotion
+//! chain stops. Setting the limits so that a fraction γ of tags survives each
+//! demotion makes the sampling rate at way `w` equal `γ^w` of the base rate,
+//! so each successive way models `1/γ` more capacity than the previous one:
+//! fine resolution at small sizes, full-LLC coverage at large ones, all with
+//! 64 ways. With the paper's parameters (γ ≈ 0.95, sample period 64, 16 sets)
+//! way 0 models 64 KB and the full monitor covers a 32 MB LLC, with modeled
+//! capacity per way growing 26× from 0.125 to 3.3 banks.
+
+use super::{Monitor, TagArray};
+use crate::hash;
+use crate::{Line, MissCurve};
+use serde::{Deserialize, Serialize};
+
+/// GMON geometry parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GmonConfig {
+    /// Tag-array sets (power of two). The paper's 1024-tag, 64-way GMON has
+    /// 16 sets.
+    pub sets: usize,
+    /// Tag-array ways; also the number of miss-curve points.
+    pub ways: usize,
+    /// Base address-sampling period: one in `sample_period` addresses enters
+    /// the monitor (the paper samples every 64th access for full coverage at
+    /// 64 cores).
+    pub sample_period: u32,
+    /// Per-demotion survival probability γ ∈ (0, 1]. γ = 1 degenerates to a
+    /// UMON.
+    pub gamma: f64,
+}
+
+impl GmonConfig {
+    /// The paper's default GMON: 1024 tags, 64 ways, γ ≈ 0.95, sampling every
+    /// 64th access — covers a 32 MB LLC with way 0 modeling 64 KB (§IV-G).
+    pub fn paper_default() -> Self {
+        GmonConfig { sets: 16, ways: 64, sample_period: 64, gamma: 0.95 }
+    }
+
+    /// Capacity (in lines) modeled by way `w`: `sets × period / γ^w`.
+    pub fn lines_at_way(&self, w: usize) -> f64 {
+        self.sets as f64 * self.sample_period as f64 / self.gamma.powi(w as i32)
+    }
+
+    /// Total modeled capacity in lines (sum over all ways).
+    pub fn coverage(&self) -> f64 {
+        (0..self.ways).map(|w| self.lines_at_way(w)).sum()
+    }
+
+    /// Chooses γ so that the monitor covers exactly `total_lines`, keeping
+    /// the other parameters. Solved by bisection: coverage is monotonically
+    /// decreasing in γ.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total_lines` is smaller than the γ=1 coverage (a plain
+    /// UMON already covers it; use γ = 1) — callers should clamp instead of
+    /// relying on extrapolation.
+    pub fn covering(sets: usize, ways: usize, sample_period: u32, total_lines: u64) -> Self {
+        let uniform = GmonConfig { sets, ways, sample_period, gamma: 1.0 };
+        assert!(
+            uniform.coverage() <= total_lines as f64,
+            "a uniform monitor already covers {total_lines} lines; use gamma = 1"
+        );
+        let (mut lo, mut hi) = (1e-3, 1.0);
+        for _ in 0..80 {
+            let mid = (lo + hi) / 2.0;
+            let cfg = GmonConfig { sets, ways, sample_period, gamma: mid };
+            if cfg.coverage() > total_lines as f64 {
+                lo = mid; // too much coverage -> raise gamma
+            } else {
+                hi = mid;
+            }
+        }
+        GmonConfig { sets, ways, sample_period, gamma: (lo + hi) / 2.0 }
+    }
+}
+
+/// A geometric monitor.
+///
+/// # Example
+///
+/// ```
+/// use cdcs_cache::monitor::{Gmon, Monitor};
+/// use cdcs_cache::Line;
+///
+/// let mut gmon = Gmon::paper_default();
+/// for rep in 0..100u64 {
+///     for l in 0..2048u64 {
+///         gmon.record(Line(l));
+///     }
+/// }
+/// let curve = gmon.miss_curve();
+/// // The 2048-line (128 KB) working set fits within the monitor's range:
+/// // misses at 4096 lines are far below misses at zero.
+/// assert!(curve.misses_at(4096.0) < curve.at_zero() / 2.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Gmon {
+    config: GmonConfig,
+    tags: TagArray,
+    /// Limit register per way, scaled to 0..=65536; a tag moves into way `w`
+    /// only if its 16-bit hash is below `limits[w]`. `limits[0]` is unused
+    /// (entries at way 0 are gated by the base sampling decision). Stored as
+    /// u32 so γ = 1 maps to 65536, "always keep".
+    limits: Vec<u32>,
+    hits: Vec<u64>,
+    sampled_accesses: u64,
+    accesses: u64,
+}
+
+impl Gmon {
+    /// Creates a GMON with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if γ is outside `(0, 1]`.
+    pub fn new(config: GmonConfig) -> Self {
+        assert!(
+            config.gamma > 0.0 && config.gamma <= 1.0,
+            "gamma must be in (0, 1], got {}",
+            config.gamma
+        );
+        // limits[w] = gamma^w * 2^16: a uniform 16-bit hash is below this
+        // with probability gamma^w, so survival into way w is gamma^w overall
+        // (the same hash is re-checked against progressively lower limits,
+        // making the per-step survival conditional probability gamma).
+        let limits = (0..config.ways)
+            .map(|w| (config.gamma.powi(w as i32) * 65536.0).round() as u32)
+            .collect();
+        Gmon {
+            tags: TagArray::new(config.sets, config.ways),
+            hits: vec![0; config.ways],
+            limits,
+            sampled_accesses: 0,
+            accesses: 0,
+            config,
+        }
+    }
+
+    /// The paper's default GMON (see [`GmonConfig::paper_default`]).
+    pub fn paper_default() -> Self {
+        Gmon::new(GmonConfig::paper_default())
+    }
+
+    /// This monitor's geometry.
+    pub fn config(&self) -> GmonConfig {
+        self.config
+    }
+
+    /// The per-way limit registers, scaled to `0..=65536` (for
+    /// inspection/tests).
+    pub fn limit_registers(&self) -> &[u32] {
+        &self.limits
+    }
+}
+
+impl Monitor for Gmon {
+    fn record(&mut self, line: Line) {
+        self.accesses += 1;
+        if !hash::sampled(line.0, 1, self.config.sample_period) {
+            return;
+        }
+        self.sampled_accesses += 1;
+        let set = self.tags.set_of(line);
+        let tag = hash::tag16(line.0);
+        // Hardware stores only the 16-bit hashed tag, so the limit registers
+        // filter on "the hash value of the tag" (§IV-G): a tag survives into
+        // way w iff tag < limits[w]. Limits are nested (decreasing), so the
+        // population at way w is exactly the fraction γ^w of sampled tags.
+        let limits = &self.limits;
+        match self.tags.find(set, tag) {
+            Some(way) => {
+                self.hits[way] += 1;
+                self.tags.promote(set, tag, Some(way), |w, t| (t as u32) < limits[w]);
+            }
+            None => {
+                self.tags.promote(set, tag, None, |w, t| (t as u32) < limits[w]);
+            }
+        }
+    }
+
+    fn miss_curve(&self) -> MissCurve {
+        // Scale by the realized base sampling ratio (see `Umon::miss_curve`):
+        // address sampling over small footprints has binomial variance that
+        // the nominal period would not correct.
+        let period = if self.sampled_accesses > 0 {
+            self.accesses as f64 / self.sampled_accesses as f64
+        } else {
+            self.config.sample_period as f64
+        };
+        let mut points = Vec::with_capacity(self.config.ways + 1);
+        points.push((0.0, self.accesses as f64));
+        let mut cumulative_capacity = 0.0;
+        let mut cumulative_hits = 0.0;
+        for (w, &h) in self.hits.iter().enumerate() {
+            // A hit at way w is observed with probability (1/period) * γ^w,
+            // so it stands for period / γ^w accesses of the full stream.
+            cumulative_hits += h as f64 * period / self.config.gamma.powi(w as i32);
+            cumulative_capacity += self.config.lines_at_way(w);
+            points.push((
+                cumulative_capacity,
+                (self.accesses as f64 - cumulative_hits).max(0.0),
+            ));
+        }
+        MissCurve::new(points)
+    }
+
+    fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    fn reset(&mut self) {
+        self.hits.iter_mut().for_each(|h| *h = 0);
+        self.sampled_accesses = 0;
+        self.accesses = 0;
+    }
+
+    fn age(&mut self) {
+        // Keep 3/4 of history: an effective window of ~4 epochs, chosen so
+        // that per-epoch sampling noise on allocation sizes stays below the
+        // margins that flip placement decisions.
+        self.hits.iter_mut().for_each(|h| *h = *h * 3 / 4);
+        self.sampled_accesses = self.sampled_accesses * 3 / 4;
+        self.accesses = self.accesses * 3 / 4;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StackProfiler;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    #[test]
+    fn limits_decrease_geometrically() {
+        let gmon = Gmon::new(GmonConfig { sets: 16, ways: 8, sample_period: 1, gamma: 0.5 });
+        let lims = gmon.limit_registers();
+        assert_eq!(lims[0], 65536);
+        assert_eq!(lims[1], 32768);
+        assert_eq!(lims[2], 16384);
+    }
+
+    #[test]
+    fn paper_default_covers_32mb() {
+        let cfg = GmonConfig::paper_default();
+        let coverage_mb = cfg.coverage() * 64.0 / (1024.0 * 1024.0);
+        // γ = 0.95 with 64 ways covers roughly the paper's 32 MB LLC.
+        assert!(coverage_mb > 25.0 && coverage_mb < 40.0, "coverage {coverage_mb} MB");
+        // Way 0 models 64 KB.
+        assert_eq!(cfg.lines_at_way(0), 1024.0);
+        // Capacity per way grows ~26x across the array (paper §IV-G).
+        let growth = cfg.lines_at_way(63) / cfg.lines_at_way(0);
+        assert!((growth - 26.0).abs() < 2.0, "growth {growth}");
+    }
+
+    #[test]
+    fn covering_solves_for_gamma() {
+        let total = 524_288; // 32 MB in lines
+        let cfg = GmonConfig::covering(16, 64, 64, total);
+        assert!((cfg.coverage() - total as f64).abs() / (total as f64) < 0.01);
+        assert!(cfg.gamma > 0.9 && cfg.gamma < 1.0, "gamma {}", cfg.gamma);
+    }
+
+    #[test]
+    #[should_panic(expected = "use gamma = 1")]
+    fn covering_rejects_tiny_targets() {
+        GmonConfig::covering(16, 64, 64, 1024);
+    }
+
+    #[test]
+    fn gamma_one_behaves_like_umon() {
+        use crate::monitor::{Umon, UmonConfig};
+        let mut gmon =
+            Gmon::new(GmonConfig { sets: 32, ways: 16, sample_period: 2, gamma: 1.0 });
+        let mut umon = Umon::new(UmonConfig { sets: 32, ways: 16, sample_period: 2 });
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100_000 {
+            let a = Line(rng.gen_range(0..2000u64));
+            gmon.record(a);
+            umon.record(a);
+        }
+        let (gc, uc) = (gmon.miss_curve(), umon.miss_curve());
+        for cap in [64.0, 512.0, 1024.0] {
+            assert_eq!(gc.misses_at(cap), uc.misses_at(cap), "capacity {cap}");
+        }
+    }
+
+    #[test]
+    fn gmon_tracks_exact_profile_small_and_large() {
+        // Working set with a cliff: hot 1500 lines plus a 30000-line loop.
+        // The GMON must resolve both scales with its 24 ways.
+        let cfg = GmonConfig::covering(64, 24, 8, 65_536);
+        let mut gmon = Gmon::new(cfg);
+        let mut prof = StackProfiler::new();
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut loop_pos = 0u64;
+        for _ in 0..600_000 {
+            let a = if rng.gen_bool(0.5) {
+                rng.gen_range(0..1500u64)
+            } else {
+                loop_pos = (loop_pos + 1) % 30_000;
+                10_000_000 + loop_pos
+            };
+            gmon.record(Line(a));
+            prof.record(Line(a));
+        }
+        let (g, e) = (gmon.miss_curve(), prof.miss_curve());
+        // Test on the flanks of the loop's miss cliff (~30000 lines): deep
+        // GMON ways are deliberately coarse ("reduced resolution at large
+        // sizes", §IV-G), so the cliff edge itself smears by a way's span.
+        for cap in [1024.0, 4096.0, 16_384.0, 50_000.0] {
+            let err = (g.misses_at(cap) - e.misses_at(cap)).abs() / 600_000.0;
+            assert!(err < 0.08, "capacity {cap}: err {err:.4}");
+        }
+    }
+
+    #[test]
+    fn streaming_app_has_flat_curve() {
+        let mut gmon = Gmon::paper_default();
+        for a in 0..2_000_000u64 {
+            gmon.record(Line(a));
+        }
+        let c = gmon.miss_curve();
+        assert!(c.misses_at(c.max_capacity()) > 0.95 * c.at_zero());
+    }
+
+    #[test]
+    fn reset_zeroes_counters() {
+        let mut gmon = Gmon::paper_default();
+        for a in 0..10_000u64 {
+            gmon.record(Line(a % 100));
+        }
+        gmon.reset();
+        assert_eq!(gmon.accesses(), 0);
+        assert_eq!(gmon.miss_curve().at_zero(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma must be in")]
+    fn invalid_gamma_panics() {
+        Gmon::new(GmonConfig { sets: 16, ways: 8, sample_period: 1, gamma: 1.5 });
+    }
+
+    #[test]
+    fn curve_capacities_grow_geometrically() {
+        let cfg = GmonConfig { sets: 16, ways: 8, sample_period: 1, gamma: 0.5 };
+        let gmon = Gmon::new(cfg);
+        let mut g = Gmon::new(cfg);
+        g.record(Line(1));
+        let pts = gmon.config();
+        // Way capacities double each way with gamma = 0.5.
+        assert_eq!(pts.lines_at_way(1) / pts.lines_at_way(0), 2.0);
+        assert_eq!(pts.lines_at_way(3) / pts.lines_at_way(2), 2.0);
+    }
+}

@@ -1,0 +1,200 @@
+//! Miss-curve monitors: conventional UMONs and the paper's geometric GMONs.
+//!
+//! To allocate capacity, the CDCS runtime needs each virtual cache's miss
+//! curve over the *whole* LLC (32 MB) at *fine* granularity (64 KB chunks).
+//! A conventional utility monitor (UMON, [Qureshi & Patt, MICRO'06]) models a
+//! fixed capacity per way, so meeting both requirements would take 512 ways
+//! (§IV-G). The paper's geometric monitors (GMONs) instead decrease the
+//! sampling rate geometrically across ways via per-way limit registers, so
+//! 64 ways cover 64 KB–32 MB.
+//!
+//! Both monitors here observe the full access stream ([`Monitor::record`] is
+//! called on every LLC access) and sample internally, exactly as the hardware
+//! would ("we sample every 64th access", §IV-I).
+
+mod gmon;
+mod umon;
+
+pub use gmon::{Gmon, GmonConfig};
+pub use umon::{Umon, UmonConfig};
+
+use crate::{Line, MissCurve};
+
+/// A hardware miss-curve monitor.
+///
+/// Implementors observe an access stream and produce an estimated miss curve
+/// for it: `curve.misses_at(s)` estimates how many of the observed accesses
+/// would have missed in a cache of `s` lines.
+pub trait Monitor {
+    /// Observes one access. Called for every access; the monitor decides
+    /// internally whether the access is sampled into its tag array.
+    fn record(&mut self, line: Line);
+
+    /// The estimated miss curve for the accesses observed since the last
+    /// [`reset`](Monitor::reset).
+    fn miss_curve(&self) -> MissCurve;
+
+    /// Total accesses observed (sampled or not) since the last reset.
+    fn accesses(&self) -> u64;
+
+    /// Clears hit/access counters for a new monitoring interval. Tag arrays
+    /// stay warm so the next interval's curve is immediately meaningful.
+    fn reset(&mut self);
+
+    /// Ages counters by halving them instead of clearing. Keeps an
+    /// exponentially-weighted history across reconfiguration intervals,
+    /// which stabilizes curves when intervals are short (the scaled-down
+    /// simulator's epochs carry ~50x fewer samples than the paper's 50
+    /// Mcycle epochs).
+    fn age(&mut self);
+}
+
+/// Shared tag-array geometry for both monitor types: `sets × ways` of 16-bit
+/// hashed tags, with explicit per-way positions so ways map to stack-distance
+/// buckets. `None` marks a hole (either never filled, or left by a filtered
+/// GMON demotion).
+#[derive(Debug, Clone)]
+pub(crate) struct TagArray {
+    pub sets: usize,
+    pub ways: usize,
+    /// `tags[set * ways + way]`.
+    pub tags: Vec<Option<u16>>,
+}
+
+impl TagArray {
+    pub fn new(sets: usize, ways: usize) -> Self {
+        assert!(sets > 0 && sets.is_power_of_two(), "sets must be a power of two");
+        assert!(ways > 0, "ways must be non-zero");
+        TagArray { sets, ways, tags: vec![None; sets * ways] }
+    }
+
+    #[inline]
+    pub fn set_of(&self, line: Line) -> usize {
+        // Use high bits of the mixed hash so the set index is independent of
+        // the 16-bit tag (which uses other bits).
+        (crate::hash::mix64(line.0 ^ 0x517c_c1b7_2722_0a95) as usize) & (self.sets - 1)
+    }
+
+    /// Finds `tag` in `set`; returns its way.
+    #[inline]
+    pub fn find(&self, set: usize, tag: u16) -> Option<usize> {
+        let base = set * self.ways;
+        (0..self.ways).find(|&w| self.tags[base + w] == Some(tag))
+    }
+
+    /// Moves `tag` to way 0 of `set`, demoting intervening occupants down by
+    /// one way. On a hit, `old_way` is the way the tag was found in: its slot
+    /// is vacated and the demotion chain ends there. On an insertion
+    /// (`old_way == None`) the chain runs to the last way and the final
+    /// displaced tag falls out of the array.
+    ///
+    /// `keep(way, tag)` is consulted for every demotion *into* `way`; when it
+    /// returns false the demoted tag is discarded and the chain stops —
+    /// this is the GMON limit-register filter (§IV-G). UMONs pass
+    /// `|_, _| true`.
+    pub fn promote(
+        &mut self,
+        set: usize,
+        tag: u16,
+        old_way: Option<usize>,
+        mut keep: impl FnMut(usize, u16) -> bool,
+    ) {
+        let base = set * self.ways;
+        if let Some(ow) = old_way {
+            debug_assert_eq!(self.tags[base + ow], Some(tag));
+            self.tags[base + ow] = None;
+        }
+        let end = old_way.unwrap_or(self.ways);
+        let mut carry = Some(tag);
+        let mut w = 0;
+        while w < self.ways {
+            let Some(t) = carry else { break };
+            let displaced = self.tags[base + w];
+            self.tags[base + w] = Some(t);
+            if w == end {
+                break;
+            }
+            carry = match displaced {
+                Some(d) if w + 1 < self.ways && keep(w + 1, d) => Some(d),
+                _ => None,
+            };
+            w += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn promote_insert_shifts_down() {
+        let mut ta = TagArray::new(1, 4);
+        ta.promote(0, 1, None, |_, _| true);
+        ta.promote(0, 2, None, |_, _| true);
+        ta.promote(0, 3, None, |_, _| true);
+        assert_eq!(ta.tags, vec![Some(3), Some(2), Some(1), None]);
+    }
+
+    #[test]
+    fn promote_insert_overflows_last_way() {
+        let mut ta = TagArray::new(1, 2);
+        for t in [1u16, 2, 3] {
+            ta.promote(0, t, None, |_, _| true);
+        }
+        assert_eq!(ta.tags, vec![Some(3), Some(2)]);
+    }
+
+    #[test]
+    fn promote_hit_rotates_through_old_way() {
+        let mut ta = TagArray::new(1, 4);
+        for t in [1u16, 2, 3, 4] {
+            ta.promote(0, t, None, |_, _| true);
+        }
+        // tags: [4,3,2,1]; hit on 2 at way 2.
+        let way = ta.find(0, 2).unwrap();
+        assert_eq!(way, 2);
+        ta.promote(0, 2, Some(way), |_, _| true);
+        assert_eq!(ta.tags, vec![Some(2), Some(4), Some(3), Some(1)]);
+    }
+
+    #[test]
+    fn promote_filter_drops_and_stops() {
+        let mut ta = TagArray::new(1, 4);
+        for t in [1u16, 2, 3] {
+            ta.promote(0, t, None, |_, _| true);
+        }
+        // tags: [3,2,1,None]. Insert 4, but refuse any move into way >= 2.
+        ta.promote(0, 4, None, |w, _| w < 2);
+        // 3 -> way1 ok; 2 would move into way 2: dropped, chain stops, 1 stays.
+        assert_eq!(ta.tags, vec![Some(4), Some(3), Some(1), None]);
+    }
+
+    #[test]
+    fn promote_hit_with_filter_leaves_hole_not_duplicate() {
+        let mut ta = TagArray::new(1, 4);
+        for t in [1u16, 2, 3, 4] {
+            ta.promote(0, t, None, |_, _| true);
+        }
+        // tags: [4,3,2,1]; hit on 2 at way 2 but nothing may enter way 1.
+        ta.promote(0, 2, Some(2), |w, _| w < 1);
+        // 2 -> way 0; 4 dropped at the way-1 filter; old slot stays vacant.
+        assert_eq!(ta.tags, vec![Some(2), Some(3), None, Some(1)]);
+        // Crucially, tag 2 appears exactly once.
+        assert_eq!(ta.tags.iter().filter(|t| **t == Some(2)).count(), 1);
+    }
+
+    #[test]
+    fn promote_hit_at_way_zero_is_stable() {
+        let mut ta = TagArray::new(1, 2);
+        ta.promote(0, 7, None, |_, _| true);
+        ta.promote(0, 7, Some(0), |_, _| true);
+        assert_eq!(ta.tags, vec![Some(7), None]);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_set_count_panics() {
+        TagArray::new(3, 2);
+    }
+}

@@ -1,0 +1,386 @@
+//! An exact-capacity, fully-associative LRU pool of cache lines.
+//!
+//! CDCS partitions each 512 KB LLC bank into up to 64 partitions using
+//! Vantage, which enforces per-partition capacities at line granularity with
+//! negligible inter-partition interference. [`LruPool`] is the idealization
+//! of one such bank partition: a set of lines with an exact capacity bound
+//! and LRU replacement. The intrusive doubly-linked list over a slab keeps
+//! every operation O(1), which matters because the simulator pushes hundreds
+//! of millions of accesses through these pools.
+
+use crate::Line;
+use std::collections::HashMap;
+
+const NIL: u32 = u32::MAX;
+
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    addr: u64,
+    prev: u32,
+    next: u32,
+}
+
+/// A fully-associative LRU pool with an exact capacity in lines.
+///
+/// # Example
+///
+/// ```
+/// use cdcs_cache::{Line, LruPool};
+///
+/// let mut pool = LruPool::new(2);
+/// assert!(pool.insert(Line(1)).is_none());
+/// assert!(pool.insert(Line(2)).is_none());
+/// pool.touch(Line(1)); // 1 becomes MRU
+/// // Inserting a third line evicts the LRU, which is now 2.
+/// assert_eq!(pool.insert(Line(3)), Some(Line(2)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct LruPool {
+    capacity: usize,
+    map: HashMap<u64, u32>,
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+    head: u32,
+    tail: u32,
+}
+
+impl LruPool {
+    /// Creates a pool holding at most `capacity` lines. A zero-capacity pool
+    /// is legal: every insertion bypasses (the line is "evicted" immediately),
+    /// modeling a virtual cache that was allocated no space in this bank.
+    pub fn new(capacity: usize) -> Self {
+        LruPool {
+            capacity,
+            map: HashMap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+        }
+    }
+
+    /// Maximum number of lines the pool may hold.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of lines in the pool.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the pool holds no lines.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Whether `line` is present.
+    pub fn contains(&self, line: Line) -> bool {
+        self.map.contains_key(&line.0)
+    }
+
+    fn unlink(&mut self, idx: u32) {
+        let (prev, next) = {
+            let s = &self.slots[idx as usize];
+            (s.prev, s.next)
+        };
+        if prev != NIL {
+            self.slots[prev as usize].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slots[next as usize].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn push_front(&mut self, idx: u32) {
+        let old_head = self.head;
+        {
+            let s = &mut self.slots[idx as usize];
+            s.prev = NIL;
+            s.next = old_head;
+        }
+        if old_head != NIL {
+            self.slots[old_head as usize].prev = idx;
+        } else {
+            self.tail = idx;
+        }
+        self.head = idx;
+    }
+
+    /// Promotes `line` to MRU if present. Returns `true` on hit.
+    pub fn touch(&mut self, line: Line) -> bool {
+        match self.map.get(&line.0) {
+            Some(&idx) => {
+                if self.head != idx {
+                    self.unlink(idx);
+                    self.push_front(idx);
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Inserts `line` at MRU position, evicting the LRU line if the pool is
+    /// full. Returns the evicted line, if any.
+    ///
+    /// If `line` is already present it is promoted and `None` is returned.
+    /// If the pool has zero capacity, returns `Some(line)` (bypass).
+    pub fn insert(&mut self, line: Line) -> Option<Line> {
+        if self.touch(line) {
+            return None;
+        }
+        if self.capacity == 0 {
+            return Some(line);
+        }
+        let evicted =
+            if self.map.len() >= self.capacity { self.pop_lru() } else { None };
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.slots[i as usize] = Slot { addr: line.0, prev: NIL, next: NIL };
+                i
+            }
+            None => {
+                self.slots.push(Slot { addr: line.0, prev: NIL, next: NIL });
+                (self.slots.len() - 1) as u32
+            }
+        };
+        self.map.insert(line.0, idx);
+        self.push_front(idx);
+        evicted
+    }
+
+    /// Combined lookup-and-fill: returns `(hit, evicted)`. On a hit the line
+    /// is promoted; on a miss it is inserted (possibly evicting the LRU).
+    /// This is the common path for a cache access that always fills.
+    pub fn access_insert(&mut self, line: Line) -> (bool, Option<Line>) {
+        if self.touch(line) {
+            (true, None)
+        } else {
+            (false, self.insert(line))
+        }
+    }
+
+    /// Removes the LRU line and returns it.
+    pub fn pop_lru(&mut self) -> Option<Line> {
+        let tail = self.tail;
+        if tail == NIL {
+            return None;
+        }
+        let addr = self.slots[tail as usize].addr;
+        self.unlink(tail);
+        self.map.remove(&addr);
+        self.free.push(tail);
+        Some(Line(addr))
+    }
+
+    /// Removes a specific line. Returns `true` if it was present.
+    pub fn remove(&mut self, line: Line) -> bool {
+        match self.map.remove(&line.0) {
+            Some(idx) => {
+                self.unlink(idx);
+                self.free.push(idx);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Shrinks or grows the capacity, evicting LRU lines as needed to fit.
+    /// Returns the evicted lines (LRU-first).
+    pub fn resize(&mut self, new_capacity: usize) -> Vec<Line> {
+        self.capacity = new_capacity;
+        let mut evicted = Vec::new();
+        while self.map.len() > self.capacity {
+            evicted.push(self.pop_lru().expect("len > 0"));
+        }
+        evicted
+    }
+
+    /// Removes and returns all lines (MRU-first).
+    pub fn drain(&mut self) -> Vec<Line> {
+        let lines: Vec<Line> = self.iter().collect();
+        self.map.clear();
+        self.slots.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+        lines
+    }
+
+    /// Iterates lines from MRU to LRU.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter { pool: self, cur: self.head }
+    }
+}
+
+/// Iterator over a pool's lines, MRU to LRU. Created by [`LruPool::iter`].
+#[derive(Debug)]
+pub struct Iter<'a> {
+    pool: &'a LruPool,
+    cur: u32,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = Line;
+
+    fn next(&mut self) -> Option<Line> {
+        if self.cur == NIL {
+            return None;
+        }
+        let slot = &self.pool.slots[self.cur as usize];
+        self.cur = slot.next;
+        Some(Line(slot.addr))
+    }
+}
+
+impl<'a> IntoIterator for &'a LruPool {
+    type Item = Line;
+    type IntoIter = Iter<'a>;
+
+    fn into_iter(self) -> Iter<'a> {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_hit() {
+        let mut p = LruPool::new(4);
+        assert!(p.insert(Line(10)).is_none());
+        assert!(p.touch(Line(10)));
+        assert!(!p.touch(Line(11)));
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut p = LruPool::new(3);
+        p.insert(Line(1));
+        p.insert(Line(2));
+        p.insert(Line(3));
+        assert_eq!(p.insert(Line(4)), Some(Line(1)));
+        assert_eq!(p.insert(Line(5)), Some(Line(2)));
+    }
+
+    #[test]
+    fn touch_changes_eviction_order() {
+        let mut p = LruPool::new(3);
+        p.insert(Line(1));
+        p.insert(Line(2));
+        p.insert(Line(3));
+        p.touch(Line(1));
+        assert_eq!(p.insert(Line(4)), Some(Line(2)));
+    }
+
+    #[test]
+    fn reinsert_promotes_without_eviction() {
+        let mut p = LruPool::new(2);
+        p.insert(Line(1));
+        p.insert(Line(2));
+        assert!(p.insert(Line(1)).is_none());
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.insert(Line(3)), Some(Line(2)));
+    }
+
+    #[test]
+    fn zero_capacity_bypasses() {
+        let mut p = LruPool::new(0);
+        assert_eq!(p.insert(Line(7)), Some(Line(7)));
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn access_insert_combines() {
+        let mut p = LruPool::new(1);
+        let (hit, ev) = p.access_insert(Line(1));
+        assert!(!hit && ev.is_none());
+        let (hit, ev) = p.access_insert(Line(1));
+        assert!(hit && ev.is_none());
+        let (hit, ev) = p.access_insert(Line(2));
+        assert!(!hit);
+        assert_eq!(ev, Some(Line(1)));
+    }
+
+    #[test]
+    fn remove_present_and_absent() {
+        let mut p = LruPool::new(2);
+        p.insert(Line(1));
+        assert!(p.remove(Line(1)));
+        assert!(!p.remove(Line(1)));
+        assert!(p.is_empty());
+        // Slot is recycled.
+        p.insert(Line(2));
+        p.insert(Line(3));
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn resize_shrink_evicts_lru_first() {
+        let mut p = LruPool::new(4);
+        for i in 1..=4 {
+            p.insert(Line(i));
+        }
+        let evicted = p.resize(2);
+        assert_eq!(evicted, vec![Line(1), Line(2)]);
+        assert_eq!(p.len(), 2);
+        assert!(p.contains(Line(3)) && p.contains(Line(4)));
+    }
+
+    #[test]
+    fn resize_grow_keeps_lines() {
+        let mut p = LruPool::new(1);
+        p.insert(Line(1));
+        assert!(p.resize(8).is_empty());
+        p.insert(Line(2));
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn iter_is_mru_to_lru() {
+        let mut p = LruPool::new(3);
+        p.insert(Line(1));
+        p.insert(Line(2));
+        p.insert(Line(3));
+        p.touch(Line(2));
+        let order: Vec<Line> = p.iter().collect();
+        assert_eq!(order, vec![Line(2), Line(3), Line(1)]);
+    }
+
+    #[test]
+    fn drain_empties() {
+        let mut p = LruPool::new(3);
+        p.insert(Line(1));
+        p.insert(Line(2));
+        let drained = p.drain();
+        assert_eq!(drained.len(), 2);
+        assert!(p.is_empty());
+        // Pool remains usable.
+        p.insert(Line(9));
+        assert!(p.contains(Line(9)));
+    }
+
+    #[test]
+    fn pop_lru_on_empty_is_none() {
+        let mut p = LruPool::new(2);
+        assert!(p.pop_lru().is_none());
+    }
+
+    #[test]
+    fn stress_slots_recycled() {
+        let mut p = LruPool::new(128);
+        for i in 0..100_000u64 {
+            p.insert(Line(i));
+        }
+        assert_eq!(p.len(), 128);
+        // Slab should not have grown past capacity + O(1).
+        assert!(p.slots.len() <= 129, "slab grew to {}", p.slots.len());
+    }
+}

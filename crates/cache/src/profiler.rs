@@ -1,0 +1,262 @@
+//! Exact LRU stack-distance profiling.
+//!
+//! [`StackProfiler`] computes the exact miss curve of an access stream under
+//! fully-associative LRU — the ground truth that the sampled monitors
+//! (UMON/GMON) approximate. It is used by tests to validate monitor accuracy
+//! (the paper's §VI-C compares GMONs against "impractical" fine-grained
+//! UMONs; we additionally compare both against this exact profile) and by the
+//! workload crate to calibrate synthetic applications against the paper's
+//! Fig. 2 miss curves.
+//!
+//! The implementation is the classic O(log n)-per-access algorithm: a Fenwick
+//! tree over access timestamps counts how many *distinct* lines were touched
+//! since a line's previous access, which is exactly its LRU stack distance.
+
+use crate::{Line, MissCurve};
+use std::collections::HashMap;
+
+/// Exact LRU stack-distance profiler.
+///
+/// # Example
+///
+/// ```
+/// use cdcs_cache::{Line, StackProfiler};
+///
+/// let mut prof = StackProfiler::new();
+/// // Two passes over 4 lines: second pass hits at stack distance 4.
+/// for _ in 0..2 {
+///     for l in 0..4u64 {
+///         prof.record(Line(l));
+///     }
+/// }
+/// let curve = prof.miss_curve();
+/// assert_eq!(curve.misses_at(0.0), 8.0); // everything misses with no cache
+/// assert_eq!(curve.misses_at(4.0), 4.0); // only the 4 cold misses remain
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct StackProfiler {
+    /// Fenwick tree: bit[i] counts marked timestamps in a standard BIT
+    /// layout; timestamp t is marked iff it is some line's most recent use.
+    bit: Vec<u32>,
+    /// `marks[t]` — whether timestamp `t` is currently marked. Kept alongside
+    /// the BIT so the tree can be rebuilt exactly when it grows (a Fenwick
+    /// tree cannot be extended by appending zeros: new nodes cover old
+    /// ranges).
+    marks: Vec<bool>,
+    /// Most recent access timestamp of each line (1-based for the BIT).
+    last: HashMap<u64, usize>,
+    /// Next timestamp.
+    now: usize,
+    /// Histogram of stack distances: `hist[d]` = accesses with distance d
+    /// (d = number of distinct other lines since previous access, so a
+    /// cache of > d lines hits this access).
+    hist: Vec<u64>,
+    /// Accesses to never-seen lines (infinite distance).
+    cold: u64,
+}
+
+impl StackProfiler {
+    /// Creates an empty profiler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn bit_add(&mut self, mut i: usize, delta: i32) {
+        while i < self.bit.len() {
+            self.bit[i] = (self.bit[i] as i32 + delta) as u32;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    fn bit_sum(&self, mut i: usize) -> u64 {
+        let mut s = 0u64;
+        while i > 0 {
+            s += self.bit[i] as u64;
+            i -= i & i.wrapping_neg();
+        }
+        s
+    }
+
+    /// Grows the timestamp arrays to cover `t` and rebuilds the BIT from the
+    /// mark bits in O(n) (doubling keeps this amortized O(1) per access).
+    fn grow(&mut self, t: usize) {
+        let new_len = (t + 2).next_power_of_two().max(1024);
+        self.marks.resize(new_len, false);
+        let mut bit = vec![0u32; new_len];
+        for (i, &m) in self.marks.iter().enumerate().skip(1) {
+            if m {
+                bit[i] += 1;
+            }
+        }
+        // Single O(n) parent-propagation pass builds the tree.
+        for i in 1..new_len {
+            let j = i + (i & i.wrapping_neg());
+            if j < new_len {
+                bit[j] += bit[i];
+            }
+        }
+        self.bit = bit;
+    }
+
+    /// Records one access and returns its stack distance: `Some(d)` if the
+    /// line was seen before (`d` = distinct lines touched in between, so the
+    /// access hits in any cache larger than `d` lines), or `None` for a cold
+    /// access.
+    pub fn record(&mut self, line: Line) -> Option<u64> {
+        self.now += 1;
+        let t = self.now;
+        if t >= self.bit.len() {
+            self.grow(t);
+        }
+        // Every line has exactly one marked timestamp (its latest use), so
+        // the number of marked timestamps equals the distinct lines seen.
+        let distinct_before = self.last.len() as u64;
+        let dist = match self.last.insert(line.0, t) {
+            Some(prev) => {
+                // Marked timestamps strictly after `prev` are the distinct
+                // lines accessed since; `prev` itself is still marked and is
+                // counted by `bit_sum(prev)`.
+                let upto_prev = self.bit_sum(prev);
+                let d = distinct_before - upto_prev;
+                self.bit_add(prev, -1);
+                self.marks[prev] = false;
+                Some(d)
+            }
+            None => None,
+        };
+        self.bit_add(t, 1);
+        self.marks[t] = true;
+        match dist {
+            Some(d) => {
+                let d = d as usize;
+                if d >= self.hist.len() {
+                    self.hist.resize(d + 1, 0);
+                }
+                self.hist[d] += 1;
+            }
+            None => self.cold += 1,
+        }
+        dist
+    }
+
+    /// Total accesses recorded.
+    pub fn accesses(&self) -> u64 {
+        self.hist.iter().sum::<u64>() + self.cold
+    }
+
+    /// Number of distinct lines seen (the stream's footprint).
+    pub fn footprint(&self) -> u64 {
+        self.last.len() as u64
+    }
+
+    /// Cold (first-touch) accesses.
+    pub fn cold_misses(&self) -> u64 {
+        self.cold
+    }
+
+    /// The exact miss curve: `misses(c)` = accesses whose stack distance is
+    /// ≥ c, plus cold misses. Miss counts drop in steps at integer
+    /// capacities; the curve emits a point on each side of every step so the
+    /// piecewise-linear interpolation reproduces the step function exactly at
+    /// integer capacities.
+    pub fn miss_curve(&self) -> MissCurve {
+        // misses(c) = cold + #(distance >= c). Suffix-sum the histogram.
+        let mut points = Vec::with_capacity(2 * self.hist.len() + 2);
+        let mut tail: u64 = self.hist.iter().sum();
+        points.push((0.0, (self.cold + tail) as f64));
+        for (d, &count) in self.hist.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            // A cache of d+1 lines holds stack distances <= d: the miss
+            // level holds through capacity d and drops at d+1.
+            points.push((d as f64, (self.cold + tail) as f64));
+            tail -= count;
+            points.push(((d + 1) as f64, (self.cold + tail) as f64));
+        }
+        MissCurve::new(points)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_misses_counted() {
+        let mut p = StackProfiler::new();
+        assert_eq!(p.record(Line(1)), None);
+        assert_eq!(p.record(Line(2)), None);
+        assert_eq!(p.cold_misses(), 2);
+        assert_eq!(p.footprint(), 2);
+    }
+
+    #[test]
+    fn immediate_reuse_has_distance_zero() {
+        let mut p = StackProfiler::new();
+        p.record(Line(1));
+        assert_eq!(p.record(Line(1)), Some(0));
+    }
+
+    #[test]
+    fn distance_counts_distinct_intervening_lines() {
+        let mut p = StackProfiler::new();
+        p.record(Line(1));
+        p.record(Line(2));
+        p.record(Line(2)); // repeat should not add to distance
+        p.record(Line(3));
+        assert_eq!(p.record(Line(1)), Some(2)); // lines 2 and 3 intervened
+    }
+
+    #[test]
+    fn scan_miss_curve_exact() {
+        // 3 passes over 8 lines: pass 2 and 3 hit at distance 8.
+        let mut p = StackProfiler::new();
+        for _ in 0..3 {
+            for l in 0..8u64 {
+                p.record(Line(l));
+            }
+        }
+        let curve = p.miss_curve();
+        assert_eq!(curve.misses_at(0.0), 24.0);
+        // Reuse distance of a scan over 8 lines is 7 (seven distinct lines
+        // intervene), so a 7-line cache thrashes and an 8-line cache hits.
+        assert_eq!(curve.misses_at(7.0), 24.0);
+        assert_eq!(curve.misses_at(8.0), 8.0); // only the cold misses remain
+    }
+
+    #[test]
+    fn matches_lru_pool_simulation() {
+        // Property: the profiler's miss count at capacity C equals an actual
+        // LRU pool of C lines run over the same trace.
+        use crate::LruPool;
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        let trace: Vec<u64> = (0..4000).map(|_| rng.gen_range(0..200u64)).collect();
+        let mut prof = StackProfiler::new();
+        for &a in &trace {
+            prof.record(Line(a));
+        }
+        for cap in [1usize, 7, 50, 150, 300] {
+            let mut pool = LruPool::new(cap);
+            let mut misses = 0u64;
+            for &a in &trace {
+                let (hit, _) = pool.access_insert(Line(a));
+                if !hit {
+                    misses += 1;
+                }
+            }
+            let predicted = prof.miss_curve().misses_at(cap as f64);
+            assert_eq!(predicted, misses as f64, "capacity {cap}");
+        }
+    }
+
+    #[test]
+    fn accesses_totals() {
+        let mut p = StackProfiler::new();
+        for l in [1u64, 2, 1, 3, 1] {
+            p.record(Line(l));
+        }
+        assert_eq!(p.accesses(), 5);
+    }
+}

@@ -1,0 +1,141 @@
+//! Property-based tests for the cache substrate: LRU pool semantics,
+//! miss-curve algebra, monitor consistency.
+
+use cdcs_cache::monitor::{Gmon, GmonConfig, Monitor};
+use cdcs_cache::{Line, LruPool, MissCurve, StackProfiler};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+proptest! {
+    #[test]
+    fn pool_never_exceeds_capacity_and_tracks_membership(
+        cap in 0usize..64,
+        ops in prop::collection::vec((0u64..128, prop::bool::ANY), 1..300),
+    ) {
+        let mut pool = LruPool::new(cap);
+        let mut model: HashSet<u64> = HashSet::new();
+        for (addr, remove) in ops {
+            if remove {
+                let was = pool.remove(Line(addr));
+                prop_assert_eq!(was, model.remove(&addr));
+            } else {
+                let (hit, evicted) = pool.access_insert(Line(addr));
+                prop_assert_eq!(hit, model.contains(&addr));
+                if cap > 0 {
+                    model.insert(addr);
+                }
+                if let Some(e) = evicted {
+                    model.remove(&e.0);
+                }
+            }
+            prop_assert!(pool.len() <= cap);
+            prop_assert_eq!(pool.len(), model.len());
+        }
+    }
+
+    #[test]
+    fn pool_eviction_order_is_lru(addrs in prop::collection::vec(0u64..32, 1..100)) {
+        // Evicted line must always be the least-recently-used distinct line.
+        let cap = 8;
+        let mut pool = LruPool::new(cap);
+        let mut recency: Vec<u64> = Vec::new(); // most recent last
+        for a in addrs {
+            let (_, evicted) = pool.access_insert(Line(a));
+            recency.retain(|&x| x != a);
+            recency.push(a);
+            if let Some(e) = evicted {
+                prop_assert_eq!(recency[0], e.0, "evicted non-LRU line");
+                recency.remove(0);
+            }
+            prop_assert!(recency.len() <= cap);
+        }
+    }
+
+    #[test]
+    fn miss_curve_is_monotone_and_interpolates_within_bounds(
+        pts in prop::collection::vec((0.0f64..100_000.0, 0.0f64..1e6), 1..20),
+        probe in prop::collection::vec(0.0f64..120_000.0, 1..20),
+    ) {
+        let curve = MissCurve::new(pts);
+        let mut last = f64::INFINITY;
+        for p in curve.points() {
+            prop_assert!(p.1 <= last + 1e-9);
+            last = p.1;
+        }
+        for q in probe {
+            let m = curve.misses_at(q);
+            prop_assert!(m >= 0.0 && m <= curve.at_zero() + 1e-9);
+        }
+    }
+
+    #[test]
+    fn convex_hull_is_below_curve_and_monotone(
+        pts in prop::collection::vec((0.0f64..50_000.0, 0.0f64..1e5), 2..16),
+    ) {
+        let curve = MissCurve::new(pts);
+        let hull = curve.convex_hull();
+        for step in 0..20 {
+            let x = curve.max_capacity() * step as f64 / 19.0;
+            prop_assert!(hull.misses_at(x) <= curve.misses_at(x) + 1e-6);
+        }
+        // Hull slopes are non-increasing in magnitude (convexity).
+        let hp = hull.points();
+        let mut last_slope = f64::INFINITY;
+        for w in hp.windows(2) {
+            let slope = (w[0].1 - w[1].1) / (w[1].0 - w[0].0).max(1e-12);
+            prop_assert!(slope <= last_slope + 1e-6);
+            last_slope = slope;
+        }
+    }
+
+    #[test]
+    fn curve_addition_is_pointwise_superposition(
+        a in prop::collection::vec((0.0f64..10_000.0, 0.0f64..1e4), 1..8),
+        b in prop::collection::vec((0.0f64..10_000.0, 0.0f64..1e4), 1..8),
+        probes in prop::collection::vec(0.0f64..12_000.0, 1..8),
+    ) {
+        let (ca, cb) = (MissCurve::new(a), MissCurve::new(b));
+        let sum = ca.add(&cb);
+        for q in probes {
+            let expect = ca.misses_at(q) + cb.misses_at(q);
+            // Piecewise-linear interpolation on the union grid can differ
+            // slightly between knots of the two inputs; allow 1% slack.
+            prop_assert!((sum.misses_at(q) - expect).abs() <= expect.abs() * 0.01 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn profiler_curve_matches_direct_lru_simulation(
+        addrs in prop::collection::vec(0u64..96, 50..400),
+        cap in 1usize..128,
+    ) {
+        let mut prof = StackProfiler::new();
+        let mut pool = LruPool::new(cap);
+        let mut misses = 0u64;
+        for &a in &addrs {
+            prof.record(Line(a));
+            let (hit, _) = pool.access_insert(Line(a));
+            if !hit {
+                misses += 1;
+            }
+        }
+        prop_assert_eq!(prof.miss_curve().misses_at(cap as f64) as u64, misses);
+    }
+
+    #[test]
+    fn gmon_curve_is_anchored_and_bounded(
+        addrs in prop::collection::vec(0u64..4096, 100..1000),
+    ) {
+        let mut gmon = Gmon::new(GmonConfig { sets: 16, ways: 16, sample_period: 2, gamma: 0.9 });
+        for &a in &addrs {
+            gmon.record(Line(a));
+        }
+        let c = gmon.miss_curve();
+        prop_assert_eq!(c.at_zero() as usize, addrs.len());
+        for step in 0..10 {
+            let x = c.max_capacity() * step as f64 / 9.0;
+            prop_assert!(c.misses_at(x) >= -1e-9);
+            prop_assert!(c.misses_at(x) <= c.at_zero() + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Latency-aware allocation: building total-latency curves (§IV-C).
+//!
+//! Off-chip latency falls with allocation (fewer misses) while on-chip
+//! latency rises (data further away): their sum has a sweet spot (Fig. 5).
+//! The on-chip term needs a data placement, which is unknown this early in
+//! the reconfiguration, so CDCS uses an *optimistic* estimate: the VC placed
+//! compactly around the center of the chip (Fig. 6).
+
+use super::{peekahead, AllocOptions};
+use crate::{PlacementProblem, VcId};
+use cdcs_cache::MissCurve;
+use cdcs_mesh::geometry;
+
+/// Builds the total-latency curve for one VC (Fig. 5): off-chip latency
+/// (Eq. 1) plus the optimistic on-chip latency of a compactly-placed VC.
+///
+/// The returned curve is in cycles over capacity in lines; its grid is the
+/// union of the miss curve's points and whole-bank multiples (so the rising
+/// on-chip term is visible between miss-curve samples).
+///
+/// Note: [`MissCurve`] enforces non-increasing values, so the region past
+/// the latency sweet spot is stored *flat* rather than rising. For
+/// allocation this is equivalent — flat segments have zero marginal benefit
+/// and are never taken when capacity may be left unused — and it keeps a
+/// single curve type throughout. Callers that want the true rising shape
+/// (e.g. the Fig. 5 harness) evaluate the two latency terms directly.
+pub fn total_latency_curve(problem: &PlacementProblem, vc: VcId) -> MissCurve {
+    let params = &problem.params;
+    let info = &problem.vcs[vc as usize];
+    let accesses = problem.vc_accesses(vc);
+    let center = geometry::chip_center(&params.mesh);
+    let per_hop = f64::from(params.noc.round_trip_latency(1));
+
+    let mut grid: Vec<f64> = info.curve.points().iter().map(|p| p.0).collect();
+    let max_cap = params.total_lines() as f64;
+    let mut c = params.bank_lines as f64;
+    while c <= max_cap {
+        grid.push(c);
+        c += params.bank_lines as f64;
+    }
+    grid.push(max_cap);
+    grid.retain(|&c| c <= max_cap);
+    grid.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    grid.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+
+    MissCurve::from_fn(&grid, |s| {
+        let off_chip = info.curve.misses_at(s) * params.mem_latency;
+        let mean_dist =
+            geometry::compact_mean_distance(&params.mesh, center, s / params.bank_lines as f64);
+        let on_chip = accesses * mean_dist * per_hop;
+        off_chip + on_chip
+    })
+}
+
+/// CDCS latency-aware capacity allocation (§IV-C): Peekahead over
+/// total-latency curves, leaving capacity unused when further allocation
+/// would raise latency.
+pub fn latency_aware_sizes(problem: &PlacementProblem, granularity: u64) -> Vec<u64> {
+    let curves: Vec<MissCurve> = (0..problem.vcs.len())
+        .map(|d| total_latency_curve(problem, d as VcId))
+        .collect();
+    peekahead(
+        &curves,
+        AllocOptions {
+            total_lines: problem.params.total_lines(),
+            granularity,
+            use_all_capacity: false,
+            tie_tolerance: 0.25,
+        },
+    )
+}
+
+/// Jigsaw's miss-driven allocation: Peekahead over raw miss curves, spreading
+/// leftover capacity over all demanders ("sizes VCs obliviously to their
+/// latency", §IV).
+pub fn miss_driven_sizes(problem: &PlacementProblem, granularity: u64) -> Vec<u64> {
+    let curves: Vec<MissCurve> = problem.vcs.iter().map(|v| v.curve.clone()).collect();
+    peekahead(
+        &curves,
+        AllocOptions {
+            total_lines: problem.params.total_lines(),
+            granularity,
+            use_all_capacity: true,
+            tie_tolerance: 0.25,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SystemParams, ThreadInfo, VcInfo, VcKind};
+    use cdcs_mesh::Mesh;
+
+    /// 16-bank chip, 1024-line banks; one intense thread with a gently
+    /// improving curve and one streaming thread.
+    fn problem() -> PlacementProblem {
+        let params = SystemParams::default_for_mesh(Mesh::new(4, 4), 1024);
+        let vcs = vec![
+            VcInfo::new(
+                0,
+                VcKind::thread_private(0),
+                MissCurve::new(vec![(0.0, 1000.0), (2048.0, 100.0), (8192.0, 60.0)]),
+            ),
+            VcInfo::new(1, VcKind::thread_private(1), MissCurve::flat(800.0)),
+        ];
+        let threads = vec![
+            ThreadInfo::new(0, vec![(0, 1000.0)]),
+            ThreadInfo::new(1, vec![(1, 800.0)]),
+        ];
+        PlacementProblem::new(params, vcs, threads).unwrap()
+    }
+
+    #[test]
+    fn total_latency_curve_has_sweet_spot() {
+        let p = problem();
+        let tl = total_latency_curve(&p, 0);
+        // Latency at the sweet-spot region (~2048 lines) must beat both the
+        // zero allocation and the full-chip allocation.
+        let at_0 = tl.misses_at(0.0);
+        let at_2k = tl.misses_at(2048.0);
+        assert!(at_2k < at_0, "allocation must reduce latency: {at_2k} vs {at_0}");
+        // NOTE: MissCurve enforces monotonicity, so the "rise" past the
+        // sweet spot appears as a flat tail; the hull still stops growing
+        // there, which is what allocation consumes. Check the raw function
+        // instead: on-chip cost at full chip exceeds the miss savings.
+        let params = &p.params;
+        let center = cdcs_mesh::geometry::chip_center(&params.mesh);
+        let per_hop = f64::from(params.noc.round_trip_latency(1));
+        let full = params.total_lines() as f64;
+        let raw = |s: f64| {
+            p.vcs[0].curve.misses_at(s) * params.mem_latency
+                + 1000.0
+                    * cdcs_mesh::geometry::compact_mean_distance(
+                        &params.mesh,
+                        center,
+                        s / params.bank_lines as f64,
+                    )
+                    * per_hop
+        };
+        assert!(raw(full) > raw(2048.0), "full-chip latency must exceed sweet spot");
+    }
+
+    #[test]
+    fn latency_aware_leaves_capacity_unused_for_streaming() {
+        let p = problem();
+        let sizes = latency_aware_sizes(&p, 512);
+        assert_eq!(sizes[1], 0, "streaming VC gets nothing");
+        let total: u64 = sizes.iter().sum();
+        assert!(
+            total < p.params.total_lines(),
+            "latency-aware allocation should leave capacity unused"
+        );
+        // The intense VC should get roughly its sweet spot, not the chip.
+        assert!(sizes[0] >= 2048, "sizes: {sizes:?}");
+        assert!(sizes[0] <= 10_240, "sizes: {sizes:?}");
+    }
+
+    #[test]
+    fn miss_driven_uses_everything() {
+        let p = problem();
+        let sizes = miss_driven_sizes(&p, 512);
+        assert_eq!(sizes.iter().sum::<u64>(), p.params.total_lines());
+        assert!(sizes[1] > 0, "Jigsaw spreads leftover even to streaming apps");
+    }
+
+    #[test]
+    fn curves_cover_full_chip_grid() {
+        let p = problem();
+        let tl = total_latency_curve(&p, 0);
+        assert!(tl.max_capacity() >= p.params.total_lines() as f64 - 1.0);
+    }
+}

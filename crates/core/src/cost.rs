@@ -1,0 +1,200 @@
+//! The paper's analytical cost model (§IV-A).
+//!
+//! Total memory access latency decomposes into off-chip latency (Eq. 1,
+//! misses × memory latency) and on-chip latency (Eq. 2, accesses × network
+//! distance). Every CDCS step minimizes some relaxation of this model, and
+//! the tests/benches use it to compare placement policies without running
+//! the full simulator.
+
+use crate::{Placement, PlacementProblem, VcId};
+use cdcs_mesh::{TileId, Topology};
+
+/// Off-chip latency (Eq. 1): `Σ_t Σ_d a_{t,d} · M_d(s_d) · MemLatency`.
+///
+/// `Σ_t a_{t,d} · M_d(s_d)` is evaluated as `misses_at(s_d)` scaled by the
+/// measured curve (the curve already aggregates all threads' accesses), so
+/// this is exactly the paper's expression with miss *ratios* folded into the
+/// curve.
+pub fn off_chip_latency(problem: &PlacementProblem, placement: &Placement) -> f64 {
+    problem
+        .vcs
+        .iter()
+        .map(|vc| {
+            let s = placement.vc_total(vc.id) as f64;
+            vc.curve.misses_at(s) * problem.params.mem_latency
+        })
+        .sum()
+}
+
+/// Access rate `α_{t,b}` of thread `t` to bank `b` (§IV-A): the VTB spreads
+/// accesses across a VC's banks in proportion to capacity, so
+/// `α_{t,b} = Σ_d (s_{d,b} / s_d) · a_{t,d}`.
+pub fn thread_bank_accesses(
+    problem: &PlacementProblem,
+    placement: &Placement,
+    thread: u32,
+    bank: usize,
+) -> f64 {
+    problem.threads[thread as usize]
+        .vc_accesses
+        .iter()
+        .map(|&(d, a)| {
+            let total = placement.vc_total(d);
+            if total == 0 {
+                0.0
+            } else {
+                (placement.vc_alloc[d as usize][bank] as f64 / total as f64) * a
+            }
+        })
+        .sum()
+}
+
+/// On-chip latency (Eq. 2): `Σ_t Σ_b α_{t,b} · D(c_t, b)`, in units of
+/// round-trip network cycles.
+///
+/// Accesses to VCs with zero allocation travel to memory instead; their
+/// network cost is part of the miss path and accounted separately by the
+/// simulator, matching the paper's split.
+pub fn on_chip_latency(problem: &PlacementProblem, placement: &Placement) -> f64 {
+    let params = &problem.params;
+    let mut total = 0.0;
+    for t in &problem.threads {
+        let core = placement.thread_cores[t.id as usize];
+        for &(d, a) in &t.vc_accesses {
+            let s_d = placement.vc_total(d);
+            if s_d == 0 || a == 0.0 {
+                continue;
+            }
+            for (bank, lines) in placement.vc_banks(d) {
+                let frac = lines as f64 / s_d as f64;
+                total += a * frac * params.net_round_trip(core, TileId(bank as u16));
+            }
+        }
+    }
+    total
+}
+
+/// Total latency: Eq. 1 + Eq. 2 (plus the constant bank latency per access,
+/// which no placement decision can change but keeps absolute values
+/// comparable to AMAT measurements).
+pub fn total_latency(problem: &PlacementProblem, placement: &Placement) -> f64 {
+    let accesses: f64 = problem.threads.iter().map(|t| t.total_accesses()).sum();
+    off_chip_latency(problem, placement)
+        + on_chip_latency(problem, placement)
+        + accesses * problem.params.bank_latency
+}
+
+/// Mean network distance (in hops) from a thread's core to the data of one
+/// VC under a placement — the quantity Fig. 1's captions quote (e.g. "1.2
+/// hops on average, instead of 3.2").
+pub fn mean_hops_to_vc(
+    problem: &PlacementProblem,
+    placement: &Placement,
+    thread: u32,
+    vc: VcId,
+) -> f64 {
+    let core = placement.thread_cores[thread as usize];
+    let total = placement.vc_total(vc);
+    if total == 0 {
+        return 0.0;
+    }
+    placement
+        .vc_banks(vc)
+        .into_iter()
+        .map(|(b, lines)| {
+            (lines as f64 / total as f64)
+                * f64::from(problem.params.mesh.hops(core, TileId(b as u16)))
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SystemParams, ThreadInfo, VcInfo, VcKind};
+    use cdcs_cache::MissCurve;
+    use cdcs_mesh::Mesh;
+
+    /// One thread at tile 0, one VC with a linear curve, 2x2 mesh.
+    fn problem() -> PlacementProblem {
+        let params = SystemParams::default_for_mesh(Mesh::new(2, 2), 100);
+        let vcs = vec![VcInfo::new(
+            0,
+            VcKind::thread_private(0),
+            MissCurve::new(vec![(0.0, 100.0), (200.0, 0.0)]),
+        )];
+        let threads = vec![ThreadInfo::new(0, vec![(0, 100.0)])];
+        PlacementProblem::new(params, vcs, threads).unwrap()
+    }
+
+    #[test]
+    fn off_chip_latency_follows_curve() {
+        let p = problem();
+        let mut placement = Placement::empty(1, 1, 4);
+        // No allocation: all 100 accesses miss.
+        assert_eq!(off_chip_latency(&p, &placement), 100.0 * p.params.mem_latency);
+        // Half the curve: 50 misses.
+        placement.vc_alloc[0][0] = 100;
+        assert_eq!(off_chip_latency(&p, &placement), 50.0 * p.params.mem_latency);
+    }
+
+    #[test]
+    fn on_chip_latency_zero_for_local_bank() {
+        let p = problem();
+        let mut placement = Placement::empty(1, 1, 4);
+        placement.vc_alloc[0][0] = 100; // same tile as the thread
+        assert_eq!(on_chip_latency(&p, &placement), 0.0);
+    }
+
+    #[test]
+    fn on_chip_latency_scales_with_distance_and_split() {
+        let p = problem();
+        let mut placement = Placement::empty(1, 1, 4);
+        // Half the data 1 hop away, half 2 hops away.
+        placement.vc_alloc[0][1] = 50; // tile 1: 1 hop from tile 0
+        placement.vc_alloc[0][3] = 50; // tile 3: 2 hops
+        let rt1 = p.params.net_round_trip(TileId(0), TileId(1));
+        let rt3 = p.params.net_round_trip(TileId(0), TileId(3));
+        let expected = 100.0 * 0.5 * rt1 + 100.0 * 0.5 * rt3;
+        assert!((on_chip_latency(&p, &placement) - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn total_includes_bank_latency() {
+        let p = problem();
+        let placement = Placement::empty(1, 1, 4);
+        let total = total_latency(&p, &placement);
+        assert!(
+            (total - (100.0 * p.params.mem_latency + 100.0 * p.params.bank_latency)).abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn alpha_t_b_proportional_to_capacity() {
+        let p = problem();
+        let mut placement = Placement::empty(1, 1, 4);
+        placement.vc_alloc[0][1] = 75;
+        placement.vc_alloc[0][2] = 25;
+        assert!((thread_bank_accesses(&p, &placement, 0, 1) - 75.0).abs() < 1e-9);
+        assert!((thread_bank_accesses(&p, &placement, 0, 2) - 25.0).abs() < 1e-9);
+        assert_eq!(thread_bank_accesses(&p, &placement, 0, 0), 0.0);
+    }
+
+    #[test]
+    fn mean_hops_weighted_by_capacity() {
+        let p = problem();
+        let mut placement = Placement::empty(1, 1, 4);
+        placement.vc_alloc[0][0] = 50; // 0 hops
+        placement.vc_alloc[0][3] = 50; // 2 hops
+        assert!((mean_hops_to_vc(&p, &placement, 0, 0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_allocation_vc_has_no_onchip_cost() {
+        let p = problem();
+        let placement = Placement::empty(1, 1, 4);
+        assert_eq!(on_chip_latency(&p, &placement), 0.0);
+        assert_eq!(mean_hops_to_vc(&p, &placement, 0, 0), 0.0);
+    }
+}

@@ -1,0 +1,298 @@
+//! VC descriptors: the bucket arrays the VTB hardware consumes.
+//!
+//! A VC descriptor is "an array of N bank and bank partition ids" (§III,
+//! Fig. 3): an address hashes to one of N buckets and the bucket names the
+//! bank (and bank partition) the line lives in. Spreading bucket counts in
+//! proportion to per-bank capacity makes the ganged partitions "behave as a
+//! cache of their aggregate size" — the paper's 1 MB + 3 MB example maps 16
+//! and 48 of the 64 buckets.
+
+use cdcs_cache::BankId;
+use serde::{Deserialize, Serialize};
+
+/// Number of buckets per descriptor (the paper's N = 64).
+pub const DESCRIPTOR_BUCKETS: usize = 64;
+
+/// A VC descriptor: for each bucket, which bank holds the lines hashing
+/// there. (The bank-partition id is implicit in our simulator — each VC owns
+/// exactly one partition per bank, indexed by VC id.)
+///
+/// # Example
+///
+/// ```
+/// use cdcs_core::VcDescriptor;
+/// use cdcs_cache::BankId;
+///
+/// // 1 MB in bank 0, 3 MB in bank 1 (the paper's §III example):
+/// let desc = VcDescriptor::from_allocation(&[(0, 16384), (1, 49152)]).unwrap();
+/// let histogram = desc.bucket_histogram();
+/// assert_eq!(histogram[&BankId(0)], 16);
+/// assert_eq!(histogram[&BankId(1)], 48);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VcDescriptor {
+    #[serde(with = "serde_buckets")]
+    buckets: [BankId; DESCRIPTOR_BUCKETS],
+}
+
+/// Serde support for the fixed-size bucket array (serialized as a sequence).
+mod serde_buckets {
+    use super::{BankId, DESCRIPTOR_BUCKETS};
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+    pub fn serialize<S: Serializer>(
+        buckets: &[BankId; DESCRIPTOR_BUCKETS],
+        s: S,
+    ) -> Result<S::Ok, S::Error> {
+        buckets.as_slice().serialize(s)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(
+        d: D,
+    ) -> Result<[BankId; DESCRIPTOR_BUCKETS], D::Error> {
+        let v: Vec<BankId> = Vec::deserialize(d)?;
+        v.try_into().map_err(|v: Vec<BankId>| {
+            serde::de::Error::invalid_length(v.len(), &"64 buckets")
+        })
+    }
+}
+
+impl VcDescriptor {
+    /// Builds a descriptor from `(bank, lines)` pairs, assigning bucket
+    /// counts proportional to capacity with largest-remainder rounding
+    /// (every bank with non-zero capacity gets at least one bucket when
+    /// possible).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the allocation is empty or all-zero, or if more
+    /// banks have capacity than there are buckets.
+    pub fn from_allocation(alloc: &[(usize, u64)]) -> Result<Self, String> {
+        Self::from_allocation_stable(alloc, None)
+    }
+
+    /// Like [`from_allocation`](Self::from_allocation), but keeps each
+    /// bucket's previous bank assignment wherever the new counts allow.
+    ///
+    /// Reconfigurations only relocate lines whose *bucket* changes bank, so
+    /// maximizing overlap with the previous descriptor minimizes data
+    /// movement when allocations shift by small amounts (monitor noise).
+    /// The paper's software runtime recomputes descriptors each epoch; this
+    /// overlap-preserving assignment is the natural way to write that
+    /// recomputation and needs no hardware change.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`from_allocation`](Self::from_allocation).
+    pub fn from_allocation_stable(
+        alloc: &[(usize, u64)],
+        prev: Option<&VcDescriptor>,
+    ) -> Result<Self, String> {
+        let nonzero: Vec<(usize, u64)> =
+            alloc.iter().copied().filter(|&(_, l)| l > 0).collect();
+        if nonzero.is_empty() {
+            return Err("descriptor needs at least one bank with capacity".into());
+        }
+        if nonzero.len() > DESCRIPTOR_BUCKETS {
+            return Err(format!(
+                "{} banks exceed {DESCRIPTOR_BUCKETS} buckets",
+                nonzero.len()
+            ));
+        }
+        let total: u64 = nonzero.iter().map(|&(_, l)| l).sum();
+        // Ideal share per bank, floored; remainders sorted descending get the
+        // leftover buckets. Every bank gets >= 1 bucket.
+        let mut counts: Vec<(usize, usize, f64)> = nonzero
+            .iter()
+            .map(|&(b, l)| {
+                let ideal = l as f64 * DESCRIPTOR_BUCKETS as f64 / total as f64;
+                (b, (ideal.floor() as usize).max(1), ideal - ideal.floor())
+            })
+            .collect();
+        let mut assigned: usize = counts.iter().map(|&(_, c, _)| c).sum();
+        // Too many (floors + min-1 bumps can exceed N): shave from the
+        // largest counts.
+        while assigned > DESCRIPTOR_BUCKETS {
+            let max = counts
+                .iter_mut()
+                .max_by_key(|&&mut (_, c, _)| c)
+                .expect("non-empty");
+            max.1 -= 1;
+            assigned -= 1;
+        }
+        // Too few: hand buckets to the largest remainders.
+        counts.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap());
+        let mut i = 0;
+        let n_counts = counts.len();
+        while assigned < DESCRIPTOR_BUCKETS {
+            counts[i % n_counts].1 += 1;
+            assigned += 1;
+            i += 1;
+        }
+        // Assign bucket positions. First honour previous assignments where
+        // the new counts allow (minimizing line movement), then fill the
+        // remaining buckets with banks still under target.
+        counts.sort_by_key(|&(b, _, _)| b);
+        let mut target: std::collections::HashMap<usize, usize> =
+            counts.iter().map(|&(b, c, _)| (b, c)).collect();
+        let mut buckets = [BankId(u16::MAX); DESCRIPTOR_BUCKETS];
+        if let Some(prev) = prev {
+            for (i, slot) in buckets.iter_mut().enumerate() {
+                let old = prev.buckets[i].index();
+                if let Some(t) = target.get_mut(&old) {
+                    if *t > 0 {
+                        *t -= 1;
+                        *slot = BankId(old as u16);
+                    }
+                }
+            }
+        }
+        let mut fill = counts.iter().flat_map(|&(b, _, _)| {
+            std::iter::repeat(b).take(target.get(&b).copied().unwrap_or(0))
+        });
+        for slot in buckets.iter_mut() {
+            if *slot == BankId(u16::MAX) {
+                let b = fill.next().expect("targets cover all unassigned buckets");
+                *slot = BankId(b as u16);
+            }
+        }
+        debug_assert!(fill.next().is_none(), "all target buckets consumed");
+        Ok(VcDescriptor { buckets })
+    }
+
+    /// The bank a hashed address maps to. `bucket` must come from
+    /// [`cdcs_cache::hash::bucket`] with `n = DESCRIPTOR_BUCKETS`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket >= DESCRIPTOR_BUCKETS`.
+    #[inline]
+    pub fn bank_for_bucket(&self, bucket: usize) -> BankId {
+        self.buckets[bucket]
+    }
+
+    /// The bank for a line address (hashes internally).
+    #[inline]
+    pub fn bank_for_line(&self, line: cdcs_cache::Line) -> BankId {
+        self.buckets[cdcs_cache::hash::bucket(line.0, DESCRIPTOR_BUCKETS)]
+    }
+
+    /// Bucket counts per bank.
+    pub fn bucket_histogram(&self) -> std::collections::HashMap<BankId, usize> {
+        let mut h = std::collections::HashMap::new();
+        for &b in &self.buckets {
+            *h.entry(b).or_insert(0) += 1;
+        }
+        h
+    }
+
+    /// The raw bucket array.
+    pub fn buckets(&self) -> &[BankId; DESCRIPTOR_BUCKETS] {
+        &self.buckets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdcs_cache::{hash, Line};
+
+    #[test]
+    fn paper_example_1mb_3mb() {
+        let desc = VcDescriptor::from_allocation(&[(0, 16384), (1, 49152)]).unwrap();
+        let h = desc.bucket_histogram();
+        assert_eq!(h[&BankId(0)], 16);
+        assert_eq!(h[&BankId(1)], 48);
+    }
+
+    #[test]
+    fn single_bank_gets_all_buckets() {
+        let desc = VcDescriptor::from_allocation(&[(5, 100)]).unwrap();
+        assert_eq!(desc.bucket_histogram()[&BankId(5)], DESCRIPTOR_BUCKETS);
+    }
+
+    #[test]
+    fn zero_banks_rejected() {
+        assert!(VcDescriptor::from_allocation(&[]).is_err());
+        assert!(VcDescriptor::from_allocation(&[(0, 0)]).is_err());
+    }
+
+    #[test]
+    fn too_many_banks_rejected() {
+        let alloc: Vec<(usize, u64)> = (0..65).map(|b| (b, 1)).collect();
+        assert!(VcDescriptor::from_allocation(&alloc).is_err());
+    }
+
+    #[test]
+    fn tiny_banks_still_get_a_bucket() {
+        // One line in bank 1 vs 1M lines in bank 0: bank 1 still gets >= 1
+        // bucket so its line is addressable.
+        let desc = VcDescriptor::from_allocation(&[(0, 1_000_000), (1, 1)]).unwrap();
+        let h = desc.bucket_histogram();
+        assert!(h[&BankId(1)] >= 1);
+        assert_eq!(h.values().sum::<usize>(), DESCRIPTOR_BUCKETS);
+    }
+
+    #[test]
+    fn accesses_split_proportionally() {
+        // 1:3 capacity split should route ~25%/75% of lines.
+        let desc = VcDescriptor::from_allocation(&[(0, 1024), (1, 3072)]).unwrap();
+        let mut to_zero = 0;
+        let n = 100_000u64;
+        for a in 0..n {
+            if desc.bank_for_line(Line(a)) == BankId(0) {
+                to_zero += 1;
+            }
+        }
+        let frac = to_zero as f64 / n as f64;
+        assert!((frac - 0.25).abs() < 0.02, "fraction to bank 0: {frac}");
+    }
+
+    #[test]
+    fn bucket_mapping_is_stable() {
+        let desc = VcDescriptor::from_allocation(&[(0, 512), (3, 512)]).unwrap();
+        let line = Line(0xDEAD_BEEF);
+        let b = hash::bucket(line.0, DESCRIPTOR_BUCKETS);
+        assert_eq!(desc.bank_for_bucket(b), desc.bank_for_line(line));
+    }
+
+    #[test]
+    fn stable_rebuild_minimizes_bucket_churn() {
+        let a = VcDescriptor::from_allocation(&[(0, 8192), (1, 8192), (2, 4096)]).unwrap();
+        // Slightly different sizes: most buckets must keep their banks.
+        let b = VcDescriptor::from_allocation_stable(
+            &[(0, 8192), (1, 7168), (2, 5120)],
+            Some(&a),
+        )
+        .unwrap();
+        let changed = a
+            .buckets()
+            .iter()
+            .zip(b.buckets().iter())
+            .filter(|(x, y)| x != y)
+            .count();
+        assert!(changed <= 6, "{changed} of 64 buckets changed");
+        // And the histogram still matches the new proportions.
+        let h = b.bucket_histogram();
+        assert_eq!(h.values().sum::<usize>(), DESCRIPTOR_BUCKETS);
+        assert!(h[&BankId(1)] < h[&BankId(0)]);
+    }
+
+    #[test]
+    fn stable_rebuild_identical_alloc_is_identity() {
+        let a = VcDescriptor::from_allocation(&[(3, 1000), (7, 3000)]).unwrap();
+        let b =
+            VcDescriptor::from_allocation_stable(&[(3, 1000), (7, 3000)], Some(&a)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn equal_split_is_even() {
+        let desc =
+            VcDescriptor::from_allocation(&[(0, 100), (1, 100), (2, 100), (3, 100)]).unwrap();
+        let h = desc.bucket_histogram();
+        for b in 0..4u16 {
+            assert_eq!(h[&BankId(b)], 16);
+        }
+    }
+}

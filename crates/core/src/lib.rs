@@ -1,0 +1,68 @@
+//! CDCS core algorithms — the contribution of [Beckmann, Tsai, Sanchez,
+//! HPCA 2015]: joint computation (thread) and data (virtual cache)
+//! co-scheduling for distributed NUCA cache hierarchies.
+//!
+//! The crate is organized around one data structure and four algorithm
+//! stages:
+//!
+//! * [`PlacementProblem`] describes an epoch's optimization input: the chip
+//!   ([`cdcs_mesh::Mesh`]), per-virtual-cache miss curves (from GMONs), and
+//!   per-thread access rates.
+//! * [`alloc`] — capacity allocation. [`alloc::peekahead`] partitions LLC
+//!   capacity over convex curve hulls; [`alloc::latency_aware_sizes`] builds
+//!   the paper's total-latency curves (§IV-C, Fig. 5) so allocation trades
+//!   off off-chip misses against on-chip distance, sometimes leaving
+//!   capacity unused.
+//! * [`place`] — data and thread placement: optimistic contention-aware VC
+//!   placement (§IV-D), thread placement at access centers of mass (§IV-E),
+//!   and refined placement with outward-spiral trades (§IV-F).
+//! * [`policy`] — complete per-epoch planners: [`policy::CdcsPlanner`] (the
+//!   full four-step pipeline of Fig. 4, with per-step toggles for the
+//!   Fig. 12 factor analysis), [`policy::JigsawPlanner`] (miss-curve
+//!   allocation + greedy placement, threads pinned), and
+//!   [`policy::RNucaPolicy`] (classification-based placement). S-NUCA needs
+//!   no planner: it hashes lines over all banks.
+//! * [`cost`] — the §IV-A analytical model (Eqs. 1 and 2) used both inside
+//!   the algorithms and to evaluate solutions in tests and benchmarks.
+//!
+//! # Example: planning one epoch
+//!
+//! ```
+//! use cdcs_core::{PlacementProblem, SystemParams, VcInfo, VcKind, ThreadInfo};
+//! use cdcs_core::policy::CdcsPlanner;
+//! use cdcs_cache::MissCurve;
+//! use cdcs_mesh::Mesh;
+//!
+//! // Two threads on a 4x4 chip, each with a private VC.
+//! let params = SystemParams::default_for_mesh(Mesh::new(4, 4), 8192);
+//! let vcs = vec![
+//!     VcInfo::new(0, VcKind::thread_private(0),
+//!                 MissCurve::new(vec![(0.0, 1000.0), (16384.0, 10.0)])),
+//!     VcInfo::new(1, VcKind::thread_private(1),
+//!                 MissCurve::new(vec![(0.0, 500.0), (4096.0, 100.0)])),
+//! ];
+//! let threads = vec![
+//!     ThreadInfo::new(0, vec![(0, 1000.0)]),
+//!     ThreadInfo::new(1, vec![(1, 500.0)]),
+//! ];
+//! let problem = PlacementProblem::new(params, vcs, threads).unwrap();
+//! let placement = CdcsPlanner::default().plan(&problem);
+//! assert_eq!(placement.thread_cores.len(), 2);
+//! // Every VC's allocation fits in the banks it claims.
+//! placement.check_feasible(&problem).unwrap();
+//! ```
+//!
+//! [Beckmann, Tsai, Sanchez, HPCA 2015]:
+//!     https://people.csail.mit.edu/sanchez/papers/2015.cdcs.hpca.pdf
+
+pub mod alloc;
+pub mod cost;
+pub mod descriptor;
+pub mod place;
+pub mod policy;
+mod types;
+
+pub use descriptor::VcDescriptor;
+pub use types::{
+    Placement, PlacementProblem, SystemParams, ThreadId, ThreadInfo, VcId, VcInfo, VcKind,
+};

@@ -1,0 +1,432 @@
+//! Expensive placement comparators (§VI-C).
+//!
+//! The paper validates CDCS against impractically expensive schemes: ILP
+//! data placement (Gurobi), simulated-annealing thread placement (5000
+//! rounds), and METIS graph partitioning. We substitute: exhaustive search
+//! (exact, feasible only on tiny instances — our stand-in for ILP),
+//! simulated annealing, and a recursive-bisection partitioner (stand-in for
+//! METIS). See `DESIGN.md` §1.
+
+use crate::cost::on_chip_latency;
+use crate::{Placement, PlacementProblem};
+use cdcs_mesh::{TileId, Topology};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Exhaustive thread placement: tries every assignment of threads to tiles
+/// and returns the cores minimizing on-chip latency (Eq. 2) for the given
+/// data placement. Exact but exponential — the ILP-quality reference for
+/// tiny instances.
+///
+/// # Panics
+///
+/// Panics if the instance is too large (more than `9^threads / unreasonable`
+/// work): callers must keep `tiles.pow(threads)` small; we hard-limit to
+/// ~10M assignment evaluations.
+pub fn exhaustive_thread_placement(
+    problem: &PlacementProblem,
+    placement: &Placement,
+) -> Vec<TileId> {
+    let n = problem.params.mesh.num_tiles();
+    let t = problem.threads.len();
+    let work = (0..t).fold(1u64, |acc, i| acc.saturating_mul((n - i) as u64));
+    assert!(work <= 10_000_000, "instance too large for exhaustive search ({work})");
+
+    let mut best_cores: Vec<TileId> = (0..t as u16).map(TileId).collect();
+    let mut best_cost = f64::INFINITY;
+    let mut trial = placement.clone();
+    let mut current: Vec<u16> = Vec::with_capacity(t);
+    let mut used = vec![false; n];
+
+    fn recurse(
+        depth: usize,
+        t: usize,
+        n: usize,
+        used: &mut Vec<bool>,
+        current: &mut Vec<u16>,
+        problem: &PlacementProblem,
+        trial: &mut Placement,
+        best_cost: &mut f64,
+        best_cores: &mut Vec<TileId>,
+    ) {
+        if depth == t {
+            for (i, &tile) in current.iter().enumerate() {
+                trial.thread_cores[i] = TileId(tile);
+            }
+            let cost = on_chip_latency(problem, trial);
+            if cost < *best_cost {
+                *best_cost = cost;
+                *best_cores = trial.thread_cores.clone();
+            }
+            return;
+        }
+        for tile in 0..n as u16 {
+            if used[tile as usize] {
+                continue;
+            }
+            used[tile as usize] = true;
+            current.push(tile);
+            recurse(depth + 1, t, n, used, current, problem, trial, best_cost, best_cores);
+            current.pop();
+            used[tile as usize] = false;
+        }
+    }
+    recurse(
+        0,
+        t,
+        n,
+        &mut used,
+        &mut current,
+        problem,
+        &mut trial,
+        &mut best_cost,
+        &mut best_cores,
+    );
+    best_cores
+}
+
+/// Simulated-annealing thread placement (the paper's 5000-round SA
+/// comparator): random swaps/moves of threads, Metropolis acceptance over
+/// Eq. 2. Deterministic for a given seed.
+pub fn anneal_thread_placement(
+    problem: &PlacementProblem,
+    placement: &Placement,
+    rounds: usize,
+    seed: u64,
+) -> Vec<TileId> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = problem.params.mesh.num_tiles();
+    let t = problem.threads.len();
+    let mut trial = placement.clone();
+    let mut cost = on_chip_latency(problem, &trial);
+    let mut best = trial.thread_cores.clone();
+    let mut best_cost = cost;
+    let t0 = (cost / (t.max(1) as f64)).max(1.0); // initial temperature
+
+    let mut occupied = vec![usize::MAX; n]; // tile -> thread
+    for (i, &c) in trial.thread_cores.iter().enumerate() {
+        occupied[c.index()] = i;
+    }
+
+    for round in 0..rounds {
+        let temp = t0 * (1.0 - round as f64 / rounds as f64).max(1e-3);
+        let a = rng.gen_range(0..t);
+        let target_tile = rng.gen_range(0..n);
+        let old_tile = trial.thread_cores[a];
+        if old_tile.index() == target_tile {
+            continue;
+        }
+        let displaced = occupied[target_tile];
+        // Apply move (swap if occupied).
+        trial.thread_cores[a] = TileId(target_tile as u16);
+        if displaced != usize::MAX {
+            trial.thread_cores[displaced] = old_tile;
+        }
+        let new_cost = on_chip_latency(problem, &trial);
+        let accept = new_cost < cost
+            || rng.gen::<f64>() < ((cost - new_cost) / temp).exp();
+        if accept {
+            occupied[old_tile.index()] =
+                if displaced != usize::MAX { displaced } else { usize::MAX };
+            occupied[target_tile] = a;
+            cost = new_cost;
+            if cost < best_cost {
+                best_cost = cost;
+                best = trial.thread_cores.clone();
+            }
+        } else {
+            // Revert.
+            trial.thread_cores[a] = old_tile;
+            if displaced != usize::MAX {
+                trial.thread_cores[displaced] = TileId(target_tile as u16);
+            }
+        }
+    }
+    best
+}
+
+/// Recursive-bisection thread placement (the METIS stand-in): recursively
+/// split threads into two halves balancing total access intensity, assigning
+/// each half to one half of the mesh. Threads sharing VCs are kept together
+/// greedily (heaviest-communication pairs first).
+pub fn bisection_thread_placement(problem: &PlacementProblem) -> Vec<TileId> {
+    let mesh = &problem.params.mesh;
+    let tiles = mesh.tiles();
+    let mut cores = vec![TileId(0); problem.threads.len()];
+    let threads: Vec<u32> = (0..problem.threads.len() as u32).collect();
+    bisect(problem, &threads, &tiles, &mut cores);
+    cores
+}
+
+fn bisect(problem: &PlacementProblem, threads: &[u32], tiles: &[TileId], cores: &mut [TileId]) {
+    if threads.is_empty() || tiles.is_empty() {
+        return;
+    }
+    if threads.len() == 1 || tiles.len() == 1 {
+        for (i, &t) in threads.iter().enumerate() {
+            cores[t as usize] = tiles[i.min(tiles.len() - 1)];
+        }
+        return;
+    }
+    // Split tiles by geometry (left/right or top/bottom, whichever is
+    // longer), like recursive coordinate bisection.
+    let mesh = &problem.params.mesh;
+    let mut sorted_tiles = tiles.to_vec();
+    let span_x = tiles.iter().map(|&t| mesh.coord(t).x).max().unwrap()
+        - tiles.iter().map(|&t| mesh.coord(t).x).min().unwrap();
+    let span_y = tiles.iter().map(|&t| mesh.coord(t).y).max().unwrap()
+        - tiles.iter().map(|&t| mesh.coord(t).y).min().unwrap();
+    if span_x >= span_y {
+        sorted_tiles.sort_by_key(|&t| (mesh.coord(t).x, mesh.coord(t).y));
+    } else {
+        sorted_tiles.sort_by_key(|&t| (mesh.coord(t).y, mesh.coord(t).x));
+    }
+    let tile_mid = sorted_tiles.len() / 2;
+    let (tiles_a, tiles_b) = sorted_tiles.split_at(tile_mid);
+
+    // Split threads: group threads of the same process (they communicate via
+    // shared VCs), then fill halves balancing total intensity proportional
+    // to tile split.
+    let mut groups: Vec<Vec<u32>> = group_by_shared_vcs(problem, threads);
+    groups.sort_by(|a, b| {
+        let ia: f64 = a.iter().map(|&t| problem.threads[t as usize].total_accesses()).sum();
+        let ib: f64 = b.iter().map(|&t| problem.threads[t as usize].total_accesses()).sum();
+        ib.partial_cmp(&ia).unwrap()
+    });
+    let mut half_a: Vec<u32> = Vec::new();
+    let mut half_b: Vec<u32> = Vec::new();
+    for g in groups {
+        // Prefer the half with more room (capacity = tile count minus
+        // current threads).
+        let room_a = tiles_a.len() as i64 - half_a.len() as i64;
+        let room_b = tiles_b.len() as i64 - half_b.len() as i64;
+        let target = if g.len() as i64 <= room_a && (room_a >= room_b || g.len() as i64 > room_b)
+        {
+            &mut half_a
+        } else {
+            &mut half_b
+        };
+        target.extend(g);
+    }
+    // Rebalance overflow (groups may not fit exactly).
+    while half_a.len() > tiles_a.len() {
+        let t = half_a.pop().expect("non-empty");
+        half_b.push(t);
+    }
+    while half_b.len() > tiles_b.len() {
+        let t = half_b.pop().expect("non-empty");
+        half_a.push(t);
+    }
+    bisect(problem, &half_a, tiles_a, cores);
+    bisect(problem, &half_b, tiles_b, cores);
+}
+
+/// Groups threads connected through shared VCs (threads of one process end
+/// up together).
+fn group_by_shared_vcs(problem: &PlacementProblem, threads: &[u32]) -> Vec<Vec<u32>> {
+    let mut parent: std::collections::HashMap<u32, u32> =
+        threads.iter().map(|&t| (t, t)).collect();
+    fn find(parent: &mut std::collections::HashMap<u32, u32>, x: u32) -> u32 {
+        let p = parent[&x];
+        if p == x {
+            return x;
+        }
+        let root = find(parent, p);
+        parent.insert(x, root);
+        root
+    }
+    let in_set: std::collections::HashSet<u32> = threads.iter().copied().collect();
+    for d in 0..problem.vcs.len() as u32 {
+        let accessors: Vec<u32> = problem
+            .vc_accessors(d)
+            .into_iter()
+            .map(|(t, _)| t)
+            .filter(|t| in_set.contains(t))
+            .collect();
+        for w in accessors.windows(2) {
+            let (ra, rb) = (find(&mut parent, w[0]), find(&mut parent, w[1]));
+            if ra != rb {
+                parent.insert(ra, rb);
+            }
+        }
+    }
+    let mut groups: std::collections::HashMap<u32, Vec<u32>> = std::collections::HashMap::new();
+    for &t in threads {
+        let r = find(&mut parent, t);
+        groups.entry(r).or_default().push(t);
+    }
+    let mut out: Vec<Vec<u32>> = groups.into_values().collect();
+    out.sort_by_key(|g| g[0]);
+    out
+}
+
+/// Simulated-annealing *data* placement refinement (the ILP-data-placement
+/// stand-in): random chunk swaps between banks accepted by Metropolis over
+/// Eq. 2. Starts from (and never worsens) the given placement.
+pub fn anneal_data_placement(
+    problem: &PlacementProblem,
+    placement: &Placement,
+    rounds: usize,
+    chunk: u64,
+    seed: u64,
+) -> Placement {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let banks = problem.params.num_banks();
+    let num_vcs = problem.vcs.len();
+    let mut trial = placement.clone();
+    let mut cost = on_chip_latency(problem, &trial);
+    let mut best = trial.clone();
+    let mut best_cost = cost;
+    if num_vcs == 0 {
+        return best;
+    }
+    let t0 = (cost / banks as f64).max(1.0);
+    for round in 0..rounds {
+        let temp = t0 * (1.0 - round as f64 / rounds as f64).max(1e-3);
+        let d1 = rng.gen_range(0..num_vcs);
+        let d2 = rng.gen_range(0..num_vcs);
+        let b1 = rng.gen_range(0..banks);
+        let b2 = rng.gen_range(0..banks);
+        if d1 == d2 || b1 == b2 {
+            continue;
+        }
+        let k = chunk.min(trial.vc_alloc[d1][b1]).min(trial.vc_alloc[d2][b2]);
+        if k == 0 {
+            continue;
+        }
+        trial.vc_alloc[d1][b1] -= k;
+        trial.vc_alloc[d1][b2] += k;
+        trial.vc_alloc[d2][b2] -= k;
+        trial.vc_alloc[d2][b1] += k;
+        let new_cost = on_chip_latency(problem, &trial);
+        if new_cost < cost || rng.gen::<f64>() < ((cost - new_cost) / temp).exp() {
+            cost = new_cost;
+            if cost < best_cost {
+                best_cost = cost;
+                best = trial.clone();
+            }
+        } else {
+            trial.vc_alloc[d1][b1] += k;
+            trial.vc_alloc[d1][b2] -= k;
+            trial.vc_alloc[d2][b2] += k;
+            trial.vc_alloc[d2][b1] -= k;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SystemParams, ThreadInfo, VcInfo, VcKind};
+    use cdcs_cache::MissCurve;
+    use cdcs_mesh::Mesh;
+
+    fn tiny_problem(n: usize, mesh: Mesh) -> PlacementProblem {
+        let params = SystemParams::default_for_mesh(mesh, 1024);
+        let vcs = (0..n)
+            .map(|i| {
+                VcInfo::new(i as u32, VcKind::thread_private(i as u32), MissCurve::flat(100.0))
+            })
+            .collect();
+        let threads =
+            (0..n).map(|i| ThreadInfo::new(i as u32, vec![(i as u32, 100.0)])).collect();
+        PlacementProblem::new(params, vcs, threads).unwrap()
+    }
+
+    /// Data placement with each VC pinned to one distinct bank.
+    fn pinned_placement(n: usize, banks: usize) -> Placement {
+        let mut placement = Placement::empty(n, n, banks);
+        for d in 0..n {
+            placement.vc_alloc[d][banks - 1 - d] = 1024;
+        }
+        placement
+    }
+
+    #[test]
+    fn exhaustive_finds_the_obvious_optimum() {
+        let p = tiny_problem(2, Mesh::new(2, 1));
+        let mut placement = pinned_placement(2, 2);
+        placement.thread_cores = vec![TileId(0), TileId(1)];
+        // Data: vc0 at bank 1, vc1 at bank 0 -> optimal cores are crossed.
+        let cores = exhaustive_thread_placement(&p, &placement);
+        assert_eq!(cores, vec![TileId(1), TileId(0)]);
+    }
+
+    #[test]
+    fn annealing_matches_exhaustive_on_small_instances() {
+        let p = tiny_problem(3, Mesh::new(2, 2));
+        let mut placement = pinned_placement(3, 4);
+        placement.thread_cores = vec![TileId(0), TileId(1), TileId(2)];
+        let exact = exhaustive_thread_placement(&p, &placement);
+        let mut exact_placement = placement.clone();
+        exact_placement.thread_cores = exact;
+        let exact_cost = on_chip_latency(&p, &exact_placement);
+
+        let sa = anneal_thread_placement(&p, &placement, 3000, 42);
+        let mut sa_placement = placement.clone();
+        sa_placement.thread_cores = sa;
+        let sa_cost = on_chip_latency(&p, &sa_placement);
+        assert!(
+            sa_cost <= exact_cost * 1.01 + 1e-9,
+            "SA {sa_cost} vs exact {exact_cost}"
+        );
+    }
+
+    #[test]
+    fn annealing_keeps_threads_on_distinct_cores() {
+        let p = tiny_problem(4, Mesh::new(2, 2));
+        let mut placement = pinned_placement(4, 4);
+        placement.thread_cores = (0..4).map(TileId).collect();
+        let cores = anneal_thread_placement(&p, &placement, 500, 7);
+        let mut seen = std::collections::HashSet::new();
+        for c in cores {
+            assert!(seen.insert(c));
+        }
+    }
+
+    #[test]
+    fn bisection_keeps_processes_together() {
+        // Two 2-thread processes, each with a shared VC.
+        let params = SystemParams::default_for_mesh(Mesh::new(2, 2), 1024);
+        let vcs = vec![
+            VcInfo::new(0, VcKind::process_shared(0), MissCurve::flat(100.0)),
+            VcInfo::new(1, VcKind::process_shared(1), MissCurve::flat(100.0)),
+        ];
+        let threads = vec![
+            ThreadInfo::new(0, vec![(0, 50.0)]),
+            ThreadInfo::new(1, vec![(0, 50.0)]),
+            ThreadInfo::new(2, vec![(1, 50.0)]),
+            ThreadInfo::new(3, vec![(1, 50.0)]),
+        ];
+        let p = PlacementProblem::new(params, vcs, threads).unwrap();
+        let cores = bisection_thread_placement(&p);
+        // Threads 0,1 adjacent; threads 2,3 adjacent.
+        let mesh = &p.params.mesh;
+        assert!(mesh.hops(cores[0], cores[1]) <= 1);
+        assert!(mesh.hops(cores[2], cores[3]) <= 1);
+        // All distinct.
+        let set: std::collections::HashSet<_> = cores.iter().collect();
+        assert_eq!(set.len(), 4);
+    }
+
+    #[test]
+    fn data_annealing_never_worsens() {
+        let p = tiny_problem(3, Mesh::new(2, 2));
+        let mut placement = pinned_placement(3, 4);
+        placement.thread_cores = vec![TileId(0), TileId(1), TileId(2)];
+        let before = on_chip_latency(&p, &placement);
+        let refined = anneal_data_placement(&p, &placement, 2000, 256, 11);
+        let after = on_chip_latency(&p, &refined);
+        assert!(after <= before + 1e-9);
+        refined.check_feasible(&p).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "too large")]
+    fn exhaustive_rejects_big_instances() {
+        let p = tiny_problem(16, Mesh::new(4, 4));
+        let placement = pinned_placement(16, 16);
+        exhaustive_thread_placement(&p, &placement);
+    }
+}

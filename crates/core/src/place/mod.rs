@@ -1,0 +1,61 @@
+//! Data and thread placement (paper §IV-D/E/F).
+//!
+//! The three CDCS placement steps disentangle the circular dependency
+//! between thread and data placement (§IV-B):
+//!
+//! 1. [`optimistic_place`] sketches where VCs should live to avoid capacity
+//!    contention, before thread locations are known (§IV-D, Figs. 6–7).
+//! 2. [`place_threads`] puts each thread at the center of mass of the data
+//!    it accesses, most-constrained threads first (§IV-E).
+//! 3. [`greedy_place`] + [`trade_refine`] produce the final data placement:
+//!    a Jigsaw-style greedy pass, then the bounded outward-spiral trade
+//!    search (§IV-F, Fig. 8).
+//!
+//! [`alternatives`] holds the expensive comparators of §VI-C (exhaustive,
+//! simulated annealing, recursive bisection).
+
+pub mod alternatives;
+mod optimistic;
+mod refine;
+mod thread;
+
+pub use optimistic::{optimistic_place, OptimisticPlacement};
+pub use refine::{greedy_place, trade_refine};
+pub use thread::place_threads;
+
+use crate::PlacementProblem;
+use cdcs_mesh::geometry::{center_of_mass, Point};
+use cdcs_mesh::TileId;
+
+/// Access-weighted cost of placing one line of `vc`'s data in `bank`:
+/// `Σ_t a_{t,d} · round_trip(c_t, bank)` — the paper's `D(VC, b)` scaled by
+/// the VC's total accesses. Used by greedy placement and the trade search.
+pub(crate) fn vc_bank_cost(
+    problem: &PlacementProblem,
+    thread_cores: &[TileId],
+    vc: u32,
+    bank: usize,
+) -> f64 {
+    problem
+        .vc_accessors(vc)
+        .into_iter()
+        .map(|(t, rate)| {
+            rate * problem.params.net_round_trip(thread_cores[t as usize], TileId(bank as u16))
+        })
+        .sum()
+}
+
+/// Center of mass of the threads accessing `vc`, weighted by access rate.
+/// Returns `None` if nothing accesses the VC.
+pub(crate) fn vc_accessor_center(
+    problem: &PlacementProblem,
+    thread_cores: &[TileId],
+    vc: u32,
+) -> Option<Point> {
+    let weighted: Vec<(TileId, f64)> = problem
+        .vc_accessors(vc)
+        .into_iter()
+        .map(|(t, rate)| (thread_cores[t as usize], rate))
+        .collect();
+    center_of_mass(&problem.params.mesh, &weighted)
+}

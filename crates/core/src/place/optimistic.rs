@@ -1,0 +1,214 @@
+//! Optimistic contention-aware VC placement (§IV-D, Figs. 6–7).
+//!
+//! Before thread locations are known, CDCS sketches a data placement that
+//! avoids putting large VCs close together. VCs are placed largest-first;
+//! each is "compactly placed" around the candidate tile with the least
+//! *claimed capacity* under its footprint. Capacity constraints are relaxed
+//! (claims may exceed a bank) — the point is a rough contention map, not a
+//! feasible allocation; feasibility comes later in refined placement.
+//!
+//! Two details the paper leaves open are pinned down for stability (see
+//! `DESIGN.md` §6): the largest-first order quantizes sizes to half-bank
+//! buckets (so monitor noise cannot permute near-equal VCs and reshuffle the
+//! whole chip), and contention ties between candidate tiles break toward the
+//! VC's current accessors rather than by tile id (given equal contention,
+//! staying near the accessing threads is strictly better).
+
+use super::vc_accessor_center;
+use crate::PlacementProblem;
+use cdcs_mesh::geometry::{tiles_by_distance_from_point, Point};
+use cdcs_mesh::{Mesh, TileId, Topology};
+
+/// Result of optimistic placement: a rough center for every VC with data,
+/// plus the per-bank claimed-capacity tally (in bank units).
+#[derive(Debug, Clone)]
+pub struct OptimisticPlacement {
+    /// Per-VC center of mass of the sketched placement; `None` for VCs with
+    /// no allocation.
+    pub centers: Vec<Option<Point>>,
+    /// Claimed capacity per bank, in banks (can exceed 1.0 — constraints are
+    /// relaxed at this step).
+    pub claimed: Vec<f64>,
+}
+
+/// Fractional coverage of banks when `size_banks` of capacity is placed
+/// compactly around `center`: full banks in spiral order, fractional tail.
+fn compact_coverage(mesh: &Mesh, center: Point, size_banks: f64) -> Vec<(TileId, f64)> {
+    let mut remaining = size_banks;
+    let mut cover = Vec::new();
+    for t in tiles_by_distance_from_point(mesh, center) {
+        if remaining <= 0.0 {
+            break;
+        }
+        let take = remaining.min(1.0);
+        cover.push((t, take));
+        remaining -= take;
+    }
+    cover
+}
+
+/// Runs optimistic contention-aware placement for the given VC sizes (in
+/// lines). Larger VCs are placed first ("larger VCs can cause more
+/// contention, while small VCs can fit in a fraction of a bank").
+///
+/// `current_cores`, when given, anchors contention ties toward each VC's
+/// current accessors (see the module docs); pass `None` for the id-order
+/// tie-break.
+///
+/// # Panics
+///
+/// Panics if `sizes.len() != problem.vcs.len()`, or if `current_cores` is
+/// present with the wrong length.
+pub fn optimistic_place(
+    problem: &PlacementProblem,
+    sizes: &[u64],
+    current_cores: Option<&[TileId]>,
+) -> OptimisticPlacement {
+    assert_eq!(sizes.len(), problem.vcs.len(), "one size per VC");
+    if let Some(cores) = current_cores {
+        assert_eq!(cores.len(), problem.threads.len(), "one core per thread");
+    }
+    let mesh = &problem.params.mesh;
+    let n = mesh.num_tiles();
+    let mut claimed = vec![0.0f64; n];
+    let mut centers = vec![None; sizes.len()];
+
+    // Largest-first, with sizes quantized to half-bank buckets so that
+    // measurement noise between near-equal VCs cannot permute the order.
+    let half_bank = (problem.params.bank_lines / 2).max(1);
+    let mut order: Vec<usize> = (0..sizes.len()).collect();
+    order.sort_by_key(|&d| (std::cmp::Reverse(sizes[d] / half_bank), d));
+
+    for &d in &order {
+        if sizes[d] == 0 {
+            continue;
+        }
+        let size_banks = sizes[d] as f64 / problem.params.bank_lines as f64;
+        let anchor = current_cores
+            .and_then(|cores| vc_accessor_center(problem, cores, d as u32));
+        // Evaluate contention centering the VC at every tile; keep the least
+        // contended, breaking near-ties (within 5% of a bank) toward the
+        // anchor, then by tile id.
+        let mut best_tile = TileId(0);
+        let mut best_key = (f64::INFINITY, f64::INFINITY);
+        for t in mesh.tiles() {
+            let c = mesh.coord(t);
+            let center = Point { x: f64::from(c.x), y: f64::from(c.y) };
+            let contention: f64 = compact_coverage(mesh, center, size_banks)
+                .into_iter()
+                .map(|(b, cov)| claimed[b.index()] * cov)
+                .sum();
+            let quantized = (contention / 0.05).round() * 0.05;
+            let anchor_dist = anchor.map_or(0.0, |a| a.manhattan(center));
+            if (quantized, anchor_dist) < best_key {
+                best_key = (quantized, anchor_dist);
+                best_tile = t;
+            }
+        }
+        let c = mesh.coord(best_tile);
+        let center = Point { x: f64::from(c.x), y: f64::from(c.y) };
+        for (b, cov) in compact_coverage(mesh, center, size_banks) {
+            claimed[b.index()] += cov;
+        }
+        centers[d] = Some(center);
+    }
+    OptimisticPlacement { centers, claimed }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SystemParams, ThreadInfo, VcInfo, VcKind};
+    use cdcs_cache::MissCurve;
+
+    fn problem_with_sizes(mesh: Mesh, n_vcs: usize) -> PlacementProblem {
+        let params = SystemParams::default_for_mesh(mesh, 1024);
+        let vcs = (0..n_vcs)
+            .map(|i| {
+                VcInfo::new(i as u32, VcKind::thread_private(i as u32), MissCurve::flat(100.0))
+            })
+            .collect();
+        let threads = (0..n_vcs)
+            .map(|i| ThreadInfo::new(i as u32, vec![(i as u32, 100.0)]))
+            .collect();
+        PlacementProblem::new(params, vcs, threads).unwrap()
+    }
+
+    #[test]
+    fn first_large_vc_gets_a_center() {
+        let p = problem_with_sizes(Mesh::new(4, 4), 1);
+        let out = optimistic_place(&p, &[4096], None);
+        assert!(out.centers[0].is_some());
+        let total_claimed: f64 = out.claimed.iter().sum();
+        assert!((total_claimed - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_large_vcs_repel_each_other() {
+        let p = problem_with_sizes(Mesh::new(4, 4), 2);
+        let out = optimistic_place(&p, &[4096, 4096], None);
+        let a = out.centers[0].unwrap();
+        let b = out.centers[1].unwrap();
+        assert!(a.manhattan(b) >= 2.0, "centers {a:?} and {b:?} too close");
+    }
+
+    #[test]
+    fn many_vcs_spread_claims_evenly() {
+        let p = problem_with_sizes(Mesh::new(4, 4), 16);
+        let out = optimistic_place(&p, &[1024; 16], None);
+        for (b, &c) in out.claimed.iter().enumerate() {
+            assert!(c <= 2.0 + 1e-9, "bank {b} claimed {c}");
+        }
+        let total: f64 = out.claimed.iter().sum();
+        assert!((total - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_size_vcs_have_no_center() {
+        let p = problem_with_sizes(Mesh::new(2, 2), 2);
+        let out = optimistic_place(&p, &[1024, 0], None);
+        assert!(out.centers[0].is_some());
+        assert!(out.centers[1].is_none());
+    }
+
+    #[test]
+    fn larger_vcs_placed_first_claim_the_center() {
+        let p = problem_with_sizes(Mesh::new(5, 5), 2);
+        let out = optimistic_place(&p, &[9 * 1024, 1024], None);
+        let small_center = out.centers[1].unwrap();
+        let small_tile = cdcs_mesh::geometry::nearest_tile(&p.params.mesh, small_center);
+        assert!(
+            out.claimed[small_tile.index()] <= 1.0 + 1e-9,
+            "small VC landed on a contended bank"
+        );
+    }
+
+    #[test]
+    fn anchored_ties_follow_accessors() {
+        // An empty chip: contention is zero everywhere; with an anchor the
+        // VC centers on its accessor's tile rather than tile 0.
+        let p = problem_with_sizes(Mesh::new(4, 4), 1);
+        let cores = vec![TileId(10)];
+        let out = optimistic_place(&p, &[1024], Some(&cores));
+        let c = out.centers[0].unwrap();
+        assert_eq!(cdcs_mesh::geometry::nearest_tile(&p.params.mesh, c), TileId(10));
+    }
+
+    #[test]
+    fn near_equal_sizes_keep_id_order() {
+        // Sizes within the same half-bank bucket must not permute the
+        // placement order: the chosen centers stay identical when sizes
+        // jitter by a few lines (monitor noise).
+        let p = problem_with_sizes(Mesh::new(4, 4), 3);
+        let a = optimistic_place(&p, &[4000, 3990, 3980], None);
+        let b = optimistic_place(&p, &[3980, 4000, 3990], None);
+        assert_eq!(a.centers, b.centers, "noise permuted the placement");
+    }
+
+    #[test]
+    #[should_panic(expected = "one size per VC")]
+    fn size_count_mismatch_panics() {
+        let p = problem_with_sizes(Mesh::new(2, 2), 2);
+        optimistic_place(&p, &[1024], None);
+    }
+}

@@ -1,0 +1,346 @@
+//! Refined data placement: greedy claims plus trades (§IV-F, Fig. 8).
+//!
+//! The greedy pass is Jigsaw's placer: VCs round-robin, each claiming
+//! capacity in the cheapest (most access-local) bank with free space. It is
+//! "a reasonable starting point, but produces sub-optimal placements" —
+//! CDCS then lets VCs *trade* capacity: each VC spirals outward from its
+//! data's center of mass and offers swaps that lower total latency (Eq. 2);
+//! only net-beneficial trades execute, and each VC trades once.
+
+use super::{vc_accessor_center, vc_bank_cost};
+use crate::{Placement, PlacementProblem};
+use cdcs_mesh::geometry::{center_of_mass, tiles_by_distance_from_point};
+use cdcs_mesh::TileId;
+
+/// Jigsaw-style greedy placement: given VC sizes and thread locations, VCs
+/// take turns claiming `chunk`-line pieces of the cheapest bank that still
+/// has free capacity. Returns a feasible [`Placement`].
+///
+/// VCs take turns in id order. (The paper does not fix an order; chunked
+/// round-robin makes the result insensitive to it, and id order — unlike
+/// e.g. access-count order — is stable across epochs, avoiding gratuitous
+/// placement churn from measurement noise.)
+///
+/// # Panics
+///
+/// Panics if `Σ sizes` exceeds total LLC capacity, if `chunk` is zero, or if
+/// `sizes`/`thread_cores` lengths are inconsistent with the problem.
+pub fn greedy_place(
+    problem: &PlacementProblem,
+    sizes: &[u64],
+    thread_cores: &[TileId],
+    chunk: u64,
+) -> Placement {
+    assert!(chunk > 0, "chunk must be non-zero");
+    assert_eq!(sizes.len(), problem.vcs.len(), "one size per VC");
+    assert_eq!(thread_cores.len(), problem.threads.len(), "one core per thread");
+    let banks = problem.params.num_banks();
+    let total: u64 = sizes.iter().sum();
+    assert!(
+        total <= problem.params.bank_lines * banks as u64,
+        "sizes exceed LLC capacity"
+    );
+
+    // Cheapest-first bank order per VC (static: costs depend only on thread
+    // placement). Dataless VCs are skipped.
+    let bank_order: Vec<Vec<usize>> = (0..problem.vcs.len())
+        .map(|d| {
+            let mut order: Vec<usize> = (0..banks).collect();
+            order.sort_by(|&a, &b| {
+                let ca = vc_bank_cost(problem, thread_cores, d as u32, a);
+                let cb = vc_bank_cost(problem, thread_cores, d as u32, b);
+                ca.partial_cmp(&cb).unwrap().then(a.cmp(&b))
+            });
+            order
+        })
+        .collect();
+
+    let mut need: Vec<u64> = sizes.to_vec();
+    let mut cursor = vec![0usize; problem.vcs.len()];
+    let mut free = vec![problem.params.bank_lines; banks];
+    let mut placement = Placement::empty(problem.threads.len(), problem.vcs.len(), banks);
+    placement.thread_cores = thread_cores.to_vec();
+
+    let order: Vec<usize> = (0..problem.vcs.len()).collect();
+
+    loop {
+        let mut progressed = false;
+        for &d in &order {
+            if need[d] == 0 {
+                continue;
+            }
+            // Advance this VC's cursor past full banks (monotone: banks
+            // never regain capacity during the greedy pass).
+            while cursor[d] < banks && free[bank_order[d][cursor[d]]] == 0 {
+                cursor[d] += 1;
+            }
+            let b = bank_order[d][cursor[d]];
+            let take = chunk.min(need[d]).min(free[b]);
+            placement.vc_alloc[d][b] += take;
+            free[b] -= take;
+            need[d] -= take;
+            progressed = true;
+        }
+        if !progressed {
+            break;
+        }
+    }
+    placement
+}
+
+/// The trade search (§IV-F): every VC, once, spirals outward from its data's
+/// center of mass, collecting "desirable" banks (where it has unclaimed
+/// room) and trying to move its far data into closer desirable banks — into
+/// free space if available, else by swapping capacity with the VC occupying
+/// it. Only trades with negative net latency change (Eq. 2) execute.
+///
+/// Returns the number of executed moves/trades.
+pub fn trade_refine(problem: &PlacementProblem, placement: &mut Placement) -> usize {
+    let mesh = &problem.params.mesh;
+    let banks = problem.params.num_banks();
+    let bank_lines = problem.params.bank_lines;
+    let num_vcs = problem.vcs.len();
+    let cores = placement.thread_cores.clone();
+
+    // Per-(vc, bank) placement cost per line; reused many times below.
+    let cost: Vec<Vec<f64>> = (0..num_vcs)
+        .map(|d| (0..banks).map(|b| vc_bank_cost(problem, &cores, d as u32, b)).collect())
+        .collect();
+
+    let mut free: Vec<u64> =
+        (0..banks).map(|b| bank_lines - placement.bank_used(b)).collect();
+    let mut trades = 0usize;
+
+    for d in 0..num_vcs {
+        let s_d = placement.vc_total(d as u32);
+        if s_d == 0 {
+            continue;
+        }
+        // Spiral center: the access-weighted center of the VC's accessor
+        // threads — the point its data ideally sits at. (Spiraling from the
+        // data's own center of mass would see the data as already central;
+        // the accessor center is what "closer" means in Eq. 2.) Dataless or
+        // accessor-less VCs fall back to their data's center of mass.
+        let com = match vc_accessor_center(problem, &cores, d as u32) {
+            Some(c) => c,
+            None => {
+                let weighted: Vec<(TileId, f64)> = placement
+                    .vc_banks(d as u32)
+                    .into_iter()
+                    .map(|(b, l)| (TileId(b as u16), l as f64))
+                    .collect();
+                match center_of_mass(mesh, &weighted) {
+                    Some(c) => c,
+                    None => continue,
+                }
+            }
+        };
+
+        let mut remaining_data: usize = placement.vc_banks(d as u32).len();
+        let mut desirable: Vec<usize> = Vec::new();
+        for t in tiles_by_distance_from_point(mesh, com) {
+            if remaining_data == 0 {
+                break; // seen all of this VC's data
+            }
+            let b = t.index();
+            let had_data_here = placement.vc_alloc[d][b] > 0;
+            // Try to move data at b into closer desirable banks.
+            if had_data_here {
+                remaining_data -= 1;
+                for &b2 in &desirable {
+                    if placement.vc_alloc[d][b] == 0 {
+                        break;
+                    }
+                    if b2 == b {
+                        continue;
+                    }
+                    let gain_per_line = (cost[d][b2] - cost[d][b]) / s_d as f64;
+                    if gain_per_line >= -1e-12 {
+                        continue; // not closer in access-weighted terms
+                    }
+                    // 1) Move into free space.
+                    let k_free = placement.vc_alloc[d][b].min(free[b2]);
+                    if k_free > 0 {
+                        placement.vc_alloc[d][b] -= k_free;
+                        placement.vc_alloc[d][b2] += k_free;
+                        free[b2] -= k_free;
+                        free[b] += k_free;
+                        trades += 1;
+                    }
+                    // 2) Trade with occupants of b2.
+                    for d2 in 0..num_vcs {
+                        if d2 == d || placement.vc_alloc[d][b] == 0 {
+                            continue;
+                        }
+                        let avail = placement.vc_alloc[d2][b2];
+                        if avail == 0 {
+                            continue;
+                        }
+                        let s_d2 = placement.vc_total(d2 as u32);
+                        if s_d2 == 0 {
+                            continue;
+                        }
+                        let k = placement.vc_alloc[d][b].min(avail);
+                        let delta1 = k as f64 * (cost[d][b2] - cost[d][b]) / s_d as f64;
+                        let delta2 = k as f64 * (cost[d2][b] - cost[d2][b2]) / s_d2 as f64;
+                        if delta1 + delta2 < -1e-9 {
+                            placement.vc_alloc[d][b] -= k;
+                            placement.vc_alloc[d][b2] += k;
+                            placement.vc_alloc[d2][b2] -= k;
+                            placement.vc_alloc[d2][b] += k;
+                            trades += 1;
+                        }
+                    }
+                }
+            }
+            // Add b to the desirable list if this VC could hold more here.
+            if placement.vc_alloc[d][b] < bank_lines {
+                desirable.push(b);
+            }
+        }
+    }
+    trades
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::on_chip_latency;
+    use crate::{SystemParams, ThreadInfo, VcInfo, VcKind};
+    use cdcs_cache::MissCurve;
+    use cdcs_mesh::Mesh;
+
+    fn problem(n_threads: usize, mesh: Mesh) -> PlacementProblem {
+        let params = SystemParams::default_for_mesh(mesh, 1024);
+        let vcs = (0..n_threads)
+            .map(|i| {
+                VcInfo::new(i as u32, VcKind::thread_private(i as u32), MissCurve::flat(100.0))
+            })
+            .collect();
+        let threads = (0..n_threads)
+            .map(|i| ThreadInfo::new(i as u32, vec![(i as u32, 100.0)]))
+            .collect();
+        PlacementProblem::new(params, vcs, threads).unwrap()
+    }
+
+    #[test]
+    fn greedy_places_local_first() {
+        let p = problem(2, Mesh::new(2, 2));
+        let cores = vec![TileId(0), TileId(3)];
+        let placement = greedy_place(&p, &[512, 512], &cores, 256);
+        // Each VC fits in its accessor's local bank.
+        assert_eq!(placement.vc_alloc[0][0], 512);
+        assert_eq!(placement.vc_alloc[1][3], 512);
+        placement.check_feasible(&p).unwrap();
+    }
+
+    #[test]
+    fn greedy_respects_capacity_and_spills_nearby() {
+        let p = problem(1, Mesh::new(2, 2));
+        let cores = vec![TileId(0)];
+        // Needs 2.5 banks.
+        let placement = greedy_place(&p, &[2560], &cores, 256);
+        placement.check_feasible(&p).unwrap();
+        assert_eq!(placement.vc_total(0), 2560);
+        assert_eq!(placement.vc_alloc[0][0], 1024, "local bank filled first");
+        // Remainder in 1-hop banks (1 and 2), not the 2-hop bank 3.
+        assert_eq!(placement.vc_alloc[0][3], 0);
+    }
+
+    #[test]
+    fn greedy_contention_splits_between_threads() {
+        // Two intense threads on adjacent tiles, each needing a full bank:
+        // both get their local bank.
+        let p = problem(2, Mesh::new(2, 1));
+        let cores = vec![TileId(0), TileId(1)];
+        let placement = greedy_place(&p, &[1024, 1024], &cores, 256);
+        assert_eq!(placement.vc_alloc[0][0], 1024);
+        assert_eq!(placement.vc_alloc[1][1], 1024);
+    }
+
+    #[test]
+    fn trade_improves_crossed_placement() {
+        // Hand-build a pathological placement: each VC's data in the
+        // *other* thread's local bank. The trade pass must uncross it.
+        let p = problem(2, Mesh::new(2, 1));
+        let cores = vec![TileId(0), TileId(1)];
+        let mut placement = Placement::empty(2, 2, 2);
+        placement.thread_cores = cores;
+        placement.vc_alloc[0][1] = 1024; // thread 0's data at bank 1
+        placement.vc_alloc[1][0] = 1024; // thread 1's data at bank 0
+        let before = on_chip_latency(&p, &placement);
+        let trades = trade_refine(&p, &mut placement);
+        let after = on_chip_latency(&p, &placement);
+        assert!(trades > 0, "no trades executed");
+        assert!(after < before, "latency did not improve: {before} -> {after}");
+        assert_eq!(placement.vc_alloc[0][0], 1024);
+        assert_eq!(placement.vc_alloc[1][1], 1024);
+        placement.check_feasible(&p).unwrap();
+    }
+
+    #[test]
+    fn trade_uses_free_space_without_swapping() {
+        let p = problem(1, Mesh::new(2, 1));
+        let mut placement = Placement::empty(1, 1, 2);
+        placement.thread_cores = vec![TileId(0)];
+        placement.vc_alloc[0][1] = 512; // data 1 hop away, bank 0 free
+        let trades = trade_refine(&p, &mut placement);
+        assert!(trades > 0);
+        assert_eq!(placement.vc_alloc[0][0], 512, "data must move into free local bank");
+    }
+
+    #[test]
+    fn trade_never_worsens_latency() {
+        // Property-style check over a few seeds: trades are monotone
+        // improvements of Eq. 2.
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        for seed in 0..5u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let n = 4;
+            let p = problem(n, Mesh::new(3, 3));
+            let mut placement = Placement::empty(n, n, 9);
+            // Random distinct cores.
+            let mut tiles: Vec<u16> = (0..9).collect();
+            for i in 0..n {
+                let j = rng.gen_range(i..tiles.len());
+                tiles.swap(i, j);
+                placement.thread_cores[i] = TileId(tiles[i]);
+            }
+            // Random feasible allocation.
+            let mut free = vec![1024u64; 9];
+            for d in 0..n {
+                let mut need = 1024u64;
+                while need > 0 {
+                    let b = rng.gen_range(0..9);
+                    if free[b] == 0 {
+                        continue;
+                    }
+                    let k = need.min(free[b]).min(256);
+                    placement.vc_alloc[d][b] += k;
+                    free[b] -= k;
+                    need -= k;
+                }
+            }
+            let before = on_chip_latency(&p, &placement);
+            trade_refine(&p, &mut placement);
+            let after = on_chip_latency(&p, &placement);
+            assert!(after <= before + 1e-6, "seed {seed}: {before} -> {after}");
+            placement.check_feasible(&p).unwrap();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed LLC capacity")]
+    fn oversized_request_panics() {
+        let p = problem(1, Mesh::new(2, 1));
+        greedy_place(&p, &[4096], &[TileId(0)], 256);
+    }
+
+    #[test]
+    fn zero_size_vcs_are_skipped() {
+        let p = problem(2, Mesh::new(2, 1));
+        let placement = greedy_place(&p, &[0, 512], &[TileId(0), TileId(1)], 256);
+        assert_eq!(placement.vc_total(0), 0);
+        assert_eq!(placement.vc_total(1), 512);
+    }
+}

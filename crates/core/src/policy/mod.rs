@@ -1,0 +1,354 @@
+//! Complete per-epoch planners and baseline policies.
+//!
+//! * [`CdcsPlanner`] — the paper's four-step reconfiguration (Fig. 4), with
+//!   per-step toggles used by the Fig. 12 factor analysis (+L, +T, +D).
+//! * [`JigsawPlanner`] — the Jigsaw baseline: miss-driven allocation and
+//!   greedy placement, threads left where the external scheduler pinned
+//!   them.
+//! * [`clustered_cores`] / [`random_cores`] — the two fixed thread
+//!   schedulers the paper pairs with Jigsaw (Jigsaw+C, Jigsaw+R).
+//! * [`RNucaPolicy`] — R-NUCA's classification-based bank mapping (private →
+//!   local bank, shared → chip-wide interleaving, instructions → rotational
+//!   interleaving). S-NUCA needs no planner: lines hash over all banks.
+
+use crate::alloc::{latency_aware_sizes, miss_driven_sizes};
+use crate::place::{greedy_place, optimistic_place, place_threads, trade_refine};
+use crate::{Placement, PlacementProblem};
+use cdcs_mesh::{Coord, Mesh, TileId, Topology};
+use rand::rngs::StdRng;
+use rand::{seq::SliceRandom, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A per-epoch planner: given the epoch's measured problem and the current
+/// thread placement, produce the next placement.
+pub trait Planner {
+    /// Plans the next epoch. `current_cores` is where threads run now;
+    /// planners that do not move threads must return it unchanged.
+    fn plan(&self, problem: &PlacementProblem, current_cores: &[TileId]) -> Placement;
+
+    /// Short display name (used by the experiment harness).
+    fn name(&self) -> &'static str;
+}
+
+/// The CDCS planner (§IV, Fig. 4), with per-step toggles for the Fig. 12
+/// factor analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CdcsPlanner {
+    /// Step 1 toggle (+L): allocate from total-latency curves instead of
+    /// miss curves.
+    pub latency_aware: bool,
+    /// Step 3 toggle (+T): place threads (otherwise keep `current_cores`).
+    pub place_threads: bool,
+    /// Step 4 toggle (+D): run the trade refinement after greedy placement.
+    pub refine_trades: bool,
+    /// Allocation granularity in lines (64 KB = 1024 lines in the paper).
+    pub granularity: u64,
+    /// Greedy placement chunk in lines.
+    pub chunk: u64,
+    /// Thread-migration hysteresis in hops (see
+    /// [`crate::place::place_threads`]); 0 reproduces the paper's literal
+    /// recomputation.
+    pub stability_bias: f64,
+}
+
+impl Default for CdcsPlanner {
+    /// Full CDCS: +L, +T and +D enabled, 64 KB granularity, 1-hop migration
+    /// hysteresis.
+    fn default() -> Self {
+        CdcsPlanner {
+            latency_aware: true,
+            place_threads: true,
+            refine_trades: true,
+            granularity: 1024,
+            chunk: 1024,
+            stability_bias: 1.0,
+        }
+    }
+}
+
+impl CdcsPlanner {
+    /// The Fig. 12 variants: Jigsaw+R plus individual CDCS techniques.
+    /// `(latency_aware, place_threads, refine_trades)`.
+    pub fn with_features(latency_aware: bool, place_threads: bool, refine_trades: bool) -> Self {
+        CdcsPlanner { latency_aware, place_threads, refine_trades, ..Self::default() }
+    }
+
+    /// Convenience: plans with threads initially at tiles `0..T` (only
+    /// sensible when `place_threads` is on or for tests).
+    pub fn plan(&self, problem: &PlacementProblem) -> Placement {
+        let cores: Vec<TileId> = (0..problem.threads.len() as u16).map(TileId).collect();
+        Planner::plan(self, problem, &cores)
+    }
+}
+
+impl Planner for CdcsPlanner {
+    fn plan(&self, problem: &PlacementProblem, current_cores: &[TileId]) -> Placement {
+        // Step 1: capacity allocation (latency-aware or miss-driven).
+        let sizes = if self.latency_aware {
+            latency_aware_sizes(problem, self.granularity)
+        } else {
+            miss_driven_sizes(problem, self.granularity)
+        };
+        // Step 2: optimistic contention-aware VC placement, anchored to the
+        // current cores on contention ties.
+        let optimistic = optimistic_place(problem, &sizes, Some(current_cores));
+        // Step 3: thread placement.
+        let cores = if self.place_threads {
+            place_threads(problem, &sizes, &optimistic, Some(current_cores), self.stability_bias)
+        } else {
+            current_cores.to_vec()
+        };
+        // Step 4: refined VC placement (greedy start + trades).
+        let mut placement = greedy_place(problem, &sizes, &cores, self.chunk);
+        if self.refine_trades {
+            trade_refine(problem, &mut placement);
+        }
+        placement
+    }
+
+    fn name(&self) -> &'static str {
+        match (self.latency_aware, self.place_threads, self.refine_trades) {
+            (true, true, true) => "CDCS",
+            (true, false, false) => "Jigsaw+L",
+            (false, true, false) => "Jigsaw+T",
+            (false, false, true) => "Jigsaw+D",
+            (false, false, false) => "Jigsaw-core",
+            _ => "CDCS-variant",
+        }
+    }
+}
+
+/// The Jigsaw baseline (§III of the paper, [Beckmann & Sanchez, PACT'13]):
+/// miss-driven Peekahead allocation plus greedy placement. Threads stay
+/// where the external scheduler put them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JigsawPlanner {
+    /// Allocation granularity in lines.
+    pub granularity: u64,
+    /// Greedy placement chunk in lines.
+    pub chunk: u64,
+}
+
+impl Default for JigsawPlanner {
+    fn default() -> Self {
+        JigsawPlanner { granularity: 1024, chunk: 1024 }
+    }
+}
+
+impl Planner for JigsawPlanner {
+    fn plan(&self, problem: &PlacementProblem, current_cores: &[TileId]) -> Placement {
+        let sizes = miss_driven_sizes(problem, self.granularity);
+        greedy_place(problem, &sizes, current_cores, self.chunk)
+    }
+
+    fn name(&self) -> &'static str {
+        "Jigsaw"
+    }
+}
+
+/// Clustered thread scheduling: threads pinned to tiles in row-major order,
+/// so consecutive threads (same process / same benchmark in our mixes) sit
+/// in adjacent tiles — the §II-B "grouped by type" scheduler (Jigsaw+C).
+pub fn clustered_cores(num_threads: usize, mesh: &Mesh) -> Vec<TileId> {
+    assert!(num_threads <= mesh.num_tiles(), "more threads than tiles");
+    (0..num_threads as u16).map(TileId).collect()
+}
+
+/// Random thread scheduling (Jigsaw+R): a seeded permutation of tiles,
+/// pinned at initialization (§VI-A).
+pub fn random_cores(num_threads: usize, mesh: &Mesh, seed: u64) -> Vec<TileId> {
+    assert!(num_threads <= mesh.num_tiles(), "more threads than tiles");
+    let mut tiles = mesh.tiles();
+    let mut rng = StdRng::seed_from_u64(seed);
+    tiles.shuffle(&mut rng);
+    tiles.truncate(num_threads);
+    tiles
+}
+
+/// R-NUCA's data classes (§II-A): the policy specializes placement per
+/// class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RnucaClass {
+    /// Thread-private data: mapped to the accessing core's local bank.
+    Private,
+    /// Data shared by several threads: interleaved across all banks.
+    Shared,
+    /// Instructions (code pages): rotationally interleaved over a small
+    /// cluster of nearby banks.
+    Instruction,
+}
+
+/// R-NUCA bank mapping [Hardavellas et al., ISCA'09], shared-baseline
+/// variant: no partitioning, placement decided per access class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RNucaPolicy {
+    /// Rotational-interleaving cluster width (paper uses 4-way).
+    pub rotation_ways: u16,
+}
+
+impl Default for RNucaPolicy {
+    fn default() -> Self {
+        RNucaPolicy { rotation_ways: 4 }
+    }
+}
+
+impl RNucaPolicy {
+    /// The bank an access maps to.
+    ///
+    /// * `Private` → the accessing tile's own bank (minimal latency);
+    /// * `Shared` → address-interleaved over the whole chip;
+    /// * `Instruction` → rotational interleaving: the address picks one bank
+    ///   out of a `rotation_ways`-size neighbourhood anchored at the
+    ///   accessing tile, so nearby cores share code capacity without chip-
+    ///   wide traffic.
+    pub fn bank_for(
+        &self,
+        class: RnucaClass,
+        line: cdcs_cache::Line,
+        local: TileId,
+        mesh: &Mesh,
+    ) -> TileId {
+        match class {
+            RnucaClass::Private => local,
+            RnucaClass::Shared => {
+                TileId(cdcs_cache::hash::bucket(line.0, mesh.num_tiles()) as u16)
+            }
+            RnucaClass::Instruction => {
+                // 2x2 cluster anchored at the local tile's even coordinates;
+                // the hash rotates within the cluster.
+                let c = mesh.coord(local);
+                let base = Coord { x: c.x & !1, y: c.y & !1 };
+                let pick = cdcs_cache::hash::bucket(line.0, self.rotation_ways as usize);
+                let dx = (pick & 1) as u16;
+                let dy = (pick >> 1) as u16;
+                let x = (base.x + dx).min(mesh.cols() - 1);
+                let y = (base.y + dy).min(mesh.rows() - 1);
+                mesh.tile_at(Coord { x, y })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::{on_chip_latency, total_latency};
+    use crate::{SystemParams, ThreadInfo, VcInfo, VcKind};
+    use cdcs_cache::{Line, MissCurve};
+
+    /// A contention-heavy scenario: four omnet-like threads (big cliffy
+    /// VCs) and four streaming threads on a 4x4 chip.
+    fn contended_problem() -> PlacementProblem {
+        let params = SystemParams::default_for_mesh(Mesh::new(4, 4), 1024);
+        let mut vcs = Vec::new();
+        let mut threads = Vec::new();
+        for i in 0..4u32 {
+            vcs.push(VcInfo::new(
+                i,
+                VcKind::thread_private(i),
+                MissCurve::new(vec![(0.0, 1000.0), (3072.0, 50.0)]),
+            ));
+            threads.push(ThreadInfo::new(i, vec![(i, 1000.0)]));
+        }
+        for i in 4..8u32 {
+            vcs.push(VcInfo::new(i, VcKind::thread_private(i), MissCurve::flat(500.0)));
+            threads.push(ThreadInfo::new(i, vec![(i, 500.0)]));
+        }
+        PlacementProblem::new(params, vcs, threads).unwrap()
+    }
+
+    #[test]
+    fn cdcs_beats_jigsaw_clustered_on_contended_mix() {
+        let p = contended_problem();
+        let clustered = clustered_cores(8, &p.params.mesh);
+        let jigsaw = JigsawPlanner::default().plan(&p, &clustered);
+        let cdcs = Planner::plan(&CdcsPlanner::default(), &p, &clustered);
+        jigsaw.check_feasible(&p).unwrap();
+        cdcs.check_feasible(&p).unwrap();
+        let (tj, tc) = (total_latency(&p, &jigsaw), total_latency(&p, &cdcs));
+        assert!(tc < tj, "CDCS {tc} must beat Jigsaw+C {tj}");
+    }
+
+    #[test]
+    fn feature_toggles_compose() {
+        let p = contended_problem();
+        let pinned = clustered_cores(8, &p.params.mesh);
+        let base = Planner::plan(&CdcsPlanner::with_features(false, false, false), &p, &pinned);
+        let with_t = Planner::plan(&CdcsPlanner::with_features(false, true, false), &p, &pinned);
+        // +T must not break feasibility and must not increase on-chip
+        // latency on this contended mix.
+        base.check_feasible(&p).unwrap();
+        with_t.check_feasible(&p).unwrap();
+        assert!(on_chip_latency(&p, &with_t) <= on_chip_latency(&p, &base) + 1e-6);
+    }
+
+    #[test]
+    fn jigsaw_does_not_move_threads() {
+        let p = contended_problem();
+        let cores = random_cores(8, &p.params.mesh, 99);
+        let placement = JigsawPlanner::default().plan(&p, &cores);
+        assert_eq!(placement.thread_cores, cores);
+    }
+
+    #[test]
+    fn cdcs_moves_threads() {
+        let p = contended_problem();
+        let cores = clustered_cores(8, &p.params.mesh);
+        let placement = Planner::plan(&CdcsPlanner::default(), &p, &cores);
+        assert_ne!(placement.thread_cores, cores, "CDCS should re-place threads");
+    }
+
+    #[test]
+    fn schedulers_produce_distinct_tiles() {
+        let mesh = Mesh::new(4, 4);
+        for cores in [clustered_cores(10, &mesh), random_cores(10, &mesh, 3)] {
+            let set: std::collections::HashSet<_> = cores.iter().collect();
+            assert_eq!(set.len(), 10);
+        }
+    }
+
+    #[test]
+    fn random_cores_deterministic_per_seed() {
+        let mesh = Mesh::new(4, 4);
+        assert_eq!(random_cores(8, &mesh, 5), random_cores(8, &mesh, 5));
+        assert_ne!(random_cores(8, &mesh, 5), random_cores(8, &mesh, 6));
+    }
+
+    #[test]
+    fn rnuca_private_is_local() {
+        let mesh = Mesh::new(4, 4);
+        let policy = RNucaPolicy::default();
+        for t in mesh.tiles() {
+            assert_eq!(policy.bank_for(RnucaClass::Private, Line(123), t, &mesh), t);
+        }
+    }
+
+    #[test]
+    fn rnuca_shared_spreads_over_chip() {
+        let mesh = Mesh::new(4, 4);
+        let policy = RNucaPolicy::default();
+        let mut seen = std::collections::HashSet::new();
+        for a in 0..1000u64 {
+            seen.insert(policy.bank_for(RnucaClass::Shared, Line(a), TileId(0), &mesh));
+        }
+        assert_eq!(seen.len(), 16, "shared data must hit every bank");
+    }
+
+    #[test]
+    fn rnuca_instructions_stay_in_cluster() {
+        let mesh = Mesh::new(4, 4);
+        let policy = RNucaPolicy::default();
+        let local = TileId(5); // coord (1,1): cluster anchored at (0,0)
+        for a in 0..100u64 {
+            let b = policy.bank_for(RnucaClass::Instruction, Line(a), local, &mesh);
+            let c = mesh.coord(b);
+            assert!(c.x <= 1 && c.y <= 1, "instruction bank {b} outside cluster");
+        }
+    }
+
+    #[test]
+    fn planner_names_are_stable() {
+        assert_eq!(Planner::name(&CdcsPlanner::default()), "CDCS");
+        assert_eq!(Planner::name(&JigsawPlanner::default()), "Jigsaw");
+    }
+}

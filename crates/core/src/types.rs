@@ -1,0 +1,392 @@
+//! Problem and solution types shared by all planners.
+
+use cdcs_cache::MissCurve;
+use cdcs_mesh::{Mesh, NocConfig, TileId, Topology};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a virtual cache (VC) within one epoch's problem.
+pub type VcId = u32;
+
+/// Identifier of a thread within one epoch's problem (dense, `0..T`).
+pub type ThreadId = u32;
+
+/// What a virtual cache holds, mirroring the paper's three VC classes (§III).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum VcKind {
+    /// Data accessed by a single thread.
+    ThreadPrivate {
+        /// The owning thread.
+        thread: ThreadId,
+    },
+    /// Data shared by the threads of one process.
+    ProcessShared {
+        /// Dense process index within the mix.
+        process: u32,
+    },
+    /// Data shared across processes.
+    Global,
+}
+
+impl VcKind {
+    /// Convenience constructor for a thread-private VC.
+    pub fn thread_private(thread: ThreadId) -> Self {
+        VcKind::ThreadPrivate { thread }
+    }
+
+    /// Convenience constructor for a per-process VC.
+    pub fn process_shared(process: u32) -> Self {
+        VcKind::ProcessShared { process }
+    }
+}
+
+/// One virtual cache's epoch profile: its miss curve and who accesses it.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct VcInfo {
+    /// VC id; must equal its index in [`PlacementProblem::vcs`].
+    pub id: VcId,
+    /// VC class.
+    pub kind: VcKind,
+    /// Miss curve over capacity in lines, measured by this VC's GMON over
+    /// the last epoch. `curve.at_zero()` is the VC's total accesses.
+    pub curve: MissCurve,
+}
+
+impl VcInfo {
+    /// Creates a `VcInfo`.
+    pub fn new(id: VcId, kind: VcKind, curve: MissCurve) -> Self {
+        VcInfo { id, kind, curve }
+    }
+
+    /// Total accesses to this VC in the epoch (`misses at zero capacity`).
+    pub fn accesses(&self) -> f64 {
+        self.curve.at_zero()
+    }
+}
+
+/// One thread's epoch profile: the VCs it accesses and how often.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ThreadInfo {
+    /// Thread id; must equal its index in [`PlacementProblem::threads`].
+    pub id: ThreadId,
+    /// `(vc, accesses)` pairs — the paper's access rates `a_{t,d}` (§IV-A).
+    pub vc_accesses: Vec<(VcId, f64)>,
+}
+
+impl ThreadInfo {
+    /// Creates a `ThreadInfo`.
+    pub fn new(id: ThreadId, vc_accesses: Vec<(VcId, f64)>) -> Self {
+        ThreadInfo { id, vc_accesses }
+    }
+
+    /// Total LLC accesses issued by this thread in the epoch.
+    pub fn total_accesses(&self) -> f64 {
+        self.vc_accesses.iter().map(|&(_, a)| a).sum()
+    }
+}
+
+/// Fixed system parameters the planners need (a subset of the paper's
+/// Table 2).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SystemParams {
+    /// The chip fabric; banks are co-located with tiles (bank `b` at tile
+    /// `b`).
+    pub mesh: Mesh,
+    /// Capacity of each LLC bank, in lines (512 KB banks → 8192 lines).
+    pub bank_lines: u64,
+    /// NoC timing.
+    pub noc: NocConfig,
+    /// Average latency of an LLC miss (memory access), in cycles, including
+    /// network to the memory controllers (§IV-A `MemLatency`).
+    pub mem_latency: f64,
+    /// LLC bank access latency in cycles (Table 2: 9 cycles).
+    pub bank_latency: f64,
+}
+
+impl SystemParams {
+    /// Paper-flavoured defaults for a given mesh and bank size: 3/1-cycle
+    /// NoC, 9-cycle banks, and a 120-cycle zero-load memory latency plus the
+    /// mesh-average network distance to the edge controllers.
+    pub fn default_for_mesh(mesh: Mesh, bank_lines: u64) -> Self {
+        let noc = NocConfig::default();
+        // Average one-way distance to a memory controller, both directions.
+        let mc = cdcs_mesh::MemCtrlPlacement::edges(&mesh, 8);
+        let tiles = mesh.tiles();
+        let avg_mc_hops: f64 = tiles
+            .iter()
+            .map(|&t| mc.mean_hops_from(&mesh, t))
+            .sum::<f64>()
+            / tiles.len() as f64;
+        SystemParams {
+            mesh,
+            bank_lines,
+            noc,
+            mem_latency: 120.0 + f64::from(noc.round_trip_latency(avg_mc_hops.round() as u32)),
+            bank_latency: 9.0,
+        }
+    }
+
+    /// Number of banks (= tiles).
+    pub fn num_banks(&self) -> usize {
+        self.mesh.num_tiles()
+    }
+
+    /// Total LLC capacity in lines.
+    pub fn total_lines(&self) -> u64 {
+        self.bank_lines * self.num_banks() as u64
+    }
+
+    /// Round-trip network latency in cycles between a core tile and a bank.
+    pub fn net_round_trip(&self, core: TileId, bank: TileId) -> f64 {
+        f64::from(self.noc.round_trip_latency(self.mesh.hops(core, bank)))
+    }
+}
+
+/// A complete epoch optimization input.
+#[derive(Debug, Clone)]
+pub struct PlacementProblem {
+    /// System parameters.
+    pub params: SystemParams,
+    /// Virtual caches, indexed by [`VcId`].
+    pub vcs: Vec<VcInfo>,
+    /// Threads, indexed by [`ThreadId`].
+    pub threads: Vec<ThreadInfo>,
+}
+
+impl PlacementProblem {
+    /// Builds and validates a problem.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if ids are not dense, thread access lists reference
+    /// unknown VCs, or there are more threads than cores.
+    pub fn new(
+        params: SystemParams,
+        vcs: Vec<VcInfo>,
+        threads: Vec<ThreadInfo>,
+    ) -> Result<Self, String> {
+        for (i, vc) in vcs.iter().enumerate() {
+            if vc.id as usize != i {
+                return Err(format!("vc id {} at index {i}", vc.id));
+            }
+        }
+        for (i, t) in threads.iter().enumerate() {
+            if t.id as usize != i {
+                return Err(format!("thread id {} at index {i}", t.id));
+            }
+            for &(vc, a) in &t.vc_accesses {
+                if vc as usize >= vcs.len() {
+                    return Err(format!("thread {i} references unknown vc {vc}"));
+                }
+                if !a.is_finite() || a < 0.0 {
+                    return Err(format!("thread {i} has invalid access rate {a}"));
+                }
+            }
+        }
+        if threads.len() > params.mesh.num_tiles() {
+            return Err(format!(
+                "{} threads exceed {} cores",
+                threads.len(),
+                params.mesh.num_tiles()
+            ));
+        }
+        Ok(PlacementProblem { params, vcs, threads })
+    }
+
+    /// Total accesses to VC `d` across all threads (`Σ_t a_{t,d}`).
+    pub fn vc_accesses(&self, vc: VcId) -> f64 {
+        self.threads
+            .iter()
+            .flat_map(|t| t.vc_accesses.iter())
+            .filter(|&&(d, _)| d == vc)
+            .map(|&(_, a)| a)
+            .sum()
+    }
+
+    /// The threads accessing VC `d`, with their rates.
+    pub fn vc_accessors(&self, vc: VcId) -> Vec<(ThreadId, f64)> {
+        self.threads
+            .iter()
+            .filter_map(|t| {
+                let rate: f64 = t
+                    .vc_accesses
+                    .iter()
+                    .filter(|&&(d, _)| d == vc)
+                    .map(|&(_, a)| a)
+                    .sum();
+                (rate > 0.0).then_some((t.id, rate))
+            })
+            .collect()
+    }
+}
+
+/// A complete epoch solution: where every thread runs and how every VC's
+/// capacity is spread over banks.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Placement {
+    /// Core tile of each thread (indexed by [`ThreadId`]).
+    pub thread_cores: Vec<TileId>,
+    /// `vc_alloc[vc][bank]` — lines of bank `bank` allocated to `vc`
+    /// (the paper's `s_{d,b}`, §IV-A).
+    pub vc_alloc: Vec<Vec<u64>>,
+}
+
+impl Placement {
+    /// An empty placement for `num_vcs` VCs over `num_banks` banks with all
+    /// threads on tile 0.
+    pub fn empty(num_threads: usize, num_vcs: usize, num_banks: usize) -> Self {
+        Placement {
+            thread_cores: vec![TileId(0); num_threads],
+            vc_alloc: vec![vec![0; num_banks]; num_vcs],
+        }
+    }
+
+    /// Total allocation of a VC across banks, in lines.
+    pub fn vc_total(&self, vc: VcId) -> u64 {
+        self.vc_alloc[vc as usize].iter().sum()
+    }
+
+    /// Lines of `bank` claimed across all VCs.
+    pub fn bank_used(&self, bank: usize) -> u64 {
+        self.vc_alloc.iter().map(|per_bank| per_bank[bank]).sum()
+    }
+
+    /// Verifies the placement against a problem: per-bank capacity respected,
+    /// every thread on a distinct core, vector shapes consistent.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn check_feasible(&self, problem: &PlacementProblem) -> Result<(), String> {
+        if self.thread_cores.len() != problem.threads.len() {
+            return Err("thread count mismatch".into());
+        }
+        if self.vc_alloc.len() != problem.vcs.len() {
+            return Err("vc count mismatch".into());
+        }
+        let banks = problem.params.num_banks();
+        for (vc, per_bank) in self.vc_alloc.iter().enumerate() {
+            if per_bank.len() != banks {
+                return Err(format!("vc {vc} has {} bank entries", per_bank.len()));
+            }
+        }
+        for b in 0..banks {
+            let used = self.bank_used(b);
+            if used > problem.params.bank_lines {
+                return Err(format!(
+                    "bank {b} over-subscribed: {used} > {}",
+                    problem.params.bank_lines
+                ));
+            }
+        }
+        let mut seen = vec![false; problem.params.mesh.num_tiles()];
+        for (t, &core) in self.thread_cores.iter().enumerate() {
+            if core.index() >= seen.len() {
+                return Err(format!("thread {t} on out-of-range tile {core}"));
+            }
+            if seen[core.index()] {
+                return Err(format!("two threads on tile {core}"));
+            }
+            seen[core.index()] = true;
+        }
+        Ok(())
+    }
+
+    /// The banks holding data of `vc`, with allocated lines.
+    pub fn vc_banks(&self, vc: VcId) -> Vec<(usize, u64)> {
+        self.vc_alloc[vc as usize]
+            .iter()
+            .enumerate()
+            .filter(|&(_, &l)| l > 0)
+            .map(|(b, &l)| (b, l))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_problem() -> PlacementProblem {
+        let params = SystemParams::default_for_mesh(Mesh::new(2, 2), 100);
+        let vcs = vec![
+            VcInfo::new(0, VcKind::thread_private(0), MissCurve::flat(10.0)),
+            VcInfo::new(1, VcKind::process_shared(0), MissCurve::flat(5.0)),
+        ];
+        let threads = vec![
+            ThreadInfo::new(0, vec![(0, 10.0), (1, 2.0)]),
+            ThreadInfo::new(1, vec![(1, 3.0)]),
+        ];
+        PlacementProblem::new(params, vcs, threads).unwrap()
+    }
+
+    #[test]
+    fn vc_accesses_sums_across_threads() {
+        let p = tiny_problem();
+        assert_eq!(p.vc_accesses(0), 10.0);
+        assert_eq!(p.vc_accesses(1), 5.0);
+    }
+
+    #[test]
+    fn vc_accessors_filters_zero() {
+        let p = tiny_problem();
+        let acc = p.vc_accessors(1);
+        assert_eq!(acc, vec![(0, 2.0), (1, 3.0)]);
+        assert_eq!(p.vc_accessors(0), vec![(0, 10.0)]);
+    }
+
+    #[test]
+    fn problem_rejects_bad_ids() {
+        let params = SystemParams::default_for_mesh(Mesh::new(2, 2), 100);
+        let vcs = vec![VcInfo::new(7, VcKind::Global, MissCurve::zero())];
+        assert!(PlacementProblem::new(params, vcs, vec![]).is_err());
+    }
+
+    #[test]
+    fn problem_rejects_unknown_vc_reference() {
+        let params = SystemParams::default_for_mesh(Mesh::new(2, 2), 100);
+        let threads = vec![ThreadInfo::new(0, vec![(3, 1.0)])];
+        assert!(PlacementProblem::new(params, vec![], threads).is_err());
+    }
+
+    #[test]
+    fn problem_rejects_too_many_threads() {
+        let params = SystemParams::default_for_mesh(Mesh::new(1, 2), 100);
+        let threads = (0..3).map(|i| ThreadInfo::new(i, vec![])).collect();
+        assert!(PlacementProblem::new(params, vec![], threads).is_err());
+    }
+
+    #[test]
+    fn feasibility_checks_bank_capacity() {
+        let p = tiny_problem();
+        let mut placement = Placement::empty(2, 2, 4);
+        placement.thread_cores = vec![TileId(0), TileId(1)];
+        placement.vc_alloc[0][0] = 60;
+        placement.vc_alloc[1][0] = 50; // 110 > 100
+        assert!(placement.check_feasible(&p).is_err());
+        placement.vc_alloc[1][0] = 40;
+        assert!(placement.check_feasible(&p).is_ok());
+    }
+
+    #[test]
+    fn feasibility_checks_distinct_cores() {
+        let p = tiny_problem();
+        let placement = Placement::empty(2, 2, 4); // both threads on tile 0
+        assert!(placement.check_feasible(&p).is_err());
+    }
+
+    #[test]
+    fn vc_banks_lists_nonzero() {
+        let mut placement = Placement::empty(1, 1, 4);
+        placement.vc_alloc[0][2] = 5;
+        assert_eq!(placement.vc_banks(0), vec![(2, 5)]);
+        assert_eq!(placement.vc_total(0), 5);
+        assert_eq!(placement.bank_used(2), 5);
+    }
+
+    #[test]
+    fn default_params_have_sane_memory_latency() {
+        let params = SystemParams::default_for_mesh(Mesh::new(8, 8), 8192);
+        assert!(params.mem_latency > 120.0 && params.mem_latency < 300.0);
+        assert_eq!(params.total_lines(), 64 * 8192);
+    }
+}

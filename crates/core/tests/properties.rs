@@ -1,0 +1,139 @@
+//! Property-based tests for the CDCS algorithms: allocation optimality
+//! bounds, placement feasibility, descriptor proportionality.
+
+use cdcs_cache::MissCurve;
+use cdcs_core::alloc::{lookahead_reference, peekahead, AllocOptions};
+use cdcs_core::{VcDescriptor, Placement};
+use proptest::prelude::*;
+
+fn curve_strategy() -> impl Strategy<Value = MissCurve> {
+    prop::collection::vec((0.0f64..20_000.0, 0.0f64..50_000.0), 1..6)
+        .prop_map(MissCurve::new)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn peekahead_respects_budget_and_granularity(
+        curves in prop::collection::vec(curve_strategy(), 1..8),
+        total in 0u64..100_000,
+        g in prop::sample::select(vec![256u64, 512, 1024]),
+    ) {
+        let alloc = peekahead(
+            &curves,
+            AllocOptions { total_lines: total, granularity: g, use_all_capacity: false, tie_tolerance: 0.1 },
+        );
+        prop_assert_eq!(alloc.len(), curves.len());
+        prop_assert!(alloc.iter().sum::<u64>() <= total);
+        for a in &alloc {
+            prop_assert_eq!(a % g, 0);
+        }
+    }
+
+    #[test]
+    fn peekahead_extracts_at_least_lookahead_utility(
+        curves in prop::collection::vec(curve_strategy(), 1..5),
+        total in 1024u64..40_000,
+    ) {
+        // On convex hulls both are optimal; peekahead must never extract
+        // less utility than the O(n^2) reference (up to rounding slack of
+        // one granule per VC).
+        let opts = AllocOptions {
+            total_lines: total,
+            granularity: 1024,
+            use_all_capacity: false,
+            tie_tolerance: 0.0,
+        };
+        let hulls: Vec<MissCurve> = curves.iter().map(|c| c.convex_hull()).collect();
+        let fast = peekahead(&hulls, opts);
+        let slow = lookahead_reference(&hulls, opts);
+        let utility = |alloc: &[u64]| -> f64 {
+            hulls.iter().zip(alloc).map(|(c, &s)| c.at_zero() - c.misses_at(s as f64)).sum()
+        };
+        let slack: f64 = hulls
+            .iter()
+            .map(|c| c.hits_gained(0.0, 1024.0))
+            .fold(0.0, f64::max) * curves.len() as f64;
+        prop_assert!(
+            utility(&fast) + slack + 1e-6 >= utility(&slow),
+            "peekahead {} vs lookahead {}",
+            utility(&fast),
+            utility(&slow)
+        );
+    }
+
+    #[test]
+    fn use_all_capacity_fills_everything_when_demand_exists(
+        curves in prop::collection::vec(curve_strategy(), 1..6),
+        total in 1024u64..50_000,
+    ) {
+        prop_assume!(curves.iter().any(|c| c.at_zero() > 0.0));
+        let alloc = peekahead(
+            &curves,
+            AllocOptions { total_lines: total, granularity: 1024, use_all_capacity: true, tie_tolerance: 0.1 },
+        );
+        prop_assert_eq!(alloc.iter().sum::<u64>(), total);
+    }
+
+    #[test]
+    fn descriptor_buckets_are_proportional(
+        sizes in prop::collection::vec(1u64..100_000, 1..16),
+    ) {
+        let alloc: Vec<(usize, u64)> = sizes.iter().copied().enumerate().collect();
+        let desc = VcDescriptor::from_allocation(&alloc).unwrap();
+        let hist = desc.bucket_histogram();
+        let total: u64 = sizes.iter().sum();
+        prop_assert_eq!(hist.values().sum::<usize>(), 64);
+        for (b, &lines) in sizes.iter().enumerate() {
+            let ideal = lines as f64 * 64.0 / total as f64;
+            let got = hist
+                .get(&cdcs_cache::BankId(b as u16))
+                .copied()
+                .unwrap_or(0) as f64;
+            // Largest-remainder + min-1 rounding stays within 2 buckets of
+            // the ideal share.
+            prop_assert!((got - ideal).abs() <= 2.0, "bank {b}: {got} vs {ideal}");
+        }
+    }
+
+    #[test]
+    fn stable_rebuild_changes_few_buckets(
+        sizes in prop::collection::vec(4096u64..20_000, 2..8),
+        jitter in prop::collection::vec(-1024i64..1024, 2..8),
+    ) {
+        let n = sizes.len().min(jitter.len());
+        let alloc: Vec<(usize, u64)> = sizes[..n].iter().copied().enumerate().collect();
+        let prev = VcDescriptor::from_allocation(&alloc).unwrap();
+        let jittered: Vec<(usize, u64)> = alloc
+            .iter()
+            .zip(&jitter[..n])
+            .map(|(&(b, l), &j)| (b, (l as i64 + j).max(1024) as u64))
+            .collect();
+        let next = VcDescriptor::from_allocation_stable(&jittered, Some(&prev)).unwrap();
+        let changed = prev
+            .buckets()
+            .iter()
+            .zip(next.buckets().iter())
+            .filter(|(a, b)| a != b)
+            .count();
+        // Jitter of <= 1024 lines on >= 4096-line banks shifts at most a few
+        // buckets of 64.
+        prop_assert!(changed <= 3 * n, "{changed} buckets changed");
+    }
+
+    #[test]
+    fn placement_accounting_is_consistent(
+        alloc in prop::collection::vec(prop::collection::vec(0u64..2048, 4), 1..6),
+    ) {
+        let num_vcs = alloc.len();
+        let placement = Placement { thread_cores: vec![], vc_alloc: alloc.clone() };
+        let by_vc: u64 = (0..num_vcs).map(|d| placement.vc_total(d as u32)).sum();
+        let by_bank: u64 = (0..4).map(|b| placement.bank_used(b)).sum();
+        prop_assert_eq!(by_vc, by_bank);
+        for d in 0..num_vcs {
+            let listed: u64 = placement.vc_banks(d as u32).iter().map(|&(_, l)| l).sum();
+            prop_assert_eq!(listed, placement.vc_total(d as u32));
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! Geometric helpers for placement: centers of mass and outward spirals.
+//!
+//! CDCS's thread placement puts each thread "closest to the center of mass of
+//! its accesses" (§IV-E), and the refined data placement walks banks in an
+//! outward spiral from each virtual cache's center of mass (§IV-F). Both
+//! primitives live here so `cdcs-core` stays purely algorithmic.
+
+use crate::{Mesh, TileId, Topology};
+
+/// A point on the mesh grid with fractional coordinates, e.g. a center of
+/// mass of data spread over several tiles.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point {
+    /// Column coordinate (fractional).
+    pub x: f64,
+    /// Row coordinate (fractional).
+    pub y: f64,
+}
+
+impl Point {
+    /// Manhattan distance to another point.
+    pub fn manhattan(self, other: Point) -> f64 {
+        (self.x - other.x).abs() + (self.y - other.y).abs()
+    }
+}
+
+/// Computes the center of mass of weighted tiles.
+///
+/// Returns `None` if the total weight is zero (or the slice is empty) — there
+/// is no meaningful center in that case and callers fall back to a default
+/// (e.g. the accessing thread's own tile).
+///
+/// # Example
+///
+/// ```
+/// use cdcs_mesh::{Mesh, TileId};
+/// use cdcs_mesh::geometry::center_of_mass;
+/// let mesh = Mesh::new(4, 4);
+/// // Equal weight at opposite corners of the top row -> center at (1.5, 0).
+/// let com = center_of_mass(&mesh, &[(TileId(0), 1.0), (TileId(3), 1.0)]).unwrap();
+/// assert!((com.x - 1.5).abs() < 1e-12 && com.y.abs() < 1e-12);
+/// ```
+pub fn center_of_mass(mesh: &Mesh, weighted: &[(TileId, f64)]) -> Option<Point> {
+    let total: f64 = weighted.iter().map(|&(_, w)| w).sum();
+    if total <= 0.0 {
+        return None;
+    }
+    let (mut x, mut y) = (0.0, 0.0);
+    for &(t, w) in weighted {
+        let c = mesh.coord(t);
+        x += c.x as f64 * w;
+        y += c.y as f64 * w;
+    }
+    Some(Point { x: x / total, y: y / total })
+}
+
+/// The tile nearest to a fractional point (Manhattan metric, ties broken by
+/// lowest tile id for determinism).
+pub fn nearest_tile(mesh: &Mesh, p: Point) -> TileId {
+    let mut best = TileId(0);
+    let mut best_d = f64::INFINITY;
+    for t in mesh.tiles() {
+        let d = mesh.hops_to_point(t, p.x, p.y);
+        if d < best_d - 1e-12 {
+            best_d = d;
+            best = t;
+        }
+    }
+    best
+}
+
+/// All tiles sorted by increasing distance from a fractional point, ties
+/// broken by tile id. This is the spiral order used to compactly place a
+/// virtual cache "around" a center (paper Figs. 6 and 7).
+pub fn tiles_by_distance_from_point(mesh: &Mesh, p: Point) -> Vec<TileId> {
+    let mut v = mesh.tiles();
+    v.sort_by(|&a, &b| {
+        let da = mesh.hops_to_point(a, p.x, p.y);
+        let db = mesh.hops_to_point(b, p.x, p.y);
+        da.partial_cmp(&db).unwrap().then(a.0.cmp(&b.0))
+    });
+    v
+}
+
+/// Average distance from point `p` to banks holding one unit of capacity
+/// each, when `size` units of capacity are placed compactly around `p` in
+/// spiral order. Used by the optimistic on-chip latency curve (§IV-C,
+/// Fig. 6): "compactly placing the VC around the center of the chip and
+/// computing the resulting average latency".
+///
+/// `size` is measured in banks and may be fractional; the last bank is
+/// weighted by its fraction. A `size` of zero returns 0.0.
+pub fn compact_mean_distance(mesh: &Mesh, p: Point, size: f64) -> f64 {
+    if size <= 0.0 {
+        return 0.0;
+    }
+    let order = tiles_by_distance_from_point(mesh, p);
+    let mut remaining = size;
+    let mut weighted = 0.0;
+    for t in order {
+        if remaining <= 0.0 {
+            break;
+        }
+        let take = remaining.min(1.0);
+        weighted += take * mesh.hops_to_point(t, p.x, p.y);
+        remaining -= take;
+    }
+    // If the VC is bigger than the chip, the excess cannot be placed; treat
+    // the chip as the limit (the allocator never allocates more than chip
+    // capacity, so this is defensive).
+    weighted / (size - remaining.max(0.0)).max(f64::MIN_POSITIVE)
+}
+
+/// The center of the chip, the optimistic placement center for the
+/// latency-aware allocation step (Fig. 6 places the example VC around the
+/// middle of the mesh).
+pub fn chip_center(mesh: &Mesh) -> Point {
+    Point { x: (mesh.cols() as f64 - 1.0) / 2.0, y: (mesh.rows() as f64 - 1.0) / 2.0 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn com_of_single_tile_is_that_tile() {
+        let mesh = Mesh::new(4, 4);
+        let com = center_of_mass(&mesh, &[(TileId(5), 2.0)]).unwrap();
+        assert_eq!(com, Point { x: 1.0, y: 1.0 });
+    }
+
+    #[test]
+    fn com_zero_weight_is_none() {
+        let mesh = Mesh::new(4, 4);
+        assert!(center_of_mass(&mesh, &[(TileId(0), 0.0)]).is_none());
+        assert!(center_of_mass(&mesh, &[]).is_none());
+    }
+
+    #[test]
+    fn com_weights_pull_toward_heavier_tile() {
+        let mesh = Mesh::new(4, 1);
+        let com =
+            center_of_mass(&mesh, &[(TileId(0), 3.0), (TileId(3), 1.0)]).unwrap();
+        assert!((com.x - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nearest_tile_exact_hit() {
+        let mesh = Mesh::new(4, 4);
+        assert_eq!(nearest_tile(&mesh, Point { x: 2.0, y: 3.0 }), TileId(14));
+    }
+
+    #[test]
+    fn nearest_tile_tie_breaks_to_lowest_id() {
+        let mesh = Mesh::new(2, 1);
+        // Exactly between tiles 0 and 1.
+        assert_eq!(nearest_tile(&mesh, Point { x: 0.5, y: 0.0 }), TileId(0));
+    }
+
+    #[test]
+    fn spiral_order_starts_at_center() {
+        let mesh = Mesh::new(5, 5);
+        let center = chip_center(&mesh);
+        let order = tiles_by_distance_from_point(&mesh, center);
+        assert_eq!(order[0], TileId(12)); // middle of a 5x5 mesh
+        // Distances must be non-decreasing.
+        let mut last = 0.0;
+        for t in order {
+            let d = mesh.hops_to_point(t, center.x, center.y);
+            assert!(d >= last - 1e-12);
+            last = d;
+        }
+    }
+
+    #[test]
+    fn compact_mean_distance_single_bank_is_zero() {
+        let mesh = Mesh::new(5, 5);
+        let d = compact_mean_distance(&mesh, chip_center(&mesh), 1.0);
+        assert!(d.abs() < 1e-12);
+    }
+
+    #[test]
+    fn compact_mean_distance_grows_with_size() {
+        let mesh = Mesh::new(8, 8);
+        let c = chip_center(&mesh);
+        let d1 = compact_mean_distance(&mesh, c, 1.0);
+        let d4 = compact_mean_distance(&mesh, c, 4.0);
+        let d16 = compact_mean_distance(&mesh, c, 16.0);
+        assert!(d1 <= d4 && d4 < d16);
+    }
+
+    #[test]
+    fn compact_mean_distance_paper_example() {
+        // Paper Fig. 6: an 8.2-bank VC compactly placed around the center of
+        // a 5x5 mesh has an average distance of 1.27 hops.
+        let mesh = Mesh::new(5, 5);
+        let d = compact_mean_distance(&mesh, chip_center(&mesh), 8.2);
+        assert!((d - 1.27).abs() < 0.05, "got {d}");
+    }
+
+    #[test]
+    fn compact_mean_distance_zero_size() {
+        let mesh = Mesh::new(4, 4);
+        assert_eq!(compact_mean_distance(&mesh, chip_center(&mesh), 0.0), 0.0);
+    }
+
+    #[test]
+    fn chip_center_of_even_mesh_is_fractional() {
+        let mesh = Mesh::new(8, 8);
+        let c = chip_center(&mesh);
+        assert_eq!(c, Point { x: 3.5, y: 3.5 });
+    }
+}

@@ -1,0 +1,79 @@
+//! Mesh network-on-chip substrate for the CDCS reproduction.
+//!
+//! CDCS ([Beckmann, Tsai, Sanchez, HPCA 2015]) targets tiled chip
+//! multiprocessors in which every tile holds a core and a slice of the shared
+//! last-level cache, connected by an on-chip network. All of the paper's
+//! placement algorithms consume nothing but *distances* between tiles, so this
+//! crate provides:
+//!
+//! * [`Topology`] — the distance abstraction every placement algorithm is
+//!   written against ("CDCS uses arbitrary distance vectors, so it works with
+//!   arbitrary topologies", §IV-B).
+//! * [`Mesh`] — the concrete 2D mesh with X-Y routing used throughout the
+//!   evaluation (8×8 in the paper's Table 2, 6×6 in the §II-B case study).
+//! * [`geometry`] — center-of-mass and outward-spiral helpers used by the
+//!   thread-placement and refined-data-placement steps.
+//! * [`traffic`] — flit-level traffic accounting used to regenerate the
+//!   traffic breakdowns of Figs. 11d, 14 and 15.
+//! * [`MemCtrlPlacement`] — edge memory-controller placement; pages are
+//!   interleaved across controllers as in Tilera/Knights Corner (§III).
+//!
+//! # Example
+//!
+//! ```
+//! use cdcs_mesh::{Mesh, Topology, TileId};
+//!
+//! let mesh = Mesh::new(8, 8); // the paper's 64-tile CMP
+//! let a = TileId(0);           // top-left corner
+//! let b = TileId(63);          // bottom-right corner
+//! assert_eq!(mesh.hops(a, b), 14);
+//! assert_eq!(mesh.num_tiles(), 64);
+//! ```
+//!
+//! [Beckmann, Tsai, Sanchez, HPCA 2015]:
+//!     https://people.csail.mit.edu/sanchez/papers/2015.cdcs.hpca.pdf
+
+pub mod geometry;
+mod mesh;
+mod topology;
+pub mod traffic;
+
+pub use crate::mesh::{Coord, Mesh, MemCtrlPlacement};
+pub use crate::topology::{ExplicitTopology, Topology};
+pub use crate::traffic::{NocConfig, TrafficClass, TrafficStats};
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a tile (one core + one LLC slice) on the chip.
+///
+/// Tiles are numbered row-major: tile `y * cols + x` sits at column `x`,
+/// row `y`.
+///
+/// ```
+/// use cdcs_mesh::{Mesh, TileId};
+/// let mesh = Mesh::new(4, 4);
+/// assert_eq!(mesh.coord(TileId(5)).x, 1);
+/// assert_eq!(mesh.coord(TileId(5)).y, 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TileId(pub u16);
+
+impl TileId {
+    /// Returns the tile id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for TileId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+impl From<u16> for TileId {
+    fn from(v: u16) -> Self {
+        TileId(v)
+    }
+}

@@ -1,0 +1,304 @@
+//! The concrete 2D mesh topology used by the paper's evaluation, plus
+//! edge memory-controller placement.
+
+use crate::topology::Topology;
+use crate::TileId;
+use serde::{Deserialize, Serialize};
+
+/// Position of a tile on the mesh grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Coord {
+    /// Column, `0..cols`.
+    pub x: u16,
+    /// Row, `0..rows`.
+    pub y: u16,
+}
+
+impl Coord {
+    /// Manhattan distance to another coordinate — the number of hops under
+    /// dimension-ordered (X-Y) routing.
+    #[inline]
+    pub fn manhattan(self, other: Coord) -> u32 {
+        self.x.abs_diff(other.x) as u32 + self.y.abs_diff(other.y) as u32
+    }
+}
+
+/// A `cols × rows` 2D mesh with X-Y routing.
+///
+/// The paper's target system (Table 2) is an 8×8 mesh of 64 tiles; the §II-B
+/// case study uses a 6×6 mesh.
+///
+/// # Example
+///
+/// ```
+/// use cdcs_mesh::{Mesh, Topology, TileId};
+/// let mesh = Mesh::new(6, 6);
+/// assert_eq!(mesh.num_tiles(), 36);
+/// // Corner to opposite corner: 5 + 5 hops.
+/// assert_eq!(mesh.hops(TileId(0), TileId(35)), 10);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Mesh {
+    cols: u16,
+    rows: u16,
+}
+
+impl Mesh {
+    /// Creates a `cols × rows` mesh.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(cols: u16, rows: u16) -> Self {
+        assert!(cols > 0 && rows > 0, "mesh dimensions must be non-zero");
+        Mesh { cols, rows }
+    }
+
+    /// Creates a square `side × side` mesh.
+    pub fn square(side: u16) -> Self {
+        Mesh::new(side, side)
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> u16 {
+        self.cols
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> u16 {
+        self.rows
+    }
+
+    /// The grid coordinate of a tile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of range.
+    #[inline]
+    pub fn coord(&self, t: TileId) -> Coord {
+        assert!(
+            (t.0 as usize) < self.num_tiles(),
+            "tile {t} out of range for {}x{} mesh",
+            self.cols,
+            self.rows
+        );
+        Coord { x: t.0 % self.cols, y: t.0 / self.cols }
+    }
+
+    /// The tile at a grid coordinate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate is outside the mesh.
+    #[inline]
+    pub fn tile_at(&self, c: Coord) -> TileId {
+        assert!(c.x < self.cols && c.y < self.rows, "coordinate outside mesh");
+        TileId(c.y * self.cols + c.x)
+    }
+
+    /// Distance in hops from a tile to an arbitrary (possibly fractional)
+    /// point on the grid, used when measuring distance to a center of mass.
+    pub fn hops_to_point(&self, t: TileId, x: f64, y: f64) -> f64 {
+        let c = self.coord(t);
+        (c.x as f64 - x).abs() + (c.y as f64 - y).abs()
+    }
+}
+
+impl Topology for Mesh {
+    fn num_tiles(&self) -> usize {
+        self.cols as usize * self.rows as usize
+    }
+
+    #[inline]
+    fn hops(&self, a: TileId, b: TileId) -> u32 {
+        self.coord(a).manhattan(self.coord(b))
+    }
+}
+
+/// Placement of memory controllers on the mesh edges.
+///
+/// The paper's system has 8 memory controllers at the chip edges (Fig. 3) and
+/// interleaves pages across them, so that "the average distance of all cores
+/// to memory controllers [is] the same" (§IV-A). This type computes the
+/// controller positions and per-tile average controller distance used for
+/// memory-access network latency and traffic accounting.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemCtrlPlacement {
+    /// Edge coordinates of the controllers (attached to the nearest edge
+    /// tile's router).
+    ports: Vec<TileId>,
+}
+
+impl MemCtrlPlacement {
+    /// Spreads `count` controllers evenly around the four mesh edges,
+    /// matching the paper's Fig. 3 (two controllers per edge for an 8×8 mesh
+    /// with 8 controllers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero.
+    pub fn edges(mesh: &Mesh, count: usize) -> Self {
+        assert!(count > 0, "need at least one memory controller");
+        // Walk the chip perimeter clockwise and drop controllers at evenly
+        // spaced perimeter positions.
+        let perimeter = Self::perimeter_tiles(mesh);
+        let n = perimeter.len();
+        let ports = (0..count)
+            .map(|i| perimeter[(i * n + n / (2 * count)) / count % n])
+            .collect();
+        MemCtrlPlacement { ports }
+    }
+
+    fn perimeter_tiles(mesh: &Mesh) -> Vec<TileId> {
+        let (cols, rows) = (mesh.cols(), mesh.rows());
+        let mut tiles = Vec::new();
+        // Top row, left→right.
+        for x in 0..cols {
+            tiles.push(mesh.tile_at(Coord { x, y: 0 }));
+        }
+        // Right column, top→bottom (excluding corners already visited).
+        for y in 1..rows {
+            tiles.push(mesh.tile_at(Coord { x: cols - 1, y }));
+        }
+        // Bottom row, right→left.
+        if rows > 1 {
+            for x in (0..cols.saturating_sub(1)).rev() {
+                tiles.push(mesh.tile_at(Coord { x, y: rows - 1 }));
+            }
+        }
+        // Left column, bottom→top.
+        if cols > 1 {
+            for y in (1..rows.saturating_sub(1)).rev() {
+                tiles.push(mesh.tile_at(Coord { x: 0, y }));
+            }
+        }
+        tiles
+    }
+
+    /// The tiles whose routers the controllers are attached to.
+    pub fn ports(&self) -> &[TileId] {
+        &self.ports
+    }
+
+    /// Number of controllers.
+    pub fn count(&self) -> usize {
+        self.ports.len()
+    }
+
+    /// Average hop distance from `tile` to the controllers, assuming accesses
+    /// are interleaved uniformly across controllers (paper §III).
+    pub fn mean_hops_from(&self, mesh: &Mesh, tile: TileId) -> f64 {
+        mesh.mean_hops(tile, &self.ports)
+    }
+
+    /// The controller port used by a given (interleaved) memory access.
+    /// Access `n` goes to controller `n % count`.
+    pub fn port_for(&self, n: u64) -> TileId {
+        self.ports[(n % self.ports.len() as u64) as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mesh_coord_roundtrip() {
+        let mesh = Mesh::new(8, 8);
+        for t in mesh.tiles() {
+            assert_eq!(mesh.tile_at(mesh.coord(t)), t);
+        }
+    }
+
+    #[test]
+    fn mesh_hops_matches_manhattan() {
+        let mesh = Mesh::new(8, 8);
+        // (1,0) -> (4,3): 3 + 3 hops.
+        let a = mesh.tile_at(Coord { x: 1, y: 0 });
+        let b = mesh.tile_at(Coord { x: 4, y: 3 });
+        assert_eq!(mesh.hops(a, b), 6);
+    }
+
+    #[test]
+    fn mesh_hops_symmetric_zero_diag() {
+        let mesh = Mesh::new(5, 3);
+        for a in mesh.tiles() {
+            assert_eq!(mesh.hops(a, a), 0);
+            for b in mesh.tiles() {
+                assert_eq!(mesh.hops(a, b), mesh.hops(b, a));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn mesh_coord_out_of_range_panics() {
+        Mesh::new(2, 2).coord(TileId(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_mesh_panics() {
+        Mesh::new(0, 4);
+    }
+
+    #[test]
+    fn hops_to_point_fractional() {
+        let mesh = Mesh::new(4, 4);
+        let t = mesh.tile_at(Coord { x: 0, y: 0 });
+        assert!((mesh.hops_to_point(t, 1.5, 1.5) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perimeter_visits_each_tile_once() {
+        let mesh = Mesh::new(4, 4);
+        let p = MemCtrlPlacement::perimeter_tiles(&mesh);
+        assert_eq!(p.len(), 12); // 4*4 grid has 12 perimeter tiles
+        let mut sorted: Vec<_> = p.iter().map(|t| t.0).collect();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 12);
+    }
+
+    #[test]
+    fn mem_ctrls_are_on_edges() {
+        let mesh = Mesh::new(8, 8);
+        let mc = MemCtrlPlacement::edges(&mesh, 8);
+        assert_eq!(mc.count(), 8);
+        for &port in mc.ports() {
+            let c = mesh.coord(port);
+            let on_edge = c.x == 0 || c.y == 0 || c.x == 7 || c.y == 7;
+            assert!(on_edge, "controller port {port} not on edge");
+        }
+    }
+
+    #[test]
+    fn mem_ctrl_interleaving_cycles() {
+        let mesh = Mesh::new(8, 8);
+        let mc = MemCtrlPlacement::edges(&mesh, 8);
+        assert_eq!(mc.port_for(0), mc.port_for(8));
+        assert_ne!(mc.port_for(0), mc.port_for(1));
+    }
+
+    #[test]
+    fn mean_mc_distance_is_similar_across_tiles() {
+        // Page interleaving makes average distance to memory roughly uniform;
+        // check the spread is modest (within 2x) on the paper's mesh.
+        let mesh = Mesh::new(8, 8);
+        let mc = MemCtrlPlacement::edges(&mesh, 8);
+        let dists: Vec<f64> =
+            mesh.tiles().iter().map(|&t| mc.mean_hops_from(&mesh, t)).collect();
+        let min = dists.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = dists.iter().cloned().fold(0.0_f64, f64::max);
+        assert!(max / min < 2.0, "min {min}, max {max}");
+    }
+
+    #[test]
+    fn single_row_mesh_perimeter() {
+        let mesh = Mesh::new(4, 1);
+        let p = MemCtrlPlacement::perimeter_tiles(&mesh);
+        assert_eq!(p.len(), 4);
+        let mc = MemCtrlPlacement::edges(&mesh, 2);
+        assert_eq!(mc.count(), 2);
+    }
+}

@@ -1,0 +1,236 @@
+//! The [`Topology`] abstraction: everything CDCS needs to know about the chip.
+//!
+//! The placement algorithms in `cdcs-core` only consume tile-to-tile
+//! distances, so they are written against this trait rather than a concrete
+//! mesh. The paper notes (§IV-B) that "CDCS uses arbitrary distance vectors,
+//! so it works with arbitrary topologies".
+
+use crate::TileId;
+
+/// A chip topology: a set of tiles and a distance metric between them.
+///
+/// Distances are measured in *hops*; the translation from hops to cycles is
+/// the business of [`crate::NocConfig`].
+///
+/// # Example
+///
+/// ```
+/// use cdcs_mesh::{Mesh, Topology, TileId};
+/// let mesh = Mesh::new(2, 2);
+/// assert_eq!(mesh.hops(TileId(0), TileId(3)), 2);
+/// let order = mesh.tiles_by_distance(TileId(0));
+/// assert_eq!(order[0], TileId(0));
+/// ```
+pub trait Topology {
+    /// Number of tiles on the chip.
+    fn num_tiles(&self) -> usize;
+
+    /// Network distance between two tiles, in hops. Must be symmetric and
+    /// zero iff `a == b` (a metric on the tile set).
+    fn hops(&self, a: TileId, b: TileId) -> u32;
+
+    /// All tiles, in id order.
+    fn tiles(&self) -> Vec<TileId> {
+        (0..self.num_tiles() as u16).map(TileId).collect()
+    }
+
+    /// All tiles sorted by increasing distance from `from` (ties broken by
+    /// tile id, so the order is deterministic). `from` itself is first.
+    ///
+    /// This is the "outward spiral" order used by the refined-placement trade
+    /// search (paper §IV-F, Fig. 8).
+    fn tiles_by_distance(&self, from: TileId) -> Vec<TileId> {
+        let mut v = self.tiles();
+        v.sort_by_key(|&t| (self.hops(from, t), t.0));
+        v
+    }
+
+    /// Average distance from `from` to every tile in `tiles`.
+    ///
+    /// Returns 0.0 for an empty slice.
+    fn mean_hops(&self, from: TileId, tiles: &[TileId]) -> f64 {
+        if tiles.is_empty() {
+            return 0.0;
+        }
+        let total: u32 = tiles.iter().map(|&t| self.hops(from, t)).sum();
+        total as f64 / tiles.len() as f64
+    }
+}
+
+/// A topology defined by an explicit distance matrix.
+///
+/// Useful for testing placement algorithms on irregular fabrics and for
+/// demonstrating that the CDCS steps do not depend on mesh geometry.
+///
+/// # Example
+///
+/// ```
+/// use cdcs_mesh::{ExplicitTopology, Topology, TileId};
+/// // A 3-tile line: 0 - 1 - 2
+/// let topo = ExplicitTopology::new(vec![
+///     vec![0, 1, 2],
+///     vec![1, 0, 1],
+///     vec![2, 1, 0],
+/// ]).unwrap();
+/// assert_eq!(topo.hops(TileId(0), TileId(2)), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ExplicitTopology {
+    dist: Vec<Vec<u32>>,
+}
+
+/// Error building an [`ExplicitTopology`] from a malformed matrix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyError {
+    /// The matrix is not square.
+    NotSquare,
+    /// `dist[a][b] != dist[b][a]` for some pair.
+    NotSymmetric(usize, usize),
+    /// A diagonal entry is non-zero.
+    NonZeroDiagonal(usize),
+    /// An off-diagonal entry is zero.
+    ZeroOffDiagonal(usize, usize),
+}
+
+impl std::fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TopologyError::NotSquare => write!(f, "distance matrix is not square"),
+            TopologyError::NotSymmetric(a, b) => {
+                write!(f, "distance matrix is not symmetric at ({a}, {b})")
+            }
+            TopologyError::NonZeroDiagonal(a) => {
+                write!(f, "distance matrix has non-zero diagonal at {a}")
+            }
+            TopologyError::ZeroOffDiagonal(a, b) => {
+                write!(f, "distance matrix has zero off-diagonal entry at ({a}, {b})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+impl ExplicitTopology {
+    /// Builds a topology from a symmetric distance matrix with zero diagonal.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TopologyError`] if the matrix is not square, not symmetric,
+    /// has a non-zero diagonal, or a zero off-diagonal entry.
+    pub fn new(dist: Vec<Vec<u32>>) -> Result<Self, TopologyError> {
+        let n = dist.len();
+        for row in &dist {
+            if row.len() != n {
+                return Err(TopologyError::NotSquare);
+            }
+        }
+        for (a, row) in dist.iter().enumerate() {
+            if row[a] != 0 {
+                return Err(TopologyError::NonZeroDiagonal(a));
+            }
+            for (b, &d) in row.iter().enumerate() {
+                if d != dist[b][a] {
+                    return Err(TopologyError::NotSymmetric(a, b));
+                }
+                if a != b && d == 0 {
+                    return Err(TopologyError::ZeroOffDiagonal(a, b));
+                }
+            }
+        }
+        Ok(ExplicitTopology { dist })
+    }
+}
+
+impl Topology for ExplicitTopology {
+    fn num_tiles(&self) -> usize {
+        self.dist.len()
+    }
+
+    fn hops(&self, a: TileId, b: TileId) -> u32 {
+        self.dist[a.index()][b.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explicit_topology_accepts_valid_matrix() {
+        let topo =
+            ExplicitTopology::new(vec![vec![0, 1], vec![1, 0]]).expect("valid matrix");
+        assert_eq!(topo.num_tiles(), 2);
+        assert_eq!(topo.hops(TileId(0), TileId(1)), 1);
+    }
+
+    #[test]
+    fn explicit_topology_rejects_non_square() {
+        assert_eq!(
+            ExplicitTopology::new(vec![vec![0, 1]]).unwrap_err(),
+            TopologyError::NotSquare
+        );
+    }
+
+    #[test]
+    fn explicit_topology_rejects_asymmetric() {
+        let err = ExplicitTopology::new(vec![vec![0, 2], vec![1, 0]]).unwrap_err();
+        assert!(matches!(err, TopologyError::NotSymmetric(..)));
+    }
+
+    #[test]
+    fn explicit_topology_rejects_nonzero_diagonal() {
+        let err = ExplicitTopology::new(vec![vec![1, 1], vec![1, 0]]).unwrap_err();
+        assert!(matches!(err, TopologyError::NonZeroDiagonal(0)));
+    }
+
+    #[test]
+    fn explicit_topology_rejects_zero_off_diagonal() {
+        let err =
+            ExplicitTopology::new(vec![vec![0, 0], vec![0, 0]]).unwrap_err();
+        assert!(matches!(err, TopologyError::ZeroOffDiagonal(..)));
+    }
+
+    #[test]
+    fn tiles_by_distance_is_sorted_and_complete() {
+        let topo = ExplicitTopology::new(vec![
+            vec![0, 3, 1],
+            vec![3, 0, 2],
+            vec![1, 2, 0],
+        ])
+        .unwrap();
+        let order = topo.tiles_by_distance(TileId(0));
+        assert_eq!(order, vec![TileId(0), TileId(2), TileId(1)]);
+    }
+
+    #[test]
+    fn mean_hops_empty_is_zero() {
+        let topo = ExplicitTopology::new(vec![vec![0, 1], vec![1, 0]]).unwrap();
+        assert_eq!(topo.mean_hops(TileId(0), &[]), 0.0);
+    }
+
+    #[test]
+    fn mean_hops_averages() {
+        let topo = ExplicitTopology::new(vec![
+            vec![0, 1, 3],
+            vec![1, 0, 2],
+            vec![3, 2, 0],
+        ])
+        .unwrap();
+        let m = topo.mean_hops(TileId(0), &[TileId(1), TileId(2)]);
+        assert!((m - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn error_display_is_nonempty() {
+        let errs: Vec<Box<dyn std::fmt::Display>> = vec![
+            Box::new(TopologyError::NotSquare),
+            Box::new(TopologyError::NotSymmetric(1, 2)),
+            Box::new(TopologyError::NonZeroDiagonal(0)),
+            Box::new(TopologyError::ZeroOffDiagonal(0, 1)),
+        ];
+        for e in errs {
+            assert!(!format!("{e}").is_empty());
+        }
+    }
+}

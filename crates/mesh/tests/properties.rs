@@ -1,0 +1,87 @@
+//! Property-based tests for the mesh substrate: metric axioms, spiral
+//! orders, and center-of-mass invariants.
+
+use cdcs_mesh::geometry::{
+    center_of_mass, compact_mean_distance, nearest_tile, tiles_by_distance_from_point, Point,
+};
+use cdcs_mesh::{Mesh, TileId, Topology};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn hops_is_a_metric(cols in 1u16..10, rows in 1u16..10, a in 0u16.., b in 0u16.., c in 0u16..) {
+        let mesh = Mesh::new(cols, rows);
+        let n = mesh.num_tiles() as u16;
+        let (a, b, c) = (TileId(a % n), TileId(b % n), TileId(c % n));
+        // Identity, symmetry, triangle inequality.
+        prop_assert_eq!(mesh.hops(a, a), 0);
+        prop_assert_eq!(mesh.hops(a, b), mesh.hops(b, a));
+        prop_assert!(mesh.hops(a, c) <= mesh.hops(a, b) + mesh.hops(b, c));
+        if a != b {
+            prop_assert!(mesh.hops(a, b) > 0);
+        }
+    }
+
+    #[test]
+    fn tiles_by_distance_is_a_permutation_sorted_by_distance(
+        cols in 1u16..8, rows in 1u16..8, from in 0u16..,
+    ) {
+        let mesh = Mesh::new(cols, rows);
+        let from = TileId(from % mesh.num_tiles() as u16);
+        let order = mesh.tiles_by_distance(from);
+        prop_assert_eq!(order.len(), mesh.num_tiles());
+        let mut ids: Vec<u16> = order.iter().map(|t| t.0).collect();
+        ids.sort_unstable();
+        prop_assert!(ids.iter().enumerate().all(|(i, &t)| t == i as u16));
+        for w in order.windows(2) {
+            prop_assert!(mesh.hops(from, w[0]) <= mesh.hops(from, w[1]));
+        }
+        prop_assert_eq!(order[0], from);
+    }
+
+    #[test]
+    fn center_of_mass_is_inside_the_hull(
+        side in 2u16..8,
+        weights in prop::collection::vec(0.1f64..10.0, 1..10),
+    ) {
+        let mesh = Mesh::new(side, side);
+        let weighted: Vec<(TileId, f64)> = weights
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| (TileId((i % mesh.num_tiles()) as u16), w))
+            .collect();
+        let com = center_of_mass(&mesh, &weighted).expect("positive weights");
+        prop_assert!(com.x >= 0.0 && com.x <= f64::from(side - 1));
+        prop_assert!(com.y >= 0.0 && com.y <= f64::from(side - 1));
+        // The nearest tile to the COM is a real tile.
+        let t = nearest_tile(&mesh, com);
+        prop_assert!(t.index() < mesh.num_tiles());
+    }
+
+    #[test]
+    fn compact_mean_distance_is_monotone_in_size(
+        side in 2u16..9, x in 0.0f64..8.0, y in 0.0f64..8.0,
+        s1 in 0.5f64..20.0, s2 in 0.5f64..20.0,
+    ) {
+        let mesh = Mesh::new(side, side);
+        let p = Point { x: x.min(f64::from(side - 1)), y: y.min(f64::from(side - 1)) };
+        let (lo, hi) = if s1 < s2 { (s1, s2) } else { (s2, s1) };
+        let cap = mesh.num_tiles() as f64;
+        let d_lo = compact_mean_distance(&mesh, p, lo.min(cap));
+        let d_hi = compact_mean_distance(&mesh, p, hi.min(cap));
+        prop_assert!(d_lo <= d_hi + 1e-9, "{d_lo} > {d_hi}");
+    }
+
+    #[test]
+    fn spiral_from_point_is_complete(side in 1u16..8, x in 0.0f64..7.0, y in 0.0f64..7.0) {
+        let mesh = Mesh::new(side, side);
+        let p = Point { x: x.min(f64::from(side - 1)), y: y.min(f64::from(side - 1)) };
+        let order = tiles_by_distance_from_point(&mesh, p);
+        prop_assert_eq!(order.len(), mesh.num_tiles());
+        for w in order.windows(2) {
+            let d0 = mesh.hops_to_point(w[0], p.x, p.y);
+            let d1 = mesh.hops_to_point(w[1], p.x, p.y);
+            prop_assert!(d0 <= d1 + 1e-9);
+        }
+    }
+}

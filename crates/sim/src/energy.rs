@@ -1,0 +1,121 @@
+//! Event-based energy model (the Fig. 11e breakdown).
+//!
+//! The paper derives energy from McPAT (22 nm) and Micron DDR3L datasheets.
+//! We use fixed per-event energies of representative magnitude for the same
+//! component classes; Fig. 11e compares *relative* energy per instruction
+//! across schemes, which depends on the event counts the simulator measures
+//! (cycles, instructions, flit-hops, LLC and DRAM accesses), not on the
+//! absolute constants.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-event energies, in nanojoules.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// Chip + DRAM static energy per cycle (≈30 W at 2 GHz).
+    pub static_per_cycle: f64,
+    /// Core dynamic energy per instruction (lean 2-way OOO).
+    pub core_per_instruction: f64,
+    /// NoC energy per flit-hop (link + router traversal, 128-bit flits).
+    pub noc_per_flit_hop: f64,
+    /// LLC bank access energy (512 KB bank read).
+    pub llc_per_access: f64,
+    /// DRAM energy per 64 B line transferred.
+    pub dram_per_access: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel {
+            static_per_cycle: 15.0,
+            core_per_instruction: 0.35,
+            noc_per_flit_hop: 0.08,
+            llc_per_access: 0.8,
+            dram_per_access: 20.0,
+        }
+    }
+}
+
+/// An energy total split by component, in nanojoules.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// Static (leakage + refresh).
+    pub static_nj: f64,
+    /// Core dynamic.
+    pub core_nj: f64,
+    /// NoC dynamic.
+    pub net_nj: f64,
+    /// LLC dynamic.
+    pub llc_nj: f64,
+    /// DRAM dynamic.
+    pub mem_nj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy.
+    pub fn total(&self) -> f64 {
+        self.static_nj + self.core_nj + self.net_nj + self.llc_nj + self.mem_nj
+    }
+
+    /// Energy per instruction given the instruction count.
+    pub fn per_instruction(&self, instructions: f64) -> f64 {
+        if instructions > 0.0 {
+            self.total() / instructions
+        } else {
+            0.0
+        }
+    }
+}
+
+impl EnergyModel {
+    /// Computes the breakdown from measured event counts.
+    pub fn compute(
+        &self,
+        cycles: f64,
+        instructions: f64,
+        llc_accesses: u64,
+        flit_hops: u64,
+        dram_accesses: u64,
+    ) -> EnergyBreakdown {
+        EnergyBreakdown {
+            static_nj: cycles * self.static_per_cycle,
+            core_nj: instructions * self.core_per_instruction,
+            net_nj: flit_hops as f64 * self.noc_per_flit_hop,
+            llc_nj: llc_accesses as f64 * self.llc_per_access,
+            mem_nj: dram_accesses as f64 * self.dram_per_access,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_sums() {
+        let model = EnergyModel::default();
+        let e = model.compute(1000.0, 2000.0, 10, 100, 5);
+        assert!((e.static_nj - 15_000.0).abs() < 1e-9);
+        assert!((e.core_nj - 700.0).abs() < 1e-9);
+        assert!((e.net_nj - 8.0).abs() < 1e-9);
+        assert!((e.llc_nj - 8.0).abs() < 1e-9);
+        assert!((e.mem_nj - 100.0).abs() < 1e-9);
+        assert!((e.total() - 15_816.0).abs() < 1e-9);
+        assert!((e.per_instruction(2000.0) - 7.908).abs() < 1e-9);
+    }
+
+    #[test]
+    fn faster_execution_lowers_static_share() {
+        // The Fig. 11e effect: "static energy decreases with higher
+        // performance, as each instruction takes fewer cycles".
+        let model = EnergyModel::default();
+        let slow = model.compute(4000.0, 1000.0, 100, 100, 50);
+        let fast = model.compute(2000.0, 1000.0, 100, 100, 50);
+        assert!(fast.per_instruction(1000.0) < slow.per_instruction(1000.0));
+    }
+
+    #[test]
+    fn zero_instructions_guarded() {
+        assert_eq!(EnergyBreakdown::default().per_instruction(0.0), 0.0);
+    }
+}

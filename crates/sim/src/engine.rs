@@ -1,0 +1,892 @@
+//! The interval-based simulation engine.
+//!
+//! Time advances in fixed intervals. Each interval, every thread's current
+//! IPC estimate sets its instruction and LLC-access budget; accesses from
+//! all threads are interleaved round-robin into the LLC (so capacity inside
+//! shared structures is contended realistically); the measured average
+//! memory access time then updates each thread's IPC for the next interval.
+//! This is the classic interval-simulation approach (Sniper-style), which
+//! reproduces the feedback the paper's results hinge on: placement →
+//! latency → IPC → access rate → bandwidth pressure.
+//!
+//! At every epoch boundary, partitioned schemes (Jigsaw, CDCS) read their
+//! GMONs, build a [`PlacementProblem`], run their planner, and apply the new
+//! placement through the §IV-H movement machinery.
+
+use crate::config::SimConfig;
+use crate::energy::{EnergyBreakdown, EnergyModel};
+use crate::llc::Llc;
+use crate::memory::MemoryModel;
+use crate::metrics::{SystemMetrics, ThreadMetrics};
+use crate::scheme::{MoveScheme, Scheme, ThreadSched};
+use cdcs_cache::monitor::{Gmon, GmonConfig, Monitor, Umon, UmonConfig};
+use cdcs_cache::{Line, MissCurve};
+use cdcs_core::policy::{
+    clustered_cores, random_cores, CdcsPlanner, JigsawPlanner, Planner, RNucaPolicy,
+};
+use cdcs_core::{
+    Placement, PlacementProblem, SystemParams, ThreadInfo, VcInfo, VcKind,
+};
+use cdcs_mesh::{MemCtrlPlacement, TileId, Topology, TrafficClass};
+use cdcs_workload::{AccessStream, StreamTarget, WorkloadMix};
+
+/// Per-thread simulation state.
+#[derive(Debug)]
+struct ThreadState {
+    process: usize,
+    apki: f64,
+    ipc0: f64,
+    mlp: f64,
+    stream: AccessStream,
+    vc_private: u32,
+    vc_shared: Option<u32>,
+    /// Current IPC estimate (updated each interval).
+    ipc: f64,
+    /// Fractional access budget carried between intervals.
+    carry: f64,
+    /// Interval accumulators.
+    iv_accesses: u64,
+    iv_latency: f64,
+    /// Epoch access counts per VC class: (private, shared).
+    ep_private: f64,
+    ep_shared: f64,
+    metrics: ThreadMetrics,
+}
+
+/// Result of a simulation run.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Scheme display name.
+    pub scheme: String,
+    /// Per-thread metrics over the measured window.
+    pub threads: Vec<ThreadMetrics>,
+    /// Chip-level metrics over the measured window.
+    pub system: SystemMetrics,
+    /// Energy breakdown over the measured window.
+    pub energy: EnergyBreakdown,
+    /// Aggregate-IPC trace: one `(end_cycle, aggregate_ipc)` point per
+    /// interval of the measured window (used by the Fig. 17 harness).
+    pub ipc_trace: Vec<(u64, f64)>,
+}
+
+impl SimResult {
+    /// Per-process performance: the sum of thread IPCs of each process.
+    /// (For multi-threaded apps this aggregate progress rate stands in for
+    /// the paper's heartbeat-based ROI progress; see `DESIGN.md`.)
+    pub fn process_perf(&self) -> Vec<f64> {
+        let n = self.threads.iter().map(|t| t.process).max().map_or(0, |m| m + 1);
+        let mut perf = vec![0.0; n];
+        for t in &self.threads {
+            perf[t.process] += t.ipc();
+        }
+        perf
+    }
+
+    /// Average on-chip (L2↔LLC network) cycles per LLC access across
+    /// threads, access-weighted (Fig. 11b's metric).
+    pub fn mean_on_chip_latency(&self) -> f64 {
+        let (num, den) = self
+            .threads
+            .iter()
+            .fold((0.0, 0u64), |(n, d), t| (n + t.net_cycles, d + t.accesses));
+        if den > 0 {
+            num / den as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Average off-chip cycles per LLC access (Fig. 11c's metric).
+    pub fn mean_off_chip_latency(&self) -> f64 {
+        let (num, den) = self
+            .threads
+            .iter()
+            .fold((0.0, 0u64), |(n, d), t| (n + t.mem_cycles, d + t.accesses));
+        if den > 0 {
+            num / den as f64
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The simulator.
+pub struct Simulation {
+    config: SimConfig,
+    threads: Vec<ThreadState>,
+    vc_kinds: Vec<VcKind>,
+    cores: Vec<TileId>,
+    llc: Llc,
+    memory: MemoryModel,
+    monitors: Vec<Box<dyn Monitor>>,
+    mc: MemCtrlPlacement,
+    mc_counter: u64,
+    avg_mc_round_trip: f64,
+    cycle: u64,
+    traffic: cdcs_mesh::TrafficStats,
+    system: SystemMetrics,
+    measuring: bool,
+    ipc_trace: Vec<(u64, f64)>,
+    pending_pause: u64,
+    last_placement: Option<Placement>,
+}
+
+impl Simulation {
+    /// Builds a simulation of `mix` under `config`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the config is invalid or the mix has more
+    /// threads than the chip has cores.
+    pub fn new(config: SimConfig, mix: WorkloadMix) -> Result<Self, String> {
+        config.validate()?;
+        let total_threads = mix.total_threads();
+        if total_threads > config.mesh.num_tiles() {
+            return Err(format!(
+                "{total_threads} threads exceed {} cores",
+                config.mesh.num_tiles()
+            ));
+        }
+        if total_threads == 0 {
+            return Err("mix has no threads".into());
+        }
+
+        // VC layout: one private VC per thread (ids 0..T), one shared VC per
+        // multi-threaded process, one global VC last. (Single-threaded
+        // processes' per-process VCs are provably empty in our workload
+        // model and are omitted; the paper's runtime would create them but
+        // they hold no data in steady state.)
+        let mut vc_kinds: Vec<VcKind> = Vec::new();
+        let mut threads: Vec<ThreadState> = Vec::new();
+        for (p, app) in mix.processes().iter().enumerate() {
+            for tip in 0..app.threads {
+                let global_tid = threads.len() as u32;
+                vc_kinds.push(VcKind::thread_private(global_tid));
+                threads.push(ThreadState {
+                    process: p,
+                    apki: app.apki,
+                    ipc0: app.ipc0,
+                    mlp: app.mlp,
+                    stream: AccessStream::for_thread(app, tip, mix.stream_seed(p, tip)),
+                    vc_private: global_tid,
+                    vc_shared: None, // patched below
+                    ipc: app.ipc0 * 0.5,
+                    carry: 0.0,
+                    iv_accesses: 0,
+                    iv_latency: 0.0,
+                    ep_private: 0.0,
+                    ep_shared: 0.0,
+                    metrics: ThreadMetrics {
+                        app: app.name.clone(),
+                        process: p,
+                        thread: tip,
+                        ..Default::default()
+                    },
+                });
+            }
+        }
+        for (p, app) in mix.processes().iter().enumerate() {
+            if app.shared_pattern.is_some() {
+                let vc = vc_kinds.len() as u32;
+                vc_kinds.push(VcKind::process_shared(p as u32));
+                for t in threads.iter_mut().filter(|t| t.process == p) {
+                    t.vc_shared = Some(vc);
+                }
+            }
+        }
+        vc_kinds.push(VcKind::Global);
+        let num_vcs = vc_kinds.len();
+
+        // Initial thread pinning.
+        let sched = match config.scheme {
+            Scheme::SNuca => ThreadSched::Random,
+            Scheme::RNuca { sched }
+            | Scheme::Jigsaw { sched }
+            | Scheme::Cdcs { sched, .. } => sched,
+        };
+        let cores = match sched {
+            ThreadSched::Clustered => clustered_cores(total_threads, &config.mesh),
+            ThreadSched::Random => {
+                random_cores(total_threads, &config.mesh, config.seed ^ 0x5eed)
+            }
+        };
+
+        let llc = match config.scheme {
+            Scheme::SNuca => Llc::unpartitioned(config.num_banks(), config.bank_lines, None),
+            Scheme::RNuca { .. } => Llc::unpartitioned(
+                config.num_banks(),
+                config.bank_lines,
+                Some(RNucaPolicy::default()),
+            ),
+            Scheme::Jigsaw { .. } | Scheme::Cdcs { .. } => {
+                Llc::partitioned(config.num_banks(), config.bank_lines, num_vcs)
+            }
+        };
+
+        // Monitors: GMONs sized to cover the whole LLC (§IV-G), one per VC.
+        let monitors: Vec<Box<dyn Monitor>> = if config.scheme.partitioned() {
+            (0..num_vcs)
+                .map(|_| -> Box<dyn Monitor> {
+                    match config.monitor_kind {
+                        crate::config::MonitorKind::Gmon { ways } => {
+                            Box::new(Gmon::new(GmonConfig::covering(
+                                config.monitor_sets,
+                                ways,
+                                config.monitor_sample_period,
+                                config.total_lines(),
+                            )))
+                        }
+                        crate::config::MonitorKind::Umon { ways } => {
+                            // Uniform ways sized to cover the LLC.
+                            let per_way = config.total_lines().div_ceil(ways as u64);
+                            let period = per_way
+                                .div_ceil(config.monitor_sets as u64)
+                                .max(1) as u32;
+                            Box::new(Umon::new(UmonConfig {
+                                sets: config.monitor_sets,
+                                ways,
+                                sample_period: period,
+                            }))
+                        }
+                    }
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+
+        let mc = MemCtrlPlacement::edges(&config.mesh, config.mem_controllers);
+        let tiles = config.mesh.tiles();
+        let avg_mc_hops: f64 =
+            tiles.iter().map(|&t| mc.mean_hops_from(&config.mesh, t)).sum::<f64>()
+                / tiles.len() as f64;
+        let avg_mc_round_trip =
+            f64::from(config.noc.round_trip_latency(avg_mc_hops.round() as u32));
+
+        let memory =
+            MemoryModel::new(config.mem_zero_load, config.total_mem_bandwidth());
+
+        let mut sim = Simulation {
+            config,
+            threads,
+            vc_kinds,
+            cores,
+            llc,
+            memory,
+            monitors,
+            mc,
+            mc_counter: 0,
+            avg_mc_round_trip,
+            cycle: 0,
+            traffic: cdcs_mesh::TrafficStats::new(),
+            system: SystemMetrics::default(),
+            measuring: false,
+            ipc_trace: Vec::new(),
+            pending_pause: 0,
+            last_placement: None,
+        };
+        if sim.config.scheme.partitioned() {
+            sim.bootstrap_placement();
+        }
+        Ok(sim)
+    }
+
+    /// System parameters as seen by the planners.
+    fn planner_params(&self) -> SystemParams {
+        SystemParams {
+            mesh: self.config.mesh,
+            bank_lines: self.config.bank_lines,
+            noc: self.config.noc,
+            mem_latency: self.memory.current_latency() + self.avg_mc_round_trip,
+            bank_latency: f64::from(self.config.bank_latency),
+        }
+    }
+
+    /// Epoch-0 placement before any curves exist: an equal split, greedily
+    /// placed near each VC's accessors.
+    fn bootstrap_placement(&mut self) {
+        let problem = self.build_problem(true);
+        let num_vcs = self.vc_kinds.len();
+        let per_vc = (self.config.total_lines() / num_vcs as u64)
+            / self.config.alloc_granularity
+            * self.config.alloc_granularity;
+        let sizes = vec![per_vc; num_vcs];
+        let placement = cdcs_core::place::greedy_place(
+            &problem,
+            &sizes,
+            &self.cores,
+            self.config.alloc_granularity,
+        );
+        self.llc.reconfigure(&placement, MoveScheme::Instant, self.cycle, 0);
+        self.last_placement = Some(placement);
+    }
+
+    /// Builds the epoch's [`PlacementProblem`] from monitors and measured
+    /// access rates. With `bootstrap`, uses flat unit curves and unit rates.
+    fn build_problem(&self, bootstrap: bool) -> PlacementProblem {
+        let vcs: Vec<VcInfo> = self
+            .vc_kinds
+            .iter()
+            .enumerate()
+            .map(|(d, &kind)| {
+                let curve = if bootstrap {
+                    MissCurve::flat(1.0)
+                } else {
+                    self.monitors[d].miss_curve()
+                };
+                VcInfo::new(d as u32, kind, curve)
+            })
+            .collect();
+        let threads: Vec<ThreadInfo> = self
+            .threads
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                let mut acc: Vec<(u32, f64)> = Vec::with_capacity(2);
+                if bootstrap {
+                    acc.push((t.vc_private, 1.0));
+                    if let Some(s) = t.vc_shared {
+                        acc.push((s, 1.0));
+                    }
+                } else {
+                    if t.ep_private > 0.0 {
+                        acc.push((t.vc_private, t.ep_private));
+                    }
+                    if let (Some(s), true) = (t.vc_shared, t.ep_shared > 0.0) {
+                        acc.push((s, t.ep_shared));
+                    }
+                }
+                ThreadInfo::new(i as u32, acc)
+            })
+            .collect();
+        PlacementProblem::new(self.planner_params(), vcs, threads)
+            .expect("engine builds a consistent problem")
+    }
+
+    /// Runs an epoch-boundary reconfiguration for partitioned schemes.
+    fn reconfigure(&mut self) {
+        let problem = self.build_problem(false);
+        let placement: Placement = match &self.config.scheme {
+            Scheme::Jigsaw { .. } => {
+                JigsawPlanner {
+                    granularity: self.config.alloc_granularity,
+                    chunk: self.config.alloc_granularity,
+                }
+                .plan(&problem, &self.cores)
+            }
+            Scheme::Cdcs { planner, .. } => {
+                let planner = CdcsPlanner {
+                    granularity: self.config.alloc_granularity,
+                    chunk: self.config.alloc_granularity,
+                    ..*planner
+                };
+                Planner::plan(&planner, &problem, &self.cores)
+            }
+            _ => unreachable!("only partitioned schemes reconfigure"),
+        };
+        debug_assert!(placement.check_feasible(&problem).is_ok());
+        // Cost-benefit gate: apply the new placement only if its predicted
+        // latency gain (per epoch, from the measured curves) exceeds the
+        // refill cost of the lines it displaces. Growth costs nothing (new
+        // lines fill on demand either way); shrink/rearrangement does.
+        if let (Some(last), true) =
+            (&self.last_placement, self.config.reconfig_benefit_factor > 0.0)
+        {
+            // Displaced lines: per-bank capacity shrink, scaled by how full
+            // the VC actually is (shrinking empty capacity displaces
+            // nothing).
+            let relocated: f64 = placement
+                .vc_alloc
+                .iter()
+                .enumerate()
+                .map(|(d, per_bank)| {
+                    let shrink: u64 = per_bank
+                        .iter()
+                        .enumerate()
+                        .map(|(b, &lines)| last.vc_alloc[d][b].saturating_sub(lines))
+                        .sum();
+                    let old_total: u64 = last.vc_alloc[d].iter().sum();
+                    if old_total == 0 {
+                        return 0.0;
+                    }
+                    let occupancy = self.llc.vc_occupancy(d as u32) as f64
+                        / old_total as f64;
+                    shrink as f64 * occupancy.min(1.0)
+                })
+                .sum();
+            let new_cost = cdcs_core::cost::total_latency(&problem, &placement);
+            let mut old = last.clone();
+            old.thread_cores = self.cores.clone();
+            let old_cost = cdcs_core::cost::total_latency(&problem, &old);
+            let move_cost = self.config.reconfig_benefit_factor
+                * relocated
+                * problem.params.mem_latency;
+            if new_cost + move_cost >= old_cost {
+                // Not worth it: keep the current placement.
+                for m in &mut self.monitors {
+                    m.age();
+                }
+                for t in &mut self.threads {
+                    t.ep_private = 0.0;
+                    t.ep_shared = 0.0;
+                }
+                return;
+            }
+        }
+        if std::env::var("CDCS_DEBUG_RECONFIG").is_ok() {
+            eprintln!(
+                "reconfig@{}: cores[0..4] {:?} vc0 {:?} vc1 {:?}",
+                self.cycle,
+                &placement.thread_cores[..4.min(placement.thread_cores.len())],
+                placement.vc_banks(0),
+                placement.vc_banks(1),
+            );
+        }
+        self.cores = placement.thread_cores.clone();
+        let pause = self.llc.reconfigure(
+            &placement,
+            self.config.move_scheme,
+            self.cycle,
+            self.config.bulk_pause_cycles,
+        );
+        self.pending_pause += pause;
+        for m in &mut self.monitors {
+            m.age();
+        }
+        for t in &mut self.threads {
+            t.ep_private = 0.0;
+            t.ep_shared = 0.0;
+        }
+        if self.measuring {
+            self.system.reconfigurations += 1;
+            self.system.pause_cycles += pause;
+        }
+        self.last_placement = Some(placement);
+    }
+
+    /// Issues one access for thread `ti`; returns its latency in cycles.
+    fn issue_access(&mut self, ti: usize) -> f64 {
+        let core = self.cores[ti];
+        let (target, offset) = self.threads[ti].stream.next_access();
+        let vc = match target {
+            StreamTarget::ThreadPrivate => {
+                self.threads[ti].ep_private += 1.0;
+                self.threads[ti].vc_private
+            }
+            StreamTarget::ProcessShared => {
+                self.threads[ti].ep_shared += 1.0;
+                self.threads[ti].vc_shared.expect("shared access without shared VC")
+            }
+            StreamTarget::Global => (self.vc_kinds.len() - 1) as u32,
+        };
+        // Disjoint address spaces per VC.
+        let line = Line(((vc as u64) << 40) | offset);
+
+        if !self.monitors.is_empty() {
+            self.monitors[vc as usize].record(line);
+        }
+
+        let result = self.llc.access(vc, target, core, &self.config.mesh, line);
+        let noc = &self.config.noc;
+        let mesh = &self.config.mesh;
+        let bank_lat = f64::from(self.config.bank_latency);
+        let line_flits = noc.data_flits(64);
+        let ctrl_flits = noc.control_flits();
+        let mut latency = 0.0;
+        let m = &mut self.threads[ti].metrics;
+        m.accesses += 1;
+
+        if result.bypass {
+            // Zero-allocation VC: straight to memory from the core tile.
+            let port = self.mc.port_for(self.mc_counter);
+            self.mc_counter += 1;
+            let hops = mesh.hops(core, port);
+            let mem = self.memory.access() + f64::from(noc.round_trip_latency(hops));
+            latency += mem;
+            m.mem_cycles += mem;
+            m.misses += 1;
+            self.traffic.record(TrafficClass::LlcToMem, ctrl_flits, hops);
+            self.traffic.record(TrafficClass::LlcToMem, line_flits, hops);
+            if self.measuring {
+                self.system.dram_accesses += 1;
+            }
+            self.threads[ti].iv_accesses += 1;
+            self.threads[ti].iv_latency += latency;
+            return latency;
+        }
+
+        let bank_tile = TileId(result.bank.0);
+        let hops = mesh.hops(core, bank_tile);
+        let to_bank = f64::from(noc.round_trip_latency(hops));
+        latency += bank_lat + to_bank;
+        m.bank_cycles += bank_lat;
+        m.net_cycles += to_bank;
+        self.traffic.record(TrafficClass::L2ToLlc, ctrl_flits, hops);
+        self.traffic.record(TrafficClass::L2ToLlc, line_flits, hops);
+
+        // Two-level lookup during the shadow window (Fig. 10): the new bank
+        // forwards to the old bank.
+        if let Some(old) = result.old_bank_checked {
+            let old_tile = TileId(old.0);
+            let detour_hops = mesh.hops(bank_tile, old_tile);
+            let detour = bank_lat + f64::from(noc.round_trip_latency(detour_hops));
+            latency += detour;
+            m.bank_cycles += bank_lat;
+            m.net_cycles += f64::from(noc.round_trip_latency(detour_hops));
+            self.traffic.record(TrafficClass::Other, ctrl_flits, detour_hops);
+            if result.demand_moved {
+                // The line and its coherence state travel back (Fig. 10a).
+                self.traffic.record(TrafficClass::Other, line_flits, detour_hops);
+                if self.measuring {
+                    self.system.demand_moves += 1;
+                }
+            }
+        }
+
+        if result.hit {
+            m.hits += 1;
+        } else {
+            let port = self.mc.port_for(self.mc_counter);
+            self.mc_counter += 1;
+            let mem_hops = mesh.hops(bank_tile, port);
+            let mem = self.memory.access() + f64::from(noc.round_trip_latency(mem_hops));
+            latency += mem;
+            m.mem_cycles += mem;
+            m.misses += 1;
+            self.traffic.record(TrafficClass::LlcToMem, ctrl_flits, mem_hops);
+            self.traffic.record(TrafficClass::LlcToMem, line_flits, mem_hops);
+            if self.measuring {
+                self.system.dram_accesses += 1;
+            }
+        }
+        if result.evicted {
+            // Writeback to the line's controller (no silent drops, Table 2).
+            let port = self.mc.port_for(self.mc_counter);
+            self.mc_counter += 1;
+            let wb_hops = mesh.hops(bank_tile, port);
+            self.traffic.record(TrafficClass::LlcToMem, line_flits, wb_hops);
+            if self.measuring {
+                self.system.dram_accesses += 1;
+            }
+        }
+
+        self.threads[ti].iv_accesses += 1;
+        self.threads[ti].iv_latency += latency;
+        latency
+    }
+
+    /// Simulates one interval; returns the aggregate instructions retired.
+    fn run_interval(&mut self) -> f64 {
+        let interval = self.config.interval_cycles;
+        // Budgets from current IPC estimates.
+        let mut budgets: Vec<u64> = Vec::with_capacity(self.threads.len());
+        let mut instr_total = 0.0;
+        for t in &mut self.threads {
+            let instrs = t.ipc * interval as f64;
+            let exact = instrs * t.apki / 1000.0 + t.carry;
+            let n = exact.floor();
+            t.carry = exact - n;
+            budgets.push(n as u64);
+            instr_total += instrs;
+            if self.measuring {
+                t.metrics.instructions += instrs;
+                t.metrics.cycles += interval as f64;
+            }
+        }
+        // Round-robin interleaving across threads.
+        loop {
+            let mut any = false;
+            for ti in 0..self.threads.len() {
+                if budgets[ti] > 0 {
+                    budgets[ti] -= 1;
+                    self.issue_access(ti);
+                    any = true;
+                }
+            }
+            if !any {
+                break;
+            }
+        }
+        // Interval bookkeeping: AMAT -> IPC feedback.
+        for t in &mut self.threads {
+            if t.iv_accesses > 0 {
+                let amat = t.iv_latency / t.iv_accesses as f64;
+                let target = 1.0 / (1.0 / t.ipc0 + t.apki / 1000.0 * amat / t.mlp);
+                t.ipc = 0.5 * t.ipc + 0.5 * target;
+            }
+            t.iv_accesses = 0;
+            t.iv_latency = 0.0;
+        }
+        self.memory.end_interval(interval);
+        self.cycle += interval;
+        self.llc.background_tick(
+            self.cycle,
+            self.config.background_delay_cycles,
+            self.config.background_walk_cycles,
+        );
+
+        // Reconfiguration pauses stall every core for their duration.
+        if self.pending_pause > 0 {
+            let pause = self.pending_pause;
+            self.pending_pause = 0;
+            self.cycle += pause;
+            for t in &mut self.threads {
+                if self.measuring {
+                    t.metrics.cycles += pause as f64;
+                }
+            }
+            if self.measuring {
+                self.ipc_trace.push((self.cycle, 0.0));
+            }
+        }
+        if self.measuring {
+            self.ipc_trace.push((self.cycle, instr_total / interval as f64));
+        }
+        instr_total
+    }
+
+    /// Runs the configured warm-up and measurement epochs and returns the
+    /// results.
+    pub fn run(mut self) -> SimResult {
+        let intervals_per_epoch =
+            (self.config.epoch_cycles / self.config.interval_cycles).max(1);
+        let total_epochs = self.config.warmup_epochs + self.config.measure_epochs;
+        for epoch in 0..total_epochs {
+            self.measuring = epoch >= self.config.warmup_epochs;
+            for _ in 0..intervals_per_epoch {
+                self.run_interval();
+            }
+            if self.config.scheme.reconfigures() && epoch + 1 < total_epochs {
+                self.reconfigure();
+            }
+        }
+        self.finish()
+    }
+
+    /// Runs a fixed number of intervals without epoch logic (used by tests
+    /// and the Fig. 17 harness via [`Simulation::run_trace`]).
+    pub fn run_trace(mut self, pre_intervals: usize, post_intervals: usize) -> SimResult {
+        for _ in 0..pre_intervals {
+            self.run_interval();
+        }
+        self.measuring = true;
+        for _ in 0..post_intervals / 2 {
+            self.run_interval();
+        }
+        if self.config.scheme.reconfigures() {
+            self.reconfigure();
+        }
+        for _ in 0..post_intervals.div_ceil(2) {
+            self.run_interval();
+        }
+        self.finish()
+    }
+
+    fn finish(mut self) -> SimResult {
+        let move_stats = self.llc.stats;
+        self.system.demand_moves = self.system.demand_moves.max(move_stats.demand_moves);
+        self.system.background_invalidations = move_stats.background_invalidations;
+        self.system.bulk_invalidations = move_stats.bulk_invalidations;
+        self.system.instant_moves = move_stats.instant_moves;
+        self.system.cycles = self
+            .threads
+            .iter()
+            .map(|t| t.metrics.cycles)
+            .fold(0.0, f64::max);
+        self.system.instructions =
+            self.threads.iter().map(|t| t.metrics.instructions).sum();
+        self.system.traffic = self.traffic.clone();
+        let llc_accesses: u64 = self.threads.iter().map(|t| t.metrics.accesses).sum();
+        let energy = EnergyModel::default().compute(
+            self.system.cycles,
+            self.system.instructions,
+            llc_accesses,
+            self.system.traffic.total_flit_hops(),
+            self.system.dram_accesses,
+        );
+        SimResult {
+            scheme: self.config.scheme.name(),
+            threads: self.threads.into_iter().map(|t| t.metrics).collect(),
+            system: self.system,
+            energy,
+            ipc_trace: self.ipc_trace,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdcs_workload::MixSpec;
+
+    fn mix(names: &[&str]) -> WorkloadMix {
+        WorkloadMix::from_spec(&MixSpec::Named(
+            names.iter().map(|s| s.to_string()).collect(),
+        ))
+        .unwrap()
+    }
+
+    fn run_scheme(scheme: Scheme, names: &[&str]) -> SimResult {
+        let mut config = SimConfig::small_test();
+        config.scheme = scheme;
+        Simulation::new(config, mix(names)).unwrap().run()
+    }
+
+    #[test]
+    fn snuca_runs_and_counts() {
+        let r = run_scheme(Scheme::SNuca, &["calculix", "milc"]);
+        assert_eq!(r.threads.len(), 2);
+        for t in &r.threads {
+            assert!(t.instructions > 0.0);
+            assert!(t.accesses > 0);
+            assert!(t.ipc() > 0.0 && t.ipc() <= 2.0, "ipc {}", t.ipc());
+        }
+        assert!(r.system.traffic.total_flit_hops() > 0);
+    }
+
+    #[test]
+    fn fitting_app_hits_streaming_app_misses() {
+        // Run each alone: a streaming co-runner would thrash S-NUCA's
+        // unpartitioned LRU banks and evict calculix — the paper's premise.
+        let fit = run_scheme(Scheme::SNuca, &["calculix"]);
+        let stream = run_scheme(Scheme::SNuca, &["milc"]);
+        let calculix = &fit.threads[0];
+        let milc = &stream.threads[0];
+        assert!(calculix.hit_ratio() > 0.8, "calculix hit ratio {}", calculix.hit_ratio());
+        assert!(milc.hit_ratio() < 0.1, "milc hit ratio {}", milc.hit_ratio());
+    }
+
+    #[test]
+    fn cdcs_survives_streaming_corunners() {
+        // Several streaming instances churn S-NUCA's shared LRU banks and
+        // spread every access across the chip; CDCS isolates calculix in a
+        // local partition. (A single milc cannot thrash 8 MB at our rates —
+        // the paper's mixes use 14 instances.)
+        let names = ["calculix", "milc", "milc", "milc", "milc", "milc", "milc"];
+        let s = run_scheme(Scheme::SNuca, &names);
+        let c = run_scheme(Scheme::cdcs(), &names);
+        let fit_s = &s.threads[0];
+        let fit_c = &c.threads[0];
+        assert!(
+            fit_c.ipc() > fit_s.ipc(),
+            "CDCS calculix {} vs S-NUCA {}",
+            fit_c.ipc(),
+            fit_s.ipc()
+        );
+        // And CDCS slashes calculix's on-chip latency.
+        assert!(
+            fit_c.on_chip_per_access() < fit_s.on_chip_per_access() / 2.0,
+            "on-chip: CDCS {} vs S-NUCA {}",
+            fit_c.on_chip_per_access(),
+            fit_s.on_chip_per_access()
+        );
+    }
+
+    #[test]
+    fn rnuca_beats_snuca_on_chip_latency() {
+        let s = run_scheme(Scheme::SNuca, &["calculix", "bzip2"]);
+        let r = run_scheme(Scheme::rnuca(), &["calculix", "bzip2"]);
+        assert!(
+            r.mean_on_chip_latency() < s.mean_on_chip_latency() / 2.0,
+            "R-NUCA {} vs S-NUCA {}",
+            r.mean_on_chip_latency(),
+            s.mean_on_chip_latency()
+        );
+    }
+
+    #[test]
+    fn cdcs_beats_snuca_on_cache_fitting_app() {
+        // calculix (192 KB) fits easily; under CDCS its VC is sized and
+        // placed locally, so IPC must beat hashed S-NUCA placement.
+        let s = run_scheme(Scheme::SNuca, &["calculix", "calculix"]);
+        let c = run_scheme(Scheme::cdcs(), &["calculix", "calculix"]);
+        let si = s.threads[0].ipc() + s.threads[1].ipc();
+        let ci = c.threads[0].ipc() + c.threads[1].ipc();
+        assert!(ci > si, "CDCS {ci} vs S-NUCA {si}");
+    }
+
+    #[test]
+    fn jigsaw_reconfigures_and_stays_feasible() {
+        let mut config = SimConfig::small_test();
+        config.scheme = Scheme::jigsaw_random();
+        // Disable the cost-benefit gate so every planned placement applies.
+        config.reconfig_benefit_factor = 0.0;
+        let r = Simulation::new(config, mix(&["calculix", "bzip2", "milc"]))
+            .unwrap()
+            .run();
+        assert!(r.system.reconfigurations > 0);
+    }
+
+    #[test]
+    fn benefit_gate_skips_noise_reconfigurations() {
+        // With the gate enabled and a stationary workload, the steady state
+        // applies few or no reconfigurations in the measured window.
+        let r = run_scheme(Scheme::jigsaw_random(), &["calculix", "bzip2"]);
+        assert!(r.system.reconfigurations <= 1, "{}", r.system.reconfigurations);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = run_scheme(Scheme::cdcs(), &["calculix", "bzip2"]);
+        let b = run_scheme(Scheme::cdcs(), &["calculix", "bzip2"]);
+        assert_eq!(a.system.instructions, b.system.instructions);
+        assert_eq!(a.system.traffic, b.system.traffic);
+        for (x, y) in a.threads.iter().zip(&b.threads) {
+            assert_eq!(x.instructions, y.instructions);
+            assert_eq!(x.accesses, y.accesses);
+        }
+    }
+
+    #[test]
+    fn too_many_threads_rejected() {
+        let config = SimConfig::small_test(); // 16 tiles
+        let m = WorkloadMix::from_spec(&MixSpec::RandomMultiThreaded {
+            count: 3, // 24 threads
+            mix_seed: 0,
+        })
+        .unwrap();
+        assert!(Simulation::new(config, m).is_err());
+    }
+
+    #[test]
+    fn multithreaded_mix_shares_process_vc() {
+        let r = run_scheme(Scheme::cdcs(), &["ilbdc"]);
+        assert_eq!(r.threads.len(), 8);
+        // All threads make progress.
+        for t in &r.threads {
+            assert!(t.ipc() > 0.0);
+        }
+    }
+
+    #[test]
+    fn bulk_invalidation_records_pauses() {
+        let mut config = SimConfig::small_test();
+        config.scheme = Scheme::jigsaw_random();
+        config.move_scheme = MoveScheme::BulkInvalidate;
+        config.reconfig_benefit_factor = 0.0; // apply every placement
+        let r = Simulation::new(config, mix(&["calculix", "bzip2"])).unwrap().run();
+        assert!(r.system.pause_cycles > 0);
+        assert!(r.system.bulk_invalidations > 0);
+    }
+
+    #[test]
+    fn demand_moves_happen_under_cdcs() {
+        let mut config = SimConfig::small_test();
+        config.scheme = Scheme::cdcs();
+        config.move_scheme = MoveScheme::DemandMove;
+        // Two apps whose allocations change between epochs.
+        let r = Simulation::new(config, mix(&["omnet", "xalancbmk", "bzip2"]))
+            .unwrap()
+            .run();
+        assert_eq!(r.system.pause_cycles, 0, "demand moves never pause");
+    }
+
+    #[test]
+    fn ipc_trace_is_recorded() {
+        let r = run_scheme(Scheme::SNuca, &["calculix"]);
+        assert!(!r.ipc_trace.is_empty());
+        for w in r.ipc_trace.windows(2) {
+            assert!(w[1].0 > w[0].0, "trace cycles must increase");
+        }
+    }
+}

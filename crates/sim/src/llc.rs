@@ -1,0 +1,599 @@
+//! The shared NUCA LLC: banks, mapping, and reconfiguration machinery.
+//!
+//! Depending on the scheme, lines map to banks via address hashing (S-NUCA),
+//! R-NUCA's class policy, or VC descriptors (Jigsaw/CDCS, §III). Partitioned
+//! schemes assign one bank partition per VC. Reconfigurations relocate lines
+//! using one of the §IV-H movement schemes: instant (idealized), bulk
+//! invalidation (Jigsaw: pause + drop), or demand moves with background
+//! invalidations (CDCS: shadow descriptors keep the old mapping live while
+//! lines migrate on demand and a background walker cleans up).
+
+use crate::scheme::MoveScheme;
+use cdcs_cache::{hash, BankId, Line, PartitionId, PartitionedBank};
+use cdcs_core::policy::{RNucaPolicy, RnucaClass};
+use cdcs_core::{Placement, VcDescriptor};
+use cdcs_mesh::{Mesh, TileId};
+use cdcs_workload::StreamTarget;
+use std::collections::HashMap;
+
+/// How lines find their bank.
+#[derive(Debug, Clone)]
+pub(crate) enum Mapping {
+    /// S-NUCA: hash over all banks.
+    Hashed,
+    /// R-NUCA: class-based policy; needs the accessing core for locality.
+    RNuca(RNucaPolicy),
+    /// Jigsaw/CDCS: per-VC descriptors; shadow descriptors stay live during
+    /// incremental reconfigurations (§IV-H, Fig. 3).
+    Vtb {
+        /// Current descriptor per VC (`None` = zero allocation: bypass LLC).
+        desc: Vec<Option<VcDescriptor>>,
+        /// Previous-epoch descriptor per VC while a reconfiguration drains.
+        shadow: Vec<Option<VcDescriptor>>,
+        /// Whether shadow descriptors are consulted.
+        shadow_active: bool,
+    },
+}
+
+/// Result of one LLC lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct LookupResult {
+    /// Bank that served (or homed) the access. Meaningless on bypass.
+    pub bank: BankId,
+    /// Whether the line was found (including via a demand move).
+    pub hit: bool,
+    /// The VC has no LLC allocation: the access goes straight to memory.
+    pub bypass: bool,
+    /// The old bank consulted through the shadow descriptor, if any
+    /// (accounts for the two-level lookup latency of Fig. 10).
+    pub old_bank_checked: Option<BankId>,
+    /// The access was served by a demand move from the old bank (§IV-H).
+    pub demand_moved: bool,
+    /// A line was evicted by the fill (writeback traffic to memory).
+    pub evicted: bool,
+}
+
+/// Counters for the movement machinery.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct MoveStats {
+    pub demand_moves: u64,
+    pub background_invalidations: u64,
+    pub bulk_invalidations: u64,
+    pub instant_moves: u64,
+}
+
+/// The distributed LLC.
+#[derive(Debug)]
+pub(crate) struct Llc {
+    banks: Vec<PartitionedBank>,
+    mapping: Mapping,
+    bank_lines: u64,
+    /// Lines displaced by the last reconfiguration, still serveable from
+    /// their old location via demand moves: line → old bank.
+    old_lines: HashMap<u64, BankId>,
+    /// Cycle at which the current shadow window started.
+    shadow_start: u64,
+    pub stats: MoveStats,
+}
+
+impl Llc {
+    /// Creates an unpartitioned LLC (S-NUCA / R-NUCA).
+    pub fn unpartitioned(num_banks: usize, bank_lines: u64, rnuca: Option<RNucaPolicy>) -> Self {
+        Llc {
+            banks: (0..num_banks)
+                .map(|_| PartitionedBank::unpartitioned(bank_lines as usize))
+                .collect(),
+            mapping: match rnuca {
+                Some(p) => Mapping::RNuca(p),
+                None => Mapping::Hashed,
+            },
+            bank_lines,
+            old_lines: HashMap::new(),
+            shadow_start: 0,
+            stats: MoveStats::default(),
+        }
+    }
+
+    /// Creates a partitioned LLC (Jigsaw / CDCS) with `num_vcs` partitions
+    /// per bank, initially empty (all capacities zero until the first
+    /// [`reconfigure`](Self::reconfigure)).
+    pub fn partitioned(num_banks: usize, bank_lines: u64, num_vcs: usize) -> Self {
+        Llc {
+            banks: (0..num_banks)
+                .map(|_| PartitionedBank::new(bank_lines as usize, &vec![0; num_vcs]))
+                .collect(),
+            mapping: Mapping::Vtb {
+                desc: vec![None; num_vcs],
+                shadow: vec![None; num_vcs],
+                shadow_active: false,
+            },
+            bank_lines,
+            old_lines: HashMap::new(),
+            shadow_start: 0,
+            stats: MoveStats::default(),
+        }
+    }
+
+    /// Whether this LLC uses VC descriptors.
+    #[allow(dead_code)] // exercised by tests and kept for harness inspection
+    pub fn is_partitioned(&self) -> bool {
+        matches!(self.mapping, Mapping::Vtb { .. })
+    }
+
+    /// Looks up (and on miss, fills) `line` for the given access context.
+    pub fn access(
+        &mut self,
+        vc: u32,
+        class: StreamTarget,
+        core: TileId,
+        mesh: &Mesh,
+        line: Line,
+    ) -> LookupResult {
+        match &self.mapping {
+            Mapping::Hashed => {
+                let bank = BankId(hash::bucket(line.0, self.banks.len()) as u16);
+                self.plain_access(bank, line)
+            }
+            Mapping::RNuca(policy) => {
+                let class = match class {
+                    StreamTarget::ThreadPrivate => RnucaClass::Private,
+                    StreamTarget::ProcessShared | StreamTarget::Global => RnucaClass::Shared,
+                };
+                let bank_tile = policy.bank_for(class, line, core, mesh);
+                self.plain_access(BankId(bank_tile.0), line)
+            }
+            Mapping::Vtb { desc, shadow, shadow_active } => {
+                let Some(d) = &desc[vc as usize] else {
+                    return LookupResult {
+                        bank: BankId(0),
+                        hit: false,
+                        bypass: true,
+                        old_bank_checked: None,
+                        demand_moved: false,
+                        evicted: false,
+                    };
+                };
+                let bank = d.bank_for_line(line);
+                let part = PartitionId(vc as u16);
+                // Old-bank home under the shadow descriptor, if it differs.
+                let old_bank = if *shadow_active {
+                    shadow[vc as usize]
+                        .as_ref()
+                        .map(|s| s.bank_for_line(line))
+                        .filter(|&ob| ob != bank)
+                } else {
+                    None
+                };
+                let hit = self.banks[bank.index()].access(part, line);
+                if hit {
+                    return LookupResult {
+                        bank,
+                        hit: true,
+                        bypass: false,
+                        old_bank_checked: None,
+                        demand_moved: false,
+                        evicted: false,
+                    };
+                }
+                // Miss in the new bank: consult the old bank while the
+                // shadow window is open (Fig. 10).
+                let (mut demand_moved, mut evicted) = (false, false);
+                if old_bank.is_some() && self.old_lines.remove(&line.0).is_some() {
+                    // Old bank hit: the line moves to its new home (Fig. 10a).
+                    demand_moved = true;
+                    self.stats.demand_moves += 1;
+                }
+                // Fill the new location (whether from the old bank or from
+                // memory).
+                evicted |= self.banks[bank.index()].fill(part, line).is_some();
+                LookupResult {
+                    bank,
+                    hit: demand_moved,
+                    bypass: false,
+                    old_bank_checked: old_bank,
+                    demand_moved,
+                    evicted,
+                }
+            }
+        }
+    }
+
+    /// Unpartitioned access path: single-partition banks.
+    fn plain_access(&mut self, bank: BankId, line: Line) -> LookupResult {
+        let part = PartitionId(0);
+        let hit = self.banks[bank.index()].access(part, line);
+        let mut evicted = false;
+        if !hit {
+            evicted = self.banks[bank.index()].fill(part, line).is_some();
+        }
+        LookupResult {
+            bank,
+            hit,
+            bypass: false,
+            old_bank_checked: None,
+            demand_moved: false,
+            evicted,
+        }
+    }
+
+    /// Applies a new placement (partitioned schemes only), relocating lines
+    /// per the movement scheme. Returns the cycles all cores pause (non-zero
+    /// only for bulk invalidations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on an unpartitioned LLC.
+    pub fn reconfigure(
+        &mut self,
+        placement: &Placement,
+        move_scheme: MoveScheme,
+        now_cycles: u64,
+        bulk_pause: u64,
+    ) -> u64 {
+        let num_vcs = placement.vc_alloc.len();
+        // Any stragglers from the previous window are dropped now (their
+        // background walk has long finished in practice; epochs far exceed
+        // the walk window).
+        self.stats.background_invalidations += self.old_lines.len() as u64;
+        self.old_lines.clear();
+
+        // New descriptors, preserving bucket assignments from the current
+        // ones where possible to minimize line movement.
+        let prev_desc: Vec<Option<VcDescriptor>> = match &self.mapping {
+            Mapping::Vtb { desc, .. } => desc.clone(),
+            _ => vec![None; num_vcs],
+        };
+        let new_desc: Vec<Option<VcDescriptor>> = (0..num_vcs)
+            .map(|d| {
+                let banks = placement.vc_banks(d as u32);
+                if banks.is_empty() {
+                    None
+                } else {
+                    Some(
+                        VcDescriptor::from_allocation_stable(
+                            &banks,
+                            prev_desc[d].as_ref(),
+                        )
+                        .expect("non-empty allocation builds a descriptor"),
+                    )
+                }
+            })
+            .collect();
+
+        // Phase 1: pull every line whose home bank changes out of its old
+        // partition *before* resizing — resizing first would evict the very
+        // lines the movement machinery is supposed to relocate. Lines are
+        // collected MRU-first per partition.
+        let mut pause = 0;
+        let mut instant_moves: Vec<(usize, PartitionId, Line)> = Vec::new();
+        for d in 0..num_vcs {
+            let part = PartitionId(d as u16);
+            for b in 0..self.banks.len() {
+                let lines = self.banks[b].partition_lines(part);
+                for line in lines {
+                    let new_bank = new_desc[d].as_ref().map(|nd| nd.bank_for_line(line));
+                    match new_bank {
+                        Some(nb) if nb.index() == b => {} // stays put
+                        Some(nb) => {
+                            self.banks[b].invalidate(part, line);
+                            match move_scheme {
+                                MoveScheme::Instant => {
+                                    instant_moves.push((nb.index(), part, line));
+                                }
+                                MoveScheme::BulkInvalidate => {
+                                    self.stats.bulk_invalidations += 1;
+                                }
+                                MoveScheme::DemandMove => {
+                                    self.old_lines.insert(line.0, BankId(b as u16));
+                                }
+                            }
+                        }
+                        None => {
+                            // VC lost its allocation entirely.
+                            self.banks[b].invalidate(part, line);
+                            match move_scheme {
+                                MoveScheme::BulkInvalidate => {
+                                    self.stats.bulk_invalidations += 1
+                                }
+                                _ => self.stats.background_invalidations += 1,
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Phase 2: apply the new partition sizes. Lines that stay in their
+        // bank but exceed the shrunken allocation are ordinary LRU evictions
+        // (in hardware, Vantage demotes them as the partition shrinks).
+        for (b, bank) in self.banks.iter_mut().enumerate() {
+            let sizes: Vec<usize> =
+                (0..num_vcs).map(|d| placement.vc_alloc[d][b] as usize).collect();
+            bank.resize_partitions(&sizes);
+        }
+
+        // Phase 3 (instant moves only): refill relocated lines at their new
+        // homes, LRU-first so recency order survives the move.
+        for (b, part, line) in instant_moves.into_iter().rev() {
+            self.banks[b].fill(part, line);
+            self.stats.instant_moves += 1;
+        }
+
+        match &mut self.mapping {
+            Mapping::Vtb { desc, shadow, shadow_active } => {
+                *shadow = std::mem::replace(desc, new_desc);
+                *shadow_active =
+                    move_scheme == MoveScheme::DemandMove && !self.old_lines.is_empty();
+                self.shadow_start = now_cycles;
+                if move_scheme == MoveScheme::BulkInvalidate {
+                    pause = bulk_pause;
+                }
+            }
+            _ => panic!("reconfigure called on an unpartitioned LLC"),
+        }
+        pause
+    }
+
+    /// Advances the background-invalidation walker (§IV-H): after
+    /// `delay_cycles` from the reconfiguration, old copies are invalidated
+    /// at a rate that finishes the walk in `walk_cycles`; when the walk
+    /// completes, the shadow descriptors are dropped.
+    pub fn background_tick(&mut self, now_cycles: u64, delay_cycles: u64, walk_cycles: u64) {
+        let Mapping::Vtb { shadow_active, .. } = &mut self.mapping else {
+            return;
+        };
+        if !*shadow_active {
+            return;
+        }
+        let elapsed = now_cycles.saturating_sub(self.shadow_start);
+        if elapsed <= delay_cycles {
+            return;
+        }
+        let progress =
+            ((elapsed - delay_cycles) as f64 / walk_cycles as f64).min(1.0);
+        if progress >= 1.0 {
+            self.stats.background_invalidations += self.old_lines.len() as u64;
+            self.old_lines.clear();
+            *shadow_active = false;
+            return;
+        }
+        // Drop a deterministic subset so that `progress` of the original
+        // population is gone: keep lines whose hash exceeds the threshold.
+        let threshold = (progress * u64::MAX as f64) as u64;
+        let before = self.old_lines.len();
+        self.old_lines.retain(|&l, _| hash::mix64(l) >= threshold);
+        self.stats.background_invalidations += (before - self.old_lines.len()) as u64;
+    }
+
+    /// Whether the shadow window is currently open.
+    #[allow(dead_code)] // exercised by tests and kept for harness inspection
+    pub fn shadow_active(&self) -> bool {
+        matches!(self.mapping, Mapping::Vtb { shadow_active: true, .. })
+    }
+
+    /// Lines still awaiting demand moves or background invalidation.
+    #[allow(dead_code)] // exercised by tests and kept for harness inspection
+    pub fn pending_old_lines(&self) -> usize {
+        self.old_lines.len()
+    }
+
+    /// Aggregate hit/miss statistics across banks.
+    #[allow(dead_code)] // exercised by tests and kept for harness inspection
+    pub fn bank_stats(&self) -> cdcs_cache::BankStats {
+        let mut total = cdcs_cache::BankStats::default();
+        for b in &self.banks {
+            total.merge(&b.stats());
+        }
+        total
+    }
+
+    /// Total lines resident.
+    #[allow(dead_code)] // exercised by tests and kept for harness inspection
+    pub fn occupancy(&self) -> usize {
+        self.banks.iter().map(|b| b.occupancy()).sum()
+    }
+
+    /// Lines resident in one VC's partitions across all banks (0 for
+    /// unpartitioned LLCs).
+    pub fn vc_occupancy(&self, vc: u32) -> u64 {
+        if !matches!(self.mapping, Mapping::Vtb { .. }) {
+            return 0;
+        }
+        let part = PartitionId(vc as u16);
+        self.banks.iter().map(|b| b.partition_len(part) as u64).sum()
+    }
+
+    /// Bank capacity in lines.
+    #[allow(dead_code)] // exercised by tests and kept for harness inspection
+    pub fn bank_lines(&self) -> u64 {
+        self.bank_lines
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vtb_llc_with_placement(
+        alloc: Vec<Vec<u64>>,
+        move_scheme: MoveScheme,
+    ) -> (Llc, Placement) {
+        let num_vcs = alloc.len();
+        let banks = alloc[0].len();
+        let mut llc = Llc::partitioned(banks, 1024, num_vcs);
+        let placement = Placement { thread_cores: vec![], vc_alloc: alloc };
+        llc.reconfigure(&placement, move_scheme, 0, 0);
+        (llc, placement)
+    }
+
+    #[test]
+    fn snuca_spreads_lines_across_banks() {
+        let mut llc = Llc::unpartitioned(4, 1024, None);
+        let mesh = Mesh::new(2, 2);
+        let mut seen = std::collections::HashSet::new();
+        for a in 0..200u64 {
+            let r = llc.access(0, StreamTarget::ThreadPrivate, TileId(0), &mesh, Line(a));
+            assert!(!r.hit, "cold accesses miss");
+            seen.insert(r.bank);
+        }
+        assert_eq!(seen.len(), 4);
+        // Re-access: all hits.
+        for a in 0..200u64 {
+            let r = llc.access(0, StreamTarget::ThreadPrivate, TileId(0), &mesh, Line(a));
+            assert!(r.hit);
+        }
+    }
+
+    #[test]
+    fn rnuca_private_goes_local() {
+        let mut llc = Llc::unpartitioned(4, 1024, Some(RNucaPolicy::default()));
+        let mesh = Mesh::new(2, 2);
+        for a in 0..50u64 {
+            let r = llc.access(0, StreamTarget::ThreadPrivate, TileId(3), &mesh, Line(a));
+            assert_eq!(r.bank, BankId(3));
+        }
+        // Shared data spreads.
+        let mut seen = std::collections::HashSet::new();
+        for a in 100..300u64 {
+            let r = llc.access(0, StreamTarget::ProcessShared, TileId(3), &mesh, Line(a));
+            seen.insert(r.bank);
+        }
+        assert_eq!(seen.len(), 4);
+    }
+
+    #[test]
+    fn vtb_routes_by_descriptor_and_bypasses_zero_vcs() {
+        let (mut llc, _) = vtb_llc_with_placement(
+            vec![vec![1024, 0], vec![0, 0]], // vc0 in bank 0 only; vc1 nothing
+            MoveScheme::Instant,
+        );
+        let mesh = Mesh::new(2, 1);
+        let r = llc.access(0, StreamTarget::ThreadPrivate, TileId(0), &mesh, Line(1));
+        assert_eq!(r.bank, BankId(0));
+        assert!(!r.bypass);
+        let r = llc.access(1, StreamTarget::ThreadPrivate, TileId(0), &mesh, Line(2));
+        assert!(r.bypass, "zero-allocation VC must bypass the LLC");
+    }
+
+    #[test]
+    fn partitions_isolate_vcs() {
+        let (mut llc, _) = vtb_llc_with_placement(
+            vec![vec![512, 0], vec![512, 0]],
+            MoveScheme::Instant,
+        );
+        let mesh = Mesh::new(2, 1);
+        // Same line number in two VCs (different address spaces in practice,
+        // but even identical raw lines must not alias across partitions).
+        llc.access(0, StreamTarget::ThreadPrivate, TileId(0), &mesh, Line(7));
+        let r = llc.access(1, StreamTarget::ThreadPrivate, TileId(0), &mesh, Line(7));
+        assert!(!r.hit, "VCs must not share lines");
+    }
+
+    #[test]
+    fn instant_moves_relocate_lines() {
+        let (mut llc, _) =
+            vtb_llc_with_placement(vec![vec![1024, 0]], MoveScheme::Instant);
+        let mesh = Mesh::new(2, 1);
+        for a in 0..100u64 {
+            llc.access(0, StreamTarget::ThreadPrivate, TileId(0), &mesh, Line(a));
+        }
+        // Move the VC to bank 1.
+        let placement = Placement { thread_cores: vec![], vc_alloc: vec![vec![0, 1024]] };
+        llc.reconfigure(&placement, MoveScheme::Instant, 1000, 0);
+        assert_eq!(llc.stats.instant_moves, 100);
+        // All lines hit immediately at the new bank.
+        for a in 0..100u64 {
+            let r = llc.access(0, StreamTarget::ThreadPrivate, TileId(0), &mesh, Line(a));
+            assert!(r.hit, "line {a} lost by instant move");
+            assert_eq!(r.bank, BankId(1));
+        }
+    }
+
+    #[test]
+    fn bulk_invalidation_drops_lines_and_pauses() {
+        let (mut llc, _) =
+            vtb_llc_with_placement(vec![vec![1024, 0]], MoveScheme::BulkInvalidate);
+        let mesh = Mesh::new(2, 1);
+        for a in 0..100u64 {
+            llc.access(0, StreamTarget::ThreadPrivate, TileId(0), &mesh, Line(a));
+        }
+        let placement = Placement { thread_cores: vec![], vc_alloc: vec![vec![0, 1024]] };
+        let pause = llc.reconfigure(&placement, MoveScheme::BulkInvalidate, 1000, 12345);
+        assert_eq!(pause, 12345);
+        assert_eq!(llc.stats.bulk_invalidations, 100);
+        // Everything misses at the new bank.
+        let r = llc.access(0, StreamTarget::ThreadPrivate, TileId(0), &mesh, Line(5));
+        assert!(!r.hit);
+    }
+
+    #[test]
+    fn demand_moves_serve_from_old_bank() {
+        let (mut llc, _) =
+            vtb_llc_with_placement(vec![vec![1024, 0]], MoveScheme::DemandMove);
+        let mesh = Mesh::new(2, 1);
+        for a in 0..100u64 {
+            llc.access(0, StreamTarget::ThreadPrivate, TileId(0), &mesh, Line(a));
+        }
+        let placement = Placement { thread_cores: vec![], vc_alloc: vec![vec![0, 1024]] };
+        llc.reconfigure(&placement, MoveScheme::DemandMove, 1000, 0);
+        assert!(llc.shadow_active());
+        assert_eq!(llc.pending_old_lines(), 100);
+        // First access after reconfiguration: a demand move, counted as hit.
+        let r = llc.access(0, StreamTarget::ThreadPrivate, TileId(0), &mesh, Line(5));
+        assert!(r.demand_moved && r.hit);
+        assert_eq!(r.old_bank_checked, Some(BankId(0)));
+        assert_eq!(llc.stats.demand_moves, 1);
+        // Second access: a plain hit at the new bank.
+        let r = llc.access(0, StreamTarget::ThreadPrivate, TileId(0), &mesh, Line(5));
+        assert!(r.hit && !r.demand_moved);
+    }
+
+    #[test]
+    fn background_walk_cleans_up_and_closes_shadow() {
+        let (mut llc, _) =
+            vtb_llc_with_placement(vec![vec![1024, 0]], MoveScheme::DemandMove);
+        let mesh = Mesh::new(2, 1);
+        for a in 0..100u64 {
+            llc.access(0, StreamTarget::ThreadPrivate, TileId(0), &mesh, Line(a));
+        }
+        let placement = Placement { thread_cores: vec![], vc_alloc: vec![vec![0, 1024]] };
+        llc.reconfigure(&placement, MoveScheme::DemandMove, 1000, 0);
+        // Before the delay: nothing happens.
+        llc.background_tick(1000 + 10, 50, 100);
+        assert_eq!(llc.pending_old_lines(), 100);
+        // Mid-walk: roughly half gone.
+        llc.background_tick(1000 + 50 + 50, 50, 100);
+        let pending = llc.pending_old_lines();
+        assert!(pending < 80 && pending > 20, "pending {pending}");
+        // Walk complete: shadow closes.
+        llc.background_tick(1000 + 50 + 200, 50, 100);
+        assert_eq!(llc.pending_old_lines(), 0);
+        assert!(!llc.shadow_active());
+        // Accesses now miss (the moved lines were never demanded).
+        let r = llc.access(0, StreamTarget::ThreadPrivate, TileId(0), &mesh, Line(5));
+        assert!(!r.hit);
+    }
+
+    #[test]
+    #[should_panic(expected = "unpartitioned")]
+    fn reconfigure_unpartitioned_panics() {
+        let mut llc = Llc::unpartitioned(2, 1024, None);
+        let placement = Placement { thread_cores: vec![], vc_alloc: vec![vec![0, 0]] };
+        llc.reconfigure(&placement, MoveScheme::Instant, 0, 0);
+    }
+
+    #[test]
+    fn resize_shrink_evicts() {
+        let (mut llc, _) =
+            vtb_llc_with_placement(vec![vec![1024, 0]], MoveScheme::Instant);
+        let mesh = Mesh::new(2, 1);
+        for a in 0..1000u64 {
+            llc.access(0, StreamTarget::ThreadPrivate, TileId(0), &mesh, Line(a));
+        }
+        assert_eq!(llc.occupancy(), 1000);
+        // Shrink to 100 lines in the same bank.
+        let placement = Placement { thread_cores: vec![], vc_alloc: vec![vec![100, 0]] };
+        llc.reconfigure(&placement, MoveScheme::Instant, 10, 0);
+        assert!(llc.occupancy() <= 100);
+    }
+}

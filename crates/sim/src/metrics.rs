@@ -1,0 +1,171 @@
+//! Per-thread and system-level measurement.
+
+use cdcs_mesh::TrafficStats;
+use serde::{Deserialize, Serialize};
+
+/// Per-thread counters over the measured window.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ThreadMetrics {
+    /// Benchmark name of the owning process.
+    pub app: String,
+    /// Process index within the mix.
+    pub process: usize,
+    /// Thread index within the process.
+    pub thread: usize,
+    /// Instructions retired.
+    pub instructions: f64,
+    /// Cycles elapsed (including reconfiguration pauses).
+    pub cycles: f64,
+    /// LLC accesses issued (post-L2).
+    pub accesses: u64,
+    /// LLC hits.
+    pub hits: u64,
+    /// LLC misses (memory accesses).
+    pub misses: u64,
+    /// Cycles spent in L2↔LLC network round trips (on-chip latency, Eq. 2).
+    pub net_cycles: f64,
+    /// Cycles spent in LLC bank arrays.
+    pub bank_cycles: f64,
+    /// Cycles spent in memory (off-chip latency, Eq. 1, including the
+    /// LLC↔controller network).
+    pub mem_cycles: f64,
+}
+
+impl ThreadMetrics {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles > 0.0 {
+            self.instructions / self.cycles
+        } else {
+            0.0
+        }
+    }
+
+    /// Misses per kilo-instruction.
+    pub fn mpki(&self) -> f64 {
+        if self.instructions > 0.0 {
+            self.misses as f64 * 1000.0 / self.instructions
+        } else {
+            0.0
+        }
+    }
+
+    /// Average memory access time per LLC access, cycles.
+    pub fn amat(&self) -> f64 {
+        if self.accesses > 0 {
+            (self.net_cycles + self.bank_cycles + self.mem_cycles) / self.accesses as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Average on-chip (L2↔LLC network) latency per LLC access.
+    pub fn on_chip_per_access(&self) -> f64 {
+        if self.accesses > 0 {
+            self.net_cycles / self.accesses as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Average off-chip latency per LLC access.
+    pub fn off_chip_per_access(&self) -> f64 {
+        if self.accesses > 0 {
+            self.mem_cycles / self.accesses as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// LLC hit ratio.
+    pub fn hit_ratio(&self) -> f64 {
+        if self.accesses > 0 {
+            self.hits as f64 / self.accesses as f64
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Chip-level counters over the measured window.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SystemMetrics {
+    /// Measured cycles.
+    pub cycles: f64,
+    /// Total instructions across threads.
+    pub instructions: f64,
+    /// NoC traffic per class.
+    pub traffic: TrafficStats,
+    /// Reconfigurations performed during measurement.
+    pub reconfigurations: u64,
+    /// Cycles all cores were paused by bulk invalidations.
+    pub pause_cycles: u64,
+    /// Lines moved by demand moves (§IV-H).
+    pub demand_moves: u64,
+    /// Lines invalidated by the background walker.
+    pub background_invalidations: u64,
+    /// Lines dropped by bulk invalidations.
+    pub bulk_invalidations: u64,
+    /// Lines teleported by the idealized instant-move machinery.
+    pub instant_moves: u64,
+    /// DRAM accesses (LLC misses + writebacks).
+    pub dram_accesses: u64,
+}
+
+impl SystemMetrics {
+    /// Aggregate IPC across the chip.
+    pub fn aggregate_ipc(&self) -> f64 {
+        if self.cycles > 0.0 {
+            self.instructions / self.cycles
+        } else {
+            0.0
+        }
+    }
+
+    /// Flit-hops of NoC traffic per instruction (Fig. 11d's y-axis).
+    pub fn traffic_per_instruction(&self) -> f64 {
+        if self.instructions > 0.0 {
+            self.traffic.total_flit_hops() as f64 / self.instructions
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_ratios() {
+        let m = ThreadMetrics {
+            instructions: 2000.0,
+            cycles: 4000.0,
+            accesses: 100,
+            hits: 80,
+            misses: 20,
+            net_cycles: 600.0,
+            bank_cycles: 900.0,
+            mem_cycles: 3000.0,
+            ..Default::default()
+        };
+        assert!((m.ipc() - 0.5).abs() < 1e-12);
+        assert!((m.mpki() - 10.0).abs() < 1e-12);
+        assert!((m.amat() - 45.0).abs() < 1e-12);
+        assert!((m.on_chip_per_access() - 6.0).abs() < 1e-12);
+        assert!((m.off_chip_per_access() - 30.0).abs() < 1e-12);
+        assert!((m.hit_ratio() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_metrics_do_not_divide_by_zero() {
+        let m = ThreadMetrics::default();
+        assert_eq!(m.ipc(), 0.0);
+        assert_eq!(m.amat(), 0.0);
+        assert_eq!(m.mpki(), 0.0);
+        assert_eq!(m.hit_ratio(), 0.0);
+        let s = SystemMetrics::default();
+        assert_eq!(s.aggregate_ipc(), 0.0);
+        assert_eq!(s.traffic_per_instruction(), 0.0);
+    }
+}

@@ -1,0 +1,162 @@
+//! Weighted-speedup methodology (§V) and scheme-comparison helpers.
+//!
+//! The paper reports weighted speedup over S-NUCA: each process's progress
+//! rate is normalized to its *alone* rate, summed across the mix, and the
+//! resulting throughput metric is divided by S-NUCA's. Our fixed-work
+//! equivalent: every simulation measures the same wall-clock window with
+//! stationary workloads, so per-window IPC is the progress rate (FIESTA's
+//! sample balancing addresses non-stationarity that synthetic streams do
+//! not have).
+
+use crate::{Scheme, SimConfig, SimResult, Simulation};
+use cdcs_workload::{AppProfile, WorkloadMix};
+
+/// Runs one process alone on the chip under S-NUCA and returns its
+/// performance (sum of thread IPCs — the alone-IPC denominator of weighted
+/// speedup).
+///
+/// # Errors
+///
+/// Propagates simulation construction errors.
+pub fn alone_perf(config: &SimConfig, app: &AppProfile) -> Result<f64, String> {
+    let mut cfg = config.clone();
+    cfg.scheme = Scheme::SNuca;
+    let mix = WorkloadMix::new(vec![app.clone()], cfg.seed);
+    let result = Simulation::new(cfg, mix)?.run();
+    Ok(result.process_perf()[0])
+}
+
+/// Alone performance for every process of a mix (cached by name — identical
+/// profiles share one alone run).
+///
+/// # Errors
+///
+/// Propagates simulation construction errors.
+pub fn alone_perf_for_mix(config: &SimConfig, mix: &WorkloadMix) -> Result<Vec<f64>, String> {
+    let mut cache: std::collections::HashMap<String, f64> = std::collections::HashMap::new();
+    let mut out = Vec::with_capacity(mix.processes().len());
+    for app in mix.processes() {
+        let perf = match cache.get(&app.name) {
+            Some(&p) => p,
+            None => {
+                let p = alone_perf(config, app)?;
+                cache.insert(app.name.clone(), p);
+                p
+            }
+        };
+        out.push(perf);
+    }
+    Ok(out)
+}
+
+/// Raw weighted speedup of a result against per-process alone performance:
+/// `Σ_p perf_p / alone_p` (not yet normalized to S-NUCA).
+///
+/// # Panics
+///
+/// Panics if `alone` length mismatches the result's process count or any
+/// alone perf is non-positive.
+pub fn raw_weighted_speedup(result: &SimResult, alone: &[f64]) -> f64 {
+    let perf = result.process_perf();
+    assert_eq!(perf.len(), alone.len(), "one alone perf per process");
+    perf.iter()
+        .zip(alone)
+        .map(|(&p, &a)| {
+            assert!(a > 0.0, "alone perf must be positive");
+            p / a
+        })
+        .sum()
+}
+
+/// Weighted speedup of `result` over `baseline` (the paper's y-axis:
+/// "weighted speedup vs S-NUCA").
+pub fn weighted_speedup_vs(result: &SimResult, baseline: &SimResult, alone: &[f64]) -> f64 {
+    raw_weighted_speedup(result, alone) / raw_weighted_speedup(baseline, alone)
+}
+
+/// Runs `mix` under `scheme`, reusing `config` for everything else.
+///
+/// # Errors
+///
+/// Propagates simulation construction errors.
+pub fn run_scheme(
+    config: &SimConfig,
+    mix: &WorkloadMix,
+    scheme: Scheme,
+) -> Result<SimResult, String> {
+    let mut cfg = config.clone();
+    cfg.scheme = scheme;
+    Ok(Simulation::new(cfg, mix.clone())?.run())
+}
+
+/// Geometric mean.
+///
+/// # Panics
+///
+/// Panics on an empty slice or non-positive entries.
+pub fn gmean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "gmean of empty slice");
+    let log_sum: f64 = xs
+        .iter()
+        .map(|&x| {
+            assert!(x > 0.0, "gmean needs positive values");
+            x.ln()
+        })
+        .sum();
+    (log_sum / xs.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdcs_workload::MixSpec;
+
+    #[test]
+    fn gmean_basics() {
+        assert!((gmean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((gmean(&[3.0]) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn gmean_rejects_zero() {
+        gmean(&[1.0, 0.0]);
+    }
+
+    #[test]
+    fn weighted_speedup_of_baseline_is_one() {
+        let config = SimConfig::small_test();
+        let mix = WorkloadMix::from_spec(&MixSpec::Named(vec![
+            "calculix".into(),
+            "milc".into(),
+        ]))
+        .unwrap();
+        let alone = alone_perf_for_mix(&config, &mix).unwrap();
+        let snuca = run_scheme(&config, &mix, Scheme::SNuca).unwrap();
+        let ws = weighted_speedup_vs(&snuca, &snuca, &alone);
+        assert!((ws - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn alone_cache_reuses_runs() {
+        let config = SimConfig::small_test();
+        let mix = WorkloadMix::from_spec(&MixSpec::Named(vec![
+            "milc".into(),
+            "milc".into(),
+            "milc".into(),
+        ]))
+        .unwrap();
+        let alone = alone_perf_for_mix(&config, &mix).unwrap();
+        assert_eq!(alone.len(), 3);
+        assert_eq!(alone[0], alone[1]);
+        assert_eq!(alone[1], alone[2]);
+    }
+
+    #[test]
+    fn alone_perf_is_positive() {
+        let config = SimConfig::small_test();
+        let app = cdcs_workload::spec::by_name("calculix").unwrap();
+        let p = alone_perf(&config, app).unwrap();
+        assert!(p > 0.1, "alone perf {p}");
+    }
+}

@@ -1,0 +1,166 @@
+//! Scheme selection: which NUCA organization and movement machinery to run.
+
+use cdcs_core::policy::CdcsPlanner;
+use serde::{Deserialize, Serialize};
+
+/// Thread scheduler for schemes that do not place threads themselves
+/// (S-NUCA, R-NUCA, Jigsaw — §VI-A evaluates clustered and random).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ThreadSched {
+    /// Threads pinned to tiles in id order: same-process/same-benchmark
+    /// threads sit together (the §II-B "grouped by type" scheduler).
+    Clustered,
+    /// Threads pinned to a seeded random permutation of tiles.
+    Random,
+}
+
+/// The NUCA scheme under test.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Scheme {
+    /// Static NUCA: lines hashed over all banks, unpartitioned, no
+    /// reconfiguration. The paper's baseline.
+    SNuca,
+    /// R-NUCA: classification-based placement (private → local bank,
+    /// shared → chip interleaved), unpartitioned, no reconfiguration.
+    RNuca {
+        /// Thread pinning (R-NUCA performance is insensitive to it, §VI-A).
+        sched: ThreadSched,
+    },
+    /// Jigsaw: miss-driven allocation + greedy placement each epoch;
+    /// threads stay pinned.
+    Jigsaw {
+        /// Thread pinning: Jigsaw+C (clustered) or Jigsaw+R (random).
+        sched: ThreadSched,
+    },
+    /// CDCS: the full four-step co-scheduling pipeline (or a Fig. 12 factor
+    /// variant).
+    Cdcs {
+        /// Step toggles (+L, +T, +D).
+        planner: CdcsPlanner,
+        /// Initial pinning before the first reconfiguration.
+        sched: ThreadSched,
+    },
+}
+
+impl Scheme {
+    /// Full CDCS with random initial placement.
+    pub fn cdcs() -> Self {
+        Scheme::Cdcs { planner: CdcsPlanner::default(), sched: ThreadSched::Random }
+    }
+
+    /// Jigsaw with the random scheduler (Jigsaw+R).
+    pub fn jigsaw_random() -> Self {
+        Scheme::Jigsaw { sched: ThreadSched::Random }
+    }
+
+    /// Jigsaw with the clustered scheduler (Jigsaw+C).
+    pub fn jigsaw_clustered() -> Self {
+        Scheme::Jigsaw { sched: ThreadSched::Clustered }
+    }
+
+    /// R-NUCA with random pinning.
+    pub fn rnuca() -> Self {
+        Scheme::RNuca { sched: ThreadSched::Random }
+    }
+
+    /// Whether the scheme reconfigures at epoch boundaries.
+    pub fn reconfigures(&self) -> bool {
+        matches!(self, Scheme::Jigsaw { .. } | Scheme::Cdcs { .. })
+    }
+
+    /// Whether LLC banks are partitioned per VC.
+    pub fn partitioned(&self) -> bool {
+        self.reconfigures()
+    }
+
+    /// Display name matching the paper's figures.
+    pub fn name(&self) -> String {
+        match self {
+            Scheme::SNuca => "S-NUCA".into(),
+            Scheme::RNuca { .. } => "R-NUCA".into(),
+            Scheme::Jigsaw { sched: ThreadSched::Clustered } => "Jigsaw+C".into(),
+            Scheme::Jigsaw { sched: ThreadSched::Random } => "Jigsaw+R".into(),
+            Scheme::Cdcs { planner, .. } => {
+                if planner.latency_aware && planner.place_threads && planner.refine_trades {
+                    "CDCS".into()
+                } else {
+                    format!(
+                        "Jigsaw+R{}{}{}",
+                        if planner.latency_aware { "+L" } else { "" },
+                        if planner.place_threads { "+T" } else { "" },
+                        if planner.refine_trades { "+D" } else { "" },
+                    )
+                }
+            }
+        }
+    }
+}
+
+/// Line-movement machinery at reconfigurations (§IV-H).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MoveScheme {
+    /// Idealized: relocated lines teleport to their new banks instantly.
+    Instant,
+    /// Jigsaw-style bulk invalidations: all moved lines are dropped and
+    /// every core pauses while banks walk their arrays.
+    BulkInvalidate,
+    /// CDCS: demand moves through the shadow descriptors, plus background
+    /// invalidations off the critical path — no pauses.
+    DemandMove,
+}
+
+impl MoveScheme {
+    /// Display name used by the Fig. 17/18 harnesses.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MoveScheme::Instant => "Instant moves",
+            MoveScheme::BulkInvalidate => "Bulk invs",
+            MoveScheme::DemandMove => "Background invs",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_match_paper_labels() {
+        assert_eq!(Scheme::SNuca.name(), "S-NUCA");
+        assert_eq!(Scheme::jigsaw_clustered().name(), "Jigsaw+C");
+        assert_eq!(Scheme::jigsaw_random().name(), "Jigsaw+R");
+        assert_eq!(Scheme::cdcs().name(), "CDCS");
+        assert_eq!(Scheme::rnuca().name(), "R-NUCA");
+    }
+
+    #[test]
+    fn factor_variant_names() {
+        let s = Scheme::Cdcs {
+            planner: CdcsPlanner::with_features(true, false, false),
+            sched: ThreadSched::Random,
+        };
+        assert_eq!(s.name(), "Jigsaw+R+L");
+        let s = Scheme::Cdcs {
+            planner: CdcsPlanner::with_features(false, true, true),
+            sched: ThreadSched::Random,
+        };
+        assert_eq!(s.name(), "Jigsaw+R+T+D");
+    }
+
+    #[test]
+    fn reconfiguration_flags() {
+        assert!(!Scheme::SNuca.reconfigures());
+        assert!(!Scheme::rnuca().reconfigures());
+        assert!(Scheme::jigsaw_random().reconfigures());
+        assert!(Scheme::cdcs().reconfigures());
+        assert!(Scheme::cdcs().partitioned());
+        assert!(!Scheme::SNuca.partitioned());
+    }
+
+    #[test]
+    fn move_scheme_names() {
+        assert_eq!(MoveScheme::Instant.name(), "Instant moves");
+        assert_eq!(MoveScheme::BulkInvalidate.name(), "Bulk invs");
+        assert_eq!(MoveScheme::DemandMove.name(), "Background invs");
+    }
+}

@@ -1,0 +1,374 @@
+//! SPEC-like and OMP-like application profiles.
+//!
+//! These are *synthetic stand-ins* for the paper's benchmarks (see
+//! `DESIGN.md` §1): we do not have SPEC binaries, so each profile is
+//! calibrated so that its miss curve, intensity, and sharing behaviour match
+//! what the paper reports or what is commonly published for that benchmark:
+//!
+//! * the paper's Fig. 2 pins down `omnet` (≈85 MPKI cliff vanishing at
+//!   2.5 MB), `milc` (streaming, flat ≈25 MPKI), and `ilbdc` (512 KB shared
+//!   footprint);
+//! * §VI-B pins down `mgrid` (private-heavy and intensive) vs. `md`/`nab`
+//!   (shared-heavy);
+//! * the remaining apps span the classification spectrum (thrashing /
+//!   fitting / friendly / insensitive, cf. CRUISE) with footprints from
+//!   192 KB to tens of MB, so mixes exhibit the capacity contention the
+//!   paper studies.
+//!
+//! Footprints are in 64-byte lines: 1 MB = 16384 lines.
+
+use crate::{AppProfile, Pattern};
+use std::sync::OnceLock;
+
+/// Lines per KB of footprint (64-byte lines).
+const KB: u64 = 1024 / 64;
+/// Lines per MB of footprint.
+const MB: u64 = 1024 * KB;
+
+fn single_threaded_profiles() -> Vec<AppProfile> {
+    use Pattern::{Hot, Loop, Mix, Scan, Zipf};
+    vec![
+        // The three apps the paper's case study (§II-B, Fig. 2) pins down:
+        //
+        // omnet: ~85 MPKI below 2.5 MB, near-zero above (its data "fits at
+        // 2.5 MB"). The dominant term is a loop that thrashes LRU until the
+        // allocation covers it; smaller Zipf/hot terms round off the cliff.
+        // The loop is sized at 1.75 MB so that the *monitor-measured* curve
+        // (which smears a hard cliff upward by ~0.7 MB — real hardware GMONs
+        // do the same; see `monitor::gmon` tests) reaches its knee at the
+        // paper's 2.5 MB.
+        AppProfile::single_threaded(
+            "omnet",
+            90.0,
+            1.0,
+            3.0,
+            Mix(vec![
+                (0.80, Loop { lines: 1792 * KB }),
+                (0.14, Zipf { lines: 512 * KB, alpha: 0.6 }),
+                (0.06, Hot { lines: 32 * KB }),
+            ]),
+        ),
+        // milc: streaming; no reuse at any realistic LLC size.
+        AppProfile::single_threaded("milc", 26.0, 0.7, 4.0, Scan { lines: 64 * MB }),
+        // The remaining 14 memory-intensive SPEC CPU2006 apps (≥ 5 L2 MPKI).
+        AppProfile::single_threaded("bzip2", 8.0, 1.2, 2.0, Zipf { lines: MB, alpha: 0.7 }),
+        AppProfile::single_threaded(
+            "gcc",
+            10.0,
+            1.1,
+            1.8,
+            Mix(vec![(0.6, Hot { lines: 256 * KB }), (0.4, Zipf { lines: 2 * MB, alpha: 0.6 })]),
+        ),
+        AppProfile::single_threaded("bwaves", 25.0, 0.9, 4.0, Loop { lines: 6 * MB }),
+        AppProfile::single_threaded(
+            "mcf",
+            60.0,
+            0.45,
+            2.5,
+            Mix(vec![(0.5, Hot { lines: 512 * KB }), (0.5, Zipf { lines: 8 * MB, alpha: 0.55 })]),
+        ),
+        AppProfile::single_threaded("zeusmp", 12.0, 1.0, 3.0, Loop { lines: MB + MB / 2 }),
+        AppProfile::single_threaded(
+            "cactusADM",
+            14.0,
+            0.95,
+            2.5,
+            Mix(vec![(0.5, Hot { lines: 128 * KB }), (0.5, Loop { lines: 2 * MB })]),
+        ),
+        AppProfile::single_threaded(
+            "leslie3d",
+            20.0,
+            0.85,
+            3.5,
+            Mix(vec![(0.4, Hot { lines: 256 * KB }), (0.6, Loop { lines: 3 * MB })]),
+        ),
+        AppProfile::single_threaded("calculix", 6.0, 1.4, 2.0, Hot { lines: 192 * KB }),
+        AppProfile::single_threaded(
+            "GemsFDTD",
+            22.0,
+            0.8,
+            3.0,
+            Mix(vec![(0.3, Hot { lines: 512 * KB }), (0.7, Loop { lines: 5 * MB })]),
+        ),
+        AppProfile::single_threaded("libquantum", 28.0, 0.75, 5.0, Scan { lines: 32 * MB }),
+        AppProfile::single_threaded(
+            "lbm",
+            40.0,
+            0.6,
+            5.0,
+            Mix(vec![(0.85, Scan { lines: 48 * MB }), (0.15, Hot { lines: 128 * KB })]),
+        ),
+        AppProfile::single_threaded(
+            "astar",
+            15.0,
+            0.9,
+            1.5,
+            Zipf { lines: MB + MB / 2, alpha: 0.8 },
+        ),
+        AppProfile::single_threaded(
+            "sphinx3",
+            18.0,
+            1.0,
+            2.5,
+            Mix(vec![(0.5, Hot { lines: 512 * KB }), (0.5, Loop { lines: 3 * MB + MB / 2 })]),
+        ),
+        AppProfile::single_threaded(
+            "xalancbmk",
+            30.0,
+            0.85,
+            2.0,
+            Mix(vec![(0.4, Hot { lines: 256 * KB }), (0.6, Loop { lines: 4 * MB })]),
+        ),
+    ]
+}
+
+fn multi_threaded_profiles() -> Vec<AppProfile> {
+    use Pattern::{Hot, Loop, Mix, Zipf};
+    vec![
+        // ilbdc: the paper's Fig. 2 shows a small (512 KB) footprint; §II-B
+        // describes it as shared-data dominated, preferring clustered
+        // placement.
+        AppProfile::multi_threaded(
+            "ilbdc",
+            8,
+            12.0,
+            1.0,
+            2.5,
+            Hot { lines: 32 * KB },
+            Hot { lines: 512 * KB },
+            0.85,
+        ),
+        // md / nab: shared-heavy (Fig. 16 case study clusters them).
+        AppProfile::multi_threaded(
+            "md",
+            8,
+            8.0,
+            1.1,
+            2.0,
+            Hot { lines: 16 * KB },
+            Hot { lines: 256 * KB },
+            0.9,
+        ),
+        AppProfile::multi_threaded(
+            "nab",
+            8,
+            10.0,
+            1.0,
+            2.2,
+            Hot { lines: 64 * KB },
+            Zipf { lines: MB, alpha: 0.6 },
+            0.75,
+        ),
+        // mgrid: private-heavy and intensive — CDCS spreads its threads
+        // (Fig. 16 case study).
+        AppProfile::multi_threaded(
+            "mgrid",
+            8,
+            35.0,
+            0.8,
+            3.5,
+            Loop { lines: 384 * KB },
+            Hot { lines: 64 * KB },
+            0.1,
+        ),
+        AppProfile::multi_threaded(
+            "swim",
+            8,
+            25.0,
+            0.85,
+            4.0,
+            Loop { lines: 512 * KB },
+            Hot { lines: 128 * KB },
+            0.2,
+        ),
+        AppProfile::multi_threaded(
+            "applu331",
+            8,
+            15.0,
+            0.95,
+            3.0,
+            Loop { lines: 256 * KB },
+            Hot { lines: 512 * KB },
+            0.4,
+        ),
+        AppProfile::multi_threaded(
+            "fma3d",
+            8,
+            12.0,
+            1.0,
+            2.5,
+            Hot { lines: 64 * KB },
+            Zipf { lines: 2 * MB, alpha: 0.65 },
+            0.6,
+        ),
+        AppProfile::multi_threaded(
+            "bt331",
+            8,
+            14.0,
+            0.9,
+            2.8,
+            Hot { lines: 128 * KB },
+            Hot { lines: MB },
+            0.5,
+        ),
+        AppProfile::multi_threaded(
+            "botsspar",
+            8,
+            18.0,
+            0.85,
+            2.5,
+            Mix(vec![(0.7, Hot { lines: 32 * KB }), (0.3, Loop { lines: 128 * KB })]),
+            Zipf { lines: 4 * MB, alpha: 0.7 },
+            0.7,
+        ),
+    ]
+}
+
+/// The 16 memory-intensive SPEC-CPU2006-like single-threaded profiles the
+/// paper's single-threaded mixes draw from (§V).
+pub fn all_single_threaded() -> &'static [AppProfile] {
+    static CACHE: OnceLock<Vec<AppProfile>> = OnceLock::new();
+    CACHE.get_or_init(single_threaded_profiles)
+}
+
+/// The SPEC-OMP2012-like 8-thread profiles the multi-threaded mixes draw
+/// from (§V, §VI-B).
+pub fn all_multi_threaded() -> &'static [AppProfile] {
+    static CACHE: OnceLock<Vec<AppProfile>> = OnceLock::new();
+    CACHE.get_or_init(multi_threaded_profiles)
+}
+
+/// Looks up a profile by benchmark name across both suites.
+///
+/// ```
+/// let milc = cdcs_workload::spec::by_name("milc").unwrap();
+/// assert_eq!(milc.threads, 1);
+/// let ilbdc = cdcs_workload::spec::by_name("ilbdc").unwrap();
+/// assert_eq!(ilbdc.threads, 8);
+/// ```
+pub fn by_name(name: &str) -> Option<&'static AppProfile> {
+    all_single_threaded()
+        .iter()
+        .chain(all_multi_threaded().iter())
+        .find(|p| p.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AccessStream, StreamTarget};
+    use cdcs_cache::{Line, StackProfiler};
+
+    /// Measures an app's exact private-stream miss curve over `n` accesses.
+    fn private_curve(name: &str, n: usize) -> (cdcs_cache::MissCurve, u64) {
+        let app = by_name(name).unwrap();
+        let mut stream = AccessStream::for_thread(app, 0, 1234);
+        let mut prof = StackProfiler::new();
+        let mut count = 0;
+        while count < n {
+            let (t, o) = stream.next_access();
+            if t == StreamTarget::ThreadPrivate {
+                prof.record(Line(o));
+                count += 1;
+            }
+        }
+        (prof.miss_curve(), n as u64)
+    }
+
+    #[test]
+    fn suite_sizes_match_paper() {
+        assert_eq!(all_single_threaded().len(), 16);
+        assert_eq!(all_multi_threaded().len(), 9);
+        // All names unique.
+        let mut names: Vec<&str> = all_single_threaded()
+            .iter()
+            .chain(all_multi_threaded().iter())
+            .map(|p| p.name.as_str())
+            .collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before);
+    }
+
+    #[test]
+    fn all_profiles_validate() {
+        for p in all_single_threaded().iter().chain(all_multi_threaded()) {
+            p.validate().expect("profile must validate");
+        }
+    }
+
+    #[test]
+    fn omnet_has_cliff_below_2_5_mb() {
+        // Paper Fig. 2: omnet misses heavily at small sizes and fits at
+        // 2.5 MB. (The exact profile knee sits at ~1.8 MB so that the
+        // *monitor-measured* knee, smeared upward by way-granularity
+        // Poisson noise, lands at the paper's 2.5 MB.)
+        let (curve, n) = private_curve("omnet", 400_000);
+        let at_1_5mb = curve.misses_at(1.5 * 16384.0) / n as f64;
+        let at_2_5mb = curve.misses_at(2.5 * 16384.0) / n as f64;
+        assert!(at_1_5mb > 0.75, "miss ratio at 1.5 MB: {at_1_5mb}");
+        assert!(at_2_5mb < 0.15, "miss ratio at 2.5 MB: {at_2_5mb}");
+    }
+
+    #[test]
+    fn milc_is_streaming() {
+        let (curve, n) = private_curve("milc", 300_000);
+        // Flat at ~100% misses even with 8 MB.
+        let at_8mb = curve.misses_at((8 * 16384) as f64) / n as f64;
+        assert!(at_8mb > 0.95, "miss ratio at 8 MB: {at_8mb}");
+    }
+
+    #[test]
+    fn ilbdc_shared_fits_in_512_kb() {
+        let app = by_name("ilbdc").unwrap();
+        assert_eq!(app.shared_footprint_lines(), 8192); // 512 KB
+        let mut stream = AccessStream::for_thread(app, 0, 5);
+        let mut prof = StackProfiler::new();
+        let mut count = 0;
+        while count < 200_000 {
+            let (t, o) = stream.next_access();
+            if t == StreamTarget::ProcessShared {
+                prof.record(Line(o));
+                count += 1;
+            }
+        }
+        let curve = prof.miss_curve();
+        let at_512kb = curve.misses_at(8192.0) / 200_000.0;
+        assert!(at_512kb < 0.1, "shared miss ratio at 512 KB: {at_512kb}");
+    }
+
+    #[test]
+    fn mgrid_is_private_heavy_and_intensive() {
+        let mgrid = by_name("mgrid").unwrap();
+        assert!(mgrid.shared_frac < 0.2);
+        // More intensive than the shared-heavy OMP apps.
+        for other in ["md", "nab", "ilbdc"] {
+            assert!(mgrid.apki > by_name(other).unwrap().apki * 2.0);
+        }
+    }
+
+    #[test]
+    fn omnet_is_most_intensive_single_threaded() {
+        let omnet = by_name("omnet").unwrap();
+        for p in all_single_threaded() {
+            assert!(p.apki <= omnet.apki);
+        }
+    }
+
+    #[test]
+    fn footprint_spectrum_is_wide() {
+        // Mixes only exercise contention if footprints vary widely.
+        let fps: Vec<u64> =
+            all_single_threaded().iter().map(|p| p.total_footprint_lines()).collect();
+        let min = *fps.iter().min().unwrap();
+        let max = *fps.iter().max().unwrap();
+        assert!(min <= 4096, "smallest footprint {min} lines");
+        assert!(max >= 512 * 1024, "largest footprint {max} lines");
+    }
+
+    #[test]
+    fn by_name_misses_gracefully() {
+        assert!(by_name("not-a-benchmark").is_none());
+    }
+}

@@ -1,0 +1,61 @@
+//! Property-based tests for the workload generators: footprint bounds,
+//! determinism, mixture weights.
+
+use cdcs_workload::{AccessStream, AppProfile, Pattern, PatternStream, StreamTarget};
+use proptest::prelude::*;
+
+fn pattern_strategy() -> impl Strategy<Value = Pattern> {
+    let leaf = prop_oneof![
+        (1u64..10_000).prop_map(|lines| Pattern::Scan { lines }),
+        (1u64..10_000).prop_map(|lines| Pattern::Loop { lines }),
+        (1u64..10_000).prop_map(|lines| Pattern::Hot { lines }),
+        (1u64..10_000, 0.0f64..0.95).prop_map(|(lines, alpha)| Pattern::Zipf { lines, alpha }),
+    ];
+    prop::collection::vec((0.1f64..5.0, leaf), 1..4).prop_map(Pattern::Mix)
+}
+
+proptest! {
+    #[test]
+    fn offsets_stay_within_footprint(pattern in pattern_strategy(), seed in 0u64..1000) {
+        let fp = pattern.footprint_lines();
+        let mut stream = PatternStream::new(pattern, seed);
+        for _ in 0..500 {
+            prop_assert!(stream.next_offset() < fp);
+        }
+    }
+
+    #[test]
+    fn streams_are_reproducible(pattern in pattern_strategy(), seed in 0u64..1000) {
+        let mut a = PatternStream::new(pattern.clone(), seed);
+        let mut b = PatternStream::new(pattern, seed);
+        for _ in 0..200 {
+            prop_assert_eq!(a.next_offset(), b.next_offset());
+        }
+    }
+
+    #[test]
+    fn shared_fraction_converges(frac in 0.0f64..1.0, seed in 0u64..100) {
+        let app = AppProfile::multi_threaded(
+            "p",
+            2,
+            10.0,
+            1.0,
+            2.0,
+            Pattern::Hot { lines: 64 },
+            Pattern::Hot { lines: 64 },
+            frac,
+        );
+        let mut s = AccessStream::for_thread(&app, 0, seed);
+        let n = 4000;
+        let shared =
+            (0..n).filter(|_| s.next_access().0 == StreamTarget::ProcessShared).count();
+        let got = shared as f64 / n as f64;
+        prop_assert!((got - frac).abs() < 0.05, "{got} vs {frac}");
+    }
+
+    #[test]
+    fn validation_catches_zero_footprints(weight in 0.1f64..2.0) {
+        let p = Pattern::Mix(vec![(weight, Pattern::Loop { lines: 0 })]);
+        prop_assert!(p.validate().is_err());
+    }
+}

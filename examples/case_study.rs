@@ -1,0 +1,41 @@
+//! The paper's §II-B case study (Fig. 1 + Table 1): a 36-tile CMP running
+//! 6x omnet, 14x milc, and 2x 8-thread ilbdc under four NUCA schemes.
+//!
+//! Prints per-app speedups over S-NUCA and an ASCII rendition of Fig. 1's
+//! thread map.
+//!
+//! ```sh
+//! cargo run --example case_study --release
+//! ```
+
+use cdcs::sim::{runner, Scheme, SimConfig};
+use cdcs::workload::{MixSpec, WorkloadMix};
+
+fn main() -> Result<(), String> {
+    let config = SimConfig::case_study();
+    let mix = WorkloadMix::from_spec(&MixSpec::CaseStudy)?;
+    let alone = runner::alone_perf_for_mix(&config, &mix)?;
+    let snuca = runner::run_scheme(&config, &mix, Scheme::SNuca)?;
+
+    for scheme in [
+        Scheme::rnuca(),
+        Scheme::jigsaw_clustered(),
+        Scheme::jigsaw_random(),
+        Scheme::cdcs(),
+    ] {
+        let r = runner::run_scheme(&config, &mix, scheme)?;
+        let ws = runner::weighted_speedup_vs(&r, &snuca, &alone);
+        // Speedup per benchmark (gmean over instances).
+        let perf = r.process_perf();
+        let base = snuca.process_perf();
+        let mut by_app: std::collections::BTreeMap<&str, Vec<f64>> = Default::default();
+        for (p, app) in mix.processes().iter().enumerate() {
+            by_app.entry(app.name.as_str()).or_default().push(perf[p] / base[p]);
+        }
+        println!("== {} (weighted speedup {ws:.2}) ==", r.scheme);
+        for (app, v) in &by_app {
+            println!("  {app:<8} {:>5.2}x", runner::gmean(v));
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,47 @@
+//! Quickstart: simulate a small mix under S-NUCA and CDCS and compare.
+//!
+//! ```sh
+//! cargo run --example quickstart --release
+//! ```
+
+use cdcs::sim::{runner, Scheme, SimConfig};
+use cdcs::workload::{MixSpec, WorkloadMix};
+
+fn main() -> Result<(), String> {
+    // Four apps on the paper's 64-tile chip: a cache-fitting app, a
+    // streaming app, and two in between.
+    let mix = WorkloadMix::from_spec(&MixSpec::Named(vec![
+        "omnet".into(),
+        "milc".into(),
+        "xalancbmk".into(),
+        "calculix".into(),
+    ]))?;
+    let config = SimConfig::default();
+
+    println!("running alone-IPC calibration...");
+    let alone = runner::alone_perf_for_mix(&config, &mix)?;
+    println!("running S-NUCA baseline...");
+    let snuca = runner::run_scheme(&config, &mix, Scheme::SNuca)?;
+    println!("running CDCS...");
+    let cdcs = runner::run_scheme(&config, &mix, Scheme::cdcs())?;
+
+    println!("\nper-app results (IPC):");
+    println!("{:<12} {:>8} {:>8} {:>9}", "app", "S-NUCA", "CDCS", "speedup");
+    for (s, c) in snuca.threads.iter().zip(&cdcs.threads) {
+        println!(
+            "{:<12} {:>8.3} {:>8.3} {:>8.2}x",
+            s.app,
+            s.ipc(),
+            c.ipc(),
+            c.ipc() / s.ipc()
+        );
+    }
+    let ws = runner::weighted_speedup_vs(&cdcs, &snuca, &alone);
+    println!("\nweighted speedup of CDCS over S-NUCA: {ws:.3}");
+    println!(
+        "on-chip LLC latency: S-NUCA {:.1} vs CDCS {:.1} cycles/access",
+        snuca.mean_on_chip_latency(),
+        cdcs.mean_on_chip_latency()
+    );
+    Ok(())
+}

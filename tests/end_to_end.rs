@@ -1,0 +1,134 @@
+//! Cross-crate integration tests: end-to-end simulations exercising the
+//! public API, checking the paper's headline qualitative claims on small
+//! configurations.
+
+use cdcs::sim::{runner, MoveScheme, Scheme, SimConfig, Simulation};
+use cdcs::workload::{MixSpec, WorkloadMix};
+
+fn named(names: &[&str]) -> WorkloadMix {
+    WorkloadMix::from_spec(&MixSpec::Named(names.iter().map(|s| s.to_string()).collect()))
+        .expect("mix")
+}
+
+#[test]
+fn all_schemes_run_the_same_mix() {
+    let mix = named(&["calculix", "bzip2", "milc"]);
+    let config = SimConfig::small_test();
+    for scheme in [
+        Scheme::SNuca,
+        Scheme::rnuca(),
+        Scheme::jigsaw_clustered(),
+        Scheme::jigsaw_random(),
+        Scheme::cdcs(),
+    ] {
+        let r = runner::run_scheme(&config, &mix, scheme).expect("run");
+        assert_eq!(r.threads.len(), 3, "{}", r.scheme);
+        for t in &r.threads {
+            assert!(t.ipc() > 0.0, "{} {}", r.scheme, t.app);
+            assert!(t.accesses > 0);
+        }
+        assert!(r.system.instructions > 0.0);
+    }
+}
+
+#[test]
+fn weighted_speedup_is_one_for_baseline_and_positive_for_others() {
+    let mix = named(&["calculix", "milc"]);
+    let config = SimConfig::small_test();
+    let alone = runner::alone_perf_for_mix(&config, &mix).expect("alone");
+    let base = runner::run_scheme(&config, &mix, Scheme::SNuca).expect("snuca");
+    assert!((runner::weighted_speedup_vs(&base, &base, &alone) - 1.0).abs() < 1e-12);
+    let cdcs = runner::run_scheme(&config, &mix, Scheme::cdcs()).expect("cdcs");
+    let ws = runner::weighted_speedup_vs(&cdcs, &base, &alone);
+    assert!(ws > 0.5 && ws < 5.0, "WS {ws}");
+}
+
+#[test]
+fn rnuca_minimizes_on_chip_latency_for_private_data() {
+    // The §II-B claim: R-NUCA's private-to-local mapping nearly eliminates
+    // LLC network latency; S-NUCA spreads accesses chip-wide.
+    let mix = named(&["calculix", "calculix", "bzip2"]);
+    let config = SimConfig::small_test();
+    let snuca = runner::run_scheme(&config, &mix, Scheme::SNuca).expect("snuca");
+    let rnuca = runner::run_scheme(&config, &mix, Scheme::rnuca()).expect("rnuca");
+    assert!(
+        rnuca.mean_on_chip_latency() < snuca.mean_on_chip_latency() / 3.0,
+        "R-NUCA {:.2} vs S-NUCA {:.2}",
+        rnuca.mean_on_chip_latency(),
+        snuca.mean_on_chip_latency()
+    );
+}
+
+#[test]
+fn partitioned_schemes_protect_fitting_apps_from_streams() {
+    // Partitioning isolates a cache-fitting app from many streaming
+    // co-runners (capacity contention, §II-A "partitioned shared caches").
+    let names = ["calculix", "milc", "milc", "milc", "milc", "milc"];
+    let config = SimConfig::small_test();
+    let mix = named(&names);
+    let snuca = runner::run_scheme(&config, &mix, Scheme::SNuca).expect("snuca");
+    let cdcs = runner::run_scheme(&config, &mix, Scheme::cdcs()).expect("cdcs");
+    assert!(
+        cdcs.threads[0].ipc() > snuca.threads[0].ipc(),
+        "CDCS {} vs S-NUCA {}",
+        cdcs.threads[0].ipc(),
+        snuca.threads[0].ipc()
+    );
+}
+
+#[test]
+fn demand_moves_never_pause_and_bulk_always_does() {
+    let mix = named(&["omnet", "xalancbmk", "bzip2", "calculix"]);
+    let mut config = SimConfig::small_test();
+    config.scheme = Scheme::cdcs();
+    config.reconfig_benefit_factor = 0.0; // apply every reconfiguration
+
+    config.move_scheme = MoveScheme::DemandMove;
+    let demand = Simulation::new(config.clone(), mix.clone()).expect("sim").run();
+    assert_eq!(demand.system.pause_cycles, 0);
+
+    config.move_scheme = MoveScheme::BulkInvalidate;
+    let bulk = Simulation::new(config, mix).expect("sim").run();
+    assert!(bulk.system.pause_cycles > 0);
+    assert!(bulk.system.bulk_invalidations > 0);
+}
+
+#[test]
+fn movement_scheme_ordering_matches_paper() {
+    // Fig. 17/18: instant >= demand moves >= bulk invalidations in aggregate
+    // performance (with forced per-epoch reconfigurations).
+    let mix = named(&["calculix", "calculix", "bzip2", "gcc"]);
+    let mut perf = Vec::new();
+    for mv in [MoveScheme::Instant, MoveScheme::DemandMove, MoveScheme::BulkInvalidate] {
+        let mut config = SimConfig::small_test();
+        config.scheme = Scheme::cdcs();
+        config.move_scheme = mv;
+        config.reconfig_benefit_factor = 0.0;
+        let r = Simulation::new(config, mix.clone()).expect("sim").run();
+        perf.push(r.system.aggregate_ipc());
+    }
+    assert!(perf[0] >= perf[2] * 0.98, "instant {} vs bulk {}", perf[0], perf[2]);
+    assert!(perf[1] >= perf[2] * 0.98, "demand {} vs bulk {}", perf[1], perf[2]);
+}
+
+#[test]
+fn multithreaded_process_shares_its_vc() {
+    let mix = named(&["ilbdc"]);
+    let config = SimConfig::small_test();
+    let r = runner::run_scheme(&config, &mix, Scheme::cdcs()).expect("run");
+    assert_eq!(r.threads.len(), 8);
+    let perf = r.process_perf();
+    assert_eq!(perf.len(), 1);
+    assert!(perf[0] > 1.0, "aggregate process IPC {}", perf[0]);
+}
+
+#[test]
+fn results_are_deterministic_across_runs() {
+    let mix = named(&["omnet", "milc", "gcc"]);
+    let config = SimConfig::small_test();
+    let a = runner::run_scheme(&config, &mix, Scheme::cdcs()).expect("run");
+    let b = runner::run_scheme(&config, &mix, Scheme::cdcs()).expect("run");
+    assert_eq!(a.system.instructions, b.system.instructions);
+    assert_eq!(a.system.traffic, b.system.traffic);
+    assert_eq!(a.system.demand_moves, b.system.demand_moves);
+}

@@ -1,0 +1,74 @@
+//! Cross-crate monitor validation: GMONs measuring real workload streams
+//! against the exact stack-distance profile (the §VI-C accuracy claims).
+
+use cdcs::cache::monitor::{Gmon, GmonConfig, Monitor, Umon};
+use cdcs::cache::{Line, StackProfiler};
+use cdcs::workload::{spec, AccessStream, StreamTarget};
+
+/// Runs an app's private stream through a monitor and the exact profiler.
+fn measure(app_name: &str, n: usize) -> (Gmon, Umon, StackProfiler) {
+    let app = spec::by_name(app_name).expect("app");
+    let mut stream = AccessStream::for_thread(app, 0, 99);
+    let mut gmon = Gmon::new(GmonConfig::covering(64, 64, 4, 524_288));
+    let mut umon = Umon::fine_grained(524_288, 512);
+    let mut prof = StackProfiler::new();
+    let mut count = 0;
+    while count < n {
+        let (t, off) = stream.next_access();
+        if t == StreamTarget::ThreadPrivate {
+            gmon.record(Line(off));
+            umon.record(Line(off));
+            prof.record(Line(off));
+            count += 1;
+        }
+    }
+    (gmon, umon, prof)
+}
+
+#[test]
+fn gmon_matches_exact_profile_on_smooth_curves() {
+    // bzip2's Zipf curve is smooth: GMON error should be small everywhere.
+    let (gmon, _, prof) = measure("bzip2", 400_000);
+    let (g, e) = (gmon.miss_curve(), prof.miss_curve());
+    for cap in [2048.0, 8192.0, 16384.0, 65536.0] {
+        let err = (g.misses_at(cap) - e.misses_at(cap)).abs() / e.at_zero();
+        assert!(err < 0.06, "capacity {cap}: err {err:.4}");
+    }
+}
+
+#[test]
+fn gmon_tracks_fine_grained_umon() {
+    // §VI-C: 64-way GMONs match impractically large fine-grained UMONs.
+    let (gmon, umon, _) = measure("gcc", 400_000);
+    let (g, u) = (gmon.miss_curve(), umon.miss_curve());
+    for cap in [4096.0, 16384.0, 65536.0, 262144.0] {
+        let err = (g.misses_at(cap) - u.misses_at(cap)).abs() / u.at_zero();
+        assert!(err < 0.08, "capacity {cap}: err {err:.4}");
+    }
+}
+
+#[test]
+fn streaming_app_reads_flat_everywhere() {
+    let (gmon, umon, prof) = measure("milc", 300_000);
+    for curve in [gmon.miss_curve(), umon.miss_curve(), prof.miss_curve()] {
+        assert!(curve.misses_at(524_288.0) > 0.9 * curve.at_zero());
+    }
+}
+
+#[test]
+fn monitor_aging_preserves_curve_shape() {
+    let (mut gmon, _, prof) = measure("bzip2", 400_000);
+    let before = gmon.miss_curve();
+    gmon.age();
+    let after = gmon.miss_curve();
+    let e = prof.miss_curve();
+    // Aging scales counts (~3/4) but must not change the *shape*: the miss
+    // ratio at each capacity stays put.
+    for cap in [2048.0, 16384.0, 65536.0] {
+        let rb = before.misses_at(cap) / before.at_zero();
+        let ra = after.misses_at(cap) / after.at_zero();
+        assert!((rb - ra).abs() < 0.02, "capacity {cap}: {rb:.3} vs {ra:.3}");
+        let re = e.misses_at(cap) / e.at_zero();
+        assert!((ra - re).abs() < 0.08, "vs exact at {cap}: {ra:.3} vs {re:.3}");
+    }
+}

@@ -1,0 +1,89 @@
+//! Property-based integration tests on the planners: every placement a
+//! planner emits must be feasible, and CDCS must never lose to its own
+//! greedy starting point on the cost model it optimizes.
+
+use cdcs::cache::MissCurve;
+use cdcs::core::cost::{on_chip_latency, total_latency};
+use cdcs::core::policy::{clustered_cores, CdcsPlanner, JigsawPlanner, Planner};
+use cdcs::core::{PlacementProblem, SystemParams, ThreadInfo, VcInfo, VcKind};
+use cdcs::mesh::Mesh;
+use proptest::prelude::*;
+
+/// Builds a random-but-valid problem from proptest inputs.
+fn build_problem(
+    side: u16,
+    apps: Vec<(u32, u32, u32)>, // (accesses, footprint, plateau)
+) -> PlacementProblem {
+    let params = SystemParams::default_for_mesh(Mesh::square(side), 2048);
+    let n = apps.len().min(side as usize * side as usize);
+    let vcs = apps[..n]
+        .iter()
+        .enumerate()
+        .map(|(i, &(acc, fp, plateau))| {
+            let acc = f64::from(acc % 50_000 + 100);
+            let fp = f64::from(fp % 20_000 + 256);
+            let tail = acc * f64::from(plateau % 100) / 400.0;
+            VcInfo::new(
+                i as u32,
+                VcKind::thread_private(i as u32),
+                MissCurve::new(vec![(0.0, acc), (fp, tail)]),
+            )
+        })
+        .collect::<Vec<_>>();
+    let threads = (0..n)
+        .map(|i| ThreadInfo::new(i as u32, vec![(i as u32, vcs[i].curve.at_zero())]))
+        .collect();
+    PlacementProblem::new(params, vcs, threads).expect("valid problem")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn planners_always_emit_feasible_placements(
+        apps in prop::collection::vec((0u32.., 0u32.., 0u32..), 1..12),
+    ) {
+        let problem = build_problem(4, apps);
+        let cores = clustered_cores(problem.threads.len(), &problem.params.mesh);
+        for placement in [
+            Planner::plan(&CdcsPlanner::default(), &problem, &cores),
+            Planner::plan(&JigsawPlanner::default(), &problem, &cores),
+        ] {
+            prop_assert!(placement.check_feasible(&problem).is_ok());
+        }
+    }
+
+    #[test]
+    fn trade_refinement_never_hurts_eq2(
+        apps in prop::collection::vec((0u32.., 0u32.., 0u32..), 2..10),
+    ) {
+        let problem = build_problem(4, apps);
+        let cores = clustered_cores(problem.threads.len(), &problem.params.mesh);
+        let without = Planner::plan(
+            &CdcsPlanner { refine_trades: false, ..CdcsPlanner::default() },
+            &problem,
+            &cores,
+        );
+        let with = Planner::plan(&CdcsPlanner::default(), &problem, &cores);
+        // Same allocation sizes; trades only move data closer under Eq. 2.
+        prop_assert!(
+            on_chip_latency(&problem, &with)
+                <= on_chip_latency(&problem, &without) + 1e-6
+        );
+    }
+
+    #[test]
+    fn cdcs_total_latency_no_worse_than_jigsaw_clustered(
+        apps in prop::collection::vec((0u32.., 0u32.., 0u32..), 4..12),
+    ) {
+        let problem = build_problem(4, apps);
+        let cores = clustered_cores(problem.threads.len(), &problem.params.mesh);
+        let jig = Planner::plan(&JigsawPlanner::default(), &problem, &cores);
+        let cdcs = Planner::plan(&CdcsPlanner::default(), &problem, &cores);
+        // On the paper's own cost model, the full pipeline must not lose to
+        // the greedy baseline by more than rounding slack (1%).
+        let tj = total_latency(&problem, &jig);
+        let tc = total_latency(&problem, &cdcs);
+        prop_assert!(tc <= tj * 1.01 + 1e-6, "CDCS {tc} vs Jigsaw {tj}");
+    }
+}
