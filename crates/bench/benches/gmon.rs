@@ -18,7 +18,11 @@ fn bench_monitors(c: &mut Criterion) {
         })
     });
     group.bench_function("umon_256w", |b| {
-        let mut u = Umon::new(UmonConfig { sets: 64, ways: 256, sample_period: 32 });
+        let mut u = Umon::new(UmonConfig {
+            sets: 64,
+            ways: 256,
+            sample_period: 32,
+        });
         let mut a = 0u64;
         b.iter(|| {
             a = a.wrapping_add(0x9e37_79b9);

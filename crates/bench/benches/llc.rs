@@ -42,11 +42,9 @@ fn bench_sim(c: &mut Criterion) {
                 config.scheme = scheme;
                 config.warmup_epochs = 1;
                 config.measure_epochs = 1;
-                let mix = WorkloadMix::from_spec(&MixSpec::Named(vec![
-                    "calculix".into(),
-                    "milc".into(),
-                ]))
-                .expect("mix");
+                let mix =
+                    WorkloadMix::from_spec(&MixSpec::Named(vec!["calculix".into(), "milc".into()]))
+                        .expect("mix");
                 Simulation::new(config, mix).expect("sim").run()
             })
         });

@@ -19,8 +19,9 @@ fn problem(threads: usize, side: u16) -> PlacementProblem {
             )
         })
         .collect();
-    let infos =
-        (0..threads).map(|i| ThreadInfo::new(i as u32, vec![(i as u32, 20_000.0)])).collect();
+    let infos = (0..threads)
+        .map(|i| ThreadInfo::new(i as u32, vec![(i as u32, 20_000.0)]))
+        .collect();
     PlacementProblem::new(params, vcs, infos).expect("problem")
 }
 
@@ -31,19 +32,15 @@ fn bench_scaling(c: &mut Criterion) {
         let p = problem(threads, side);
         let cores: Vec<TileId> = (0..threads as u16).map(TileId).collect();
         let sizes: Vec<u64> = vec![4096; threads];
-        group.bench_with_input(
-            BenchmarkId::new("full_pipeline", threads),
-            &p,
-            |b, p| {
-                b.iter(|| {
-                    let o = optimistic_place(p, &sizes, Some(&cores));
-                    let placed = place_threads(p, &sizes, &o, Some(&cores), 1.0);
-                    let mut pl = greedy_place(p, &sizes, &placed, 1024);
-                    trade_refine(p, &mut pl);
-                    pl
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("full_pipeline", threads), &p, |b, p| {
+            b.iter(|| {
+                let o = optimistic_place(p, &sizes, Some(&cores));
+                let placed = place_threads(p, &sizes, &o, Some(&cores), 1.0);
+                let mut pl = greedy_place(p, &sizes, &placed, 1024);
+                trade_refine(p, &mut pl);
+                pl
+            })
+        });
     }
     group.finish();
 }

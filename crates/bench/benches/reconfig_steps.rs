@@ -26,7 +26,12 @@ fn problem(threads: usize, side: u16) -> PlacementProblem {
         MissCurve::new(vec![(0.0, 50_000.0), (8192.0, 1_000.0)]),
     ));
     let infos = (0..threads)
-        .map(|i| ThreadInfo::new(i as u32, vec![(i as u32, 25_000.0), (threads as u32, 5_000.0)]))
+        .map(|i| {
+            ThreadInfo::new(
+                i as u32,
+                vec![(i as u32, 25_000.0), (threads as u32, 5_000.0)],
+            )
+        })
         .collect();
     PlacementProblem::new(params, vcs, infos).expect("problem")
 }
@@ -39,11 +44,9 @@ fn bench_steps(c: &mut Criterion) {
         let cores: Vec<TileId> = (0..threads as u16).map(TileId).collect();
         let sizes = latency_aware_sizes(&p, 1024);
         let id = format!("{threads}t-{}c", side as usize * side as usize);
-        group.bench_with_input(
-            BenchmarkId::new("capacity_allocation", &id),
-            &p,
-            |b, p| b.iter(|| latency_aware_sizes(p, 1024)),
-        );
+        group.bench_with_input(BenchmarkId::new("capacity_allocation", &id), &p, |b, p| {
+            b.iter(|| latency_aware_sizes(p, 1024))
+        });
         group.bench_with_input(BenchmarkId::new("thread_placement", &id), &p, |b, p| {
             b.iter(|| {
                 let o = optimistic_place(p, &sizes, Some(&cores));

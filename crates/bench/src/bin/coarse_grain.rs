@@ -5,25 +5,23 @@
 //! 64 KB chunks to full 512 KB banks (see DESIGN.md §6): coarse allocations
 //! over- and under-provision small VCs and cost weighted speedup.
 
-use cdcs_bench::{gmean, st_mix};
-use cdcs_sim::{runner, Scheme, SimConfig};
+use cdcs_bench::{gmean, run_mixes, st_mix};
+use cdcs_sim::{Scheme, SimConfig};
 
 fn main() {
     let mixes = cdcs_bench::arg("mixes", 3);
     let apps = cdcs_bench::arg("apps", 64);
     println!("bank-granularity ablation: CDCS gmean WS vs S-NUCA ({mixes} mixes of {apps} apps)");
+    let all_mixes: Vec<_> = (0..mixes).map(|m| st_mix(apps, m)).collect();
     for (name, granularity) in [("fine (64KB)", 1024u64), ("coarse (full banks)", 8192)] {
-        let mut ws = Vec::new();
-        for m in 0..mixes {
-            let mut config = SimConfig::default();
-            config.scheme = Scheme::cdcs();
-            config.alloc_granularity = granularity;
-            let mix = st_mix(apps, m);
-            let alone = runner::alone_perf_for_mix(&config, &mix).expect("alone");
-            let base = runner::run_scheme(&config, &mix, Scheme::SNuca).expect("snuca");
-            let r = runner::run_scheme(&config, &mix, config.scheme).expect("run");
-            ws.push(runner::weighted_speedup_vs(&r, &base, &alone));
-        }
+        let config = SimConfig {
+            alloc_granularity: granularity,
+            ..SimConfig::default()
+        };
+        let ws: Vec<f64> = run_mixes(&config, &all_mixes, &[Scheme::cdcs()])
+            .iter()
+            .map(|out| out.runs[0].1)
+            .collect();
         println!("{:<22} {:>8.3}", name, gmean(&ws));
     }
     println!("\npaper: 36% gmean at bank granularity vs 46% with fine-grained partitioning");

@@ -2,7 +2,7 @@
 //! schemes: (a) weighted-speedup inverse CDF, (b) on-chip LLC latency,
 //! (c) off-chip latency, (d) traffic breakdown, (e) energy per instruction.
 
-use cdcs_bench::{all_schemes, print_inverse_cdf, run_mix, st_mix};
+use cdcs_bench::{all_schemes, print_inverse_cdf, run_mixes, st_mix};
 use cdcs_mesh::TrafficClass;
 use cdcs_sim::SimConfig;
 
@@ -11,16 +11,15 @@ fn main() {
     let apps = cdcs_bench::arg("apps", 64);
     let config = SimConfig::default();
     let schemes = all_schemes();
-    let mut ws: Vec<(String, Vec<f64>)> =
-        schemes.iter().map(|s| (s.name(), Vec::new())).collect();
+    let mut ws: Vec<(String, Vec<f64>)> = schemes.iter().map(|s| (s.name(), Vec::new())).collect();
     let mut onchip = vec![0.0; schemes.len()];
     let mut offchip = vec![0.0; schemes.len()];
     let mut traffic = vec![[0.0f64; 3]; schemes.len()];
     let mut energy = vec![[0.0f64; 5]; schemes.len()];
     let mut instr = vec![0.0; schemes.len()];
-    for m in 0..mixes {
-        let mix = st_mix(apps, m);
-        let out = run_mix(&config, &mix, &schemes);
+    // One parallel grid over every (mix × scheme) cell plus alone runs.
+    let all_mixes: Vec<_> = (0..mixes).map(|m| st_mix(apps, m)).collect();
+    for out in run_mixes(&config, &all_mixes, &schemes).iter() {
         for (i, (_, w, r)) in out.runs.iter().enumerate() {
             ws[i].1.push(*w);
             onchip[i] += r.mean_on_chip_latency();
@@ -29,20 +28,22 @@ fn main() {
                 traffic[i][k] += r.system.traffic.flit_hops(*class) as f64;
             }
             let e = &r.energy;
-            for (k, v) in
-                [e.static_nj, e.core_nj, e.net_nj, e.llc_nj, e.mem_nj].iter().enumerate()
+            for (k, v) in [e.static_nj, e.core_nj, e.net_nj, e.llc_nj, e.mem_nj]
+                .iter()
+                .enumerate()
             {
                 energy[i][k] += v;
             }
             instr[i] += r.system.instructions;
         }
-        eprintln!("[mix {m} done]");
     }
     print_inverse_cdf(
         &format!("Fig. 11a: weighted speedup vs S-NUCA, {mixes} mixes of {apps} apps"),
         &ws,
     );
-    println!("\nFig. 11b/c: average LLC latencies per access, cycles (normalized to CDCS in paper)");
+    println!(
+        "\nFig. 11b/c: average LLC latencies per access, cycles (normalized to CDCS in paper)"
+    );
     println!("{:<10} {:>10} {:>10}", "scheme", "on-chip", "off-chip");
     for (i, (name, _)) in ws.iter().enumerate() {
         println!(
@@ -53,7 +54,10 @@ fn main() {
         );
     }
     println!("\nFig. 11d: NoC traffic per instruction (flit-hops), by class");
-    println!("{:<10} {:>10} {:>10} {:>10} {:>10}", "scheme", "L2-LLC", "LLC-Mem", "Other", "total");
+    println!(
+        "{:<10} {:>10} {:>10} {:>10} {:>10}",
+        "scheme", "L2-LLC", "LLC-Mem", "Other", "total"
+    );
     for (i, (name, _)) in ws.iter().enumerate() {
         let t = traffic[i];
         println!(

@@ -1,7 +1,7 @@
 //! Fig. 12: factor analysis — Jigsaw+R plus latency-aware allocation (+L),
 //! thread placement (+T) and refined data placement (+D); +LTD is CDCS.
 
-use cdcs_bench::{gmean, run_mix, st_mix};
+use cdcs_bench::{gmean, run_mixes, st_mix};
 use cdcs_core::policy::CdcsPlanner;
 use cdcs_sim::{Scheme, SimConfig, ThreadSched};
 
@@ -27,13 +27,11 @@ fn main() {
         ];
         let mut ws: Vec<(String, Vec<f64>)> =
             variants.iter().map(|s| (s.name(), Vec::new())).collect();
-        for m in 0..mixes {
-            let mix = st_mix(apps, m);
-            let out = run_mix(&config, &mix, &variants);
+        let all_mixes: Vec<_> = (0..mixes).map(|m| st_mix(apps, m)).collect();
+        for out in run_mixes(&config, &all_mixes, &variants).iter() {
             for (i, (_, w, _)) in out.runs.iter().enumerate() {
                 ws[i].1.push(*w);
             }
-            eprintln!("[{apps}-app mix {m} done]");
         }
         println!("Fig. 12 ({apps} apps, {mixes} mixes): gmean weighted speedup vs S-NUCA");
         for (name, v) in &ws {

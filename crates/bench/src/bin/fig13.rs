@@ -1,7 +1,7 @@
 //! Fig. 13: under-committed systems — gmean weighted speedup for mixes of
 //! 1–64 single-threaded apps on the 64-core CMP.
 
-use cdcs_bench::{all_schemes, gmean, run_mix, st_mix};
+use cdcs_bench::{all_schemes, gmean, run_mixes, st_mix};
 use cdcs_sim::SimConfig;
 
 fn main() {
@@ -16,9 +16,8 @@ fn main() {
     println!();
     for &apps in &[1usize, 2, 4, 8, 16, 32, 64] {
         let mut ws = vec![Vec::new(); schemes.len()];
-        for m in 0..mixes {
-            let mix = st_mix(apps, m);
-            let out = run_mix(&config, &mix, &schemes);
+        let all_mixes: Vec<_> = (0..mixes).map(|m| st_mix(apps, m)).collect();
+        for out in run_mixes(&config, &all_mixes, &schemes) {
             for (i, (_, w, _)) in out.runs.iter().enumerate() {
                 ws[i].push(*w);
             }

@@ -1,7 +1,7 @@
 //! Fig. 14: 4-app mixes — weighted-speedup distribution and traffic
 //! breakdown (capacity is plentiful; latency-aware allocation matters).
 
-use cdcs_bench::{all_schemes, print_inverse_cdf, run_mix, st_mix};
+use cdcs_bench::{all_schemes, print_inverse_cdf, run_mixes, st_mix};
 use cdcs_mesh::TrafficClass;
 use cdcs_sim::SimConfig;
 
@@ -9,13 +9,11 @@ fn main() {
     let mixes = cdcs_bench::arg("mixes", 8);
     let config = SimConfig::default();
     let schemes = all_schemes();
-    let mut ws: Vec<(String, Vec<f64>)> =
-        schemes.iter().map(|s| (s.name(), Vec::new())).collect();
+    let mut ws: Vec<(String, Vec<f64>)> = schemes.iter().map(|s| (s.name(), Vec::new())).collect();
     let mut traffic = vec![[0.0f64; 3]; schemes.len()];
     let mut instr = vec![0.0; schemes.len()];
-    for m in 0..mixes {
-        let mix = st_mix(4, m);
-        let out = run_mix(&config, &mix, &schemes);
+    let all_mixes: Vec<_> = (0..mixes).map(|m| st_mix(4, m)).collect();
+    for out in run_mixes(&config, &all_mixes, &schemes).iter() {
         for (i, (_, w, r)) in out.runs.iter().enumerate() {
             ws[i].1.push(*w);
             for (k, class) in TrafficClass::ALL.iter().enumerate() {
@@ -23,11 +21,16 @@ fn main() {
             }
             instr[i] += r.system.instructions;
         }
-        eprintln!("[mix {m} done]");
     }
-    print_inverse_cdf(&format!("Fig. 14: WS vs S-NUCA, {mixes} mixes of 4 apps"), &ws);
+    print_inverse_cdf(
+        &format!("Fig. 14: WS vs S-NUCA, {mixes} mixes of 4 apps"),
+        &ws,
+    );
     println!("\ntraffic per instruction (flit-hops) by class");
-    println!("{:<10} {:>10} {:>10} {:>10}", "scheme", "L2-LLC", "LLC-Mem", "Other");
+    println!(
+        "{:<10} {:>10} {:>10} {:>10}",
+        "scheme", "L2-LLC", "LLC-Mem", "Other"
+    );
     for (i, (name, _)) in ws.iter().enumerate() {
         println!(
             "{:<10} {:>10.3} {:>10.3} {:>10.3}",
@@ -37,5 +40,7 @@ fn main() {
             traffic[i][2] / instr[i]
         );
     }
-    println!("\npaper: CDCS 28% gmean, Jigsaw+R 17%, Jigsaw+C 6%; Jigsaw's L2-LLC traffic dominates");
+    println!(
+        "\npaper: CDCS 28% gmean, Jigsaw+R 17%, Jigsaw+C 6%; Jigsaw's L2-LLC traffic dominates"
+    );
 }

@@ -1,7 +1,7 @@
 //! Fig. 15: multi-threaded mixes — eight 8-thread OMP-like apps (64 threads)
 //! per mix: weighted speedups and traffic breakdown.
 
-use cdcs_bench::{all_schemes, mt_mix, print_inverse_cdf, run_mix};
+use cdcs_bench::{all_schemes, mt_mix, print_inverse_cdf, run_mixes};
 use cdcs_mesh::TrafficClass;
 use cdcs_sim::SimConfig;
 
@@ -9,13 +9,11 @@ fn main() {
     let mixes = cdcs_bench::arg("mixes", 5);
     let config = SimConfig::default();
     let schemes = all_schemes();
-    let mut ws: Vec<(String, Vec<f64>)> =
-        schemes.iter().map(|s| (s.name(), Vec::new())).collect();
+    let mut ws: Vec<(String, Vec<f64>)> = schemes.iter().map(|s| (s.name(), Vec::new())).collect();
     let mut traffic = vec![[0.0f64; 3]; schemes.len()];
     let mut instr = vec![0.0; schemes.len()];
-    for m in 0..mixes {
-        let mix = mt_mix(8, m);
-        let out = run_mix(&config, &mix, &schemes);
+    let all_mixes: Vec<_> = (0..mixes).map(|m| mt_mix(8, m)).collect();
+    for out in run_mixes(&config, &all_mixes, &schemes).iter() {
         for (i, (_, w, r)) in out.runs.iter().enumerate() {
             ws[i].1.push(*w);
             for (k, class) in TrafficClass::ALL.iter().enumerate() {
@@ -23,14 +21,16 @@ fn main() {
             }
             instr[i] += r.system.instructions;
         }
-        eprintln!("[mix {m} done]");
     }
     print_inverse_cdf(
         &format!("Fig. 15a: WS vs S-NUCA, {mixes} mixes of 8x 8-thread apps"),
         &ws,
     );
     println!("\nFig. 15b: traffic per instruction (flit-hops) by class");
-    println!("{:<10} {:>10} {:>10} {:>10}", "scheme", "L2-LLC", "LLC-Mem", "Other");
+    println!(
+        "{:<10} {:>10} {:>10} {:>10}",
+        "scheme", "L2-LLC", "LLC-Mem", "Other"
+    );
     for (i, (name, _)) in ws.iter().enumerate() {
         println!(
             "{:<10} {:>10.3} {:>10.3} {:>10.3}",

@@ -13,12 +13,18 @@ fn main() {
     })
     .expect("mix");
     println!("Fig. 17: aggregate IPC trace around a reconfiguration (interval = 10 Kcycles)");
-    for mv in [MoveScheme::Instant, MoveScheme::DemandMove, MoveScheme::BulkInvalidate] {
-        let mut config = SimConfig::default();
-        config.scheme = Scheme::cdcs();
-        config.move_scheme = mv;
-        config.interval_cycles = 10_000;
-        config.reconfig_benefit_factor = 0.0; // force the mid-trace apply
+    for mv in [
+        MoveScheme::Instant,
+        MoveScheme::DemandMove,
+        MoveScheme::BulkInvalidate,
+    ] {
+        let config = SimConfig {
+            scheme: Scheme::cdcs(),
+            move_scheme: mv,
+            interval_cycles: 10_000,
+            reconfig_benefit_factor: 0.0, // force the mid-trace apply
+            ..SimConfig::default()
+        };
         let sim = Simulation::new(config, mix.clone()).expect("sim");
         // 100 pre-intervals warm the chip; the trace spans 40 intervals with
         // the reconfiguration in the middle.

@@ -1,32 +1,36 @@
 //! Fig. 18: weighted speedup vs reconfiguration period for the three
 //! movement schemes (periods scaled 50x down with the rest of the clock).
 
-use cdcs_bench::{gmean, st_mix};
-use cdcs_sim::{runner, MoveScheme, Scheme, SimConfig};
+use cdcs_bench::{gmean, run_mixes, st_mix};
+use cdcs_sim::{MoveScheme, Scheme, SimConfig};
 
 fn main() {
     let mixes = cdcs_bench::arg("mixes", 3);
     let apps = cdcs_bench::arg("apps", 64);
-    println!("Fig. 18: gmean WS vs S-NUCA across reconfiguration periods ({mixes} mixes of {apps} apps)");
+    println!(
+        "Fig. 18: gmean WS vs S-NUCA across reconfiguration periods ({mixes} mixes of {apps} apps)"
+    );
     println!(
         "{:<12} {:>12} {:>12} {:>12}",
         "period", "Bulk invs", "Background", "Instant"
     );
+    let all_mixes: Vec<_> = (0..mixes).map(|m| st_mix(apps, m)).collect();
     for period in [500_000u64, 1_000_000, 2_000_000, 4_000_000] {
         let mut row = Vec::new();
-        for mv in [MoveScheme::BulkInvalidate, MoveScheme::DemandMove, MoveScheme::Instant] {
-            let mut ws = Vec::new();
-            for m in 0..mixes {
-                let mut config = SimConfig::default();
-                config.scheme = Scheme::cdcs();
-                config.move_scheme = mv;
-                config.epoch_cycles = period;
-                let mix = st_mix(apps, m);
-                let alone = runner::alone_perf_for_mix(&config, &mix).expect("alone");
-                let base = runner::run_scheme(&config, &mix, Scheme::SNuca).expect("snuca");
-                let r = runner::run_scheme(&config, &mix, config.scheme).expect("run");
-                ws.push(runner::weighted_speedup_vs(&r, &base, &alone));
-            }
+        for mv in [
+            MoveScheme::BulkInvalidate,
+            MoveScheme::DemandMove,
+            MoveScheme::Instant,
+        ] {
+            let config = SimConfig {
+                move_scheme: mv,
+                epoch_cycles: period,
+                ..SimConfig::default()
+            };
+            let ws: Vec<f64> = run_mixes(&config, &all_mixes, &[Scheme::cdcs()])
+                .iter()
+                .map(|out| out.runs[0].1)
+                .collect();
             row.push(gmean(&ws));
         }
         println!(
@@ -35,5 +39,7 @@ fn main() {
         );
         eprintln!("[period {period} done]");
     }
-    println!("\npaper: demand moves beat bulk invalidations; differences shrink as the period grows");
+    println!(
+        "\npaper: demand moves beat bulk invalidations; differences shrink as the period grows"
+    );
 }

@@ -10,12 +10,20 @@ fn main() {
     let noc = NocConfig::default();
     let mem_latency = 150.0;
     // An omnet-flavoured miss curve: cliff at 2.5 MB (40960 lines).
-    let curve = MissCurve::new(vec![(0.0, 100.0), (38_000.0, 85.0), (41_000.0, 5.0), (60_000.0, 3.0)]);
+    let curve = MissCurve::new(vec![
+        (0.0, 100.0),
+        (38_000.0, 85.0),
+        (41_000.0, 5.0),
+        (60_000.0, 3.0),
+    ]);
     let accesses = 100.0;
     let center = geometry::chip_center(&mesh);
     let per_hop = f64::from(noc.round_trip_latency(1));
     println!("Fig. 5: latency vs capacity (per-access cycles)");
-    println!("{:<10} {:>10} {:>10} {:>10}", "lines", "off-chip", "on-chip", "total");
+    println!(
+        "{:<10} {:>10} {:>10} {:>10}",
+        "lines", "off-chip", "on-chip", "total"
+    );
     for step in 0..=32 {
         let s = step as f64 * 2048.0;
         let off = curve.misses_at(s) / accesses * mem_latency;

@@ -3,8 +3,8 @@
 //! The paper: 64-way GMONs match 256-way UMONs; 64-way UMONs lose ~3% from
 //! poor resolution; 1K-way UMONs gain only ~1.1% over GMONs.
 
-use cdcs_bench::{gmean, st_mix};
-use cdcs_sim::{runner, MonitorKind, Scheme, SimConfig};
+use cdcs_bench::{gmean, run_mixes, st_mix};
+use cdcs_sim::{MonitorKind, Scheme, SimConfig};
 
 fn main() {
     let mixes = cdcs_bench::arg("mixes", 3);
@@ -16,18 +16,16 @@ fn main() {
         ("UMON-256w", MonitorKind::Umon { ways: 256 }),
         ("UMON-1024w", MonitorKind::Umon { ways: 1024 }),
     ];
+    let all_mixes: Vec<_> = (0..mixes).map(|m| st_mix(apps, m)).collect();
     for (name, kind) in kinds {
-        let mut ws = Vec::new();
-        for m in 0..mixes {
-            let mut config = SimConfig::default();
-            config.scheme = Scheme::cdcs();
-            config.monitor_kind = kind;
-            let mix = st_mix(apps, m);
-            let alone = runner::alone_perf_for_mix(&config, &mix).expect("alone");
-            let base = runner::run_scheme(&config, &mix, Scheme::SNuca).expect("snuca");
-            let r = runner::run_scheme(&config, &mix, config.scheme).expect("run");
-            ws.push(runner::weighted_speedup_vs(&r, &base, &alone));
-        }
+        let config = SimConfig {
+            monitor_kind: kind,
+            ..SimConfig::default()
+        };
+        let ws: Vec<f64> = run_mixes(&config, &all_mixes, &[Scheme::cdcs()])
+            .iter()
+            .map(|out| out.runs[0].1)
+            .collect();
         println!("{:<12} {:>8.3}", name, gmean(&ws));
         eprintln!("[{name} done]");
     }

@@ -18,7 +18,9 @@ fn problem(threads: usize, side: u16, seed: u64) -> PlacementProblem {
     let params = SystemParams::default_for_mesh(Mesh::square(side), 8192);
     let mut state = seed;
     let mut next = move || {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         (state >> 33) as f64 / (1u64 << 31) as f64
     };
     let vcs = (0..threads)

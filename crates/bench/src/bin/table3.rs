@@ -9,8 +9,10 @@
 
 use cdcs_cache::MissCurve;
 use cdcs_core::alloc::latency_aware_sizes;
-use cdcs_core::place::{greedy_place, optimistic_place, place_threads, trade_refine};
-use cdcs_core::{PlacementProblem, SystemParams, ThreadInfo, VcInfo, VcKind};
+use cdcs_core::place::{
+    greedy_place_with, optimistic_place_with, place_threads_with, trade_refine_with,
+};
+use cdcs_core::{PlacementProblem, PlanScratch, SystemParams, ThreadInfo, VcInfo, VcKind};
 use cdcs_mesh::{Mesh, TileId};
 use std::time::Instant;
 
@@ -24,7 +26,11 @@ fn problem(threads: usize, side: u16) -> PlacementProblem {
             VcInfo::new(
                 i as u32,
                 VcKind::thread_private(i as u32),
-                MissCurve::new(vec![(0.0, 30_000.0), (cliff, 2_000.0), (2.0 * cliff, 500.0)]),
+                MissCurve::new(vec![
+                    (0.0, 30_000.0),
+                    (cliff, 2_000.0),
+                    (2.0 * cliff, 500.0),
+                ]),
             )
         })
         .collect();
@@ -69,18 +75,21 @@ fn main() {
         let p = problem(threads, side);
         let cores: Vec<TileId> = (0..threads as u16).map(TileId).collect();
         let sizes = latency_aware_sizes(&p, 1024);
+        // One long-lived scratch, as in the simulator's epoch loop: the
+        // timings reflect the steady-state (allocation-free) hot path.
+        let mut scratch = PlanScratch::new();
         rows[0][col] = time_mcycles(|| {
             let _ = latency_aware_sizes(&p, 1024);
         });
-        let opt = optimistic_place(&p, &sizes, Some(&cores));
+        let opt = optimistic_place_with(&p, &sizes, Some(&cores), &mut scratch);
         rows[1][col] = time_mcycles(|| {
-            let o = optimistic_place(&p, &sizes, Some(&cores));
-            let _ = place_threads(&p, &sizes, &o, Some(&cores), 1.0);
+            let o = optimistic_place_with(&p, &sizes, Some(&cores), &mut scratch);
+            let _ = place_threads_with(&p, &sizes, &o, Some(&cores), 1.0, &mut scratch);
         });
-        let placed = place_threads(&p, &sizes, &opt, Some(&cores), 1.0);
+        let placed = place_threads_with(&p, &sizes, &opt, Some(&cores), 1.0, &mut scratch);
         rows[2][col] = time_mcycles(|| {
-            let mut pl = greedy_place(&p, &sizes, &placed, 1024);
-            trade_refine(&p, &mut pl);
+            let mut pl = greedy_place_with(&p, &sizes, &placed, 1024, &mut scratch);
+            trade_refine_with(&p, &mut pl, &mut scratch);
         });
         rows[3][col] = rows[0][col] + rows[1][col] + rows[2][col];
     }

@@ -7,6 +7,7 @@
 //! `--apps N`) to trade runtime for statistical weight; defaults are sized
 //! for minutes-scale runs, the paper uses 50 mixes.
 
+use cdcs_sim::runner::GridCell;
 use cdcs_sim::{runner, Scheme, SimConfig, SimResult};
 use cdcs_workload::{MixSpec, WorkloadMix};
 
@@ -45,33 +46,109 @@ pub struct MixOutcome {
 ///
 /// Panics on simulation construction errors (fatal for a harness).
 pub fn run_mix(config: &SimConfig, mix: &WorkloadMix, schemes: &[Scheme]) -> MixOutcome {
-    let alone = runner::alone_perf_for_mix(config, mix).expect("alone runs");
-    let baseline = runner::run_scheme(config, mix, Scheme::SNuca).expect("snuca");
-    let runs = schemes
+    run_mixes(config, std::slice::from_ref(mix), schemes)
+        .pop()
+        .expect("one outcome per mix")
+}
+
+/// Runs every `(mix × scheme)` cell of a sweep — plus each mix's S-NUCA
+/// baseline and per-unique-app alone runs — as one parallel grid over all
+/// cores, then assembles per-mix weighted speedups.
+///
+/// Every simulation is seeded from the config and cell alone, so the
+/// outcome is byte-identical to calling [`run_mix`] per mix serially; only
+/// the wall-clock changes (near-linear in cores for fig11-style sweeps).
+///
+/// # Panics
+///
+/// Panics on simulation construction errors (fatal for a harness).
+pub fn run_mixes(config: &SimConfig, mixes: &[WorkloadMix], schemes: &[Scheme]) -> Vec<MixOutcome> {
+    // One flat cell list: every unique app's alone run (always S-NUCA,
+    // shared across mixes — apps are suite profiles, identical wherever
+    // they appear), then per mix the S-NUCA baseline and every non-S-NUCA
+    // scheme.
+    let mut cells: Vec<GridCell> = Vec::new();
+    let mut alone_names: Vec<String> = Vec::new();
+    for mix in mixes {
+        for app in mix.processes() {
+            if !alone_names.contains(&app.name) {
+                alone_names.push(app.name.clone());
+                cells.push(GridCell::new(
+                    Scheme::SNuca,
+                    WorkloadMix::new(vec![app.clone()], config.seed),
+                ));
+            }
+        }
+    }
+    // Per mix: (baseline index, per-scheme index).
+    let mut layout = Vec::with_capacity(mixes.len());
+    for mix in mixes {
+        let baseline_idx = cells.len();
+        cells.push(GridCell::new(Scheme::SNuca, mix.clone()));
+        let scheme_idx: Vec<Option<usize>> = schemes
+            .iter()
+            .map(|&s| {
+                if s == Scheme::SNuca {
+                    None // reuse the baseline run
+                } else {
+                    cells.push(GridCell::new(s, mix.clone()));
+                    Some(cells.len() - 1)
+                }
+            })
+            .collect();
+        layout.push((baseline_idx, scheme_idx));
+    }
+
+    let results = runner::run_grid(config, &cells).expect("grid run");
+
+    mixes
         .iter()
-        .map(|&s| {
-            let r = if s == Scheme::SNuca {
-                baseline.clone()
-            } else {
-                runner::run_scheme(config, mix, s).expect("scheme run")
-            };
-            let ws = runner::weighted_speedup_vs(&r, &baseline, &alone);
-            (r.scheme.clone(), ws, r)
+        .zip(layout)
+        .map(|(mix, (baseline_idx, scheme_idx))| {
+            let alone: Vec<f64> = mix
+                .processes()
+                .iter()
+                .map(|app| {
+                    let i = alone_names
+                        .iter()
+                        .position(|n| *n == app.name)
+                        .expect("unique app");
+                    results[i].process_perf()[0]
+                })
+                .collect();
+            let baseline = &results[baseline_idx];
+            let runs = scheme_idx
+                .iter()
+                .map(|&idx| {
+                    let r = match idx {
+                        Some(i) => results[i].clone(),
+                        None => baseline.clone(),
+                    };
+                    let ws = runner::weighted_speedup_vs(&r, baseline, &alone);
+                    (r.scheme.clone(), ws, r)
+                })
+                .collect();
+            MixOutcome { runs }
         })
-        .collect();
-    MixOutcome { runs }
+        .collect()
 }
 
 /// Builds the `n`-th random single-threaded mix of `count` apps.
 pub fn st_mix(count: usize, n: usize) -> WorkloadMix {
-    WorkloadMix::from_spec(&MixSpec::RandomSingleThreaded { count, mix_seed: n as u64 })
-        .expect("mix")
+    WorkloadMix::from_spec(&MixSpec::RandomSingleThreaded {
+        count,
+        mix_seed: n as u64,
+    })
+    .expect("mix")
 }
 
 /// Builds the `n`-th random multi-threaded mix of `count` 8-thread apps.
 pub fn mt_mix(count: usize, n: usize) -> WorkloadMix {
-    WorkloadMix::from_spec(&MixSpec::RandomMultiThreaded { count, mix_seed: n as u64 })
-        .expect("mix")
+    WorkloadMix::from_spec(&MixSpec::RandomMultiThreaded {
+        count,
+        mix_seed: n as u64,
+    })
+    .expect("mix")
 }
 
 /// Prints a sorted inverse-CDF line per scheme (the layout of Figs. 11a, 14,

@@ -258,7 +258,10 @@ mod tests {
         let mut bank = PartitionedBank::new(8, &[4, 4]);
         let (p0, p1) = (PartitionId(0), PartitionId(1));
         bank.fill(p0, Line(1));
-        assert!(!bank.access(p1, Line(1)), "line must not hit in another partition");
+        assert!(
+            !bank.access(p1, Line(1)),
+            "line must not hit in another partition"
+        );
         assert!(bank.access(p0, Line(1)));
     }
 
@@ -367,8 +370,18 @@ mod tests {
 
     #[test]
     fn stats_merge() {
-        let mut a = BankStats { hits: 1, misses: 2, evictions: 3, invalidations: 4 };
-        let b = BankStats { hits: 10, misses: 20, evictions: 30, invalidations: 40 };
+        let mut a = BankStats {
+            hits: 1,
+            misses: 2,
+            evictions: 3,
+            invalidations: 4,
+        };
+        let b = BankStats {
+            hits: 10,
+            misses: 20,
+            evictions: 30,
+            invalidations: 40,
+        };
         a.merge(&b);
         assert_eq!(a.hits, 11);
         assert_eq!(a.accesses(), 33);

@@ -59,7 +59,7 @@ impl MissCurve {
                 _ => merged.push((c, m)),
             }
         }
-        if merged.first().map_or(true, |p| p.0 > 0.0) {
+        if merged.first().is_none_or(|p| p.0 > 0.0) {
             let first_m = merged.first().map_or(0.0, |p| p.1);
             merged.insert(0, (0.0, first_m));
         }
@@ -74,7 +74,9 @@ impl MissCurve {
 
     /// A curve that is identically zero (an app that never misses).
     pub fn zero() -> Self {
-        MissCurve { points: vec![(0.0, 0.0)] }
+        MissCurve {
+            points: vec![(0.0, 0.0)],
+        }
     }
 
     /// A flat curve: `misses` at every capacity (a streaming app that gets no
@@ -128,7 +130,10 @@ impl MissCurve {
     ///
     /// Panics if `factor` is negative or non-finite.
     pub fn scale(&self, factor: f64) -> MissCurve {
-        assert!(factor.is_finite() && factor >= 0.0, "invalid scale {factor}");
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "invalid scale {factor}"
+        );
         MissCurve {
             points: self.points.iter().map(|&(c, m)| (c, m * factor)).collect(),
         }
@@ -149,7 +154,9 @@ impl MissCurve {
         grid.sort_by(|a, b| a.partial_cmp(b).unwrap());
         grid.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
         MissCurve::new(
-            grid.iter().map(|&c| (c, self.misses_at(c) + other.misses_at(c))).collect(),
+            grid.iter()
+                .map(|&c| (c, self.misses_at(c) + other.misses_at(c)))
+                .collect(),
         )
     }
 
@@ -279,12 +286,7 @@ mod tests {
     fn convex_hull_removes_concave_knees() {
         // Points: (0,100), (10,90), (20,20), (30,10). The point (10,90) is
         // above the chord from (0,100) to (20,20), so the hull drops it.
-        let c = MissCurve::new(vec![
-            (0.0, 100.0),
-            (10.0, 90.0),
-            (20.0, 20.0),
-            (30.0, 10.0),
-        ]);
+        let c = MissCurve::new(vec![(0.0, 100.0), (10.0, 90.0), (20.0, 20.0), (30.0, 10.0)]);
         let h = c.convex_hull();
         assert_eq!(h.points().len(), 3);
         assert!((h.misses_at(10.0) - 60.0).abs() < 1e-9);

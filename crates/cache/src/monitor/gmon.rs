@@ -38,7 +38,12 @@ impl GmonConfig {
     /// The paper's default GMON: 1024 tags, 64 ways, γ ≈ 0.95, sampling every
     /// 64th access — covers a 32 MB LLC with way 0 modeling 64 KB (§IV-G).
     pub fn paper_default() -> Self {
-        GmonConfig { sets: 16, ways: 64, sample_period: 64, gamma: 0.95 }
+        GmonConfig {
+            sets: 16,
+            ways: 64,
+            sample_period: 64,
+            gamma: 0.95,
+        }
     }
 
     /// Capacity (in lines) modeled by way `w`: `sets × period / γ^w`.
@@ -61,7 +66,12 @@ impl GmonConfig {
     /// UMON already covers it; use γ = 1) — callers should clamp instead of
     /// relying on extrapolation.
     pub fn covering(sets: usize, ways: usize, sample_period: u32, total_lines: u64) -> Self {
-        let uniform = GmonConfig { sets, ways, sample_period, gamma: 1.0 };
+        let uniform = GmonConfig {
+            sets,
+            ways,
+            sample_period,
+            gamma: 1.0,
+        };
         assert!(
             uniform.coverage() <= total_lines as f64,
             "a uniform monitor already covers {total_lines} lines; use gamma = 1"
@@ -69,14 +79,24 @@ impl GmonConfig {
         let (mut lo, mut hi) = (1e-3, 1.0);
         for _ in 0..80 {
             let mid = (lo + hi) / 2.0;
-            let cfg = GmonConfig { sets, ways, sample_period, gamma: mid };
+            let cfg = GmonConfig {
+                sets,
+                ways,
+                sample_period,
+                gamma: mid,
+            };
             if cfg.coverage() > total_lines as f64 {
                 lo = mid; // too much coverage -> raise gamma
             } else {
                 hi = mid;
             }
         }
-        GmonConfig { sets, ways, sample_period, gamma: (lo + hi) / 2.0 }
+        GmonConfig {
+            sets,
+            ways,
+            sample_period,
+            gamma: (lo + hi) / 2.0,
+        }
     }
 }
 
@@ -176,10 +196,12 @@ impl Monitor for Gmon {
         match self.tags.find(set, tag) {
             Some(way) => {
                 self.hits[way] += 1;
-                self.tags.promote(set, tag, Some(way), |w, t| (t as u32) < limits[w]);
+                self.tags
+                    .promote(set, tag, Some(way), |w, t| (t as u32) < limits[w]);
             }
             None => {
-                self.tags.promote(set, tag, None, |w, t| (t as u32) < limits[w]);
+                self.tags
+                    .promote(set, tag, None, |w, t| (t as u32) < limits[w]);
             }
         }
     }
@@ -238,7 +260,12 @@ mod tests {
 
     #[test]
     fn limits_decrease_geometrically() {
-        let gmon = Gmon::new(GmonConfig { sets: 16, ways: 8, sample_period: 1, gamma: 0.5 });
+        let gmon = Gmon::new(GmonConfig {
+            sets: 16,
+            ways: 8,
+            sample_period: 1,
+            gamma: 0.5,
+        });
         let lims = gmon.limit_registers();
         assert_eq!(lims[0], 65536);
         assert_eq!(lims[1], 32768);
@@ -250,7 +277,10 @@ mod tests {
         let cfg = GmonConfig::paper_default();
         let coverage_mb = cfg.coverage() * 64.0 / (1024.0 * 1024.0);
         // γ = 0.95 with 64 ways covers roughly the paper's 32 MB LLC.
-        assert!(coverage_mb > 25.0 && coverage_mb < 40.0, "coverage {coverage_mb} MB");
+        assert!(
+            coverage_mb > 25.0 && coverage_mb < 40.0,
+            "coverage {coverage_mb} MB"
+        );
         // Way 0 models 64 KB.
         assert_eq!(cfg.lines_at_way(0), 1024.0);
         // Capacity per way grows ~26x across the array (paper §IV-G).
@@ -275,9 +305,17 @@ mod tests {
     #[test]
     fn gamma_one_behaves_like_umon() {
         use crate::monitor::{Umon, UmonConfig};
-        let mut gmon =
-            Gmon::new(GmonConfig { sets: 32, ways: 16, sample_period: 2, gamma: 1.0 });
-        let mut umon = Umon::new(UmonConfig { sets: 32, ways: 16, sample_period: 2 });
+        let mut gmon = Gmon::new(GmonConfig {
+            sets: 32,
+            ways: 16,
+            sample_period: 2,
+            gamma: 1.0,
+        });
+        let mut umon = Umon::new(UmonConfig {
+            sets: 32,
+            ways: 16,
+            sample_period: 2,
+        });
         let mut rng = StdRng::seed_from_u64(3);
         for _ in 0..100_000 {
             let a = Line(rng.gen_range(0..2000u64));
@@ -343,12 +381,22 @@ mod tests {
     #[test]
     #[should_panic(expected = "gamma must be in")]
     fn invalid_gamma_panics() {
-        Gmon::new(GmonConfig { sets: 16, ways: 8, sample_period: 1, gamma: 1.5 });
+        Gmon::new(GmonConfig {
+            sets: 16,
+            ways: 8,
+            sample_period: 1,
+            gamma: 1.5,
+        });
     }
 
     #[test]
     fn curve_capacities_grow_geometrically() {
-        let cfg = GmonConfig { sets: 16, ways: 8, sample_period: 1, gamma: 0.5 };
+        let cfg = GmonConfig {
+            sets: 16,
+            ways: 8,
+            sample_period: 1,
+            gamma: 0.5,
+        };
         let gmon = Gmon::new(cfg);
         let mut g = Gmon::new(cfg);
         g.record(Line(1));

@@ -63,9 +63,16 @@ pub(crate) struct TagArray {
 
 impl TagArray {
     pub fn new(sets: usize, ways: usize) -> Self {
-        assert!(sets > 0 && sets.is_power_of_two(), "sets must be a power of two");
+        assert!(
+            sets > 0 && sets.is_power_of_two(),
+            "sets must be a power of two"
+        );
         assert!(ways > 0, "ways must be non-zero");
-        TagArray { sets, ways, tags: vec![None; sets * ways] }
+        TagArray {
+            sets,
+            ways,
+            tags: vec![None; sets * ways],
+        }
     }
 
     #[inline]

@@ -87,8 +87,14 @@ impl Umon {
         // Choose sets × period so that ways × sets × period == total_lines,
         // with a fixed 16-set array (matching the GMON's tag budget).
         let sets = 16usize;
-        let period = (total_lines as f64 / (ways as f64 * sets as f64)).ceil().max(1.0);
-        Umon::new(UmonConfig { sets, ways, sample_period: period as u32 })
+        let period = (total_lines as f64 / (ways as f64 * sets as f64))
+            .ceil()
+            .max(1.0);
+        Umon::new(UmonConfig {
+            sets,
+            ways,
+            sample_period: period as u32,
+        })
     }
 
     /// This monitor's geometry.
@@ -134,7 +140,10 @@ impl Monitor for Umon {
         for (w, &h) in self.hits.iter().enumerate() {
             cumulative_hits += h as f64 * period;
             let capacity = (w as u64 + 1) * self.config.lines_per_way();
-            points.push((capacity as f64, (self.accesses as f64 - cumulative_hits).max(0.0)));
+            points.push((
+                capacity as f64,
+                (self.accesses as f64 - cumulative_hits).max(0.0),
+            ));
         }
         MissCurve::new(points)
     }
@@ -182,7 +191,11 @@ mod tests {
     fn unsampled_umon_matches_exact_profile() {
         // With period 1 and a footprint smaller than one way-span, the UMON
         // is an exact (hash-tagged) LRU profiler at way granularity.
-        let mut umon = Umon::new(UmonConfig { sets: 64, ways: 16, sample_period: 1 });
+        let mut umon = Umon::new(UmonConfig {
+            sets: 64,
+            ways: 16,
+            sample_period: 1,
+        });
         let mut rng = StdRng::seed_from_u64(1);
         let trace: Vec<u64> = (0..60_000).map(|_| rng.gen_range(0..400u64)).collect();
         let (m, e) = compare_on(&mut umon, &trace);
@@ -194,7 +207,11 @@ mod tests {
 
     #[test]
     fn sampled_umon_tracks_exact_profile() {
-        let mut umon = Umon::new(UmonConfig { sets: 64, ways: 32, sample_period: 8 });
+        let mut umon = Umon::new(UmonConfig {
+            sets: 64,
+            ways: 32,
+            sample_period: 8,
+        });
         let mut rng = StdRng::seed_from_u64(2);
         // Mixture: hot 256 lines + cold tail.
         let trace: Vec<u64> = (0..400_000)
@@ -219,7 +236,11 @@ mod tests {
 
     #[test]
     fn miss_curve_monotone_and_anchored() {
-        let mut umon = Umon::new(UmonConfig { sets: 16, ways: 8, sample_period: 2 });
+        let mut umon = Umon::new(UmonConfig {
+            sets: 16,
+            ways: 8,
+            sample_period: 2,
+        });
         for a in 0..10_000u64 {
             umon.record(Line(a % 500));
         }
@@ -233,7 +254,11 @@ mod tests {
 
     #[test]
     fn reset_clears_counters_keeps_coverage() {
-        let mut umon = Umon::new(UmonConfig { sets: 16, ways: 8, sample_period: 2 });
+        let mut umon = Umon::new(UmonConfig {
+            sets: 16,
+            ways: 8,
+            sample_period: 2,
+        });
         for a in 0..1000u64 {
             umon.record(Line(a));
         }
@@ -252,7 +277,11 @@ mod tests {
     fn streaming_pattern_shows_no_hits() {
         // A pure scan never reuses lines: misses stay ~flat at all sizes
         // within coverage.
-        let mut umon = Umon::new(UmonConfig { sets: 16, ways: 8, sample_period: 4 });
+        let mut umon = Umon::new(UmonConfig {
+            sets: 16,
+            ways: 8,
+            sample_period: 4,
+        });
         for a in 0..200_000u64 {
             umon.record(Line(a));
         }

@@ -6,10 +6,13 @@
 //! of one such bank partition: a set of lines with an exact capacity bound
 //! and LRU replacement. The intrusive doubly-linked list over a slab keeps
 //! every operation O(1), which matters because the simulator pushes hundreds
-//! of millions of accesses through these pools.
+//! of millions of accesses through these pools: the dominant per-access
+//! cost is one Fx hash of the line address plus an O(1) list splice. The
+//! map and slab are preallocated to capacity, so a pool never rehashes or
+//! grows while the simulation runs.
 
 use crate::Line;
-use std::collections::HashMap;
+use rustc_hash::FxHashMap;
 
 const NIL: u32 = u32::MAX;
 
@@ -37,7 +40,7 @@ struct Slot {
 #[derive(Debug, Clone)]
 pub struct LruPool {
     capacity: usize,
-    map: HashMap<u64, u32>,
+    map: FxHashMap<u64, u32>,
     slots: Vec<Slot>,
     free: Vec<u32>,
     head: u32,
@@ -45,14 +48,18 @@ pub struct LruPool {
 }
 
 impl LruPool {
-    /// Creates a pool holding at most `capacity` lines. A zero-capacity pool
+    /// Creates a pool holding at most `capacity` lines, with the line map
+    /// and slot slab preallocated to that capacity. A zero-capacity pool
     /// is legal: every insertion bypasses (the line is "evicted" immediately),
     /// modeling a virtual cache that was allocated no space in this bank.
     pub fn new(capacity: usize) -> Self {
         LruPool {
             capacity,
-            map: HashMap::new(),
-            slots: Vec::new(),
+            // `Default::default()` for the hasher state keeps this line
+            // compatible with both the vendored stand-in and every real
+            // rustc-hash release (`FxBuildHasher` is 2.x-only upstream).
+            map: FxHashMap::with_capacity_and_hasher(capacity, Default::default()),
+            slots: Vec::with_capacity(capacity),
             free: Vec::new(),
             head: NIL,
             tail: NIL,
@@ -137,15 +144,26 @@ impl LruPool {
         if self.capacity == 0 {
             return Some(line);
         }
-        let evicted =
-            if self.map.len() >= self.capacity { self.pop_lru() } else { None };
+        let evicted = if self.map.len() >= self.capacity {
+            self.pop_lru()
+        } else {
+            None
+        };
         let idx = match self.free.pop() {
             Some(i) => {
-                self.slots[i as usize] = Slot { addr: line.0, prev: NIL, next: NIL };
+                self.slots[i as usize] = Slot {
+                    addr: line.0,
+                    prev: NIL,
+                    next: NIL,
+                };
                 i
             }
             None => {
-                self.slots.push(Slot { addr: line.0, prev: NIL, next: NIL });
+                self.slots.push(Slot {
+                    addr: line.0,
+                    prev: NIL,
+                    next: NIL,
+                });
                 (self.slots.len() - 1) as u32
             }
         };
@@ -191,8 +209,14 @@ impl LruPool {
     }
 
     /// Shrinks or grows the capacity, evicting LRU lines as needed to fit.
-    /// Returns the evicted lines (LRU-first).
+    /// Returns the evicted lines (LRU-first). Growth re-establishes the
+    /// no-rehash-during-simulation invariant by reserving up front.
     pub fn resize(&mut self, new_capacity: usize) -> Vec<Line> {
+        if new_capacity > self.capacity {
+            self.map.reserve(new_capacity - self.map.len());
+            self.slots
+                .reserve(new_capacity.saturating_sub(self.slots.len()));
+        }
         self.capacity = new_capacity;
         let mut evicted = Vec::new();
         while self.map.len() > self.capacity {
@@ -214,7 +238,10 @@ impl LruPool {
 
     /// Iterates lines from MRU to LRU.
     pub fn iter(&self) -> Iter<'_> {
-        Iter { pool: self, cur: self.head }
+        Iter {
+            pool: self,
+            cur: self.head,
+        }
     }
 }
 

@@ -47,7 +47,10 @@ impl SetAssocCache {
     /// Panics if `sets` is not a power of two (hardware indexes sets with
     /// address bits) or either dimension is zero.
     pub fn new(sets: usize, ways: usize) -> Self {
-        assert!(sets > 0 && sets.is_power_of_two(), "sets must be a power of two");
+        assert!(
+            sets > 0 && sets.is_power_of_two(),
+            "sets must be a power of two"
+        );
         assert!(ways > 0, "ways must be non-zero");
         SetAssocCache {
             sets: (0..sets).map(|_| LruPool::new(ways)).collect(),

@@ -25,11 +25,26 @@ use cdcs_mesh::geometry;
 /// single curve type throughout. Callers that want the true rising shape
 /// (e.g. the Fig. 5 harness) evaluate the two latency terms directly.
 pub fn total_latency_curve(problem: &PlacementProblem, vc: VcId) -> MissCurve {
+    let center = geometry::chip_center(problem.params.mesh());
+    let dists = geometry::CompactDistances::new(problem.params.mesh(), center);
+    total_latency_curve_cached(problem, vc, &dists)
+}
+
+/// [`total_latency_curve`] with the chip-center distance table precomputed.
+///
+/// The curve evaluates the optimistic mean distance at every grid point of
+/// every VC; the distances from the chip center depend only on the mesh, so
+/// [`latency_aware_sizes`] computes them once per call instead of
+/// re-sorting the tile list per evaluation.
+fn total_latency_curve_cached(
+    problem: &PlacementProblem,
+    vc: VcId,
+    dists: &geometry::CompactDistances,
+) -> MissCurve {
     let params = &problem.params;
     let info = &problem.vcs[vc as usize];
     let accesses = problem.vc_accesses(vc);
-    let center = geometry::chip_center(&params.mesh);
-    let per_hop = f64::from(params.noc.round_trip_latency(1));
+    let per_hop = f64::from(params.noc().round_trip_latency(1));
 
     let mut grid: Vec<f64> = info.curve.points().iter().map(|p| p.0).collect();
     let max_cap = params.total_lines() as f64;
@@ -40,13 +55,12 @@ pub fn total_latency_curve(problem: &PlacementProblem, vc: VcId) -> MissCurve {
     }
     grid.push(max_cap);
     grid.retain(|&c| c <= max_cap);
-    grid.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    grid.sort_by(|a, b| a.partial_cmp(b).expect("finite capacities"));
     grid.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
 
     MissCurve::from_fn(&grid, |s| {
         let off_chip = info.curve.misses_at(s) * params.mem_latency;
-        let mean_dist =
-            geometry::compact_mean_distance(&params.mesh, center, s / params.bank_lines as f64);
+        let mean_dist = dists.mean_distance(s / params.bank_lines as f64);
         let on_chip = accesses * mean_dist * per_hop;
         off_chip + on_chip
     })
@@ -56,8 +70,10 @@ pub fn total_latency_curve(problem: &PlacementProblem, vc: VcId) -> MissCurve {
 /// total-latency curves, leaving capacity unused when further allocation
 /// would raise latency.
 pub fn latency_aware_sizes(problem: &PlacementProblem, granularity: u64) -> Vec<u64> {
+    let center = geometry::chip_center(problem.params.mesh());
+    let dists = geometry::CompactDistances::new(problem.params.mesh(), center);
     let curves: Vec<MissCurve> = (0..problem.vcs.len())
-        .map(|d| total_latency_curve(problem, d as VcId))
+        .map(|d| total_latency_curve_cached(problem, d as VcId, &dists))
         .collect();
     peekahead(
         &curves,
@@ -119,26 +135,32 @@ mod tests {
         // zero allocation and the full-chip allocation.
         let at_0 = tl.misses_at(0.0);
         let at_2k = tl.misses_at(2048.0);
-        assert!(at_2k < at_0, "allocation must reduce latency: {at_2k} vs {at_0}");
+        assert!(
+            at_2k < at_0,
+            "allocation must reduce latency: {at_2k} vs {at_0}"
+        );
         // NOTE: MissCurve enforces monotonicity, so the "rise" past the
         // sweet spot appears as a flat tail; the hull still stops growing
         // there, which is what allocation consumes. Check the raw function
         // instead: on-chip cost at full chip exceeds the miss savings.
         let params = &p.params;
-        let center = cdcs_mesh::geometry::chip_center(&params.mesh);
-        let per_hop = f64::from(params.noc.round_trip_latency(1));
+        let center = cdcs_mesh::geometry::chip_center(params.mesh());
+        let per_hop = f64::from(params.noc().round_trip_latency(1));
         let full = params.total_lines() as f64;
         let raw = |s: f64| {
             p.vcs[0].curve.misses_at(s) * params.mem_latency
                 + 1000.0
                     * cdcs_mesh::geometry::compact_mean_distance(
-                        &params.mesh,
+                        params.mesh(),
                         center,
                         s / params.bank_lines as f64,
                     )
                     * per_hop
         };
-        assert!(raw(full) > raw(2048.0), "full-chip latency must exceed sweet spot");
+        assert!(
+            raw(full) > raw(2048.0),
+            "full-chip latency must exceed sweet spot"
+        );
     }
 
     #[test]
@@ -161,7 +183,10 @@ mod tests {
         let p = problem();
         let sizes = miss_driven_sizes(&p, 512);
         assert_eq!(sizes.iter().sum::<u64>(), p.params.total_lines());
-        assert!(sizes[1] > 0, "Jigsaw spreads leftover even to streaming apps");
+        assert!(
+            sizes[1] > 0,
+            "Jigsaw spreads leftover even to streaming apps"
+        );
     }
 
     #[test]

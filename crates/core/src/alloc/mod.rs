@@ -101,7 +101,11 @@ pub fn peekahead(curves: &[MissCurve], opts: AllocOptions) -> Vec<u64> {
             }
             let benefit = (m0 - m1) / lines;
             if benefit > 0.0 {
-                segments.push(Segment { vc, lines, benefit_per_line: benefit });
+                segments.push(Segment {
+                    vc,
+                    lines,
+                    benefit_per_line: benefit,
+                });
             }
         }
     }
@@ -170,8 +174,10 @@ pub fn peekahead(curves: &[MissCurve], opts: AllocOptions) -> Vec<u64> {
 /// sum never exceeds `total`.
 fn round_to_granularity(alloc: &[f64], granularity: u64, total: u64) -> Vec<u64> {
     let g = granularity as f64;
-    let mut rounded: Vec<u64> =
-        alloc.iter().map(|&a| (a / g).floor() as u64 * granularity).collect();
+    let mut rounded: Vec<u64> = alloc
+        .iter()
+        .map(|&a| (a / g).floor() as u64 * granularity)
+        .collect();
     let mut sum: u64 = rounded.iter().sum();
     let mut order: Vec<usize> = (0..alloc.len()).collect();
     order.sort_by(|&a, &b| {
@@ -212,9 +218,7 @@ pub fn lookahead_reference(curves: &[MissCurve], opts: AllocOptions) -> Vec<u64>
                     break;
                 }
                 let density = (cur_m - curve.misses_at(cur + lines as f64)) / lines as f64;
-                if density > 0.0
-                    && best.map_or(true, |(_, _, d)| density > d + 1e-12)
-                {
+                if density > 0.0 && best.is_none_or(|(_, _, d)| density > d + 1e-12) {
                     best = Some((vc, lines, density));
                 }
                 if cur + lines as f64 >= curve.max_capacity() {
@@ -251,7 +255,12 @@ mod tests {
         ];
         let alloc = peekahead(
             &curves,
-            AllocOptions { total_lines: 1024, granularity: 1024, use_all_capacity: false, tie_tolerance: 0.1 },
+            AllocOptions {
+                total_lines: 1024,
+                granularity: 1024,
+                use_all_capacity: false,
+                tie_tolerance: 0.1,
+            },
         );
         assert_eq!(alloc, vec![1024, 0]);
     }
@@ -262,8 +271,12 @@ mod tests {
             curve(&[(0.0, 100.0), (2048.0, 0.0)]), // 0.049 / line
             curve(&[(0.0, 100.0), (1024.0, 40.0), (4096.0, 0.0)]),
         ];
-        let opts =
-            AllocOptions { total_lines: 3072, granularity: 1024, use_all_capacity: false, tie_tolerance: 0.1 };
+        let opts = AllocOptions {
+            total_lines: 3072,
+            granularity: 1024,
+            use_all_capacity: false,
+            tie_tolerance: 0.1,
+        };
         let alloc = peekahead(&curves, opts);
         assert_eq!(alloc.iter().sum::<u64>(), 3072);
         // VC1's first segment (~0.059/line) beats VC0's (0.049), then VC0's
@@ -274,14 +287,23 @@ mod tests {
     #[test]
     fn peekahead_matches_reference_lookahead() {
         let curves = vec![
-            curve(&[(0.0, 500.0), (1024.0, 300.0), (2048.0, 180.0), (8192.0, 20.0)]),
+            curve(&[
+                (0.0, 500.0),
+                (1024.0, 300.0),
+                (2048.0, 180.0),
+                (8192.0, 20.0),
+            ]),
             curve(&[(0.0, 200.0), (4096.0, 10.0)]),
             curve(&[(0.0, 80.0), (2048.0, 75.0), (3072.0, 70.0)]),
             MissCurve::flat(50.0),
         ];
         for total in [2048u64, 8192, 16384] {
-            let opts =
-                AllocOptions { total_lines: total, granularity: 1024, use_all_capacity: false, tie_tolerance: 0.1 };
+            let opts = AllocOptions {
+                total_lines: total,
+                granularity: 1024,
+                use_all_capacity: false,
+                tie_tolerance: 0.1,
+            };
             let fast = peekahead(&curves, opts);
             let slow = lookahead_reference(&curves, opts);
             // Both must extract the same total utility (allocations may
@@ -303,10 +325,18 @@ mod tests {
 
     #[test]
     fn flat_curves_get_nothing_without_use_all() {
-        let curves = vec![MissCurve::flat(1000.0), curve(&[(0.0, 10.0), (1024.0, 0.0)])];
+        let curves = vec![
+            MissCurve::flat(1000.0),
+            curve(&[(0.0, 10.0), (1024.0, 0.0)]),
+        ];
         let alloc = peekahead(
             &curves,
-            AllocOptions { total_lines: 8192, granularity: 1024, use_all_capacity: false, tie_tolerance: 0.1 },
+            AllocOptions {
+                total_lines: 8192,
+                granularity: 1024,
+                use_all_capacity: false,
+                tie_tolerance: 0.1,
+            },
         );
         assert_eq!(alloc[0], 0, "streaming app must get no capacity");
         assert_eq!(alloc[1], 1024);
@@ -314,10 +344,18 @@ mod tests {
 
     #[test]
     fn use_all_capacity_spreads_leftover() {
-        let curves = vec![MissCurve::flat(1000.0), curve(&[(0.0, 10.0), (1024.0, 0.0)])];
+        let curves = vec![
+            MissCurve::flat(1000.0),
+            curve(&[(0.0, 10.0), (1024.0, 0.0)]),
+        ];
         let alloc = peekahead(
             &curves,
-            AllocOptions { total_lines: 8192, granularity: 1024, use_all_capacity: true, tie_tolerance: 0.1 },
+            AllocOptions {
+                total_lines: 8192,
+                granularity: 1024,
+                use_all_capacity: true,
+                tie_tolerance: 0.1,
+            },
         );
         assert_eq!(alloc.iter().sum::<u64>(), 8192);
         assert!(alloc[0] > 0, "leftover must be spread");
@@ -328,7 +366,12 @@ mod tests {
         let curves = vec![MissCurve::zero()];
         let alloc = peekahead(
             &curves,
-            AllocOptions { total_lines: 4096, granularity: 1024, use_all_capacity: true, tie_tolerance: 0.1 },
+            AllocOptions {
+                total_lines: 4096,
+                granularity: 1024,
+                use_all_capacity: true,
+                tie_tolerance: 0.1,
+            },
         );
         assert_eq!(alloc, vec![0]);
     }
@@ -340,7 +383,12 @@ mod tests {
             .collect();
         let alloc = peekahead(
             &curves,
-            AllocOptions { total_lines: 5000, granularity: 512, use_all_capacity: false, tie_tolerance: 0.1 },
+            AllocOptions {
+                total_lines: 5000,
+                granularity: 512,
+                use_all_capacity: false,
+                tie_tolerance: 0.1,
+            },
         );
         assert!(alloc.iter().sum::<u64>() <= 5000);
         for a in &alloc {
@@ -351,12 +399,18 @@ mod tests {
     #[test]
     fn rising_total_latency_segments_never_taken() {
         // A total-latency-style curve: falls to a sweet spot then rises.
-        let curves = vec![curve(&[(0.0, 100.0), (1024.0, 50.0)])
-            .add(&curve(&[(0.0, 0.0)])), // still falling only
-            MissCurve::new(vec![(0.0, 100.0), (1024.0, 40.0), (4096.0, 90.0)])];
+        let curves = vec![
+            curve(&[(0.0, 100.0), (1024.0, 50.0)]).add(&curve(&[(0.0, 0.0)])), // still falling only
+            MissCurve::new(vec![(0.0, 100.0), (1024.0, 40.0), (4096.0, 90.0)]),
+        ];
         let alloc = peekahead(
             &curves,
-            AllocOptions { total_lines: 16_384, granularity: 1024, use_all_capacity: false, tie_tolerance: 0.1 },
+            AllocOptions {
+                total_lines: 16_384,
+                granularity: 1024,
+                use_all_capacity: false,
+                tie_tolerance: 0.1,
+            },
         );
         // VC1 must stop at its sweet spot (1024), not grow into the rising
         // region.
@@ -368,7 +422,12 @@ mod tests {
     fn zero_granularity_panics() {
         peekahead(
             &[MissCurve::zero()],
-            AllocOptions { total_lines: 10, granularity: 0, use_all_capacity: false, tie_tolerance: 0.1 },
+            AllocOptions {
+                total_lines: 10,
+                granularity: 0,
+                use_all_capacity: false,
+                tie_tolerance: 0.1,
+            },
         );
     }
 

@@ -103,7 +103,7 @@ pub fn mean_hops_to_vc(
         .into_iter()
         .map(|(b, lines)| {
             (lines as f64 / total as f64)
-                * f64::from(problem.params.mesh.hops(core, TileId(b as u16)))
+                * f64::from(problem.params.mesh().hops(core, TileId(b as u16)))
         })
         .sum()
 }
@@ -132,10 +132,16 @@ mod tests {
         let p = problem();
         let mut placement = Placement::empty(1, 1, 4);
         // No allocation: all 100 accesses miss.
-        assert_eq!(off_chip_latency(&p, &placement), 100.0 * p.params.mem_latency);
+        assert_eq!(
+            off_chip_latency(&p, &placement),
+            100.0 * p.params.mem_latency
+        );
         // Half the curve: 50 misses.
         placement.vc_alloc[0][0] = 100;
-        assert_eq!(off_chip_latency(&p, &placement), 50.0 * p.params.mem_latency);
+        assert_eq!(
+            off_chip_latency(&p, &placement),
+            50.0 * p.params.mem_latency
+        );
     }
 
     #[test]
@@ -165,8 +171,7 @@ mod tests {
         let placement = Placement::empty(1, 1, 4);
         let total = total_latency(&p, &placement);
         assert!(
-            (total - (100.0 * p.params.mem_latency + 100.0 * p.params.bank_latency)).abs()
-                < 1e-9
+            (total - (100.0 * p.params.mem_latency + 100.0 * p.params.bank_latency)).abs() < 1e-9
         );
     }
 

@@ -36,6 +36,11 @@ pub struct VcDescriptor {
 }
 
 /// Serde support for the fixed-size bucket array (serialized as a sequence).
+///
+/// The vendored serde stub's derive does not reference `with`-modules, so
+/// these helpers are dormant until the real serde is swapped back in (see
+/// `vendor/README.md`).
+#[allow(dead_code)]
 mod serde_buckets {
     use super::{BankId, DESCRIPTOR_BUCKETS};
     use serde::{Deserialize, Deserializer, Serialize, Serializer};
@@ -51,9 +56,8 @@ mod serde_buckets {
         d: D,
     ) -> Result<[BankId; DESCRIPTOR_BUCKETS], D::Error> {
         let v: Vec<BankId> = Vec::deserialize(d)?;
-        v.try_into().map_err(|v: Vec<BankId>| {
-            serde::de::Error::invalid_length(v.len(), &"64 buckets")
-        })
+        v.try_into()
+            .map_err(|v: Vec<BankId>| serde::de::Error::invalid_length(v.len(), &"64 buckets"))
     }
 }
 
@@ -88,8 +92,7 @@ impl VcDescriptor {
         alloc: &[(usize, u64)],
         prev: Option<&VcDescriptor>,
     ) -> Result<Self, String> {
-        let nonzero: Vec<(usize, u64)> =
-            alloc.iter().copied().filter(|&(_, l)| l > 0).collect();
+        let nonzero: Vec<(usize, u64)> = alloc.iter().copied().filter(|&(_, l)| l > 0).collect();
         if nonzero.is_empty() {
             return Err("descriptor needs at least one bank with capacity".into());
         }
@@ -147,9 +150,9 @@ impl VcDescriptor {
                 }
             }
         }
-        let mut fill = counts.iter().flat_map(|&(b, _, _)| {
-            std::iter::repeat(b).take(target.get(&b).copied().unwrap_or(0))
-        });
+        let mut fill = counts
+            .iter()
+            .flat_map(|&(b, _, _)| std::iter::repeat_n(b, target.get(&b).copied().unwrap_or(0)));
         for slot in buckets.iter_mut() {
             if *slot == BankId(u16::MAX) {
                 let b = fill.next().expect("targets cover all unassigned buckets");
@@ -260,11 +263,8 @@ mod tests {
     fn stable_rebuild_minimizes_bucket_churn() {
         let a = VcDescriptor::from_allocation(&[(0, 8192), (1, 8192), (2, 4096)]).unwrap();
         // Slightly different sizes: most buckets must keep their banks.
-        let b = VcDescriptor::from_allocation_stable(
-            &[(0, 8192), (1, 7168), (2, 5120)],
-            Some(&a),
-        )
-        .unwrap();
+        let b = VcDescriptor::from_allocation_stable(&[(0, 8192), (1, 7168), (2, 5120)], Some(&a))
+            .unwrap();
         let changed = a
             .buckets()
             .iter()
@@ -281,8 +281,7 @@ mod tests {
     #[test]
     fn stable_rebuild_identical_alloc_is_identity() {
         let a = VcDescriptor::from_allocation(&[(3, 1000), (7, 3000)]).unwrap();
-        let b =
-            VcDescriptor::from_allocation_stable(&[(3, 1000), (7, 3000)], Some(&a)).unwrap();
+        let b = VcDescriptor::from_allocation_stable(&[(3, 1000), (7, 3000)], Some(&a)).unwrap();
         assert_eq!(a, b);
     }
 

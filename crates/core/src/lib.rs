@@ -63,6 +63,7 @@ pub mod policy;
 mod types;
 
 pub use descriptor::VcDescriptor;
+pub use place::PlanScratch;
 pub use types::{
     Placement, PlacementProblem, SystemParams, ThreadId, ThreadInfo, VcId, VcInfo, VcKind,
 };

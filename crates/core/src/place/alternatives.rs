@@ -27,10 +27,13 @@ pub fn exhaustive_thread_placement(
     problem: &PlacementProblem,
     placement: &Placement,
 ) -> Vec<TileId> {
-    let n = problem.params.mesh.num_tiles();
+    let n = problem.params.mesh().num_tiles();
     let t = problem.threads.len();
     let work = (0..t).fold(1u64, |acc, i| acc.saturating_mul((n - i) as u64));
-    assert!(work <= 10_000_000, "instance too large for exhaustive search ({work})");
+    assert!(
+        work <= 10_000_000,
+        "instance too large for exhaustive search ({work})"
+    );
 
     let mut best_cores: Vec<TileId> = (0..t as u16).map(TileId).collect();
     let mut best_cost = f64::INFINITY;
@@ -38,6 +41,7 @@ pub fn exhaustive_thread_placement(
     let mut current: Vec<u16> = Vec::with_capacity(t);
     let mut used = vec![false; n];
 
+    #[allow(clippy::too_many_arguments)] // explicit DFS state beats a one-off struct here
     fn recurse(
         depth: usize,
         t: usize,
@@ -66,7 +70,17 @@ pub fn exhaustive_thread_placement(
             }
             used[tile as usize] = true;
             current.push(tile);
-            recurse(depth + 1, t, n, used, current, problem, trial, best_cost, best_cores);
+            recurse(
+                depth + 1,
+                t,
+                n,
+                used,
+                current,
+                problem,
+                trial,
+                best_cost,
+                best_cores,
+            );
             current.pop();
             used[tile as usize] = false;
         }
@@ -95,7 +109,7 @@ pub fn anneal_thread_placement(
     seed: u64,
 ) -> Vec<TileId> {
     let mut rng = StdRng::seed_from_u64(seed);
-    let n = problem.params.mesh.num_tiles();
+    let n = problem.params.mesh().num_tiles();
     let t = problem.threads.len();
     let mut trial = placement.clone();
     let mut cost = on_chip_latency(problem, &trial);
@@ -123,11 +137,13 @@ pub fn anneal_thread_placement(
             trial.thread_cores[displaced] = old_tile;
         }
         let new_cost = on_chip_latency(problem, &trial);
-        let accept = new_cost < cost
-            || rng.gen::<f64>() < ((cost - new_cost) / temp).exp();
+        let accept = new_cost < cost || rng.gen::<f64>() < ((cost - new_cost) / temp).exp();
         if accept {
-            occupied[old_tile.index()] =
-                if displaced != usize::MAX { displaced } else { usize::MAX };
+            occupied[old_tile.index()] = if displaced != usize::MAX {
+                displaced
+            } else {
+                usize::MAX
+            };
             occupied[target_tile] = a;
             cost = new_cost;
             if cost < best_cost {
@@ -150,7 +166,7 @@ pub fn anneal_thread_placement(
 /// each half to one half of the mesh. Threads sharing VCs are kept together
 /// greedily (heaviest-communication pairs first).
 pub fn bisection_thread_placement(problem: &PlacementProblem) -> Vec<TileId> {
-    let mesh = &problem.params.mesh;
+    let mesh = &problem.params.mesh();
     let tiles = mesh.tiles();
     let mut cores = vec![TileId(0); problem.threads.len()];
     let threads: Vec<u32> = (0..problem.threads.len() as u32).collect();
@@ -170,7 +186,7 @@ fn bisect(problem: &PlacementProblem, threads: &[u32], tiles: &[TileId], cores: 
     }
     // Split tiles by geometry (left/right or top/bottom, whichever is
     // longer), like recursive coordinate bisection.
-    let mesh = &problem.params.mesh;
+    let mesh = &problem.params.mesh();
     let mut sorted_tiles = tiles.to_vec();
     let span_x = tiles.iter().map(|&t| mesh.coord(t).x).max().unwrap()
         - tiles.iter().map(|&t| mesh.coord(t).x).min().unwrap();
@@ -189,8 +205,14 @@ fn bisect(problem: &PlacementProblem, threads: &[u32], tiles: &[TileId], cores: 
     // to tile split.
     let mut groups: Vec<Vec<u32>> = group_by_shared_vcs(problem, threads);
     groups.sort_by(|a, b| {
-        let ia: f64 = a.iter().map(|&t| problem.threads[t as usize].total_accesses()).sum();
-        let ib: f64 = b.iter().map(|&t| problem.threads[t as usize].total_accesses()).sum();
+        let ia: f64 = a
+            .iter()
+            .map(|&t| problem.threads[t as usize].total_accesses())
+            .sum();
+        let ib: f64 = b
+            .iter()
+            .map(|&t| problem.threads[t as usize].total_accesses())
+            .sum();
         ib.partial_cmp(&ia).unwrap()
     });
     let mut half_a: Vec<u32> = Vec::new();
@@ -200,8 +222,7 @@ fn bisect(problem: &PlacementProblem, threads: &[u32], tiles: &[TileId], cores: 
         // current threads).
         let room_a = tiles_a.len() as i64 - half_a.len() as i64;
         let room_b = tiles_b.len() as i64 - half_b.len() as i64;
-        let target = if g.len() as i64 <= room_a && (room_a >= room_b || g.len() as i64 > room_b)
-        {
+        let target = if g.len() as i64 <= room_a && (room_a >= room_b || g.len() as i64 > room_b) {
             &mut half_a
         } else {
             &mut half_b
@@ -224,8 +245,7 @@ fn bisect(problem: &PlacementProblem, threads: &[u32], tiles: &[TileId], cores: 
 /// Groups threads connected through shared VCs (threads of one process end
 /// up together).
 fn group_by_shared_vcs(problem: &PlacementProblem, threads: &[u32]) -> Vec<Vec<u32>> {
-    let mut parent: std::collections::HashMap<u32, u32> =
-        threads.iter().map(|&t| (t, t)).collect();
+    let mut parent: std::collections::HashMap<u32, u32> = threads.iter().map(|&t| (t, t)).collect();
     fn find(parent: &mut std::collections::HashMap<u32, u32>, x: u32) -> u32 {
         let p = parent[&x];
         if p == x {
@@ -239,8 +259,8 @@ fn group_by_shared_vcs(problem: &PlacementProblem, threads: &[u32]) -> Vec<Vec<u
     for d in 0..problem.vcs.len() as u32 {
         let accessors: Vec<u32> = problem
             .vc_accessors(d)
-            .into_iter()
-            .map(|(t, _)| t)
+            .iter()
+            .map(|&(t, _)| t)
             .filter(|t| in_set.contains(t))
             .collect();
         for w in accessors.windows(2) {
@@ -290,7 +310,9 @@ pub fn anneal_data_placement(
         if d1 == d2 || b1 == b2 {
             continue;
         }
-        let k = chunk.min(trial.vc_alloc[d1][b1]).min(trial.vc_alloc[d2][b2]);
+        let k = chunk
+            .min(trial.vc_alloc[d1][b1])
+            .min(trial.vc_alloc[d2][b2]);
         if k == 0 {
             continue;
         }
@@ -326,11 +348,16 @@ mod tests {
         let params = SystemParams::default_for_mesh(mesh, 1024);
         let vcs = (0..n)
             .map(|i| {
-                VcInfo::new(i as u32, VcKind::thread_private(i as u32), MissCurve::flat(100.0))
+                VcInfo::new(
+                    i as u32,
+                    VcKind::thread_private(i as u32),
+                    MissCurve::flat(100.0),
+                )
             })
             .collect();
-        let threads =
-            (0..n).map(|i| ThreadInfo::new(i as u32, vec![(i as u32, 100.0)])).collect();
+        let threads = (0..n)
+            .map(|i| ThreadInfo::new(i as u32, vec![(i as u32, 100.0)]))
+            .collect();
         PlacementProblem::new(params, vcs, threads).unwrap()
     }
 
@@ -402,7 +429,7 @@ mod tests {
         let p = PlacementProblem::new(params, vcs, threads).unwrap();
         let cores = bisection_thread_placement(&p);
         // Threads 0,1 adjacent; threads 2,3 adjacent.
-        let mesh = &p.params.mesh;
+        let mesh = &p.params.mesh();
         assert!(mesh.hops(cores[0], cores[1]) <= 1);
         assert!(mesh.hops(cores[2], cores[3]) <= 1);
         // All distinct.

@@ -11,6 +11,19 @@
 //!    a Jigsaw-style greedy pass, then the bounded outward-spiral trade
 //!    search (§IV-F, Fig. 8).
 //!
+//! # Hot-path structure
+//!
+//! The planners run every epoch (the paper's runtime reconfigures every
+//! 25 ms), so the per-plan cost must not be dominated by allocator traffic.
+//! All placement steps are therefore written against [`PlanScratch`]: a
+//! bundle of reusable buffers holding the flattened `(vc × bank)` cost
+//! matrix, greedy working state, cached per-tile spiral orders, and sort
+//! keys. The public one-shot entry points (`greedy_place`, `trade_refine`,
+//! …) build a fresh scratch internally; the `*_with` variants accept a
+//! caller-owned scratch so a long-running simulation performs zero
+//! steady-state allocations inside cost evaluation. Both paths produce
+//! bit-identical placements (asserted by `tests/indexed_equivalence.rs`).
+//!
 //! [`alternatives`] holds the expensive comparators of §VI-C (exhaustive,
 //! simulated annealing, recursive bisection).
 
@@ -19,43 +32,232 @@ mod optimistic;
 mod refine;
 mod thread;
 
-pub use optimistic::{optimistic_place, OptimisticPlacement};
-pub use refine::{greedy_place, trade_refine};
-pub use thread::place_threads;
+pub use optimistic::{optimistic_place, optimistic_place_with, OptimisticPlacement};
+pub use refine::{greedy_place, greedy_place_with, trade_refine, trade_refine_with};
+pub use thread::{place_threads, place_threads_with};
 
 use crate::PlacementProblem;
-use cdcs_mesh::geometry::{center_of_mass, Point};
-use cdcs_mesh::TileId;
+use cdcs_mesh::geometry::{Point, SpiralTable};
+use cdcs_mesh::{Mesh, TileId};
 
 /// Access-weighted cost of placing one line of `vc`'s data in `bank`:
 /// `Σ_t a_{t,d} · round_trip(c_t, bank)` — the paper's `D(VC, b)` scaled by
-/// the VC's total accesses. Used by greedy placement and the trade search.
-pub(crate) fn vc_bank_cost(
+/// the VC's total accesses. Allocation-free: reads the problem's CSR
+/// accessor index and the precomputed round-trip table.
+///
+/// [`PlanScratch::compute_cost_matrix`] evaluates the whole `(vc × bank)`
+/// matrix in one pass; this scalar form serves one-off queries and the
+/// equivalence tests.
+#[inline]
+pub fn vc_bank_cost(
     problem: &PlacementProblem,
     thread_cores: &[TileId],
     vc: u32,
     bank: usize,
 ) -> f64 {
+    let bank = TileId(bank as u16);
     problem
         .vc_accessors(vc)
-        .into_iter()
-        .map(|(t, rate)| {
-            rate * problem.params.net_round_trip(thread_cores[t as usize], TileId(bank as u16))
+        .iter()
+        .map(|&(t, rate)| {
+            rate * problem
+                .params
+                .net_round_trip(thread_cores[t as usize], bank)
         })
         .sum()
 }
 
 /// Center of mass of the threads accessing `vc`, weighted by access rate.
 /// Returns `None` if nothing accesses the VC.
+///
+/// Accumulates in the same order as
+/// [`cdcs_mesh::geometry::center_of_mass`] over the accessor list (total
+/// weight first, then coordinates), so results match the definitional
+/// implementation bit-for-bit without materializing a weighted-tile vector.
 pub(crate) fn vc_accessor_center(
     problem: &PlacementProblem,
     thread_cores: &[TileId],
     vc: u32,
 ) -> Option<Point> {
-    let weighted: Vec<(TileId, f64)> = problem
-        .vc_accessors(vc)
-        .into_iter()
-        .map(|(t, rate)| (thread_cores[t as usize], rate))
-        .collect();
-    center_of_mass(&problem.params.mesh, &weighted)
+    let accessors = problem.vc_accessors(vc);
+    let mesh = &problem.params.mesh();
+    let total: f64 = accessors.iter().map(|&(_, w)| w).sum();
+    if total <= 0.0 {
+        return None;
+    }
+    let (mut x, mut y) = (0.0, 0.0);
+    for &(t, w) in accessors {
+        let c = mesh.coord(thread_cores[t as usize]);
+        x += c.x as f64 * w;
+        y += c.y as f64 * w;
+    }
+    Some(Point {
+        x: x / total,
+        y: y / total,
+    })
+}
+
+/// Reusable planner buffers: the flattened `(vc × bank)` cost matrix plus
+/// every working vector the placement steps need.
+///
+/// One scratch serves any sequence of problems; buffers grow to the largest
+/// problem seen and are reused thereafter (the per-tile spiral table is
+/// rebuilt only when the mesh changes). Create once per simulation /
+/// experiment and thread it through
+/// [`crate::policy::CdcsPlanner::plan_with`] or the `*_with` placement
+/// functions.
+#[derive(Debug, Default)]
+pub struct PlanScratch {
+    /// Flattened cost matrix: `cost[vc * banks + bank]`.
+    cost: Vec<f64>,
+    /// Bank count the matrix was last computed for.
+    banks: usize,
+    /// Cached spiral orders from every tile (rebuilt on mesh change).
+    spiral: Option<SpiralTable>,
+    /// Spiral order from an arbitrary point (trade search).
+    pub(crate) spiral_tmp: Vec<TileId>,
+    /// Greedy: remaining lines per VC.
+    pub(crate) need: Vec<u64>,
+    /// Greedy: per-VC position in its bank order.
+    pub(crate) cursor: Vec<usize>,
+    /// Free lines per bank (greedy and trade search).
+    pub(crate) free: Vec<u64>,
+    /// Greedy: flattened cheapest-first bank order per VC.
+    pub(crate) bank_order: Vec<u32>,
+    /// Trade search: total allocated lines per VC.
+    pub(crate) vc_totals: Vec<u64>,
+    /// Trade search: desirable-bank list for the current VC.
+    pub(crate) desirable: Vec<usize>,
+    /// Generic index ordering buffer (optimistic + thread placement).
+    pub(crate) order: Vec<usize>,
+    /// Sort keys paired with `order`.
+    pub(crate) keys: Vec<f64>,
+    /// Thread placement: preferred point per thread.
+    pub(crate) preferred: Vec<Point>,
+    /// Thread placement: occupied tiles.
+    pub(crate) taken: Vec<bool>,
+}
+
+impl PlanScratch {
+    /// An empty scratch; buffers are sized on first use.
+    pub fn new() -> Self {
+        PlanScratch::default()
+    }
+
+    /// Recomputes the cost matrix for `thread_cores` in one pass.
+    ///
+    /// Iterates accessors in CSR order and walks each core's contiguous
+    /// round-trip table row, so every `(vc, bank)` cell receives exactly the
+    /// additions `vc_bank_cost` would perform, in the same order —
+    /// bit-identical values, no per-call allocation once the buffer is warm.
+    pub fn compute_cost_matrix(&mut self, problem: &PlacementProblem, thread_cores: &[TileId]) {
+        let banks = problem.params.num_banks();
+        let num_vcs = problem.vcs.len();
+        self.banks = banks;
+        self.cost.clear();
+        self.cost.resize(num_vcs * banks, 0.0);
+        for d in 0..num_vcs {
+            let row = &mut self.cost[d * banks..(d + 1) * banks];
+            for &(t, rate) in problem.vc_accessors(d as u32) {
+                let core = thread_cores[t as usize];
+                for (b, slot) in row.iter_mut().enumerate() {
+                    *slot += rate * problem.params.net_round_trip(core, TileId(b as u16));
+                }
+            }
+        }
+    }
+
+    /// The cost row of one VC (valid after
+    /// [`Self::compute_cost_matrix`]).
+    #[inline]
+    pub fn cost_row(&self, vc: usize) -> &[f64] {
+        &self.cost[vc * self.banks..(vc + 1) * self.banks]
+    }
+
+    /// Per-tile spiral orders for `mesh`, rebuilding the cache only when the
+    /// mesh changed.
+    pub(crate) fn spiral_table(&mut self, mesh: &Mesh) -> &SpiralTable {
+        let stale = self.spiral.as_ref().is_none_or(|s| s.mesh() != mesh);
+        if stale {
+            self.spiral = Some(SpiralTable::new(mesh));
+        }
+        self.spiral.as_ref().expect("just ensured")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SystemParams, ThreadInfo, VcInfo, VcKind};
+    use cdcs_cache::MissCurve;
+
+    fn problem() -> PlacementProblem {
+        let params = SystemParams::default_for_mesh(Mesh::new(3, 3), 1024);
+        let vcs = vec![
+            VcInfo::new(0, VcKind::thread_private(0), MissCurve::flat(100.0)),
+            VcInfo::new(1, VcKind::process_shared(0), MissCurve::flat(50.0)),
+            VcInfo::new(2, VcKind::Global, MissCurve::zero()),
+        ];
+        let threads = vec![
+            ThreadInfo::new(0, vec![(0, 100.0), (1, 20.0)]),
+            ThreadInfo::new(1, vec![(1, 30.0)]),
+        ];
+        PlacementProblem::new(params, vcs, threads).unwrap()
+    }
+
+    #[test]
+    fn cost_matrix_matches_scalar_costs() {
+        let p = problem();
+        let cores = vec![TileId(0), TileId(8)];
+        let mut scratch = PlanScratch::new();
+        scratch.compute_cost_matrix(&p, &cores);
+        for d in 0..p.vcs.len() {
+            let row = scratch.cost_row(d);
+            for (b, &cell) in row.iter().enumerate() {
+                assert_eq!(
+                    cell,
+                    vc_bank_cost(&p, &cores, d as u32, b),
+                    "vc {d} bank {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cost_matrix_reuse_is_consistent() {
+        let p = problem();
+        let mut scratch = PlanScratch::new();
+        scratch.compute_cost_matrix(&p, &[TileId(0), TileId(8)]);
+        let first: Vec<f64> = scratch.cost_row(0).to_vec();
+        // Different cores, then back: identical values again.
+        scratch.compute_cost_matrix(&p, &[TileId(4), TileId(2)]);
+        scratch.compute_cost_matrix(&p, &[TileId(0), TileId(8)]);
+        assert_eq!(scratch.cost_row(0), first.as_slice());
+    }
+
+    #[test]
+    fn accessor_center_matches_center_of_mass() {
+        let p = problem();
+        let cores = vec![TileId(1), TileId(7)];
+        for d in 0..p.vcs.len() {
+            let direct = vc_accessor_center(&p, &cores, d as u32);
+            let weighted: Vec<(TileId, f64)> = p
+                .vc_accessors(d as u32)
+                .iter()
+                .map(|&(t, rate)| (cores[t as usize], rate))
+                .collect();
+            let reference = cdcs_mesh::geometry::center_of_mass(p.params.mesh(), &weighted);
+            assert_eq!(direct, reference, "vc {d}");
+        }
+    }
+
+    #[test]
+    fn spiral_table_cache_tracks_mesh_changes() {
+        let mut scratch = PlanScratch::new();
+        let small = Mesh::new(2, 2);
+        let big = Mesh::new(4, 4);
+        assert_eq!(scratch.spiral_table(&small).mesh(), &small);
+        assert_eq!(scratch.spiral_table(&big).mesh(), &big);
+        assert_eq!(scratch.spiral_table(&big).from_tile(TileId(0)).len(), 16);
+    }
 }

@@ -14,10 +14,10 @@
 //! VC's current accessors rather than by tile id (given equal contention,
 //! staying near the accessing threads is strictly better).
 
-use super::vc_accessor_center;
+use super::{vc_accessor_center, PlanScratch};
 use crate::PlacementProblem;
-use cdcs_mesh::geometry::{tiles_by_distance_from_point, Point};
-use cdcs_mesh::{Mesh, TileId, Topology};
+use cdcs_mesh::geometry::Point;
+use cdcs_mesh::{TileId, Topology};
 
 /// Result of optimistic placement: a rough center for every VC with data,
 /// plus the per-bank claimed-capacity tally (in bank units).
@@ -31,25 +31,31 @@ pub struct OptimisticPlacement {
     pub claimed: Vec<f64>,
 }
 
-/// Fractional coverage of banks when `size_banks` of capacity is placed
-/// compactly around `center`: full banks in spiral order, fractional tail.
-fn compact_coverage(mesh: &Mesh, center: Point, size_banks: f64) -> Vec<(TileId, f64)> {
+/// Sums `claimed[b] * coverage(b)` over the compact placement of
+/// `size_banks` of capacity along `spiral` — the contention of centering a
+/// VC there. Same walk as the definitional "build the coverage list, then
+/// dot it with `claimed`", without materializing the list.
+#[inline]
+fn compact_contention(spiral: &[TileId], claimed: &[f64], size_banks: f64) -> f64 {
     let mut remaining = size_banks;
-    let mut cover = Vec::new();
-    for t in tiles_by_distance_from_point(mesh, center) {
+    let mut contention = 0.0;
+    for t in spiral {
         if remaining <= 0.0 {
             break;
         }
         let take = remaining.min(1.0);
-        cover.push((t, take));
+        contention += claimed[t.index()] * take;
         remaining -= take;
     }
-    cover
+    contention
 }
 
 /// Runs optimistic contention-aware placement for the given VC sizes (in
 /// lines). Larger VCs are placed first ("larger VCs can cause more
 /// contention, while small VCs can fit in a fraction of a bank").
+///
+/// One-shot wrapper over [`optimistic_place_with`] (allocates a fresh
+/// scratch).
 ///
 /// `current_cores`, when given, anchors contention ties toward each VC's
 /// current accessors (see the module docs); pass `None` for the id-order
@@ -64,51 +70,88 @@ pub fn optimistic_place(
     sizes: &[u64],
     current_cores: Option<&[TileId]>,
 ) -> OptimisticPlacement {
+    optimistic_place_with(problem, sizes, current_cores, &mut PlanScratch::new())
+}
+
+/// [`optimistic_place`] against caller-owned buffers. The contention sweep
+/// evaluates a compact placement centered at every tile for every VC; the
+/// tile-centered spiral orders it walks are cached in the scratch across
+/// epochs (they depend only on the mesh), turning the sweep's inner loop
+/// into pure table reads.
+///
+/// # Panics
+///
+/// As [`optimistic_place`].
+pub fn optimistic_place_with(
+    problem: &PlacementProblem,
+    sizes: &[u64],
+    current_cores: Option<&[TileId]>,
+    scratch: &mut PlanScratch,
+) -> OptimisticPlacement {
     assert_eq!(sizes.len(), problem.vcs.len(), "one size per VC");
     if let Some(cores) = current_cores {
         assert_eq!(cores.len(), problem.threads.len(), "one core per thread");
     }
-    let mesh = &problem.params.mesh;
+    let mesh = &problem.params.mesh();
     let n = mesh.num_tiles();
     let mut claimed = vec![0.0f64; n];
     let mut centers = vec![None; sizes.len()];
+    scratch.spiral_table(mesh);
 
     // Largest-first, with sizes quantized to half-bank buckets so that
     // measurement noise between near-equal VCs cannot permute the order.
+    // (Key is a total order — bucket desc, id asc — so the unstable sort is
+    // deterministic.)
     let half_bank = (problem.params.bank_lines / 2).max(1);
-    let mut order: Vec<usize> = (0..sizes.len()).collect();
-    order.sort_by_key(|&d| (std::cmp::Reverse(sizes[d] / half_bank), d));
+    scratch.order.clear();
+    scratch.order.extend(0..sizes.len());
+    scratch
+        .order
+        .sort_unstable_by_key(|&d| (std::cmp::Reverse(sizes[d] / half_bank), d));
+    let spiral = scratch.spiral.as_ref().expect("spiral table ensured above");
 
-    for &d in &order {
+    for oi in 0..scratch.order.len() {
+        let d = scratch.order[oi];
         if sizes[d] == 0 {
             continue;
         }
         let size_banks = sizes[d] as f64 / problem.params.bank_lines as f64;
-        let anchor = current_cores
-            .and_then(|cores| vc_accessor_center(problem, cores, d as u32));
+        let anchor = current_cores.and_then(|cores| vc_accessor_center(problem, cores, d as u32));
         // Evaluate contention centering the VC at every tile; keep the least
         // contended, breaking near-ties (within 5% of a bank) toward the
         // anchor, then by tile id.
         let mut best_tile = TileId(0);
         let mut best_key = (f64::INFINITY, f64::INFINITY);
-        for t in mesh.tiles() {
-            let c = mesh.coord(t);
-            let center = Point { x: f64::from(c.x), y: f64::from(c.y) };
-            let contention: f64 = compact_coverage(mesh, center, size_banks)
-                .into_iter()
-                .map(|(b, cov)| claimed[b.index()] * cov)
-                .sum();
+        // Iterate tile ids directly: `Topology::tiles()` collects a fresh
+        // Vec, which would put one allocation per VC in the hottest sweep.
+        for t in (0..n as u16).map(TileId) {
+            let contention = compact_contention(spiral.from_tile(t), &claimed, size_banks);
             let quantized = (contention / 0.05).round() * 0.05;
-            let anchor_dist = anchor.map_or(0.0, |a| a.manhattan(center));
+            let anchor_dist = anchor.map_or(0.0, |a| {
+                let c = mesh.coord(t);
+                a.manhattan(Point {
+                    x: f64::from(c.x),
+                    y: f64::from(c.y),
+                })
+            });
             if (quantized, anchor_dist) < best_key {
                 best_key = (quantized, anchor_dist);
                 best_tile = t;
             }
         }
         let c = mesh.coord(best_tile);
-        let center = Point { x: f64::from(c.x), y: f64::from(c.y) };
-        for (b, cov) in compact_coverage(mesh, center, size_banks) {
-            claimed[b.index()] += cov;
+        let center = Point {
+            x: f64::from(c.x),
+            y: f64::from(c.y),
+        };
+        let mut remaining = size_banks;
+        for t in spiral.from_tile(best_tile) {
+            if remaining <= 0.0 {
+                break;
+            }
+            let take = remaining.min(1.0);
+            claimed[t.index()] += take;
+            remaining -= take;
         }
         centers[d] = Some(center);
     }
@@ -120,12 +163,17 @@ mod tests {
     use super::*;
     use crate::{SystemParams, ThreadInfo, VcInfo, VcKind};
     use cdcs_cache::MissCurve;
+    use cdcs_mesh::Mesh;
 
     fn problem_with_sizes(mesh: Mesh, n_vcs: usize) -> PlacementProblem {
         let params = SystemParams::default_for_mesh(mesh, 1024);
         let vcs = (0..n_vcs)
             .map(|i| {
-                VcInfo::new(i as u32, VcKind::thread_private(i as u32), MissCurve::flat(100.0))
+                VcInfo::new(
+                    i as u32,
+                    VcKind::thread_private(i as u32),
+                    MissCurve::flat(100.0),
+                )
             })
             .collect();
         let threads = (0..n_vcs)
@@ -176,7 +224,7 @@ mod tests {
         let p = problem_with_sizes(Mesh::new(5, 5), 2);
         let out = optimistic_place(&p, &[9 * 1024, 1024], None);
         let small_center = out.centers[1].unwrap();
-        let small_tile = cdcs_mesh::geometry::nearest_tile(&p.params.mesh, small_center);
+        let small_tile = cdcs_mesh::geometry::nearest_tile(p.params.mesh(), small_center);
         assert!(
             out.claimed[small_tile.index()] <= 1.0 + 1e-9,
             "small VC landed on a contended bank"
@@ -191,7 +239,10 @@ mod tests {
         let cores = vec![TileId(10)];
         let out = optimistic_place(&p, &[1024], Some(&cores));
         let c = out.centers[0].unwrap();
-        assert_eq!(cdcs_mesh::geometry::nearest_tile(&p.params.mesh, c), TileId(10));
+        assert_eq!(
+            cdcs_mesh::geometry::nearest_tile(p.params.mesh(), c),
+            TileId(10)
+        );
     }
 
     #[test]

@@ -7,14 +7,16 @@
 //! data's center of mass and offers swaps that lower total latency (Eq. 2);
 //! only net-beneficial trades execute, and each VC trades once.
 
-use super::{vc_accessor_center, vc_bank_cost};
+use super::{vc_accessor_center, PlanScratch};
 use crate::{Placement, PlacementProblem};
-use cdcs_mesh::geometry::{center_of_mass, tiles_by_distance_from_point};
+use cdcs_mesh::geometry::tiles_by_distance_from_point_into;
 use cdcs_mesh::TileId;
 
 /// Jigsaw-style greedy placement: given VC sizes and thread locations, VCs
 /// take turns claiming `chunk`-line pieces of the cheapest bank that still
 /// has free capacity. Returns a feasible [`Placement`].
+///
+/// One-shot wrapper over [`greedy_place_with`] (allocates a fresh scratch).
 ///
 /// VCs take turns in id order. (The paper does not fix an order; chunked
 /// round-robin makes the result insensitive to it, and id order — unlike
@@ -31,54 +33,94 @@ pub fn greedy_place(
     thread_cores: &[TileId],
     chunk: u64,
 ) -> Placement {
+    greedy_place_with(problem, sizes, thread_cores, chunk, &mut PlanScratch::new())
+}
+
+/// [`greedy_place`] against caller-owned buffers: recomputes the scratch's
+/// cost matrix for `thread_cores`, sorts each VC's bank order on the
+/// flattened rows, and runs the claim loop without allocating anything but
+/// the returned [`Placement`].
+///
+/// # Panics
+///
+/// As [`greedy_place`].
+pub fn greedy_place_with(
+    problem: &PlacementProblem,
+    sizes: &[u64],
+    thread_cores: &[TileId],
+    chunk: u64,
+    scratch: &mut PlanScratch,
+) -> Placement {
     assert!(chunk > 0, "chunk must be non-zero");
     assert_eq!(sizes.len(), problem.vcs.len(), "one size per VC");
-    assert_eq!(thread_cores.len(), problem.threads.len(), "one core per thread");
+    assert_eq!(
+        thread_cores.len(),
+        problem.threads.len(),
+        "one core per thread"
+    );
     let banks = problem.params.num_banks();
+    let num_vcs = problem.vcs.len();
     let total: u64 = sizes.iter().sum();
     assert!(
         total <= problem.params.bank_lines * banks as u64,
         "sizes exceed LLC capacity"
     );
 
+    scratch.compute_cost_matrix(problem, thread_cores);
+
     // Cheapest-first bank order per VC (static: costs depend only on thread
-    // placement). Dataless VCs are skipped.
-    let bank_order: Vec<Vec<usize>> = (0..problem.vcs.len())
-        .map(|d| {
-            let mut order: Vec<usize> = (0..banks).collect();
-            order.sort_by(|&a, &b| {
-                let ca = vc_bank_cost(problem, thread_cores, d as u32, a);
-                let cb = vc_bank_cost(problem, thread_cores, d as u32, b);
-                ca.partial_cmp(&cb).unwrap().then(a.cmp(&b))
-            });
-            order
-        })
-        .collect();
+    // placement), sorted on the precomputed rows — the comparator is a
+    // total order (cost, then bank id), so the in-place unstable sort gives
+    // the same permutation the definitional stable sort over per-pair cost
+    // evaluations would. Dataless VCs keep an unsorted row; the claim loop
+    // never reads it.
+    scratch.bank_order.clear();
+    scratch.bank_order.resize(num_vcs * banks, 0);
+    for (d, &size) in sizes.iter().enumerate() {
+        let row = &mut scratch.bank_order[d * banks..(d + 1) * banks];
+        for (b, slot) in row.iter_mut().enumerate() {
+            *slot = b as u32;
+        }
+        if size == 0 {
+            continue;
+        }
+        let cost = &scratch.cost[d * banks..(d + 1) * banks];
+        row.sort_unstable_by(|&a, &b| {
+            let (ca, cb) = (cost[a as usize], cost[b as usize]);
+            ca.partial_cmp(&cb)
+                .expect("costs are finite")
+                .then(a.cmp(&b))
+        });
+    }
 
-    let mut need: Vec<u64> = sizes.to_vec();
-    let mut cursor = vec![0usize; problem.vcs.len()];
-    let mut free = vec![problem.params.bank_lines; banks];
-    let mut placement = Placement::empty(problem.threads.len(), problem.vcs.len(), banks);
-    placement.thread_cores = thread_cores.to_vec();
+    scratch.need.clear();
+    scratch.need.extend_from_slice(sizes);
+    scratch.cursor.clear();
+    scratch.cursor.resize(num_vcs, 0);
+    scratch.free.clear();
+    scratch.free.resize(banks, problem.params.bank_lines);
 
-    let order: Vec<usize> = (0..problem.vcs.len()).collect();
+    let mut placement = Placement::empty(problem.threads.len(), num_vcs, banks);
+    placement.thread_cores.copy_from_slice(thread_cores);
 
     loop {
         let mut progressed = false;
-        for &d in &order {
-            if need[d] == 0 {
+        for d in 0..num_vcs {
+            if scratch.need[d] == 0 {
                 continue;
             }
+            let order = &scratch.bank_order[d * banks..(d + 1) * banks];
             // Advance this VC's cursor past full banks (monotone: banks
             // never regain capacity during the greedy pass).
-            while cursor[d] < banks && free[bank_order[d][cursor[d]]] == 0 {
-                cursor[d] += 1;
+            while scratch.cursor[d] < banks && scratch.free[order[scratch.cursor[d]] as usize] == 0
+            {
+                scratch.cursor[d] += 1;
             }
-            let b = bank_order[d][cursor[d]];
-            let take = chunk.min(need[d]).min(free[b]);
+            let b = order[scratch.cursor[d]] as usize;
+            let take = chunk.min(scratch.need[d]).min(scratch.free[b]);
             placement.vc_alloc[d][b] += take;
-            free[b] -= take;
-            need[d] -= take;
+            scratch.free[b] -= take;
+            scratch.need[d] -= take;
             progressed = true;
         }
         if !progressed {
@@ -94,25 +136,47 @@ pub fn greedy_place(
 /// free space if available, else by swapping capacity with the VC occupying
 /// it. Only trades with negative net latency change (Eq. 2) execute.
 ///
+/// One-shot wrapper over [`trade_refine_with`] (allocates a fresh scratch).
+///
 /// Returns the number of executed moves/trades.
 pub fn trade_refine(problem: &PlacementProblem, placement: &mut Placement) -> usize {
-    let mesh = &problem.params.mesh;
+    trade_refine_with(problem, placement, &mut PlanScratch::new())
+}
+
+/// [`trade_refine`] against caller-owned buffers: the per-`(vc, bank)` cost
+/// matrix, free-space tally, VC totals, spiral order and desirable list all
+/// live in `scratch`, so steady-state epochs run the search without heap
+/// traffic.
+pub fn trade_refine_with(
+    problem: &PlacementProblem,
+    placement: &mut Placement,
+    scratch: &mut PlanScratch,
+) -> usize {
+    let mesh = &problem.params.mesh();
     let banks = problem.params.num_banks();
     let bank_lines = problem.params.bank_lines;
     let num_vcs = problem.vcs.len();
-    let cores = placement.thread_cores.clone();
 
     // Per-(vc, bank) placement cost per line; reused many times below.
-    let cost: Vec<Vec<f64>> = (0..num_vcs)
-        .map(|d| (0..banks).map(|b| vc_bank_cost(problem, &cores, d as u32, b)).collect())
-        .collect();
+    let cores = std::mem::take(&mut placement.thread_cores);
+    scratch.compute_cost_matrix(problem, &cores);
 
-    let mut free: Vec<u64> =
-        (0..banks).map(|b| bank_lines - placement.bank_used(b)).collect();
+    scratch.free.clear();
+    scratch
+        .free
+        .extend((0..banks).map(|b| bank_lines - placement.bank_used(b)));
+    // VC totals are invariant under trades (every move/swap conserves each
+    // VC's line count), so one pass up front replaces the O(banks) sums the
+    // inner loops would otherwise recompute per candidate.
+    scratch.vc_totals.clear();
+    scratch
+        .vc_totals
+        .extend((0..num_vcs).map(|d| placement.vc_total(d as u32)));
+
     let mut trades = 0usize;
 
     for d in 0..num_vcs {
-        let s_d = placement.vc_total(d as u32);
+        let s_d = scratch.vc_totals[d];
         if s_d == 0 {
             continue;
         }
@@ -120,25 +184,33 @@ pub fn trade_refine(problem: &PlacementProblem, placement: &mut Placement) -> us
         // threads — the point its data ideally sits at. (Spiraling from the
         // data's own center of mass would see the data as already central;
         // the accessor center is what "closer" means in Eq. 2.) Dataless or
-        // accessor-less VCs fall back to their data's center of mass.
+        // accessor-less VCs fall back to their data's center of mass,
+        // accumulated bank-ascending exactly like
+        // `geometry::center_of_mass` over `vc_banks`.
         let com = match vc_accessor_center(problem, &cores, d as u32) {
             Some(c) => c,
             None => {
-                let weighted: Vec<(TileId, f64)> = placement
-                    .vc_banks(d as u32)
-                    .into_iter()
-                    .map(|(b, l)| (TileId(b as u16), l as f64))
-                    .collect();
-                match center_of_mass(mesh, &weighted) {
-                    Some(c) => c,
-                    None => continue,
+                let total = s_d as f64;
+                let (mut x, mut y) = (0.0, 0.0);
+                for (b, &lines) in placement.vc_alloc[d].iter().enumerate() {
+                    if lines > 0 {
+                        let c = mesh.coord(TileId(b as u16));
+                        x += c.x as f64 * lines as f64;
+                        y += c.y as f64 * lines as f64;
+                    }
+                }
+                cdcs_mesh::geometry::Point {
+                    x: x / total,
+                    y: y / total,
                 }
             }
         };
 
-        let mut remaining_data: usize = placement.vc_banks(d as u32).len();
-        let mut desirable: Vec<usize> = Vec::new();
-        for t in tiles_by_distance_from_point(mesh, com) {
+        let mut remaining_data: usize = placement.vc_alloc[d].iter().filter(|&&l| l > 0).count();
+        tiles_by_distance_from_point_into(mesh, com, &mut scratch.spiral_tmp);
+        scratch.desirable.clear();
+        for i in 0..scratch.spiral_tmp.len() {
+            let t = scratch.spiral_tmp[i];
             if remaining_data == 0 {
                 break; // seen all of this VC's data
             }
@@ -147,24 +219,26 @@ pub fn trade_refine(problem: &PlacementProblem, placement: &mut Placement) -> us
             // Try to move data at b into closer desirable banks.
             if had_data_here {
                 remaining_data -= 1;
-                for &b2 in &desirable {
+                let cost_d = &scratch.cost[d * banks..(d + 1) * banks];
+                for di in 0..scratch.desirable.len() {
+                    let b2 = scratch.desirable[di];
                     if placement.vc_alloc[d][b] == 0 {
                         break;
                     }
                     if b2 == b {
                         continue;
                     }
-                    let gain_per_line = (cost[d][b2] - cost[d][b]) / s_d as f64;
+                    let gain_per_line = (cost_d[b2] - cost_d[b]) / s_d as f64;
                     if gain_per_line >= -1e-12 {
                         continue; // not closer in access-weighted terms
                     }
                     // 1) Move into free space.
-                    let k_free = placement.vc_alloc[d][b].min(free[b2]);
+                    let k_free = placement.vc_alloc[d][b].min(scratch.free[b2]);
                     if k_free > 0 {
                         placement.vc_alloc[d][b] -= k_free;
                         placement.vc_alloc[d][b2] += k_free;
-                        free[b2] -= k_free;
-                        free[b] += k_free;
+                        scratch.free[b2] -= k_free;
+                        scratch.free[b] += k_free;
                         trades += 1;
                     }
                     // 2) Trade with occupants of b2.
@@ -176,13 +250,14 @@ pub fn trade_refine(problem: &PlacementProblem, placement: &mut Placement) -> us
                         if avail == 0 {
                             continue;
                         }
-                        let s_d2 = placement.vc_total(d2 as u32);
+                        let s_d2 = scratch.vc_totals[d2];
                         if s_d2 == 0 {
                             continue;
                         }
+                        let cost_d2 = &scratch.cost[d2 * banks..(d2 + 1) * banks];
                         let k = placement.vc_alloc[d][b].min(avail);
-                        let delta1 = k as f64 * (cost[d][b2] - cost[d][b]) / s_d as f64;
-                        let delta2 = k as f64 * (cost[d2][b] - cost[d2][b2]) / s_d2 as f64;
+                        let delta1 = k as f64 * (cost_d[b2] - cost_d[b]) / s_d as f64;
+                        let delta2 = k as f64 * (cost_d2[b] - cost_d2[b2]) / s_d2 as f64;
                         if delta1 + delta2 < -1e-9 {
                             placement.vc_alloc[d][b] -= k;
                             placement.vc_alloc[d][b2] += k;
@@ -195,10 +270,11 @@ pub fn trade_refine(problem: &PlacementProblem, placement: &mut Placement) -> us
             }
             // Add b to the desirable list if this VC could hold more here.
             if placement.vc_alloc[d][b] < bank_lines {
-                desirable.push(b);
+                scratch.desirable.push(b);
             }
         }
     }
+    placement.thread_cores = cores;
     trades
 }
 
@@ -214,7 +290,11 @@ mod tests {
         let params = SystemParams::default_for_mesh(mesh, 1024);
         let vcs = (0..n_threads)
             .map(|i| {
-                VcInfo::new(i as u32, VcKind::thread_private(i as u32), MissCurve::flat(100.0))
+                VcInfo::new(
+                    i as u32,
+                    VcKind::thread_private(i as u32),
+                    MissCurve::flat(100.0),
+                )
             })
             .collect();
         let threads = (0..n_threads)
@@ -272,7 +352,10 @@ mod tests {
         let trades = trade_refine(&p, &mut placement);
         let after = on_chip_latency(&p, &placement);
         assert!(trades > 0, "no trades executed");
-        assert!(after < before, "latency did not improve: {before} -> {after}");
+        assert!(
+            after < before,
+            "latency did not improve: {before} -> {after}"
+        );
         assert_eq!(placement.vc_alloc[0][0], 1024);
         assert_eq!(placement.vc_alloc[1][1], 1024);
         placement.check_feasible(&p).unwrap();
@@ -286,7 +369,10 @@ mod tests {
         placement.vc_alloc[0][1] = 512; // data 1 hop away, bank 0 free
         let trades = trade_refine(&p, &mut placement);
         assert!(trades > 0);
-        assert_eq!(placement.vc_alloc[0][0], 512, "data must move into free local bank");
+        assert_eq!(
+            placement.vc_alloc[0][0], 512,
+            "data must move into free local bank"
+        );
     }
 
     #[test]
@@ -307,11 +393,11 @@ mod tests {
                 placement.thread_cores[i] = TileId(tiles[i]);
             }
             // Random feasible allocation.
-            let mut free = vec![1024u64; 9];
+            let mut free = [1024u64; 9];
             for d in 0..n {
                 let mut need = 1024u64;
                 while need > 0 {
-                    let b = rng.gen_range(0..9);
+                    let b = rng.gen_range(0..9usize);
                     if free[b] == 0 {
                         continue;
                     }

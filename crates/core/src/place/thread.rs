@@ -9,12 +9,15 @@
 //! shared VC and spreads private-heavy ones (Fig. 16).
 
 use super::optimistic::OptimisticPlacement;
+use super::PlanScratch;
 use crate::PlacementProblem;
 use cdcs_mesh::geometry::{chip_center, Point};
 use cdcs_mesh::{Mesh, TileId, Topology};
 
 /// Places threads on cores given VC sizes and the optimistic data placement.
 /// Returns one core per thread (all distinct).
+///
+/// One-shot wrapper over [`place_threads_with`] (allocates a fresh scratch).
 ///
 /// `prev_cores` (with `stability_bias`, in hops) biases each thread toward
 /// its current core: a thread only migrates when the new tile is more than
@@ -36,58 +39,107 @@ pub fn place_threads(
     prev_cores: Option<&[TileId]>,
     stability_bias: f64,
 ) -> Vec<TileId> {
+    place_threads_with(
+        problem,
+        sizes,
+        optimistic,
+        prev_cores,
+        stability_bias,
+        &mut PlanScratch::new(),
+    )
+}
+
+/// [`place_threads`] against caller-owned buffers: preferred points, sort
+/// keys and the occupied-tile set live in `scratch`; the intensity-capacity
+/// sort key is computed once per thread instead of inside the comparator
+/// (`O(T log T)` redundant evaluations in the definitional version).
+///
+/// # Panics
+///
+/// As [`place_threads`].
+pub fn place_threads_with(
+    problem: &PlacementProblem,
+    sizes: &[u64],
+    optimistic: &OptimisticPlacement,
+    prev_cores: Option<&[TileId]>,
+    stability_bias: f64,
+    scratch: &mut PlanScratch,
+) -> Vec<TileId> {
     assert_eq!(sizes.len(), problem.vcs.len(), "one size per VC");
-    assert_eq!(optimistic.centers.len(), problem.vcs.len(), "one center per VC");
+    assert_eq!(
+        optimistic.centers.len(),
+        problem.vcs.len(),
+        "one center per VC"
+    );
     if let Some(prev) = prev_cores {
-        assert_eq!(prev.len(), problem.threads.len(), "one previous core per thread");
+        assert_eq!(
+            prev.len(),
+            problem.threads.len(),
+            "one previous core per thread"
+        );
     }
-    let mesh = &problem.params.mesh;
+    let mesh = &problem.params.mesh();
 
     // Preferred point per thread: access-weighted mean of its VCs' centers
     // (VCs with no data pull toward nothing — their accesses go to memory).
-    let preferred: Vec<Point> = problem
-        .threads
-        .iter()
-        .map(|t| {
-            let mut wx = 0.0;
-            let mut wy = 0.0;
-            let mut wsum = 0.0;
-            for &(d, a) in &t.vc_accesses {
-                if let Some(c) = optimistic.centers[d as usize] {
-                    wx += a * c.x;
-                    wy += a * c.y;
-                    wsum += a;
-                }
+    scratch.preferred.clear();
+    scratch.preferred.extend(problem.threads.iter().map(|t| {
+        let mut wx = 0.0;
+        let mut wy = 0.0;
+        let mut wsum = 0.0;
+        for &(d, a) in &t.vc_accesses {
+            if let Some(c) = optimistic.centers[d as usize] {
+                wx += a * c.x;
+                wy += a * c.y;
+                wsum += a;
             }
-            if wsum > 0.0 {
-                Point { x: wx / wsum, y: wy / wsum }
-            } else {
-                chip_center(mesh)
+        }
+        if wsum > 0.0 {
+            Point {
+                x: wx / wsum,
+                y: wy / wsum,
             }
-        })
-        .collect();
+        } else {
+            chip_center(mesh)
+        }
+    }));
 
     // Descending intensity-capacity product breaks placement ties in favour
     // of threads for which "low on-chip latency is important, and for which
-    // VCs are hard to move" (§IV-E).
-    let mut order: Vec<usize> = (0..problem.threads.len()).collect();
-    order.sort_by(|&a, &b| {
-        let icp = |t: usize| -> f64 {
-            problem.threads[t]
-                .vc_accesses
-                .iter()
-                .map(|&(d, acc)| acc * sizes[d as usize] as f64)
-                .sum()
-        };
-        icp(b).partial_cmp(&icp(a)).unwrap().then(a.cmp(&b))
+    // VCs are hard to move" (§IV-E). Keys precomputed once; the (key desc,
+    // id asc) comparator is a total order, so the unstable sort matches the
+    // definitional stable sort.
+    scratch.keys.clear();
+    scratch.keys.extend(problem.threads.iter().map(|t| {
+        t.vc_accesses
+            .iter()
+            .map(|&(d, acc)| acc * sizes[d as usize] as f64)
+            .sum::<f64>()
+    }));
+    scratch.order.clear();
+    scratch.order.extend(0..problem.threads.len());
+    let keys = &scratch.keys;
+    scratch.order.sort_unstable_by(|&a, &b| {
+        keys[b]
+            .partial_cmp(&keys[a])
+            .expect("finite keys")
+            .then(a.cmp(&b))
     });
 
-    let mut taken = vec![false; mesh.num_tiles()];
+    scratch.taken.clear();
+    scratch.taken.resize(mesh.num_tiles(), false);
     let mut cores = vec![TileId(0); problem.threads.len()];
-    for &t in &order {
+    for oi in 0..scratch.order.len() {
+        let t = scratch.order[oi];
         let home = prev_cores.map(|prev| prev[t]);
-        let tile = nearest_free_tile(mesh, preferred[t], &taken, home, stability_bias);
-        taken[tile.index()] = true;
+        let tile = nearest_free_tile(
+            mesh,
+            scratch.preferred[t],
+            &scratch.taken,
+            home,
+            stability_bias,
+        );
+        scratch.taken[tile.index()] = true;
         cores[t] = tile;
     }
     cores
@@ -115,7 +167,7 @@ fn nearest_free_tile(
             continue;
         }
         let d = mesh.hops_to_point(t, p.x, p.y);
-        if best.map_or(true, |(bd, _)| d < bd - 1e-12) {
+        if best.is_none_or(|(bd, _)| d < bd - 1e-12) {
             best = Some((d, t));
         }
     }
@@ -160,7 +212,7 @@ mod tests {
         let opt = optimistic_place(&p, &sizes, None);
         let cores = place_threads(&p, &sizes, &opt, None, 0.0);
         let c0 = opt.centers[0].unwrap();
-        let d = p.params.mesh.hops_to_point(cores[0], c0.x, c0.y);
+        let d = p.params.mesh().hops_to_point(cores[0], c0.x, c0.y);
         assert!(d <= 1.5, "thread 0 is {d} hops from its data center");
     }
 
@@ -173,8 +225,8 @@ mod tests {
             VcInfo::new(1, VcKind::thread_private(1), MissCurve::flat(999.0)),
         ];
         let threads = vec![
-            ThreadInfo::new(0, vec![(0, 10.0)]),     // light
-            ThreadInfo::new(1, vec![(1, 1000.0)]),   // intense
+            ThreadInfo::new(0, vec![(0, 10.0)]),   // light
+            ThreadInfo::new(1, vec![(1, 1000.0)]), // intense
         ];
         let p = PlacementProblem::new(params, vcs, threads).unwrap();
         // Force both VC centers to the same point by placing them with equal
@@ -195,10 +247,17 @@ mod tests {
     #[test]
     fn dataless_threads_fall_back_to_center() {
         let params = SystemParams::default_for_mesh(Mesh::new(3, 3), 1024);
-        let vcs = vec![VcInfo::new(0, VcKind::thread_private(0), MissCurve::flat(5.0))];
+        let vcs = vec![VcInfo::new(
+            0,
+            VcKind::thread_private(0),
+            MissCurve::flat(5.0),
+        )];
         let threads = vec![ThreadInfo::new(0, vec![(0, 5.0)])];
         let p = PlacementProblem::new(params, vcs, threads).unwrap();
-        let opt = OptimisticPlacement { centers: vec![None], claimed: vec![0.0; 9] };
+        let opt = OptimisticPlacement {
+            centers: vec![None],
+            claimed: vec![0.0; 9],
+        };
         let cores = place_threads(&p, &[0], &opt, None, 0.0);
         // Falls back to the chip center tile.
         assert_eq!(cores[0], TileId(4));
@@ -209,16 +268,21 @@ mod tests {
         // Four threads of one process all accessing one shared VC: they end
         // up packed around its center.
         let params = SystemParams::default_for_mesh(Mesh::new(4, 4), 1024);
-        let vcs = vec![VcInfo::new(0, VcKind::process_shared(0), MissCurve::flat(100.0))];
-        let threads =
-            (0..4).map(|i| ThreadInfo::new(i, vec![(0, 100.0)])).collect::<Vec<_>>();
+        let vcs = vec![VcInfo::new(
+            0,
+            VcKind::process_shared(0),
+            MissCurve::flat(100.0),
+        )];
+        let threads = (0..4)
+            .map(|i| ThreadInfo::new(i, vec![(0, 100.0)]))
+            .collect::<Vec<_>>();
         let p = PlacementProblem::new(params, vcs, threads).unwrap();
         let sizes = [2048];
         let opt = optimistic_place(&p, &sizes, None);
         let cores = place_threads(&p, &sizes, &opt, None, 0.0);
         let center = opt.centers[0].unwrap();
         for (i, &c) in cores.iter().enumerate() {
-            let d = p.params.mesh.hops_to_point(c, center.x, center.y);
+            let d = p.params.mesh().hops_to_point(c, center.x, center.y);
             assert!(d <= 2.5, "thread {i} is {d} hops from the shared center");
         }
     }

@@ -12,7 +12,9 @@
 //!   interleaving). S-NUCA needs no planner: lines hash over all banks.
 
 use crate::alloc::{latency_aware_sizes, miss_driven_sizes};
-use crate::place::{greedy_place, optimistic_place, place_threads, trade_refine};
+use crate::place::{
+    greedy_place_with, optimistic_place_with, place_threads_with, trade_refine_with, PlanScratch,
+};
 use crate::{Placement, PlacementProblem};
 use cdcs_mesh::{Coord, Mesh, TileId, Topology};
 use rand::rngs::StdRng;
@@ -70,7 +72,12 @@ impl CdcsPlanner {
     /// The Fig. 12 variants: Jigsaw+R plus individual CDCS techniques.
     /// `(latency_aware, place_threads, refine_trades)`.
     pub fn with_features(latency_aware: bool, place_threads: bool, refine_trades: bool) -> Self {
-        CdcsPlanner { latency_aware, place_threads, refine_trades, ..Self::default() }
+        CdcsPlanner {
+            latency_aware,
+            place_threads,
+            refine_trades,
+            ..Self::default()
+        }
     }
 
     /// Convenience: plans with threads initially at tiles `0..T` (only
@@ -79,10 +86,17 @@ impl CdcsPlanner {
         let cores: Vec<TileId> = (0..problem.threads.len() as u16).map(TileId).collect();
         Planner::plan(self, problem, &cores)
     }
-}
 
-impl Planner for CdcsPlanner {
-    fn plan(&self, problem: &PlacementProblem, current_cores: &[TileId]) -> Placement {
+    /// Plans one epoch against caller-owned buffers (the hot path: the
+    /// simulator calls this every reconfiguration with one long-lived
+    /// scratch, so the four steps run without steady-state allocation in
+    /// their cost evaluations).
+    pub fn plan_with(
+        &self,
+        problem: &PlacementProblem,
+        current_cores: &[TileId],
+        scratch: &mut PlanScratch,
+    ) -> Placement {
         // Step 1: capacity allocation (latency-aware or miss-driven).
         let sizes = if self.latency_aware {
             latency_aware_sizes(problem, self.granularity)
@@ -91,19 +105,32 @@ impl Planner for CdcsPlanner {
         };
         // Step 2: optimistic contention-aware VC placement, anchored to the
         // current cores on contention ties.
-        let optimistic = optimistic_place(problem, &sizes, Some(current_cores));
+        let optimistic = optimistic_place_with(problem, &sizes, Some(current_cores), scratch);
         // Step 3: thread placement.
         let cores = if self.place_threads {
-            place_threads(problem, &sizes, &optimistic, Some(current_cores), self.stability_bias)
+            place_threads_with(
+                problem,
+                &sizes,
+                &optimistic,
+                Some(current_cores),
+                self.stability_bias,
+                scratch,
+            )
         } else {
             current_cores.to_vec()
         };
         // Step 4: refined VC placement (greedy start + trades).
-        let mut placement = greedy_place(problem, &sizes, &cores, self.chunk);
+        let mut placement = greedy_place_with(problem, &sizes, &cores, self.chunk, scratch);
         if self.refine_trades {
-            trade_refine(problem, &mut placement);
+            trade_refine_with(problem, &mut placement, scratch);
         }
         placement
+    }
+}
+
+impl Planner for CdcsPlanner {
+    fn plan(&self, problem: &PlacementProblem, current_cores: &[TileId]) -> Placement {
+        self.plan_with(problem, current_cores, &mut PlanScratch::new())
     }
 
     fn name(&self) -> &'static str {
@@ -131,14 +158,30 @@ pub struct JigsawPlanner {
 
 impl Default for JigsawPlanner {
     fn default() -> Self {
-        JigsawPlanner { granularity: 1024, chunk: 1024 }
+        JigsawPlanner {
+            granularity: 1024,
+            chunk: 1024,
+        }
+    }
+}
+
+impl JigsawPlanner {
+    /// Plans one epoch against caller-owned buffers (see
+    /// [`CdcsPlanner::plan_with`]).
+    pub fn plan_with(
+        &self,
+        problem: &PlacementProblem,
+        current_cores: &[TileId],
+        scratch: &mut PlanScratch,
+    ) -> Placement {
+        let sizes = miss_driven_sizes(problem, self.granularity);
+        greedy_place_with(problem, &sizes, current_cores, self.chunk, scratch)
     }
 }
 
 impl Planner for JigsawPlanner {
     fn plan(&self, problem: &PlacementProblem, current_cores: &[TileId]) -> Placement {
-        let sizes = miss_driven_sizes(problem, self.granularity);
-        greedy_place(problem, &sizes, current_cores, self.chunk)
+        self.plan_with(problem, current_cores, &mut PlanScratch::new())
     }
 
     fn name(&self) -> &'static str {
@@ -210,14 +253,15 @@ impl RNucaPolicy {
     ) -> TileId {
         match class {
             RnucaClass::Private => local,
-            RnucaClass::Shared => {
-                TileId(cdcs_cache::hash::bucket(line.0, mesh.num_tiles()) as u16)
-            }
+            RnucaClass::Shared => TileId(cdcs_cache::hash::bucket(line.0, mesh.num_tiles()) as u16),
             RnucaClass::Instruction => {
                 // 2x2 cluster anchored at the local tile's even coordinates;
                 // the hash rotates within the cluster.
                 let c = mesh.coord(local);
-                let base = Coord { x: c.x & !1, y: c.y & !1 };
+                let base = Coord {
+                    x: c.x & !1,
+                    y: c.y & !1,
+                };
                 let pick = cdcs_cache::hash::bucket(line.0, self.rotation_ways as usize);
                 let dx = (pick & 1) as u16;
                 let dy = (pick >> 1) as u16;
@@ -251,7 +295,11 @@ mod tests {
             threads.push(ThreadInfo::new(i, vec![(i, 1000.0)]));
         }
         for i in 4..8u32 {
-            vcs.push(VcInfo::new(i, VcKind::thread_private(i), MissCurve::flat(500.0)));
+            vcs.push(VcInfo::new(
+                i,
+                VcKind::thread_private(i),
+                MissCurve::flat(500.0),
+            ));
             threads.push(ThreadInfo::new(i, vec![(i, 500.0)]));
         }
         PlacementProblem::new(params, vcs, threads).unwrap()
@@ -260,7 +308,7 @@ mod tests {
     #[test]
     fn cdcs_beats_jigsaw_clustered_on_contended_mix() {
         let p = contended_problem();
-        let clustered = clustered_cores(8, &p.params.mesh);
+        let clustered = clustered_cores(8, p.params.mesh());
         let jigsaw = JigsawPlanner::default().plan(&p, &clustered);
         let cdcs = Planner::plan(&CdcsPlanner::default(), &p, &clustered);
         jigsaw.check_feasible(&p).unwrap();
@@ -272,8 +320,12 @@ mod tests {
     #[test]
     fn feature_toggles_compose() {
         let p = contended_problem();
-        let pinned = clustered_cores(8, &p.params.mesh);
-        let base = Planner::plan(&CdcsPlanner::with_features(false, false, false), &p, &pinned);
+        let pinned = clustered_cores(8, p.params.mesh());
+        let base = Planner::plan(
+            &CdcsPlanner::with_features(false, false, false),
+            &p,
+            &pinned,
+        );
         let with_t = Planner::plan(&CdcsPlanner::with_features(false, true, false), &p, &pinned);
         // +T must not break feasibility and must not increase on-chip
         // latency on this contended mix.
@@ -285,7 +337,7 @@ mod tests {
     #[test]
     fn jigsaw_does_not_move_threads() {
         let p = contended_problem();
-        let cores = random_cores(8, &p.params.mesh, 99);
+        let cores = random_cores(8, p.params.mesh(), 99);
         let placement = JigsawPlanner::default().plan(&p, &cores);
         assert_eq!(placement.thread_cores, cores);
     }
@@ -293,9 +345,12 @@ mod tests {
     #[test]
     fn cdcs_moves_threads() {
         let p = contended_problem();
-        let cores = clustered_cores(8, &p.params.mesh);
+        let cores = clustered_cores(8, p.params.mesh());
         let placement = Planner::plan(&CdcsPlanner::default(), &p, &cores);
-        assert_ne!(placement.thread_cores, cores, "CDCS should re-place threads");
+        assert_ne!(
+            placement.thread_cores, cores,
+            "CDCS should re-place threads"
+        );
     }
 
     #[test]

@@ -88,21 +88,58 @@ impl ThreadInfo {
 /// Table 2).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SystemParams {
-    /// The chip fabric; banks are co-located with tiles (bank `b` at tile
-    /// `b`).
-    pub mesh: Mesh,
+    /// The chip fabric; private because [`Self::net_round_trip`]'s cached
+    /// table is derived from it — mutating it post-construction would
+    /// silently desync the table. Read via [`Self::mesh`].
+    mesh: Mesh,
     /// Capacity of each LLC bank, in lines (512 KB banks → 8192 lines).
     pub bank_lines: u64,
-    /// NoC timing.
-    pub noc: NocConfig,
+    /// NoC timing; private for the same reason as `mesh`. Read via
+    /// [`Self::noc`].
+    noc: NocConfig,
     /// Average latency of an LLC miss (memory access), in cycles, including
-    /// network to the memory controllers (§IV-A `MemLatency`).
+    /// network to the memory controllers (§IV-A `MemLatency`). Mutable:
+    /// nothing cached derives from it (the simulator patches it per epoch).
     pub mem_latency: f64,
     /// LLC bank access latency in cycles (Table 2: 9 cycles).
     pub bank_latency: f64,
+    /// Precomputed `tile × tile` round-trip latency table
+    /// (`rt_table[a * num_tiles + b]`). [`Self::net_round_trip`] sits inside
+    /// every planner's innermost loop, so it must be a load, not a hop
+    /// computation plus router/wire arithmetic. Skipped by serde: derived
+    /// state must be rebuilt through [`Self::new`], never trusted from a
+    /// serialized form (an empty table fails loudly in `net_round_trip`
+    /// rather than returning stale latencies).
+    #[serde(skip)]
+    rt_table: Vec<f64>,
 }
 
 impl SystemParams {
+    /// Builds parameters, precomputing the tile-pair round-trip table.
+    pub fn new(
+        mesh: Mesh,
+        bank_lines: u64,
+        noc: NocConfig,
+        mem_latency: f64,
+        bank_latency: f64,
+    ) -> Self {
+        let n = mesh.num_tiles();
+        let mut rt_table = Vec::with_capacity(n * n);
+        for a in mesh.tiles() {
+            for b in mesh.tiles() {
+                rt_table.push(f64::from(noc.round_trip_latency(mesh.hops(a, b))));
+            }
+        }
+        SystemParams {
+            mesh,
+            bank_lines,
+            noc,
+            mem_latency,
+            bank_latency,
+            rt_table,
+        }
+    }
+
     /// Paper-flavoured defaults for a given mesh and bank size: 3/1-cycle
     /// NoC, 9-cycle banks, and a 120-cycle zero-load memory latency plus the
     /// mesh-average network distance to the edge controllers.
@@ -116,13 +153,26 @@ impl SystemParams {
             .map(|&t| mc.mean_hops_from(&mesh, t))
             .sum::<f64>()
             / tiles.len() as f64;
-        SystemParams {
+        SystemParams::new(
             mesh,
             bank_lines,
             noc,
-            mem_latency: 120.0 + f64::from(noc.round_trip_latency(avg_mc_hops.round() as u32)),
-            bank_latency: 9.0,
-        }
+            120.0 + f64::from(noc.round_trip_latency(avg_mc_hops.round() as u32)),
+            9.0,
+        )
+    }
+
+    /// The chip fabric; banks are co-located with tiles (bank `b` at tile
+    /// `b`).
+    #[inline]
+    pub fn mesh(&self) -> &Mesh {
+        &self.mesh
+    }
+
+    /// NoC timing.
+    #[inline]
+    pub fn noc(&self) -> NocConfig {
+        self.noc
     }
 
     /// Number of banks (= tiles).
@@ -135,13 +185,26 @@ impl SystemParams {
         self.bank_lines * self.num_banks() as u64
     }
 
-    /// Round-trip network latency in cycles between a core tile and a bank.
+    /// Round-trip network latency in cycles between a core tile and a bank
+    /// (a table lookup; the table is built in [`Self::new`]).
+    #[inline]
     pub fn net_round_trip(&self, core: TileId, bank: TileId) -> f64 {
-        f64::from(self.noc.round_trip_latency(self.mesh.hops(core, bank)))
+        let n = self.mesh.num_tiles();
+        debug_assert_eq!(
+            self.rt_table.len(),
+            n * n,
+            "round-trip table desynced from mesh"
+        );
+        self.rt_table[core.index() * n + bank.index()]
     }
 }
 
 /// A complete epoch optimization input.
+///
+/// Construction builds a CSR-style accessor index (`vc → [(thread, rate)]`)
+/// so the planners' innermost loops ([`Self::vc_accessors`],
+/// [`Self::vc_accesses`]) are slice reads instead of full-thread scans with
+/// per-call allocation.
 #[derive(Debug, Clone)]
 pub struct PlacementProblem {
     /// System parameters.
@@ -150,6 +213,13 @@ pub struct PlacementProblem {
     pub vcs: Vec<VcInfo>,
     /// Threads, indexed by [`ThreadId`].
     pub threads: Vec<ThreadInfo>,
+    /// CSR row offsets into `acc_entries`, one per VC plus a sentinel.
+    acc_offsets: Vec<u32>,
+    /// Accessor entries `(thread, summed rate)`, ascending thread id within
+    /// each VC's row, zero-rate threads omitted.
+    acc_entries: Vec<(ThreadId, f64)>,
+    /// Per-VC total access rate (`Σ_t a_{t,d}`).
+    acc_totals: Vec<f64>,
 }
 
 impl PlacementProblem {
@@ -189,33 +259,57 @@ impl PlacementProblem {
                 params.mesh.num_tiles()
             ));
         }
-        Ok(PlacementProblem { params, vcs, threads })
+
+        // CSR accessor index: one pass over the threads in id order keeps
+        // both per-row entries and per-VC totals in exactly the accumulation
+        // order the definitional scans (`Σ_t a_{t,d}`) use, so lookups are
+        // bit-identical to them.
+        let mut rows: Vec<Vec<(ThreadId, f64)>> = vec![Vec::new(); vcs.len()];
+        let mut acc_totals = vec![0.0f64; vcs.len()];
+        for t in &threads {
+            for &(d, a) in &t.vc_accesses {
+                acc_totals[d as usize] += a;
+                match rows[d as usize].last_mut() {
+                    Some(entry) if entry.0 == t.id => entry.1 += a,
+                    _ => rows[d as usize].push((t.id, a)),
+                }
+            }
+        }
+        let mut acc_offsets = Vec::with_capacity(vcs.len() + 1);
+        let mut acc_entries = Vec::new();
+        acc_offsets.push(0u32);
+        for row in rows {
+            acc_entries.extend(row.into_iter().filter(|&(_, rate)| rate > 0.0));
+            acc_offsets.push(acc_entries.len() as u32);
+        }
+
+        Ok(PlacementProblem {
+            params,
+            vcs,
+            threads,
+            acc_offsets,
+            acc_entries,
+            acc_totals,
+        })
     }
 
-    /// Total accesses to VC `d` across all threads (`Σ_t a_{t,d}`).
+    /// Total accesses to VC `d` across all threads (`Σ_t a_{t,d}`);
+    /// precomputed, O(1).
+    #[inline]
     pub fn vc_accesses(&self, vc: VcId) -> f64 {
-        self.threads
-            .iter()
-            .flat_map(|t| t.vc_accesses.iter())
-            .filter(|&&(d, _)| d == vc)
-            .map(|&(_, a)| a)
-            .sum()
+        self.acc_totals[vc as usize]
     }
 
-    /// The threads accessing VC `d`, with their rates.
-    pub fn vc_accessors(&self, vc: VcId) -> Vec<(ThreadId, f64)> {
-        self.threads
-            .iter()
-            .filter_map(|t| {
-                let rate: f64 = t
-                    .vc_accesses
-                    .iter()
-                    .filter(|&&(d, _)| d == vc)
-                    .map(|&(_, a)| a)
-                    .sum();
-                (rate > 0.0).then_some((t.id, rate))
-            })
-            .collect()
+    /// The threads accessing VC `d` with their rates, ascending thread id:
+    /// a borrow of the CSR index built at construction (no allocation, no
+    /// thread scan).
+    #[inline]
+    pub fn vc_accessors(&self, vc: VcId) -> &[(ThreadId, f64)] {
+        let (lo, hi) = (
+            self.acc_offsets[vc as usize] as usize,
+            self.acc_offsets[vc as usize + 1] as usize,
+        );
+        &self.acc_entries[lo..hi]
     }
 }
 
@@ -278,7 +372,7 @@ impl Placement {
                 ));
             }
         }
-        let mut seen = vec![false; problem.params.mesh.num_tiles()];
+        let mut seen = vec![false; problem.params.mesh().num_tiles()];
         for (t, &core) in self.thread_cores.iter().enumerate() {
             if core.index() >= seen.len() {
                 return Err(format!("thread {t} on out-of-range tile {core}"));
@@ -324,6 +418,32 @@ mod tests {
         let p = tiny_problem();
         assert_eq!(p.vc_accesses(0), 10.0);
         assert_eq!(p.vc_accesses(1), 5.0);
+    }
+
+    #[test]
+    fn vc_accessors_merges_non_adjacent_duplicates() {
+        // A thread may list the same VC several times, interleaved with
+        // other VCs; the CSR build must still produce one summed entry per
+        // (vc, thread) — each row only ever appends while one thread is
+        // being scanned, so its last entry is that thread's accumulator.
+        let params = SystemParams::default_for_mesh(Mesh::new(2, 2), 100);
+        let vcs = vec![
+            VcInfo::new(0, VcKind::thread_private(0), MissCurve::flat(10.0)),
+            VcInfo::new(1, VcKind::process_shared(0), MissCurve::flat(5.0)),
+        ];
+        let threads = vec![
+            ThreadInfo::new(0, vec![(0, 5.0), (1, 2.0), (0, 3.0)]),
+            ThreadInfo::new(1, vec![(1, 1.0), (0, 0.0), (1, 4.0)]),
+        ];
+        let p = PlacementProblem::new(params, vcs, threads).unwrap();
+        assert_eq!(
+            p.vc_accessors(0),
+            &[(0, 8.0)][..],
+            "non-adjacent entries must merge"
+        );
+        assert_eq!(p.vc_accessors(1), &[(0, 2.0), (1, 5.0)][..]);
+        assert_eq!(p.vc_accesses(0), 8.0);
+        assert_eq!(p.vc_accesses(1), 7.0);
     }
 
     #[test]

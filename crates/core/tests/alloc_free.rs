@@ -1,0 +1,98 @@
+//! Proves the planner's cost evaluation is allocation-free in steady state:
+//! with a warmed [`PlanScratch`], recomputing the `(vc × bank)` cost matrix,
+//! evaluating `vc_bank_cost`, and running the whole trade search perform
+//! **zero** heap allocations. This pins the tentpole property of the
+//! hot-path overhaul so a future regression (an innocent-looking `collect()`
+//! in the inner loop) fails loudly.
+//!
+//! Single-test file on purpose: the counting `#[global_allocator]` is
+//! process-wide, and a lone test keeps the measured window unshared.
+
+use cdcs_cache::MissCurve;
+use cdcs_core::place::{trade_refine_with, vc_bank_cost};
+use cdcs_core::{PlacementProblem, PlanScratch, SystemParams, ThreadInfo, VcInfo, VcKind};
+use cdcs_mesh::{Mesh, TileId};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static COUNTING: AtomicBool = AtomicBool::new(false);
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn problem() -> PlacementProblem {
+    let params = SystemParams::default_for_mesh(Mesh::new(8, 8), 8192);
+    let n = 64usize;
+    let vcs = (0..n)
+        .map(|i| {
+            VcInfo::new(
+                i as u32,
+                VcKind::thread_private(i as u32),
+                MissCurve::new(vec![(0.0, 20_000.0), (8192.0, 500.0)]),
+            )
+        })
+        .collect();
+    let threads = (0..n)
+        .map(|i| ThreadInfo::new(i as u32, vec![(i as u32, 20_000.0)]))
+        .collect();
+    PlacementProblem::new(params, vcs, threads).expect("problem")
+}
+
+#[test]
+fn warm_cost_paths_do_not_allocate() {
+    let p = problem();
+    let cores: Vec<TileId> = (0..p.threads.len() as u16).map(TileId).collect();
+    let sizes: Vec<u64> = vec![4096; p.vcs.len()];
+    let mut scratch = PlanScratch::new();
+
+    // Warm every buffer: one full greedy + trade pass sizes the scratch.
+    let mut placement = cdcs_core::place::greedy_place_with(&p, &sizes, &cores, 1024, &mut scratch);
+    trade_refine_with(&p, &mut placement, &mut scratch);
+
+    // Steady state: matrix recomputation, scalar cost evaluation and the
+    // entire trade search must perform zero allocations.
+    ALLOCATIONS.store(0, Ordering::SeqCst);
+    COUNTING.store(true, Ordering::SeqCst);
+
+    scratch.compute_cost_matrix(&p, &cores);
+    let mut checksum = 0.0f64;
+    for d in 0..p.vcs.len() as u32 {
+        for b in 0..p.params.num_banks() {
+            checksum += vc_bank_cost(&p, &cores, d, b);
+        }
+    }
+    trade_refine_with(&p, &mut placement, &mut scratch);
+
+    COUNTING.store(false, Ordering::SeqCst);
+    let allocations = ALLOCATIONS.load(Ordering::SeqCst);
+
+    assert!(checksum.is_finite());
+    placement.check_feasible(&p).expect("still feasible");
+    assert_eq!(
+        allocations, 0,
+        "cost-matrix construction / vc_bank_cost / trade search allocated {allocations} times"
+    );
+}

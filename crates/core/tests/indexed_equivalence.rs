@@ -1,0 +1,292 @@
+//! Equivalence tests for the hot-path overhaul: the CSR accessor index,
+//! precomputed round-trip table and flattened cost matrix must be *exact*
+//! drop-ins — identical floats, identical placements — for the definitional
+//! implementations they replaced. The naive references below are the
+//! pre-overhaul scan-everything versions, kept verbatim under test.
+
+use cdcs_cache::MissCurve;
+use cdcs_core::place::{greedy_place, optimistic_place, place_threads, trade_refine, vc_bank_cost};
+use cdcs_core::policy::{clustered_cores, CdcsPlanner, Planner};
+use cdcs_core::{
+    Placement, PlacementProblem, PlanScratch, SystemParams, ThreadId, ThreadInfo, VcInfo, VcKind,
+};
+use cdcs_mesh::{Mesh, TileId, Topology};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------------
+// Naive references (the definitional implementations, full-thread scans and
+// per-call allocation, as before the accessor index existed).
+// ---------------------------------------------------------------------------
+
+/// `Σ_t a_{t,d}` by scanning every thread's access list.
+fn naive_vc_accesses(problem: &PlacementProblem, vc: u32) -> f64 {
+    problem
+        .threads
+        .iter()
+        .flat_map(|t| t.vc_accesses.iter())
+        .filter(|&&(d, _)| d == vc)
+        .map(|&(_, a)| a)
+        .sum()
+}
+
+/// The threads accessing `vc` with summed rates, by scanning every thread.
+fn naive_vc_accessors(problem: &PlacementProblem, vc: u32) -> Vec<(ThreadId, f64)> {
+    problem
+        .threads
+        .iter()
+        .filter_map(|t| {
+            let rate: f64 = t
+                .vc_accesses
+                .iter()
+                .filter(|&&(d, _)| d == vc)
+                .map(|&(_, a)| a)
+                .sum();
+            (rate > 0.0).then_some((t.id, rate))
+        })
+        .collect()
+}
+
+/// Round-trip latency computed from first principles (no table).
+fn naive_net_round_trip(params: &SystemParams, core: TileId, bank: TileId) -> f64 {
+    f64::from(
+        params
+            .noc()
+            .round_trip_latency(params.mesh().hops(core, bank)),
+    )
+}
+
+/// `D(VC, b)` over the naive accessor scan and naive round trips.
+fn naive_vc_bank_cost(
+    problem: &PlacementProblem,
+    thread_cores: &[TileId],
+    vc: u32,
+    bank: usize,
+) -> f64 {
+    naive_vc_accessors(problem, vc)
+        .into_iter()
+        .map(|(t, rate)| {
+            rate * naive_net_round_trip(
+                &problem.params,
+                thread_cores[t as usize],
+                TileId(bank as u16),
+            )
+        })
+        .sum()
+}
+
+/// The pre-overhaul greedy placement: cost evaluated inside the sort
+/// comparator, per-VC `Vec` bank orders.
+fn naive_greedy_place(
+    problem: &PlacementProblem,
+    sizes: &[u64],
+    thread_cores: &[TileId],
+    chunk: u64,
+) -> Placement {
+    let banks = problem.params.num_banks();
+    let bank_order: Vec<Vec<usize>> = (0..problem.vcs.len())
+        .map(|d| {
+            let mut order: Vec<usize> = (0..banks).collect();
+            order.sort_by(|&a, &b| {
+                let ca = naive_vc_bank_cost(problem, thread_cores, d as u32, a);
+                let cb = naive_vc_bank_cost(problem, thread_cores, d as u32, b);
+                ca.partial_cmp(&cb).unwrap().then(a.cmp(&b))
+            });
+            order
+        })
+        .collect();
+
+    let mut need: Vec<u64> = sizes.to_vec();
+    let mut cursor = vec![0usize; problem.vcs.len()];
+    let mut free = vec![problem.params.bank_lines; banks];
+    let mut placement = Placement::empty(problem.threads.len(), problem.vcs.len(), banks);
+    placement.thread_cores = thread_cores.to_vec();
+    loop {
+        let mut progressed = false;
+        for d in 0..problem.vcs.len() {
+            if need[d] == 0 {
+                continue;
+            }
+            while cursor[d] < banks && free[bank_order[d][cursor[d]]] == 0 {
+                cursor[d] += 1;
+            }
+            let b = bank_order[d][cursor[d]];
+            let take = chunk.min(need[d]).min(free[b]);
+            placement.vc_alloc[d][b] += take;
+            free[b] -= take;
+            need[d] -= take;
+            progressed = true;
+        }
+        if !progressed {
+            break;
+        }
+    }
+    placement
+}
+
+// ---------------------------------------------------------------------------
+// Random problem generation.
+// ---------------------------------------------------------------------------
+
+/// Builds a valid problem with shared VCs and duplicate / zero-rate
+/// accessor entries (the cases the CSR build must merge and filter).
+fn build_problem(side: u16, apps: Vec<(u32, u32, u32)>) -> PlacementProblem {
+    let params = SystemParams::default_for_mesh(Mesh::square(side), 2048);
+    let n = apps.len().min(side as usize * side as usize);
+    let mut vcs: Vec<VcInfo> = apps[..n]
+        .iter()
+        .enumerate()
+        .map(|(i, &(acc, fp, plateau))| {
+            let acc = f64::from(acc % 50_000 + 100);
+            let fp = f64::from(fp % 20_000 + 256);
+            let tail = acc * f64::from(plateau % 100) / 400.0;
+            VcInfo::new(
+                i as u32,
+                VcKind::thread_private(i as u32),
+                MissCurve::new(vec![(0.0, acc), (fp, tail)]),
+            )
+        })
+        .collect();
+    let shared_vc = vcs.len() as u32;
+    vcs.push(VcInfo::new(
+        shared_vc,
+        VcKind::process_shared(0),
+        MissCurve::new(vec![(0.0, 5_000.0), (4096.0, 500.0)]),
+    ));
+    let threads = (0..n)
+        .map(|i| {
+            let mut acc = vec![(i as u32, vcs[i].curve.at_zero())];
+            match i % 3 {
+                // A shared-VC entry.
+                0 => acc.push((shared_vc, 500.0 + i as f64)),
+                // A duplicate private entry (must merge) and a zero-rate
+                // shared entry (must be filtered).
+                1 => {
+                    acc.push((i as u32, 17.0));
+                    acc.push((shared_vc, 0.0));
+                }
+                _ => {}
+            }
+            ThreadInfo::new(i as u32, acc)
+        })
+        .collect();
+    PlacementProblem::new(params, vcs, threads).expect("valid problem")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn csr_index_matches_naive_scans(
+        apps in prop::collection::vec((0u32.., 0u32.., 0u32..), 1..12),
+    ) {
+        let problem = build_problem(4, apps);
+        for d in 0..problem.vcs.len() as u32 {
+            prop_assert_eq!(problem.vc_accesses(d), naive_vc_accesses(&problem, d), "vc {}", d);
+            prop_assert_eq!(
+                problem.vc_accessors(d),
+                naive_vc_accessors(&problem, d).as_slice(),
+                "vc {}", d
+            );
+        }
+    }
+
+    #[test]
+    fn round_trip_table_matches_direct_computation(side in 1u16..7) {
+        let params = SystemParams::default_for_mesh(Mesh::square(side), 1024);
+        for a in params.mesh().tiles() {
+            for b in params.mesh().tiles() {
+                prop_assert_eq!(
+                    params.net_round_trip(a, b),
+                    naive_net_round_trip(&params, a, b)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cost_matrix_and_scalar_costs_match_naive(
+        apps in prop::collection::vec((0u32.., 0u32.., 0u32..), 1..10),
+    ) {
+        let problem = build_problem(4, apps);
+        let cores = clustered_cores(problem.threads.len(), problem.params.mesh());
+        let mut scratch = PlanScratch::new();
+        scratch.compute_cost_matrix(&problem, &cores);
+        for d in 0..problem.vcs.len() {
+            let row = scratch.cost_row(d);
+            for (b, &cell) in row.iter().enumerate() {
+                let naive = naive_vc_bank_cost(&problem, &cores, d as u32, b);
+                prop_assert_eq!(vc_bank_cost(&problem, &cores, d as u32, b), naive);
+                prop_assert_eq!(cell, naive, "matrix vc {} bank {}", d, b);
+            }
+        }
+    }
+
+    #[test]
+    fn indexed_greedy_matches_naive_greedy(
+        apps in prop::collection::vec((0u32.., 0u32.., 0u32..), 1..12),
+    ) {
+        let problem = build_problem(4, apps);
+        let cores = clustered_cores(problem.threads.len(), problem.params.mesh());
+        let sizes = cdcs_core::alloc::miss_driven_sizes(&problem, 512);
+        let fast = greedy_place(&problem, &sizes, &cores, 512);
+        let slow = naive_greedy_place(&problem, &sizes, &cores, 512);
+        prop_assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn full_planner_is_deterministic_and_scratch_invariant(
+        apps in prop::collection::vec((0u32.., 0u32.., 0u32..), 2..12),
+    ) {
+        // The same problem planned (a) twice with fresh scratches and
+        // (b) with a scratch warmed on a DIFFERENT problem must produce
+        // identical placements: reused buffers carry no state across plans.
+        let problem = build_problem(4, apps);
+        let cores = clustered_cores(problem.threads.len(), problem.params.mesh());
+        let planner = CdcsPlanner::default();
+        let fresh = Planner::plan(&planner, &problem, &cores);
+
+        let other = build_problem(3, vec![(1, 2, 3), (7, 1, 9)]);
+        let mut warmed = PlanScratch::new();
+        let _ = planner.plan_with(&other, &clustered_cores(2, other.params.mesh()), &mut warmed);
+        let reused = planner.plan_with(&problem, &cores, &mut warmed);
+        prop_assert_eq!(&fresh, &reused);
+        // And once more on the same warmed scratch.
+        let again = planner.plan_with(&problem, &cores, &mut warmed);
+        prop_assert_eq!(&fresh, &again);
+    }
+
+    #[test]
+    fn step_wrappers_match_scratch_variants(
+        apps in prop::collection::vec((0u32.., 0u32.., 0u32..), 2..10),
+    ) {
+        let problem = build_problem(4, apps);
+        let cores = clustered_cores(problem.threads.len(), problem.params.mesh());
+        let sizes = cdcs_core::alloc::latency_aware_sizes(&problem, 512);
+        let mut scratch = PlanScratch::new();
+
+        let opt_a = optimistic_place(&problem, &sizes, Some(&cores));
+        let opt_b = cdcs_core::place::optimistic_place_with(
+            &problem, &sizes, Some(&cores), &mut scratch,
+        );
+        prop_assert_eq!(&opt_a.centers, &opt_b.centers);
+        prop_assert_eq!(&opt_a.claimed, &opt_b.claimed);
+
+        let th_a = place_threads(&problem, &sizes, &opt_a, Some(&cores), 1.0);
+        let th_b = cdcs_core::place::place_threads_with(
+            &problem, &sizes, &opt_b, Some(&cores), 1.0, &mut scratch,
+        );
+        prop_assert_eq!(&th_a, &th_b);
+
+        let mut pl_a = greedy_place(&problem, &sizes, &th_a, 512);
+        let mut pl_b = cdcs_core::place::greedy_place_with(
+            &problem, &sizes, &th_b, 512, &mut scratch,
+        );
+        prop_assert_eq!(&pl_a, &pl_b);
+
+        let tr_a = trade_refine(&problem, &mut pl_a);
+        let tr_b = cdcs_core::place::trade_refine_with(&problem, &mut pl_b, &mut scratch);
+        prop_assert_eq!(tr_a, tr_b);
+        prop_assert_eq!(&pl_a, &pl_b);
+        pl_a.check_feasible(&problem).unwrap();
+    }
+}

@@ -3,12 +3,11 @@
 
 use cdcs_cache::MissCurve;
 use cdcs_core::alloc::{lookahead_reference, peekahead, AllocOptions};
-use cdcs_core::{VcDescriptor, Placement};
+use cdcs_core::{Placement, VcDescriptor};
 use proptest::prelude::*;
 
 fn curve_strategy() -> impl Strategy<Value = MissCurve> {
-    prop::collection::vec((0.0f64..20_000.0, 0.0f64..50_000.0), 1..6)
-        .prop_map(MissCurve::new)
+    prop::collection::vec((0.0f64..20_000.0, 0.0f64..50_000.0), 1..6).prop_map(MissCurve::new)
 }
 
 proptest! {

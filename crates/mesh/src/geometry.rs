@@ -51,7 +51,10 @@ pub fn center_of_mass(mesh: &Mesh, weighted: &[(TileId, f64)]) -> Option<Point> 
         x += c.x as f64 * w;
         y += c.y as f64 * w;
     }
-    Some(Point { x: x / total, y: y / total })
+    Some(Point {
+        x: x / total,
+        y: y / total,
+    })
 }
 
 /// The tile nearest to a fractional point (Manhattan metric, ties broken by
@@ -74,12 +77,119 @@ pub fn nearest_tile(mesh: &Mesh, p: Point) -> TileId {
 /// virtual cache "around" a center (paper Figs. 6 and 7).
 pub fn tiles_by_distance_from_point(mesh: &Mesh, p: Point) -> Vec<TileId> {
     let mut v = mesh.tiles();
-    v.sort_by(|&a, &b| {
+    sort_tiles_by_distance(mesh, p, &mut v);
+    v
+}
+
+/// Allocation-free variant of [`tiles_by_distance_from_point`]: writes the
+/// spiral order into `out` (cleared first), reusing its capacity. Produces
+/// exactly the same order — planners on the per-epoch hot path use this
+/// with a scratch buffer.
+pub fn tiles_by_distance_from_point_into(mesh: &Mesh, p: Point, out: &mut Vec<TileId>) {
+    out.clear();
+    out.extend((0..mesh.num_tiles() as u16).map(TileId));
+    sort_tiles_by_distance(mesh, p, out);
+}
+
+fn sort_tiles_by_distance(mesh: &Mesh, p: Point, tiles: &mut [TileId]) {
+    // The comparator is a total order (distance, then id), so the unstable
+    // in-place sort gives the same permutation a stable sort would, without
+    // merge-sort's temporary buffer.
+    tiles.sort_unstable_by(|&a, &b| {
         let da = mesh.hops_to_point(a, p.x, p.y);
         let db = mesh.hops_to_point(b, p.x, p.y);
-        da.partial_cmp(&db).unwrap().then(a.0.cmp(&b.0))
+        da.partial_cmp(&db)
+            .expect("distances are finite")
+            .then(a.0.cmp(&b.0))
     });
-    v
+}
+
+/// Cached spiral orders from every tile of a mesh.
+///
+/// Optimistic placement (§IV-D) evaluates a compact-coverage contention sum
+/// centered at *every* tile for *every* VC; recomputing the spiral order per
+/// evaluation is an O(V·N²·log N) allocation storm. Tile-centered orders
+/// depend only on the mesh, so the planner builds this table once and reuses
+/// it across epochs. Row `t` equals
+/// `tiles_by_distance_from_point(mesh, coord(t))` exactly.
+#[derive(Debug, Clone)]
+pub struct SpiralTable {
+    mesh: Mesh,
+    /// `num_tiles` rows of `num_tiles` entries each.
+    order: Vec<TileId>,
+}
+
+impl SpiralTable {
+    /// Builds the table for `mesh`.
+    pub fn new(mesh: &Mesh) -> Self {
+        let n = mesh.num_tiles();
+        let mut order = Vec::with_capacity(n * n);
+        for t in mesh.tiles() {
+            let c = mesh.coord(t);
+            let p = Point {
+                x: f64::from(c.x),
+                y: f64::from(c.y),
+            };
+            order.extend(tiles_by_distance_from_point(mesh, p));
+        }
+        SpiralTable { mesh: *mesh, order }
+    }
+
+    /// The mesh this table was built for.
+    pub fn mesh(&self) -> &Mesh {
+        &self.mesh
+    }
+
+    /// The spiral order centered at tile `t`.
+    pub fn from_tile(&self, t: TileId) -> &[TileId] {
+        let n = self.mesh.num_tiles();
+        &self.order[t.index() * n..(t.index() + 1) * n]
+    }
+}
+
+/// Sorted tile distances from one fixed point, for repeated
+/// [`compact_mean_distance`]-style queries without re-sorting.
+///
+/// The latency-aware allocation step (§IV-C) evaluates the optimistic
+/// on-chip distance of a chip-center placement at every grid point of every
+/// VC's total-latency curve; the distances from the chip center never
+/// change, so they are computed once. [`Self::mean_distance`] replays the
+/// same accumulation loop as [`compact_mean_distance`], so results are
+/// bit-identical.
+#[derive(Debug, Clone)]
+pub struct CompactDistances {
+    /// Hop distances from the center, in spiral order.
+    dists: Vec<f64>,
+}
+
+impl CompactDistances {
+    /// Builds the sorted distance list from `p` on `mesh`.
+    pub fn new(mesh: &Mesh, p: Point) -> Self {
+        let dists = tiles_by_distance_from_point(mesh, p)
+            .into_iter()
+            .map(|t| mesh.hops_to_point(t, p.x, p.y))
+            .collect();
+        CompactDistances { dists }
+    }
+
+    /// Average distance of `size` banks of capacity placed compactly around
+    /// the center (see [`compact_mean_distance`]).
+    pub fn mean_distance(&self, size: f64) -> f64 {
+        if size <= 0.0 {
+            return 0.0;
+        }
+        let mut remaining = size;
+        let mut weighted = 0.0;
+        for &d in &self.dists {
+            if remaining <= 0.0 {
+                break;
+            }
+            let take = remaining.min(1.0);
+            weighted += take * d;
+            remaining -= take;
+        }
+        weighted / (size - remaining.max(0.0)).max(f64::MIN_POSITIVE)
+    }
 }
 
 /// Average distance from point `p` to banks holding one unit of capacity
@@ -115,7 +225,10 @@ pub fn compact_mean_distance(mesh: &Mesh, p: Point, size: f64) -> f64 {
 /// latency-aware allocation step (Fig. 6 places the example VC around the
 /// middle of the mesh).
 pub fn chip_center(mesh: &Mesh) -> Point {
-    Point { x: (mesh.cols() as f64 - 1.0) / 2.0, y: (mesh.rows() as f64 - 1.0) / 2.0 }
+    Point {
+        x: (mesh.cols() as f64 - 1.0) / 2.0,
+        y: (mesh.rows() as f64 - 1.0) / 2.0,
+    }
 }
 
 #[cfg(test)]
@@ -139,8 +252,7 @@ mod tests {
     #[test]
     fn com_weights_pull_toward_heavier_tile() {
         let mesh = Mesh::new(4, 1);
-        let com =
-            center_of_mass(&mesh, &[(TileId(0), 3.0), (TileId(3), 1.0)]).unwrap();
+        let com = center_of_mass(&mesh, &[(TileId(0), 3.0), (TileId(3), 1.0)]).unwrap();
         assert!((com.x - 0.75).abs() < 1e-12);
     }
 
@@ -163,7 +275,7 @@ mod tests {
         let center = chip_center(&mesh);
         let order = tiles_by_distance_from_point(&mesh, center);
         assert_eq!(order[0], TileId(12)); // middle of a 5x5 mesh
-        // Distances must be non-decreasing.
+                                          // Distances must be non-decreasing.
         let mut last = 0.0;
         for t in order {
             let d = mesh.hops_to_point(t, center.x, center.y);
@@ -209,5 +321,55 @@ mod tests {
         let mesh = Mesh::new(8, 8);
         let c = chip_center(&mesh);
         assert_eq!(c, Point { x: 3.5, y: 3.5 });
+    }
+
+    #[test]
+    fn spiral_table_matches_per_point_sorts() {
+        for mesh in [Mesh::new(4, 4), Mesh::new(5, 3), Mesh::new(1, 7)] {
+            let table = SpiralTable::new(&mesh);
+            for t in mesh.tiles() {
+                let c = mesh.coord(t);
+                let p = Point {
+                    x: f64::from(c.x),
+                    y: f64::from(c.y),
+                };
+                assert_eq!(
+                    table.from_tile(t),
+                    tiles_by_distance_from_point(&mesh, p).as_slice(),
+                    "mesh {}x{} tile {t}",
+                    mesh.cols(),
+                    mesh.rows()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn into_variant_matches_allocating_variant() {
+        let mesh = Mesh::new(6, 5);
+        let mut buf = Vec::new();
+        for p in [
+            Point { x: 0.3, y: 4.9 },
+            Point { x: 2.5, y: 2.5 },
+            chip_center(&mesh),
+        ] {
+            tiles_by_distance_from_point_into(&mesh, p, &mut buf);
+            assert_eq!(buf, tiles_by_distance_from_point(&mesh, p));
+        }
+    }
+
+    #[test]
+    fn compact_distances_matches_direct_function() {
+        let mesh = Mesh::new(8, 8);
+        let c = chip_center(&mesh);
+        let table = CompactDistances::new(&mesh, c);
+        for step in 0..130 {
+            let size = step as f64 * 0.55;
+            // Bit-identical: same accumulation order as the direct loop.
+            assert_eq!(
+                table.mean_distance(size),
+                compact_mean_distance(&mesh, c, size)
+            );
+        }
     }
 }

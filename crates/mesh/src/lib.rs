@@ -38,7 +38,7 @@ mod mesh;
 mod topology;
 pub mod traffic;
 
-pub use crate::mesh::{Coord, Mesh, MemCtrlPlacement};
+pub use crate::mesh::{Coord, MemCtrlPlacement, Mesh};
 pub use crate::topology::{ExplicitTopology, Topology};
 pub use crate::traffic::{NocConfig, TrafficClass, TrafficStats};
 

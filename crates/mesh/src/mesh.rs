@@ -82,7 +82,10 @@ impl Mesh {
             self.cols,
             self.rows
         );
-        Coord { x: t.0 % self.cols, y: t.0 / self.cols }
+        Coord {
+            x: t.0 % self.cols,
+            y: t.0 / self.cols,
+        }
     }
 
     /// The tile at a grid coordinate.
@@ -92,7 +95,10 @@ impl Mesh {
     /// Panics if the coordinate is outside the mesh.
     #[inline]
     pub fn tile_at(&self, c: Coord) -> TileId {
-        assert!(c.x < self.cols && c.y < self.rows, "coordinate outside mesh");
+        assert!(
+            c.x < self.cols && c.y < self.rows,
+            "coordinate outside mesh"
+        );
         TileId(c.y * self.cols + c.x)
     }
 
@@ -286,8 +292,11 @@ mod tests {
         // check the spread is modest (within 2x) on the paper's mesh.
         let mesh = Mesh::new(8, 8);
         let mc = MemCtrlPlacement::edges(&mesh, 8);
-        let dists: Vec<f64> =
-            mesh.tiles().iter().map(|&t| mc.mean_hops_from(&mesh, t)).collect();
+        let dists: Vec<f64> = mesh
+            .tiles()
+            .iter()
+            .map(|&t| mc.mean_hops_from(&mesh, t))
+            .collect();
         let min = dists.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = dists.iter().cloned().fold(0.0_f64, f64::max);
         assert!(max / min < 2.0, "min {min}, max {max}");

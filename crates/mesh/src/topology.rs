@@ -103,7 +103,10 @@ impl std::fmt::Display for TopologyError {
                 write!(f, "distance matrix has non-zero diagonal at {a}")
             }
             TopologyError::ZeroOffDiagonal(a, b) => {
-                write!(f, "distance matrix has zero off-diagonal entry at ({a}, {b})")
+                write!(
+                    f,
+                    "distance matrix has zero off-diagonal entry at ({a}, {b})"
+                )
             }
         }
     }
@@ -158,8 +161,7 @@ mod tests {
 
     #[test]
     fn explicit_topology_accepts_valid_matrix() {
-        let topo =
-            ExplicitTopology::new(vec![vec![0, 1], vec![1, 0]]).expect("valid matrix");
+        let topo = ExplicitTopology::new(vec![vec![0, 1], vec![1, 0]]).expect("valid matrix");
         assert_eq!(topo.num_tiles(), 2);
         assert_eq!(topo.hops(TileId(0), TileId(1)), 1);
     }
@@ -186,19 +188,14 @@ mod tests {
 
     #[test]
     fn explicit_topology_rejects_zero_off_diagonal() {
-        let err =
-            ExplicitTopology::new(vec![vec![0, 0], vec![0, 0]]).unwrap_err();
+        let err = ExplicitTopology::new(vec![vec![0, 0], vec![0, 0]]).unwrap_err();
         assert!(matches!(err, TopologyError::ZeroOffDiagonal(..)));
     }
 
     #[test]
     fn tiles_by_distance_is_sorted_and_complete() {
-        let topo = ExplicitTopology::new(vec![
-            vec![0, 3, 1],
-            vec![3, 0, 2],
-            vec![1, 2, 0],
-        ])
-        .unwrap();
+        let topo =
+            ExplicitTopology::new(vec![vec![0, 3, 1], vec![3, 0, 2], vec![1, 2, 0]]).unwrap();
         let order = topo.tiles_by_distance(TileId(0));
         assert_eq!(order, vec![TileId(0), TileId(2), TileId(1)]);
     }
@@ -211,12 +208,8 @@ mod tests {
 
     #[test]
     fn mean_hops_averages() {
-        let topo = ExplicitTopology::new(vec![
-            vec![0, 1, 3],
-            vec![1, 0, 2],
-            vec![3, 2, 0],
-        ])
-        .unwrap();
+        let topo =
+            ExplicitTopology::new(vec![vec![0, 1, 3], vec![1, 0, 2], vec![3, 2, 0]]).unwrap();
         let m = topo.mean_hops(TileId(0), &[TileId(1), TileId(2)]);
         assert!((m - 2.0).abs() < 1e-12);
     }

@@ -32,7 +32,11 @@ pub struct NocConfig {
 impl Default for NocConfig {
     /// The paper's Table 2 NoC: 3-cycle routers, 1-cycle links, 128-bit flits.
     fn default() -> Self {
-        NocConfig { router_cycles: 3, link_cycles: 1, flit_bytes: 16 }
+        NocConfig {
+            router_cycles: 3,
+            link_cycles: 1,
+            flit_bytes: 16,
+        }
     }
 }
 
@@ -79,8 +83,11 @@ pub enum TrafficClass {
 
 impl TrafficClass {
     /// All classes, in display order.
-    pub const ALL: [TrafficClass; 3] =
-        [TrafficClass::L2ToLlc, TrafficClass::LlcToMem, TrafficClass::Other];
+    pub const ALL: [TrafficClass; 3] = [
+        TrafficClass::L2ToLlc,
+        TrafficClass::LlcToMem,
+        TrafficClass::Other,
+    ];
 }
 
 impl std::fmt::Display for TrafficClass {

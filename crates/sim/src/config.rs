@@ -134,7 +134,12 @@ impl SimConfig {
     /// The §II-B case-study chip: a 6×6 mesh scaled down from the target
     /// system.
     pub fn case_study() -> Self {
-        SimConfig { mesh: Mesh::new(6, 6), warmup_epochs: 8, measure_epochs: 4, ..Self::default() }
+        SimConfig {
+            mesh: Mesh::new(6, 6),
+            warmup_epochs: 8,
+            measure_epochs: 4,
+            ..Self::default()
+        }
     }
 
     /// A small, fast configuration for tests and doctests: 4×4 chip, short
@@ -190,7 +195,8 @@ impl SimConfig {
         if self.mem_controllers == 0 {
             return Err("need at least one memory controller".into());
         }
-        if !(self.mem_zero_load > 0.0) || !(self.mem_lines_per_cycle_per_ctrl > 0.0) {
+        let positive = |x: f64| x > 0.0 && !x.is_nan();
+        if !positive(self.mem_zero_load) || !positive(self.mem_lines_per_cycle_per_ctrl) {
             return Err("memory parameters must be positive".into());
         }
         if self.alloc_granularity == 0 {
@@ -226,17 +232,26 @@ mod tests {
 
     #[test]
     fn validate_rejects_bad_configs() {
-        let mut c = SimConfig::default();
-        c.bank_lines = 0;
+        let c = SimConfig {
+            bank_lines: 0,
+            ..SimConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = SimConfig::default();
-        c.interval_cycles = c.epoch_cycles + 1;
+        let base = SimConfig::default();
+        let c = SimConfig {
+            interval_cycles: base.epoch_cycles + 1,
+            ..base
+        };
         assert!(c.validate().is_err());
-        let mut c = SimConfig::default();
-        c.measure_epochs = 0;
+        let c = SimConfig {
+            measure_epochs: 0,
+            ..SimConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = SimConfig::default();
-        c.alloc_granularity = 0;
+        let c = SimConfig {
+            alloc_granularity: 0,
+            ..SimConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 

@@ -21,11 +21,9 @@ use crate::metrics::{SystemMetrics, ThreadMetrics};
 use crate::scheme::{MoveScheme, Scheme, ThreadSched};
 use cdcs_cache::monitor::{Gmon, GmonConfig, Monitor, Umon, UmonConfig};
 use cdcs_cache::{Line, MissCurve};
-use cdcs_core::policy::{
-    clustered_cores, random_cores, CdcsPlanner, JigsawPlanner, Planner, RNucaPolicy,
-};
+use cdcs_core::policy::{clustered_cores, random_cores, CdcsPlanner, JigsawPlanner, RNucaPolicy};
 use cdcs_core::{
-    Placement, PlacementProblem, SystemParams, ThreadInfo, VcInfo, VcKind,
+    Placement, PlacementProblem, PlanScratch, SystemParams, ThreadInfo, VcInfo, VcKind,
 };
 use cdcs_mesh::{MemCtrlPlacement, TileId, Topology, TrafficClass};
 use cdcs_workload::{AccessStream, StreamTarget, WorkloadMix};
@@ -54,7 +52,11 @@ struct ThreadState {
 }
 
 /// Result of a simulation run.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares every counter and trace point exactly — the
+/// parallel-runner equivalence tests assert cell-for-cell identity between
+/// [`crate::runner::run_grid`] and serial execution with it.
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimResult {
     /// Scheme display name.
     pub scheme: String,
@@ -74,7 +76,12 @@ impl SimResult {
     /// (For multi-threaded apps this aggregate progress rate stands in for
     /// the paper's heartbeat-based ROI progress; see `DESIGN.md`.)
     pub fn process_perf(&self) -> Vec<f64> {
-        let n = self.threads.iter().map(|t| t.process).max().map_or(0, |m| m + 1);
+        let n = self
+            .threads
+            .iter()
+            .map(|t| t.process)
+            .max()
+            .map_or(0, |m| m + 1);
         let mut perf = vec![0.0; n];
         for t in &self.threads {
             perf[t.process] += t.ipc();
@@ -122,6 +129,12 @@ pub struct Simulation {
     mc: MemCtrlPlacement,
     mc_counter: u64,
     avg_mc_round_trip: f64,
+    /// Planner-facing parameters with the round-trip table prebuilt;
+    /// `mem_latency` is patched per epoch in [`Self::planner_params`].
+    base_params: SystemParams,
+    /// Reusable planner buffers (cost matrix, spiral orders, …) shared
+    /// across epoch reconfigurations.
+    scratch: PlanScratch,
     cycle: u64,
     traffic: cdcs_mesh::TrafficStats,
     system: SystemMetrics,
@@ -200,15 +213,13 @@ impl Simulation {
         // Initial thread pinning.
         let sched = match config.scheme {
             Scheme::SNuca => ThreadSched::Random,
-            Scheme::RNuca { sched }
-            | Scheme::Jigsaw { sched }
-            | Scheme::Cdcs { sched, .. } => sched,
+            Scheme::RNuca { sched } | Scheme::Jigsaw { sched } | Scheme::Cdcs { sched, .. } => {
+                sched
+            }
         };
         let cores = match sched {
             ThreadSched::Clustered => clustered_cores(total_threads, &config.mesh),
-            ThreadSched::Random => {
-                random_cores(total_threads, &config.mesh, config.seed ^ 0x5eed)
-            }
+            ThreadSched::Random => random_cores(total_threads, &config.mesh, config.seed ^ 0x5eed),
         };
 
         let llc = match config.scheme {
@@ -239,9 +250,7 @@ impl Simulation {
                         crate::config::MonitorKind::Umon { ways } => {
                             // Uniform ways sized to cover the LLC.
                             let per_way = config.total_lines().div_ceil(ways as u64);
-                            let period = per_way
-                                .div_ceil(config.monitor_sets as u64)
-                                .max(1) as u32;
+                            let period = per_way.div_ceil(config.monitor_sets as u64).max(1) as u32;
                             Box::new(Umon::new(UmonConfig {
                                 sets: config.monitor_sets,
                                 ways,
@@ -257,14 +266,22 @@ impl Simulation {
 
         let mc = MemCtrlPlacement::edges(&config.mesh, config.mem_controllers);
         let tiles = config.mesh.tiles();
-        let avg_mc_hops: f64 =
-            tiles.iter().map(|&t| mc.mean_hops_from(&config.mesh, t)).sum::<f64>()
-                / tiles.len() as f64;
+        let avg_mc_hops: f64 = tiles
+            .iter()
+            .map(|&t| mc.mean_hops_from(&config.mesh, t))
+            .sum::<f64>()
+            / tiles.len() as f64;
         let avg_mc_round_trip =
             f64::from(config.noc.round_trip_latency(avg_mc_hops.round() as u32));
 
-        let memory =
-            MemoryModel::new(config.mem_zero_load, config.total_mem_bandwidth());
+        let memory = MemoryModel::new(config.mem_zero_load, config.total_mem_bandwidth());
+        let base_params = SystemParams::new(
+            config.mesh,
+            config.bank_lines,
+            config.noc,
+            config.mem_zero_load + avg_mc_round_trip,
+            f64::from(config.bank_latency),
+        );
 
         let mut sim = Simulation {
             config,
@@ -277,6 +294,8 @@ impl Simulation {
             mc,
             mc_counter: 0,
             avg_mc_round_trip,
+            base_params,
+            scratch: PlanScratch::new(),
             cycle: 0,
             traffic: cdcs_mesh::TrafficStats::new(),
             system: SystemMetrics::default(),
@@ -291,15 +310,13 @@ impl Simulation {
         Ok(sim)
     }
 
-    /// System parameters as seen by the planners.
+    /// System parameters as seen by the planners. Only the memory latency
+    /// changes between epochs (bandwidth feedback), so the precomputed
+    /// round-trip table inside `base_params` is cloned rather than rebuilt.
     fn planner_params(&self) -> SystemParams {
-        SystemParams {
-            mesh: self.config.mesh,
-            bank_lines: self.config.bank_lines,
-            noc: self.config.noc,
-            mem_latency: self.memory.current_latency() + self.avg_mc_round_trip,
-            bank_latency: f64::from(self.config.bank_latency),
-        }
+        let mut params = self.base_params.clone();
+        params.mem_latency = self.memory.current_latency() + self.avg_mc_round_trip;
+        params
     }
 
     /// Epoch-0 placement before any curves exist: an equal split, greedily
@@ -307,17 +324,18 @@ impl Simulation {
     fn bootstrap_placement(&mut self) {
         let problem = self.build_problem(true);
         let num_vcs = self.vc_kinds.len();
-        let per_vc = (self.config.total_lines() / num_vcs as u64)
-            / self.config.alloc_granularity
+        let per_vc = (self.config.total_lines() / num_vcs as u64) / self.config.alloc_granularity
             * self.config.alloc_granularity;
         let sizes = vec![per_vc; num_vcs];
-        let placement = cdcs_core::place::greedy_place(
+        let placement = cdcs_core::place::greedy_place_with(
             &problem,
             &sizes,
             &self.cores,
             self.config.alloc_granularity,
+            &mut self.scratch,
         );
-        self.llc.reconfigure(&placement, MoveScheme::Instant, self.cycle, 0);
+        self.llc
+            .reconfigure(&placement, MoveScheme::Instant, self.cycle, 0);
         self.last_placement = Some(placement);
     }
 
@@ -367,20 +385,18 @@ impl Simulation {
     fn reconfigure(&mut self) {
         let problem = self.build_problem(false);
         let placement: Placement = match &self.config.scheme {
-            Scheme::Jigsaw { .. } => {
-                JigsawPlanner {
-                    granularity: self.config.alloc_granularity,
-                    chunk: self.config.alloc_granularity,
-                }
-                .plan(&problem, &self.cores)
+            Scheme::Jigsaw { .. } => JigsawPlanner {
+                granularity: self.config.alloc_granularity,
+                chunk: self.config.alloc_granularity,
             }
+            .plan_with(&problem, &self.cores, &mut self.scratch),
             Scheme::Cdcs { planner, .. } => {
                 let planner = CdcsPlanner {
                     granularity: self.config.alloc_granularity,
                     chunk: self.config.alloc_granularity,
                     ..*planner
                 };
-                Planner::plan(&planner, &problem, &self.cores)
+                planner.plan_with(&problem, &self.cores, &mut self.scratch)
             }
             _ => unreachable!("only partitioned schemes reconfigure"),
         };
@@ -389,9 +405,10 @@ impl Simulation {
         // latency gain (per epoch, from the measured curves) exceeds the
         // refill cost of the lines it displaces. Growth costs nothing (new
         // lines fill on demand either way); shrink/rearrangement does.
-        if let (Some(last), true) =
-            (&self.last_placement, self.config.reconfig_benefit_factor > 0.0)
-        {
+        if let (Some(last), true) = (
+            &self.last_placement,
+            self.config.reconfig_benefit_factor > 0.0,
+        ) {
             // Displaced lines: per-bank capacity shrink, scaled by how full
             // the VC actually is (shrinking empty capacity displaces
             // nothing).
@@ -409,8 +426,7 @@ impl Simulation {
                     if old_total == 0 {
                         return 0.0;
                     }
-                    let occupancy = self.llc.vc_occupancy(d as u32) as f64
-                        / old_total as f64;
+                    let occupancy = self.llc.vc_occupancy(d as u32) as f64 / old_total as f64;
                     shrink as f64 * occupancy.min(1.0)
                 })
                 .sum();
@@ -418,9 +434,8 @@ impl Simulation {
             let mut old = last.clone();
             old.thread_cores = self.cores.clone();
             let old_cost = cdcs_core::cost::total_latency(&problem, &old);
-            let move_cost = self.config.reconfig_benefit_factor
-                * relocated
-                * problem.params.mem_latency;
+            let move_cost =
+                self.config.reconfig_benefit_factor * relocated * problem.params.mem_latency;
             if new_cost + move_cost >= old_cost {
                 // Not worth it: keep the current placement.
                 for m in &mut self.monitors {
@@ -475,7 +490,9 @@ impl Simulation {
             }
             StreamTarget::ProcessShared => {
                 self.threads[ti].ep_shared += 1.0;
-                self.threads[ti].vc_shared.expect("shared access without shared VC")
+                self.threads[ti]
+                    .vc_shared
+                    .expect("shared access without shared VC")
             }
             StreamTarget::Global => (self.vc_kinds.len() - 1) as u32,
         };
@@ -505,8 +522,10 @@ impl Simulation {
             latency += mem;
             m.mem_cycles += mem;
             m.misses += 1;
-            self.traffic.record(TrafficClass::LlcToMem, ctrl_flits, hops);
-            self.traffic.record(TrafficClass::LlcToMem, line_flits, hops);
+            self.traffic
+                .record(TrafficClass::LlcToMem, ctrl_flits, hops);
+            self.traffic
+                .record(TrafficClass::LlcToMem, line_flits, hops);
             if self.measuring {
                 self.system.dram_accesses += 1;
             }
@@ -533,10 +552,12 @@ impl Simulation {
             latency += detour;
             m.bank_cycles += bank_lat;
             m.net_cycles += f64::from(noc.round_trip_latency(detour_hops));
-            self.traffic.record(TrafficClass::Other, ctrl_flits, detour_hops);
+            self.traffic
+                .record(TrafficClass::Other, ctrl_flits, detour_hops);
             if result.demand_moved {
                 // The line and its coherence state travel back (Fig. 10a).
-                self.traffic.record(TrafficClass::Other, line_flits, detour_hops);
+                self.traffic
+                    .record(TrafficClass::Other, line_flits, detour_hops);
                 if self.measuring {
                     self.system.demand_moves += 1;
                 }
@@ -553,8 +574,10 @@ impl Simulation {
             latency += mem;
             m.mem_cycles += mem;
             m.misses += 1;
-            self.traffic.record(TrafficClass::LlcToMem, ctrl_flits, mem_hops);
-            self.traffic.record(TrafficClass::LlcToMem, line_flits, mem_hops);
+            self.traffic
+                .record(TrafficClass::LlcToMem, ctrl_flits, mem_hops);
+            self.traffic
+                .record(TrafficClass::LlcToMem, line_flits, mem_hops);
             if self.measuring {
                 self.system.dram_accesses += 1;
             }
@@ -564,7 +587,8 @@ impl Simulation {
             let port = self.mc.port_for(self.mc_counter);
             self.mc_counter += 1;
             let wb_hops = mesh.hops(bank_tile, port);
-            self.traffic.record(TrafficClass::LlcToMem, line_flits, wb_hops);
+            self.traffic
+                .record(TrafficClass::LlcToMem, line_flits, wb_hops);
             if self.measuring {
                 self.system.dram_accesses += 1;
             }
@@ -596,9 +620,9 @@ impl Simulation {
         // Round-robin interleaving across threads.
         loop {
             let mut any = false;
-            for ti in 0..self.threads.len() {
-                if budgets[ti] > 0 {
-                    budgets[ti] -= 1;
+            for (ti, budget) in budgets.iter_mut().enumerate() {
+                if *budget > 0 {
+                    *budget -= 1;
                     self.issue_access(ti);
                     any = true;
                 }
@@ -640,7 +664,8 @@ impl Simulation {
             }
         }
         if self.measuring {
-            self.ipc_trace.push((self.cycle, instr_total / interval as f64));
+            self.ipc_trace
+                .push((self.cycle, instr_total / interval as f64));
         }
         instr_total
     }
@@ -648,8 +673,7 @@ impl Simulation {
     /// Runs the configured warm-up and measurement epochs and returns the
     /// results.
     pub fn run(mut self) -> SimResult {
-        let intervals_per_epoch =
-            (self.config.epoch_cycles / self.config.interval_cycles).max(1);
+        let intervals_per_epoch = (self.config.epoch_cycles / self.config.interval_cycles).max(1);
         let total_epochs = self.config.warmup_epochs + self.config.measure_epochs;
         for epoch in 0..total_epochs {
             self.measuring = epoch >= self.config.warmup_epochs;
@@ -693,8 +717,7 @@ impl Simulation {
             .iter()
             .map(|t| t.metrics.cycles)
             .fold(0.0, f64::max);
-        self.system.instructions =
-            self.threads.iter().map(|t| t.metrics.instructions).sum();
+        self.system.instructions = self.threads.iter().map(|t| t.metrics.instructions).sum();
         self.system.traffic = self.traffic.clone();
         let llc_accesses: u64 = self.threads.iter().map(|t| t.metrics.accesses).sum();
         let energy = EnergyModel::default().compute(
@@ -752,8 +775,16 @@ mod tests {
         let stream = run_scheme(Scheme::SNuca, &["milc"]);
         let calculix = &fit.threads[0];
         let milc = &stream.threads[0];
-        assert!(calculix.hit_ratio() > 0.8, "calculix hit ratio {}", calculix.hit_ratio());
-        assert!(milc.hit_ratio() < 0.1, "milc hit ratio {}", milc.hit_ratio());
+        assert!(
+            calculix.hit_ratio() > 0.8,
+            "calculix hit ratio {}",
+            calculix.hit_ratio()
+        );
+        assert!(
+            milc.hit_ratio() < 0.1,
+            "milc hit ratio {}",
+            milc.hit_ratio()
+        );
     }
 
     #[test]
@@ -822,7 +853,11 @@ mod tests {
         // With the gate enabled and a stationary workload, the steady state
         // applies few or no reconfigurations in the measured window.
         let r = run_scheme(Scheme::jigsaw_random(), &["calculix", "bzip2"]);
-        assert!(r.system.reconfigurations <= 1, "{}", r.system.reconfigurations);
+        assert!(
+            r.system.reconfigurations <= 1,
+            "{}",
+            r.system.reconfigurations
+        );
     }
 
     #[test]
@@ -864,7 +899,9 @@ mod tests {
         config.scheme = Scheme::jigsaw_random();
         config.move_scheme = MoveScheme::BulkInvalidate;
         config.reconfig_benefit_factor = 0.0; // apply every placement
-        let r = Simulation::new(config, mix(&["calculix", "bzip2"])).unwrap().run();
+        let r = Simulation::new(config, mix(&["calculix", "bzip2"]))
+            .unwrap()
+            .run();
         assert!(r.system.pause_cycles > 0);
         assert!(r.system.bulk_invalidations > 0);
     }

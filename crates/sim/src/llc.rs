@@ -142,7 +142,11 @@ impl Llc {
                 let bank_tile = policy.bank_for(class, line, core, mesh);
                 self.plain_access(BankId(bank_tile.0), line)
             }
-            Mapping::Vtb { desc, shadow, shadow_active } => {
+            Mapping::Vtb {
+                desc,
+                shadow,
+                shadow_active,
+            } => {
                 let Some(d) = &desc[vc as usize] else {
                     return LookupResult {
                         bank: BankId(0),
@@ -250,11 +254,8 @@ impl Llc {
                     None
                 } else {
                     Some(
-                        VcDescriptor::from_allocation_stable(
-                            &banks,
-                            prev_desc[d].as_ref(),
-                        )
-                        .expect("non-empty allocation builds a descriptor"),
+                        VcDescriptor::from_allocation_stable(&banks, prev_desc[d].as_ref())
+                            .expect("non-empty allocation builds a descriptor"),
                     )
                 }
             })
@@ -266,12 +267,12 @@ impl Llc {
         // collected MRU-first per partition.
         let mut pause = 0;
         let mut instant_moves: Vec<(usize, PartitionId, Line)> = Vec::new();
-        for d in 0..num_vcs {
+        for (d, desc) in new_desc.iter().enumerate().take(num_vcs) {
             let part = PartitionId(d as u16);
             for b in 0..self.banks.len() {
                 let lines = self.banks[b].partition_lines(part);
                 for line in lines {
-                    let new_bank = new_desc[d].as_ref().map(|nd| nd.bank_for_line(line));
+                    let new_bank = desc.as_ref().map(|nd| nd.bank_for_line(line));
                     match new_bank {
                         Some(nb) if nb.index() == b => {} // stays put
                         Some(nb) => {
@@ -292,9 +293,7 @@ impl Llc {
                             // VC lost its allocation entirely.
                             self.banks[b].invalidate(part, line);
                             match move_scheme {
-                                MoveScheme::BulkInvalidate => {
-                                    self.stats.bulk_invalidations += 1
-                                }
+                                MoveScheme::BulkInvalidate => self.stats.bulk_invalidations += 1,
                                 _ => self.stats.background_invalidations += 1,
                             }
                         }
@@ -307,8 +306,9 @@ impl Llc {
         // bank but exceed the shrunken allocation are ordinary LRU evictions
         // (in hardware, Vantage demotes them as the partition shrinks).
         for (b, bank) in self.banks.iter_mut().enumerate() {
-            let sizes: Vec<usize> =
-                (0..num_vcs).map(|d| placement.vc_alloc[d][b] as usize).collect();
+            let sizes: Vec<usize> = (0..num_vcs)
+                .map(|d| placement.vc_alloc[d][b] as usize)
+                .collect();
             bank.resize_partitions(&sizes);
         }
 
@@ -320,7 +320,11 @@ impl Llc {
         }
 
         match &mut self.mapping {
-            Mapping::Vtb { desc, shadow, shadow_active } => {
+            Mapping::Vtb {
+                desc,
+                shadow,
+                shadow_active,
+            } => {
                 *shadow = std::mem::replace(desc, new_desc);
                 *shadow_active =
                     move_scheme == MoveScheme::DemandMove && !self.old_lines.is_empty();
@@ -349,8 +353,7 @@ impl Llc {
         if elapsed <= delay_cycles {
             return;
         }
-        let progress =
-            ((elapsed - delay_cycles) as f64 / walk_cycles as f64).min(1.0);
+        let progress = ((elapsed - delay_cycles) as f64 / walk_cycles as f64).min(1.0);
         if progress >= 1.0 {
             self.stats.background_invalidations += self.old_lines.len() as u64;
             self.old_lines.clear();
@@ -368,7 +371,13 @@ impl Llc {
     /// Whether the shadow window is currently open.
     #[allow(dead_code)] // exercised by tests and kept for harness inspection
     pub fn shadow_active(&self) -> bool {
-        matches!(self.mapping, Mapping::Vtb { shadow_active: true, .. })
+        matches!(
+            self.mapping,
+            Mapping::Vtb {
+                shadow_active: true,
+                ..
+            }
+        )
     }
 
     /// Lines still awaiting demand moves or background invalidation.
@@ -400,7 +409,10 @@ impl Llc {
             return 0;
         }
         let part = PartitionId(vc as u16);
-        self.banks.iter().map(|b| b.partition_len(part) as u64).sum()
+        self.banks
+            .iter()
+            .map(|b| b.partition_len(part) as u64)
+            .sum()
     }
 
     /// Bank capacity in lines.
@@ -414,14 +426,14 @@ impl Llc {
 mod tests {
     use super::*;
 
-    fn vtb_llc_with_placement(
-        alloc: Vec<Vec<u64>>,
-        move_scheme: MoveScheme,
-    ) -> (Llc, Placement) {
+    fn vtb_llc_with_placement(alloc: Vec<Vec<u64>>, move_scheme: MoveScheme) -> (Llc, Placement) {
         let num_vcs = alloc.len();
         let banks = alloc[0].len();
         let mut llc = Llc::partitioned(banks, 1024, num_vcs);
-        let placement = Placement { thread_cores: vec![], vc_alloc: alloc };
+        let placement = Placement {
+            thread_cores: vec![],
+            vc_alloc: alloc,
+        };
         llc.reconfigure(&placement, move_scheme, 0, 0);
         (llc, placement)
     }
@@ -477,10 +489,8 @@ mod tests {
 
     #[test]
     fn partitions_isolate_vcs() {
-        let (mut llc, _) = vtb_llc_with_placement(
-            vec![vec![512, 0], vec![512, 0]],
-            MoveScheme::Instant,
-        );
+        let (mut llc, _) =
+            vtb_llc_with_placement(vec![vec![512, 0], vec![512, 0]], MoveScheme::Instant);
         let mesh = Mesh::new(2, 1);
         // Same line number in two VCs (different address spaces in practice,
         // but even identical raw lines must not alias across partitions).
@@ -491,14 +501,16 @@ mod tests {
 
     #[test]
     fn instant_moves_relocate_lines() {
-        let (mut llc, _) =
-            vtb_llc_with_placement(vec![vec![1024, 0]], MoveScheme::Instant);
+        let (mut llc, _) = vtb_llc_with_placement(vec![vec![1024, 0]], MoveScheme::Instant);
         let mesh = Mesh::new(2, 1);
         for a in 0..100u64 {
             llc.access(0, StreamTarget::ThreadPrivate, TileId(0), &mesh, Line(a));
         }
         // Move the VC to bank 1.
-        let placement = Placement { thread_cores: vec![], vc_alloc: vec![vec![0, 1024]] };
+        let placement = Placement {
+            thread_cores: vec![],
+            vc_alloc: vec![vec![0, 1024]],
+        };
         llc.reconfigure(&placement, MoveScheme::Instant, 1000, 0);
         assert_eq!(llc.stats.instant_moves, 100);
         // All lines hit immediately at the new bank.
@@ -511,13 +523,15 @@ mod tests {
 
     #[test]
     fn bulk_invalidation_drops_lines_and_pauses() {
-        let (mut llc, _) =
-            vtb_llc_with_placement(vec![vec![1024, 0]], MoveScheme::BulkInvalidate);
+        let (mut llc, _) = vtb_llc_with_placement(vec![vec![1024, 0]], MoveScheme::BulkInvalidate);
         let mesh = Mesh::new(2, 1);
         for a in 0..100u64 {
             llc.access(0, StreamTarget::ThreadPrivate, TileId(0), &mesh, Line(a));
         }
-        let placement = Placement { thread_cores: vec![], vc_alloc: vec![vec![0, 1024]] };
+        let placement = Placement {
+            thread_cores: vec![],
+            vc_alloc: vec![vec![0, 1024]],
+        };
         let pause = llc.reconfigure(&placement, MoveScheme::BulkInvalidate, 1000, 12345);
         assert_eq!(pause, 12345);
         assert_eq!(llc.stats.bulk_invalidations, 100);
@@ -528,13 +542,15 @@ mod tests {
 
     #[test]
     fn demand_moves_serve_from_old_bank() {
-        let (mut llc, _) =
-            vtb_llc_with_placement(vec![vec![1024, 0]], MoveScheme::DemandMove);
+        let (mut llc, _) = vtb_llc_with_placement(vec![vec![1024, 0]], MoveScheme::DemandMove);
         let mesh = Mesh::new(2, 1);
         for a in 0..100u64 {
             llc.access(0, StreamTarget::ThreadPrivate, TileId(0), &mesh, Line(a));
         }
-        let placement = Placement { thread_cores: vec![], vc_alloc: vec![vec![0, 1024]] };
+        let placement = Placement {
+            thread_cores: vec![],
+            vc_alloc: vec![vec![0, 1024]],
+        };
         llc.reconfigure(&placement, MoveScheme::DemandMove, 1000, 0);
         assert!(llc.shadow_active());
         assert_eq!(llc.pending_old_lines(), 100);
@@ -550,13 +566,15 @@ mod tests {
 
     #[test]
     fn background_walk_cleans_up_and_closes_shadow() {
-        let (mut llc, _) =
-            vtb_llc_with_placement(vec![vec![1024, 0]], MoveScheme::DemandMove);
+        let (mut llc, _) = vtb_llc_with_placement(vec![vec![1024, 0]], MoveScheme::DemandMove);
         let mesh = Mesh::new(2, 1);
         for a in 0..100u64 {
             llc.access(0, StreamTarget::ThreadPrivate, TileId(0), &mesh, Line(a));
         }
-        let placement = Placement { thread_cores: vec![], vc_alloc: vec![vec![0, 1024]] };
+        let placement = Placement {
+            thread_cores: vec![],
+            vc_alloc: vec![vec![0, 1024]],
+        };
         llc.reconfigure(&placement, MoveScheme::DemandMove, 1000, 0);
         // Before the delay: nothing happens.
         llc.background_tick(1000 + 10, 50, 100);
@@ -578,21 +596,26 @@ mod tests {
     #[should_panic(expected = "unpartitioned")]
     fn reconfigure_unpartitioned_panics() {
         let mut llc = Llc::unpartitioned(2, 1024, None);
-        let placement = Placement { thread_cores: vec![], vc_alloc: vec![vec![0, 0]] };
+        let placement = Placement {
+            thread_cores: vec![],
+            vc_alloc: vec![vec![0, 0]],
+        };
         llc.reconfigure(&placement, MoveScheme::Instant, 0, 0);
     }
 
     #[test]
     fn resize_shrink_evicts() {
-        let (mut llc, _) =
-            vtb_llc_with_placement(vec![vec![1024, 0]], MoveScheme::Instant);
+        let (mut llc, _) = vtb_llc_with_placement(vec![vec![1024, 0]], MoveScheme::Instant);
         let mesh = Mesh::new(2, 1);
         for a in 0..1000u64 {
             llc.access(0, StreamTarget::ThreadPrivate, TileId(0), &mesh, Line(a));
         }
         assert_eq!(llc.occupancy(), 1000);
         // Shrink to 100 lines in the same bank.
-        let placement = Placement { thread_cores: vec![], vc_alloc: vec![vec![100, 0]] };
+        let placement = Placement {
+            thread_cores: vec![],
+            vc_alloc: vec![vec![100, 0]],
+        };
         llc.reconfigure(&placement, MoveScheme::Instant, 10, 0);
         assert!(llc.occupancy() <= 100);
     }

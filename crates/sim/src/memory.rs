@@ -35,7 +35,10 @@ impl MemoryModel {
     ///
     /// Panics if either parameter is non-positive.
     pub fn new(zero_load: f64, bandwidth: f64) -> Self {
-        assert!(zero_load > 0.0 && bandwidth > 0.0, "invalid memory parameters");
+        assert!(
+            zero_load > 0.0 && bandwidth > 0.0,
+            "invalid memory parameters"
+        );
         MemoryModel {
             zero_load,
             bandwidth,

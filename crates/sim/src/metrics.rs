@@ -4,7 +4,7 @@ use cdcs_mesh::TrafficStats;
 use serde::{Deserialize, Serialize};
 
 /// Per-thread counters over the measured window.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct ThreadMetrics {
     /// Benchmark name of the owning process.
     pub app: String,
@@ -88,7 +88,7 @@ impl ThreadMetrics {
 }
 
 /// Chip-level counters over the measured window.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct SystemMetrics {
     /// Measured cycles.
     pub cycles: f64,

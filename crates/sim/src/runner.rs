@@ -10,6 +10,79 @@
 
 use crate::{Scheme, SimConfig, SimResult, Simulation};
 use cdcs_workload::{AppProfile, WorkloadMix};
+use rayon::prelude::*;
+
+/// One cell of an experiment grid: a scheme, a mix, and an optional
+/// per-cell seed override (deterministic regardless of which worker runs
+/// the cell or in what order).
+#[derive(Debug, Clone)]
+pub struct GridCell {
+    /// NUCA scheme to simulate.
+    pub scheme: Scheme,
+    /// Workload to run.
+    pub mix: WorkloadMix,
+    /// Overrides `config.seed` for this cell when set.
+    pub seed: Option<u64>,
+}
+
+impl GridCell {
+    /// A cell running `mix` under `scheme` with the sweep config's seed.
+    pub fn new(scheme: Scheme, mix: WorkloadMix) -> Self {
+        GridCell {
+            scheme,
+            mix,
+            seed: None,
+        }
+    }
+
+    /// Pins this cell to an explicit seed (for `scheme × mix × seed` fans).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+}
+
+/// Runs one grid cell: `config` with the cell's scheme (and seed, if
+/// overridden) applied.
+fn run_cell(config: &SimConfig, cell: &GridCell) -> Result<SimResult, String> {
+    let mut cfg = config.clone();
+    cfg.scheme = cell.scheme;
+    if let Some(seed) = cell.seed {
+        cfg.seed = seed;
+    }
+    Ok(Simulation::new(cfg, cell.mix.clone())?.run())
+}
+
+/// Runs every cell of an experiment grid across all cores.
+///
+/// Cells fan out over a work-stealing thread pool (simulation cost varies
+/// widely between schemes and mixes, so static partitioning would leave
+/// cores idle). Every cell derives its RNG state from `(config, cell)`
+/// alone — never from worker identity or execution order — so the results
+/// are identical to [`run_grid_serial`] cell-for-cell, byte-for-byte (the
+/// equivalence tests assert this). `RAYON_NUM_THREADS=1` forces serial
+/// execution through the same code path.
+///
+/// # Errors
+///
+/// Returns the first cell's construction error, if any.
+pub fn run_grid(config: &SimConfig, cells: &[GridCell]) -> Result<Vec<SimResult>, String> {
+    cells
+        .par_iter()
+        .map(|cell| run_cell(config, cell))
+        .collect::<Vec<_>>()
+        .into_iter()
+        .collect()
+}
+
+/// Serial reference for [`run_grid`]: same cells, same order, one core.
+///
+/// # Errors
+///
+/// Returns the first cell's construction error, if any.
+pub fn run_grid_serial(config: &SimConfig, cells: &[GridCell]) -> Result<Vec<SimResult>, String> {
+    cells.iter().map(|cell| run_cell(config, cell)).collect()
+}
 
 /// Runs one process alone on the chip under S-NUCA and returns its
 /// performance (sum of thread IPCs — the alone-IPC denominator of weighted
@@ -27,26 +100,46 @@ pub fn alone_perf(config: &SimConfig, app: &AppProfile) -> Result<f64, String> {
 }
 
 /// Alone performance for every process of a mix (cached by name — identical
-/// profiles share one alone run).
+/// profiles share one alone run). The unique apps' alone runs fan out over
+/// [`run_grid`], so an n-app mix costs one parallel wave instead of n
+/// serial simulations; values are identical to running [`alone_perf`] per
+/// process.
 ///
 /// # Errors
 ///
 /// Propagates simulation construction errors.
 pub fn alone_perf_for_mix(config: &SimConfig, mix: &WorkloadMix) -> Result<Vec<f64>, String> {
-    let mut cache: std::collections::HashMap<String, f64> = std::collections::HashMap::new();
-    let mut out = Vec::with_capacity(mix.processes().len());
+    // Unique apps in first-appearance order.
+    let mut names: Vec<&str> = Vec::new();
+    let mut unique: Vec<&AppProfile> = Vec::new();
     for app in mix.processes() {
-        let perf = match cache.get(&app.name) {
-            Some(&p) => p,
-            None => {
-                let p = alone_perf(config, app)?;
-                cache.insert(app.name.clone(), p);
-                p
-            }
-        };
-        out.push(perf);
+        if !names.contains(&app.name.as_str()) {
+            names.push(&app.name);
+            unique.push(app);
+        }
     }
-    Ok(out)
+    let cells: Vec<GridCell> = unique
+        .iter()
+        .map(|app| {
+            GridCell::new(
+                Scheme::SNuca,
+                WorkloadMix::new(vec![(*app).clone()], config.seed),
+            )
+        })
+        .collect();
+    let results = run_grid(config, &cells)?;
+    let perf: Vec<f64> = results.iter().map(|r| r.process_perf()[0]).collect();
+    Ok(mix
+        .processes()
+        .iter()
+        .map(|app| {
+            let i = names
+                .iter()
+                .position(|&n| n == app.name)
+                .expect("app seen above");
+            perf[i]
+        })
+        .collect())
 }
 
 /// Raw weighted speedup of a result against per-process alone performance:
@@ -126,11 +219,8 @@ mod tests {
     #[test]
     fn weighted_speedup_of_baseline_is_one() {
         let config = SimConfig::small_test();
-        let mix = WorkloadMix::from_spec(&MixSpec::Named(vec![
-            "calculix".into(),
-            "milc".into(),
-        ]))
-        .unwrap();
+        let mix = WorkloadMix::from_spec(&MixSpec::Named(vec!["calculix".into(), "milc".into()]))
+            .unwrap();
         let alone = alone_perf_for_mix(&config, &mix).unwrap();
         let snuca = run_scheme(&config, &mix, Scheme::SNuca).unwrap();
         let ws = weighted_speedup_vs(&snuca, &snuca, &alone);
@@ -158,5 +248,67 @@ mod tests {
         let app = cdcs_workload::spec::by_name("calculix").unwrap();
         let p = alone_perf(&config, app).unwrap();
         assert!(p > 0.1, "alone perf {p}");
+    }
+
+    #[test]
+    fn grid_matches_serial_cell_for_cell() {
+        let config = SimConfig::small_test();
+        let mixes = [
+            WorkloadMix::from_spec(&MixSpec::Named(vec!["calculix".into(), "milc".into()]))
+                .unwrap(),
+            WorkloadMix::from_spec(&MixSpec::Named(vec!["bzip2".into(), "omnet".into()])).unwrap(),
+        ];
+        let mut cells = Vec::new();
+        for mix in &mixes {
+            for scheme in [Scheme::SNuca, Scheme::cdcs()] {
+                cells.push(GridCell::new(scheme, mix.clone()));
+            }
+        }
+        cells.push(GridCell::new(Scheme::SNuca, mixes[0].clone()).with_seed(99));
+        // Force the multi-worker path even on single-core runners so the
+        // fan-out machinery (not just its serial fallback) is what's
+        // tested; the pool scopes the count to this closure, not the
+        // process.
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .expect("pool");
+        let parallel = pool.install(|| run_grid(&config, &cells)).unwrap();
+        let serial = run_grid_serial(&config, &cells).unwrap();
+        assert_eq!(parallel.len(), cells.len());
+        for (i, (p, s)) in parallel.iter().zip(&serial).enumerate() {
+            assert_eq!(p, s, "cell {i} diverged between parallel and serial");
+        }
+        // The seed override must actually change the cell's stream.
+        assert_ne!(
+            parallel[0].system.instructions,
+            parallel[4].system.instructions
+        );
+    }
+
+    #[test]
+    fn parallel_alone_perf_matches_per_process_runs() {
+        let config = SimConfig::small_test();
+        let mix = WorkloadMix::from_spec(&MixSpec::Named(vec![
+            "calculix".into(),
+            "milc".into(),
+            "calculix".into(),
+        ]))
+        .unwrap();
+        let fast = alone_perf_for_mix(&config, &mix).unwrap();
+        let slow: Vec<f64> = mix
+            .processes()
+            .iter()
+            .map(|app| alone_perf(&config, app).unwrap())
+            .collect();
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn grid_propagates_construction_errors() {
+        let mut config = SimConfig::small_test();
+        config.bank_lines = 0; // invalid
+        let mix = WorkloadMix::from_spec(&MixSpec::Named(vec!["milc".into()])).unwrap();
+        assert!(run_grid(&config, &[GridCell::new(Scheme::SNuca, mix)]).is_err());
     }
 }

@@ -45,22 +45,31 @@ pub enum Scheme {
 impl Scheme {
     /// Full CDCS with random initial placement.
     pub fn cdcs() -> Self {
-        Scheme::Cdcs { planner: CdcsPlanner::default(), sched: ThreadSched::Random }
+        Scheme::Cdcs {
+            planner: CdcsPlanner::default(),
+            sched: ThreadSched::Random,
+        }
     }
 
     /// Jigsaw with the random scheduler (Jigsaw+R).
     pub fn jigsaw_random() -> Self {
-        Scheme::Jigsaw { sched: ThreadSched::Random }
+        Scheme::Jigsaw {
+            sched: ThreadSched::Random,
+        }
     }
 
     /// Jigsaw with the clustered scheduler (Jigsaw+C).
     pub fn jigsaw_clustered() -> Self {
-        Scheme::Jigsaw { sched: ThreadSched::Clustered }
+        Scheme::Jigsaw {
+            sched: ThreadSched::Clustered,
+        }
     }
 
     /// R-NUCA with random pinning.
     pub fn rnuca() -> Self {
-        Scheme::RNuca { sched: ThreadSched::Random }
+        Scheme::RNuca {
+            sched: ThreadSched::Random,
+        }
     }
 
     /// Whether the scheme reconfigures at epoch boundaries.
@@ -78,8 +87,12 @@ impl Scheme {
         match self {
             Scheme::SNuca => "S-NUCA".into(),
             Scheme::RNuca { .. } => "R-NUCA".into(),
-            Scheme::Jigsaw { sched: ThreadSched::Clustered } => "Jigsaw+C".into(),
-            Scheme::Jigsaw { sched: ThreadSched::Random } => "Jigsaw+R".into(),
+            Scheme::Jigsaw {
+                sched: ThreadSched::Clustered,
+            } => "Jigsaw+C".into(),
+            Scheme::Jigsaw {
+                sched: ThreadSched::Random,
+            } => "Jigsaw+R".into(),
             Scheme::Cdcs { planner, .. } => {
                 if planner.latency_aware && planner.place_threads && planner.refine_trades {
                     "CDCS".into()

@@ -72,9 +72,13 @@ impl WorkloadMix {
                 }
                 let suite = spec::all_single_threaded();
                 let mut rng = StdRng::seed_from_u64(0xC0DE_5EED ^ *mix_seed);
-                let processes =
-                    (0..*count).map(|_| suite[rng.gen_range(0..suite.len())].clone()).collect();
-                Ok(WorkloadMix { processes, seed: *mix_seed })
+                let processes = (0..*count)
+                    .map(|_| suite[rng.gen_range(0..suite.len())].clone())
+                    .collect();
+                Ok(WorkloadMix {
+                    processes,
+                    seed: *mix_seed,
+                })
             }
             MixSpec::RandomMultiThreaded { count, mix_seed } => {
                 if *count == 0 {
@@ -82,9 +86,13 @@ impl WorkloadMix {
                 }
                 let suite = spec::all_multi_threaded();
                 let mut rng = StdRng::seed_from_u64(0x0123_4567_89AB_CDEF ^ *mix_seed);
-                let processes =
-                    (0..*count).map(|_| suite[rng.gen_range(0..suite.len())].clone()).collect();
-                Ok(WorkloadMix { processes, seed: *mix_seed })
+                let processes = (0..*count)
+                    .map(|_| suite[rng.gen_range(0..suite.len())].clone())
+                    .collect();
+                Ok(WorkloadMix {
+                    processes,
+                    seed: *mix_seed,
+                })
             }
             MixSpec::CaseStudy => {
                 let mut names = vec!["omnet"; 6];
@@ -101,7 +109,9 @@ impl WorkloadMix {
                 let mut processes = Vec::with_capacity(names.len());
                 for n in names {
                     processes.push(
-                        spec::by_name(n).ok_or_else(|| format!("unknown benchmark {n}"))?.clone(),
+                        spec::by_name(n)
+                            .ok_or_else(|| format!("unknown benchmark {n}"))?
+                            .clone(),
                     );
                 }
                 Ok(WorkloadMix { processes, seed: 0 })
@@ -139,10 +149,16 @@ mod tests {
 
     #[test]
     fn random_mix_is_deterministic() {
-        let a = WorkloadMix::from_spec(&MixSpec::RandomSingleThreaded { count: 8, mix_seed: 3 })
-            .unwrap();
-        let b = WorkloadMix::from_spec(&MixSpec::RandomSingleThreaded { count: 8, mix_seed: 3 })
-            .unwrap();
+        let a = WorkloadMix::from_spec(&MixSpec::RandomSingleThreaded {
+            count: 8,
+            mix_seed: 3,
+        })
+        .unwrap();
+        let b = WorkloadMix::from_spec(&MixSpec::RandomSingleThreaded {
+            count: 8,
+            mix_seed: 3,
+        })
+        .unwrap();
         let names_a: Vec<&str> = a.processes().iter().map(|p| p.name.as_str()).collect();
         let names_b: Vec<&str> = b.processes().iter().map(|p| p.name.as_str()).collect();
         assert_eq!(names_a, names_b);
@@ -150,10 +166,16 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let a = WorkloadMix::from_spec(&MixSpec::RandomSingleThreaded { count: 16, mix_seed: 1 })
-            .unwrap();
-        let b = WorkloadMix::from_spec(&MixSpec::RandomSingleThreaded { count: 16, mix_seed: 2 })
-            .unwrap();
+        let a = WorkloadMix::from_spec(&MixSpec::RandomSingleThreaded {
+            count: 16,
+            mix_seed: 1,
+        })
+        .unwrap();
+        let b = WorkloadMix::from_spec(&MixSpec::RandomSingleThreaded {
+            count: 16,
+            mix_seed: 2,
+        })
+        .unwrap();
         let names_a: Vec<&str> = a.processes().iter().map(|p| p.name.as_str()).collect();
         let names_b: Vec<&str> = b.processes().iter().map(|p| p.name.as_str()).collect();
         assert_ne!(names_a, names_b);
@@ -171,8 +193,7 @@ mod tests {
 
     #[test]
     fn named_mix_rejects_unknown() {
-        let err =
-            WorkloadMix::from_spec(&MixSpec::Named(vec!["nope".into()])).unwrap_err();
+        let err = WorkloadMix::from_spec(&MixSpec::Named(vec!["nope".into()])).unwrap_err();
         assert!(err.contains("unknown"));
     }
 
@@ -188,8 +209,11 @@ mod tests {
 
     #[test]
     fn multi_threaded_mixes_draw_omp_suite() {
-        let mix = WorkloadMix::from_spec(&MixSpec::RandomMultiThreaded { count: 8, mix_seed: 7 })
-            .unwrap();
+        let mix = WorkloadMix::from_spec(&MixSpec::RandomMultiThreaded {
+            count: 8,
+            mix_seed: 7,
+        })
+        .unwrap();
         assert_eq!(mix.total_threads(), 64);
         for p in mix.processes() {
             assert_eq!(p.threads, 8);

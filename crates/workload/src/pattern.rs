@@ -80,9 +80,7 @@ impl Pattern {
     /// footprints, bad Zipf parameters, or empty/non-positive mixtures.
     pub fn validate(&self) -> Result<(), String> {
         match self {
-            Pattern::Scan { lines }
-            | Pattern::Loop { lines }
-            | Pattern::Hot { lines } => {
+            Pattern::Scan { lines } | Pattern::Loop { lines } | Pattern::Hot { lines } => {
                 if *lines == 0 {
                     return Err("pattern footprint must be non-zero".into());
                 }
@@ -100,7 +98,7 @@ impl Pattern {
                     return Err("mixture must have at least one part".into());
                 }
                 let total: f64 = parts.iter().map(|(w, _)| *w).sum();
-                if !(total > 0.0) {
+                if total <= 0.0 || total.is_nan() {
                     return Err("mixture weights must sum to a positive value".into());
                 }
                 for (w, p) in parts {
@@ -119,11 +117,19 @@ impl Pattern {
 /// Kept separate from the pattern so profiles stay immutable and shareable.
 #[derive(Debug, Clone)]
 pub(crate) enum PatternState {
-    Scan { pos: u64 },
-    Loop { pos: u64 },
+    Scan {
+        pos: u64,
+    },
+    Loop {
+        pos: u64,
+    },
     Hot,
     Zipf,
-    Mix { states: Vec<PatternState>, bases: Vec<u64>, cum_weights: Vec<f64> },
+    Mix {
+        states: Vec<PatternState>,
+        bases: Vec<u64>,
+        cum_weights: Vec<f64>,
+    },
 }
 
 impl PatternState {
@@ -172,7 +178,14 @@ impl PatternState {
             (PatternState::Zipf, Pattern::Zipf { lines, alpha }) => {
                 zipf_sample(*lines, *alpha, rng)
             }
-            (PatternState::Mix { states, bases, cum_weights }, Pattern::Mix(parts)) => {
+            (
+                PatternState::Mix {
+                    states,
+                    bases,
+                    cum_weights,
+                },
+                Pattern::Mix(parts),
+            ) => {
                 let u: f64 = rng.gen();
                 let i = cum_weights
                     .iter()
@@ -216,7 +229,11 @@ impl PatternStream {
             panic!("invalid pattern: {e}");
         }
         let state = PatternState::new(&pattern);
-        PatternStream { pattern, state, rng: SmallRng::seed_from_u64(seed) }
+        PatternStream {
+            pattern,
+            state,
+            rng: SmallRng::seed_from_u64(seed),
+        }
     }
 
     /// The pattern this stream draws from.
@@ -286,7 +303,9 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(4);
         let mut counts = std::collections::HashMap::new();
         for _ in 0..100_000 {
-            *counts.entry(zipf_sample(10_000, 0.9, &mut rng)).or_insert(0u64) += 1;
+            *counts
+                .entry(zipf_sample(10_000, 0.9, &mut rng))
+                .or_insert(0u64) += 1;
         }
         let mut freqs: Vec<u64> = counts.values().copied().collect();
         freqs.sort_unstable_by(|a, b| b.cmp(a));
@@ -312,10 +331,22 @@ mod tests {
     #[test]
     fn validate_rejects_bad_patterns() {
         assert!(Pattern::Loop { lines: 0 }.validate().is_err());
-        assert!(Pattern::Zipf { lines: 10, alpha: 1.0 }.validate().is_err());
-        assert!(Pattern::Zipf { lines: 10, alpha: -0.5 }.validate().is_err());
+        assert!(Pattern::Zipf {
+            lines: 10,
+            alpha: 1.0
+        }
+        .validate()
+        .is_err());
+        assert!(Pattern::Zipf {
+            lines: 10,
+            alpha: -0.5
+        }
+        .validate()
+        .is_err());
         assert!(Pattern::Mix(vec![]).validate().is_err());
-        assert!(Pattern::Mix(vec![(0.0, Pattern::Hot { lines: 1 })]).validate().is_err());
+        assert!(Pattern::Mix(vec![(0.0, Pattern::Hot { lines: 1 })])
+            .validate()
+            .is_err());
         assert!(Pattern::Loop { lines: 10 }.validate().is_ok());
     }
 
@@ -334,7 +365,9 @@ mod tests {
         let pattern = Pattern::Loop { lines: 3 };
         let mut state = PatternState::new(&pattern);
         let mut rng = SmallRng::seed_from_u64(7);
-        let xs: Vec<u64> = (0..7).map(|_| state.next_offset(&pattern, &mut rng)).collect();
+        let xs: Vec<u64> = (0..7)
+            .map(|_| state.next_offset(&pattern, &mut rng))
+            .collect();
         assert_eq!(xs, vec![0, 1, 2, 0, 1, 2, 0]);
     }
 }

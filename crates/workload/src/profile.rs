@@ -129,13 +129,13 @@ impl AppProfile {
         if self.threads == 0 {
             return Err("thread count must be non-zero".into());
         }
-        if !(self.apki > 0.0) || !self.apki.is_finite() {
+        if self.apki <= 0.0 || !self.apki.is_finite() {
             return Err(format!("apki must be positive, got {}", self.apki));
         }
-        if !(self.ipc0 > 0.0) || !self.ipc0.is_finite() {
+        if self.ipc0 <= 0.0 || !self.ipc0.is_finite() {
             return Err(format!("ipc0 must be positive, got {}", self.ipc0));
         }
-        if !(self.mlp >= 1.0) || !self.mlp.is_finite() {
+        if self.mlp < 1.0 || !self.mlp.is_finite() {
             return Err(format!("mlp must be >= 1, got {}", self.mlp));
         }
         self.private_pattern.validate()?;
@@ -161,7 +161,9 @@ impl AppProfile {
 
     /// Process-wide shared footprint, in lines (0 if none).
     pub fn shared_footprint_lines(&self) -> u64 {
-        self.shared_pattern.as_ref().map_or(0, Pattern::footprint_lines)
+        self.shared_pattern
+            .as_ref()
+            .map_or(0, Pattern::footprint_lines)
     }
 
     /// Total footprint of the whole process: all threads' private data plus
@@ -207,13 +209,10 @@ impl AccessStream {
         for _ in 0..(phase % 8192) {
             private_state.next_offset(&profile.private_pattern, &mut rng);
         }
-        let shared = profile
-            .shared_pattern
-            .clone()
-            .map(|p| {
-                let s = PatternState::new(&p);
-                (p, s)
-            });
+        let shared = profile.shared_pattern.clone().map(|p| {
+            let s = PatternState::new(&p);
+            (p, s)
+        });
         AccessStream {
             shared_frac: profile.shared_frac,
             private_pattern: profile.private_pattern.clone(),
@@ -228,12 +227,16 @@ impl AccessStream {
     pub fn next_access(&mut self) -> (StreamTarget, u64) {
         if let Some((pattern, state)) = &mut self.shared {
             if self.rng.gen::<f64>() < self.shared_frac {
-                return (StreamTarget::ProcessShared, state.next_offset(pattern, &mut self.rng));
+                return (
+                    StreamTarget::ProcessShared,
+                    state.next_offset(pattern, &mut self.rng),
+                );
             }
         }
         (
             StreamTarget::ThreadPrivate,
-            self.private_state.next_offset(&self.private_pattern, &mut self.rng),
+            self.private_state
+                .next_offset(&self.private_pattern, &mut self.rng),
         )
     }
 }
@@ -324,7 +327,9 @@ mod tests {
         let app = toy_mt();
         let mut a = AccessStream::for_thread(&app, 0, 7);
         let mut b = AccessStream::for_thread(&app, 1, 7);
-        let same = (0..200).filter(|_| a.next_access() == b.next_access()).count();
+        let same = (0..200)
+            .filter(|_| a.next_access() == b.next_access())
+            .count();
         assert!(same < 100, "{same} identical draws");
     }
 

@@ -44,20 +44,44 @@ fn single_threaded_profiles() -> Vec<AppProfile> {
             3.0,
             Mix(vec![
                 (0.80, Loop { lines: 1792 * KB }),
-                (0.14, Zipf { lines: 512 * KB, alpha: 0.6 }),
+                (
+                    0.14,
+                    Zipf {
+                        lines: 512 * KB,
+                        alpha: 0.6,
+                    },
+                ),
                 (0.06, Hot { lines: 32 * KB }),
             ]),
         ),
         // milc: streaming; no reuse at any realistic LLC size.
         AppProfile::single_threaded("milc", 26.0, 0.7, 4.0, Scan { lines: 64 * MB }),
         // The remaining 14 memory-intensive SPEC CPU2006 apps (≥ 5 L2 MPKI).
-        AppProfile::single_threaded("bzip2", 8.0, 1.2, 2.0, Zipf { lines: MB, alpha: 0.7 }),
+        AppProfile::single_threaded(
+            "bzip2",
+            8.0,
+            1.2,
+            2.0,
+            Zipf {
+                lines: MB,
+                alpha: 0.7,
+            },
+        ),
         AppProfile::single_threaded(
             "gcc",
             10.0,
             1.1,
             1.8,
-            Mix(vec![(0.6, Hot { lines: 256 * KB }), (0.4, Zipf { lines: 2 * MB, alpha: 0.6 })]),
+            Mix(vec![
+                (0.6, Hot { lines: 256 * KB }),
+                (
+                    0.4,
+                    Zipf {
+                        lines: 2 * MB,
+                        alpha: 0.6,
+                    },
+                ),
+            ]),
         ),
         AppProfile::single_threaded("bwaves", 25.0, 0.9, 4.0, Loop { lines: 6 * MB }),
         AppProfile::single_threaded(
@@ -65,7 +89,16 @@ fn single_threaded_profiles() -> Vec<AppProfile> {
             60.0,
             0.45,
             2.5,
-            Mix(vec![(0.5, Hot { lines: 512 * KB }), (0.5, Zipf { lines: 8 * MB, alpha: 0.55 })]),
+            Mix(vec![
+                (0.5, Hot { lines: 512 * KB }),
+                (
+                    0.5,
+                    Zipf {
+                        lines: 8 * MB,
+                        alpha: 0.55,
+                    },
+                ),
+            ]),
         ),
         AppProfile::single_threaded("zeusmp", 12.0, 1.0, 3.0, Loop { lines: MB + MB / 2 }),
         AppProfile::single_threaded(
@@ -73,14 +106,20 @@ fn single_threaded_profiles() -> Vec<AppProfile> {
             14.0,
             0.95,
             2.5,
-            Mix(vec![(0.5, Hot { lines: 128 * KB }), (0.5, Loop { lines: 2 * MB })]),
+            Mix(vec![
+                (0.5, Hot { lines: 128 * KB }),
+                (0.5, Loop { lines: 2 * MB }),
+            ]),
         ),
         AppProfile::single_threaded(
             "leslie3d",
             20.0,
             0.85,
             3.5,
-            Mix(vec![(0.4, Hot { lines: 256 * KB }), (0.6, Loop { lines: 3 * MB })]),
+            Mix(vec![
+                (0.4, Hot { lines: 256 * KB }),
+                (0.6, Loop { lines: 3 * MB }),
+            ]),
         ),
         AppProfile::single_threaded("calculix", 6.0, 1.4, 2.0, Hot { lines: 192 * KB }),
         AppProfile::single_threaded(
@@ -88,7 +127,10 @@ fn single_threaded_profiles() -> Vec<AppProfile> {
             22.0,
             0.8,
             3.0,
-            Mix(vec![(0.3, Hot { lines: 512 * KB }), (0.7, Loop { lines: 5 * MB })]),
+            Mix(vec![
+                (0.3, Hot { lines: 512 * KB }),
+                (0.7, Loop { lines: 5 * MB }),
+            ]),
         ),
         AppProfile::single_threaded("libquantum", 28.0, 0.75, 5.0, Scan { lines: 32 * MB }),
         AppProfile::single_threaded(
@@ -96,28 +138,45 @@ fn single_threaded_profiles() -> Vec<AppProfile> {
             40.0,
             0.6,
             5.0,
-            Mix(vec![(0.85, Scan { lines: 48 * MB }), (0.15, Hot { lines: 128 * KB })]),
+            Mix(vec![
+                (0.85, Scan { lines: 48 * MB }),
+                (0.15, Hot { lines: 128 * KB }),
+            ]),
         ),
         AppProfile::single_threaded(
             "astar",
             15.0,
             0.9,
             1.5,
-            Zipf { lines: MB + MB / 2, alpha: 0.8 },
+            Zipf {
+                lines: MB + MB / 2,
+                alpha: 0.8,
+            },
         ),
         AppProfile::single_threaded(
             "sphinx3",
             18.0,
             1.0,
             2.5,
-            Mix(vec![(0.5, Hot { lines: 512 * KB }), (0.5, Loop { lines: 3 * MB + MB / 2 })]),
+            Mix(vec![
+                (0.5, Hot { lines: 512 * KB }),
+                (
+                    0.5,
+                    Loop {
+                        lines: 3 * MB + MB / 2,
+                    },
+                ),
+            ]),
         ),
         AppProfile::single_threaded(
             "xalancbmk",
             30.0,
             0.85,
             2.0,
-            Mix(vec![(0.4, Hot { lines: 256 * KB }), (0.6, Loop { lines: 4 * MB })]),
+            Mix(vec![
+                (0.4, Hot { lines: 256 * KB }),
+                (0.6, Loop { lines: 4 * MB }),
+            ]),
         ),
     ]
 }
@@ -156,7 +215,10 @@ fn multi_threaded_profiles() -> Vec<AppProfile> {
             1.0,
             2.2,
             Hot { lines: 64 * KB },
-            Zipf { lines: MB, alpha: 0.6 },
+            Zipf {
+                lines: MB,
+                alpha: 0.6,
+            },
             0.75,
         ),
         // mgrid: private-heavy and intensive — CDCS spreads its threads
@@ -198,7 +260,10 @@ fn multi_threaded_profiles() -> Vec<AppProfile> {
             1.0,
             2.5,
             Hot { lines: 64 * KB },
-            Zipf { lines: 2 * MB, alpha: 0.65 },
+            Zipf {
+                lines: 2 * MB,
+                alpha: 0.65,
+            },
             0.6,
         ),
         AppProfile::multi_threaded(
@@ -217,8 +282,14 @@ fn multi_threaded_profiles() -> Vec<AppProfile> {
             18.0,
             0.85,
             2.5,
-            Mix(vec![(0.7, Hot { lines: 32 * KB }), (0.3, Loop { lines: 128 * KB })]),
-            Zipf { lines: 4 * MB, alpha: 0.7 },
+            Mix(vec![
+                (0.7, Hot { lines: 32 * KB }),
+                (0.3, Loop { lines: 128 * KB }),
+            ]),
+            Zipf {
+                lines: 4 * MB,
+                alpha: 0.7,
+            },
             0.7,
         ),
     ]
@@ -359,8 +430,10 @@ mod tests {
     #[test]
     fn footprint_spectrum_is_wide() {
         // Mixes only exercise contention if footprints vary widely.
-        let fps: Vec<u64> =
-            all_single_threaded().iter().map(|p| p.total_footprint_lines()).collect();
+        let fps: Vec<u64> = all_single_threaded()
+            .iter()
+            .map(|p| p.total_footprint_lines())
+            .collect();
         let min = *fps.iter().min().unwrap();
         let max = *fps.iter().max().unwrap();
         assert!(min <= 4096, "smallest footprint {min} lines");

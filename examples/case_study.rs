@@ -30,7 +30,10 @@ fn main() -> Result<(), String> {
         let base = snuca.process_perf();
         let mut by_app: std::collections::BTreeMap<&str, Vec<f64>> = Default::default();
         for (p, app) in mix.processes().iter().enumerate() {
-            by_app.entry(app.name.as_str()).or_default().push(perf[p] / base[p]);
+            by_app
+                .entry(app.name.as_str())
+                .or_default()
+                .push(perf[p] / base[p]);
         }
         println!("== {} (weighted speedup {ws:.2}) ==", r.scheme);
         for (app, v) in &by_app {

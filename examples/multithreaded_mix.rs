@@ -21,7 +21,11 @@ fn main() -> Result<(), String> {
     let alone = runner::alone_perf_for_mix(&config, &mix)?;
     let snuca = runner::run_scheme(&config, &mix, Scheme::SNuca)?;
     println!("{:<10} {:>8}   per-process speedups", "scheme", "WS");
-    for scheme in [Scheme::jigsaw_clustered(), Scheme::jigsaw_random(), Scheme::cdcs()] {
+    for scheme in [
+        Scheme::jigsaw_clustered(),
+        Scheme::jigsaw_random(),
+        Scheme::cdcs(),
+    ] {
         let r = runner::run_scheme(&config, &mix, scheme)?;
         let ws = runner::weighted_speedup_vs(&r, &snuca, &alone);
         let perf = r.process_perf();

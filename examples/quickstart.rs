@@ -26,7 +26,10 @@ fn main() -> Result<(), String> {
     let cdcs = runner::run_scheme(&config, &mix, Scheme::cdcs())?;
 
     println!("\nper-app results (IPC):");
-    println!("{:<12} {:>8} {:>8} {:>9}", "app", "S-NUCA", "CDCS", "speedup");
+    println!(
+        "{:<12} {:>8} {:>8} {:>9}",
+        "app", "S-NUCA", "CDCS", "speedup"
+    );
     for (s, c) in snuca.threads.iter().zip(&cdcs.threads) {
         println!(
             "{:<12} {:>8.3} {:>8.3} {:>8.2}x",

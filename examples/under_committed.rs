@@ -17,16 +17,18 @@ fn main() -> Result<(), String> {
     })?;
     println!(
         "4 apps on 64 cores: {:?}",
-        mix.processes().iter().map(|p| p.name.as_str()).collect::<Vec<_>>()
+        mix.processes()
+            .iter()
+            .map(|p| p.name.as_str())
+            .collect::<Vec<_>>()
     );
     let alone = runner::alone_perf_for_mix(&config, &mix)?;
     let snuca = runner::run_scheme(&config, &mix, Scheme::SNuca)?;
-    println!("{:<10} {:>8} {:>12} {:>12}", "scheme", "WS", "on-chip/acc", "off-chip/acc");
-    for scheme in [
-        Scheme::SNuca,
-        Scheme::jigsaw_random(),
-        Scheme::cdcs(),
-    ] {
+    println!(
+        "{:<10} {:>8} {:>12} {:>12}",
+        "scheme", "WS", "on-chip/acc", "off-chip/acc"
+    );
+    for scheme in [Scheme::SNuca, Scheme::jigsaw_random(), Scheme::cdcs()] {
         let r = runner::run_scheme(&config, &mix, scheme)?;
         let ws = runner::weighted_speedup_vs(&r, &snuca, &alone);
         println!(

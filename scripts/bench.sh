@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Perf-trajectory benches: runs the planner and LLC criterion benches and
+# emits BENCH_planner.json / BENCH_llc.json (median ns/op per benchmark) at
+# the repo root. Commit the refreshed files so future PRs can track the
+# speedup trajectory.
+#
+# Usage: scripts/bench.sh [output-dir]        (default: repo root)
+# Env:   CRITERION_SAMPLES / CRITERION_SAMPLE_MS tune the vendored harness.
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+out_dir="${1:-$repo_root}"
+mkdir -p "$out_dir"
+cd "$repo_root"
+
+emit() {
+    local bench_name="$1" out_file="$2" tmp
+    tmp="$(mktemp)"
+    echo "== cargo bench -p cdcs-bench --bench ${bench_name}"
+    CRITERION_SAVE_JSON="$tmp" cargo bench -p cdcs-bench --bench "$bench_name"
+    # The vendored criterion appends one JSON object per line; wrap them
+    # into a stable, committable JSON document.
+    {
+        echo '{'
+        echo "  \"bench\": \"${bench_name}\","
+        echo "  \"unit\": \"ns_per_op_median\","
+        echo '  "benchmarks": ['
+        awk 'NR > 1 { print "    " prev "," } { prev = $0 } END { if (NR > 0) print "    " prev }' "$tmp"
+        echo '  ]'
+        echo '}'
+    } > "$out_file"
+    rm -f "$tmp"
+    echo "wrote $out_file"
+}
+
+emit placement "$out_dir/BENCH_planner.json"
+emit llc "$out_dir/BENCH_llc.json"

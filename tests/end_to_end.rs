@@ -6,8 +6,10 @@ use cdcs::sim::{runner, MoveScheme, Scheme, SimConfig, Simulation};
 use cdcs::workload::{MixSpec, WorkloadMix};
 
 fn named(names: &[&str]) -> WorkloadMix {
-    WorkloadMix::from_spec(&MixSpec::Named(names.iter().map(|s| s.to_string()).collect()))
-        .expect("mix")
+    WorkloadMix::from_spec(&MixSpec::Named(
+        names.iter().map(|s| s.to_string()).collect(),
+    ))
+    .expect("mix")
 }
 
 #[test]
@@ -84,7 +86,9 @@ fn demand_moves_never_pause_and_bulk_always_does() {
     config.reconfig_benefit_factor = 0.0; // apply every reconfiguration
 
     config.move_scheme = MoveScheme::DemandMove;
-    let demand = Simulation::new(config.clone(), mix.clone()).expect("sim").run();
+    let demand = Simulation::new(config.clone(), mix.clone())
+        .expect("sim")
+        .run();
     assert_eq!(demand.system.pause_cycles, 0);
 
     config.move_scheme = MoveScheme::BulkInvalidate;
@@ -99,7 +103,11 @@ fn movement_scheme_ordering_matches_paper() {
     // performance (with forced per-epoch reconfigurations).
     let mix = named(&["calculix", "calculix", "bzip2", "gcc"]);
     let mut perf = Vec::new();
-    for mv in [MoveScheme::Instant, MoveScheme::DemandMove, MoveScheme::BulkInvalidate] {
+    for mv in [
+        MoveScheme::Instant,
+        MoveScheme::DemandMove,
+        MoveScheme::BulkInvalidate,
+    ] {
         let mut config = SimConfig::small_test();
         config.scheme = Scheme::cdcs();
         config.move_scheme = mv;
@@ -107,8 +115,18 @@ fn movement_scheme_ordering_matches_paper() {
         let r = Simulation::new(config, mix.clone()).expect("sim").run();
         perf.push(r.system.aggregate_ipc());
     }
-    assert!(perf[0] >= perf[2] * 0.98, "instant {} vs bulk {}", perf[0], perf[2]);
-    assert!(perf[1] >= perf[2] * 0.98, "demand {} vs bulk {}", perf[1], perf[2]);
+    assert!(
+        perf[0] >= perf[2] * 0.98,
+        "instant {} vs bulk {}",
+        perf[0],
+        perf[2]
+    );
+    assert!(
+        perf[1] >= perf[2] * 0.98,
+        "demand {} vs bulk {}",
+        perf[1],
+        perf[2]
+    );
 }
 
 #[test]

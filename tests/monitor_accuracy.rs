@@ -69,6 +69,9 @@ fn monitor_aging_preserves_curve_shape() {
         let ra = after.misses_at(cap) / after.at_zero();
         assert!((rb - ra).abs() < 0.02, "capacity {cap}: {rb:.3} vs {ra:.3}");
         let re = e.misses_at(cap) / e.at_zero();
-        assert!((ra - re).abs() < 0.08, "vs exact at {cap}: {ra:.3} vs {re:.3}");
+        assert!(
+            (ra - re).abs() < 0.08,
+            "vs exact at {cap}: {ra:.3} vs {re:.3}"
+        );
     }
 }

@@ -44,7 +44,7 @@ proptest! {
         apps in prop::collection::vec((0u32.., 0u32.., 0u32..), 1..12),
     ) {
         let problem = build_problem(4, apps);
-        let cores = clustered_cores(problem.threads.len(), &problem.params.mesh);
+        let cores = clustered_cores(problem.threads.len(), problem.params.mesh());
         for placement in [
             Planner::plan(&CdcsPlanner::default(), &problem, &cores),
             Planner::plan(&JigsawPlanner::default(), &problem, &cores),
@@ -58,7 +58,7 @@ proptest! {
         apps in prop::collection::vec((0u32.., 0u32.., 0u32..), 2..10),
     ) {
         let problem = build_problem(4, apps);
-        let cores = clustered_cores(problem.threads.len(), &problem.params.mesh);
+        let cores = clustered_cores(problem.threads.len(), problem.params.mesh());
         let without = Planner::plan(
             &CdcsPlanner { refine_trades: false, ..CdcsPlanner::default() },
             &problem,
@@ -77,7 +77,7 @@ proptest! {
         apps in prop::collection::vec((0u32.., 0u32.., 0u32..), 4..12),
     ) {
         let problem = build_problem(4, apps);
-        let cores = clustered_cores(problem.threads.len(), &problem.params.mesh);
+        let cores = clustered_cores(problem.threads.len(), problem.params.mesh());
         let jig = Planner::plan(&JigsawPlanner::default(), &problem, &cores);
         let cdcs = Planner::plan(&CdcsPlanner::default(), &problem, &cores);
         // On the paper's own cost model, the full pipeline must not lose to

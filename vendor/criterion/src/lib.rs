@@ -1,0 +1,321 @@
+//! In-tree stand-in for the subset of `criterion` this workspace uses.
+//!
+//! The workspace builds offline, so the real crate is unavailable. This is
+//! a working micro-benchmark harness, not a no-op: `Bencher::iter`
+//! calibrates a per-sample iteration count, runs warm-up batches, takes
+//! timed samples, and reports the **median ns/iteration** — the statistic
+//! the repository's perf-trajectory files track. It skips criterion's
+//! statistical machinery (outlier classification, regression analysis,
+//! HTML reports).
+//!
+//! Extras this workspace relies on:
+//!
+//! * `CRITERION_SAVE_JSON=<path>` — append every completed benchmark as a
+//!   JSON object (one per line) to `<path>`; `scripts/bench.sh` turns these
+//!   into the committed `BENCH_*.json` perf-trajectory files.
+//! * `CRITERION_SAMPLE_MS` / `CRITERION_SAMPLES` — override per-sample
+//!   target time (default 5 ms) and sample count for quick smoke runs.
+
+use std::fmt::Display;
+use std::io::Write as _;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// One finished benchmark measurement.
+#[derive(Debug, Clone)]
+pub struct Record {
+    /// Group name (empty for top-level benchmarks).
+    pub group: String,
+    /// Benchmark id within the group.
+    pub name: String,
+    /// Median wall time per iteration, in nanoseconds.
+    pub median_ns: f64,
+    /// Number of timed samples behind the median.
+    pub samples: usize,
+    /// Iterations per sample.
+    pub iters_per_sample: u64,
+}
+
+static RECORDS: Mutex<Vec<Record>> = Mutex::new(Vec::new());
+
+/// Benchmark throughput annotation (accepted, reported as-is).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A `function/parameter` benchmark id.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    repr: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id of the form `function/parameter`.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            repr: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.repr)
+    }
+}
+
+/// The benchmark driver handed to `criterion_group!` functions.
+pub struct Criterion {
+    sample_size: usize,
+    sample_target: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let samples = std::env::var("CRITERION_SAMPLES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(15);
+        let ms = std::env::var("CRITERION_SAMPLE_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(5u64);
+        Criterion {
+            sample_size: samples,
+            sample_target: Duration::from_millis(ms),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks `f` outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) -> &mut Self {
+        run_benchmark("", &id.to_string(), self.sample_size, self.sample_target, f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Annotates per-iteration throughput (recorded, not analyzed).
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) -> &mut Self {
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        run_benchmark(
+            &self.name,
+            &id.to_string(),
+            samples,
+            self.criterion.sample_target,
+            f,
+        );
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (formatting symmetry with real criterion).
+    pub fn finish(self) {}
+}
+
+/// The timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    sample_size: usize,
+    sample_target: Duration,
+    result: Option<(f64, u64)>,
+}
+
+impl Bencher {
+    /// Measures `f`: calibrates an iteration count targeting
+    /// `sample_target` per sample, warms up, then takes `sample_size`
+    /// timed samples and records the median ns/iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibrate: double the batch size until one batch costs >= 1 ms or
+        // the batch is clearly long enough to time accurately.
+        let mut iters = 1u64;
+        let per_iter_ns = loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(1) || iters >= 1 << 20 {
+                break (elapsed.as_nanos() as f64 / iters as f64).max(0.1);
+            }
+            iters *= 2;
+        };
+        let iters_per_sample =
+            ((self.sample_target.as_nanos() as f64 / per_iter_ns).ceil() as u64).clamp(1, 1 << 24);
+
+        // One warm-up sample, then timed samples.
+        for _ in 0..iters_per_sample {
+            black_box(f());
+        }
+        let mut samples: Vec<f64> = (0..self.sample_size)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..iters_per_sample {
+                    black_box(f());
+                }
+                start.elapsed().as_nanos() as f64 / iters_per_sample as f64
+            })
+            .collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("sample times are finite"));
+        let median = samples[samples.len() / 2];
+        self.result = Some((median, iters_per_sample));
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    group: &str,
+    name: &str,
+    samples: usize,
+    sample_target: Duration,
+    mut f: F,
+) {
+    let mut bencher = Bencher {
+        sample_size: samples.max(1),
+        sample_target,
+        result: None,
+    };
+    f(&mut bencher);
+    let Some((median_ns, iters)) = bencher.result else {
+        eprintln!("warning: benchmark {group}/{name} never called Bencher::iter");
+        return;
+    };
+    let label = if group.is_empty() {
+        name.to_string()
+    } else {
+        format!("{group}/{name}")
+    };
+    println!("{label:<52} median {median_ns:>12.1} ns/iter  ({samples} samples x {iters} iters)");
+    RECORDS.lock().expect("record lock").push(Record {
+        group: group.to_string(),
+        name: name.to_string(),
+        median_ns,
+        samples,
+        iters_per_sample: iters,
+    });
+}
+
+/// Flushes results; called by `criterion_main!` after all groups ran.
+/// Appends one JSON object per benchmark to `$CRITERION_SAVE_JSON` if set.
+pub fn finalize() {
+    let records = RECORDS.lock().expect("record lock");
+    let Ok(path) = std::env::var("CRITERION_SAVE_JSON") else {
+        return;
+    };
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .unwrap_or_else(|e| panic!("CRITERION_SAVE_JSON={path}: {e}"));
+    for r in records.iter() {
+        writeln!(
+            file,
+            "{{\"group\":\"{}\",\"name\":\"{}\",\"median_ns\":{:.2},\"samples\":{},\"iters_per_sample\":{}}}",
+            r.group.replace('"', "'"),
+            r.name.replace('"', "'"),
+            r.median_ns,
+            r.samples,
+            r.iters_per_sample
+        )
+        .expect("write bench json");
+    }
+}
+
+/// Declares a group function that runs each target against one `Criterion`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` for a bench binary (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+            $crate::finalize();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion {
+            sample_size: 3,
+            sample_target: Duration::from_micros(200),
+        };
+        let mut group = c.benchmark_group("t");
+        group.bench_function("noop_add", |b| {
+            let mut x = 0u64;
+            b.iter(|| {
+                x = x.wrapping_add(1);
+                x
+            })
+        });
+        group.finish();
+        let records = RECORDS.lock().unwrap();
+        let r = records
+            .iter()
+            .find(|r| r.name == "noop_add")
+            .expect("recorded");
+        assert!(r.median_ns > 0.0 && r.median_ns < 1_000_000.0);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 64).to_string(), "f/64");
+    }
+}

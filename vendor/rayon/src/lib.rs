@@ -1,0 +1,373 @@
+//! In-tree stand-in for the subset of `rayon` this workspace uses.
+//!
+//! The workspace builds offline, so the real crate is unavailable. This is
+//! a working data-parallelism library, not a no-op: `par_iter().map(f)
+//! .collect()` fans items across `std::thread::scope` workers that pull
+//! indices from a shared atomic counter (dynamic load balancing, which the
+//! experiment grids need — simulation cells vary widely in cost). Results
+//! are reassembled in input order, so output is deterministic and identical
+//! to the sequential equivalent whenever `f` itself is.
+//!
+//! Supported surface: `par_iter()` on slices and `Vec`s,
+//! `into_par_iter()` on `usize` ranges, `map`, `collect::<Vec<_>>()`, and
+//! [`current_num_threads`]. `RAYON_NUM_THREADS` caps the worker count like
+//! the real crate.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Everything a caller needs: `pub use rayon::prelude::*;`.
+pub mod prelude {
+    pub use crate::iter::{
+        FromParallelIterator, IndexedParallelSource, IntoParallelIterator, IntoParallelRefIterator,
+        ParallelIterator,
+    };
+}
+
+std::thread_local! {
+    /// Scoped worker-count override for the current thread (see
+    /// [`ThreadPool::install`]).
+    static THREAD_OVERRIDE: std::cell::Cell<Option<usize>> = const { std::cell::Cell::new(None) };
+}
+
+/// Number of worker threads fan-outs will use.
+pub fn current_num_threads() -> usize {
+    if let Some(n) = THREAD_OVERRIDE.with(|o| o.get()) {
+        return n;
+    }
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Builder for a worker pool with a pinned thread count, mirroring real
+/// rayon's `ThreadPoolBuilder` API so callers stay source-compatible with
+/// the upstream crate.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// A builder with the default (auto-detected) thread count.
+    pub fn new() -> Self {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Pins the worker count (0 = auto-detect, as in real rayon).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool. Infallible here; the `Result` matches real rayon's
+    /// signature.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// Build error type (never produced by the stand-in; exists for signature
+/// compatibility with real rayon).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// A pool with a pinned worker count. `install` scopes the count to the
+/// closure via a thread-local override (panic-safe), so concurrently
+/// running code — e.g. sibling tests — is unaffected.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `f` with fan-outs started from this thread using this pool's
+    /// worker count, restoring the previous behaviour afterwards.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        struct Restore(Option<usize>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                THREAD_OVERRIDE.with(|o| o.set(self.0));
+            }
+        }
+        let pinned = if self.num_threads == 0 {
+            current_num_threads()
+        } else {
+            self.num_threads
+        };
+        let _guard = Restore(THREAD_OVERRIDE.with(|o| o.replace(Some(pinned))));
+        f()
+    }
+}
+
+/// Parallel iterator machinery.
+pub mod iter {
+    use super::current_num_threads;
+    use super::AtomicUsize;
+    use super::Ordering;
+
+    /// A random-access source of items: the base every adapter composes on.
+    ///
+    /// `get(i)` must be callable concurrently from many threads; each index
+    /// in `0..len()` is requested exactly once per drain.
+    pub trait IndexedParallelSource: Sync + Sized {
+        /// Item type produced.
+        type Item: Send;
+
+        /// Number of items.
+        fn len(&self) -> usize;
+
+        /// Whether the source is empty.
+        fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
+        /// Produces item `i`.
+        fn get(&self, i: usize) -> Self::Item;
+    }
+
+    /// The user-facing parallel iterator: adapters plus the drain.
+    pub trait ParallelIterator: IndexedParallelSource {
+        /// Maps every item through `f` in parallel.
+        fn map<R: Send, F: Fn(Self::Item) -> R + Sync>(self, f: F) -> Map<Self, F> {
+            Map { base: self, f }
+        }
+
+        /// Runs `f` on every item (parallel, no result).
+        fn for_each<F: Fn(Self::Item) + Sync>(self, f: F) {
+            drain(&Map {
+                base: self,
+                f: |item| f(item),
+            });
+        }
+
+        /// Drains the iterator into a collection, preserving input order.
+        fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
+            C::from_par_vec(drain(&self))
+        }
+    }
+
+    impl<T: IndexedParallelSource> ParallelIterator for T {}
+
+    /// Collections a parallel iterator can drain into.
+    pub trait FromParallelIterator<T> {
+        /// Builds the collection from items already in input order.
+        fn from_par_vec(items: Vec<T>) -> Self;
+    }
+
+    impl<T> FromParallelIterator<T> for Vec<T> {
+        fn from_par_vec(items: Vec<T>) -> Self {
+            items
+        }
+    }
+
+    /// Fans `source.get(i)` for `i in 0..len` across worker threads and
+    /// returns the results in input order.
+    fn drain<S: IndexedParallelSource>(source: &S) -> Vec<S::Item> {
+        let n = source.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let workers = current_num_threads().min(n);
+        if workers <= 1 {
+            return (0..n).map(|i| source.get(i)).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let mut slots: Vec<Option<S::Item>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local: Vec<(usize, S::Item)> = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            local.push((i, source.get(i)));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            let mut slots: Vec<Option<S::Item>> = (0..n).map(|_| None).collect();
+            for h in handles {
+                for (i, item) in h.join().expect("parallel worker panicked") {
+                    slots[i] = Some(item);
+                }
+            }
+            slots
+        });
+        slots
+            .iter_mut()
+            .map(|s| s.take().expect("every index produced exactly once"))
+            .collect()
+    }
+
+    /// `map` adapter.
+    pub struct Map<B, F> {
+        base: B,
+        f: F,
+    }
+
+    impl<B: IndexedParallelSource, R: Send, F: Fn(B::Item) -> R + Sync> IndexedParallelSource
+        for Map<B, F>
+    {
+        type Item = R;
+
+        fn len(&self) -> usize {
+            self.base.len()
+        }
+
+        fn get(&self, i: usize) -> R {
+            (self.f)(self.base.get(i))
+        }
+    }
+
+    /// Parallel iterator over `&[T]`.
+    pub struct SliceIter<'a, T> {
+        slice: &'a [T],
+    }
+
+    impl<'a, T: Sync> IndexedParallelSource for SliceIter<'a, T> {
+        type Item = &'a T;
+
+        fn len(&self) -> usize {
+            self.slice.len()
+        }
+
+        fn get(&self, i: usize) -> &'a T {
+            &self.slice[i]
+        }
+    }
+
+    /// Parallel iterator over a `usize` range.
+    pub struct RangeIter {
+        start: usize,
+        end: usize,
+    }
+
+    impl IndexedParallelSource for RangeIter {
+        type Item = usize;
+
+        fn len(&self) -> usize {
+            self.end - self.start
+        }
+
+        fn get(&self, i: usize) -> usize {
+            self.start + i
+        }
+    }
+
+    /// `.par_iter()` on by-reference collections.
+    pub trait IntoParallelRefIterator<'a> {
+        /// Item type.
+        type Item: Send;
+        /// Iterator type.
+        type Iter: ParallelIterator<Item = Self::Item>;
+
+        /// Returns a parallel iterator over references.
+        fn par_iter(&'a self) -> Self::Iter;
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+        type Item = &'a T;
+        type Iter = SliceIter<'a, T>;
+
+        fn par_iter(&'a self) -> SliceIter<'a, T> {
+            SliceIter { slice: self }
+        }
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Item = &'a T;
+        type Iter = SliceIter<'a, T>;
+
+        fn par_iter(&'a self) -> SliceIter<'a, T> {
+            SliceIter { slice: self }
+        }
+    }
+
+    /// `.into_par_iter()` on owned sources.
+    pub trait IntoParallelIterator {
+        /// Item type.
+        type Item: Send;
+        /// Iterator type.
+        type Iter: ParallelIterator<Item = Self::Item>;
+
+        /// Converts into a parallel iterator.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl IntoParallelIterator for core::ops::Range<usize> {
+        type Item = usize;
+        type Iter = RangeIter;
+
+        fn into_par_iter(self) -> RangeIter {
+            RangeIter {
+                start: self.start,
+                end: self.end,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let input: Vec<u64> = (0..1000).collect();
+        let out: Vec<u64> = input.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn range_into_par_iter() {
+        let out: Vec<usize> = (10..20).into_par_iter().map(|i| i + 1).collect();
+        assert_eq!(out, (11..21).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn uneven_work_is_balanced() {
+        // Items with wildly different costs still come back in order.
+        let out: Vec<usize> = (0..64)
+            .into_par_iter()
+            .map(|i| {
+                if i % 7 == 0 {
+                    // Simulate a slow cell; black_box keeps the busy loop.
+                    let mut acc = 0usize;
+                    for k in 0..200_000 {
+                        acc = acc.wrapping_add(k ^ i);
+                    }
+                    std::hint::black_box(acc);
+                    i
+                } else {
+                    i
+                }
+            })
+            .collect();
+        assert_eq!(out, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input() {
+        let v: Vec<u8> = Vec::new();
+        let out: Vec<u8> = v.par_iter().map(|&b| b).collect();
+        assert!(out.is_empty());
+    }
+}

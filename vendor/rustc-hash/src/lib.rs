@@ -1,0 +1,120 @@
+//! In-tree stand-in for `rustc-hash`: the Fx multiplicative hash.
+//!
+//! A non-cryptographic, DoS-unsafe, extremely cheap hasher — one rotate,
+//! one xor and one multiply per word — which is exactly what the simulator's
+//! line-address maps want: keys are already well-mixed cache-line addresses,
+//! and the hash sits on the hottest path in the whole workspace (one lookup
+//! per LLC access). Functionally equivalent to the real crate (same
+//! word-at-a-time structure and multiplier family); hash values are not
+//! guaranteed to match the upstream crate bit-for-bit, which nothing here
+//! relies on.
+
+use core::hash::{BuildHasherDefault, Hasher};
+use std::collections::{HashMap, HashSet};
+
+/// A `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// The Fx hasher: word-at-a-time rotate-xor-multiply.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_round_trips() {
+        let mut m: FxHashMap<u64, u32> = FxHashMap::default();
+        for i in 0..10_000u64 {
+            m.insert(i * 64, i as u32);
+        }
+        assert_eq!(m.len(), 10_000);
+        for i in 0..10_000u64 {
+            assert_eq!(m.get(&(i * 64)), Some(&(i as u32)));
+        }
+        assert!(!m.contains_key(&1));
+    }
+
+    #[test]
+    fn hashes_differ_across_keys() {
+        let mut distinct: FxHashSet<u64> = FxHashSet::default();
+        for i in 0..1000u64 {
+            let mut h = FxHasher::default();
+            h.write_u64(i);
+            distinct.insert(h.finish());
+        }
+        assert_eq!(distinct.len(), 1000);
+    }
+
+    #[test]
+    fn with_capacity_works_with_default_hasher() {
+        let m: FxHashMap<u64, u64> =
+            FxHashMap::with_capacity_and_hasher(128, FxBuildHasher::default());
+        assert!(m.capacity() >= 128);
+    }
+}

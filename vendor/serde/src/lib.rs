@@ -1,0 +1,154 @@
+//! Stub `serde`: the trait surface the repository compiles against, without
+//! any working serializer behind it.
+//!
+//! The workspace builds offline (no crates.io), so the real serde cannot be
+//! fetched. The codebase annotates its types with `Serialize`/`Deserialize`
+//! for forward compatibility but never serializes at runtime; this stub
+//! keeps those annotations compiling. Every runtime entry point panics with
+//! a clear message. Swapping the real serde back in is a one-line change in
+//! the workspace manifest.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A type that can be serialized (stub: implementations panic if invoked).
+pub trait Serialize {
+    /// Serializes `self` (stub: panics).
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A data format that can serialize values (stub: never instantiated).
+pub trait Serializer: Sized {
+    /// Output produced on success.
+    type Ok;
+    /// Error type.
+    type Error: ser::Error;
+}
+
+/// A type that can be deserialized (stub: implementations panic if invoked).
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes a value (stub: panics).
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A data format that can deserialize values (stub: never instantiated).
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: de::Error;
+}
+
+/// Serialization-side error plumbing.
+pub mod ser {
+    /// Errors produced by serializers.
+    pub trait Error: Sized {
+        /// Builds an error from a display-able message.
+        fn custom<T: core::fmt::Display>(msg: T) -> Self;
+    }
+}
+
+/// Deserialization-side error plumbing.
+pub mod de {
+    /// A description of what a deserializer expected (subset of serde's).
+    pub trait Expected {
+        /// Formats the expectation.
+        fn fmt(&self, formatter: &mut core::fmt::Formatter<'_>) -> core::fmt::Result;
+    }
+
+    impl Expected for &str {
+        fn fmt(&self, formatter: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+            write!(formatter, "{self}")
+        }
+    }
+
+    /// Errors produced by deserializers.
+    pub trait Error: Sized {
+        /// Builds an error from a display-able message.
+        fn custom<T: core::fmt::Display>(msg: T) -> Self;
+
+        /// A sequence had the wrong number of elements.
+        fn invalid_length(len: usize, expected: &dyn Expected) -> Self {
+            struct Wrap<'a>(&'a dyn Expected);
+            impl core::fmt::Display for Wrap<'_> {
+                fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+                    self.0.fmt(f)
+                }
+            }
+            Self::custom(format_args!(
+                "invalid length {len}, expected {}",
+                Wrap(expected)
+            ))
+        }
+    }
+}
+
+macro_rules! stub_serialize_impls {
+    ($($ty:ty),* $(,)?) => {$(
+        impl Serialize for $ty {
+            fn serialize<S: Serializer>(&self, _serializer: S) -> Result<S::Ok, S::Error> {
+                panic!("stub serde: serialization is not implemented")
+            }
+        }
+        impl<'de> Deserialize<'de> for $ty {
+            fn deserialize<D: Deserializer<'de>>(_deserializer: D) -> Result<Self, D::Error> {
+                panic!("stub serde: deserialization is not implemented")
+            }
+        }
+    )*};
+}
+
+stub_serialize_impls!(
+    bool, u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64, char, String,
+);
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, _serializer: S) -> Result<S::Ok, S::Error> {
+        panic!("stub serde: serialization is not implemented")
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, _serializer: S) -> Result<S::Ok, S::Error> {
+        panic!("stub serde: serialization is not implemented")
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(_deserializer: D) -> Result<Self, D::Error> {
+        panic!("stub serde: deserialization is not implemented")
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, _serializer: S) -> Result<S::Ok, S::Error> {
+        panic!("stub serde: serialization is not implemented")
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, _serializer: S) -> Result<S::Ok, S::Error> {
+        panic!("stub serde: serialization is not implemented")
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(_deserializer: D) -> Result<Self, D::Error> {
+        panic!("stub serde: deserialization is not implemented")
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize<S: Serializer>(&self, _serializer: S) -> Result<S::Ok, S::Error> {
+        panic!("stub serde: serialization is not implemented")
+    }
+}
+
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>> Deserialize<'de> for (A, B) {
+    fn deserialize<D: Deserializer<'de>>(_deserializer: D) -> Result<Self, D::Error> {
+        panic!("stub serde: deserialization is not implemented")
+    }
+}

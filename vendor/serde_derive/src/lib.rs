@@ -1,0 +1,73 @@
+//! Stub `serde_derive`: emits marker impls of the stub `serde` traits.
+//!
+//! The workspace builds offline, so the real serde is unavailable. Nothing
+//! in the repository serializes at runtime today — derives exist so types
+//! stay annotated for the day a real serializer is wired in — hence the
+//! generated impls panic if ever invoked. The macro only needs the type's
+//! name (and generics, which no annotated type uses), so parsing is a small
+//! hand-rolled scan rather than a `syn` dependency.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the identifier following the `struct`/`enum` keyword.
+fn type_name(input: TokenStream) -> String {
+    let mut iter = input.into_iter();
+    while let Some(tt) = iter.next() {
+        match tt {
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    match iter.next() {
+                        Some(TokenTree::Ident(name)) => {
+                            let name = name.to_string();
+                            if let Some(TokenTree::Punct(p)) = iter.next() {
+                                assert!(
+                                    p.as_char() != '<',
+                                    "stub serde_derive does not support generic type `{name}`"
+                                );
+                            }
+                            return name;
+                        }
+                        other => panic!("expected type name, found {other:?}"),
+                    }
+                }
+            }
+            // Skip attributes (`#` followed by a bracketed group).
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                iter.next();
+            }
+            _ => {}
+        }
+    }
+    panic!("serde_derive: no struct or enum in input")
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!(
+        "impl serde::Serialize for {name} {{\
+             fn serialize<S: serde::Serializer>(&self, _serializer: S)\
+                 -> ::core::result::Result<S::Ok, S::Error> {{\
+                 ::core::panic!(\"stub serde: serialization of {name} is not implemented\")\
+             }}\
+         }}"
+    )
+    .parse()
+    .expect("generated impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!(
+        "impl<'de> serde::Deserialize<'de> for {name} {{\
+             fn deserialize<D: serde::Deserializer<'de>>(_deserializer: D)\
+                 -> ::core::result::Result<Self, D::Error> {{\
+                 ::core::panic!(\"stub serde: deserialization of {name} is not implemented\")\
+             }}\
+         }}"
+    )
+    .parse()
+    .expect("generated impl parses")
+}
