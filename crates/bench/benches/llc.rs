@@ -1,10 +1,8 @@
-//! Simulator access-path microbenchmarks: LRU pool operations and
-//! end-to-end small simulations (the per-access cost bounds every
-//! experiment's runtime).
+//! LLC access-path microbenchmarks: LRU pool operations (the per-access
+//! cost bounds every experiment's runtime). The end-to-end simulation rows
+//! that used to live here moved to the `sim` bench (`BENCH_sim.json`).
 
 use cdcs_cache::{Line, LruPool};
-use cdcs_sim::{Scheme, SimConfig, Simulation};
-use cdcs_workload::{MixSpec, WorkloadMix};
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
 fn bench_pool(c: &mut Criterion) {
@@ -32,25 +30,5 @@ fn bench_pool(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_sim(c: &mut Criterion) {
-    let mut group = c.benchmark_group("simulation");
-    group.sample_size(10);
-    for scheme in [Scheme::SNuca, Scheme::cdcs()] {
-        group.bench_function(scheme.name(), |b| {
-            b.iter(|| {
-                let mut config = SimConfig::small_test();
-                config.scheme = scheme;
-                config.warmup_epochs = 1;
-                config.measure_epochs = 1;
-                let mix =
-                    WorkloadMix::from_spec(&MixSpec::Named(vec!["calculix".into(), "milc".into()]))
-                        .expect("mix");
-                Simulation::new(config, mix).expect("sim").run()
-            })
-        });
-    }
-    group.finish();
-}
-
-criterion_group!(benches, bench_pool, bench_sim);
+criterion_group!(benches, bench_pool);
 criterion_main!(benches);

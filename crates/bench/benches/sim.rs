@@ -1,0 +1,49 @@
+//! End-to-end simulation-engine benchmarks: the batched interval pipeline
+//! (and the one-access-at-a-time reference path it replaced) on the same
+//! small S-NUCA / CDCS cells the experiment binaries sweep thousands of
+//! times.
+//!
+//! The `simulation/*` rows continue the series recorded in the repo-root
+//! trajectory files: they previously lived in the `llc` bench (committed as
+//! `BENCH_llc.json`) and now feed `BENCH_sim.json` via `scripts/bench.sh`.
+//! Keep the construction inside `iter` — the baselines were measured that
+//! way, so the rows stay comparable across PRs.
+
+use cdcs_sim::{Scheme, SimConfig, Simulation};
+use cdcs_workload::{MixSpec, WorkloadMix};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn run_cell(scheme: Scheme, reference: bool) -> cdcs_sim::SimResult {
+    let mut config = SimConfig::small_test();
+    config.scheme = scheme;
+    config.warmup_epochs = 1;
+    config.measure_epochs = 1;
+    config.reference_engine = reference;
+    let mix = WorkloadMix::from_spec(&MixSpec::Named(vec!["calculix".into(), "milc".into()]))
+        .expect("mix");
+    Simulation::new(config, mix).expect("sim").run()
+}
+
+fn bench_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulation");
+    group.sample_size(10);
+    for scheme in [Scheme::SNuca, Scheme::cdcs()] {
+        group.bench_function(scheme.name(), |b| b.iter(|| run_cell(scheme, false)));
+    }
+    group.finish();
+}
+
+fn bench_reference(c: &mut Criterion) {
+    // The definitional per-access engine, kept for the equivalence golden
+    // test: benchmarked so the batched pipeline's advantage stays visible
+    // in the trajectory file.
+    let mut group = c.benchmark_group("simulation_reference");
+    group.sample_size(10);
+    for scheme in [Scheme::SNuca, Scheme::cdcs()] {
+        group.bench_function(scheme.name(), |b| b.iter(|| run_cell(scheme, true)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim, bench_reference);
+criterion_main!(benches);

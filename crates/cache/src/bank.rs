@@ -169,6 +169,24 @@ impl PartitionedBank {
         self.partitions[p.index()].contains(line)
     }
 
+    /// Combined lookup-and-fill: promotes on a hit, inserts (evicting the
+    /// LRU if full) on a miss. Returns `(hit, evicted)`. Statistics match
+    /// an [`Self::access`] followed, on a miss, by a [`Self::fill`] — one
+    /// hash probe fewer on the thrash path, which is the dominant LLC cost
+    /// of streaming workloads.
+    pub fn access_insert(&mut self, p: PartitionId, line: Line) -> (bool, Option<Line>) {
+        let (hit, evicted) = self.partitions[p.index()].access_insert(line);
+        if hit {
+            self.stats.hits += 1;
+        } else {
+            self.stats.misses += 1;
+        }
+        if evicted.is_some() {
+            self.stats.evictions += 1;
+        }
+        (hit, evicted)
+    }
+
     /// Inserts `line` into partition `p`, returning the line evicted to make
     /// room, if any.
     pub fn fill(&mut self, p: PartitionId, line: Line) -> Option<Line> {
@@ -224,6 +242,14 @@ impl PartitionedBank {
         self.partitions[p.index()].iter().collect()
     }
 
+    /// [`Self::partition_lines`] into a caller-reused buffer (cleared
+    /// first): the reconfiguration walk visits every `(vc, bank)` pair and
+    /// should not allocate a fresh vector per pair.
+    pub fn partition_lines_into(&self, p: PartitionId, out: &mut Vec<Line>) {
+        out.clear();
+        out.extend(self.partitions[p.index()].iter());
+    }
+
     /// Invalidates every line in partition `p`, returning them (MRU first).
     /// This is the bulk-invalidation path used by Jigsaw-style
     /// reconfigurations (§IV-H).
@@ -231,6 +257,16 @@ impl PartitionedBank {
         let lines = self.partitions[p.index()].drain();
         self.stats.invalidations += lines.len() as u64;
         lines
+    }
+
+    /// Invalidates every line in partition `p` without materializing them;
+    /// returns how many were dropped. Same statistics as calling
+    /// [`Self::invalidate`] once per resident line, at O(buckets) cost —
+    /// used when a VC loses its whole allocation at a reconfiguration.
+    pub fn clear_partition(&mut self, p: PartitionId) -> u64 {
+        let dropped = self.partitions[p.index()].clear() as u64;
+        self.stats.invalidations += dropped;
+        dropped
     }
 
     /// Accumulated statistics.

@@ -102,6 +102,31 @@ impl MissCurve {
         self.points.last().unwrap().0
     }
 
+    /// A monotone evaluation cursor over this curve.
+    ///
+    /// [`CurveCursor::misses_at`] returns bit-identical values to
+    /// [`Self::misses_at`] but remembers the segment of the previous query,
+    /// so a run of non-decreasing capacities (peekahead's hull walks, the
+    /// latency-aware allocation grid) costs amortized O(1) per query instead
+    /// of a binary search each.
+    pub fn cursor(&self) -> CurveCursor<'_> {
+        CurveCursor {
+            points: &self.points,
+            idx: 0,
+        }
+    }
+
+    /// Blocked evaluation: misses at each capacity of an ascending slice,
+    /// appended to `out` (which is cleared first). One cursor pass — O(n + m)
+    /// for m queries over an n-point curve. Capacities need not be strictly
+    /// sorted; out-of-order entries are still answered correctly, just
+    /// without the speedup.
+    pub fn misses_at_sorted_into(&self, capacities: &[f64], out: &mut Vec<f64>) {
+        let mut cursor = self.cursor();
+        out.clear();
+        out.extend(capacities.iter().map(|&c| cursor.misses_at(c)));
+    }
+
     /// Misses at an arbitrary capacity, by linear interpolation between
     /// samples and flat extrapolation beyond the last sample.
     pub fn misses_at(&self, capacity: f64) -> f64 {
@@ -153,9 +178,13 @@ impl MissCurve {
             .collect();
         grid.sort_by(|a, b| a.partial_cmp(b).unwrap());
         grid.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+        // The union grid is ascending: evaluate both curves with monotone
+        // cursors (one pass each) instead of a binary search per point.
+        let mut ca = self.cursor();
+        let mut cb = other.cursor();
         MissCurve::new(
             grid.iter()
-                .map(|&c| (c, self.misses_at(c) + other.misses_at(c)))
+                .map(|&c| (c, ca.misses_at(c) + cb.misses_at(c)))
                 .collect(),
         )
     }
@@ -203,6 +232,53 @@ impl MissCurve {
     /// Hit count gained by growing the allocation from `from` to `to` lines.
     pub fn hits_gained(&self, from: f64, to: f64) -> f64 {
         self.misses_at(from) - self.misses_at(to)
+    }
+}
+
+/// A stateful evaluation cursor over a [`MissCurve`] (see
+/// [`MissCurve::cursor`]).
+///
+/// The cursor tracks the lower-bound segment index of the last query and
+/// walks it forward/backward instead of binary-searching, which makes runs
+/// of near-sorted queries (the common case in capacity allocation) amortized
+/// O(1). Values are bit-identical to [`MissCurve::misses_at`]: the same
+/// segment is selected and the same interpolation expression evaluated.
+#[derive(Debug, Clone)]
+pub struct CurveCursor<'a> {
+    points: &'a [(f64, f64)],
+    /// Lower-bound index of the last query: the smallest `i` with
+    /// `points[i].0 >= capacity`.
+    idx: usize,
+}
+
+impl CurveCursor<'_> {
+    /// Misses at `capacity`; same value as [`MissCurve::misses_at`].
+    #[inline]
+    pub fn misses_at(&mut self, capacity: f64) -> f64 {
+        let pts = self.points;
+        if capacity <= 0.0 {
+            self.idx = 0;
+            return pts[0].1;
+        }
+        // Re-establish the lower-bound invariant from wherever the previous
+        // query left the index (forward for ascending runs, backward for the
+        // occasional regression).
+        while self.idx < pts.len() && pts[self.idx].0 < capacity {
+            self.idx += 1;
+        }
+        while self.idx > 0 && pts[self.idx - 1].0 >= capacity {
+            self.idx -= 1;
+        }
+        if self.idx == pts.len() {
+            return pts[pts.len() - 1].1;
+        }
+        let (c1, m1) = pts[self.idx];
+        if c1 == capacity {
+            return m1;
+        }
+        // capacity > 0 and points[0].0 == 0.0, so idx >= 1 here.
+        let (c0, m0) = pts[self.idx - 1];
+        m0 + (m1 - m0) * (capacity - c0) / (c1 - c0)
     }
 }
 
@@ -325,5 +401,51 @@ mod tests {
     fn hits_gained_is_difference() {
         let c = MissCurve::new(vec![(0.0, 100.0), (100.0, 0.0)]);
         assert!((c.hits_gained(0.0, 50.0) - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cursor_matches_misses_at_on_ascending_queries() {
+        let c = MissCurve::new(vec![
+            (0.0, 100.0),
+            (64.0, 60.0),
+            (96.0, 55.0),
+            (4096.0, 5.0),
+        ]);
+        let mut cur = c.cursor();
+        let mut q = -8.0;
+        while q < 5000.0 {
+            assert_eq!(
+                cur.misses_at(q).to_bits(),
+                c.misses_at(q).to_bits(),
+                "capacity {q}"
+            );
+            q += 7.3;
+        }
+    }
+
+    #[test]
+    fn cursor_matches_misses_at_on_arbitrary_order() {
+        let c = MissCurve::new(vec![(0.0, 100.0), (10.0, 80.0), (50.0, 30.0), (200.0, 0.0)]);
+        let mut cur = c.cursor();
+        // Exact points, interpolated points, backward jumps, far overshoot.
+        for q in [0.0, 10.0, 25.0, 5.0, 200.0, 1e9, 50.0, 0.0, 49.999, 10.0] {
+            assert_eq!(
+                cur.misses_at(q).to_bits(),
+                c.misses_at(q).to_bits(),
+                "capacity {q}"
+            );
+        }
+    }
+
+    #[test]
+    fn blocked_evaluation_matches_pointwise() {
+        let c = MissCurve::new(vec![(0.0, 40.0), (128.0, 10.0), (512.0, 2.0)]);
+        let caps: Vec<f64> = (0..40).map(|i| i as f64 * 16.0).collect();
+        let mut out = Vec::new();
+        c.misses_at_sorted_into(&caps, &mut out);
+        assert_eq!(out.len(), caps.len());
+        for (q, got) in caps.iter().zip(&out) {
+            assert_eq!(got.to_bits(), c.misses_at(*q).to_bits());
+        }
     }
 }

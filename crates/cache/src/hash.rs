@@ -62,8 +62,36 @@ pub fn filter16(addr: u64) -> u16 {
 #[inline]
 pub fn sampled(addr: u64, num: u32, den: u32) -> bool {
     assert!(den > 0 && num <= den, "invalid sampling rate {num}/{den}");
-    let h = mix64(addr ^ 0x5bd1_e995_9e37_79b9);
+    let h = mix64(addr ^ SAMPLE_SALT);
     ((h as u128 * den as u128) >> 64) < num as u128
+}
+
+/// Salt decorrelating the sampling hash from the tag/bucket hashes.
+const SAMPLE_SALT: u64 = 0x5bd1_e995_9e37_79b9;
+
+/// Precomputed acceptance limit for the monitors' `1/den` address sampling:
+/// `sampled_by_limit(addr, sample_limit(den))` equals `sampled(addr, 1, den)`
+/// for every address, but the per-call work drops to one hash and one
+/// compare (no asserts, no 128-bit multiply). Monitors compute the limit
+/// once at construction — this is the sampling-aware fast path that lets
+/// non-sampled accesses exit `record` immediately.
+///
+/// Equivalence: `sampled(a, 1, den)` accepts iff `(h · den) >> 64 == 0`,
+/// i.e. `h · den < 2^64`, i.e. `h <= (2^64 - 1) / den = u64::MAX / den`.
+///
+/// # Panics
+///
+/// Panics if `den` is zero.
+#[inline]
+pub fn sample_limit(den: u32) -> u64 {
+    assert!(den > 0, "invalid sampling period {den}");
+    u64::MAX / u64::from(den)
+}
+
+/// Sampling decision against a precomputed [`sample_limit`].
+#[inline]
+pub fn sampled_by_limit(addr: u64, limit: u64) -> bool {
+    mix64(addr ^ SAMPLE_SALT) <= limit
 }
 
 #[cfg(test)]
@@ -125,6 +153,26 @@ mod tests {
     #[should_panic(expected = "invalid sampling rate")]
     fn sampled_invalid_rate_panics() {
         sampled(1, 3, 2);
+    }
+
+    #[test]
+    fn sampled_by_limit_equals_sampled() {
+        for den in [1u32, 2, 3, 4, 7, 64, 1000, u32::MAX] {
+            let limit = sample_limit(den);
+            for a in (0..20_000u64).chain([u64::MAX, u64::MAX - 1, 1 << 63]) {
+                assert_eq!(
+                    sampled_by_limit(a, limit),
+                    sampled(a, 1, den),
+                    "addr {a} den {den}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid sampling period")]
+    fn sample_limit_zero_panics() {
+        sample_limit(0);
     }
 
     #[test]

@@ -49,7 +49,7 @@ mod profiler;
 mod setassoc;
 
 pub use bank::{BankId, BankStats, PartitionId, PartitionedBank};
-pub use curve::MissCurve;
+pub use curve::{CurveCursor, MissCurve};
 pub use pool::LruPool;
 pub use profiler::StackProfiler;
 pub use setassoc::SetAssocCache;

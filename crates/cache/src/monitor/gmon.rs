@@ -51,9 +51,16 @@ impl GmonConfig {
         self.sets as f64 * self.sample_period as f64 / self.gamma.powi(w as i32)
     }
 
-    /// Total modeled capacity in lines (sum over all ways).
+    /// Total modeled capacity in lines: `Σ_w sets × period / γ^w`,
+    /// evaluated in closed form (geometric series) — [`Self::covering`]
+    /// bisects on this, so the per-way sum would be quadratic in ways.
     pub fn coverage(&self) -> f64 {
-        (0..self.ways).map(|w| self.lines_at_way(w)).sum()
+        let base = self.sets as f64 * self.sample_period as f64;
+        if self.gamma == 1.0 {
+            return base * self.ways as f64;
+        }
+        let r = 1.0 / self.gamma;
+        base * (r.powi(self.ways as i32) - 1.0) / (r - 1.0)
     }
 
     /// Chooses γ so that the monitor covers exactly `total_lines`, keeping
@@ -122,12 +129,16 @@ impl GmonConfig {
 #[derive(Debug, Clone)]
 pub struct Gmon {
     config: GmonConfig,
+    /// Tag array with the per-way limit registers (scaled to 0..=65536)
+    /// attached: a tag moves into way `w` only if its 16-bit hash is below
+    /// limit `w`. Limit 0 is unused (entries at way 0 are gated by the base
+    /// sampling decision). Stored as u32 so γ = 1 maps to 65536, "always
+    /// keep".
     tags: TagArray,
-    /// Limit register per way, scaled to 0..=65536; a tag moves into way `w`
-    /// only if its 16-bit hash is below `limits[w]`. `limits[0]` is unused
-    /// (entries at way 0 are gated by the base sampling decision). Stored as
-    /// u32 so γ = 1 maps to 65536, "always keep".
-    limits: Vec<u32>,
+    /// Precomputed [`hash::sample_limit`] for the base sampling period: the
+    /// sampling-aware fast path out of [`Monitor::record`] for the
+    /// `(period − 1)/period` majority of accesses that are not sampled.
+    sample_limit: u64,
     hits: Vec<u64>,
     sampled_accesses: u64,
     accesses: u64,
@@ -153,9 +164,9 @@ impl Gmon {
             .map(|w| (config.gamma.powi(w as i32) * 65536.0).round() as u32)
             .collect();
         Gmon {
-            tags: TagArray::new(config.sets, config.ways),
+            tags: TagArray::with_limits(config.sets, config.ways, limits),
             hits: vec![0; config.ways],
-            limits,
+            sample_limit: hash::sample_limit(config.sample_period),
             sampled_accesses: 0,
             accesses: 0,
             config,
@@ -175,14 +186,18 @@ impl Gmon {
     /// The per-way limit registers, scaled to `0..=65536` (for
     /// inspection/tests).
     pub fn limit_registers(&self) -> &[u32] {
-        &self.limits
+        self.tags.limits()
     }
 }
 
 impl Monitor for Gmon {
+    #[inline]
     fn record(&mut self, line: Line) {
         self.accesses += 1;
-        if !hash::sampled(line.0, 1, self.config.sample_period) {
+        // Sampling-aware fast path: one hash against the precomputed limit
+        // (identical decisions to `hash::sampled(line, 1, period)`) and the
+        // non-sampled majority is done — no tag/set hashing, no array walk.
+        if !hash::sampled_by_limit(line.0, self.sample_limit) {
             return;
         }
         self.sampled_accesses += 1;
@@ -192,17 +207,10 @@ impl Monitor for Gmon {
         // filter on "the hash value of the tag" (§IV-G): a tag survives into
         // way w iff tag < limits[w]. Limits are nested (decreasing), so the
         // population at way w is exactly the fraction γ^w of sampled tags.
-        let limits = &self.limits;
-        match self.tags.find(set, tag) {
-            Some(way) => {
-                self.hits[way] += 1;
-                self.tags
-                    .promote(set, tag, Some(way), |w, t| (t as u32) < limits[w]);
-            }
-            None => {
-                self.tags
-                    .promote(set, tag, None, |w, t| (t as u32) < limits[w]);
-            }
+        // `touch_filtered` runs the lookup and exactly that filter chain in
+        // one fused pass over the set.
+        if let Some(way) = self.tags.touch_filtered(set, tag) {
+            self.hits[way] += 1;
         }
     }
 

@@ -51,17 +51,66 @@ pub trait Monitor {
 
 /// Shared tag-array geometry for both monitor types: `sets × ways` of 16-bit
 /// hashed tags, with explicit per-way positions so ways map to stack-distance
-/// buckets. `None` marks a hole (either never filled, or left by a filtered
-/// GMON demotion).
+/// buckets. [`EMPTY`] marks a hole (either never filled, or left by a
+/// filtered GMON demotion).
+///
+/// # Packed entries
+///
+/// Each entry is one `u32`:
+///
+/// ```text
+/// bits 24..32   "death way": the deepest way this tag's hash survives into
+///               under the limit registers (0 for unfiltered arrays)
+/// bits 16..24   zero for occupants; bit 16 set marks a hole ([`EMPTY`])
+/// bits  0..16   the 16-bit tag
+/// ```
+///
+/// This array sits on the per-access monitoring path of every
+/// partitioned-scheme simulation, and on streaming workloads a single
+/// sampled insertion demotes most of a 64-way set. The packing makes both
+/// hot operations branch-light single-array scans:
+///
+/// * [`TagArray::find`] masks the low 24 bits and compares — holes can
+///   never match;
+/// * the demotion chain of [`TagArray::promote_filtered`] stops at the
+///   first way `s` whose occupant cannot be demoted into way `s + 1`,
+///   i.e. `death < s + 1` — with the death way pre-packed in the top byte
+///   (computed once per insertion by binary-searching the limit
+///   registers), that is the single unsigned compare
+///   `entry < (s + 1) << 24`, with no limit-register loads in the walk.
+///   Holes (`EMPTY` = `1 << 16`) compare below every such threshold and
+///   stop the chain exactly like the definitional walk.
 #[derive(Debug, Clone)]
 pub(crate) struct TagArray {
     pub sets: usize,
     pub ways: usize,
-    /// `tags[set * ways + way]`.
-    pub tags: Vec<Option<u16>>,
+    /// `tags[set * ways + way]`: packed entry, or [`EMPTY`].
+    tags: Vec<u32>,
+    /// Limit registers (scaled to `0..=65536`) for filtered arrays (GMONs);
+    /// `None` for unfiltered arrays (UMONs).
+    limits: Option<Vec<u32>>,
+    /// Whether the fused scan may use the AVX-512 kernel — probed once at
+    /// construction, not per record.
+    #[cfg(target_arch = "x86_64")]
+    use_avx512: bool,
+    /// Demotion-stop thresholds for the packed-entry walk:
+    /// `thresh[s] = (s + 1) << 24`, so "the occupant of way `s` dies before
+    /// way `s + 1`" is `tags[s] < thresh[s]`. Fixed by geometry; stored so
+    /// the walk zips two slices (no per-way index arithmetic or bounds
+    /// checks).
+    thresh: Vec<u32>,
 }
 
+/// Hole marker: bit 16 set, so the masked compare in [`TagArray::find`]
+/// never matches it, and it sorts below every death-way threshold in the
+/// demotion walk.
+const EMPTY: u32 = 1 << 16;
+
+/// Mask selecting the tag (plus the hole bit) out of a packed entry.
+const TAG_MASK: u32 = 0x00ff_ffff;
+
 impl TagArray {
+    /// An unfiltered tag array (UMON): demotions always survive.
     pub fn new(sets: usize, ways: usize) -> Self {
         assert!(
             sets > 0 && sets.is_power_of_two(),
@@ -71,8 +120,54 @@ impl TagArray {
         TagArray {
             sets,
             ways,
-            tags: vec![None; sets * ways],
+            tags: vec![EMPTY; sets * ways],
+            limits: None,
+            #[cfg(target_arch = "x86_64")]
+            use_avx512: std::arch::is_x86_feature_detected!("avx512f"),
+            // Saturating: entries past way 254 can never be demoted further
+            // (death ways are one byte), so their threshold caps at the top
+            // of the u32 range — every occupant "fails" there, which the
+            // walk's range never reaches for filtered arrays anyway.
+            thresh: (0..ways as u64)
+                .map(|s| ((s + 1) << 24).min(u64::from(u32::MAX)) as u32)
+                .collect(),
         }
+    }
+
+    /// A filtered tag array (GMON): a tag is demoted into way `w` only if
+    /// its value is below `limits[w]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same geometry errors as [`Self::new`], if
+    /// `limits.len() != ways`, or if `ways > 256` (the packed death way is
+    /// one byte; every GMON configuration in the paper and this repo has at
+    /// most 64 ways).
+    pub fn with_limits(sets: usize, ways: usize, limits: Vec<u32>) -> Self {
+        assert!(ways <= 256, "filtered arrays support at most 256 ways");
+        assert_eq!(limits.len(), ways, "one limit register per way");
+        // The death-way binary search relies on these two invariants (both
+        // hold for every GMON: limits are γ^w · 2^16 with γ ∈ (0, 1]).
+        assert!(
+            limits[0] > u32::from(u16::MAX),
+            "way 0 must admit every tag"
+        );
+        assert!(
+            limits.windows(2).all(|w| w[0] >= w[1]),
+            "limit registers must be non-increasing"
+        );
+        let mut array = TagArray::new(sets, ways);
+        array.limits = Some(limits);
+        array
+    }
+
+    /// The limit registers of a filtered array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the array is unfiltered.
+    pub fn limits(&self) -> &[u32] {
+        self.limits.as_deref().expect("unfiltered array")
     }
 
     #[inline]
@@ -83,10 +178,42 @@ impl TagArray {
     }
 
     /// Finds `tag` in `set`; returns its way.
+    ///
+    /// Hybrid scan: the first few (most-recently-promoted) ways are probed
+    /// with early exit — hits cluster there under LRU — and the tail is
+    /// checked with a branch-free containment reduction that
+    /// auto-vectorizes, so the common full-miss (streaming workloads miss on
+    /// almost every sampled access) never runs an early-exit scan over the
+    /// whole row.
     #[inline]
     pub fn find(&self, set: usize, tag: u16) -> Option<usize> {
         let base = set * self.ways;
-        (0..self.ways).find(|&w| self.tags[base + w] == Some(tag))
+        let row = &self.tags[base..base + self.ways];
+        let t32 = u32::from(tag);
+        let head = row.len().min(4);
+        for (w, &t) in row[..head].iter().enumerate() {
+            if t & TAG_MASK == t32 {
+                return Some(w);
+            }
+        }
+        let tail = &row[head..];
+        let mut present = false;
+        for &t in tail {
+            present |= t & TAG_MASK == t32;
+        }
+        if !present {
+            return None;
+        }
+        tail.iter()
+            .position(|&t| t & TAG_MASK == t32)
+            .map(|p| p + head)
+    }
+
+    /// The occupant of `(set, way)`, if any (test/inspection accessor).
+    #[cfg(test)]
+    pub fn get(&self, set: usize, way: usize) -> Option<u16> {
+        let t = self.tags[set * self.ways + way];
+        (t & EMPTY == 0).then_some((t & 0xffff) as u16)
     }
 
     /// Moves `tag` to way 0 of `set`, demoting intervening occupants down by
@@ -96,9 +223,20 @@ impl TagArray {
     /// displaced tag falls out of the array.
     ///
     /// `keep(way, tag)` is consulted for every demotion *into* `way`; when it
-    /// returns false the demoted tag is discarded and the chain stops —
-    /// this is the GMON limit-register filter (§IV-G). UMONs pass
-    /// `|_, _| true`.
+    /// returns false the demoted tag is discarded and the chain stops.
+    ///
+    /// This closure form is the *definitional* promotion used by the
+    /// equivalence tests; the monitors call the specialized
+    /// [`Self::promote_filtered`] / [`Self::promote_unfiltered`] fast paths.
+    /// (Entries inserted here carry no death way, so it must not be mixed
+    /// with `promote_filtered` on the same array — tests only.)
+    ///
+    /// The chain's effect is "shift ways `0..stop` down by one, drop
+    /// whatever the chain ended on, put `tag` at way 0", and the stop
+    /// position depends only on the *pre-promotion* row contents: a
+    /// read-only walk finds `stop`, then one overlapping copy performs the
+    /// whole demotion.
+    #[cfg_attr(not(test), allow(dead_code))]
     pub fn promote(
         &mut self,
         set: usize,
@@ -107,32 +245,321 @@ impl TagArray {
         mut keep: impl FnMut(usize, u16) -> bool,
     ) {
         let base = set * self.ways;
+        let row = &mut self.tags[base..base + self.ways];
         if let Some(ow) = old_way {
-            debug_assert_eq!(self.tags[base + ow], Some(tag));
-            self.tags[base + ow] = None;
+            debug_assert_eq!(row[ow] & TAG_MASK, u32::from(tag));
+            row[ow] = EMPTY;
         }
         let end = old_way.unwrap_or(self.ways);
-        let mut carry = Some(tag);
-        let mut w = 0;
-        while w < self.ways {
-            let Some(t) = carry else { break };
-            let displaced = self.tags[base + w];
-            self.tags[base + w] = Some(t);
-            if w == end {
+        // The chain stops at the hit's vacated way, at a hole, at the last
+        // way, or at the first occupant the filter refuses to demote —
+        // whichever comes first (same test order as the one-at-a-time
+        // definition: vacated way, then hole, then array end, then filter).
+        let mut stop = 0;
+        while stop != end
+            && row[stop] & EMPTY == 0
+            && stop + 1 < self.ways
+            && keep(stop + 1, (row[stop] & 0xffff) as u16)
+        {
+            stop += 1;
+        }
+        row.copy_within(0..stop, 1);
+        row[0] = u32::from(tag);
+    }
+
+    /// [`Self::promote`] specialized to this array's limit registers
+    /// (`keep(w, t) ⇔ t < limits[w]`) — the GMON hot path.
+    ///
+    /// The walk tests `entry < (s + 1) << 24` (see the type docs) in
+    /// branch-free 8-way chunks; the inserted tag's death way comes from the
+    /// hit entry itself or, on an insertion, one binary search of the limit
+    /// registers. Produces exactly the state
+    /// `promote(set, tag, old_way, |w, t| u32::from(t) < limits[w])` would
+    /// (asserted by the definitional-equivalence tests below).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the array is unfiltered.
+    pub fn promote_filtered(&mut self, set: usize, tag: u16, old_way: Option<usize>) {
+        let limits = self.limits.as_deref().expect("unfiltered array");
+        let base = set * self.ways;
+        let row = &mut self.tags[base..base + self.ways];
+        let t32 = u32::from(tag);
+        let death: u32 = match old_way {
+            // A hit re-inserts the same tag: its death way is already in the
+            // entry (computed against the same limit registers).
+            Some(ow) => {
+                debug_assert_eq!(row[ow] & TAG_MASK, t32);
+                row[ow] >> 24
+            }
+            // Insertion: deepest way `w` with `tag < limits[w]`. The
+            // predicate `limits[i] <= tag` is monotone (limits are
+            // non-increasing), and `limits[0] == 65536` exceeds every tag,
+            // so the partition point is at least 1.
+            None => {
+                let mut lo = 0usize;
+                let mut hi = self.ways;
+                while lo < hi {
+                    let mid = (lo + hi) / 2;
+                    if limits[mid] <= t32 {
+                        hi = mid;
+                    } else {
+                        lo = mid + 1;
+                    }
+                }
+                (lo - 1) as u32
+            }
+        };
+        if let Some(ow) = old_way {
+            row[ow] = EMPTY;
+        }
+        // Furthest the chain can reach: the vacated way on a hit, else the
+        // last way.
+        let n = old_way.unwrap_or(self.ways - 1).min(self.ways - 1);
+        // Stop at the first way whose occupant dies before way `s + 1`:
+        // `death(entry) <= s`, i.e. `entry < thresh[s]`. Holes compare below
+        // every threshold. Zipped 8-way chunks keep the scan branch-free
+        // and bounds-check-free (it auto-vectorizes).
+        let mut s = 0;
+        for (chunk, tchunk) in row[..n]
+            .chunks_exact(8)
+            .zip(self.thresh[..n].chunks_exact(8))
+        {
+            let mut fail = false;
+            for (&t, &th) in chunk.iter().zip(tchunk) {
+                fail |= t < th;
+            }
+            if fail {
                 break;
             }
-            carry = match displaced {
-                Some(d) if w + 1 < self.ways && keep(w + 1, d) => Some(d),
-                _ => None,
-            };
-            w += 1;
+            s += 8;
+        }
+        let mut stop = n;
+        for (w, (&t, &th)) in row[s..n].iter().zip(&self.thresh[s..n]).enumerate() {
+            if t < th {
+                stop = s + w;
+                break;
+            }
+        }
+        row.copy_within(0..stop, 1);
+        row[0] = (death << 24) | t32;
+    }
+
+    /// Fused lookup + filtered promotion — the GMON per-sample path.
+    /// Equivalent to `find` followed by `promote_filtered`, in one walk;
+    /// returns the way the tag was found in (for hit accounting), `None` on
+    /// an insertion.
+    ///
+    /// Shape: a short early-exit probe of the most-recently-promoted ways
+    /// (where LRU hits cluster — hot workloads stay on this cheap path),
+    /// then a single branch-free pass over the whole row that accumulates
+    /// two bitmaps — "tag matches here" and "occupant dies here" — from
+    /// which both the hit way and the demotion-chain stop position fall out
+    /// as trailing-zero counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the array is unfiltered.
+    pub fn touch_filtered(&mut self, set: usize, tag: u16) -> Option<usize> {
+        let limits = self.limits.as_deref().expect("unfiltered array");
+        let ways = self.ways;
+        if ways > 64 {
+            // Bitmaps are u64; larger (hypothetical) filtered arrays take
+            // the two-pass path.
+            let way = self.find(set, tag);
+            self.promote_filtered(set, tag, way);
+            return way;
+        }
+        let base = set * ways;
+        let row = &mut self.tags[base..base + ways];
+        let t32 = u32::from(tag);
+
+        // Early-exit probe of the head ways.
+        let head = ways.min(4);
+        let mut way = None;
+        for (w, &t) in row[..head].iter().enumerate() {
+            if t & TAG_MASK == t32 {
+                way = Some(w);
+                break;
+            }
+        }
+        if let Some(ow) = way {
+            // Hit near the top: the chain is at most `ow` (≤ 3) long.
+            let death = row[ow] >> 24;
+            row[ow] = EMPTY;
+            let mut stop = ow;
+            for (s, (&t, &th)) in row[..ow].iter().zip(&self.thresh[..ow]).enumerate() {
+                if t < th {
+                    stop = s;
+                    break;
+                }
+            }
+            row.copy_within(0..stop, 1);
+            row[0] = (death << 24) | t32;
+            return Some(ow);
+        }
+
+        // One branch-free pass: bit `w` of `eq_bits` ⇔ the tag sits at way
+        // `w` (at most one bit — insertions only happen when the tag is
+        // absent); bit `w` of `fail_bits` ⇔ way `w`'s occupant cannot be
+        // demoted into way `w + 1` (`entry < thresh[w]`; holes always fail).
+        #[cfg(target_arch = "x86_64")]
+        let (eq_bits, fail_bits) = if self.use_avx512 {
+            // SAFETY: AVX-512F support was verified at construction.
+            unsafe { scan_row_bits_avx512(row, &self.thresh[..ways], t32) }
+        } else {
+            scan_row_bits_sse2(row, &self.thresh[..ways], t32)
+        };
+        #[cfg(not(target_arch = "x86_64"))]
+        let (eq_bits, fail_bits) = scan_row_bits(row, &self.thresh[..ways], t32);
+
+        let way = (eq_bits != 0).then(|| eq_bits.trailing_zeros() as usize);
+        let death: u32 = match way {
+            // A hit re-inserts the same tag: its death way is already in the
+            // entry (computed against the same limit registers).
+            Some(ow) => {
+                let d = row[ow] >> 24;
+                row[ow] = EMPTY;
+                d
+            }
+            // Insertion: deepest way `w` with `tag < limits[w]`. Limits are
+            // non-increasing, so the ways admitting the tag are a prefix and
+            // counting them (branch-free) gives the partition point; way 0
+            // always admits (limit 65536), so the count is at least 1.
+            None => {
+                let mut admits = 0u32;
+                for &l in limits {
+                    admits += u32::from(t32 < l);
+                }
+                admits - 1
+            }
+        };
+        let n = way.unwrap_or(ways - 1).min(ways - 1);
+        let stop = (fail_bits.trailing_zeros() as usize).min(n);
+        row.copy_within(0..stop, 1);
+        row[0] = (death << 24) | t32;
+        way
+    }
+
+    /// [`Self::promote`] specialized to no filter (`keep` always true) — the
+    /// UMON hot path: the chain stops only at a hole, the vacated way, or
+    /// the array end.
+    pub fn promote_unfiltered(&mut self, set: usize, tag: u16, old_way: Option<usize>) {
+        let base = set * self.ways;
+        let row = &mut self.tags[base..base + self.ways];
+        if let Some(ow) = old_way {
+            debug_assert_eq!(row[ow] & TAG_MASK, u32::from(tag));
+            row[ow] = EMPTY;
+        }
+        let n = old_way.unwrap_or(self.ways - 1).min(self.ways - 1);
+        let stop = row[..n].iter().position(|&t| t == EMPTY).unwrap_or(n);
+        row.copy_within(0..stop, 1);
+        row[0] = u32::from(tag);
+    }
+}
+
+/// Builds the match/fail bitmaps for [`TagArray::touch_filtered`]'s fused
+/// pass: bit `w` of the first result ⇔ `row[w] & TAG_MASK == t32`; bit `w`
+/// of the second ⇔ `row[w] < thresh[w]` (unsigned).
+///
+/// `row.len() == thresh.len() <= 64`.
+///
+/// On x86-64 the caller picks between an AVX-512 kernel (16 ways per
+/// instruction, compare results delivered directly as bitmasks — the whole
+/// 64-way row is four masked compares) and the always-available SSE2
+/// baseline, using the feature probe cached in the `TagArray`; other
+/// architectures get a portable scalar reduction.
+///
+/// AVX-512 kernel: masked 16-lane compares produce
+/// the bitmaps directly in mask registers.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn scan_row_bits_avx512(row: &[u32], thresh: &[u32], t32: u32) -> (u64, u64) {
+    use std::arch::x86_64::{
+        _mm512_and_si512, _mm512_mask_cmpeq_epi32_mask, _mm512_mask_cmplt_epu32_mask,
+        _mm512_maskz_loadu_epi32, _mm512_set1_epi32,
+    };
+    debug_assert_eq!(row.len(), thresh.len());
+    debug_assert!(row.len() <= 64);
+    let mask = _mm512_set1_epi32(TAG_MASK as i32);
+    let needle = _mm512_set1_epi32(t32 as i32);
+    let mut eq_bits = 0u64;
+    let mut fail_bits = 0u64;
+    let mut w = 0;
+    while w < row.len() {
+        let lanes = (row.len() - w).min(16);
+        let live: u16 = if lanes == 16 { !0 } else { (1u16 << lanes) - 1 };
+        // SAFETY: masked loads read only the `live` in-bounds lanes.
+        let t = unsafe { _mm512_maskz_loadu_epi32(live, row.as_ptr().add(w) as *const i32) };
+        let th = unsafe { _mm512_maskz_loadu_epi32(live, thresh.as_ptr().add(w) as *const i32) };
+        let eq = _mm512_mask_cmpeq_epi32_mask(live, _mm512_and_si512(t, mask), needle);
+        let lt = _mm512_mask_cmplt_epu32_mask(live, t, th);
+        eq_bits |= u64::from(eq) << w;
+        fail_bits |= u64::from(lt) << w;
+        w += lanes;
+    }
+    (eq_bits, fail_bits)
+}
+
+/// SSE2 baseline kernel (always available on x86-64).
+#[cfg(target_arch = "x86_64")]
+#[inline]
+fn scan_row_bits_sse2(row: &[u32], thresh: &[u32], t32: u32) -> (u64, u64) {
+    use std::arch::x86_64::{
+        __m128i, _mm_and_si128, _mm_castsi128_ps, _mm_cmpeq_epi32, _mm_cmpgt_epi32,
+        _mm_loadu_si128, _mm_movemask_ps, _mm_set1_epi32, _mm_xor_si128,
+    };
+    debug_assert_eq!(row.len(), thresh.len());
+    let mut eq_bits = 0u64;
+    let mut fail_bits = 0u64;
+    let chunks = row.len() / 4;
+    // SAFETY: unaligned loads of in-bounds 16-byte chunks; SSE2 is
+    // statically available under this cfg.
+    unsafe {
+        let mask = _mm_set1_epi32(TAG_MASK as i32);
+        let needle = _mm_set1_epi32(t32 as i32);
+        // Bias flips the sign bit so a signed > compare implements the
+        // unsigned < we need.
+        let bias = _mm_set1_epi32(i32::MIN);
+        for c in 0..chunks {
+            let ptr = row.as_ptr().add(c * 4) as *const __m128i;
+            let t = _mm_loadu_si128(ptr);
+            let th = _mm_loadu_si128(thresh.as_ptr().add(c * 4) as *const __m128i);
+            let eq = _mm_cmpeq_epi32(_mm_and_si128(t, mask), needle);
+            let lt = _mm_cmpgt_epi32(_mm_xor_si128(th, bias), _mm_xor_si128(t, bias));
+            eq_bits |= (_mm_movemask_ps(_mm_castsi128_ps(eq)) as u64) << (c * 4);
+            fail_bits |= (_mm_movemask_ps(_mm_castsi128_ps(lt)) as u64) << (c * 4);
         }
     }
+    // Scalar tail for way counts that are not multiples of four.
+    for (w, (&t, &th)) in row.iter().zip(thresh).enumerate().skip(chunks * 4) {
+        eq_bits |= u64::from(t & TAG_MASK == t32) << w;
+        fail_bits |= u64::from(t < th) << w;
+    }
+    (eq_bits, fail_bits)
+}
+
+/// Portable fallback: branch-free scalar bitmap accumulation.
+#[cfg(not(target_arch = "x86_64"))]
+#[inline]
+fn scan_row_bits(row: &[u32], thresh: &[u32], t32: u32) -> (u64, u64) {
+    debug_assert_eq!(row.len(), thresh.len());
+    let mut eq_bits = 0u64;
+    let mut fail_bits = 0u64;
+    for (w, (&t, &th)) in row.iter().zip(thresh).enumerate() {
+        eq_bits |= u64::from(t & TAG_MASK == t32) << w;
+        fail_bits |= u64::from(t < th) << w;
+    }
+    (eq_bits, fail_bits)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn row(ta: &TagArray, set: usize) -> Vec<Option<u16>> {
+        (0..ta.ways).map(|w| ta.get(set, w)).collect()
+    }
 
     #[test]
     fn promote_insert_shifts_down() {
@@ -140,7 +567,7 @@ mod tests {
         ta.promote(0, 1, None, |_, _| true);
         ta.promote(0, 2, None, |_, _| true);
         ta.promote(0, 3, None, |_, _| true);
-        assert_eq!(ta.tags, vec![Some(3), Some(2), Some(1), None]);
+        assert_eq!(row(&ta, 0), vec![Some(3), Some(2), Some(1), None]);
     }
 
     #[test]
@@ -149,7 +576,7 @@ mod tests {
         for t in [1u16, 2, 3] {
             ta.promote(0, t, None, |_, _| true);
         }
-        assert_eq!(ta.tags, vec![Some(3), Some(2)]);
+        assert_eq!(row(&ta, 0), vec![Some(3), Some(2)]);
     }
 
     #[test]
@@ -162,7 +589,7 @@ mod tests {
         let way = ta.find(0, 2).unwrap();
         assert_eq!(way, 2);
         ta.promote(0, 2, Some(way), |_, _| true);
-        assert_eq!(ta.tags, vec![Some(2), Some(4), Some(3), Some(1)]);
+        assert_eq!(row(&ta, 0), vec![Some(2), Some(4), Some(3), Some(1)]);
     }
 
     #[test]
@@ -174,7 +601,7 @@ mod tests {
         // tags: [3,2,1,None]. Insert 4, but refuse any move into way >= 2.
         ta.promote(0, 4, None, |w, _| w < 2);
         // 3 -> way1 ok; 2 would move into way 2: dropped, chain stops, 1 stays.
-        assert_eq!(ta.tags, vec![Some(4), Some(3), Some(1), None]);
+        assert_eq!(row(&ta, 0), vec![Some(4), Some(3), Some(1), None]);
     }
 
     #[test]
@@ -186,9 +613,10 @@ mod tests {
         // tags: [4,3,2,1]; hit on 2 at way 2 but nothing may enter way 1.
         ta.promote(0, 2, Some(2), |w, _| w < 1);
         // 2 -> way 0; 4 dropped at the way-1 filter; old slot stays vacant.
-        assert_eq!(ta.tags, vec![Some(2), Some(3), None, Some(1)]);
+        assert_eq!(row(&ta, 0), vec![Some(2), Some(3), None, Some(1)]);
         // Crucially, tag 2 appears exactly once.
-        assert_eq!(ta.tags.iter().filter(|t| **t == Some(2)).count(), 1);
+        let twos = row(&ta, 0).iter().filter(|t| **t == Some(2)).count();
+        assert_eq!(twos, 1);
     }
 
     #[test]
@@ -196,7 +624,119 @@ mod tests {
         let mut ta = TagArray::new(1, 2);
         ta.promote(0, 7, None, |_, _| true);
         ta.promote(0, 7, Some(0), |_, _| true);
-        assert_eq!(ta.tags, vec![Some(7), None]);
+        assert_eq!(row(&ta, 0), vec![Some(7), None]);
+    }
+
+    /// The memmove-based promote must agree with the one-at-a-time
+    /// definitional chain for arbitrary interleavings of hits, insertions,
+    /// holes and filters.
+    #[test]
+    fn promote_matches_definitional_chain() {
+        fn reference_promote(
+            tags: &mut [Option<u16>],
+            tag: u16,
+            old_way: Option<usize>,
+            keep: impl Fn(usize, u16) -> bool,
+        ) {
+            let ways = tags.len();
+            if let Some(ow) = old_way {
+                tags[ow] = None;
+            }
+            let end = old_way.unwrap_or(ways);
+            let mut carry = Some(tag);
+            let mut w = 0;
+            while w < ways {
+                let Some(t) = carry else { break };
+                let displaced = tags[w];
+                tags[w] = Some(t);
+                if w == end {
+                    break;
+                }
+                carry = match displaced {
+                    Some(d) if w + 1 < ways && keep(w + 1, d) => Some(d),
+                    _ => None,
+                };
+                w += 1;
+            }
+        }
+
+        let ways = 8;
+        let mut ta = TagArray::new(1, ways);
+        let mut reference: Vec<Option<u16>> = vec![None; ways];
+        // Deterministic pseudo-random stream of operations.
+        let mut state = 0x1234_5678_u64;
+        for step in 0..2000 {
+            state = crate::hash::mix64(state);
+            let tag = (state % 23) as u16; // small space: frequent hits
+            let limit = (step % 7) + 1; // filter refuses ways >= limit + 1
+            let keep = |w: usize, _t: u16| w <= limit;
+            let old_way = ta.find(0, tag);
+            assert_eq!(
+                old_way,
+                reference.iter().position(|&t| t == Some(tag)),
+                "find diverged at step {step}"
+            );
+            ta.promote(0, tag, old_way, keep);
+            reference_promote(&mut reference, tag, old_way, keep);
+            assert_eq!(row(&ta, 0), reference, "promote diverged at step {step}");
+        }
+    }
+
+    /// `promote_filtered` (the packed-death GMON chain) and
+    /// `promote_unfiltered` (the UMON chain) must match the generic closure
+    /// form exactly — including holes left by filtered demotions, hit
+    /// rotations and full-array overflow — across several way counts so the
+    /// 8-way chunked scan's remainder handling is covered. Two tag
+    /// distributions: uniform u16 (tags die shallow vs. the steep test
+    /// limits) and small tags (survive deep, long chains).
+    #[test]
+    fn specialized_promotes_match_generic() {
+        for ways in [1usize, 4, 8, 13, 64] {
+            for tag_space in [u64::from(u16::MAX) + 1, 2048, 97] {
+                let mut limits: Vec<u32> = (0..ways)
+                    .map(|w| (65536.0 * 0.9f64.powi(w as i32)) as u32)
+                    .collect();
+                limits[0] = 65536;
+                let mut fast = TagArray::with_limits(1, ways, limits.clone());
+                let mut fused = TagArray::with_limits(1, ways, limits.clone());
+                let mut slow = TagArray::new(1, ways);
+                let mut fast_u = TagArray::new(1, ways);
+                let mut slow_u = TagArray::new(1, ways);
+                let mut state = 0xdead_beef_u64 ^ tag_space;
+                for step in 0..3000 {
+                    state = crate::hash::mix64(state);
+                    let tag = ((state >> 16) % tag_space) as u16;
+                    let old = fast.find(0, tag);
+                    assert_eq!(old, slow.find(0, tag), "ways {ways} step {step}");
+                    fast.promote_filtered(0, tag, old);
+                    slow.promote(0, tag, old, |w, t| u32::from(t) < limits[w]);
+                    assert_eq!(
+                        row(&fast, 0),
+                        row(&slow, 0),
+                        "filtered diverged: ways {ways} tags {tag_space} step {step}"
+                    );
+                    // The fused lookup+promotion must track the same state.
+                    let old_f = fused.touch_filtered(0, tag);
+                    assert_eq!(
+                        old_f, old,
+                        "fused hit diverged: ways {ways} tags {tag_space} step {step}"
+                    );
+                    assert_eq!(
+                        row(&fused, 0),
+                        row(&slow, 0),
+                        "fused diverged: ways {ways} tags {tag_space} step {step}"
+                    );
+                    let old_u = fast_u.find(0, tag);
+                    fast_u.promote_unfiltered(0, tag, old_u);
+                    slow_u.promote(0, tag, old_u, |_, _| true);
+                    assert_eq!(
+                        row(&fast_u, 0),
+                        row(&slow_u, 0),
+                        "unfiltered diverged: ways {ways} tags {tag_space} step {step}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -60,6 +60,9 @@ impl UmonConfig {
 pub struct Umon {
     config: UmonConfig,
     tags: TagArray,
+    /// Precomputed [`hash::sample_limit`] for the sampling period (the same
+    /// fast path out of [`Monitor::record`] as [`super::Gmon`]'s).
+    sample_limit: u64,
     hits: Vec<u64>,
     sampled_misses: u64,
     sampled_accesses: u64,
@@ -71,12 +74,13 @@ impl Umon {
     pub fn new(config: UmonConfig) -> Self {
         let tags = TagArray::new(config.sets, config.ways);
         Umon {
-            config,
             tags,
+            sample_limit: hash::sample_limit(config.sample_period),
             hits: vec![0; config.ways],
             sampled_misses: 0,
             sampled_accesses: 0,
             accesses: 0,
+            config,
         }
     }
 
@@ -104,24 +108,23 @@ impl Umon {
 }
 
 impl Monitor for Umon {
+    #[inline]
     fn record(&mut self, line: Line) {
         self.accesses += 1;
-        if !hash::sampled(line.0, 1, self.config.sample_period) {
+        // Sampling-aware fast path (see `Gmon::record`): same decisions as
+        // `hash::sampled(line, 1, period)` at one hash + compare.
+        if !hash::sampled_by_limit(line.0, self.sample_limit) {
             return;
         }
         self.sampled_accesses += 1;
         let set = self.tags.set_of(line);
         let tag = hash::tag16(line.0);
-        match self.tags.find(set, tag) {
-            Some(way) => {
-                self.hits[way] += 1;
-                self.tags.promote(set, tag, Some(way), |_, _| true);
-            }
-            None => {
-                self.sampled_misses += 1;
-                self.tags.promote(set, tag, None, |_, _| true);
-            }
+        let way = self.tags.find(set, tag);
+        match way {
+            Some(way) => self.hits[way] += 1,
+            None => self.sampled_misses += 1,
         }
+        self.tags.promote_unfiltered(set, tag, way);
     }
 
     fn miss_curve(&self) -> MissCurve {

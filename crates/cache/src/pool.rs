@@ -58,7 +58,9 @@ impl LruPool {
             // `Default::default()` for the hasher state keeps this line
             // compatible with both the vendored stand-in and every real
             // rustc-hash release (`FxBuildHasher` is 2.x-only upstream).
-            map: FxHashMap::with_capacity_and_hasher(capacity, Default::default()),
+            // One entry of headroom: `access_insert` inserts before popping
+            // the LRU, so the map transiently holds capacity + 1 entries.
+            map: FxHashMap::with_capacity_and_hasher(capacity + 1, Default::default()),
             slots: Vec::with_capacity(capacity),
             free: Vec::new(),
             head: NIL,
@@ -141,6 +143,14 @@ impl LruPool {
         if self.touch(line) {
             return None;
         }
+        self.insert_absent(line)
+    }
+
+    /// [`Self::insert`] for a line the caller has just established to be
+    /// absent (the combined [`Self::access_insert`] path — skips the
+    /// redundant second lookup).
+    fn insert_absent(&mut self, line: Line) -> Option<Line> {
+        debug_assert!(!self.contains(line));
         if self.capacity == 0 {
             return Some(line);
         }
@@ -175,11 +185,56 @@ impl LruPool {
     /// Combined lookup-and-fill: returns `(hit, evicted)`. On a hit the line
     /// is promoted; on a miss it is inserted (possibly evicting the LRU).
     /// This is the common path for a cache access that always fills.
+    ///
+    /// One hash probe for lookup + insertion via the entry API (the map is
+    /// sized one entry over capacity so the insert-then-evict order never
+    /// rehashes); the eviction's removal is the only other probe. Inserting
+    /// at the head before popping the tail evicts exactly the line the
+    /// evict-then-insert order would: the new line is never the tail while
+    /// an older one exists.
     pub fn access_insert(&mut self, line: Line) -> (bool, Option<Line>) {
-        if self.touch(line) {
-            (true, None)
-        } else {
-            (false, self.insert(line))
+        if self.capacity == 0 {
+            // Zero-allocation pool: the "fill" bypasses immediately.
+            return (false, Some(line));
+        }
+        use std::collections::hash_map::Entry;
+        match self.map.entry(line.0) {
+            Entry::Occupied(e) => {
+                let idx = *e.get();
+                if self.head != idx {
+                    self.unlink(idx);
+                    self.push_front(idx);
+                }
+                (true, None)
+            }
+            Entry::Vacant(v) => {
+                let idx = match self.free.pop() {
+                    Some(i) => {
+                        self.slots[i as usize] = Slot {
+                            addr: line.0,
+                            prev: NIL,
+                            next: NIL,
+                        };
+                        i
+                    }
+                    None => {
+                        self.slots.push(Slot {
+                            addr: line.0,
+                            prev: NIL,
+                            next: NIL,
+                        });
+                        (self.slots.len() - 1) as u32
+                    }
+                };
+                v.insert(idx);
+                self.push_front(idx);
+                let evicted = if self.map.len() > self.capacity {
+                    self.pop_lru()
+                } else {
+                    None
+                };
+                (false, evicted)
+            }
         }
     }
 
@@ -213,7 +268,8 @@ impl LruPool {
     /// no-rehash-during-simulation invariant by reserving up front.
     pub fn resize(&mut self, new_capacity: usize) -> Vec<Line> {
         if new_capacity > self.capacity {
-            self.map.reserve(new_capacity - self.map.len());
+            // +1 headroom for `access_insert`'s insert-then-evict order.
+            self.map.reserve(new_capacity + 1 - self.map.len());
             self.slots
                 .reserve(new_capacity.saturating_sub(self.slots.len()));
         }
@@ -228,12 +284,21 @@ impl LruPool {
     /// Removes and returns all lines (MRU-first).
     pub fn drain(&mut self) -> Vec<Line> {
         let lines: Vec<Line> = self.iter().collect();
+        self.clear();
+        lines
+    }
+
+    /// Removes all lines without materializing them; returns how many were
+    /// dropped. The wholesale-invalidation fast path: clearing the map is
+    /// O(buckets) instead of a hash remove + list unlink per line.
+    pub fn clear(&mut self) -> usize {
+        let dropped = self.map.len();
         self.map.clear();
         self.slots.clear();
         self.free.clear();
         self.head = NIL;
         self.tail = NIL;
-        lines
+        dropped
     }
 
     /// Iterates lines from MRU to LRU.

@@ -58,8 +58,12 @@ fn total_latency_curve_cached(
     grid.sort_by(|a, b| a.partial_cmp(b).expect("finite capacities"));
     grid.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
 
+    // The grid is ascending, so the miss curve is evaluated with a monotone
+    // cursor: one sweep over the curve's points instead of a binary search
+    // per grid point (identical values — see `CurveCursor`).
+    let mut misses = info.curve.cursor();
     MissCurve::from_fn(&grid, |s| {
-        let off_chip = info.curve.misses_at(s) * params.mem_latency;
+        let off_chip = misses.misses_at(s) * params.mem_latency;
         let mean_dist = dists.mean_distance(s / params.bank_lines as f64);
         let on_chip = accesses * mean_dist * per_hop;
         off_chip + on_chip

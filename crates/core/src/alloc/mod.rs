@@ -211,13 +211,16 @@ pub fn lookahead_reference(curves: &[MissCurve], opts: AllocOptions) -> Vec<u64>
         for (vc, curve) in curves.iter().enumerate() {
             let cur = alloc[vc] as f64;
             let cur_m = curve.misses_at(cur);
+            // Extensions grow monotonically: a cursor answers the thousands
+            // of near-sorted queries in one sweep per VC.
+            let mut extension = curve.cursor();
             let mut steps = 1u64;
             loop {
                 let lines = steps * opts.granularity;
                 if lines > remaining {
                     break;
                 }
-                let density = (cur_m - curve.misses_at(cur + lines as f64)) / lines as f64;
+                let density = (cur_m - extension.misses_at(cur + lines as f64)) / lines as f64;
                 if density > 0.0 && best.is_none_or(|(_, _, d)| density > d + 1e-12) {
                     best = Some((vc, lines, density));
                 }

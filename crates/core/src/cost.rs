@@ -43,7 +43,7 @@ pub fn thread_bank_accesses(
             if total == 0 {
                 0.0
             } else {
-                (placement.vc_alloc[d as usize][bank] as f64 / total as f64) * a
+                (placement[(d as usize, bank)] as f64 / total as f64) * a
             }
         })
         .sum()
@@ -56,16 +56,31 @@ pub fn thread_bank_accesses(
 /// network cost is part of the miss path and accounted separately by the
 /// simulator, matching the paper's split.
 pub fn on_chip_latency(problem: &PlacementProblem, placement: &Placement) -> f64 {
+    on_chip_latency_with_cores(problem, placement, &placement.thread_cores)
+}
+
+/// [`on_chip_latency`] evaluated as if threads ran at `thread_cores` instead
+/// of `placement.thread_cores`. Lets the engine's reconfiguration gate cost
+/// the *current* placement under the current cores without cloning and
+/// patching a whole `Placement` per epoch.
+pub fn on_chip_latency_with_cores(
+    problem: &PlacementProblem,
+    placement: &Placement,
+    thread_cores: &[TileId],
+) -> f64 {
     let params = &problem.params;
     let mut total = 0.0;
     for t in &problem.threads {
-        let core = placement.thread_cores[t.id as usize];
+        let core = thread_cores[t.id as usize];
         for &(d, a) in &t.vc_accesses {
             let s_d = placement.vc_total(d);
             if s_d == 0 || a == 0.0 {
                 continue;
             }
-            for (bank, lines) in placement.vc_banks(d) {
+            for (bank, &lines) in placement.vc_row(d as usize).iter().enumerate() {
+                if lines == 0 {
+                    continue;
+                }
                 let frac = lines as f64 / s_d as f64;
                 total += a * frac * params.net_round_trip(core, TileId(bank as u16));
             }
@@ -78,9 +93,19 @@ pub fn on_chip_latency(problem: &PlacementProblem, placement: &Placement) -> f64
 /// which no placement decision can change but keeps absolute values
 /// comparable to AMAT measurements).
 pub fn total_latency(problem: &PlacementProblem, placement: &Placement) -> f64 {
+    total_latency_with_cores(problem, placement, &placement.thread_cores)
+}
+
+/// [`total_latency`] with the thread cores overridden (see
+/// [`on_chip_latency_with_cores`]).
+pub fn total_latency_with_cores(
+    problem: &PlacementProblem,
+    placement: &Placement,
+    thread_cores: &[TileId],
+) -> f64 {
     let accesses: f64 = problem.threads.iter().map(|t| t.total_accesses()).sum();
     off_chip_latency(problem, placement)
-        + on_chip_latency(problem, placement)
+        + on_chip_latency_with_cores(problem, placement, thread_cores)
         + accesses * problem.params.bank_latency
 }
 
@@ -137,7 +162,7 @@ mod tests {
             100.0 * p.params.mem_latency
         );
         // Half the curve: 50 misses.
-        placement.vc_alloc[0][0] = 100;
+        placement[(0, 0)] = 100;
         assert_eq!(
             off_chip_latency(&p, &placement),
             50.0 * p.params.mem_latency
@@ -148,7 +173,7 @@ mod tests {
     fn on_chip_latency_zero_for_local_bank() {
         let p = problem();
         let mut placement = Placement::empty(1, 1, 4);
-        placement.vc_alloc[0][0] = 100; // same tile as the thread
+        placement[(0, 0)] = 100; // same tile as the thread
         assert_eq!(on_chip_latency(&p, &placement), 0.0);
     }
 
@@ -157,8 +182,8 @@ mod tests {
         let p = problem();
         let mut placement = Placement::empty(1, 1, 4);
         // Half the data 1 hop away, half 2 hops away.
-        placement.vc_alloc[0][1] = 50; // tile 1: 1 hop from tile 0
-        placement.vc_alloc[0][3] = 50; // tile 3: 2 hops
+        placement[(0, 1)] = 50; // tile 1: 1 hop from tile 0
+        placement[(0, 3)] = 50; // tile 3: 2 hops
         let rt1 = p.params.net_round_trip(TileId(0), TileId(1));
         let rt3 = p.params.net_round_trip(TileId(0), TileId(3));
         let expected = 100.0 * 0.5 * rt1 + 100.0 * 0.5 * rt3;
@@ -179,8 +204,8 @@ mod tests {
     fn alpha_t_b_proportional_to_capacity() {
         let p = problem();
         let mut placement = Placement::empty(1, 1, 4);
-        placement.vc_alloc[0][1] = 75;
-        placement.vc_alloc[0][2] = 25;
+        placement[(0, 1)] = 75;
+        placement[(0, 2)] = 25;
         assert!((thread_bank_accesses(&p, &placement, 0, 1) - 75.0).abs() < 1e-9);
         assert!((thread_bank_accesses(&p, &placement, 0, 2) - 25.0).abs() < 1e-9);
         assert_eq!(thread_bank_accesses(&p, &placement, 0, 0), 0.0);
@@ -190,8 +215,8 @@ mod tests {
     fn mean_hops_weighted_by_capacity() {
         let p = problem();
         let mut placement = Placement::empty(1, 1, 4);
-        placement.vc_alloc[0][0] = 50; // 0 hops
-        placement.vc_alloc[0][3] = 50; // 2 hops
+        placement[(0, 0)] = 50; // 0 hops
+        placement[(0, 3)] = 50; // 2 hops
         assert!((mean_hops_to_vc(&p, &placement, 0, 0) - 1.0).abs() < 1e-9);
     }
 

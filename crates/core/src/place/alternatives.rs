@@ -310,16 +310,14 @@ pub fn anneal_data_placement(
         if d1 == d2 || b1 == b2 {
             continue;
         }
-        let k = chunk
-            .min(trial.vc_alloc[d1][b1])
-            .min(trial.vc_alloc[d2][b2]);
+        let k = chunk.min(trial[(d1, b1)]).min(trial[(d2, b2)]);
         if k == 0 {
             continue;
         }
-        trial.vc_alloc[d1][b1] -= k;
-        trial.vc_alloc[d1][b2] += k;
-        trial.vc_alloc[d2][b2] -= k;
-        trial.vc_alloc[d2][b1] += k;
+        trial[(d1, b1)] -= k;
+        trial[(d1, b2)] += k;
+        trial[(d2, b2)] -= k;
+        trial[(d2, b1)] += k;
         let new_cost = on_chip_latency(problem, &trial);
         if new_cost < cost || rng.gen::<f64>() < ((cost - new_cost) / temp).exp() {
             cost = new_cost;
@@ -328,10 +326,10 @@ pub fn anneal_data_placement(
                 best = trial.clone();
             }
         } else {
-            trial.vc_alloc[d1][b1] += k;
-            trial.vc_alloc[d1][b2] -= k;
-            trial.vc_alloc[d2][b2] += k;
-            trial.vc_alloc[d2][b1] -= k;
+            trial[(d1, b1)] += k;
+            trial[(d1, b2)] -= k;
+            trial[(d2, b2)] += k;
+            trial[(d2, b1)] -= k;
         }
     }
     best
@@ -365,7 +363,7 @@ mod tests {
     fn pinned_placement(n: usize, banks: usize) -> Placement {
         let mut placement = Placement::empty(n, n, banks);
         for d in 0..n {
-            placement.vc_alloc[d][banks - 1 - d] = 1024;
+            placement[(d, banks - 1 - d)] = 1024;
         }
         placement
     }

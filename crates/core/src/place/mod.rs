@@ -33,7 +33,9 @@ mod refine;
 mod thread;
 
 pub use optimistic::{optimistic_place, optimistic_place_with, OptimisticPlacement};
-pub use refine::{greedy_place, greedy_place_with, trade_refine, trade_refine_with};
+pub use refine::{
+    greedy_place, greedy_place_into, greedy_place_with, trade_refine, trade_refine_with,
+};
 pub use thread::{place_threads, place_threads_with};
 
 use crate::PlacementProblem;

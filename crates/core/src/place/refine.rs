@@ -51,6 +51,27 @@ pub fn greedy_place_with(
     chunk: u64,
     scratch: &mut PlanScratch,
 ) -> Placement {
+    let mut placement = Placement::default();
+    greedy_place_into(problem, sizes, thread_cores, chunk, scratch, &mut placement);
+    placement
+}
+
+/// [`greedy_place_with`] writing into a caller-pooled output buffer:
+/// `out` is [`Placement::reset`] and refilled, so a long-lived buffer makes
+/// the whole pass — including plan output — allocation-free once warm
+/// (pinned by `crates/core/tests/alloc_free.rs`).
+///
+/// # Panics
+///
+/// As [`greedy_place`].
+pub fn greedy_place_into(
+    problem: &PlacementProblem,
+    sizes: &[u64],
+    thread_cores: &[TileId],
+    chunk: u64,
+    scratch: &mut PlanScratch,
+    out: &mut Placement,
+) {
     assert!(chunk > 0, "chunk must be non-zero");
     assert_eq!(sizes.len(), problem.vcs.len(), "one size per VC");
     assert_eq!(
@@ -100,8 +121,8 @@ pub fn greedy_place_with(
     scratch.free.clear();
     scratch.free.resize(banks, problem.params.bank_lines);
 
-    let mut placement = Placement::empty(problem.threads.len(), num_vcs, banks);
-    placement.thread_cores.copy_from_slice(thread_cores);
+    out.reset(problem.threads.len(), num_vcs, banks);
+    out.thread_cores.copy_from_slice(thread_cores);
 
     loop {
         let mut progressed = false;
@@ -118,7 +139,7 @@ pub fn greedy_place_with(
             }
             let b = order[scratch.cursor[d]] as usize;
             let take = chunk.min(scratch.need[d]).min(scratch.free[b]);
-            placement.vc_alloc[d][b] += take;
+            out[(d, b)] += take;
             scratch.free[b] -= take;
             scratch.need[d] -= take;
             progressed = true;
@@ -127,7 +148,6 @@ pub fn greedy_place_with(
             break;
         }
     }
-    placement
 }
 
 /// The trade search (§IV-F): every VC, once, spirals outward from its data's
@@ -192,7 +212,7 @@ pub fn trade_refine_with(
             None => {
                 let total = s_d as f64;
                 let (mut x, mut y) = (0.0, 0.0);
-                for (b, &lines) in placement.vc_alloc[d].iter().enumerate() {
+                for (b, &lines) in placement.vc_row(d).iter().enumerate() {
                     if lines > 0 {
                         let c = mesh.coord(TileId(b as u16));
                         x += c.x as f64 * lines as f64;
@@ -206,7 +226,7 @@ pub fn trade_refine_with(
             }
         };
 
-        let mut remaining_data: usize = placement.vc_alloc[d].iter().filter(|&&l| l > 0).count();
+        let mut remaining_data: usize = placement.vc_row(d).iter().filter(|&&l| l > 0).count();
         tiles_by_distance_from_point_into(mesh, com, &mut scratch.spiral_tmp);
         scratch.desirable.clear();
         for i in 0..scratch.spiral_tmp.len() {
@@ -215,14 +235,14 @@ pub fn trade_refine_with(
                 break; // seen all of this VC's data
             }
             let b = t.index();
-            let had_data_here = placement.vc_alloc[d][b] > 0;
+            let had_data_here = placement[(d, b)] > 0;
             // Try to move data at b into closer desirable banks.
             if had_data_here {
                 remaining_data -= 1;
                 let cost_d = &scratch.cost[d * banks..(d + 1) * banks];
                 for di in 0..scratch.desirable.len() {
                     let b2 = scratch.desirable[di];
-                    if placement.vc_alloc[d][b] == 0 {
+                    if placement[(d, b)] == 0 {
                         break;
                     }
                     if b2 == b {
@@ -233,20 +253,20 @@ pub fn trade_refine_with(
                         continue; // not closer in access-weighted terms
                     }
                     // 1) Move into free space.
-                    let k_free = placement.vc_alloc[d][b].min(scratch.free[b2]);
+                    let k_free = placement[(d, b)].min(scratch.free[b2]);
                     if k_free > 0 {
-                        placement.vc_alloc[d][b] -= k_free;
-                        placement.vc_alloc[d][b2] += k_free;
+                        placement[(d, b)] -= k_free;
+                        placement[(d, b2)] += k_free;
                         scratch.free[b2] -= k_free;
                         scratch.free[b] += k_free;
                         trades += 1;
                     }
                     // 2) Trade with occupants of b2.
                     for d2 in 0..num_vcs {
-                        if d2 == d || placement.vc_alloc[d][b] == 0 {
+                        if d2 == d || placement[(d, b)] == 0 {
                             continue;
                         }
-                        let avail = placement.vc_alloc[d2][b2];
+                        let avail = placement[(d2, b2)];
                         if avail == 0 {
                             continue;
                         }
@@ -255,21 +275,21 @@ pub fn trade_refine_with(
                             continue;
                         }
                         let cost_d2 = &scratch.cost[d2 * banks..(d2 + 1) * banks];
-                        let k = placement.vc_alloc[d][b].min(avail);
+                        let k = placement[(d, b)].min(avail);
                         let delta1 = k as f64 * (cost_d[b2] - cost_d[b]) / s_d as f64;
                         let delta2 = k as f64 * (cost_d2[b] - cost_d2[b2]) / s_d2 as f64;
                         if delta1 + delta2 < -1e-9 {
-                            placement.vc_alloc[d][b] -= k;
-                            placement.vc_alloc[d][b2] += k;
-                            placement.vc_alloc[d2][b2] -= k;
-                            placement.vc_alloc[d2][b] += k;
+                            placement[(d, b)] -= k;
+                            placement[(d, b2)] += k;
+                            placement[(d2, b2)] -= k;
+                            placement[(d2, b)] += k;
                             trades += 1;
                         }
                     }
                 }
             }
             // Add b to the desirable list if this VC could hold more here.
-            if placement.vc_alloc[d][b] < bank_lines {
+            if placement[(d, b)] < bank_lines {
                 scratch.desirable.push(b);
             }
         }
@@ -309,8 +329,8 @@ mod tests {
         let cores = vec![TileId(0), TileId(3)];
         let placement = greedy_place(&p, &[512, 512], &cores, 256);
         // Each VC fits in its accessor's local bank.
-        assert_eq!(placement.vc_alloc[0][0], 512);
-        assert_eq!(placement.vc_alloc[1][3], 512);
+        assert_eq!(placement[(0, 0)], 512);
+        assert_eq!(placement[(1, 3)], 512);
         placement.check_feasible(&p).unwrap();
     }
 
@@ -322,9 +342,9 @@ mod tests {
         let placement = greedy_place(&p, &[2560], &cores, 256);
         placement.check_feasible(&p).unwrap();
         assert_eq!(placement.vc_total(0), 2560);
-        assert_eq!(placement.vc_alloc[0][0], 1024, "local bank filled first");
+        assert_eq!(placement[(0, 0)], 1024, "local bank filled first");
         // Remainder in 1-hop banks (1 and 2), not the 2-hop bank 3.
-        assert_eq!(placement.vc_alloc[0][3], 0);
+        assert_eq!(placement[(0, 3)], 0);
     }
 
     #[test]
@@ -334,8 +354,8 @@ mod tests {
         let p = problem(2, Mesh::new(2, 1));
         let cores = vec![TileId(0), TileId(1)];
         let placement = greedy_place(&p, &[1024, 1024], &cores, 256);
-        assert_eq!(placement.vc_alloc[0][0], 1024);
-        assert_eq!(placement.vc_alloc[1][1], 1024);
+        assert_eq!(placement[(0, 0)], 1024);
+        assert_eq!(placement[(1, 1)], 1024);
     }
 
     #[test]
@@ -346,8 +366,8 @@ mod tests {
         let cores = vec![TileId(0), TileId(1)];
         let mut placement = Placement::empty(2, 2, 2);
         placement.thread_cores = cores;
-        placement.vc_alloc[0][1] = 1024; // thread 0's data at bank 1
-        placement.vc_alloc[1][0] = 1024; // thread 1's data at bank 0
+        placement[(0, 1)] = 1024; // thread 0's data at bank 1
+        placement[(1, 0)] = 1024; // thread 1's data at bank 0
         let before = on_chip_latency(&p, &placement);
         let trades = trade_refine(&p, &mut placement);
         let after = on_chip_latency(&p, &placement);
@@ -356,8 +376,8 @@ mod tests {
             after < before,
             "latency did not improve: {before} -> {after}"
         );
-        assert_eq!(placement.vc_alloc[0][0], 1024);
-        assert_eq!(placement.vc_alloc[1][1], 1024);
+        assert_eq!(placement[(0, 0)], 1024);
+        assert_eq!(placement[(1, 1)], 1024);
         placement.check_feasible(&p).unwrap();
     }
 
@@ -366,11 +386,12 @@ mod tests {
         let p = problem(1, Mesh::new(2, 1));
         let mut placement = Placement::empty(1, 1, 2);
         placement.thread_cores = vec![TileId(0)];
-        placement.vc_alloc[0][1] = 512; // data 1 hop away, bank 0 free
+        placement[(0, 1)] = 512; // data 1 hop away, bank 0 free
         let trades = trade_refine(&p, &mut placement);
         assert!(trades > 0);
         assert_eq!(
-            placement.vc_alloc[0][0], 512,
+            placement[(0, 0)],
+            512,
             "data must move into free local bank"
         );
     }
@@ -402,7 +423,7 @@ mod tests {
                         continue;
                     }
                     let k = need.min(free[b]).min(256);
-                    placement.vc_alloc[d][b] += k;
+                    placement[(d, b)] += k;
                     free[b] -= k;
                     need -= k;
                 }

@@ -13,7 +13,7 @@
 
 use crate::alloc::{latency_aware_sizes, miss_driven_sizes};
 use crate::place::{
-    greedy_place_with, optimistic_place_with, place_threads_with, trade_refine_with, PlanScratch,
+    greedy_place_into, optimistic_place_with, place_threads_with, trade_refine_with, PlanScratch,
 };
 use crate::{Placement, PlacementProblem};
 use cdcs_mesh::{Coord, Mesh, TileId, Topology};
@@ -97,6 +97,23 @@ impl CdcsPlanner {
         current_cores: &[TileId],
         scratch: &mut PlanScratch,
     ) -> Placement {
+        let mut placement = Placement::default();
+        self.plan_into(problem, current_cores, scratch, &mut placement);
+        placement
+    }
+
+    /// [`Self::plan_with`] writing into a caller-pooled output buffer. The
+    /// simulator keeps one `Placement` buffer per scheme and swaps it with
+    /// the previous epoch's plan, so steady-state reconfigurations emit
+    /// their placement without allocating or cloning the `vc × bank` matrix
+    /// (pinned by `crates/core/tests/alloc_free.rs`).
+    pub fn plan_into(
+        &self,
+        problem: &PlacementProblem,
+        current_cores: &[TileId],
+        scratch: &mut PlanScratch,
+        out: &mut Placement,
+    ) {
         // Step 1: capacity allocation (latency-aware or miss-driven).
         let sizes = if self.latency_aware {
             latency_aware_sizes(problem, self.granularity)
@@ -120,11 +137,10 @@ impl CdcsPlanner {
             current_cores.to_vec()
         };
         // Step 4: refined VC placement (greedy start + trades).
-        let mut placement = greedy_place_with(problem, &sizes, &cores, self.chunk, scratch);
+        greedy_place_into(problem, &sizes, &cores, self.chunk, scratch, out);
         if self.refine_trades {
-            trade_refine_with(problem, &mut placement, scratch);
+            trade_refine_with(problem, out, scratch);
         }
-        placement
     }
 }
 
@@ -174,8 +190,22 @@ impl JigsawPlanner {
         current_cores: &[TileId],
         scratch: &mut PlanScratch,
     ) -> Placement {
+        let mut placement = Placement::default();
+        self.plan_into(problem, current_cores, scratch, &mut placement);
+        placement
+    }
+
+    /// [`Self::plan_with`] writing into a caller-pooled output buffer (see
+    /// [`CdcsPlanner::plan_into`]).
+    pub fn plan_into(
+        &self,
+        problem: &PlacementProblem,
+        current_cores: &[TileId],
+        scratch: &mut PlanScratch,
+        out: &mut Placement,
+    ) {
         let sizes = miss_driven_sizes(problem, self.granularity);
-        greedy_place_with(problem, &sizes, current_cores, self.chunk, scratch)
+        greedy_place_into(problem, &sizes, current_cores, self.chunk, scratch, out);
     }
 }
 

@@ -315,13 +315,23 @@ impl PlacementProblem {
 
 /// A complete epoch solution: where every thread runs and how every VC's
 /// capacity is spread over banks.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// The allocation matrix (the paper's `s_{d,b}`, §IV-A) is stored as one
+/// flat row-major `vc × bank` buffer rather than a `Vec<Vec<u64>>`: the
+/// planners emit a placement every epoch, and the flat layout lets a
+/// long-lived output buffer be [`reset`](Self::reset) and refilled with zero
+/// steady-state allocations (pinned by `crates/core/tests/alloc_free.rs`).
+/// Read/write cells through [`Index`](std::ops::Index) with a `(vc, bank)`
+/// pair or whole rows through [`vc_row`](Self::vc_row).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Placement {
     /// Core tile of each thread (indexed by [`ThreadId`]).
     pub thread_cores: Vec<TileId>,
-    /// `vc_alloc[vc][bank]` — lines of bank `bank` allocated to `vc`
-    /// (the paper's `s_{d,b}`, §IV-A).
-    pub vc_alloc: Vec<Vec<u64>>,
+    /// Flat row-major allocation matrix: `alloc[vc * banks + bank]` lines of
+    /// bank `bank` allocated to `vc`.
+    alloc: Vec<u64>,
+    /// Row stride of `alloc` (= number of banks).
+    banks: usize,
 }
 
 impl Placement {
@@ -330,22 +340,79 @@ impl Placement {
     pub fn empty(num_threads: usize, num_vcs: usize, num_banks: usize) -> Self {
         Placement {
             thread_cores: vec![TileId(0); num_threads],
-            vc_alloc: vec![vec![0; num_banks]; num_vcs],
+            alloc: vec![0; num_vcs * num_banks],
+            banks: num_banks,
         }
+    }
+
+    /// Builds a placement from per-VC bank rows (test/bootstrap convenience).
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows have inconsistent lengths.
+    pub fn from_rows(thread_cores: Vec<TileId>, rows: Vec<Vec<u64>>) -> Self {
+        let banks = rows.first().map_or(0, Vec::len);
+        let mut alloc = Vec::with_capacity(rows.len() * banks);
+        for row in &rows {
+            assert_eq!(row.len(), banks, "ragged allocation rows");
+            alloc.extend_from_slice(row);
+        }
+        Placement {
+            thread_cores,
+            alloc,
+            banks,
+        }
+    }
+
+    /// Clears this placement in place and reshapes it for a new epoch:
+    /// `num_threads` threads on tile 0, an all-zero `num_vcs × num_banks`
+    /// matrix. Buffers are reused, so once warm this is allocation-free —
+    /// the pooling primitive behind the planners' `*_into` entry points.
+    pub fn reset(&mut self, num_threads: usize, num_vcs: usize, num_banks: usize) {
+        self.thread_cores.clear();
+        self.thread_cores.resize(num_threads, TileId(0));
+        self.alloc.clear();
+        self.alloc.resize(num_vcs * num_banks, 0);
+        self.banks = num_banks;
+    }
+
+    /// Number of VCs in the matrix.
+    pub fn num_vcs(&self) -> usize {
+        self.alloc.len().checked_div(self.banks).unwrap_or(0)
+    }
+
+    /// Number of banks (the matrix row stride).
+    pub fn num_banks(&self) -> usize {
+        self.banks
+    }
+
+    /// One VC's per-bank allocation row.
+    #[inline]
+    pub fn vc_row(&self, vc: usize) -> &[u64] {
+        &self.alloc[vc * self.banks..(vc + 1) * self.banks]
+    }
+
+    /// Mutable access to one VC's per-bank allocation row.
+    #[inline]
+    pub fn vc_row_mut(&mut self, vc: usize) -> &mut [u64] {
+        &mut self.alloc[vc * self.banks..(vc + 1) * self.banks]
     }
 
     /// Total allocation of a VC across banks, in lines.
     pub fn vc_total(&self, vc: VcId) -> u64 {
-        self.vc_alloc[vc as usize].iter().sum()
+        self.vc_row(vc as usize).iter().sum()
     }
 
     /// Lines of `bank` claimed across all VCs.
     pub fn bank_used(&self, bank: usize) -> u64 {
-        self.vc_alloc.iter().map(|per_bank| per_bank[bank]).sum()
+        if self.alloc.is_empty() {
+            return 0;
+        }
+        self.alloc[bank..].iter().step_by(self.banks).sum()
     }
 
     /// Verifies the placement against a problem: per-bank capacity respected,
-    /// every thread on a distinct core, vector shapes consistent.
+    /// every thread on a distinct core, matrix shape consistent.
     ///
     /// # Errors
     ///
@@ -354,14 +421,12 @@ impl Placement {
         if self.thread_cores.len() != problem.threads.len() {
             return Err("thread count mismatch".into());
         }
-        if self.vc_alloc.len() != problem.vcs.len() {
+        if self.num_vcs() != problem.vcs.len() {
             return Err("vc count mismatch".into());
         }
         let banks = problem.params.num_banks();
-        for (vc, per_bank) in self.vc_alloc.iter().enumerate() {
-            if per_bank.len() != banks {
-                return Err(format!("vc {vc} has {} bank entries", per_bank.len()));
-            }
+        if self.banks != banks && self.num_vcs() > 0 {
+            return Err(format!("placement has {} bank columns", self.banks));
         }
         for b in 0..banks {
             let used = self.bank_used(b);
@@ -387,12 +452,31 @@ impl Placement {
 
     /// The banks holding data of `vc`, with allocated lines.
     pub fn vc_banks(&self, vc: VcId) -> Vec<(usize, u64)> {
-        self.vc_alloc[vc as usize]
+        self.vc_row(vc as usize)
             .iter()
             .enumerate()
             .filter(|&(_, &l)| l > 0)
             .map(|(b, &l)| (b, l))
             .collect()
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Placement {
+    type Output = u64;
+
+    /// Lines of bank `bank` allocated to `vc` (`placement[(vc, bank)]`).
+    #[inline]
+    fn index(&self, (vc, bank): (usize, usize)) -> &u64 {
+        debug_assert!(bank < self.banks);
+        &self.alloc[vc * self.banks + bank]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Placement {
+    #[inline]
+    fn index_mut(&mut self, (vc, bank): (usize, usize)) -> &mut u64 {
+        debug_assert!(bank < self.banks);
+        &mut self.alloc[vc * self.banks + bank]
     }
 }
 
@@ -480,10 +564,10 @@ mod tests {
         let p = tiny_problem();
         let mut placement = Placement::empty(2, 2, 4);
         placement.thread_cores = vec![TileId(0), TileId(1)];
-        placement.vc_alloc[0][0] = 60;
-        placement.vc_alloc[1][0] = 50; // 110 > 100
+        placement[(0, 0)] = 60;
+        placement[(1, 0)] = 50; // 110 > 100
         assert!(placement.check_feasible(&p).is_err());
-        placement.vc_alloc[1][0] = 40;
+        placement[(1, 0)] = 40;
         assert!(placement.check_feasible(&p).is_ok());
     }
 
@@ -497,10 +581,36 @@ mod tests {
     #[test]
     fn vc_banks_lists_nonzero() {
         let mut placement = Placement::empty(1, 1, 4);
-        placement.vc_alloc[0][2] = 5;
+        placement[(0, 2)] = 5;
         assert_eq!(placement.vc_banks(0), vec![(2, 5)]);
         assert_eq!(placement.vc_total(0), 5);
         assert_eq!(placement.bank_used(2), 5);
+    }
+
+    #[test]
+    fn reset_reshapes_and_zeroes_in_place() {
+        let mut placement = Placement::empty(2, 3, 4);
+        placement[(2, 3)] = 7;
+        placement.thread_cores[1] = TileId(5);
+        placement.reset(1, 2, 6);
+        assert_eq!(placement.thread_cores, vec![TileId(0)]);
+        assert_eq!(placement.num_vcs(), 2);
+        assert_eq!(placement.num_banks(), 6);
+        for d in 0..2 {
+            assert!(placement.vc_row(d).iter().all(|&l| l == 0));
+        }
+        assert_eq!(placement, Placement::empty(1, 2, 6));
+    }
+
+    #[test]
+    fn from_rows_round_trips() {
+        let p = Placement::from_rows(vec![TileId(1)], vec![vec![1, 2], vec![0, 4]]);
+        assert_eq!(p.num_vcs(), 2);
+        assert_eq!(p.num_banks(), 2);
+        assert_eq!(p.vc_row(0), &[1, 2]);
+        assert_eq!(p[(1, 1)], 4);
+        assert_eq!(p.vc_total(1), 4);
+        assert_eq!(p.bank_used(1), 6);
     }
 
     #[test]

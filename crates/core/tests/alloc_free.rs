@@ -1,15 +1,17 @@
-//! Proves the planner's cost evaluation is allocation-free in steady state:
-//! with a warmed [`PlanScratch`], recomputing the `(vc × bank)` cost matrix,
-//! evaluating `vc_bank_cost`, and running the whole trade search perform
-//! **zero** heap allocations. This pins the tentpole property of the
-//! hot-path overhaul so a future regression (an innocent-looking `collect()`
-//! in the inner loop) fails loudly.
+//! Proves the planner's cost evaluation *and plan emission* are
+//! allocation-free in steady state: with a warmed [`PlanScratch`] and a
+//! pooled flat `Placement` buffer, recomputing the `(vc × bank)` cost
+//! matrix, evaluating `vc_bank_cost`, running the whole trade search, and
+//! refilling the placement through `greedy_place_into` perform **zero**
+//! heap allocations. This pins the hot-path property so a future
+//! regression (an innocent-looking `collect()` in the inner loop, or a
+//! planner that returns a fresh `Vec<Vec<u64>>` per epoch) fails loudly.
 //!
 //! Single-test file on purpose: the counting `#[global_allocator]` is
 //! process-wide, and a lone test keeps the measured window unshared.
 
 use cdcs_cache::MissCurve;
-use cdcs_core::place::{trade_refine_with, vc_bank_cost};
+use cdcs_core::place::{greedy_place_into, trade_refine_with, vc_bank_cost};
 use cdcs_core::{PlacementProblem, PlanScratch, SystemParams, ThreadInfo, VcInfo, VcKind};
 use cdcs_mesh::{Mesh, TileId};
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -72,8 +74,10 @@ fn warm_cost_paths_do_not_allocate() {
     let mut placement = cdcs_core::place::greedy_place_with(&p, &sizes, &cores, 1024, &mut scratch);
     trade_refine_with(&p, &mut placement, &mut scratch);
 
-    // Steady state: matrix recomputation, scalar cost evaluation and the
-    // entire trade search must perform zero allocations.
+    // Steady state: matrix recomputation, scalar cost evaluation, the
+    // entire trade search, and the *plan output itself* (the greedy pass
+    // refilling a pooled flat `Placement` buffer) must perform zero
+    // allocations.
     ALLOCATIONS.store(0, Ordering::SeqCst);
     COUNTING.store(true, Ordering::SeqCst);
 
@@ -85,6 +89,17 @@ fn warm_cost_paths_do_not_allocate() {
         }
     }
     trade_refine_with(&p, &mut placement, &mut scratch);
+    // Pooled plan output: `greedy_place_into` resets and refills the warm
+    // flat buffer (no per-epoch `Vec<Vec<u64>>`, no clone into the
+    // simulator's `last_placement`), and `Placement::reset` reshaping a
+    // warm buffer to a same-or-smaller shape reuses its capacity.
+    greedy_place_into(&p, &sizes, &cores, 1024, &mut scratch, &mut placement);
+    trade_refine_with(&p, &mut placement, &mut scratch);
+    let mut spare = std::mem::take(&mut placement);
+    spare.reset(2, 4, 8);
+    spare.reset(p.threads.len(), p.vcs.len(), p.params.num_banks());
+    greedy_place_into(&p, &sizes, &cores, 1024, &mut scratch, &mut spare);
+    placement = spare;
 
     COUNTING.store(false, Ordering::SeqCst);
     let allocations = ALLOCATIONS.load(Ordering::SeqCst);
@@ -93,6 +108,7 @@ fn warm_cost_paths_do_not_allocate() {
     placement.check_feasible(&p).expect("still feasible");
     assert_eq!(
         allocations, 0,
-        "cost-matrix construction / vc_bank_cost / trade search allocated {allocations} times"
+        "cost-matrix construction / vc_bank_cost / trade search / pooled \
+         plan output allocated {allocations} times"
     );
 }

@@ -111,7 +111,7 @@ fn naive_greedy_place(
             }
             let b = bank_order[d][cursor[d]];
             let take = chunk.min(need[d]).min(free[b]);
-            placement.vc_alloc[d][b] += take;
+            placement[(d, b)] += take;
             free[b] -= take;
             need[d] -= take;
             progressed = true;

@@ -126,7 +126,7 @@ proptest! {
         alloc in prop::collection::vec(prop::collection::vec(0u64..2048, 4), 1..6),
     ) {
         let num_vcs = alloc.len();
-        let placement = Placement { thread_cores: vec![], vc_alloc: alloc.clone() };
+        let placement = Placement::from_rows(vec![], alloc.clone());
         let by_vc: u64 = (0..num_vcs).map(|d| placement.vc_total(d as u32)).sum();
         let by_bank: u64 = (0..4).map(|b| placement.bank_used(b)).sum();
         prop_assert_eq!(by_vc, by_bank);

@@ -35,10 +35,12 @@
 
 pub mod geometry;
 mod mesh;
+mod tables;
 mod topology;
 pub mod traffic;
 
 pub use crate::mesh::{Coord, MemCtrlPlacement, Mesh};
+pub use crate::tables::{DistanceTables, PortDistanceTables};
 pub use crate::topology::{ExplicitTopology, Topology};
 pub use crate::traffic::{NocConfig, TrafficClass, TrafficStats};
 

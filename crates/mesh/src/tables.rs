@@ -1,0 +1,173 @@
+//! Precomputed distance tables for simulation hot loops.
+//!
+//! The interval engine resolves two network distances per LLC access (core →
+//! bank, and bank → memory-controller port on a miss), millions of times per
+//! simulation. [`Topology::hops`] recomputes coordinates and
+//! [`NocConfig::round_trip_latency`] redoes the cycle arithmetic on every
+//! call; these tables evaluate both once per `(tile, tile)` / `(tile, port)`
+//! pair at construction so the per-access cost collapses to two array loads.
+//!
+//! Values are exactly what the underlying calls produce (`hops` entries equal
+//! `topo.hops(a, b)`; `round_trip` entries equal
+//! `f64::from(noc.round_trip_latency(hops))`), so table-driven and direct
+//! evaluation are bit-identical — `crates/mesh/tests/properties.rs` pins this
+//! for arbitrary mesh shapes.
+
+use crate::topology::Topology;
+use crate::traffic::NocConfig;
+use crate::TileId;
+
+/// Dense `tile × tile` hop and round-trip-latency tables.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistanceTables {
+    tiles: usize,
+    /// `hops[a * tiles + b]`.
+    hops: Vec<u32>,
+    /// `round_trip[a * tiles + b]`, in cycles.
+    round_trip: Vec<f64>,
+}
+
+impl DistanceTables {
+    /// Evaluates every tile pair of `topo` under `noc` timing.
+    pub fn new(topo: &impl Topology, noc: NocConfig) -> Self {
+        let tiles = topo.num_tiles();
+        let mut hops = Vec::with_capacity(tiles * tiles);
+        let mut round_trip = Vec::with_capacity(tiles * tiles);
+        for a in topo.tiles() {
+            for b in topo.tiles() {
+                let h = topo.hops(a, b);
+                hops.push(h);
+                round_trip.push(f64::from(noc.round_trip_latency(h)));
+            }
+        }
+        DistanceTables {
+            tiles,
+            hops,
+            round_trip,
+        }
+    }
+
+    /// Number of tiles the tables cover.
+    pub fn num_tiles(&self) -> usize {
+        self.tiles
+    }
+
+    /// Hop distance between two tiles (equals [`Topology::hops`]).
+    #[inline]
+    pub fn hops(&self, a: TileId, b: TileId) -> u32 {
+        self.hops[a.index() * self.tiles + b.index()]
+    }
+
+    /// Round-trip latency in cycles between two tiles (equals
+    /// `f64::from(noc.round_trip_latency(topo.hops(a, b)))`).
+    #[inline]
+    pub fn round_trip(&self, a: TileId, b: TileId) -> f64 {
+        self.round_trip[a.index() * self.tiles + b.index()]
+    }
+}
+
+/// Dense `tile × port` hop and round-trip-latency tables for a fixed port
+/// list (the memory-controller attach points).
+///
+/// Ports are addressed by their *index* in the list passed at construction,
+/// which is how the engine's interleaved `access № mod port-count` selection
+/// already identifies them — no `TileId` resolution needed per access.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PortDistanceTables {
+    ports: usize,
+    /// `hops[tile * ports + port]`.
+    hops: Vec<u32>,
+    /// `round_trip[tile * ports + port]`, in cycles.
+    round_trip: Vec<f64>,
+}
+
+impl PortDistanceTables {
+    /// Evaluates every `(tile, port)` pair of `topo` under `noc` timing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ports` is empty.
+    pub fn new(topo: &impl Topology, noc: NocConfig, ports: &[TileId]) -> Self {
+        assert!(!ports.is_empty(), "need at least one port");
+        let tiles = topo.num_tiles();
+        let mut hops = Vec::with_capacity(tiles * ports.len());
+        let mut round_trip = Vec::with_capacity(tiles * ports.len());
+        for t in topo.tiles() {
+            for &p in ports {
+                let h = topo.hops(t, p);
+                hops.push(h);
+                round_trip.push(f64::from(noc.round_trip_latency(h)));
+            }
+        }
+        PortDistanceTables {
+            ports: ports.len(),
+            hops,
+            round_trip,
+        }
+    }
+
+    /// Number of ports the tables cover.
+    pub fn num_ports(&self) -> usize {
+        self.ports
+    }
+
+    /// Hop distance from `tile` to port `port` (an index into the
+    /// construction-time port list).
+    #[inline]
+    pub fn hops(&self, tile: TileId, port: usize) -> u32 {
+        self.hops[tile.index() * self.ports + port]
+    }
+
+    /// Round-trip latency in cycles from `tile` to port `port`.
+    #[inline]
+    pub fn round_trip(&self, tile: TileId, port: usize) -> f64 {
+        self.round_trip[tile.index() * self.ports + port]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mesh::{MemCtrlPlacement, Mesh};
+
+    #[test]
+    fn distance_tables_match_direct_evaluation() {
+        let mesh = Mesh::new(5, 3);
+        let noc = NocConfig::default();
+        let t = DistanceTables::new(&mesh, noc);
+        assert_eq!(t.num_tiles(), 15);
+        for a in mesh.tiles() {
+            for b in mesh.tiles() {
+                assert_eq!(t.hops(a, b), mesh.hops(a, b));
+                assert_eq!(
+                    t.round_trip(a, b).to_bits(),
+                    f64::from(noc.round_trip_latency(mesh.hops(a, b))).to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn port_tables_match_direct_evaluation() {
+        let mesh = Mesh::new(4, 4);
+        let noc = NocConfig::default();
+        let mc = MemCtrlPlacement::edges(&mesh, 4);
+        let t = PortDistanceTables::new(&mesh, noc, mc.ports());
+        assert_eq!(t.num_ports(), 4);
+        for tile in mesh.tiles() {
+            for (p, &port) in mc.ports().iter().enumerate() {
+                assert_eq!(t.hops(tile, p), mesh.hops(tile, port));
+                assert_eq!(
+                    t.round_trip(tile, p).to_bits(),
+                    f64::from(noc.round_trip_latency(mesh.hops(tile, port))).to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one port")]
+    fn empty_port_list_panics() {
+        PortDistanceTables::new(&Mesh::new(2, 2), NocConfig::default(), &[]);
+    }
+}

@@ -133,6 +133,30 @@ impl TrafficStats {
         self.messages[s] += 1;
     }
 
+    /// Records a request/response message pair (`flits_a` and `flits_b`
+    /// flits) travelling the same `hops`. Exactly equivalent to two
+    /// [`Self::record`] calls — one slot resolution and one multiply for
+    /// the common "control + data over one path" case on the per-access
+    /// path.
+    #[inline]
+    pub fn record_pair(&mut self, class: TrafficClass, flits_a: u64, flits_b: u64, hops: u32) {
+        let s = Self::slot(class);
+        self.flit_hops[s] += (flits_a + flits_b) * hops as u64;
+        self.messages[s] += 2;
+    }
+
+    /// Records pre-aggregated traffic: `flit_hops` flit-hops over
+    /// `messages` messages of one class. Exactly equivalent to any sequence
+    /// of [`Self::record`] calls with the same totals (the counters are
+    /// plain sums) — the engine's run-level fast paths accumulate locally
+    /// and flush once.
+    #[inline]
+    pub fn record_bulk(&mut self, class: TrafficClass, flit_hops: u64, messages: u64) {
+        let s = Self::slot(class);
+        self.flit_hops[s] += flit_hops;
+        self.messages[s] += messages;
+    }
+
     /// Total flit-hops for one class.
     pub fn flit_hops(&self, class: TrafficClass) -> u64 {
         self.flit_hops[Self::slot(class)]

@@ -4,7 +4,9 @@
 use cdcs_mesh::geometry::{
     center_of_mass, compact_mean_distance, nearest_tile, tiles_by_distance_from_point, Point,
 };
-use cdcs_mesh::{Mesh, TileId, Topology};
+use cdcs_mesh::{
+    DistanceTables, MemCtrlPlacement, Mesh, NocConfig, PortDistanceTables, TileId, Topology,
+};
 use proptest::prelude::*;
 
 proptest! {
@@ -82,6 +84,51 @@ proptest! {
             let d0 = mesh.hops_to_point(w[0], p.x, p.y);
             let d1 = mesh.hops_to_point(w[1], p.x, p.y);
             prop_assert!(d0 <= d1 + 1e-9);
+        }
+    }
+
+    // The engine's batched access path reads these tables instead of calling
+    // `mesh.hops` / `noc.round_trip_latency` per access; bit-identical
+    // entries for every pair are what make the batched and reference engines
+    // produce equal results.
+    #[test]
+    fn distance_tables_match_mesh_and_noc(
+        cols in 1u16..10, rows in 1u16..10,
+        router in 1u32..6, link in 1u32..4,
+    ) {
+        let mesh = Mesh::new(cols, rows);
+        let noc = NocConfig { router_cycles: router, link_cycles: link, flit_bytes: 16 };
+        let tables = DistanceTables::new(&mesh, noc);
+        prop_assert_eq!(tables.num_tiles(), mesh.num_tiles());
+        for a in mesh.tiles() {
+            for b in mesh.tiles() {
+                prop_assert_eq!(tables.hops(a, b), mesh.hops(a, b));
+                prop_assert_eq!(
+                    tables.round_trip(a, b).to_bits(),
+                    f64::from(noc.round_trip_latency(mesh.hops(a, b))).to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn port_distance_tables_match_mesh_and_noc(
+        cols in 2u16..10, rows in 2u16..10, controllers in 1usize..9,
+        router in 1u32..6, link in 1u32..4,
+    ) {
+        let mesh = Mesh::new(cols, rows);
+        let noc = NocConfig { router_cycles: router, link_cycles: link, flit_bytes: 16 };
+        let mc = MemCtrlPlacement::edges(&mesh, controllers);
+        let tables = PortDistanceTables::new(&mesh, noc, mc.ports());
+        prop_assert_eq!(tables.num_ports(), mc.count());
+        for t in mesh.tiles() {
+            for (p, &port) in mc.ports().iter().enumerate() {
+                prop_assert_eq!(tables.hops(t, p), mesh.hops(t, port));
+                prop_assert_eq!(
+                    tables.round_trip(t, p).to_bits(),
+                    f64::from(noc.round_trip_latency(mesh.hops(t, port))).to_bits()
+                );
+            }
         }
     }
 }

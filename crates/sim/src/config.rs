@@ -98,6 +98,12 @@ pub struct SimConfig {
     pub monitor_kind: MonitorKind,
     /// Base RNG seed for the run.
     pub seed: u64,
+    /// Run the one-access-at-a-time reference engine instead of the batched,
+    /// table-driven pipeline. Results are bit-identical either way (the
+    /// engine-equivalence golden test holds the two paths against each
+    /// other); the reference path exists for that test and as the
+    /// definitional spec of the access path.
+    pub reference_engine: bool,
 }
 
 impl Default for SimConfig {
@@ -126,6 +132,7 @@ impl Default for SimConfig {
             reconfig_benefit_factor: 0.05,
             monitor_kind: MonitorKind::Gmon { ways: 64 },
             seed: 1,
+            reference_engine: false,
         }
     }
 }

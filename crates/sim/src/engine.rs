@@ -20,12 +20,15 @@ use crate::memory::MemoryModel;
 use crate::metrics::{SystemMetrics, ThreadMetrics};
 use crate::scheme::{MoveScheme, Scheme, ThreadSched};
 use cdcs_cache::monitor::{Gmon, GmonConfig, Monitor, Umon, UmonConfig};
+
 use cdcs_cache::{Line, MissCurve};
 use cdcs_core::policy::{clustered_cores, random_cores, CdcsPlanner, JigsawPlanner, RNucaPolicy};
 use cdcs_core::{
     Placement, PlacementProblem, PlanScratch, SystemParams, ThreadInfo, VcInfo, VcKind,
 };
-use cdcs_mesh::{MemCtrlPlacement, TileId, Topology, TrafficClass};
+use cdcs_mesh::{
+    DistanceTables, MemCtrlPlacement, PortDistanceTables, TileId, Topology, TrafficClass,
+};
 use cdcs_workload::{AccessStream, StreamTarget, WorkloadMix};
 
 /// Per-thread simulation state.
@@ -117,6 +120,111 @@ impl SimResult {
     }
 }
 
+/// Reusable per-interval access buffers for the batched engine: every
+/// thread's interval accesses are generated up front into these flat
+/// vectors (grouped by thread, `offsets` delimiting each thread's run),
+/// then drained in the same round-robin order the one-at-a-time reference
+/// path issues them. Buffers grow to the largest interval seen and are
+/// reused for the rest of the simulation.
+#[derive(Debug, Default)]
+struct AccessBatch {
+    /// Per-thread access budgets for the current interval.
+    budgets: Vec<u64>,
+    /// One packed word per access: the line address (`vc << 40 | offset`,
+    /// which also encodes the target VC in bits 40..62) plus the stream
+    /// class in bits 62..63. One load per access in the drain loop.
+    acc: Vec<u64>,
+    /// `offsets[ti]..offsets[ti + 1]` delimit thread `ti`'s accesses.
+    offsets: Vec<usize>,
+    /// Per-thread drain cursor for the round-robin interleave.
+    cursor: Vec<usize>,
+    /// Threads with budget left in the current drain segment (id order).
+    active: Vec<u32>,
+}
+
+/// Mask selecting the line address out of a packed [`AccessBatch`] word.
+const ACC_LINE_MASK: u64 = (1 << 62) - 1;
+
+/// Packed-word bit marking a process-shared access (bit 62); bit 63 marks a
+/// global access. Offsets stay far below 2^40 and VC ids far below 2^22, so
+/// the line address never touches these bits.
+const ACC_SHARED: u64 = 1 << 62;
+const ACC_GLOBAL: u64 = 1 << 63;
+
+/// Decodes a packed access word into `(vc, target, line)`.
+#[inline]
+fn unpack_access(acc: u64) -> (u32, StreamTarget, Line) {
+    let target = if acc & (ACC_SHARED | ACC_GLOBAL) == 0 {
+        StreamTarget::ThreadPrivate
+    } else if acc & ACC_SHARED != 0 {
+        StreamTarget::ProcessShared
+    } else {
+        StreamTarget::Global
+    };
+    let line = acc & ACC_LINE_MASK;
+    ((line >> 40) as u32, target, Line(line))
+}
+
+/// A concrete monitor, dispatched by match instead of vtable: the `record`
+/// call sits on the per-access path of every partitioned-scheme simulation,
+/// and the enum lets its sampling fast path inline into the engine.
+#[derive(Debug, Clone)]
+enum AnyMonitor {
+    Gmon(Gmon),
+    Umon(Umon),
+}
+
+impl AnyMonitor {
+    #[inline]
+    fn record(&mut self, line: Line) {
+        match self {
+            AnyMonitor::Gmon(m) => m.record(line),
+            AnyMonitor::Umon(m) => m.record(line),
+        }
+    }
+
+    fn miss_curve(&self) -> MissCurve {
+        match self {
+            AnyMonitor::Gmon(m) => m.miss_curve(),
+            AnyMonitor::Umon(m) => m.miss_curve(),
+        }
+    }
+
+    fn age(&mut self) {
+        match self {
+            AnyMonitor::Gmon(m) => m.age(),
+            AnyMonitor::Umon(m) => m.age(),
+        }
+    }
+}
+
+/// Per-interval constants of the access path, read once from the config
+/// instead of once per access.
+struct HotState {
+    /// Monitors exist and their samples can still be read (see
+    /// `Simulation::monitors_live`).
+    monitors_live: bool,
+    bank_lat: f64,
+    line_flits: u64,
+    ctrl_flits: u64,
+    /// Memory-controller port count (for the interleaved port pick).
+    ports: u64,
+    measuring: bool,
+}
+
+/// The next interleaved memory-controller port (batched path): the same
+/// `access № mod port-count` sequence as `mc.port_for(mc_counter)`,
+/// maintained as a wrapping cursor instead of a per-access division.
+#[inline]
+fn next_port(cursor: &mut u64, ports: u64) -> usize {
+    let port = *cursor;
+    *cursor += 1;
+    if *cursor == ports {
+        *cursor = 0;
+    }
+    port as usize
+}
+
 /// The simulator.
 pub struct Simulation {
     config: SimConfig,
@@ -125,16 +233,42 @@ pub struct Simulation {
     cores: Vec<TileId>,
     llc: Llc,
     memory: MemoryModel,
-    monitors: Vec<Box<dyn Monitor>>,
+    monitors: Vec<AnyMonitor>,
     mc: MemCtrlPlacement,
     mc_counter: u64,
+    /// Batched-path port cursor: equals `mc_counter % ports` without the
+    /// per-access division (the reference path keeps the counter form).
+    mc_port: u64,
     avg_mc_round_trip: f64,
+    /// Precomputed `tile × tile` hop / round-trip tables (built once here,
+    /// next to the memory-controller mean-hops table): the batched access
+    /// path replaces `mesh.hops` + `noc.round_trip_latency` with two loads.
+    tile_tables: DistanceTables,
+    /// Precomputed `tile × mc-port` hop / round-trip tables for the miss and
+    /// writeback paths.
+    mc_tables: PortDistanceTables,
     /// Planner-facing parameters with the round-trip table prebuilt;
     /// `mem_latency` is patched per epoch in [`Self::planner_params`].
     base_params: SystemParams,
     /// Reusable planner buffers (cost matrix, spiral orders, …) shared
     /// across epoch reconfigurations.
     scratch: PlanScratch,
+    /// Pooled planner output buffer: each reconfiguration plans into this
+    /// and swaps it with `last_placement`, so steady-state epochs emit
+    /// placements without allocating the `vc × bank` matrix.
+    plan_buf: Placement,
+    /// Reusable batched-interval buffers.
+    batch: AccessBatch,
+    /// `CDCS_DEBUG_RECONFIG` read once at construction (the lookup is a
+    /// syscall; it has no place inside the reconfiguration path).
+    debug_reconfig: bool,
+    /// Whether monitor samples can still influence a decision. Monitor
+    /// state is read in exactly one place — `build_problem` at a
+    /// reconfiguration — so once the last reconfiguration of a run has
+    /// happened (the final epoch, or the post-reconfiguration half of a
+    /// trace), recording into the GMONs is dead work and is skipped.
+    /// `SimResult` carries no monitor state, so results are identical.
+    monitors_live: bool,
     cycle: u64,
     traffic: cdcs_mesh::TrafficStats,
     system: SystemMetrics,
@@ -235,31 +369,31 @@ impl Simulation {
         };
 
         // Monitors: GMONs sized to cover the whole LLC (§IV-G), one per VC.
-        let monitors: Vec<Box<dyn Monitor>> = if config.scheme.partitioned() {
-            (0..num_vcs)
-                .map(|_| -> Box<dyn Monitor> {
-                    match config.monitor_kind {
-                        crate::config::MonitorKind::Gmon { ways } => {
-                            Box::new(Gmon::new(GmonConfig::covering(
-                                config.monitor_sets,
-                                ways,
-                                config.monitor_sample_period,
-                                config.total_lines(),
-                            )))
-                        }
-                        crate::config::MonitorKind::Umon { ways } => {
-                            // Uniform ways sized to cover the LLC.
-                            let per_way = config.total_lines().div_ceil(ways as u64);
-                            let period = per_way.div_ceil(config.monitor_sets as u64).max(1) as u32;
-                            Box::new(Umon::new(UmonConfig {
-                                sets: config.monitor_sets,
-                                ways,
-                                sample_period: period,
-                            }))
-                        }
-                    }
-                })
-                .collect()
+        // Every VC gets the same geometry, so the sizing computation (the
+        // γ bisection for GMONs) runs once and the per-VC monitors are
+        // stamped from the prototype.
+        let monitors: Vec<AnyMonitor> = if config.scheme.partitioned() {
+            let prototype = match config.monitor_kind {
+                crate::config::MonitorKind::Gmon { ways } => {
+                    AnyMonitor::Gmon(Gmon::new(GmonConfig::covering(
+                        config.monitor_sets,
+                        ways,
+                        config.monitor_sample_period,
+                        config.total_lines(),
+                    )))
+                }
+                crate::config::MonitorKind::Umon { ways } => {
+                    // Uniform ways sized to cover the LLC.
+                    let per_way = config.total_lines().div_ceil(ways as u64);
+                    let period = per_way.div_ceil(config.monitor_sets as u64).max(1) as u32;
+                    AnyMonitor::Umon(Umon::new(UmonConfig {
+                        sets: config.monitor_sets,
+                        ways,
+                        sample_period: period,
+                    }))
+                }
+            };
+            vec![prototype; num_vcs]
         } else {
             Vec::new()
         };
@@ -282,6 +416,10 @@ impl Simulation {
             config.mem_zero_load + avg_mc_round_trip,
             f64::from(config.bank_latency),
         );
+        // Hop / round-trip tables for the batched access path, built once
+        // alongside the mean-hops table above.
+        let tile_tables = DistanceTables::new(&config.mesh, config.noc);
+        let mc_tables = PortDistanceTables::new(&config.mesh, config.noc, mc.ports());
 
         let mut sim = Simulation {
             config,
@@ -293,9 +431,16 @@ impl Simulation {
             monitors,
             mc,
             mc_counter: 0,
+            mc_port: 0,
             avg_mc_round_trip,
+            tile_tables,
+            mc_tables,
             base_params,
             scratch: PlanScratch::new(),
+            plan_buf: Placement::default(),
+            batch: AccessBatch::default(),
+            debug_reconfig: std::env::var("CDCS_DEBUG_RECONFIG").is_ok(),
+            monitors_live: true,
             cycle: 0,
             traffic: cdcs_mesh::TrafficStats::new(),
             system: SystemMetrics::default(),
@@ -382,21 +527,26 @@ impl Simulation {
     }
 
     /// Runs an epoch-boundary reconfiguration for partitioned schemes.
+    ///
+    /// The planner writes into the pooled `plan_buf`, which on application
+    /// is swapped with `last_placement` — steady-state epochs neither
+    /// allocate the output matrix nor clone it into `last_placement`.
     fn reconfigure(&mut self) {
         let problem = self.build_problem(false);
-        let placement: Placement = match &self.config.scheme {
+        let mut placement = std::mem::take(&mut self.plan_buf);
+        match &self.config.scheme {
             Scheme::Jigsaw { .. } => JigsawPlanner {
                 granularity: self.config.alloc_granularity,
                 chunk: self.config.alloc_granularity,
             }
-            .plan_with(&problem, &self.cores, &mut self.scratch),
+            .plan_into(&problem, &self.cores, &mut self.scratch, &mut placement),
             Scheme::Cdcs { planner, .. } => {
                 let planner = CdcsPlanner {
                     granularity: self.config.alloc_granularity,
                     chunk: self.config.alloc_granularity,
                     ..*planner
                 };
-                planner.plan_with(&problem, &self.cores, &mut self.scratch)
+                planner.plan_into(&problem, &self.cores, &mut self.scratch, &mut placement);
             }
             _ => unreachable!("only partitioned schemes reconfigure"),
         };
@@ -412,17 +562,15 @@ impl Simulation {
             // Displaced lines: per-bank capacity shrink, scaled by how full
             // the VC actually is (shrinking empty capacity displaces
             // nothing).
-            let relocated: f64 = placement
-                .vc_alloc
-                .iter()
-                .enumerate()
-                .map(|(d, per_bank)| {
-                    let shrink: u64 = per_bank
+            let relocated: f64 = (0..placement.num_vcs())
+                .map(|d| {
+                    let shrink: u64 = placement
+                        .vc_row(d)
                         .iter()
-                        .enumerate()
-                        .map(|(b, &lines)| last.vc_alloc[d][b].saturating_sub(lines))
+                        .zip(last.vc_row(d))
+                        .map(|(&lines, &old_lines)| old_lines.saturating_sub(lines))
                         .sum();
-                    let old_total: u64 = last.vc_alloc[d].iter().sum();
+                    let old_total: u64 = last.vc_row(d).iter().sum();
                     if old_total == 0 {
                         return 0.0;
                     }
@@ -431,13 +579,15 @@ impl Simulation {
                 })
                 .sum();
             let new_cost = cdcs_core::cost::total_latency(&problem, &placement);
-            let mut old = last.clone();
-            old.thread_cores = self.cores.clone();
-            let old_cost = cdcs_core::cost::total_latency(&problem, &old);
+            // The current placement costed under the current cores (which
+            // are where its threads actually run).
+            let old_cost = cdcs_core::cost::total_latency_with_cores(&problem, last, &self.cores);
             let move_cost =
                 self.config.reconfig_benefit_factor * relocated * problem.params.mem_latency;
             if new_cost + move_cost >= old_cost {
-                // Not worth it: keep the current placement.
+                // Not worth it: keep the current placement and return the
+                // buffer to the pool.
+                self.plan_buf = placement;
                 for m in &mut self.monitors {
                     m.age();
                 }
@@ -448,7 +598,7 @@ impl Simulation {
                 return;
             }
         }
-        if std::env::var("CDCS_DEBUG_RECONFIG").is_ok() {
+        if self.debug_reconfig {
             eprintln!(
                 "reconfig@{}: cores[0..4] {:?} vc0 {:?} vc1 {:?}",
                 self.cycle,
@@ -457,7 +607,8 @@ impl Simulation {
                 placement.vc_banks(1),
             );
         }
-        self.cores = placement.thread_cores.clone();
+        self.cores.clear();
+        self.cores.extend_from_slice(&placement.thread_cores);
         let pause = self.llc.reconfigure(
             &placement,
             self.config.move_scheme,
@@ -476,10 +627,21 @@ impl Simulation {
             self.system.reconfigurations += 1;
             self.system.pause_cycles += pause;
         }
-        self.last_placement = Some(placement);
+        // The displaced previous placement becomes the next epoch's pooled
+        // plan buffer.
+        if let Some(old) = self.last_placement.replace(placement) {
+            self.plan_buf = old;
+        }
     }
 
     /// Issues one access for thread `ti`; returns its latency in cycles.
+    ///
+    /// This is the *reference* access path (`SimConfig::reference_engine`):
+    /// it draws the access from the stream and resolves every distance
+    /// through `mesh.hops` / `noc.round_trip_latency` inline. The batched
+    /// path ([`Self::process_access`]) must produce bit-identical results —
+    /// `crates/sim/tests/engine_equivalence.rs` holds the two against each
+    /// other.
     fn issue_access(&mut self, ti: usize) -> f64 {
         let core = self.cores[ti];
         let (target, offset) = self.threads[ti].stream.next_access();
@@ -499,7 +661,7 @@ impl Simulation {
         // Disjoint address spaces per VC.
         let line = Line(((vc as u64) << 40) | offset);
 
-        if !self.monitors.is_empty() {
+        if !self.monitors.is_empty() && self.monitors_live {
             self.monitors[vc as usize].record(line);
         }
 
@@ -599,38 +761,347 @@ impl Simulation {
         latency
     }
 
+    /// Fast path for a straight run of one thread's accesses that all hit a
+    /// zero-allocation (bypassing) private VC — the back half of every
+    /// interval once only a streaming thread has budget left. Processes the
+    /// whole run with the per-access constants hoisted (descriptor check,
+    /// memory-latency estimate, distance-table rows) and the order-invariant
+    /// integer counters accumulated in batch; every floating-point
+    /// accumulation happens access by access in the exact order
+    /// [`Self::process_access`] performs it, so results stay bit-identical.
+    ///
+    /// Returns false (having done nothing) if the run does not qualify.
+    fn process_bypass_run(&mut self, ti: usize, run: &[u64], hot: &HotState) -> bool {
+        if run.is_empty() {
+            return false;
+        }
+        // Qualify: every access targets the thread's private VC…
+        if !run.iter().all(|&acc| acc & (ACC_SHARED | ACC_GLOBAL) == 0) {
+            return false;
+        }
+        let vc = self.threads[ti].vc_private;
+        // …and that VC currently bypasses the LLC.
+        if !self.llc.vc_bypasses(vc) {
+            return false;
+        }
+
+        // No monitor records here: these are thread-private accesses, which
+        // the generation-side pre-pass already recorded.
+
+        let core = self.cores[ti];
+        let latency_estimate = self.memory.current_latency();
+        let ports = hot.ports as usize;
+        let k = run.len() as u64;
+        let mut hop_sum = 0u64;
+        let mut iv_latency = self.threads[ti].iv_latency;
+        let m = &mut self.threads[ti].metrics;
+        for _ in 0..run.len() {
+            let port = next_port(&mut self.mc_port, hot.ports);
+            debug_assert!(port < ports);
+            // Same per-access f64 sequence as `process_access`'s bypass arm:
+            // mem = memory latency + round trip; mem_cycles += mem;
+            // iv_latency += mem.
+            let mem = latency_estimate + self.mc_tables.round_trip(core, port);
+            m.mem_cycles += mem;
+            iv_latency += mem;
+            hop_sum += u64::from(self.mc_tables.hops(core, port));
+        }
+        self.threads[ti].iv_latency = iv_latency;
+        // Order-invariant integer bookkeeping, batched: exactly what k
+        // per-access updates would produce (u64 addition is associative).
+        let m = &mut self.threads[ti].metrics;
+        m.accesses += k;
+        m.misses += k;
+        self.threads[ti].iv_accesses += k;
+        self.memory.count_accesses(k);
+        self.traffic.record_bulk(
+            TrafficClass::LlcToMem,
+            (hot.ctrl_flits + hot.line_flits) * hop_sum,
+            2 * k,
+        );
+        if hot.measuring {
+            self.system.dram_accesses += k;
+        }
+        true
+    }
+
+    /// Processes one pre-generated access on the batched path. Mirrors
+    /// [`Self::issue_access`] step for step, but the stream draw and VC
+    /// resolution already happened at batch-generation time and every
+    /// distance is a table load ([`DistanceTables`] / [`PortDistanceTables`]
+    /// hold exactly the values the reference path computes).
+    fn process_access(
+        &mut self,
+        ti: usize,
+        vc: u32,
+        target: StreamTarget,
+        line: Line,
+        hot: &HotState,
+    ) {
+        let core = self.cores[ti];
+        // Thread-private records already happened in the generation-side
+        // pre-pass; only the cross-thread (shared/global) VCs record here.
+        if hot.monitors_live && target != StreamTarget::ThreadPrivate {
+            self.monitors[vc as usize].record(line);
+        }
+
+        let result = self.llc.access(vc, target, core, &self.config.mesh, line);
+        let mut latency = 0.0;
+        let m = &mut self.threads[ti].metrics;
+        m.accesses += 1;
+
+        if result.bypass {
+            // Zero-allocation VC: straight to memory from the core tile.
+            let port = next_port(&mut self.mc_port, hot.ports);
+            let hops = self.mc_tables.hops(core, port);
+            let mem = self.memory.access() + self.mc_tables.round_trip(core, port);
+            latency += mem;
+            m.mem_cycles += mem;
+            m.misses += 1;
+            self.traffic
+                .record_pair(TrafficClass::LlcToMem, hot.ctrl_flits, hot.line_flits, hops);
+            if hot.measuring {
+                self.system.dram_accesses += 1;
+            }
+            self.threads[ti].iv_accesses += 1;
+            self.threads[ti].iv_latency += latency;
+            return;
+        }
+
+        let bank_tile = TileId(result.bank.0);
+        let hops = self.tile_tables.hops(core, bank_tile);
+        let to_bank = self.tile_tables.round_trip(core, bank_tile);
+        latency += hot.bank_lat + to_bank;
+        m.bank_cycles += hot.bank_lat;
+        m.net_cycles += to_bank;
+        self.traffic
+            .record_pair(TrafficClass::L2ToLlc, hot.ctrl_flits, hot.line_flits, hops);
+
+        // Two-level lookup during the shadow window (Fig. 10): the new bank
+        // forwards to the old bank.
+        if let Some(old) = result.old_bank_checked {
+            let old_tile = TileId(old.0);
+            let detour_hops = self.tile_tables.hops(bank_tile, old_tile);
+            let detour_rt = self.tile_tables.round_trip(bank_tile, old_tile);
+            latency += hot.bank_lat + detour_rt;
+            m.bank_cycles += hot.bank_lat;
+            m.net_cycles += detour_rt;
+            self.traffic
+                .record(TrafficClass::Other, hot.ctrl_flits, detour_hops);
+            if result.demand_moved {
+                // The line and its coherence state travel back (Fig. 10a).
+                self.traffic
+                    .record(TrafficClass::Other, hot.line_flits, detour_hops);
+                if hot.measuring {
+                    self.system.demand_moves += 1;
+                }
+            }
+        }
+
+        if result.hit {
+            m.hits += 1;
+        } else {
+            let port = next_port(&mut self.mc_port, hot.ports);
+            let mem_hops = self.mc_tables.hops(bank_tile, port);
+            let mem = self.memory.access() + self.mc_tables.round_trip(bank_tile, port);
+            latency += mem;
+            m.mem_cycles += mem;
+            m.misses += 1;
+            self.traffic.record_pair(
+                TrafficClass::LlcToMem,
+                hot.ctrl_flits,
+                hot.line_flits,
+                mem_hops,
+            );
+            if hot.measuring {
+                self.system.dram_accesses += 1;
+            }
+        }
+        if result.evicted {
+            // Writeback to the line's controller (no silent drops, Table 2).
+            let port = next_port(&mut self.mc_port, hot.ports);
+            let wb_hops = self.mc_tables.hops(bank_tile, port);
+            self.traffic
+                .record(TrafficClass::LlcToMem, hot.line_flits, wb_hops);
+            if hot.measuring {
+                self.system.dram_accesses += 1;
+            }
+        }
+
+        self.threads[ti].iv_accesses += 1;
+        self.threads[ti].iv_latency += latency;
+    }
+
+    /// Batched interval core: generate every thread's accesses up front
+    /// (stream draws, VC resolution, epoch accounting, line construction)
+    /// into the reusable [`AccessBatch`], then drain them in round-robin
+    /// order through the table-driven [`Self::process_access`].
+    ///
+    /// Per-thread streams are independent RNGs and the shared structures
+    /// (LLC, monitors, memory model, controller interleave) are only touched
+    /// in the drain, so splitting generation from processing preserves the
+    /// reference path's access-for-access behaviour exactly.
+    fn run_interval_batched(&mut self, batch: &mut AccessBatch) {
+        let num_threads = self.threads.len();
+        let global_vc = (self.vc_kinds.len() - 1) as u32;
+        batch.acc.clear();
+        batch.offsets.clear();
+        batch.offsets.push(0);
+        for (ti, t) in self.threads.iter_mut().enumerate() {
+            let budget = batch.budgets[ti] as usize;
+            if t.stream.is_private_only() {
+                // Single-class stream: bulk-draw the offsets (pattern
+                // dispatch hoisted) and pack them against the constant
+                // private-VC tag. Identical draws, identical epoch counts
+                // (`budget` unit additions of an exact integer).
+                let base = (t.vc_private as u64) << 40;
+                let start = batch.acc.len();
+                t.stream.fill_private_offsets(budget, &mut batch.acc);
+                for acc in &mut batch.acc[start..] {
+                    // Disjoint address spaces per VC.
+                    *acc |= base;
+                }
+                t.ep_private += budget as f64;
+            } else {
+                for _ in 0..budget {
+                    let (target, offset) = t.stream.next_access();
+                    let (vc, class_bits) = match target {
+                        StreamTarget::ThreadPrivate => {
+                            t.ep_private += 1.0;
+                            (t.vc_private, 0)
+                        }
+                        StreamTarget::ProcessShared => {
+                            t.ep_shared += 1.0;
+                            (
+                                t.vc_shared.expect("shared access without shared VC"),
+                                ACC_SHARED,
+                            )
+                        }
+                        StreamTarget::Global => (global_vc, ACC_GLOBAL),
+                    };
+                    // Disjoint address spaces per VC.
+                    batch.acc.push(class_bits | ((vc as u64) << 40) | offset);
+                }
+            }
+            batch.offsets.push(batch.acc.len());
+        }
+
+        // Monitor pre-pass: a thread-private VC only ever receives accesses
+        // from its one owning thread, so its round-robin record subsequence
+        // *is* the thread's own slice, in order — record those in one tight
+        // loop per thread while the monitor's tag array stays hot. Monitor
+        // and LLC state are disjoint, so moving the records ahead of the
+        // latency drain changes nothing. Shared/global VCs interleave
+        // across threads and keep their records in the drain below.
+        if !self.monitors.is_empty() && self.monitors_live {
+            for ti in 0..num_threads {
+                let monitor = &mut self.monitors[self.threads[ti].vc_private as usize];
+                for &acc in &batch.acc[batch.offsets[ti]..batch.offsets[ti + 1]] {
+                    if acc & (ACC_SHARED | ACC_GLOBAL) == 0 {
+                        monitor.record(Line(acc & ACC_LINE_MASK));
+                    }
+                }
+            }
+        }
+
+        let hot = HotState {
+            monitors_live: !self.monitors.is_empty() && self.monitors_live,
+            bank_lat: f64::from(self.config.bank_latency),
+            line_flits: self.config.noc.data_flits(64),
+            ctrl_flits: self.config.noc.control_flits(),
+            ports: self.mc_tables.num_ports() as u64,
+            measuring: self.measuring,
+        };
+
+        // Round-robin drain, same interleave as the reference path,
+        // segmented: between two thread exhaustions the set of active
+        // threads is fixed, so whole rounds run over the active list with
+        // no per-access budget checks. Once a single thread remains, its
+        // tail is a straight run (and, for a bypassing streaming VC, takes
+        // the batch fast path).
+        batch.cursor.clear();
+        batch
+            .cursor
+            .extend_from_slice(&batch.offsets[..num_threads]);
+        loop {
+            // Segment setup: active threads (id order — the round-robin
+            // visit order) and the shortest remaining budget among them.
+            batch.active.clear();
+            let mut min_rem = usize::MAX;
+            for ti in 0..num_threads {
+                let rem = batch.offsets[ti + 1] - batch.cursor[ti];
+                if rem > 0 {
+                    batch.active.push(ti as u32);
+                    min_rem = min_rem.min(rem);
+                }
+            }
+            match batch.active.len() {
+                0 => break,
+                1 => {
+                    let ti = batch.active[0] as usize;
+                    let (lo, hi) = (batch.cursor[ti], batch.offsets[ti + 1]);
+                    if !self.process_bypass_run(ti, &batch.acc[lo..hi], &hot) {
+                        for c in lo..hi {
+                            let (vc, target, line) = unpack_access(batch.acc[c]);
+                            self.process_access(ti, vc, target, line, &hot);
+                        }
+                    }
+                    batch.cursor[ti] = hi;
+                    break;
+                }
+                _ => {
+                    for _ in 0..min_rem {
+                        for &ti in &batch.active {
+                            let ti = ti as usize;
+                            let c = batch.cursor[ti];
+                            batch.cursor[ti] = c + 1;
+                            let (vc, target, line) = unpack_access(batch.acc[c]);
+                            self.process_access(ti, vc, target, line, &hot);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
     /// Simulates one interval; returns the aggregate instructions retired.
     fn run_interval(&mut self) -> f64 {
         let interval = self.config.interval_cycles;
+        let mut batch = std::mem::take(&mut self.batch);
         // Budgets from current IPC estimates.
-        let mut budgets: Vec<u64> = Vec::with_capacity(self.threads.len());
+        batch.budgets.clear();
         let mut instr_total = 0.0;
         for t in &mut self.threads {
             let instrs = t.ipc * interval as f64;
             let exact = instrs * t.apki / 1000.0 + t.carry;
             let n = exact.floor();
             t.carry = exact - n;
-            budgets.push(n as u64);
+            batch.budgets.push(n as u64);
             instr_total += instrs;
             if self.measuring {
                 t.metrics.instructions += instrs;
                 t.metrics.cycles += interval as f64;
             }
         }
-        // Round-robin interleaving across threads.
-        loop {
-            let mut any = false;
-            for (ti, budget) in budgets.iter_mut().enumerate() {
-                if *budget > 0 {
-                    *budget -= 1;
-                    self.issue_access(ti);
-                    any = true;
+        if self.config.reference_engine {
+            // Reference path: one access at a time, round-robin.
+            loop {
+                let mut any = false;
+                for ti in 0..batch.budgets.len() {
+                    if batch.budgets[ti] > 0 {
+                        batch.budgets[ti] -= 1;
+                        self.issue_access(ti);
+                        any = true;
+                    }
+                }
+                if !any {
+                    break;
                 }
             }
-            if !any {
-                break;
-            }
+        } else {
+            self.run_interval_batched(&mut batch);
         }
+        self.batch = batch;
         // Interval bookkeeping: AMAT -> IPC feedback.
         for t in &mut self.threads {
             if t.iv_accesses > 0 {
@@ -677,6 +1148,9 @@ impl Simulation {
         let total_epochs = self.config.warmup_epochs + self.config.measure_epochs;
         for epoch in 0..total_epochs {
             self.measuring = epoch >= self.config.warmup_epochs;
+            // The final epoch is followed by no reconfiguration, so nothing
+            // can ever read the samples it would record.
+            self.monitors_live = epoch + 1 < total_epochs;
             for _ in 0..intervals_per_epoch {
                 self.run_interval();
             }
@@ -700,6 +1174,8 @@ impl Simulation {
         if self.config.scheme.reconfigures() {
             self.reconfigure();
         }
+        // Past the trace's one reconfiguration, monitor samples are dead.
+        self.monitors_live = false;
         for _ in 0..post_intervals.div_ceil(2) {
             self.run_interval();
         }

@@ -14,7 +14,7 @@ use cdcs_core::policy::{RNucaPolicy, RnucaClass};
 use cdcs_core::{Placement, VcDescriptor};
 use cdcs_mesh::{Mesh, TileId};
 use cdcs_workload::StreamTarget;
-use std::collections::HashMap;
+use rustc_hash::FxHashMap;
 
 /// How lines find their bank.
 #[derive(Debug, Clone)]
@@ -69,8 +69,11 @@ pub(crate) struct Llc {
     mapping: Mapping,
     bank_lines: u64,
     /// Lines displaced by the last reconfiguration, still serveable from
-    /// their old location via demand moves: line → old bank.
-    old_lines: HashMap<u64, BankId>,
+    /// their old location via demand moves: line → old bank. Fx-hashed —
+    /// the map is probed on every miss while a shadow window is open and
+    /// bulk-filled at reconfigurations; nothing observes its iteration
+    /// order (`retain` filters per entry, counters are sums).
+    old_lines: FxHashMap<u64, BankId>,
     /// Cycle at which the current shadow window started.
     shadow_start: u64,
     pub stats: MoveStats,
@@ -88,7 +91,7 @@ impl Llc {
                 None => Mapping::Hashed,
             },
             bank_lines,
-            old_lines: HashMap::new(),
+            old_lines: FxHashMap::default(),
             shadow_start: 0,
             stats: MoveStats::default(),
         }
@@ -108,7 +111,7 @@ impl Llc {
                 shadow_active: false,
             },
             bank_lines,
-            old_lines: HashMap::new(),
+            old_lines: FxHashMap::default(),
             shadow_start: 0,
             stats: MoveStats::default(),
         }
@@ -118,6 +121,17 @@ impl Llc {
     #[allow(dead_code)] // exercised by tests and kept for harness inspection
     pub fn is_partitioned(&self) -> bool {
         matches!(self.mapping, Mapping::Vtb { .. })
+    }
+
+    /// Whether every access to `vc` currently bypasses the LLC (a
+    /// partitioned mapping with no allocation for the VC). Lets the engine
+    /// take a straight-to-memory fast path for whole runs of a streaming
+    /// thread's accesses without consulting the descriptor per access.
+    pub fn vc_bypasses(&self, vc: u32) -> bool {
+        match &self.mapping {
+            Mapping::Vtb { desc, .. } => desc[vc as usize].is_none(),
+            _ => false,
+        }
     }
 
     /// Looks up (and on miss, fills) `line` for the given access context.
@@ -168,7 +182,10 @@ impl Llc {
                 } else {
                     None
                 };
-                let hit = self.banks[bank.index()].access(part, line);
+                // Combined lookup-and-fill: a miss always fills this bank,
+                // and the demand-move bookkeeping below touches disjoint
+                // state, so one probe serves both steps.
+                let (hit, evicted_line) = self.banks[bank.index()].access_insert(part, line);
                 if hit {
                     return LookupResult {
                         bank,
@@ -181,22 +198,19 @@ impl Llc {
                 }
                 // Miss in the new bank: consult the old bank while the
                 // shadow window is open (Fig. 10).
-                let (mut demand_moved, mut evicted) = (false, false);
+                let mut demand_moved = false;
                 if old_bank.is_some() && self.old_lines.remove(&line.0).is_some() {
                     // Old bank hit: the line moves to its new home (Fig. 10a).
                     demand_moved = true;
                     self.stats.demand_moves += 1;
                 }
-                // Fill the new location (whether from the old bank or from
-                // memory).
-                evicted |= self.banks[bank.index()].fill(part, line).is_some();
                 LookupResult {
                     bank,
                     hit: demand_moved,
                     bypass: false,
                     old_bank_checked: old_bank,
                     demand_moved,
-                    evicted,
+                    evicted: evicted_line.is_some(),
                 }
             }
         }
@@ -205,18 +219,14 @@ impl Llc {
     /// Unpartitioned access path: single-partition banks.
     fn plain_access(&mut self, bank: BankId, line: Line) -> LookupResult {
         let part = PartitionId(0);
-        let hit = self.banks[bank.index()].access(part, line);
-        let mut evicted = false;
-        if !hit {
-            evicted = self.banks[bank.index()].fill(part, line).is_some();
-        }
+        let (hit, evicted) = self.banks[bank.index()].access_insert(part, line);
         LookupResult {
             bank,
             hit,
             bypass: false,
             old_bank_checked: None,
             demand_moved: false,
-            evicted,
+            evicted: evicted.is_some(),
         }
     }
 
@@ -234,7 +244,7 @@ impl Llc {
         now_cycles: u64,
         bulk_pause: u64,
     ) -> u64 {
-        let num_vcs = placement.vc_alloc.len();
+        let num_vcs = placement.num_vcs();
         // Any stragglers from the previous window are dropped now (their
         // background walk has long finished in practice; epochs far exceed
         // the walk window).
@@ -267,15 +277,35 @@ impl Llc {
         // collected MRU-first per partition.
         let mut pause = 0;
         let mut instant_moves: Vec<(usize, PartitionId, Line)> = Vec::new();
+        let mut lines_buf: Vec<Line> = Vec::new();
         for (d, desc) in new_desc.iter().enumerate().take(num_vcs) {
             let part = PartitionId(d as u16);
-            for b in 0..self.banks.len() {
-                let lines = self.banks[b].partition_lines(part);
-                for line in lines {
-                    let new_bank = desc.as_ref().map(|nd| nd.bank_for_line(line));
-                    match new_bank {
-                        Some(nb) if nb.index() == b => {} // stays put
-                        Some(nb) => {
+            match desc {
+                None => {
+                    // VC lost its allocation entirely: every resident line is
+                    // invalidated. Wholesale partition clears replace the
+                    // per-line walk — same lines dropped, same statistics,
+                    // without a hash removal per line (this is the common
+                    // bulk case: a streaming VC whose allocation goes to
+                    // zero drops tens of thousands of lines here).
+                    for b in 0..self.banks.len() {
+                        let dropped = self.banks[b].clear_partition(part);
+                        match move_scheme {
+                            MoveScheme::BulkInvalidate => {
+                                self.stats.bulk_invalidations += dropped;
+                            }
+                            _ => self.stats.background_invalidations += dropped,
+                        }
+                    }
+                }
+                Some(nd) => {
+                    for b in 0..self.banks.len() {
+                        self.banks[b].partition_lines_into(part, &mut lines_buf);
+                        for &line in &lines_buf {
+                            let nb = nd.bank_for_line(line);
+                            if nb.index() == b {
+                                continue; // stays put
+                            }
                             self.banks[b].invalidate(part, line);
                             match move_scheme {
                                 MoveScheme::Instant => {
@@ -289,14 +319,6 @@ impl Llc {
                                 }
                             }
                         }
-                        None => {
-                            // VC lost its allocation entirely.
-                            self.banks[b].invalidate(part, line);
-                            match move_scheme {
-                                MoveScheme::BulkInvalidate => self.stats.bulk_invalidations += 1,
-                                _ => self.stats.background_invalidations += 1,
-                            }
-                        }
                     }
                 }
             }
@@ -305,10 +327,10 @@ impl Llc {
         // Phase 2: apply the new partition sizes. Lines that stay in their
         // bank but exceed the shrunken allocation are ordinary LRU evictions
         // (in hardware, Vantage demotes them as the partition shrinks).
+        let mut sizes: Vec<usize> = Vec::with_capacity(num_vcs);
         for (b, bank) in self.banks.iter_mut().enumerate() {
-            let sizes: Vec<usize> = (0..num_vcs)
-                .map(|d| placement.vc_alloc[d][b] as usize)
-                .collect();
+            sizes.clear();
+            sizes.extend((0..num_vcs).map(|d| placement[(d, b)] as usize));
             bank.resize_partitions(&sizes);
         }
 
@@ -430,10 +452,7 @@ mod tests {
         let num_vcs = alloc.len();
         let banks = alloc[0].len();
         let mut llc = Llc::partitioned(banks, 1024, num_vcs);
-        let placement = Placement {
-            thread_cores: vec![],
-            vc_alloc: alloc,
-        };
+        let placement = Placement::from_rows(vec![], alloc);
         llc.reconfigure(&placement, move_scheme, 0, 0);
         (llc, placement)
     }
@@ -507,10 +526,7 @@ mod tests {
             llc.access(0, StreamTarget::ThreadPrivate, TileId(0), &mesh, Line(a));
         }
         // Move the VC to bank 1.
-        let placement = Placement {
-            thread_cores: vec![],
-            vc_alloc: vec![vec![0, 1024]],
-        };
+        let placement = Placement::from_rows(vec![], vec![vec![0, 1024]]);
         llc.reconfigure(&placement, MoveScheme::Instant, 1000, 0);
         assert_eq!(llc.stats.instant_moves, 100);
         // All lines hit immediately at the new bank.
@@ -528,10 +544,7 @@ mod tests {
         for a in 0..100u64 {
             llc.access(0, StreamTarget::ThreadPrivate, TileId(0), &mesh, Line(a));
         }
-        let placement = Placement {
-            thread_cores: vec![],
-            vc_alloc: vec![vec![0, 1024]],
-        };
+        let placement = Placement::from_rows(vec![], vec![vec![0, 1024]]);
         let pause = llc.reconfigure(&placement, MoveScheme::BulkInvalidate, 1000, 12345);
         assert_eq!(pause, 12345);
         assert_eq!(llc.stats.bulk_invalidations, 100);
@@ -547,10 +560,7 @@ mod tests {
         for a in 0..100u64 {
             llc.access(0, StreamTarget::ThreadPrivate, TileId(0), &mesh, Line(a));
         }
-        let placement = Placement {
-            thread_cores: vec![],
-            vc_alloc: vec![vec![0, 1024]],
-        };
+        let placement = Placement::from_rows(vec![], vec![vec![0, 1024]]);
         llc.reconfigure(&placement, MoveScheme::DemandMove, 1000, 0);
         assert!(llc.shadow_active());
         assert_eq!(llc.pending_old_lines(), 100);
@@ -571,10 +581,7 @@ mod tests {
         for a in 0..100u64 {
             llc.access(0, StreamTarget::ThreadPrivate, TileId(0), &mesh, Line(a));
         }
-        let placement = Placement {
-            thread_cores: vec![],
-            vc_alloc: vec![vec![0, 1024]],
-        };
+        let placement = Placement::from_rows(vec![], vec![vec![0, 1024]]);
         llc.reconfigure(&placement, MoveScheme::DemandMove, 1000, 0);
         // Before the delay: nothing happens.
         llc.background_tick(1000 + 10, 50, 100);
@@ -596,10 +603,7 @@ mod tests {
     #[should_panic(expected = "unpartitioned")]
     fn reconfigure_unpartitioned_panics() {
         let mut llc = Llc::unpartitioned(2, 1024, None);
-        let placement = Placement {
-            thread_cores: vec![],
-            vc_alloc: vec![vec![0, 0]],
-        };
+        let placement = Placement::from_rows(vec![], vec![vec![0, 0]]);
         llc.reconfigure(&placement, MoveScheme::Instant, 0, 0);
     }
 
@@ -612,10 +616,7 @@ mod tests {
         }
         assert_eq!(llc.occupancy(), 1000);
         // Shrink to 100 lines in the same bank.
-        let placement = Placement {
-            thread_cores: vec![],
-            vc_alloc: vec![vec![100, 0]],
-        };
+        let placement = Placement::from_rows(vec![], vec![vec![100, 0]]);
         llc.reconfigure(&placement, MoveScheme::Instant, 10, 0);
         assert!(llc.occupancy() <= 100);
     }

@@ -160,18 +160,73 @@ impl PatternState {
         }
     }
 
+    /// Bulk form of [`Self::next_offset`]: appends the next `n` offsets to
+    /// `out` — exactly the sequence `n` single draws would produce, with
+    /// the pattern dispatch hoisted out of the loop (the simulator
+    /// generates a whole interval's accesses per thread at once).
+    /// (No up-front `reserve`: the caller's buffer reaches its steady-state
+    /// capacity through normal doubling within the first interval, and an
+    /// exact-sized reserve here was observed to shift the buffer into a
+    /// heap placement that aliased the simulator's hot hash tables.)
+    pub fn fill_offsets(
+        &mut self,
+        pattern: &Pattern,
+        rng: &mut SmallRng,
+        n: usize,
+        out: &mut Vec<u64>,
+    ) {
+        match (self, pattern) {
+            (PatternState::Scan { pos }, Pattern::Scan { lines })
+            | (PatternState::Loop { pos }, Pattern::Loop { lines }) => {
+                for _ in 0..n {
+                    out.push(*pos);
+                    *pos += 1;
+                    if *pos == *lines {
+                        *pos = 0;
+                    }
+                }
+            }
+            (PatternState::Hot, Pattern::Hot { lines }) => {
+                for _ in 0..n {
+                    out.push(rng.gen_range(0..*lines));
+                }
+            }
+            (PatternState::Zipf, Pattern::Zipf { lines, alpha }) => {
+                for _ in 0..n {
+                    out.push(zipf_sample(*lines, *alpha, rng));
+                }
+            }
+            (state @ PatternState::Mix { .. }, pattern @ Pattern::Mix(_)) => {
+                for _ in 0..n {
+                    let o = state.next_offset(pattern, rng);
+                    out.push(o);
+                }
+            }
+            _ => unreachable!("pattern state mismatch"),
+        }
+    }
+
     /// Draws the next line offset for `pattern` (must be the same pattern
     /// this state was built from).
     pub fn next_offset(&mut self, pattern: &Pattern, rng: &mut SmallRng) -> u64 {
         match (self, pattern) {
+            // The cursor advance is a compare-and-wrap rather than `% lines`:
+            // `pos < lines` always holds, so the two are the same sequence,
+            // without a 64-bit division on the per-access path.
             (PatternState::Scan { pos }, Pattern::Scan { lines }) => {
                 let o = *pos;
-                *pos = (*pos + 1) % lines;
+                *pos += 1;
+                if *pos == *lines {
+                    *pos = 0;
+                }
                 o
             }
             (PatternState::Loop { pos }, Pattern::Loop { lines }) => {
                 let o = *pos;
-                *pos = (*pos + 1) % lines;
+                *pos += 1;
+                if *pos == *lines {
+                    *pos = 0;
+                }
                 o
             }
             (PatternState::Hot, Pattern::Hot { lines }) => rng.gen_range(0..*lines),

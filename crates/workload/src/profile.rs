@@ -222,6 +222,28 @@ impl AccessStream {
         }
     }
 
+    /// Whether this stream can serve [`Self::fill_private_offsets`]: no
+    /// shared pattern, so every access is thread-private and no RNG draw
+    /// decides the class.
+    pub fn is_private_only(&self) -> bool {
+        self.shared.is_none()
+    }
+
+    /// Bulk draw for private-only streams: appends the next `n` offsets to
+    /// `out` — exactly the offsets `n` [`Self::next_access`] calls would
+    /// return (which would all be [`StreamTarget::ThreadPrivate`]), with
+    /// the per-access pattern dispatch hoisted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream has a shared pattern (class selection consumes
+    /// RNG draws, so bulk generation would diverge).
+    pub fn fill_private_offsets(&mut self, n: usize, out: &mut Vec<u64>) {
+        assert!(self.shared.is_none(), "stream has a shared pattern");
+        self.private_state
+            .fill_offsets(&self.private_pattern, &mut self.rng, n, out);
+    }
+
     /// Draws the next access: which VC class it targets and the line offset
     /// within that class's footprint.
     pub fn next_access(&mut self) -> (StreamTarget, u64) {

@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
-# Perf-trajectory benches: runs the planner and LLC criterion benches and
-# emits BENCH_planner.json / BENCH_llc.json (median ns/op per benchmark) at
-# the repo root. Commit the refreshed files so future PRs can track the
-# speedup trajectory.
+# Perf-trajectory benches: runs the planner, LLC and simulation-engine
+# criterion benches and emits BENCH_planner.json / BENCH_llc.json /
+# BENCH_sim.json (median ns/op per benchmark) at the repo root. Commit the
+# refreshed files so future PRs can track the speedup trajectory.
 #
 # Usage: scripts/bench.sh [output-dir]        (default: repo root)
 # Env:   CRITERION_SAMPLES / CRITERION_SAMPLE_MS tune the vendored harness.
@@ -36,3 +36,4 @@ emit() {
 
 emit placement "$out_dir/BENCH_planner.json"
 emit llc "$out_dir/BENCH_llc.json"
+emit sim "$out_dir/BENCH_sim.json"
