@@ -23,6 +23,10 @@ fn main() {
             move_scheme: mv,
             interval_cycles: 10_000,
             reconfig_benefit_factor: 0.0, // force the mid-trace apply
+            // One big cell per move scheme: bank-sharded intra-cell
+            // parallelism is the only way this binary uses >1 core
+            // (results are bit-identical to the single-core engine).
+            intra_cell_threads: SimConfig::auto_intra_cell_threads(),
             ..SimConfig::default()
         };
         let sim = Simulation::new(config, mix.clone()).expect("sim");

@@ -15,13 +15,13 @@
 
 use crate::config::SimConfig;
 use crate::energy::{EnergyBreakdown, EnergyModel};
-use crate::llc::Llc;
+use crate::llc::{lookup_result, Llc, LookupResult, Route};
 use crate::memory::MemoryModel;
 use crate::metrics::{SystemMetrics, ThreadMetrics};
 use crate::scheme::{MoveScheme, Scheme, ThreadSched};
 use cdcs_cache::monitor::{Gmon, GmonConfig, Monitor, Umon, UmonConfig};
 
-use cdcs_cache::{Line, MissCurve};
+use cdcs_cache::{BankId, Line, MissCurve};
 use cdcs_core::policy::{clustered_cores, random_cores, CdcsPlanner, JigsawPlanner, RNucaPolicy};
 use cdcs_core::{
     Placement, PlacementProblem, PlanScratch, SystemParams, ThreadInfo, VcInfo, VcKind,
@@ -30,6 +30,7 @@ use cdcs_mesh::{
     DistanceTables, MemCtrlPlacement, PortDistanceTables, TileId, Topology, TrafficClass,
 };
 use cdcs_workload::{AccessStream, StreamTarget, WorkloadMix};
+use rayon::prelude::*;
 
 /// Per-thread simulation state.
 #[derive(Debug)]
@@ -165,6 +166,291 @@ fn unpack_access(acc: u64) -> (u32, StreamTarget, Line) {
     ((line >> 40) as u32, target, Line(line))
 }
 
+/// Interval size (in accesses) below which the sharded pipeline drains on
+/// one in-thread worker instead of spawning the fan-out: a scoped worker
+/// costs tens of microseconds to start, so a small interval is processed
+/// faster than it can be fanned out. Wall-clock policy only — sharded
+/// results are bit-identical for every worker count. Public so the
+/// equivalence tests can assert their intervals are big enough to force
+/// genuine multi-worker fan-outs.
+pub const SHARD_SEQ_THRESHOLD: usize = 8192;
+
+/// Packed [`Route`] word for the sharded pipeline: bits `0..15` the home
+/// bank, bit 15 the bypass flag, bits `16..32` the shadow-window old bank
+/// plus one (0 = none). Bank ids are tile ids, far below 2^15.
+const ROUTE_BYPASS: u32 = 1 << 15;
+const ROUTE_BANK_MASK: u32 = ROUTE_BYPASS - 1;
+
+#[inline]
+fn pack_route(r: Route) -> u32 {
+    if r.bypass {
+        return ROUTE_BYPASS;
+    }
+    let old = r.old_bank.map_or(0, |b| u32::from(b.0) + 1);
+    u32::from(r.bank.0) | (old << 16)
+}
+
+#[inline]
+fn unpack_route(w: u32) -> Route {
+    Route {
+        bank: BankId((w & ROUTE_BANK_MASK) as u16),
+        bypass: w & ROUTE_BYPASS != 0,
+        old_bank: match w >> 16 {
+            0 => None,
+            b => Some(BankId((b - 1) as u16)),
+        },
+    }
+}
+
+/// Reusable buffers of the bank-sharded interval pipeline
+/// (`SimConfig::intra_cell_threads > 0`). One interval runs in four phases:
+///
+/// 1. **Generate + route (parallel over threads).** Each thread's accesses
+///    are drawn into its disjoint window of the flat batch buffer (budgets
+///    determine the windows up front), its private-VC monitor records
+///    replayed, and every access routed to its home bank through the pure
+///    [`Llc::route`] — per-thread streams are independent RNGs and a
+///    private monitor belongs to exactly one thread, so this fan-out
+///    reproduces the serial draws byte for byte.
+/// 2. **Plan (sequential).** The round-robin drain order is materialized
+///    into `order`, each non-bypass access is appended to its home bank's
+///    `lists` entry (so every bank sees its accesses in drain order), and
+///    shared/global monitor records are replayed in drain order (monitor
+///    state is disjoint from LLC state; per-monitor record order is what
+///    matters, and it is preserved).
+/// 3. **Bank shards (parallel over banks).** Each [`crate::llc::LlcShard`]
+///    performs its bank's lookups-and-fills — the expensive hash/LRU state
+///    transitions — emitting one outcome byte per access into `outs`. The
+///    partition of work by bank is fixed by the routes, so the outcome
+///    streams are identical for *any* worker count, including one.
+/// 4. **Reduce (sequential, index-ordered).** The drain order is walked
+///    once more; each access pops the next outcome byte off its bank's
+///    queue and flows through [`Simulation::apply_access_result`] — the
+///    same accumulation code, in the same order, with the same values as
+///    the single-core batched engine. Every f64 addition happens here, so
+///    results are bit-identical by construction.
+#[derive(Debug, Default)]
+struct ShardScratch {
+    /// Drain order: `(thread << 40) | acc-index` per access.
+    order: Vec<u64>,
+    /// Packed route per access, aligned with `AccessBatch::acc`.
+    routes: Vec<u32>,
+    /// Per-bank access lists (indices into `acc`), in drain order.
+    lists: Vec<Vec<u32>>,
+    /// Per-bank outcome queues, parallel to `lists`.
+    outs: Vec<Vec<u8>>,
+    /// Per-bank reduce cursors into `outs`.
+    cursors: Vec<usize>,
+}
+
+/// Receiver for [`drain_round_robin`]: gets every access of an interval,
+/// identified by `(thread, acc index)`, in the exact order the reference
+/// engine would issue it.
+trait DrainSink {
+    /// One access inside a multi-thread segment.
+    fn each(&mut self, ti: usize, c: usize);
+
+    /// The final single-thread run `lo..hi` — an optimization seam (the
+    /// batched engine tries its closed-form bypass fast path here); the
+    /// default is the plain per-access walk.
+    fn tail(&mut self, ti: usize, lo: usize, hi: usize) {
+        for c in lo..hi {
+            self.each(ti, c);
+        }
+    }
+}
+
+/// The segmented round-robin drain-order walker: between two thread
+/// exhaustions the set of active threads is fixed, so whole rounds run
+/// over the active list with no per-access budget checks, and the last
+/// surviving thread's tail is handed over as one run. This is the *only*
+/// implementation of the interval drain order — the batched engine
+/// processes accesses as it walks, the sharded pipeline materializes the
+/// walk into its plan — so the two engines cannot diverge on ordering.
+fn drain_round_robin(
+    offsets: &[usize],
+    cursor: &mut Vec<usize>,
+    active: &mut Vec<u32>,
+    sink: &mut impl DrainSink,
+) {
+    let num_threads = offsets.len() - 1;
+    cursor.clear();
+    cursor.extend_from_slice(&offsets[..num_threads]);
+    loop {
+        // Segment setup: active threads (id order — the round-robin visit
+        // order) and the shortest remaining budget among them.
+        active.clear();
+        let mut min_rem = usize::MAX;
+        for ti in 0..num_threads {
+            let rem = offsets[ti + 1] - cursor[ti];
+            if rem > 0 {
+                active.push(ti as u32);
+                min_rem = min_rem.min(rem);
+            }
+        }
+        match active.len() {
+            0 => break,
+            1 => {
+                let ti = active[0] as usize;
+                let (lo, hi) = (cursor[ti], offsets[ti + 1]);
+                sink.tail(ti, lo, hi);
+                cursor[ti] = hi;
+                break;
+            }
+            _ => {
+                for _ in 0..min_rem {
+                    for &ti in active.iter() {
+                        let ti = ti as usize;
+                        let c = cursor[ti];
+                        cursor[ti] = c + 1;
+                        sink.each(ti, c);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The batched engine's drain: process each access immediately, with the
+/// single-thread tail routed through the bypass-run fast path.
+struct BatchedDrainSink<'a> {
+    sim: &'a mut Simulation,
+    acc: &'a [u64],
+    hot: &'a HotState,
+}
+
+impl DrainSink for BatchedDrainSink<'_> {
+    fn each(&mut self, ti: usize, c: usize) {
+        let (vc, target, line) = unpack_access(self.acc[c]);
+        self.sim.process_access(ti, vc, target, line, self.hot);
+    }
+
+    fn tail(&mut self, ti: usize, lo: usize, hi: usize) {
+        if !self.sim.process_bypass_run(ti, &self.acc[lo..hi], self.hot) {
+            for c in lo..hi {
+                self.each(ti, c);
+            }
+        }
+    }
+}
+
+/// The sharded pipeline's phase-2 planner: materialize the drain order,
+/// partition non-bypass accesses by home bank, and replay shared/global
+/// monitor records (monitor state is disjoint from LLC state, and
+/// per-monitor record order — all that matters — is preserved).
+struct PlanSink<'a> {
+    acc: &'a [u64],
+    routes: &'a [u32],
+    order: &'a mut Vec<u64>,
+    lists: &'a mut [Vec<u32>],
+    monitors: &'a mut [AnyMonitor],
+    monitors_on: bool,
+}
+
+impl DrainSink for PlanSink<'_> {
+    fn each(&mut self, ti: usize, c: usize) {
+        self.order.push(((ti as u64) << 40) | c as u64);
+        let r = self.routes[c];
+        if r & ROUTE_BYPASS == 0 {
+            self.lists[(r & ROUTE_BANK_MASK) as usize].push(c as u32);
+        }
+        if self.monitors_on {
+            let a = self.acc[c];
+            if a & (ACC_SHARED | ACC_GLOBAL) != 0 {
+                let line = a & ACC_LINE_MASK;
+                self.monitors[(line >> 40) as usize].record(Line(line));
+            }
+        }
+    }
+}
+
+/// One thread's slice of phase-1 work: its state, its private monitor (when
+/// monitors are live), and its disjoint windows of the access and route
+/// buffers.
+struct GenTask<'a> {
+    core: TileId,
+    global_vc: u32,
+    thread: &'a mut ThreadState,
+    monitor: Option<&'a mut AnyMonitor>,
+    acc: &'a mut [u64],
+    routes: &'a mut [u32],
+}
+
+impl GenTask<'_> {
+    fn run(&mut self, llc: &Llc, mesh: &cdcs_mesh::Mesh) {
+        let t = &mut *self.thread;
+        if t.stream.is_private_only() {
+            // Same bulk draw (and same epoch accounting) as the serial
+            // generation loop.
+            let base = (t.vc_private as u64) << 40;
+            t.stream.fill_private_offsets_slice(self.acc);
+            for a in self.acc.iter_mut() {
+                // Disjoint address spaces per VC.
+                *a |= base;
+            }
+            t.ep_private += self.acc.len() as f64;
+        } else {
+            for slot in self.acc.iter_mut() {
+                let (target, offset) = t.stream.next_access();
+                let (vc, class_bits) = match target {
+                    StreamTarget::ThreadPrivate => {
+                        t.ep_private += 1.0;
+                        (t.vc_private, 0)
+                    }
+                    StreamTarget::ProcessShared => {
+                        t.ep_shared += 1.0;
+                        (
+                            t.vc_shared.expect("shared access without shared VC"),
+                            ACC_SHARED,
+                        )
+                    }
+                    StreamTarget::Global => (self.global_vc, ACC_GLOBAL),
+                };
+                // Disjoint address spaces per VC.
+                *slot = class_bits | ((vc as u64) << 40) | offset;
+            }
+        }
+        // Private-monitor pre-pass: this thread's private VC only ever
+        // receives accesses from this thread, in this order.
+        if let Some(mon) = self.monitor.as_deref_mut() {
+            for &a in self.acc.iter() {
+                if a & (ACC_SHARED | ACC_GLOBAL) == 0 {
+                    mon.record(Line(a & ACC_LINE_MASK));
+                }
+            }
+        }
+        // Route every access through the pure mapping lookup.
+        for (slot, &a) in self.routes.iter_mut().zip(self.acc.iter()) {
+            let (vc, target, line) = unpack_access(a);
+            *slot = pack_route(llc.route(vc, target, self.core, mesh, line));
+        }
+    }
+}
+
+/// One bank's phase-3 work: its LLC shard, its access list, and its outcome
+/// queue.
+struct ShardTask<'a> {
+    shard: crate::llc::LlcShard<'a>,
+    list: &'a [u32],
+    out: &'a mut Vec<u8>,
+    acc: &'a [u64],
+    routes: &'a [u32],
+}
+
+impl ShardTask<'_> {
+    fn run(&mut self) {
+        self.out.clear();
+        for &idx in self.list {
+            let a = self.acc[idx as usize];
+            let line = a & ACC_LINE_MASK;
+            let vc = (line >> 40) as u32;
+            let check_old = self.routes[idx as usize] >> 16 != 0;
+            self.out
+                .push(self.shard.access_routed(vc, Line(line), check_old));
+        }
+    }
+}
+
 /// A concrete monitor, dispatched by match instead of vtable: the `record`
 /// call sits on the per-access path of every partitioned-scheme simulation,
 /// and the enum lets its sampling fast path inline into the engine.
@@ -259,6 +545,16 @@ pub struct Simulation {
     plan_buf: Placement,
     /// Reusable batched-interval buffers.
     batch: AccessBatch,
+    /// Reusable bank-sharded pipeline buffers (`intra_cell_threads > 0`).
+    shard: ShardScratch,
+    /// Worker pool for the intra-cell fan-outs, pinned to
+    /// `SimConfig::intra_cell_threads` workers so a simulation nested in
+    /// `run_grid`'s outer pool uses exactly its configured share of cores.
+    shard_pool: rayon::ThreadPool,
+    /// One-worker pool for intervals below [`SHARD_SEQ_THRESHOLD`]: the
+    /// same sharded pipeline, drained in-thread with zero spawns (worker
+    /// count never changes results, only wall clock).
+    shard_seq_pool: rayon::ThreadPool,
     /// `CDCS_DEBUG_RECONFIG` read once at construction (the lookup is a
     /// syscall; it has no place inside the reconfiguration path).
     debug_reconfig: bool,
@@ -420,6 +716,16 @@ impl Simulation {
         // alongside the mean-hops table above.
         let tile_tables = DistanceTables::new(&config.mesh, config.noc);
         let mc_tables = PortDistanceTables::new(&config.mesh, config.noc, mc.ports());
+        // Pinned pools (just scoped worker counts in the vendored rayon)
+        // for the sharded pipeline's fan-outs; unused when the knob is 0.
+        let shard_pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(config.intra_cell_threads.max(1))
+            .build()
+            .expect("shard pool");
+        let shard_seq_pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .expect("shard seq pool");
 
         let mut sim = Simulation {
             config,
@@ -439,6 +745,9 @@ impl Simulation {
             scratch: PlanScratch::new(),
             plan_buf: Placement::default(),
             batch: AccessBatch::default(),
+            shard: ShardScratch::default(),
+            shard_pool,
+            shard_seq_pool,
             debug_reconfig: std::env::var("CDCS_DEBUG_RECONFIG").is_ok(),
             monitors_live: true,
             cycle: 0,
@@ -838,14 +1147,25 @@ impl Simulation {
         line: Line,
         hot: &HotState,
     ) {
-        let core = self.cores[ti];
         // Thread-private records already happened in the generation-side
         // pre-pass; only the cross-thread (shared/global) VCs record here.
         if hot.monitors_live && target != StreamTarget::ThreadPrivate {
             self.monitors[vc as usize].record(line);
         }
 
+        let core = self.cores[ti];
         let result = self.llc.access(vc, target, core, &self.config.mesh, line);
+        self.apply_access_result(ti, result, hot);
+    }
+
+    /// Applies one resolved LLC lookup to every accumulator: latency,
+    /// per-thread metrics, traffic, memory-controller interleave, system
+    /// counters. This is the *only* place the batched engine adds f64s per
+    /// access, and the sharded pipeline's reduction calls it in the exact
+    /// drain order the serial path does — which is what makes the sharded
+    /// results bit-identical regardless of worker count.
+    fn apply_access_result(&mut self, ti: usize, result: LookupResult, hot: &HotState) {
+        let core = self.cores[ti];
         let mut latency = 0.0;
         let m = &mut self.threads[ti].metrics;
         m.accesses += 1;
@@ -1004,64 +1324,196 @@ impl Simulation {
             }
         }
 
-        let hot = HotState {
+        let hot = self.interval_hot_state();
+
+        // Round-robin drain, same interleave as the reference path: the
+        // batched engine processes each access as the shared walker
+        // ([`drain_round_robin`]) emits it, with the single-thread tail
+        // routed through the closed-form bypass fast path first.
+        {
+            let AccessBatch {
+                acc,
+                offsets,
+                cursor,
+                active,
+                ..
+            } = &mut *batch;
+            let mut sink = BatchedDrainSink {
+                sim: self,
+                acc,
+                hot: &hot,
+            };
+            drain_round_robin(offsets, cursor, active, &mut sink);
+        }
+    }
+
+    /// The per-interval hot constants, read once per interval. The single
+    /// construction site for [`HotState`] — the batched drain and the
+    /// sharded reduction both call this, so their per-access constants
+    /// cannot drift apart.
+    fn interval_hot_state(&self) -> HotState {
+        HotState {
             monitors_live: !self.monitors.is_empty() && self.monitors_live,
             bank_lat: f64::from(self.config.bank_latency),
             line_flits: self.config.noc.data_flits(64),
             ctrl_flits: self.config.noc.control_flits(),
             ports: self.mc_tables.num_ports() as u64,
             measuring: self.measuring,
+        }
+    }
+
+    /// Bank-sharded interval core (see [`ShardScratch`] for the four-phase
+    /// pipeline). Must produce results bit-identical to
+    /// [`Self::run_interval_batched`] for every worker count —
+    /// `crates/sim/tests/engine_equivalence.rs` holds them together across
+    /// schemes, mixes, entry points and 1/2/4 shard threads.
+    fn run_interval_sharded(&mut self, batch: &mut AccessBatch, sh: &mut ShardScratch) {
+        let num_threads = self.threads.len();
+        let global_vc = (self.vc_kinds.len() - 1) as u32;
+        let num_banks = self.config.num_banks();
+
+        // Every budgeted draw yields exactly one access, so the per-thread
+        // windows of the flat buffers are known before generation runs.
+        batch.offsets.clear();
+        batch.offsets.push(0);
+        let mut total = 0usize;
+        for &b in &batch.budgets {
+            total += b as usize;
+            batch.offsets.push(total);
+        }
+        batch.acc.clear();
+        batch.acc.resize(total, 0);
+        sh.routes.clear();
+        sh.routes.resize(total, 0);
+
+        let monitors_on = !self.monitors.is_empty() && self.monitors_live;
+
+        // Below the threshold an interval cannot amortize thread spawns
+        // (the vendored rayon scopes fresh workers per fan-out, ~tens of
+        // µs each), so it drains the very same pipeline on one in-thread
+        // worker. Pure wall-clock policy — worker count never changes
+        // results.
+        let pool = if total >= SHARD_SEQ_THRESHOLD {
+            &self.shard_pool
+        } else {
+            &self.shard_seq_pool
         };
 
-        // Round-robin drain, same interleave as the reference path,
-        // segmented: between two thread exhaustions the set of active
-        // threads is fixed, so whole rounds run over the active list with
-        // no per-access budget checks. Once a single thread remains, its
-        // tail is a straight run (and, for a bypassing streaming VC, takes
-        // the batch fast path).
-        batch.cursor.clear();
-        batch
-            .cursor
-            .extend_from_slice(&batch.offsets[..num_threads]);
-        loop {
-            // Segment setup: active threads (id order — the round-robin
-            // visit order) and the shortest remaining budget among them.
-            batch.active.clear();
-            let mut min_rem = usize::MAX;
-            for ti in 0..num_threads {
-                let rem = batch.offsets[ti + 1] - batch.cursor[ti];
-                if rem > 0 {
-                    batch.active.push(ti as u32);
-                    min_rem = min_rem.min(rem);
+        // Phase 1 (parallel over threads): generate, record private
+        // monitors, route.
+        {
+            let llc = &self.llc;
+            let mesh = &self.config.mesh;
+            let mut tasks: Vec<GenTask<'_>> = Vec::with_capacity(num_threads);
+            {
+                let mut acc_rest: &mut [u64] = &mut batch.acc;
+                let mut routes_rest: &mut [u32] = &mut sh.routes;
+                // Private VC ids equal thread ids (the engine numbers them
+                // 0..T in construction order), so the first `num_threads`
+                // monitors are exactly the private ones, in thread order.
+                let mut mons: Vec<Option<&mut AnyMonitor>> = if monitors_on {
+                    self.monitors[..num_threads].iter_mut().map(Some).collect()
+                } else {
+                    (0..num_threads).map(|_| None).collect()
+                };
+                let mut mon_iter = mons.drain(..);
+                for (ti, thread) in self.threads.iter_mut().enumerate() {
+                    let n = batch.offsets[ti + 1] - batch.offsets[ti];
+                    let (acc, rest) = acc_rest.split_at_mut(n);
+                    acc_rest = rest;
+                    let (routes, rest) = routes_rest.split_at_mut(n);
+                    routes_rest = rest;
+                    tasks.push(GenTask {
+                        core: self.cores[ti],
+                        global_vc,
+                        thread,
+                        monitor: mon_iter.next().expect("one slot per thread"),
+                        acc,
+                        routes,
+                    });
                 }
             }
-            match batch.active.len() {
-                0 => break,
-                1 => {
-                    let ti = batch.active[0] as usize;
-                    let (lo, hi) = (batch.cursor[ti], batch.offsets[ti + 1]);
-                    if !self.process_bypass_run(ti, &batch.acc[lo..hi], &hot) {
-                        for c in lo..hi {
-                            let (vc, target, line) = unpack_access(batch.acc[c]);
-                            self.process_access(ti, vc, target, line, &hot);
-                        }
-                    }
-                    batch.cursor[ti] = hi;
-                    break;
-                }
-                _ => {
-                    for _ in 0..min_rem {
-                        for &ti in &batch.active {
-                            let ti = ti as usize;
-                            let c = batch.cursor[ti];
-                            batch.cursor[ti] = c + 1;
-                            let (vc, target, line) = unpack_access(batch.acc[c]);
-                            self.process_access(ti, vc, target, line, &hot);
-                        }
-                    }
-                }
-            }
+            pool.install(|| tasks.par_iter_mut().for_each(|task| task.run(llc, mesh)));
         }
+
+        // Phase 2 (sequential): materialize the round-robin drain order,
+        // partition it by home bank, and replay shared/global monitor
+        // records in drain order.
+        sh.order.clear();
+        if sh.lists.len() != num_banks {
+            sh.lists.resize_with(num_banks, Vec::new);
+            sh.outs.resize_with(num_banks, Vec::new);
+        }
+        for l in &mut sh.lists {
+            l.clear();
+        }
+        {
+            let AccessBatch {
+                acc,
+                offsets,
+                cursor,
+                active,
+                ..
+            } = &mut *batch;
+            let mut sink = PlanSink {
+                acc,
+                routes: &sh.routes,
+                order: &mut sh.order,
+                lists: &mut sh.lists,
+                monitors: &mut self.monitors,
+                monitors_on,
+            };
+            drain_round_robin(offsets, cursor, active, &mut sink);
+        }
+
+        // Phase 3 (parallel over banks): the stateful lookups. Work is
+        // partitioned by home bank regardless of worker count, so the
+        // outcome queues are identical on 1 worker and on N.
+        let demand_total: u64;
+        {
+            let acc: &[u64] = &batch.acc;
+            let routes: &[u32] = &sh.routes;
+            let shards = self.llc.bank_shards();
+            debug_assert_eq!(shards.len(), num_banks);
+            let mut tasks: Vec<ShardTask<'_>> = shards
+                .into_iter()
+                .zip(sh.lists.iter())
+                .zip(sh.outs.iter_mut())
+                .map(|((shard, list), out)| ShardTask {
+                    shard,
+                    list,
+                    out,
+                    acc,
+                    routes,
+                })
+                .collect();
+            pool.install(|| tasks.par_iter_mut().for_each(|task| task.run()));
+            // Fixed, bank-ordered merge of the integer partial sums.
+            demand_total = tasks.iter().map(|t| t.shard.demand_moves).sum();
+        }
+        self.llc.add_demand_moves(demand_total);
+
+        // Phase 4 (sequential reduce): replay the drain order through the
+        // shared accumulation code, consuming each bank's outcome queue.
+        let hot = self.interval_hot_state();
+        sh.cursors.clear();
+        sh.cursors.resize(num_banks, 0);
+        const IDX_MASK: u64 = (1 << 40) - 1;
+        for &packed in &sh.order {
+            let ti = (packed >> 40) as usize;
+            let idx = (packed & IDX_MASK) as usize;
+            let route = unpack_route(sh.routes[idx]);
+            let result = if route.bypass {
+                lookup_result(route, 0)
+            } else {
+                let b = route.bank.index();
+                let out = sh.outs[b][sh.cursors[b]];
+                sh.cursors[b] += 1;
+                lookup_result(route, out)
+            };
+            self.apply_access_result(ti, result, &hot);
+        }
+        debug_assert!(sh.cursors.iter().zip(&sh.outs).all(|(&c, o)| c == o.len()));
     }
 
     /// Simulates one interval; returns the aggregate instructions retired.
@@ -1098,6 +1550,10 @@ impl Simulation {
                     break;
                 }
             }
+        } else if self.config.intra_cell_threads > 0 {
+            let mut sh = std::mem::take(&mut self.shard);
+            self.run_interval_sharded(&mut batch, &mut sh);
+            self.shard = sh;
         } else {
             self.run_interval_batched(&mut batch);
         }
@@ -1163,6 +1619,14 @@ impl Simulation {
 
     /// Runs a fixed number of intervals without epoch logic (used by tests
     /// and the Fig. 17 harness via [`Simulation::run_trace`]).
+    ///
+    /// The measured window splits around its single reconfiguration as
+    /// `floor(post_intervals / 2)` intervals before the boundary and
+    /// `ceil(post_intervals / 2)` after — deliberate rounding: for odd
+    /// counts the extra interval lands *after* the reconfiguration, so the
+    /// recovery transient (the thing Fig. 17 plots — how fast each
+    /// line-movement scheme restores IPC) is never the truncated half.
+    /// Pinned by `trace_rounding_puts_extra_interval_after_reconfiguration`.
     pub fn run_trace(mut self, pre_intervals: usize, post_intervals: usize) -> SimResult {
         for _ in 0..pre_intervals {
             self.run_interval();
@@ -1392,6 +1856,41 @@ mod tests {
             .unwrap()
             .run();
         assert_eq!(r.system.pause_cycles, 0, "demand moves never pause");
+    }
+
+    #[test]
+    fn trace_rounding_puts_extra_interval_after_reconfiguration() {
+        // `run_trace(_, 5)` must run floor(5/2) = 2 measured intervals,
+        // reconfigure, then ceil(5/2) = 3 more — the odd interval belongs
+        // to the post-boundary half (the recovery transient Fig. 17
+        // plots). A bulk-invalidation pause marks the boundary in the
+        // trace, which is what pins the rounding observably. Seeded and
+        // identical across all three engines.
+        let make = |reference: bool, intra: usize| {
+            let mut config = SimConfig::small_test();
+            config.scheme = Scheme::cdcs();
+            config.move_scheme = MoveScheme::BulkInvalidate;
+            config.reconfig_benefit_factor = 0.0; // force the mid-trace apply
+            config.reference_engine = reference;
+            config.intra_cell_threads = intra;
+            Simulation::new(config, mix(&["omnet", "milc", "calculix"]))
+                .unwrap()
+                .run_trace(2, 5)
+        };
+        let r = make(false, 0);
+        assert_eq!(r, make(true, 0), "engines diverged on an odd trace");
+        assert_eq!(r, make(false, 2), "sharded path diverged on an odd trace");
+        assert_eq!(r.system.reconfigurations, 1);
+        // 5 interval points plus the pause marker the bulk invalidation
+        // inserts — which must sit after exactly 2 measured intervals.
+        assert_eq!(r.ipc_trace.len(), 6, "trace: {:?}", r.ipc_trace);
+        for (i, &(_, ipc)) in r.ipc_trace.iter().enumerate() {
+            if i == 2 {
+                assert_eq!(ipc, 0.0, "pause marker must follow interval 2");
+            } else {
+                assert!(ipc > 0.0, "interval point {i} has no progress");
+            }
+        }
     }
 
     #[test]

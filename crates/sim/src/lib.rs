@@ -49,7 +49,7 @@ mod scheme;
 
 pub use config::{MonitorKind, SimConfig};
 pub use energy::{EnergyBreakdown, EnergyModel};
-pub use engine::{SimResult, Simulation};
+pub use engine::{SimResult, Simulation, SHARD_SEQ_THRESHOLD};
 pub use memory::MemoryModel;
 pub use metrics::{SystemMetrics, ThreadMetrics};
 pub use scheme::{MoveScheme, Scheme, ThreadSched};

@@ -35,6 +35,21 @@ pub(crate) enum Mapping {
     },
 }
 
+/// Where an access is headed, as a pure function of the current mapping
+/// state — no bank or movement state is touched. The sharded engine routes
+/// every access of an interval first (this is what partitions the batch by
+/// home bank), then lets per-bank shards perform the stateful lookups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Route {
+    /// Home bank under the current mapping. Meaningless on bypass.
+    pub bank: BankId,
+    /// The VC has no LLC allocation: the access goes straight to memory.
+    pub bypass: bool,
+    /// The old bank a miss would consult through the shadow descriptor
+    /// (`None` outside a shadow window or when old and new homes agree).
+    pub old_bank: Option<BankId>,
+}
+
 /// Result of one LLC lookup.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) struct LookupResult {
@@ -69,14 +84,104 @@ pub(crate) struct Llc {
     mapping: Mapping,
     bank_lines: u64,
     /// Lines displaced by the last reconfiguration, still serveable from
-    /// their old location via demand moves: line → old bank. Fx-hashed —
-    /// the map is probed on every miss while a shadow window is open and
-    /// bulk-filled at reconfigurations; nothing observes its iteration
-    /// order (`retain` filters per entry, counters are sums).
-    old_lines: FxHashMap<u64, BankId>,
+    /// their old location via demand moves: line → old bank, sharded by the
+    /// line's **new** home bank (a pure function of the address at insert
+    /// time), so each entry is only ever probed by accesses homed at that
+    /// bank — the per-bank shards of the parallel engine own disjoint maps.
+    /// Fx-hashed — the maps are probed on every miss while a shadow window
+    /// is open and bulk-filled at reconfigurations; nothing observes their
+    /// iteration order (`retain` filters per entry, counters are sums).
+    old_lines: Vec<FxHashMap<u64, BankId>>,
     /// Cycle at which the current shadow window started.
     shadow_start: u64,
     pub stats: MoveStats,
+}
+
+/// Bitflags of one shard-phase lookup outcome (see [`LlcShard`]): the
+/// stateful half of a [`LookupResult`], packed for the per-bank outcome
+/// queues the deterministic reduction consumes.
+pub(crate) const OUT_HIT: u8 = 1;
+pub(crate) const OUT_EVICTED: u8 = 1 << 1;
+pub(crate) const OUT_DEMAND_MOVED: u8 = 1 << 2;
+
+/// Reassembles the full [`LookupResult`] from an access's pure [`Route`]
+/// and its shard-phase `OUT_*` outcome bits. Shared between the serial
+/// access path and the sharded engine's reduction, so the two cannot
+/// reconstruct results differently.
+#[inline]
+pub(crate) fn lookup_result(route: Route, out: u8) -> LookupResult {
+    if route.bypass {
+        return LookupResult {
+            bank: BankId(0),
+            hit: false,
+            bypass: true,
+            old_bank_checked: None,
+            demand_moved: false,
+            evicted: false,
+        };
+    }
+    let demand_moved = out & OUT_DEMAND_MOVED != 0;
+    let hit = out & OUT_HIT != 0;
+    LookupResult {
+        bank: route.bank,
+        hit,
+        bypass: false,
+        // A plain hit reports no old-bank detour; only a miss in the new
+        // bank pays the two-level lookup (Fig. 10), and a demand move is
+        // such a miss served from the old bank.
+        old_bank_checked: if hit && !demand_moved {
+            None
+        } else {
+            route.old_bank
+        },
+        demand_moved,
+        evicted: out & OUT_EVICTED != 0,
+    }
+}
+
+/// Mutable borrow of one bank's worth of LLC state — the bank's partitions
+/// plus the demand-move entries homed at it — handed to one worker of the
+/// sharded engine. Shards of the same LLC touch disjoint state, so a rayon
+/// fan-out over them is race-free by construction.
+#[derive(Debug)]
+pub(crate) struct LlcShard<'a> {
+    bank: &'a mut PartitionedBank,
+    old_lines: &'a mut FxHashMap<u64, BankId>,
+    partitioned: bool,
+    /// Demand moves served by this shard this interval; merged back into
+    /// [`MoveStats`] in bank order after the fan-out (an integer partial
+    /// sum, so the merge order cannot change the total).
+    pub demand_moves: u64,
+}
+
+impl LlcShard<'_> {
+    /// Performs the stateful half of [`Llc::access`] for an access already
+    /// routed to this shard's bank: the lookup-and-fill plus the demand-move
+    /// probe. `check_old` is the route's `old_bank.is_some()`. Returns the
+    /// `OUT_*` outcome bits; combined with the precomputed [`Route`], they
+    /// reconstruct the exact [`LookupResult`] the serial path produces.
+    #[inline]
+    pub fn access_routed(&mut self, vc: u32, line: Line, check_old: bool) -> u8 {
+        let part = if self.partitioned {
+            PartitionId(vc as u16)
+        } else {
+            PartitionId(0)
+        };
+        let (hit, evicted) = self.bank.access_insert(part, line);
+        if hit {
+            return OUT_HIT;
+        }
+        let mut out = 0u8;
+        if check_old && self.old_lines.remove(&line.0).is_some() {
+            // Old bank hit: the line moves to its new home (Fig. 10a).
+            out |= OUT_HIT | OUT_DEMAND_MOVED;
+            self.demand_moves += 1;
+        }
+        if evicted.is_some() {
+            out |= OUT_EVICTED;
+        }
+        out
+    }
 }
 
 impl Llc {
@@ -91,7 +196,7 @@ impl Llc {
                 None => Mapping::Hashed,
             },
             bank_lines,
-            old_lines: FxHashMap::default(),
+            old_lines: (0..num_banks).map(|_| FxHashMap::default()).collect(),
             shadow_start: 0,
             stats: MoveStats::default(),
         }
@@ -111,7 +216,7 @@ impl Llc {
                 shadow_active: false,
             },
             bank_lines,
-            old_lines: FxHashMap::default(),
+            old_lines: (0..num_banks).map(|_| FxHashMap::default()).collect(),
             shadow_start: 0,
             stats: MoveStats::default(),
         }
@@ -134,27 +239,36 @@ impl Llc {
         }
     }
 
-    /// Looks up (and on miss, fills) `line` for the given access context.
-    pub fn access(
-        &mut self,
+    /// Routes an access under the current mapping without touching any
+    /// state: the home bank, whether it bypasses, and the shadow-window old
+    /// bank a miss would consult. Pure — the sharded engine calls this from
+    /// many threads at once while planning an interval's bank shards, and
+    /// [`Self::access`] resolves to exactly this route.
+    pub fn route(
+        &self,
         vc: u32,
         class: StreamTarget,
         core: TileId,
         mesh: &Mesh,
         line: Line,
-    ) -> LookupResult {
+    ) -> Route {
         match &self.mapping {
-            Mapping::Hashed => {
-                let bank = BankId(hash::bucket(line.0, self.banks.len()) as u16);
-                self.plain_access(bank, line)
-            }
+            Mapping::Hashed => Route {
+                bank: BankId(hash::bucket(line.0, self.banks.len()) as u16),
+                bypass: false,
+                old_bank: None,
+            },
             Mapping::RNuca(policy) => {
                 let class = match class {
                     StreamTarget::ThreadPrivate => RnucaClass::Private,
                     StreamTarget::ProcessShared | StreamTarget::Global => RnucaClass::Shared,
                 };
                 let bank_tile = policy.bank_for(class, line, core, mesh);
-                self.plain_access(BankId(bank_tile.0), line)
+                Route {
+                    bank: BankId(bank_tile.0),
+                    bypass: false,
+                    old_bank: None,
+                }
             }
             Mapping::Vtb {
                 desc,
@@ -162,18 +276,13 @@ impl Llc {
                 shadow_active,
             } => {
                 let Some(d) = &desc[vc as usize] else {
-                    return LookupResult {
+                    return Route {
                         bank: BankId(0),
-                        hit: false,
                         bypass: true,
-                        old_bank_checked: None,
-                        demand_moved: false,
-                        evicted: false,
+                        old_bank: None,
                     };
                 };
                 let bank = d.bank_for_line(line);
-                let part = PartitionId(vc as u16);
-                // Old-bank home under the shadow descriptor, if it differs.
                 let old_bank = if *shadow_active {
                     shadow[vc as usize]
                         .as_ref()
@@ -182,52 +291,77 @@ impl Llc {
                 } else {
                     None
                 };
-                // Combined lookup-and-fill: a miss always fills this bank,
-                // and the demand-move bookkeeping below touches disjoint
-                // state, so one probe serves both steps.
-                let (hit, evicted_line) = self.banks[bank.index()].access_insert(part, line);
-                if hit {
-                    return LookupResult {
-                        bank,
-                        hit: true,
-                        bypass: false,
-                        old_bank_checked: None,
-                        demand_moved: false,
-                        evicted: false,
-                    };
-                }
-                // Miss in the new bank: consult the old bank while the
-                // shadow window is open (Fig. 10).
-                let mut demand_moved = false;
-                if old_bank.is_some() && self.old_lines.remove(&line.0).is_some() {
-                    // Old bank hit: the line moves to its new home (Fig. 10a).
-                    demand_moved = true;
-                    self.stats.demand_moves += 1;
-                }
-                LookupResult {
+                Route {
                     bank,
-                    hit: demand_moved,
                     bypass: false,
-                    old_bank_checked: old_bank,
-                    demand_moved,
-                    evicted: evicted_line.is_some(),
+                    old_bank,
                 }
             }
         }
     }
 
-    /// Unpartitioned access path: single-partition banks.
-    fn plain_access(&mut self, bank: BankId, line: Line) -> LookupResult {
-        let part = PartitionId(0);
-        let (hit, evicted) = self.banks[bank.index()].access_insert(part, line);
-        LookupResult {
-            bank,
-            hit,
-            bypass: false,
-            old_bank_checked: None,
-            demand_moved: false,
-            evicted: evicted.is_some(),
+    /// Splits the LLC into per-bank shards for one parallel interval: each
+    /// shard owns one bank's partitions and the demand-move entries homed
+    /// at that bank. The caller merges each shard's `demand_moves` partial
+    /// sum back via [`Self::add_demand_moves`] (in bank order, for a fixed
+    /// reduction order) once the borrows end.
+    pub fn bank_shards(&mut self) -> Vec<LlcShard<'_>> {
+        let partitioned = matches!(self.mapping, Mapping::Vtb { .. });
+        self.banks
+            .iter_mut()
+            .zip(self.old_lines.iter_mut())
+            .map(|(bank, old_lines)| LlcShard {
+                bank,
+                old_lines,
+                partitioned,
+                demand_moves: 0,
+            })
+            .collect()
+    }
+
+    /// Folds shard-phase demand-move partial sums back into [`MoveStats`].
+    pub fn add_demand_moves(&mut self, n: u64) {
+        self.stats.demand_moves += n;
+    }
+
+    /// Looks up (and on miss, fills) `line` for the given access context.
+    ///
+    /// Decomposes as route-then-stateful-lookup: the pure [`Self::route`]
+    /// picks the bank, and the same per-bank transition [`LlcShard`] runs
+    /// in the parallel engine performs the lookup — so the serial and
+    /// sharded paths cannot drift apart.
+    pub fn access(
+        &mut self,
+        vc: u32,
+        class: StreamTarget,
+        core: TileId,
+        mesh: &Mesh,
+        line: Line,
+    ) -> LookupResult {
+        let route = self.route(vc, class, core, mesh, line);
+        self.access_routed(vc, line, route)
+    }
+
+    /// The stateful half of [`Self::access`], given a precomputed route.
+    pub fn access_routed(&mut self, vc: u32, line: Line, route: Route) -> LookupResult {
+        if route.bypass {
+            return lookup_result(route, 0);
         }
+        let bank = route.bank;
+        let partitioned = matches!(self.mapping, Mapping::Vtb { .. });
+        let mut shard = LlcShard {
+            bank: &mut self.banks[bank.index()],
+            old_lines: &mut self.old_lines[bank.index()],
+            partitioned,
+            demand_moves: 0,
+        };
+        // Combined lookup-and-fill: a miss always fills this bank, and the
+        // demand-move probe touches disjoint state, so one probe serves
+        // both steps. Displaced lines are filed under their new home bank,
+        // which is exactly `bank`.
+        let out = shard.access_routed(vc, line, route.old_bank.is_some());
+        self.stats.demand_moves += shard.demand_moves;
+        lookup_result(route, out)
     }
 
     /// Applies a new placement (partitioned schemes only), relocating lines
@@ -248,8 +382,10 @@ impl Llc {
         // Any stragglers from the previous window are dropped now (their
         // background walk has long finished in practice; epochs far exceed
         // the walk window).
-        self.stats.background_invalidations += self.old_lines.len() as u64;
-        self.old_lines.clear();
+        self.stats.background_invalidations += self.pending_old_lines() as u64;
+        for m in &mut self.old_lines {
+            m.clear();
+        }
 
         // New descriptors, preserving bucket assignments from the current
         // ones where possible to minimize line movement.
@@ -315,7 +451,10 @@ impl Llc {
                                     self.stats.bulk_invalidations += 1;
                                 }
                                 MoveScheme::DemandMove => {
-                                    self.old_lines.insert(line.0, BankId(b as u16));
+                                    // Filed under the line's *new* home so
+                                    // the probe on a miss at that bank (and
+                                    // only there) finds it.
+                                    self.old_lines[nb.index()].insert(line.0, BankId(b as u16));
                                 }
                             }
                         }
@@ -348,8 +487,8 @@ impl Llc {
                 shadow_active,
             } => {
                 *shadow = std::mem::replace(desc, new_desc);
-                *shadow_active =
-                    move_scheme == MoveScheme::DemandMove && !self.old_lines.is_empty();
+                *shadow_active = move_scheme == MoveScheme::DemandMove
+                    && self.old_lines.iter().any(|m| !m.is_empty());
                 self.shadow_start = now_cycles;
                 if move_scheme == MoveScheme::BulkInvalidate {
                     pause = bulk_pause;
@@ -377,17 +516,26 @@ impl Llc {
         }
         let progress = ((elapsed - delay_cycles) as f64 / walk_cycles as f64).min(1.0);
         if progress >= 1.0 {
-            self.stats.background_invalidations += self.old_lines.len() as u64;
-            self.old_lines.clear();
+            let pending: u64 = self.old_lines.iter().map(|m| m.len() as u64).sum();
+            self.stats.background_invalidations += pending;
+            for m in &mut self.old_lines {
+                m.clear();
+            }
             *shadow_active = false;
             return;
         }
         // Drop a deterministic subset so that `progress` of the original
         // population is gone: keep lines whose hash exceeds the threshold.
+        // Per-entry predicate, so sharding the map by bank drops the same
+        // set of lines the single map did.
         let threshold = (progress * u64::MAX as f64) as u64;
-        let before = self.old_lines.len();
-        self.old_lines.retain(|&l, _| hash::mix64(l) >= threshold);
-        self.stats.background_invalidations += (before - self.old_lines.len()) as u64;
+        let mut dropped = 0u64;
+        for m in &mut self.old_lines {
+            let before = m.len();
+            m.retain(|&l, _| hash::mix64(l) >= threshold);
+            dropped += (before - m.len()) as u64;
+        }
+        self.stats.background_invalidations += dropped;
     }
 
     /// Whether the shadow window is currently open.
@@ -403,9 +551,8 @@ impl Llc {
     }
 
     /// Lines still awaiting demand moves or background invalidation.
-    #[allow(dead_code)] // exercised by tests and kept for harness inspection
     pub fn pending_old_lines(&self) -> usize {
-        self.old_lines.len()
+        self.old_lines.iter().map(|m| m.len()).sum()
     }
 
     /// Aggregate hit/miss statistics across banks.
@@ -597,6 +744,102 @@ mod tests {
         // Accesses now miss (the moved lines were never demanded).
         let r = llc.access(0, StreamTarget::ThreadPrivate, TileId(0), &mesh, Line(5));
         assert!(!r.hit);
+    }
+
+    #[test]
+    fn route_is_the_pure_prefix_of_access() {
+        // `access` is literally route + stateful lookup; hold the route's
+        // fields against the produced results across a shadow window.
+        let (mut llc, _) = vtb_llc_with_placement(vec![vec![1024, 0]], MoveScheme::DemandMove);
+        let mesh = Mesh::new(2, 1);
+        for a in 0..50u64 {
+            llc.access(0, StreamTarget::ThreadPrivate, TileId(0), &mesh, Line(a));
+        }
+        let placement = Placement::from_rows(vec![], vec![vec![0, 1024]]);
+        llc.reconfigure(&placement, MoveScheme::DemandMove, 1000, 0);
+        for a in 0..80u64 {
+            let route = llc.route(0, StreamTarget::ThreadPrivate, TileId(0), &mesh, Line(a));
+            let result = llc.access(0, StreamTarget::ThreadPrivate, TileId(0), &mesh, Line(a));
+            assert_eq!(result.bank, route.bank);
+            assert!(!route.bypass);
+            assert_eq!(route.bank, BankId(1));
+            assert_eq!(route.old_bank, Some(BankId(0)));
+            if a < 50 {
+                assert!(result.demand_moved, "line {a} was displaced");
+            }
+        }
+        // Bypass routes report as such.
+        let llc2 = Llc::partitioned(2, 1024, 1);
+        let r = llc2.route(0, StreamTarget::ThreadPrivate, TileId(0), &mesh, Line(7));
+        assert!(r.bypass);
+    }
+
+    #[test]
+    fn shard_processing_matches_serial_access() {
+        // Two identical LLCs mid shadow window; one runs a mixed two-VC
+        // access sequence serially, the other routes it, partitions by
+        // home bank (order-preserving), drains each bank's shard, and
+        // reassembles results through `lookup_result` — the sharded
+        // engine's exact recipe. Results, movement stats and pending
+        // shadow lines must all match.
+        let mesh = Mesh::new(2, 1);
+        let line = |vc: u64, a: u64| Line((vc << 40) | a); // engine tagging
+        let build = || {
+            let (mut llc, _) =
+                vtb_llc_with_placement(vec![vec![512, 0], vec![0, 512]], MoveScheme::DemandMove);
+            for a in 0..400u64 {
+                llc.access(0, StreamTarget::ThreadPrivate, TileId(0), &mesh, line(0, a));
+                llc.access(1, StreamTarget::ThreadPrivate, TileId(1), &mesh, line(1, a));
+            }
+            // Swap the VCs' banks: every resident line is displaced into
+            // the shadow window, filed under its new home.
+            let placement = Placement::from_rows(vec![], vec![vec![0, 512], vec![512, 0]]);
+            llc.reconfigure(&placement, MoveScheme::DemandMove, 1000, 0);
+            llc
+        };
+        let mut serial = build();
+        let mut sharded = build();
+        let accesses: Vec<(u32, Line)> = (0..600u64)
+            .flat_map(|a| [(0u32, line(0, a)), (1u32, line(1, a))])
+            .collect();
+
+        let serial_results: Vec<LookupResult> = accesses
+            .iter()
+            .map(|&(vc, l)| serial.access(vc, StreamTarget::ThreadPrivate, TileId(0), &mesh, l))
+            .collect();
+
+        let routes: Vec<Route> = accesses
+            .iter()
+            .map(|&(vc, l)| sharded.route(vc, StreamTarget::ThreadPrivate, TileId(0), &mesh, l))
+            .collect();
+        let mut lists: Vec<Vec<usize>> = vec![Vec::new(); 2];
+        for (i, r) in routes.iter().enumerate() {
+            lists[r.bank.index()].push(i);
+        }
+        let mut outs: Vec<Vec<u8>> = vec![Vec::new(); 2];
+        let moved: u64 = {
+            let mut shards = sharded.bank_shards();
+            for (b, shard) in shards.iter_mut().enumerate() {
+                for &i in &lists[b] {
+                    let (vc, l) = accesses[i];
+                    outs[b].push(shard.access_routed(vc, l, routes[i].old_bank.is_some()));
+                }
+            }
+            shards.iter().map(|s| s.demand_moves).sum()
+        };
+        sharded.add_demand_moves(moved);
+
+        let mut cursors = [0usize; 2];
+        for (i, r) in routes.iter().enumerate() {
+            let b = r.bank.index();
+            let out = outs[b][cursors[b]];
+            cursors[b] += 1;
+            assert_eq!(lookup_result(*r, out), serial_results[i], "access {i}");
+        }
+        assert!(serial.stats.demand_moves > 0, "shadow window went unused");
+        assert_eq!(serial.stats, sharded.stats);
+        assert_eq!(serial.pending_old_lines(), sharded.pending_old_lines());
+        assert_eq!(serial.occupancy(), sharded.occupancy());
     }
 
     #[test]

@@ -94,3 +94,131 @@ fn batched_engine_matches_reference_on_traces() {
     };
     assert_eq!(trace(true), trace(false), "run_trace diverged");
 }
+
+/// A config whose intervals are large enough (≥ the engine's in-thread
+/// fall-back threshold, `SHARD_SEQ_THRESHOLD` accesses) that the sharded
+/// pipeline really spawns its fan-outs — otherwise multi-worker configs
+/// would quietly drain on one worker and the test would prove less than
+/// it claims. `assert_forces_fanout` keeps that premise honest.
+fn sharded_config(scheme: Scheme) -> SimConfig {
+    let mut config = SimConfig::small_test();
+    config.scheme = scheme;
+    // One long interval per epoch: even the 2-thread mix draws ~20 k+
+    // accesses per interval, well past the fan-out threshold. Fewer epochs
+    // keep the total work test-sized.
+    config.epoch_cycles = 1_500_000;
+    config.interval_cycles = 1_500_000;
+    config.warmup_epochs = 1;
+    config.measure_epochs = 2;
+    config.intra_cell_threads = 0;
+    config
+}
+
+/// Asserts that a run's *average* interval carried comfortably more than
+/// the fan-out threshold, so the multi-worker sharded path was genuinely
+/// exercised (the access counters accumulate over warm-up and measurement
+/// alike, so total accesses / total intervals is the right average).
+fn assert_forces_fanout(r: &SimResult, intervals: u64, what: &str) {
+    let total: u64 = r.threads.iter().map(|t| t.accesses).sum();
+    assert!(
+        total / intervals >= 3 * cdcs_sim::SHARD_SEQ_THRESHOLD as u64 / 2,
+        "{what}: {} accesses over {intervals} intervals no longer clears the \
+         {}-access fan-out threshold with margin — grow the test's intervals",
+        total,
+        cdcs_sim::SHARD_SEQ_THRESHOLD
+    );
+}
+
+fn run_cfg(config: &SimConfig, names: &[&str], intra_cell_threads: usize) -> SimResult {
+    let mut config = config.clone();
+    config.intra_cell_threads = intra_cell_threads;
+    Simulation::new(config, mix(names)).expect("sim").run()
+}
+
+fn trace_cfg(config: &SimConfig, names: &[&str], intra_cell_threads: usize) -> SimResult {
+    let mut config = config.clone();
+    config.intra_cell_threads = intra_cell_threads;
+    Simulation::new(config, mix(names))
+        .expect("sim")
+        .run_trace(1, 3)
+}
+
+/// Golden test for the bank-sharded pipeline: across all 4 schemes × both
+/// mixes × both entry points (`run` and `run_trace`) × 1/2/4 shard
+/// threads, results are **bit-identical** to the single-core batched
+/// engine. The partition of work by home bank is fixed by the routes and
+/// the reduction replays the serial drain order, so the worker count can
+/// only change wall clock — this is the test that holds that claim.
+#[test]
+fn sharded_engine_matches_batched_across_schemes_mixes_and_threads() {
+    let mixes: [&[&str]; 2] = [
+        &["calculix", "milc"],
+        &["omnet", "xalancbmk", "bzip2", "ilbdc"],
+    ];
+    let schemes = [
+        Scheme::SNuca,
+        Scheme::rnuca(),
+        Scheme::jigsaw_random(),
+        Scheme::cdcs(),
+    ];
+    for names in mixes {
+        for scheme in schemes {
+            let config = sharded_config(scheme);
+            let batched_run = run_cfg(&config, names, 0);
+            let batched_trace = trace_cfg(&config, names, 0);
+            // 3 epochs × 1 interval each under `sharded_config`.
+            assert_forces_fanout(&batched_run, 3, &format!("{} / {names:?}", scheme.name()));
+            for threads in [1, 2, 4] {
+                assert_eq!(
+                    batched_run,
+                    run_cfg(&config, names, threads),
+                    "sharded run diverged: {} / {names:?} / {threads} threads",
+                    scheme.name()
+                );
+                assert_eq!(
+                    batched_trace,
+                    trace_cfg(&config, names, threads),
+                    "sharded run_trace diverged: {} / {names:?} / {threads} threads",
+                    scheme.name()
+                );
+            }
+        }
+    }
+}
+
+/// Nested parallelism: `run_grid`'s cell-level fan-out with bank-sharded
+/// cells inside must stay byte-identical to fully serial execution (outer
+/// pool of 1, inner workers 0). The outer pool clamps the inner count on
+/// narrow machines; the clamp must not change results either.
+#[test]
+fn nested_grid_with_sharded_cells_matches_serial() {
+    use cdcs_sim::runner::{run_grid, run_grid_serial, GridCell};
+
+    // Same large-interval config, so the cells' inner fan-outs really
+    // spawn (the grid overrides the scheme per cell).
+    let mut config = sharded_config(Scheme::SNuca);
+    let mut cells = Vec::new();
+    for names in [
+        &["calculix", "milc"][..],
+        &["omnet", "xalancbmk", "bzip2", "ilbdc"][..],
+    ] {
+        for scheme in [Scheme::SNuca, Scheme::cdcs()] {
+            cells.push(GridCell::new(scheme, mix(names)));
+        }
+    }
+    // Serial baseline: no outer fan-out, no inner sharding.
+    let mut serial_cfg = config.clone();
+    serial_cfg.intra_cell_threads = 0;
+    let serial = run_grid_serial(&serial_cfg, &cells).expect("serial grid");
+    // Outer pool of 4 workers, 2 shard threads inside every cell.
+    config.intra_cell_threads = 2;
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(4)
+        .build()
+        .expect("pool");
+    let nested = pool.install(|| run_grid(&config, &cells)).expect("grid");
+    assert_eq!(nested.len(), serial.len());
+    for (i, (n, s)) in nested.iter().zip(&serial).enumerate() {
+        assert_eq!(n, s, "cell {i} diverged between nested-parallel and serial");
+    }
+}

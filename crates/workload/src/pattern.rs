@@ -206,6 +206,42 @@ impl PatternState {
         }
     }
 
+    /// Slice form of [`Self::fill_offsets`]: overwrites every slot of `out`
+    /// with the next `out.len()` offsets — the same draw sequence, written
+    /// into caller-owned storage. The sharded engine pre-sizes one flat
+    /// interval buffer and fills disjoint per-thread windows of it in
+    /// parallel, which a `Vec`-append API cannot serve.
+    pub fn fill_offsets_slice(&mut self, pattern: &Pattern, rng: &mut SmallRng, out: &mut [u64]) {
+        match (self, pattern) {
+            (PatternState::Scan { pos }, Pattern::Scan { lines })
+            | (PatternState::Loop { pos }, Pattern::Loop { lines }) => {
+                for slot in out {
+                    *slot = *pos;
+                    *pos += 1;
+                    if *pos == *lines {
+                        *pos = 0;
+                    }
+                }
+            }
+            (PatternState::Hot, Pattern::Hot { lines }) => {
+                for slot in out {
+                    *slot = rng.gen_range(0..*lines);
+                }
+            }
+            (PatternState::Zipf, Pattern::Zipf { lines, alpha }) => {
+                for slot in out {
+                    *slot = zipf_sample(*lines, *alpha, rng);
+                }
+            }
+            (state @ PatternState::Mix { .. }, pattern @ Pattern::Mix(_)) => {
+                for slot in out {
+                    *slot = state.next_offset(pattern, rng);
+                }
+            }
+            _ => unreachable!("pattern state mismatch"),
+        }
+    }
+
     /// Draws the next line offset for `pattern` (must be the same pattern
     /// this state was built from).
     pub fn next_offset(&mut self, pattern: &Pattern, rng: &mut SmallRng) -> u64 {

@@ -244,6 +244,21 @@ impl AccessStream {
             .fill_offsets(&self.private_pattern, &mut self.rng, n, out);
     }
 
+    /// Slice form of [`Self::fill_private_offsets`]: overwrites every slot
+    /// of `out` with the next `out.len()` private offsets — identical draws
+    /// (the sharded engine fills disjoint windows of one flat interval
+    /// buffer from several threads at once).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream has a shared pattern (class selection consumes
+    /// RNG draws, so bulk generation would diverge).
+    pub fn fill_private_offsets_slice(&mut self, out: &mut [u64]) {
+        assert!(self.shared.is_none(), "stream has a shared pattern");
+        self.private_state
+            .fill_offsets_slice(&self.private_pattern, &mut self.rng, out);
+    }
+
     /// Draws the next access: which VC class it targets and the line offset
     /// within that class's footprint.
     pub fn next_access(&mut self) -> (StreamTarget, u64) {
@@ -278,6 +293,30 @@ mod tests {
             Pattern::Hot { lines: 500 },
             0.5,
         )
+    }
+
+    #[test]
+    fn slice_fill_matches_vec_fill_and_single_draws() {
+        let app = AppProfile::single_threaded(
+            "st",
+            10.0,
+            1.0,
+            2.0,
+            Pattern::Mix(vec![
+                (0.7, Pattern::Hot { lines: 64 }),
+                (0.3, Pattern::Scan { lines: 512 }),
+            ]),
+        );
+        let mut a = AccessStream::for_thread(&app, 0, 42);
+        let mut b = a.clone();
+        let mut c = a.clone();
+        let mut vec_out = Vec::new();
+        a.fill_private_offsets(257, &mut vec_out);
+        let mut slice_out = vec![0u64; 257];
+        b.fill_private_offsets_slice(&mut slice_out);
+        let single: Vec<u64> = (0..257).map(|_| c.next_access().1).collect();
+        assert_eq!(vec_out, slice_out);
+        assert_eq!(vec_out, single);
     }
 
     #[test]

@@ -1,17 +1,22 @@
 #!/usr/bin/env bash
-# Guards the batched simulation engine against perf regressions using a
-# machine-independent statistic: each `simulation/<scheme>` row is
-# normalized by the same run's `simulation_reference/<scheme>` row (the
-# definitional per-access engine, which shares every non-batching
-# optimization). CI boxes and quick-mode sampling shift *absolute* medians
-# by large, noisy factors, but both engines shift together — so the
-# batched/reference ratio is stable, and a batched-pipeline regression (a
-# lost fast path, a reintroduced per-access allocation) shows up as that
-# ratio degrading vs the committed baseline.
+# Guards the simulation engines against perf regressions using a
+# machine-independent statistic: each `simulation/<scheme>` and
+# `simulation_sharded/<scheme>` row is normalized by the same run's
+# `simulation_reference/<scheme>` row (the definitional per-access engine,
+# which shares every non-batching optimization). CI boxes and quick-mode
+# sampling shift *absolute* medians by large, noisy factors, but all
+# engines shift together — so the engine/reference ratio is stable, and a
+# pipeline regression (a lost fast path, a reintroduced per-access
+# allocation, a serialized shard phase) shows up as that ratio degrading
+# vs the committed baseline.
+#
+# Any benchmark row the committed baseline gates on that is missing from
+# either file is a hard failure: silently skipping a vanished row is
+# exactly how a deleted bench would sneak past the gate.
 #
 # Usage: scripts/check_bench_regression.sh <baseline.json> <fresh.json> [max-degradation]
-#        max-degradation defaults to 1.30 (fail if the fresh
-#        batched/reference ratio exceeds the committed one by >30%).
+#        max-degradation defaults to 1.30 (fail if a fresh
+#        engine/reference ratio exceeds the committed one by >30%).
 
 set -euo pipefail
 
@@ -19,47 +24,71 @@ baseline="$1"
 fresh="$2"
 max_ratio="${3:-1.30}"
 
-# Extract "group/name median" rows from the trajectory JSON (one benchmark
-# object per line inside the "benchmarks" array).
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+# Extract "group/name median" rows from the trajectory JSON. Tolerant of
+# re-formatting: all whitespace (including newlines from pretty-printing)
+# is stripped before matching, so one-object-per-line, packed, and
+# pretty-printed documents all parse. Group/name values are identifiers
+# (no spaces), so the stripping cannot corrupt them.
 rows() {
-    grep -o '{"group":"[^"]*","name":"[^"]*","median_ns":[0-9.]*' "$1" |
-        sed 's/{"group":"\([^"]*\)","name":"\([^"]*\)","median_ns":\([0-9.]*\)/\1\/\2 \3/'
+    tr -d '[:space:]' < "$1" |
+        grep -o '{"group":"[^"]*","name":"[^"]*","median_ns":[0-9.eE+-]*' |
+        sed 's/{"group":"\([^"]*\)","name":"\([^"]*\)","median_ns":\([0-9.eE+-]*\)/\1\/\2 \3/'
 }
 
 lookup() { # file-rows name
     awk -v n="$2" '$1 == n { print $2 }' "$1"
 }
 
-rows "$baseline" > /tmp/bench_baseline.$$
-rows "$fresh" > /tmp/bench_fresh.$$
+rows "$baseline" > "$workdir/baseline"
+rows "$fresh" > "$workdir/fresh"
 
 status=0
 checked=0
-for scheme in $(awk -F'[/ ]' '$1 == "simulation" { print $2 }' /tmp/bench_baseline.$$); do
-    bb="$(lookup /tmp/bench_baseline.$$ "simulation/$scheme")"
-    br="$(lookup /tmp/bench_baseline.$$ "simulation_reference/$scheme")"
-    fb="$(lookup /tmp/bench_fresh.$$ "simulation/$scheme")"
-    fr="$(lookup /tmp/bench_fresh.$$ "simulation_reference/$scheme")"
-    if [ -z "$bb" ] || [ -z "$br" ] || [ -z "$fb" ] || [ -z "$fr" ]; then
-        continue
+missing=0
+
+require() { # value row-name file-label
+    if [ -z "$1" ]; then
+        echo "MISSING ROW: $2 not found in $3" >&2
+        missing=1
     fi
-    checked=$((checked + 1))
-    verdict="$(awk -v bb="$bb" -v br="$br" -v fb="$fb" -v fr="$fr" -v r="$max_ratio" 'BEGIN {
-        base_ratio = bb / br
-        fresh_ratio = fb / fr
-        printf "%.3f %.3f %s", base_ratio, fresh_ratio, (fresh_ratio <= base_ratio * r) ? "ok" : "regressed"
-    }')"
-    printf '%-10s batched/reference: committed %s  fresh %s  %s\n' \
-        "$scheme" $verdict
-    case "$verdict" in *regressed) status=1 ;; esac
+}
+
+for group in simulation simulation_sharded; do
+    for scheme in $(awk -F'[/ ]' -v g="$group" '$1 == g { print $2 }' "$workdir/baseline"); do
+        bb="$(lookup "$workdir/baseline" "$group/$scheme")"
+        br="$(lookup "$workdir/baseline" "simulation_reference/$scheme")"
+        fb="$(lookup "$workdir/fresh" "$group/$scheme")"
+        fr="$(lookup "$workdir/fresh" "simulation_reference/$scheme")"
+        require "$br" "simulation_reference/$scheme" "baseline $baseline"
+        require "$fb" "$group/$scheme" "fresh $fresh"
+        require "$fr" "simulation_reference/$scheme" "fresh $fresh"
+        if [ -z "$bb" ] || [ -z "$br" ] || [ -z "$fb" ] || [ -z "$fr" ]; then
+            continue
+        fi
+        checked=$((checked + 1))
+        verdict="$(awk -v bb="$bb" -v br="$br" -v fb="$fb" -v fr="$fr" -v r="$max_ratio" 'BEGIN {
+            base_ratio = bb / br
+            fresh_ratio = fb / fr
+            printf "%.3f %.3f %s", base_ratio, fresh_ratio, (fresh_ratio <= base_ratio * r) ? "ok" : "regressed"
+        }')"
+        printf '%-28s engine/reference: committed %s  fresh %s  %s\n' \
+            "$group/$scheme" $verdict
+        case "$verdict" in *regressed) status=1 ;; esac
+    done
 done
 
-rm -f /tmp/bench_baseline.$$ /tmp/bench_fresh.$$
+if [ "$missing" -ne 0 ]; then
+    echo "baseline rows without counterparts — refusing to pass a partial comparison" >&2
+    exit 1
+fi
 if [ "$checked" -eq 0 ]; then
     echo "no comparable simulation rows found" >&2
     exit 1
 fi
 if [ "$status" -ne 0 ]; then
-    echo "batched engine regressed >$max_ratio x relative to the reference engine" >&2
+    echo "an engine regressed >$max_ratio x relative to the reference engine" >&2
 fi
 exit "$status"

@@ -1,0 +1,115 @@
+#!/usr/bin/env bash
+# Shell-level tests for scripts/check_bench_regression.sh: the gate must
+# (1) pass identical files, (2) fail a genuine ratio regression, (3) fail
+# loudly when a baseline row has no counterpart instead of silently
+# skipping it, (4) parse re-formatted (pretty-printed) JSON, and (5) leave
+# no temp files behind in any of those outcomes — including the early
+# `set -e` exits.
+#
+# Usage: scripts/test_check_bench_regression.sh
+
+set -euo pipefail
+
+here="$(cd "$(dirname "$0")" && pwd)"
+checker="$here/check_bench_regression.sh"
+
+scratch="$(mktemp -d)"
+trap 'rm -rf "$scratch"' EXIT
+# Route every mktemp the checker performs into an observable, initially
+# empty directory so leaks are detectable.
+export TMPDIR="$scratch/tmp"
+mkdir -p "$TMPDIR"
+
+fails=0
+
+check() { # name expected-exit actual-exit
+    if [ "$2" -ne "$3" ]; then
+        echo "FAIL: $1 (expected exit $2, got $3)" >&2
+        fails=$((fails + 1))
+    else
+        echo "ok: $1"
+    fi
+}
+
+assert_no_temp_leaks() { # name
+    leaked="$(find "$TMPDIR" -mindepth 1 | head -5)"
+    if [ -n "$leaked" ]; then
+        echo "FAIL: $1 leaked temp files:" >&2
+        echo "$leaked" >&2
+        fails=$((fails + 1))
+        rm -rf "$TMPDIR"
+        mkdir -p "$TMPDIR"
+    fi
+}
+
+emit_json() { # file  b-snuca b-cdcs sh-snuca sh-cdcs ref-snuca ref-cdcs
+    cat > "$1" <<EOF
+{
+  "bench": "sim",
+  "unit": "ns_per_op_median",
+  "benchmarks": [
+    {"group":"simulation","name":"S-NUCA","median_ns":$2,"samples":10},
+    {"group":"simulation","name":"CDCS","median_ns":$3,"samples":10},
+    {"group":"simulation_sharded","name":"S-NUCA","median_ns":$4,"samples":10},
+    {"group":"simulation_sharded","name":"CDCS","median_ns":$5,"samples":10},
+    {"group":"simulation_reference","name":"S-NUCA","median_ns":$6,"samples":10},
+    {"group":"simulation_reference","name":"CDCS","median_ns":$7,"samples":10}
+  ]
+}
+EOF
+}
+
+emit_json "$scratch/base.json" 600 700 650 720 800 900
+
+# 1. Identical files pass.
+rc=0; "$checker" "$scratch/base.json" "$scratch/base.json" > /dev/null || rc=$?
+check "identical files pass" 0 "$rc"
+assert_no_temp_leaks "identical files"
+
+# 2. A >30% engine/reference ratio regression fails.
+emit_json "$scratch/slow.json" 1200 700 650 720 800 900
+rc=0; "$checker" "$scratch/base.json" "$scratch/slow.json" > /dev/null 2>&1 || rc=$?
+check "ratio regression fails" 1 "$rc"
+assert_no_temp_leaks "ratio regression"
+
+# 3a. A baseline row missing from the fresh file fails loudly.
+grep -v 'simulation_sharded","name":"CDCS' "$scratch/base.json" > "$scratch/missing-row.json"
+rc=0; out="$("$checker" "$scratch/base.json" "$scratch/missing-row.json" 2>&1)" || rc=$?
+check "missing fresh row fails" 1 "$rc"
+case "$out" in
+    *"MISSING ROW: simulation_sharded/CDCS"*) echo "ok: missing row is named" ;;
+    *) echo "FAIL: missing row not reported: $out" >&2; fails=$((fails + 1)) ;;
+esac
+assert_no_temp_leaks "missing fresh row"
+
+# 3b. A gated baseline row with no reference counterpart anywhere fails
+# (the old implementation silently skipped the comparison).
+grep -v 'simulation_reference' "$scratch/base.json" > "$scratch/no-ref.json"
+rc=0; "$checker" "$scratch/base.json" "$scratch/no-ref.json" > /dev/null 2>&1 || rc=$?
+check "missing reference counterpart fails" 1 "$rc"
+assert_no_temp_leaks "missing reference"
+
+# 3c. Files with no simulation rows at all fail.
+echo '{"benchmarks":[]}' > "$scratch/empty.json"
+rc=0; "$checker" "$scratch/empty.json" "$scratch/empty.json" > /dev/null 2>&1 || rc=$?
+check "no comparable rows fails" 1 "$rc"
+assert_no_temp_leaks "no comparable rows"
+
+# 4. Re-formatted JSON (one field per line, indented) still parses.
+sed 's/,/,\n    /g' "$scratch/base.json" > "$scratch/pretty.json"
+rc=0; "$checker" "$scratch/base.json" "$scratch/pretty.json" > /dev/null || rc=$?
+check "re-formatted JSON parses" 0 "$rc"
+assert_no_temp_leaks "re-formatted JSON"
+
+# 5. Legacy /tmp/bench_* names must not be used at all (the old leak).
+stray="$(find /tmp -maxdepth 1 -name 'bench_*' -newer "$scratch/base.json" 2>/dev/null | head -3)"
+if [ -n "$stray" ]; then
+    echo "FAIL: checker wrote legacy /tmp/bench_* files: $stray" >&2
+    fails=$((fails + 1))
+fi
+
+if [ "$fails" -ne 0 ]; then
+    echo "$fails check(s) failed" >&2
+    exit 1
+fi
+echo "all checks passed"

@@ -8,10 +8,10 @@
 //! are reassembled in input order, so output is deterministic and identical
 //! to the sequential equivalent whenever `f` itself is.
 //!
-//! Supported surface: `par_iter()` on slices and `Vec`s,
-//! `into_par_iter()` on `usize` ranges, `map`, `collect::<Vec<_>>()`, and
-//! [`current_num_threads`]. `RAYON_NUM_THREADS` caps the worker count like
-//! the real crate.
+//! Supported surface: `par_iter()` on slices and `Vec`s, `par_iter_mut()`
+//! on mutable slices and `Vec`s, `into_par_iter()` on `usize` ranges,
+//! `map`, `for_each`, `collect::<Vec<_>>()`, and [`current_num_threads`].
+//! `RAYON_NUM_THREADS` caps the worker count like the real crate.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -19,7 +19,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 pub mod prelude {
     pub use crate::iter::{
         FromParallelIterator, IndexedParallelSource, IntoParallelIterator, IntoParallelRefIterator,
-        ParallelIterator,
+        IntoParallelRefMutIterator, ParallelIterator,
     };
 }
 
@@ -137,7 +137,15 @@ pub mod iter {
         }
 
         /// Produces item `i`.
-        fn get(&self, i: usize) -> Self::Item;
+        ///
+        /// # Safety
+        ///
+        /// Callers must request each index at most once per drain: sources
+        /// like [`SliceIterMut`] hand out `&mut` borrows, so requesting an
+        /// index twice would mint aliasing exclusive references. (Only the
+        /// crate-internal [`drain`] calls this, and it upholds the
+        /// contract via its atomic index counter.)
+        unsafe fn get(&self, i: usize) -> Self::Item;
     }
 
     /// The user-facing parallel iterator: adapters plus the drain.
@@ -184,7 +192,8 @@ pub mod iter {
         }
         let workers = current_num_threads().min(n);
         if workers <= 1 {
-            return (0..n).map(|i| source.get(i)).collect();
+            // SAFETY: the sequential walk visits each index exactly once.
+            return (0..n).map(|i| unsafe { source.get(i) }).collect();
         }
         let next = AtomicUsize::new(0);
         let mut slots: Vec<Option<S::Item>> = std::thread::scope(|scope| {
@@ -197,7 +206,9 @@ pub mod iter {
                             if i >= n {
                                 break;
                             }
-                            local.push((i, source.get(i)));
+                            // SAFETY: the shared atomic counter hands each
+                            // index to exactly one worker.
+                            local.push((i, unsafe { source.get(i) }));
                         }
                         local
                     })
@@ -232,8 +243,9 @@ pub mod iter {
             self.base.len()
         }
 
-        fn get(&self, i: usize) -> R {
-            (self.f)(self.base.get(i))
+        unsafe fn get(&self, i: usize) -> R {
+            // SAFETY: forwarded under the caller's once-per-index contract.
+            (self.f)(unsafe { self.base.get(i) })
         }
     }
 
@@ -249,8 +261,44 @@ pub mod iter {
             self.slice.len()
         }
 
-        fn get(&self, i: usize) -> &'a T {
+        unsafe fn get(&self, i: usize) -> &'a T {
             &self.slice[i]
+        }
+    }
+
+    /// Parallel iterator over `&mut [T]`.
+    ///
+    /// Stored as a raw pointer + length so `get(&self, i)` can hand out
+    /// `&'a mut T` from a shared receiver. Soundness rests on `get`'s
+    /// once-per-index safety contract (upheld by the crate's one caller,
+    /// [`drain`]): the `&mut` borrows handed out are disjoint, and the
+    /// `'a` lifetime ties them all to the one `&'a mut [T]` borrow taken
+    /// by [`IntoParallelRefMutIterator`].
+    pub struct SliceIterMut<'a, T> {
+        ptr: *mut T,
+        len: usize,
+        _marker: std::marker::PhantomData<&'a mut [T]>,
+    }
+
+    // SAFETY: the iterator only ever hands out disjoint `&mut T` (one per
+    // index), so sharing the source across worker threads is safe whenever
+    // `T` itself may cross threads.
+    unsafe impl<T: Send> Sync for SliceIterMut<'_, T> {}
+    unsafe impl<T: Send> Send for SliceIterMut<'_, T> {}
+
+    impl<'a, T: Send + 'a> IndexedParallelSource for SliceIterMut<'a, T> {
+        type Item = &'a mut T;
+
+        fn len(&self) -> usize {
+            self.len
+        }
+
+        unsafe fn get(&self, i: usize) -> &'a mut T {
+            debug_assert!(i < self.len);
+            // SAFETY: `i < len` indexes the original slice, and the
+            // caller's once-per-index contract guarantees no two returned
+            // references alias.
+            unsafe { &mut *self.ptr.add(i) }
         }
     }
 
@@ -267,7 +315,7 @@ pub mod iter {
             self.end - self.start
         }
 
-        fn get(&self, i: usize) -> usize {
+        unsafe fn get(&self, i: usize) -> usize {
             self.start + i
         }
     }
@@ -298,6 +346,39 @@ pub mod iter {
 
         fn par_iter(&'a self) -> SliceIter<'a, T> {
             SliceIter { slice: self }
+        }
+    }
+
+    /// `.par_iter_mut()` on by-mutable-reference collections.
+    pub trait IntoParallelRefMutIterator<'a> {
+        /// Item type.
+        type Item: Send;
+        /// Iterator type.
+        type Iter: ParallelIterator<Item = Self::Item>;
+
+        /// Returns a parallel iterator over mutable references.
+        fn par_iter_mut(&'a mut self) -> Self::Iter;
+    }
+
+    impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+        type Item = &'a mut T;
+        type Iter = SliceIterMut<'a, T>;
+
+        fn par_iter_mut(&'a mut self) -> SliceIterMut<'a, T> {
+            SliceIterMut {
+                ptr: self.as_mut_ptr(),
+                len: self.len(),
+                _marker: std::marker::PhantomData,
+            }
+        }
+    }
+
+    impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+        type Item = &'a mut T;
+        type Iter = SliceIterMut<'a, T>;
+
+        fn par_iter_mut(&'a mut self) -> SliceIterMut<'a, T> {
+            self.as_mut_slice().par_iter_mut()
         }
     }
 
@@ -362,6 +443,26 @@ mod tests {
             })
             .collect();
         assert_eq!(out, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_mut_mutates_in_place() {
+        let mut v: Vec<u64> = (0..1000).collect();
+        v.par_iter_mut().for_each(|x| *x *= 3);
+        assert_eq!(v, (0..1000).map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_mut_respects_install_scope() {
+        // A pinned 1-worker pool must take the in-thread sequential path
+        // and still produce the same mutations.
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .expect("pool");
+        let mut v: Vec<u64> = (0..64).collect();
+        pool.install(|| v.par_iter_mut().for_each(|x| *x += 1));
+        assert_eq!(v, (1..65).collect::<Vec<_>>());
     }
 
     #[test]
