@@ -1,0 +1,486 @@
+//! Analysis experiments: the four figure/table reproductions that do not
+//! drive the full CMP simulator (miss-curve measurement, the analytic
+//! latency sweet spot, planner-runtime timing, and the placement-quality
+//! comparators). Each has a typed spec and a serializable report so the
+//! binaries stay thin formatters over [`crate::exp::ExperimentSpec::run`].
+
+use cdcs_cache::monitor::{Gmon, GmonConfig, Monitor};
+use cdcs_cache::{Line, MissCurve, StackProfiler};
+use cdcs_core::alloc::latency_aware_sizes;
+use cdcs_core::cost::on_chip_latency;
+use cdcs_core::place::alternatives::{
+    anneal_data_placement, anneal_thread_placement, bisection_thread_placement,
+    exhaustive_thread_placement,
+};
+use cdcs_core::place::{
+    greedy_place_with, optimistic_place_with, place_threads_with, trade_refine_with,
+};
+use cdcs_core::policy::{CdcsPlanner, Planner};
+use cdcs_core::{PlacementProblem, PlanScratch, SystemParams, ThreadInfo, VcInfo, VcKind};
+use cdcs_mesh::{geometry, Mesh, NocConfig, TileId};
+use cdcs_workload::{spec as workload_spec, AccessStream, StreamTarget};
+use serde::{Deserialize, Serialize};
+
+/// Fig. 2 spec: miss curves of selected apps, exact vs GMON-measured.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MissCurvesSpec {
+    /// Benchmarks to profile.
+    pub apps: Vec<String>,
+    /// Accesses recorded per app.
+    pub accesses: usize,
+    /// Capacity sweep points (count), at `mb_per_step` MB each.
+    pub mb_steps: usize,
+    /// Capacity step in MB.
+    pub mb_per_step: f64,
+}
+
+/// One capacity point of a [`MissCurvesReport`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MissCurveRow {
+    /// LLC capacity in MB.
+    pub mb: f64,
+    /// Per-app `(exact MPKI, GMON-measured MPKI)` in spec app order.
+    pub mpki: Vec<(f64, f64)>,
+}
+
+/// Fig. 2 results.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MissCurvesReport {
+    /// App names in row order.
+    pub apps: Vec<String>,
+    /// One row per capacity point.
+    pub rows: Vec<MissCurveRow>,
+}
+
+impl MissCurvesSpec {
+    /// Profiles each app's stream through an exact stack profiler and a
+    /// GMON, returning MPKI curves.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unknown benchmark names.
+    pub fn run(&self) -> Result<MissCurvesReport, String> {
+        let mut curves = Vec::new();
+        for name in &self.apps {
+            let app = workload_spec::by_name(name).ok_or_else(|| format!("unknown app {name}"))?;
+            let mut stream = AccessStream::for_thread(app, 0, 42);
+            let mut prof = StackProfiler::new();
+            let mut gmon = Gmon::new(GmonConfig::covering(256, 64, 4, 524_288));
+            let mut count = 0usize;
+            // For multi-threaded apps, measure the shared stream (its
+            // defining footprint).
+            let want_shared = app.is_multi_threaded();
+            while count < self.accesses {
+                let (target, off) = stream.next_access();
+                let keep = if want_shared {
+                    target == StreamTarget::ProcessShared
+                } else {
+                    target == StreamTarget::ThreadPrivate
+                };
+                if keep {
+                    prof.record(Line(off));
+                    gmon.record(Line(off));
+                    count += 1;
+                }
+            }
+            curves.push((app.apki, prof.miss_curve(), gmon.miss_curve()));
+        }
+        let rows = (0..=self.mb_steps)
+            .map(|step| {
+                let mb = step as f64 * self.mb_per_step;
+                let lines = mb * 16384.0;
+                let mpki = curves
+                    .iter()
+                    .map(|(apki, exact, gmon)| {
+                        // MPKI = APKI × miss ratio at this capacity.
+                        let ex = apki * exact.misses_at(lines) / exact.at_zero().max(1.0);
+                        let gm = apki * gmon.misses_at(lines) / gmon.at_zero().max(1.0);
+                        (ex, gm)
+                    })
+                    .collect();
+                MissCurveRow { mb, mpki }
+            })
+            .collect();
+        Ok(MissCurvesReport {
+            apps: self.apps.clone(),
+            rows,
+        })
+    }
+}
+
+/// Fig. 5 spec: per-access latency vs capacity for one VC on an analytic
+/// cliff-shaped miss curve (the latency-aware-allocation sweet spot).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencyCapacitySpec {
+    /// Mesh side (8 = the paper's chip).
+    pub side: u16,
+    /// Memory latency in cycles.
+    pub mem_latency: f64,
+    /// Miss-curve control points `(lines, misses)`.
+    pub curve: Vec<(f64, f64)>,
+    /// Accesses normalizing the miss curve.
+    pub accesses: f64,
+    /// Sweep points (count) at `lines_per_step` each.
+    pub steps: usize,
+    /// Capacity step in lines.
+    pub lines_per_step: f64,
+}
+
+/// One capacity point of a [`LatencyCapacityReport`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencyCapacityRow {
+    /// Allocated lines.
+    pub lines: f64,
+    /// Off-chip cycles per access.
+    pub off_chip: f64,
+    /// On-chip cycles per access.
+    pub on_chip: f64,
+    /// Total cycles per access.
+    pub total: f64,
+}
+
+/// Fig. 5 results.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencyCapacityReport {
+    /// One row per capacity point.
+    pub rows: Vec<LatencyCapacityRow>,
+}
+
+impl LatencyCapacitySpec {
+    /// Evaluates the analytic latency decomposition over the capacity sweep.
+    pub fn run(&self) -> LatencyCapacityReport {
+        let mesh = Mesh::new(self.side, self.side);
+        let noc = NocConfig::default();
+        let curve = MissCurve::new(self.curve.clone());
+        let center = geometry::chip_center(&mesh);
+        let per_hop = f64::from(noc.round_trip_latency(1));
+        let rows = (0..=self.steps)
+            .map(|step| {
+                let lines = step as f64 * self.lines_per_step;
+                let off_chip = curve.misses_at(lines) / self.accesses * self.mem_latency;
+                let on_chip =
+                    geometry::compact_mean_distance(&mesh, center, lines / 8192.0) * per_hop;
+                LatencyCapacityRow {
+                    lines,
+                    off_chip,
+                    on_chip,
+                    total: off_chip + on_chip,
+                }
+            })
+            .collect();
+        LatencyCapacityReport { rows }
+    }
+}
+
+/// Builds the representative Table 3 placement problem: each thread a
+/// private cliff-curve VC; one process-shared VC.
+fn runtime_problem(threads: usize, side: u16) -> PlacementProblem {
+    let params = SystemParams::default_for_mesh(Mesh::square(side), 8192);
+    let mut vcs: Vec<VcInfo> = (0..threads)
+        .map(|i| {
+            let cliff = 4096.0 + (i as f64 * 977.0) % 20_000.0;
+            VcInfo::new(
+                i as u32,
+                VcKind::thread_private(i as u32),
+                MissCurve::new(vec![
+                    (0.0, 30_000.0),
+                    (cliff, 2_000.0),
+                    (2.0 * cliff, 500.0),
+                ]),
+            )
+        })
+        .collect();
+    vcs.push(VcInfo::new(
+        threads as u32,
+        VcKind::process_shared(0),
+        MissCurve::new(vec![(0.0, 50_000.0), (8192.0, 1_000.0)]),
+    ));
+    let thread_infos = (0..threads)
+        .map(|i| {
+            ThreadInfo::new(
+                i as u32,
+                vec![(i as u32, 25_000.0), (threads as u32, 5_000.0)],
+            )
+        })
+        .collect();
+    PlacementProblem::new(params, vcs, thread_infos).expect("problem")
+}
+
+/// Table 3 spec: planner-step runtimes at several `threads/cores` sizes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlannerRuntimeSpec {
+    /// `(threads, mesh side)` system sizes, column order.
+    pub configs: Vec<(usize, u16)>,
+    /// Timing repetitions (best-of, after one warm-up call).
+    pub repeats: usize,
+}
+
+/// Table 3 results. Host-dependent wall-clock timings converted to Mcycles
+/// at a nominal 2 GHz — the *scaling across sizes* is the reproduced shape,
+/// so no golden test pins these numbers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlannerRuntimeReport {
+    /// Column labels (`"16/16"`, ...).
+    pub columns: Vec<String>,
+    /// `(step label, per-column Mcycles)` rows: allocation, thread
+    /// placement, data placement, total.
+    pub rows: Vec<(String, Vec<f64>)>,
+}
+
+impl PlannerRuntimeSpec {
+    /// Times each planner step on each system size.
+    pub fn run(&self) -> PlannerRuntimeReport {
+        let time_mcycles = |f: &mut dyn FnMut()| {
+            f(); // warm
+            let mut best = f64::INFINITY;
+            for _ in 0..self.repeats.max(1) {
+                let t = std::time::Instant::now();
+                f();
+                best = best.min(t.elapsed().as_secs_f64());
+            }
+            best * 2e9 / 1e6 // seconds → Mcycles at 2 GHz
+        };
+        let mut alloc_row = Vec::new();
+        let mut threads_row = Vec::new();
+        let mut data_row = Vec::new();
+        let mut total_row = Vec::new();
+        let mut columns = Vec::new();
+        for &(threads, side) in &self.configs {
+            columns.push(format!(
+                "{threads}/{}",
+                usize::from(side) * usize::from(side)
+            ));
+            let p = runtime_problem(threads, side);
+            let cores: Vec<TileId> = (0..threads as u16).map(TileId).collect();
+            let sizes = latency_aware_sizes(&p, 1024);
+            let mut scratch = PlanScratch::new();
+            let alloc = time_mcycles(&mut || {
+                let _ = latency_aware_sizes(&p, 1024);
+            });
+            let opt = optimistic_place_with(&p, &sizes, Some(&cores), &mut scratch);
+            let thread_place = time_mcycles(&mut || {
+                let o = optimistic_place_with(&p, &sizes, Some(&cores), &mut scratch);
+                let _ = place_threads_with(&p, &sizes, &o, Some(&cores), 1.0, &mut scratch);
+            });
+            let placed = place_threads_with(&p, &sizes, &opt, Some(&cores), 1.0, &mut scratch);
+            let data_place = time_mcycles(&mut || {
+                let mut pl = greedy_place_with(&p, &sizes, &placed, 1024, &mut scratch);
+                trade_refine_with(&p, &mut pl, &mut scratch);
+            });
+            alloc_row.push(alloc);
+            threads_row.push(thread_place);
+            data_row.push(data_place);
+            total_row.push(alloc + thread_place + data_place);
+        }
+        PlannerRuntimeReport {
+            columns,
+            rows: vec![
+                ("Capacity allocation".into(), alloc_row),
+                ("Thread placement".into(), threads_row),
+                ("Data placement".into(), data_row),
+                ("Total runtime".into(), total_row),
+            ],
+        }
+    }
+}
+
+/// Builds a seeded random placement problem for the comparator ablation.
+fn ablation_problem(threads: usize, side: u16, seed: u64) -> PlacementProblem {
+    let params = SystemParams::default_for_mesh(Mesh::square(side), 8192);
+    let mut state = seed;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as f64 / (1u64 << 31) as f64
+    };
+    let vcs = (0..threads)
+        .map(|i| {
+            let cliff = 2048.0 + next() * 30_000.0;
+            VcInfo::new(
+                i as u32,
+                VcKind::thread_private(i as u32),
+                MissCurve::new(vec![(0.0, 10_000.0 + next() * 40_000.0), (cliff, 500.0)]),
+            )
+        })
+        .collect();
+    let thread_infos = (0..threads)
+        .map(|i| ThreadInfo::new(i as u32, vec![(i as u32, 10_000.0 + next() * 40_000.0)]))
+        .collect();
+    PlacementProblem::new(params, vcs, thread_infos).expect("problem")
+}
+
+/// Placement-ablation spec: CDCS's heuristics vs exhaustive search,
+/// simulated annealing, and recursive bisection on the Eq. 2 cost model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlacementAlternativesSpec {
+    /// Seeds for the small (exhaustive-feasible) instances.
+    pub small_seeds: Vec<u64>,
+    /// `(threads, side)` of the small instances.
+    pub small_size: (usize, u16),
+    /// Seeds for the large instances.
+    pub large_seeds: Vec<u64>,
+    /// `(threads, side)` of the large instances.
+    pub large_size: (usize, u16),
+    /// Simulated-annealing rounds.
+    pub sa_rounds: usize,
+}
+
+/// One ablation instance's Eq. 2 costs (absent comparators were skipped —
+/// exhaustive search is infeasible on large instances, the paper's point).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlacementAlternativesRow {
+    /// Problem seed.
+    pub seed: u64,
+    /// CDCS heuristic cost.
+    pub cdcs: f64,
+    /// Exhaustive thread placement + annealed data placement.
+    pub exhaustive: Option<f64>,
+    /// Simulated-annealing cost.
+    pub annealed: f64,
+    /// Recursive-bisection cost.
+    pub bisection: f64,
+    /// Annealing wall-clock in seconds (host-dependent).
+    pub sa_seconds: f64,
+}
+
+/// Placement-ablation results.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlacementAlternativesReport {
+    /// Small-instance rows (with exhaustive comparator).
+    pub small: Vec<PlacementAlternativesRow>,
+    /// Large-instance rows.
+    pub large: Vec<PlacementAlternativesRow>,
+}
+
+impl PlacementAlternativesSpec {
+    fn run_instance(
+        &self,
+        threads: usize,
+        side: u16,
+        seed: u64,
+        exhaustive: bool,
+    ) -> PlacementAlternativesRow {
+        let p = ablation_problem(threads, side, seed);
+        let cores: Vec<TileId> = (0..threads as u16).map(TileId).collect();
+        let cdcs = Planner::plan(&CdcsPlanner::default(), &p, &cores);
+        let exhaustive_cost = exhaustive.then(|| {
+            let mut ex = cdcs.clone();
+            ex.thread_cores = exhaustive_thread_placement(&p, &cdcs);
+            let refined = anneal_data_placement(&p, &ex, self.sa_rounds.min(3000), 1024, seed);
+            on_chip_latency(&p, &refined)
+        });
+        let t = std::time::Instant::now();
+        let mut sa = cdcs.clone();
+        sa.thread_cores = anneal_thread_placement(&p, &cdcs, self.sa_rounds, seed);
+        let sa_seconds = t.elapsed().as_secs_f64();
+        let mut bis = cdcs.clone();
+        bis.thread_cores = bisection_thread_placement(&p);
+        PlacementAlternativesRow {
+            seed,
+            cdcs: on_chip_latency(&p, &cdcs),
+            exhaustive: exhaustive_cost,
+            annealed: on_chip_latency(&p, &sa),
+            bisection: on_chip_latency(&p, &bis),
+            sa_seconds,
+        }
+    }
+
+    /// Runs every instance of the ablation.
+    pub fn run(&self) -> PlacementAlternativesReport {
+        let (st, ss) = self.small_size;
+        let small = self
+            .small_seeds
+            .iter()
+            .map(|&seed| self.run_instance(st, ss, seed, true))
+            .collect();
+        let (lt, ls) = self.large_size;
+        let large = self
+            .large_seeds
+            .iter()
+            .map(|&seed| self.run_instance(lt, ls, seed, false))
+            .collect();
+        PlacementAlternativesReport { small, large }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_curves_cover_the_capacity_sweep() {
+        let spec = MissCurvesSpec {
+            apps: vec!["omnet".into(), "milc".into()],
+            accesses: 20_000,
+            mb_steps: 4,
+            mb_per_step: 0.25,
+        };
+        let report = spec.run().unwrap();
+        assert_eq!(report.rows.len(), 5);
+        assert_eq!(report.rows[0].mpki.len(), 2);
+        // Miss curves are non-increasing in capacity.
+        for app in 0..2 {
+            for pair in report.rows.windows(2) {
+                assert!(pair[1].mpki[app].0 <= pair[0].mpki[app].0 + 1e-9);
+            }
+        }
+        assert!(spec.run().unwrap() == report, "deterministic");
+    }
+
+    #[test]
+    fn miss_curves_reject_unknown_apps() {
+        let spec = MissCurvesSpec {
+            apps: vec!["nope".into()],
+            accesses: 100,
+            mb_steps: 1,
+            mb_per_step: 0.25,
+        };
+        assert!(spec.run().is_err());
+    }
+
+    #[test]
+    fn latency_capacity_has_a_sweet_spot_shape() {
+        let spec = LatencyCapacitySpec {
+            side: 8,
+            mem_latency: 150.0,
+            curve: vec![
+                (0.0, 100.0),
+                (38_000.0, 85.0),
+                (41_000.0, 5.0),
+                (60_000.0, 3.0),
+            ],
+            accesses: 100.0,
+            steps: 32,
+            lines_per_step: 2048.0,
+        };
+        let report = spec.run();
+        assert_eq!(report.rows.len(), 33);
+        let first = &report.rows[0];
+        let last = &report.rows[32];
+        assert!(last.off_chip < first.off_chip, "off-chip falls");
+        assert!(last.on_chip > first.on_chip, "on-chip rises");
+        let min_total = report.rows.iter().map(|r| r.total).fold(f64::MAX, f64::min);
+        assert!(
+            min_total < first.total && min_total < last.total,
+            "sweet spot inside"
+        );
+    }
+
+    #[test]
+    fn placement_alternatives_produce_finite_costs() {
+        let spec = PlacementAlternativesSpec {
+            small_seeds: vec![0],
+            small_size: (4, 3),
+            large_seeds: vec![],
+            large_size: (36, 6),
+            sa_rounds: 50,
+        };
+        let report = spec.run();
+        assert_eq!(report.small.len(), 1);
+        let row = &report.small[0];
+        assert!(row.cdcs.is_finite() && row.cdcs > 0.0);
+        assert!(row.exhaustive.unwrap().is_finite());
+        assert!(row.annealed.is_finite() && row.bisection.is_finite());
+    }
+}

@@ -5,24 +5,12 @@
 //! 64 KB chunks to full 512 KB banks (see DESIGN.md §6): coarse allocations
 //! over- and under-provision small VCs and cost weighted speedup.
 
-use cdcs_bench::{gmean, run_mixes, st_mix};
-use cdcs_sim::{Scheme, SimConfig};
+use cdcs_bench::{arg, fmt, run_and_save, specs};
 
-fn main() {
-    let mixes = cdcs_bench::arg("mixes", 3);
-    let apps = cdcs_bench::arg("apps", 64);
-    println!("bank-granularity ablation: CDCS gmean WS vs S-NUCA ({mixes} mixes of {apps} apps)");
-    let all_mixes: Vec<_> = (0..mixes).map(|m| st_mix(apps, m)).collect();
-    for (name, granularity) in [("fine (64KB)", 1024u64), ("coarse (full banks)", 8192)] {
-        let config = SimConfig {
-            alloc_granularity: granularity,
-            ..SimConfig::default()
-        };
-        let ws: Vec<f64> = run_mixes(&config, &all_mixes, &[Scheme::cdcs()])
-            .iter()
-            .map(|out| out.runs[0].1)
-            .collect();
-        println!("{:<22} {:>8.3}", name, gmean(&ws));
-    }
-    println!("\npaper: 36% gmean at bank granularity vs 46% with fine-grained partitioning");
+fn main() -> Result<(), String> {
+    let mixes = arg("mixes", 3);
+    let apps = arg("apps", 64);
+    let report = run_and_save(specs::coarse_grain(mixes, apps))?;
+    fmt::coarse_grain(&report, mixes, apps);
+    Ok(())
 }

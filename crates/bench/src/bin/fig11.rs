@@ -2,91 +2,12 @@
 //! schemes: (a) weighted-speedup inverse CDF, (b) on-chip LLC latency,
 //! (c) off-chip latency, (d) traffic breakdown, (e) energy per instruction.
 
-use cdcs_bench::{all_schemes, print_inverse_cdf, run_mixes, st_mix};
-use cdcs_mesh::TrafficClass;
-use cdcs_sim::SimConfig;
+use cdcs_bench::{arg, fmt, run_and_save, specs};
 
-fn main() {
-    let mixes = cdcs_bench::arg("mixes", 6);
-    let apps = cdcs_bench::arg("apps", 64);
-    let config = SimConfig::default();
-    let schemes = all_schemes();
-    let mut ws: Vec<(String, Vec<f64>)> = schemes.iter().map(|s| (s.name(), Vec::new())).collect();
-    let mut onchip = vec![0.0; schemes.len()];
-    let mut offchip = vec![0.0; schemes.len()];
-    let mut traffic = vec![[0.0f64; 3]; schemes.len()];
-    let mut energy = vec![[0.0f64; 5]; schemes.len()];
-    let mut instr = vec![0.0; schemes.len()];
-    // One parallel grid over every (mix × scheme) cell plus alone runs.
-    let all_mixes: Vec<_> = (0..mixes).map(|m| st_mix(apps, m)).collect();
-    for out in run_mixes(&config, &all_mixes, &schemes).iter() {
-        for (i, (_, w, r)) in out.runs.iter().enumerate() {
-            ws[i].1.push(*w);
-            onchip[i] += r.mean_on_chip_latency();
-            offchip[i] += r.mean_off_chip_latency();
-            for (k, class) in TrafficClass::ALL.iter().enumerate() {
-                traffic[i][k] += r.system.traffic.flit_hops(*class) as f64;
-            }
-            let e = &r.energy;
-            for (k, v) in [e.static_nj, e.core_nj, e.net_nj, e.llc_nj, e.mem_nj]
-                .iter()
-                .enumerate()
-            {
-                energy[i][k] += v;
-            }
-            instr[i] += r.system.instructions;
-        }
-    }
-    print_inverse_cdf(
-        &format!("Fig. 11a: weighted speedup vs S-NUCA, {mixes} mixes of {apps} apps"),
-        &ws,
-    );
-    println!(
-        "\nFig. 11b/c: average LLC latencies per access, cycles (normalized to CDCS in paper)"
-    );
-    println!("{:<10} {:>10} {:>10}", "scheme", "on-chip", "off-chip");
-    for (i, (name, _)) in ws.iter().enumerate() {
-        println!(
-            "{:<10} {:>10.2} {:>10.2}",
-            name,
-            onchip[i] / mixes as f64,
-            offchip[i] / mixes as f64
-        );
-    }
-    println!("\nFig. 11d: NoC traffic per instruction (flit-hops), by class");
-    println!(
-        "{:<10} {:>10} {:>10} {:>10} {:>10}",
-        "scheme", "L2-LLC", "LLC-Mem", "Other", "total"
-    );
-    for (i, (name, _)) in ws.iter().enumerate() {
-        let t = traffic[i];
-        println!(
-            "{:<10} {:>10.3} {:>10.3} {:>10.3} {:>10.3}",
-            name,
-            t[0] / instr[i],
-            t[1] / instr[i],
-            t[2] / instr[i],
-            (t[0] + t[1] + t[2]) / instr[i]
-        );
-    }
-    println!("\nFig. 11e: energy per instruction (nJ), by component");
-    println!(
-        "{:<10} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
-        "scheme", "static", "core", "net", "llc", "mem", "total"
-    );
-    for (i, (name, _)) in ws.iter().enumerate() {
-        let e = energy[i];
-        let total: f64 = e.iter().sum();
-        println!(
-            "{:<10} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>8.3}",
-            name,
-            e[0] / instr[i],
-            e[1] / instr[i],
-            e[2] / instr[i],
-            e[3] / instr[i],
-            e[4] / instr[i],
-            total / instr[i]
-        );
-    }
-    println!("\npaper: CDCS 46% gmean WS (up to 76%); Jigsaw+R 38%, Jigsaw+C 34%, R-NUCA 18%; S-NUCA 11x CDCS's on-chip latency, 3x traffic; CDCS saves 36% energy");
+fn main() -> Result<(), String> {
+    let mixes = arg("mixes", 6);
+    let apps = arg("apps", 64);
+    let report = run_and_save(specs::fig11(mixes, apps))?;
+    fmt::fig11(&report, mixes, apps);
+    Ok(())
 }

@@ -1,43 +1,12 @@
 //! Fig. 12: factor analysis — Jigsaw+R plus latency-aware allocation (+L),
 //! thread placement (+T) and refined data placement (+D); +LTD is CDCS.
 
-use cdcs_bench::{gmean, run_mixes, st_mix};
-use cdcs_core::policy::CdcsPlanner;
-use cdcs_sim::{Scheme, SimConfig, ThreadSched};
+use cdcs_bench::{arg, fmt, run_and_save, specs};
 
-fn main() {
-    let mixes = cdcs_bench::arg("mixes", 4);
-    for apps in [cdcs_bench::arg("apps", 64), 4] {
-        let config = SimConfig::default();
-        let variants: Vec<Scheme> = vec![
-            Scheme::jigsaw_random(),
-            Scheme::Cdcs {
-                planner: CdcsPlanner::with_features(true, false, false),
-                sched: ThreadSched::Random,
-            },
-            Scheme::Cdcs {
-                planner: CdcsPlanner::with_features(false, true, false),
-                sched: ThreadSched::Random,
-            },
-            Scheme::Cdcs {
-                planner: CdcsPlanner::with_features(false, false, true),
-                sched: ThreadSched::Random,
-            },
-            Scheme::cdcs(),
-        ];
-        let mut ws: Vec<(String, Vec<f64>)> =
-            variants.iter().map(|s| (s.name(), Vec::new())).collect();
-        let all_mixes: Vec<_> = (0..mixes).map(|m| st_mix(apps, m)).collect();
-        for out in run_mixes(&config, &all_mixes, &variants).iter() {
-            for (i, (_, w, _)) in out.runs.iter().enumerate() {
-                ws[i].1.push(*w);
-            }
-        }
-        println!("Fig. 12 ({apps} apps, {mixes} mixes): gmean weighted speedup vs S-NUCA");
-        for (name, v) in &ws {
-            println!("{:<14} {:>8.3}", name, gmean(v));
-        }
-        println!();
-    }
-    println!("paper: at 64 apps thread+data placement dominate; at 4 apps latency-aware allocation dominates");
+fn main() -> Result<(), String> {
+    let mixes = arg("mixes", 4);
+    let apps_points = [arg("apps", 64), 4];
+    let report = run_and_save(specs::fig12(mixes, &apps_points))?;
+    fmt::fig12(&report, mixes, &apps_points);
+    Ok(())
 }

@@ -1,33 +1,12 @@
 //! Fig. 13: under-committed systems — gmean weighted speedup for mixes of
 //! 1–64 single-threaded apps on the 64-core CMP.
 
-use cdcs_bench::{all_schemes, gmean, run_mixes, st_mix};
-use cdcs_sim::SimConfig;
+use cdcs_bench::{arg, fmt, run_and_save, specs};
 
-fn main() {
-    let mixes = cdcs_bench::arg("mixes", 4);
-    let config = SimConfig::default();
-    let schemes = all_schemes();
-    println!("Fig. 13: gmean weighted speedup vs S-NUCA ({mixes} mixes per point)");
-    print!("{:<8}", "apps");
-    for s in &schemes {
-        print!(" {:>10}", s.name());
-    }
-    println!();
-    for &apps in &[1usize, 2, 4, 8, 16, 32, 64] {
-        let mut ws = vec![Vec::new(); schemes.len()];
-        let all_mixes: Vec<_> = (0..mixes).map(|m| st_mix(apps, m)).collect();
-        for out in run_mixes(&config, &all_mixes, &schemes) {
-            for (i, (_, w, _)) in out.runs.iter().enumerate() {
-                ws[i].push(*w);
-            }
-        }
-        print!("{apps:<8}");
-        for v in &ws {
-            print!(" {:>10.3}", gmean(v));
-        }
-        println!();
-        eprintln!("[{apps}-app column done]");
-    }
-    println!("\npaper: CDCS highest throughout; Jigsaw variants weak at 1-8 apps (latency-oblivious allocations)");
+fn main() -> Result<(), String> {
+    let mixes = arg("mixes", 4);
+    let apps_points = [1usize, 2, 4, 8, 16, 32, 64];
+    let report = run_and_save(specs::fig13(mixes, &apps_points))?;
+    fmt::fig13(&report, mixes, &apps_points);
+    Ok(())
 }

@@ -1,46 +1,11 @@
 //! Fig. 14: 4-app mixes — weighted-speedup distribution and traffic
 //! breakdown (capacity is plentiful; latency-aware allocation matters).
 
-use cdcs_bench::{all_schemes, print_inverse_cdf, run_mixes, st_mix};
-use cdcs_mesh::TrafficClass;
-use cdcs_sim::SimConfig;
+use cdcs_bench::{arg, fmt, run_and_save, specs};
 
-fn main() {
-    let mixes = cdcs_bench::arg("mixes", 8);
-    let config = SimConfig::default();
-    let schemes = all_schemes();
-    let mut ws: Vec<(String, Vec<f64>)> = schemes.iter().map(|s| (s.name(), Vec::new())).collect();
-    let mut traffic = vec![[0.0f64; 3]; schemes.len()];
-    let mut instr = vec![0.0; schemes.len()];
-    let all_mixes: Vec<_> = (0..mixes).map(|m| st_mix(4, m)).collect();
-    for out in run_mixes(&config, &all_mixes, &schemes).iter() {
-        for (i, (_, w, r)) in out.runs.iter().enumerate() {
-            ws[i].1.push(*w);
-            for (k, class) in TrafficClass::ALL.iter().enumerate() {
-                traffic[i][k] += r.system.traffic.flit_hops(*class) as f64;
-            }
-            instr[i] += r.system.instructions;
-        }
-    }
-    print_inverse_cdf(
-        &format!("Fig. 14: WS vs S-NUCA, {mixes} mixes of 4 apps"),
-        &ws,
-    );
-    println!("\ntraffic per instruction (flit-hops) by class");
-    println!(
-        "{:<10} {:>10} {:>10} {:>10}",
-        "scheme", "L2-LLC", "LLC-Mem", "Other"
-    );
-    for (i, (name, _)) in ws.iter().enumerate() {
-        println!(
-            "{:<10} {:>10.3} {:>10.3} {:>10.3}",
-            name,
-            traffic[i][0] / instr[i],
-            traffic[i][1] / instr[i],
-            traffic[i][2] / instr[i]
-        );
-    }
-    println!(
-        "\npaper: CDCS 28% gmean, Jigsaw+R 17%, Jigsaw+C 6%; Jigsaw's L2-LLC traffic dominates"
-    );
+fn main() -> Result<(), String> {
+    let mixes = arg("mixes", 8);
+    let report = run_and_save(specs::fig14(mixes))?;
+    fmt::fig14(&report, mixes);
+    Ok(())
 }

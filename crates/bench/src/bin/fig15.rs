@@ -1,44 +1,12 @@
 //! Fig. 15: multi-threaded mixes — eight 8-thread OMP-like apps (64 threads)
 //! per mix: weighted speedups and traffic breakdown.
 
-use cdcs_bench::{all_schemes, mt_mix, print_inverse_cdf, run_mixes};
-use cdcs_mesh::TrafficClass;
-use cdcs_sim::SimConfig;
+use cdcs_bench::{arg, fmt, run_and_save, specs};
 
-fn main() {
-    let mixes = cdcs_bench::arg("mixes", 5);
-    let config = SimConfig::default();
-    let schemes = all_schemes();
-    let mut ws: Vec<(String, Vec<f64>)> = schemes.iter().map(|s| (s.name(), Vec::new())).collect();
-    let mut traffic = vec![[0.0f64; 3]; schemes.len()];
-    let mut instr = vec![0.0; schemes.len()];
-    let all_mixes: Vec<_> = (0..mixes).map(|m| mt_mix(8, m)).collect();
-    for out in run_mixes(&config, &all_mixes, &schemes).iter() {
-        for (i, (_, w, r)) in out.runs.iter().enumerate() {
-            ws[i].1.push(*w);
-            for (k, class) in TrafficClass::ALL.iter().enumerate() {
-                traffic[i][k] += r.system.traffic.flit_hops(*class) as f64;
-            }
-            instr[i] += r.system.instructions;
-        }
-    }
-    print_inverse_cdf(
-        &format!("Fig. 15a: WS vs S-NUCA, {mixes} mixes of 8x 8-thread apps"),
-        &ws,
-    );
-    println!("\nFig. 15b: traffic per instruction (flit-hops) by class");
-    println!(
-        "{:<10} {:>10} {:>10} {:>10}",
-        "scheme", "L2-LLC", "LLC-Mem", "Other"
-    );
-    for (i, (name, _)) in ws.iter().enumerate() {
-        println!(
-            "{:<10} {:>10.3} {:>10.3} {:>10.3}",
-            name,
-            traffic[i][0] / instr[i],
-            traffic[i][1] / instr[i],
-            traffic[i][2] / instr[i]
-        );
-    }
-    println!("\npaper: CDCS 21% gmean; Jigsaw+C 19% beats Jigsaw+R 14% on multi-threaded (trends reversed); R-NUCA 9%");
+fn main() -> Result<(), String> {
+    let mixes = arg("mixes", 5);
+    let apps = arg("apps", 8);
+    let report = run_and_save(specs::fig15(mixes, apps))?;
+    fmt::fig15(&report, mixes, apps);
+    Ok(())
 }

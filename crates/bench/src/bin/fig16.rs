@@ -2,25 +2,12 @@
 //! threads on 64 cores): CDCS has freedom to cluster shared-heavy and
 //! spread private-heavy processes.
 
-use cdcs_bench::{all_schemes, mt_mix, print_inverse_cdf, run_mixes};
-use cdcs_sim::SimConfig;
+use cdcs_bench::{arg, fmt, run_and_save, specs};
 
-fn main() {
-    let mixes = cdcs_bench::arg("mixes", 5);
-    let config = SimConfig::default();
-    let schemes = all_schemes();
-    let mut ws: Vec<(String, Vec<f64>)> = schemes.iter().map(|s| (s.name(), Vec::new())).collect();
-    let all_mixes: Vec<_> = (0..mixes).map(|m| mt_mix(4, m)).collect();
-    for out in run_mixes(&config, &all_mixes, &schemes).iter() {
-        for (i, (_, w, _)) in out.runs.iter().enumerate() {
-            ws[i].1.push(*w);
-        }
-    }
-    print_inverse_cdf(
-        &format!("Fig. 16a: WS vs S-NUCA, {mixes} mixes of 4x 8-thread apps (32/64 cores)"),
-        &ws,
-    );
-    println!(
-        "\npaper: CDCS increases its advantage over Jigsaw+C with more freedom to place threads"
-    );
+fn main() -> Result<(), String> {
+    let mixes = arg("mixes", 5);
+    let apps = arg("apps", 4);
+    let report = run_and_save(specs::fig16(mixes, apps))?;
+    fmt::fig16(&report, mixes, apps);
+    Ok(())
 }

@@ -2,42 +2,13 @@
 //! line-movement schemes: instant moves, demand moves + background
 //! invalidations (CDCS), and bulk invalidations (Jigsaw).
 
-use cdcs_sim::{MoveScheme, Scheme, SimConfig, Simulation};
-use cdcs_workload::{MixSpec, WorkloadMix};
+use cdcs_bench::{arg, fmt, run_and_save, specs};
 
-fn main() {
-    let apps = cdcs_bench::arg("apps", 64);
-    let mix = WorkloadMix::from_spec(&MixSpec::RandomSingleThreaded {
-        count: apps,
-        mix_seed: 0,
-    })
-    .expect("mix");
-    println!("Fig. 17: aggregate IPC trace around a reconfiguration (interval = 10 Kcycles)");
-    for mv in [
-        MoveScheme::Instant,
-        MoveScheme::DemandMove,
-        MoveScheme::BulkInvalidate,
-    ] {
-        let config = SimConfig {
-            scheme: Scheme::cdcs(),
-            move_scheme: mv,
-            interval_cycles: 10_000,
-            reconfig_benefit_factor: 0.0, // force the mid-trace apply
-            // One big cell per move scheme: bank-sharded intra-cell
-            // parallelism is the only way this binary uses >1 core
-            // (results are bit-identical to the single-core engine).
-            intra_cell_threads: SimConfig::auto_intra_cell_threads(),
-            ..SimConfig::default()
-        };
-        let sim = Simulation::new(config, mix.clone()).expect("sim");
-        // 100 pre-intervals warm the chip; the trace spans 40 intervals with
-        // the reconfiguration in the middle.
-        let r = sim.run_trace(100, 40);
-        println!("\n{}:", mv.name());
-        println!("{:<12} {:>8}", "cycle", "IPC");
-        for (cycle, ipc) in &r.ipc_trace {
-            println!("{cycle:<12} {ipc:>8.2}");
-        }
-    }
-    println!("\npaper: bulk invalidations pause the whole chip ~100 Kcycles; demand moves reconfigure smoothly near the instant-move ideal");
+fn main() -> Result<(), String> {
+    let apps = arg("apps", 64);
+    // 100 pre-intervals warm the chip; the trace spans 40 intervals with
+    // the reconfiguration in the middle.
+    let report = run_and_save(specs::fig17(apps, 100, 40))?;
+    fmt::fig17(&report);
+    Ok(())
 }

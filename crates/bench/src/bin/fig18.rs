@@ -1,45 +1,13 @@
 //! Fig. 18: weighted speedup vs reconfiguration period for the three
 //! movement schemes (periods scaled 50x down with the rest of the clock).
 
-use cdcs_bench::{gmean, run_mixes, st_mix};
-use cdcs_sim::{MoveScheme, Scheme, SimConfig};
+use cdcs_bench::{arg, fmt, run_and_save, specs};
 
-fn main() {
-    let mixes = cdcs_bench::arg("mixes", 3);
-    let apps = cdcs_bench::arg("apps", 64);
-    println!(
-        "Fig. 18: gmean WS vs S-NUCA across reconfiguration periods ({mixes} mixes of {apps} apps)"
-    );
-    println!(
-        "{:<12} {:>12} {:>12} {:>12}",
-        "period", "Bulk invs", "Background", "Instant"
-    );
-    let all_mixes: Vec<_> = (0..mixes).map(|m| st_mix(apps, m)).collect();
-    for period in [500_000u64, 1_000_000, 2_000_000, 4_000_000] {
-        let mut row = Vec::new();
-        for mv in [
-            MoveScheme::BulkInvalidate,
-            MoveScheme::DemandMove,
-            MoveScheme::Instant,
-        ] {
-            let config = SimConfig {
-                move_scheme: mv,
-                epoch_cycles: period,
-                ..SimConfig::default()
-            };
-            let ws: Vec<f64> = run_mixes(&config, &all_mixes, &[Scheme::cdcs()])
-                .iter()
-                .map(|out| out.runs[0].1)
-                .collect();
-            row.push(gmean(&ws));
-        }
-        println!(
-            "{:<12} {:>12.3} {:>12.3} {:>12.3}",
-            period, row[0], row[1], row[2]
-        );
-        eprintln!("[period {period} done]");
-    }
-    println!(
-        "\npaper: demand moves beat bulk invalidations; differences shrink as the period grows"
-    );
+fn main() -> Result<(), String> {
+    let mixes = arg("mixes", 3);
+    let apps = arg("apps", 64);
+    let periods = [500_000u64, 1_000_000, 2_000_000, 4_000_000];
+    let report = run_and_save(specs::fig18(mixes, apps, &periods))?;
+    fmt::fig18(&report, mixes, apps, &periods);
+    Ok(())
 }

@@ -3,53 +3,11 @@
 //! Prints both the exact (stack-distance) curve the synthetic profile
 //! produces and the GMON-measured curve, in MPKI over 0–4 MB like the paper.
 
-use cdcs_cache::monitor::{Gmon, GmonConfig, Monitor};
-use cdcs_cache::{Line, StackProfiler};
-use cdcs_workload::{spec, AccessStream, StreamTarget};
+use cdcs_bench::{arg, fmt, run_and_save, specs};
 
-fn main() {
-    let accesses = cdcs_bench::arg("accesses", 600_000);
-    println!("Fig. 2: miss curves (MPKI vs LLC size in MB); exact / GMON-measured");
-    print!("{:<8}", "MB");
-    for name in ["omnet", "milc", "ilbdc"] {
-        print!(" {:>9}ex {:>8}gm", name, name);
-    }
-    println!();
-    let mut curves = Vec::new();
-    for name in ["omnet", "milc", "ilbdc"] {
-        let app = spec::by_name(name).expect("profile");
-        let mut stream = AccessStream::for_thread(app, 0, 42);
-        let mut prof = StackProfiler::new();
-        let mut gmon = Gmon::new(GmonConfig::covering(256, 64, 4, 524_288));
-        let mut count = 0usize;
-        // For ilbdc, measure the shared stream (its defining footprint).
-        let want_shared = app.is_multi_threaded();
-        while count < accesses {
-            let (target, off) = stream.next_access();
-            let keep = if want_shared {
-                target == StreamTarget::ProcessShared
-            } else {
-                target == StreamTarget::ThreadPrivate
-            };
-            if keep {
-                prof.record(Line(off));
-                gmon.record(Line(off));
-                count += 1;
-            }
-        }
-        // Accesses-per-kilo-instruction scaling: MPKI = apki * miss_ratio.
-        curves.push((app.apki, prof.miss_curve(), gmon.miss_curve()));
-    }
-    for step in 0..=16 {
-        let mb = step as f64 * 0.25;
-        let lines = mb * 16384.0;
-        print!("{mb:<8.2}");
-        for (apki, exact, gmon) in &curves {
-            let ex = apki * exact.misses_at(lines) / exact.at_zero().max(1.0);
-            let gm = apki * gmon.misses_at(lines) / gmon.at_zero().max(1.0);
-            print!(" {ex:>11.1} {gm:>10.1}");
-        }
-        println!();
-    }
-    println!("\npaper: omnet ~85 MPKI cliff vanishing at 2.5 MB; milc flat ~25; ilbdc small footprint (512 KB)");
+fn main() -> Result<(), String> {
+    let accesses = arg("accesses", 600_000);
+    let report = run_and_save(specs::fig2(accesses))?;
+    fmt::fig2(&report);
+    Ok(())
 }

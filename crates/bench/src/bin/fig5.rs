@@ -2,33 +2,10 @@
 //! off-chip, on-chip and total — the "sweet spot" motivating latency-aware
 //! allocation (§IV-C).
 
-use cdcs_cache::MissCurve;
-use cdcs_mesh::{geometry, Mesh, NocConfig};
+use cdcs_bench::{fmt, run_and_save, specs};
 
-fn main() {
-    let mesh = Mesh::new(8, 8);
-    let noc = NocConfig::default();
-    let mem_latency = 150.0;
-    // An omnet-flavoured miss curve: cliff at 2.5 MB (40960 lines).
-    let curve = MissCurve::new(vec![
-        (0.0, 100.0),
-        (38_000.0, 85.0),
-        (41_000.0, 5.0),
-        (60_000.0, 3.0),
-    ]);
-    let accesses = 100.0;
-    let center = geometry::chip_center(&mesh);
-    let per_hop = f64::from(noc.round_trip_latency(1));
-    println!("Fig. 5: latency vs capacity (per-access cycles)");
-    println!(
-        "{:<10} {:>10} {:>10} {:>10}",
-        "lines", "off-chip", "on-chip", "total"
-    );
-    for step in 0..=32 {
-        let s = step as f64 * 2048.0;
-        let off = curve.misses_at(s) / accesses * mem_latency;
-        let on = geometry::compact_mean_distance(&mesh, center, s / 8192.0) * per_hop;
-        println!("{:<10.0} {:>10.2} {:>10.2} {:>10.2}", s, off, on, off + on);
-    }
-    println!("\npaper: off-chip falls, on-chip rises; total has a sweet spot");
+fn main() -> Result<(), String> {
+    let report = run_and_save(specs::fig5())?;
+    fmt::fig5(&report);
+    Ok(())
 }

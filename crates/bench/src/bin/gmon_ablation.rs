@@ -3,31 +3,12 @@
 //! The paper: 64-way GMONs match 256-way UMONs; 64-way UMONs lose ~3% from
 //! poor resolution; 1K-way UMONs gain only ~1.1% over GMONs.
 
-use cdcs_bench::{gmean, run_mixes, st_mix};
-use cdcs_sim::{MonitorKind, Scheme, SimConfig};
+use cdcs_bench::{arg, fmt, run_and_save, specs};
 
-fn main() {
-    let mixes = cdcs_bench::arg("mixes", 3);
-    let apps = cdcs_bench::arg("apps", 64);
-    println!("GMON/UMON ablation: CDCS gmean WS vs S-NUCA ({mixes} mixes of {apps} apps)");
-    let kinds = [
-        ("GMON-64w", MonitorKind::Gmon { ways: 64 }),
-        ("UMON-64w", MonitorKind::Umon { ways: 64 }),
-        ("UMON-256w", MonitorKind::Umon { ways: 256 }),
-        ("UMON-1024w", MonitorKind::Umon { ways: 1024 }),
-    ];
-    let all_mixes: Vec<_> = (0..mixes).map(|m| st_mix(apps, m)).collect();
-    for (name, kind) in kinds {
-        let config = SimConfig {
-            monitor_kind: kind,
-            ..SimConfig::default()
-        };
-        let ws: Vec<f64> = run_mixes(&config, &all_mixes, &[Scheme::cdcs()])
-            .iter()
-            .map(|out| out.runs[0].1)
-            .collect();
-        println!("{:<12} {:>8.3}", name, gmean(&ws));
-        eprintln!("[{name} done]");
-    }
-    println!("\npaper: GMON-64w ~= UMON-256w; UMON-64w ~3% worse; UMON-1Kw only ~1.1% better");
+fn main() -> Result<(), String> {
+    let mixes = arg("mixes", 3);
+    let apps = arg("apps", 64);
+    let report = run_and_save(specs::gmon_ablation(mixes, apps))?;
+    fmt::gmon_ablation(&report, mixes, apps);
+    Ok(())
 }

@@ -1,96 +1,19 @@
 //! §VI-C placement-alternative ablation: CDCS's heuristics vs expensive
 //! comparators — exhaustive search (ILP stand-in, tiny instances),
-//! simulated annealing (5000 rounds), and recursive bisection (METIS
-//! stand-in) — evaluated on the Eq. 2 cost model.
+//! simulated annealing, and recursive bisection (METIS stand-in) —
+//! evaluated on the Eq. 2 cost model.
 
-use cdcs_cache::MissCurve;
-use cdcs_core::cost::on_chip_latency;
-use cdcs_core::place::alternatives::{
-    anneal_data_placement, anneal_thread_placement, bisection_thread_placement,
-    exhaustive_thread_placement,
-};
-use cdcs_core::policy::{CdcsPlanner, Planner};
-use cdcs_core::{PlacementProblem, SystemParams, ThreadInfo, VcInfo, VcKind};
-use cdcs_mesh::{Mesh, TileId};
-use std::time::Instant;
+use cdcs_bench::{arg, fmt, run_and_save, specs};
 
-fn problem(threads: usize, side: u16, seed: u64) -> PlacementProblem {
-    let params = SystemParams::default_for_mesh(Mesh::square(side), 8192);
-    let mut state = seed;
-    let mut next = move || {
-        state = state
-            .wrapping_mul(6364136223846793005)
-            .wrapping_add(1442695040888963407);
-        (state >> 33) as f64 / (1u64 << 31) as f64
-    };
-    let vcs = (0..threads)
-        .map(|i| {
-            let cliff = 2048.0 + next() * 30_000.0;
-            VcInfo::new(
-                i as u32,
-                VcKind::thread_private(i as u32),
-                MissCurve::new(vec![(0.0, 10_000.0 + next() * 40_000.0), (cliff, 500.0)]),
-            )
-        })
-        .collect();
-    let thread_infos = (0..threads)
-        .map(|i| ThreadInfo::new(i as u32, vec![(i as u32, 10_000.0 + next() * 40_000.0)]))
-        .collect();
-    PlacementProblem::new(params, vcs, thread_infos).expect("problem")
-}
-
-fn main() {
-    // Small instances: compare against the exact optimum.
-    println!("placement ablation, small instances (4 threads, 3x3 chip), Eq. 2 cost:");
-    println!(
-        "{:<12} {:>12} {:>12} {:>12} {:>12}",
-        "seed", "CDCS", "exhaustive", "SA-5000", "bisection"
-    );
-    for seed in 0..5u64 {
-        let p = problem(4, 3, seed);
-        let cores: Vec<TileId> = (0..4u16).map(TileId).collect();
-        let cdcs = Planner::plan(&CdcsPlanner::default(), &p, &cores);
-        let mut ex = cdcs.clone();
-        ex.thread_cores = exhaustive_thread_placement(&p, &cdcs);
-        let ex_refined = anneal_data_placement(&p, &ex, 3000, 1024, seed);
-        let mut sa = cdcs.clone();
-        sa.thread_cores = anneal_thread_placement(&p, &cdcs, 5000, seed);
-        let mut bis = cdcs.clone();
-        bis.thread_cores = bisection_thread_placement(&p);
-        println!(
-            "{:<12} {:>12.0} {:>12.0} {:>12.0} {:>12.0}",
-            seed,
-            on_chip_latency(&p, &cdcs),
-            on_chip_latency(&p, &ex_refined),
-            on_chip_latency(&p, &sa),
-            on_chip_latency(&p, &bis)
-        );
-    }
-    // Large instances: SA and bisection only (exhaustive is infeasible —
-    // the paper's point).
-    println!("\nlarge instances (36 threads, 6x6 chip):");
-    println!(
-        "{:<12} {:>12} {:>14} {:>12} {:>14}",
-        "seed", "CDCS", "SA-5000", "bisection", "SA time"
-    );
-    for seed in 0..3u64 {
-        let p = problem(36, 6, seed);
-        let cores: Vec<TileId> = (0..36u16).map(TileId).collect();
-        let cdcs = Planner::plan(&CdcsPlanner::default(), &p, &cores);
-        let t = Instant::now();
-        let mut sa = cdcs.clone();
-        sa.thread_cores = anneal_thread_placement(&p, &cdcs, 5000, seed);
-        let sa_time = t.elapsed();
-        let mut bis = cdcs.clone();
-        bis.thread_cores = bisection_thread_placement(&p);
-        println!(
-            "{:<12} {:>12.0} {:>14.0} {:>12.0} {:>12.1?}",
-            seed,
-            on_chip_latency(&p, &cdcs),
-            on_chip_latency(&p, &sa),
-            on_chip_latency(&p, &bis),
-            sa_time
-        );
-    }
-    println!("\npaper: SA only 0.6% better than CDCS and far too slow; graph partitioning 2.5% worse network latency; ILP data placement +0.5%");
+fn main() -> Result<(), String> {
+    let small_seeds = arg("small-seeds", 5);
+    let large_seeds = arg("large-seeds", 3);
+    let sa_rounds = arg("sa-rounds", 5000);
+    let report = run_and_save(specs::placement_ablation(
+        small_seeds,
+        large_seeds,
+        sa_rounds,
+    ))?;
+    fmt::placement_ablation(&report);
+    Ok(())
 }

@@ -4,67 +4,12 @@
 //! Jigsaw+C, Jigsaw+R and CDCS. Prints per-app and weighted speedups over
 //! S-NUCA, mirroring Table 1's rows.
 
-use cdcs_bench::run_mix;
-use cdcs_sim::{runner, Scheme, SimConfig};
-use cdcs_workload::{MixSpec, WorkloadMix};
-use std::collections::BTreeMap;
+use cdcs_bench::{fmt, run_and_save, specs};
 
-fn main() {
+fn main() -> Result<(), String> {
     let t0 = std::time::Instant::now();
-    let config = SimConfig::case_study();
-    let mix = WorkloadMix::from_spec(&MixSpec::CaseStudy).expect("case study mix");
-    // One parallel grid: alone runs, the S-NUCA baseline and all four
-    // schemes fan out together.
-    let out = run_mix(
-        &config,
-        &mix,
-        &[
-            Scheme::SNuca,
-            Scheme::rnuca(),
-            Scheme::jigsaw_clustered(),
-            Scheme::jigsaw_random(),
-            Scheme::cdcs(),
-        ],
-    );
-    let snuca = &out.runs[0].2;
-
-    println!("Table 1: per-app and weighted speedups over S-NUCA (paper values in parens)");
-    println!(
-        "{:<12} {:>8} {:>8} {:>8} {:>8}",
-        "scheme", "omnet", "ilbdc", "milc", "WSpdp"
-    );
-    let paper: BTreeMap<&str, [f64; 4]> = BTreeMap::from([
-        ("R-NUCA", [1.09, 0.99, 1.15, 1.08]),
-        ("Jigsaw+C", [2.88, 1.40, 1.21, 1.48]),
-        ("Jigsaw+R", [3.99, 1.20, 1.21, 1.47]),
-        ("CDCS", [4.00, 1.40, 1.20, 1.56]),
-    ]);
-    for (name, ws, r) in &out.runs[1..] {
-        // Per-app speedups: gmean over instances of each benchmark of
-        // perf(scheme)/perf(snuca).
-        let perf = r.process_perf();
-        let base = snuca.process_perf();
-        let mut per_app: BTreeMap<String, Vec<f64>> = BTreeMap::new();
-        for (p, app) in mix.processes().iter().enumerate() {
-            per_app
-                .entry(app.name.clone())
-                .or_default()
-                .push(perf[p] / base[p]);
-        }
-        let g = |bench: &str| runner::gmean(&per_app[bench]);
-        let p = paper.get(name.as_str());
-        println!(
-            "{:<12} {:>8.2} {:>8.2} {:>8.2} {:>8.2}   (paper: {} )",
-            name,
-            g("omnet"),
-            g("ilbdc"),
-            g("milc"),
-            ws,
-            p.map_or("n/a".to_string(), |v| format!(
-                "{:.2} {:.2} {:.2} {:.2}",
-                v[0], v[1], v[2], v[3]
-            )),
-        );
-    }
+    let report = run_and_save(specs::table1())?;
+    fmt::table1(&report);
     eprintln!("[table1 took {:.1?}]", t0.elapsed());
+    Ok(())
 }

@@ -7,111 +7,11 @@
 //! (1 ns = 2 cycles). Absolute values depend on the host; the scaling across
 //! core counts is the reproduced shape.
 
-use cdcs_cache::MissCurve;
-use cdcs_core::alloc::latency_aware_sizes;
-use cdcs_core::place::{
-    greedy_place_with, optimistic_place_with, place_threads_with, trade_refine_with,
-};
-use cdcs_core::{PlacementProblem, PlanScratch, SystemParams, ThreadInfo, VcInfo, VcKind};
-use cdcs_mesh::{Mesh, TileId};
-use std::time::Instant;
+use cdcs_bench::{arg, fmt, run_and_save, specs};
 
-/// Builds a representative problem: each thread has a private VC with a
-/// cliff-shaped curve; a quarter of the threads share process VCs.
-fn problem(threads: usize, side: u16) -> PlacementProblem {
-    let params = SystemParams::default_for_mesh(Mesh::square(side), 8192);
-    let mut vcs: Vec<VcInfo> = (0..threads)
-        .map(|i| {
-            let cliff = 4096.0 + (i as f64 * 977.0) % 20_000.0;
-            VcInfo::new(
-                i as u32,
-                VcKind::thread_private(i as u32),
-                MissCurve::new(vec![
-                    (0.0, 30_000.0),
-                    (cliff, 2_000.0),
-                    (2.0 * cliff, 500.0),
-                ]),
-            )
-        })
-        .collect();
-    let shared = VcInfo::new(
-        threads as u32,
-        VcKind::process_shared(0),
-        MissCurve::new(vec![(0.0, 50_000.0), (8192.0, 1_000.0)]),
-    );
-    vcs.push(shared);
-    let thread_infos = (0..threads)
-        .map(|i| {
-            ThreadInfo::new(
-                i as u32,
-                vec![(i as u32, 25_000.0), (threads as u32, 5_000.0)],
-            )
-        })
-        .collect();
-    PlacementProblem::new(params, vcs, thread_infos).expect("problem")
-}
-
-fn time_mcycles(mut f: impl FnMut()) -> f64 {
-    // Warm once, then take the best of 5 (matching a hot reconfiguration).
-    f();
-    let mut best = f64::INFINITY;
-    for _ in 0..5 {
-        let t = Instant::now();
-        f();
-        best = best.min(t.elapsed().as_secs_f64());
-    }
-    best * 2e9 / 1e6 // seconds -> Mcycles at 2 GHz
-}
-
-fn main() {
-    println!("Table 3: reconfiguration runtime (Mcycles at a nominal 2 GHz host clock)");
-    println!(
-        "{:<28} {:>10} {:>10} {:>10}",
-        "step", "16/16", "16/64", "64/64"
-    );
-    let configs = [(16usize, 4u16), (16, 8), (64, 8)];
-    let mut rows: Vec<[f64; 3]> = vec![[0.0; 3]; 4];
-    for (col, &(threads, side)) in configs.iter().enumerate() {
-        let p = problem(threads, side);
-        let cores: Vec<TileId> = (0..threads as u16).map(TileId).collect();
-        let sizes = latency_aware_sizes(&p, 1024);
-        // One long-lived scratch, as in the simulator's epoch loop: the
-        // timings reflect the steady-state (allocation-free) hot path.
-        let mut scratch = PlanScratch::new();
-        rows[0][col] = time_mcycles(|| {
-            let _ = latency_aware_sizes(&p, 1024);
-        });
-        let opt = optimistic_place_with(&p, &sizes, Some(&cores), &mut scratch);
-        rows[1][col] = time_mcycles(|| {
-            let o = optimistic_place_with(&p, &sizes, Some(&cores), &mut scratch);
-            let _ = place_threads_with(&p, &sizes, &o, Some(&cores), 1.0, &mut scratch);
-        });
-        let placed = place_threads_with(&p, &sizes, &opt, Some(&cores), 1.0, &mut scratch);
-        rows[2][col] = time_mcycles(|| {
-            let mut pl = greedy_place_with(&p, &sizes, &placed, 1024, &mut scratch);
-            trade_refine_with(&p, &mut pl, &mut scratch);
-        });
-        rows[3][col] = rows[0][col] + rows[1][col] + rows[2][col];
-    }
-    let labels = [
-        "Capacity allocation",
-        "Thread placement",
-        "Data placement",
-        "Total runtime",
-    ];
-    for (i, label) in labels.iter().enumerate() {
-        println!(
-            "{:<28} {:>10.3} {:>10.3} {:>10.3}",
-            label, rows[i][0], rows[i][1], rows[i][2]
-        );
-    }
-    let period = 50.0; // paper: 25 ms at 2 GHz = 50 Mcycles
-    println!(
-        "{:<28} {:>9.3}% {:>9.3}% {:>9.3}%",
-        "Overhead @ 25ms",
-        rows[3][0] / (period * 16.0) * 100.0,
-        rows[3][1] / (period * 64.0) * 100.0,
-        rows[3][2] / (period * 64.0) * 100.0
-    );
-    println!("\npaper: 0.72 / 1.46 / 6.49 Mcycles total; 0.09 / 0.05 / 0.20 % overhead");
+fn main() -> Result<(), String> {
+    let repeats = arg("repeats", 5);
+    let report = run_and_save(specs::table3(repeats))?;
+    fmt::table3(&report);
+    Ok(())
 }

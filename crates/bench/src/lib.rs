@@ -1,35 +1,111 @@
-//! Shared harness utilities for the per-figure/per-table experiment
-//! binaries.
+//! Experiment harness for the per-figure/per-table binaries.
 //!
 //! Every binary in `src/bin/` regenerates one table or figure from the
-//! paper's evaluation (see `DESIGN.md` §4 for the index and `EXPERIMENTS.md`
-//! for recorded outputs). Binaries accept `--mixes N` (and where relevant
-//! `--apps N`) to trade runtime for statistical weight; defaults are sized
-//! for minutes-scale runs, the paper uses 50 mixes.
+//! paper's evaluation through the declarative experiment API:
+//!
+//! 1. [`specs`] — one typed [`exp::ExperimentSpec`] constructor per figure,
+//!    declaring axes (schemes × mixes × seeds × [`cdcs_sim::ConfigPatch`]es)
+//!    over a named base config.
+//! 2. [`exp`] — expands a spec into **one** flat cell list (deduplicated
+//!    alone-perf runs included), executes it in a single parallel
+//!    [`cdcs_sim::runner::run_grid`] wave, and derives weighted-speedup /
+//!    latency / traffic / energy rollups into an
+//!    [`exp::ExperimentReport`].
+//! 3. [`artifact`] — persists each report as a verified JSON artifact under
+//!    `out/` (deserialized back and compared exactly before the run ends).
+//! 4. [`fmt`] — renders the stdout tables from the same report.
+//!
+//! Binaries accept `--mixes N` (and where relevant `--apps N`) to trade
+//! runtime for statistical weight, `--small` to rebase onto the 4×4 test
+//! chip, and `--out DIR` to redirect artifacts; defaults are sized for
+//! minutes-scale runs, the paper uses 50 mixes.
+//!
+//! [`run_mixes`] (the pre-spec harness entry point) is retained as the
+//! reference implementation: the golden tests in `tests/golden_port.rs`
+//! pin the spec path numerically identical to it.
+
+pub mod analysis;
+pub mod artifact;
+pub mod exp;
+pub mod fmt;
+pub mod specs;
 
 use cdcs_sim::runner::GridCell;
 use cdcs_sim::{runner, Scheme, SimConfig, SimResult};
 use cdcs_workload::{MixSpec, WorkloadMix};
+use exp::{BaseConfig, ExperimentReport, ExperimentSpec};
 
-/// Parses `--name value` from the command line, falling back to `default`.
-pub fn arg(name: &str, default: usize) -> usize {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == &format!("--{name}"))
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
+/// Parses `--name value` from `args`, falling back to `default` — loudly:
+/// an unparsable or missing value prints a stderr warning instead of being
+/// silently swallowed.
+fn parse_arg_from(args: &[String], name: &str, default: usize) -> usize {
+    let Some(flag) = args.iter().position(|a| a == &format!("--{name}")) else {
+        return default;
+    };
+    match args.get(flag + 1) {
+        None => {
+            eprintln!("warning: --{name} given without a value; using default {default}");
+            default
+        }
+        Some(value) => value.parse().unwrap_or_else(|_| {
+            eprintln!(
+                "warning: --{name} value {value:?} is not a valid integer; \
+                 using default {default}"
+            );
+            default
+        }),
+    }
 }
 
-/// The paper's five schemes in figure order.
+/// Parses `--name value` from the command line, falling back to `default`.
+/// Unparsable values warn on stderr (they used to fall through silently).
+pub fn arg(name: &str, default: usize) -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    parse_arg_from(&args, name, default)
+}
+
+/// Whether `--flag` is present on the command line.
+pub fn flag(name: &str) -> bool {
+    std::env::args().any(|a| a == format!("--{name}"))
+}
+
+/// The string value of `--name value` from the command line, warning
+/// loudly when the flag is present without a value.
+pub fn arg_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    let flag = args.iter().position(|a| a == &format!("--{name}"))?;
+    match args.get(flag + 1) {
+        Some(value) => Some(value.clone()),
+        None => {
+            eprintln!("warning: --{name} given without a value; ignoring it");
+            None
+        }
+    }
+}
+
+/// Runs `spec` (after applying the shared CLI conventions: `--small`
+/// rebases grid experiments onto [`SimConfig::small_test`] *and* renames
+/// the artifact to `<name>_small.json`, so quick checks never clobber a
+/// committed full-scale artifact) and persists its verified JSON artifact,
+/// returning the report for formatting.
+///
+/// # Errors
+///
+/// Propagates spec execution and artifact I/O errors.
+pub fn run_and_save(mut spec: ExperimentSpec) -> Result<ExperimentReport, String> {
+    if flag("small") {
+        spec.set_base(BaseConfig::SmallTest);
+        spec.name = format!("{}_small", spec.name);
+    }
+    let report = spec.run()?;
+    let path = artifact::write(&report, &artifact::out_dir())?;
+    eprintln!("[artifact: {}]", path.display());
+    Ok(report)
+}
+
+/// The paper's five schemes in figure order (re-exported from [`specs`]).
 pub fn all_schemes() -> Vec<Scheme> {
-    vec![
-        Scheme::SNuca,
-        Scheme::rnuca(),
-        Scheme::jigsaw_clustered(),
-        Scheme::jigsaw_random(),
-        Scheme::cdcs(),
-    ]
+    specs::all_schemes()
 }
 
 /// One mix's results: weighted speedup over S-NUCA plus the raw results,
@@ -55,9 +131,9 @@ pub fn run_mix(config: &SimConfig, mix: &WorkloadMix, schemes: &[Scheme]) -> Mix
 /// baseline and per-unique-app alone runs — as one parallel grid over all
 /// cores, then assembles per-mix weighted speedups.
 ///
-/// Every simulation is seeded from the config and cell alone, so the
-/// outcome is byte-identical to calling [`run_mix`] per mix serially; only
-/// the wall-clock changes (near-linear in cores for fig11-style sweeps).
+/// This is the pre-redesign harness path, kept as the reference
+/// implementation the spec API is pinned against (`tests/golden_port.rs`);
+/// new callers should declare an [`exp::ExperimentSpec`] instead.
 ///
 /// # Panics
 ///
@@ -215,5 +291,27 @@ mod tests {
         assert_eq!(out.runs.len(), 2);
         assert!((out.runs[0].1 - 1.0).abs() < 1e-9, "baseline WS is 1");
         assert!(out.runs[1].1 > 0.3, "CDCS WS sane");
+    }
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn arg_parses_and_falls_back_loudly() {
+        let a = args(&["bin", "--mixes", "12", "--apps", "64"]);
+        assert_eq!(parse_arg_from(&a, "mixes", 3), 12);
+        assert_eq!(parse_arg_from(&a, "apps", 3), 64);
+        // Absent flag: silent default.
+        assert_eq!(parse_arg_from(&a, "seeds", 7), 7);
+        // Unparsable value: default (with a stderr warning).
+        let a = args(&["bin", "--mixes", "twelve"]);
+        assert_eq!(parse_arg_from(&a, "mixes", 3), 3);
+        // Negative numbers don't parse as usize: default, not a panic.
+        let a = args(&["bin", "--mixes", "-2"]);
+        assert_eq!(parse_arg_from(&a, "mixes", 3), 3);
+        // Flag at the end of the line: default.
+        let a = args(&["bin", "--mixes"]);
+        assert_eq!(parse_arg_from(&a, "mixes", 3), 3);
     }
 }

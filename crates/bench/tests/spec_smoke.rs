@@ -1,0 +1,109 @@
+//! End-to-end smoke of every figure/table/example spec on small systems.
+//!
+//! Binaries used to be build-only in CI; now every spec constructor in
+//! `cdcs_bench::specs` is executed end to end — expansion, the single grid
+//! wave, rollups, JSON artifact write, verified read-back — at smoke scale.
+
+use cdcs_bench::artifact;
+use cdcs_bench::exp::{BaseConfig, ExperimentSpec, SpecKind};
+use cdcs_bench::specs;
+use cdcs_sim::ConfigPatch;
+use cdcs_workload::WorkloadMix;
+
+/// Rebases a grid spec onto the smallest chip that fits its mixes and
+/// shortens its epochs so the whole suite stays seconds-scale.
+fn shrink(spec: &mut ExperimentSpec) {
+    let SpecKind::Grid(grid) = &mut spec.kind else {
+        return; // analysis specs are already smoke-sized by their knobs
+    };
+    let max_threads = grid
+        .mixes
+        .iter()
+        .map(|entry| {
+            WorkloadMix::from_spec(&entry.spec)
+                .expect("spec mix materializes")
+                .total_threads()
+        })
+        .max()
+        .expect("specs declare mixes");
+    // small_test is a 16-tile chip; the case study is 36 tiles. No smoke
+    // spec exceeds 36 threads.
+    grid.base = if max_threads <= 16 {
+        BaseConfig::SmallTest
+    } else {
+        BaseConfig::CaseStudy
+    };
+    grid.auto_intra_cell = false;
+    if grid.patches.is_empty() {
+        grid.patches.push(ConfigPatch::named("smoke"));
+    }
+    for patch in &mut grid.patches {
+        patch.epoch_cycles.get_or_insert(150_000);
+        patch.interval_cycles.get_or_insert(15_000);
+        patch.warmup_epochs.get_or_insert(1);
+        patch.measure_epochs.get_or_insert(1);
+    }
+}
+
+#[test]
+fn every_spec_runs_end_to_end_and_round_trips() {
+    let dir = std::env::temp_dir().join(format!("cdcs-spec-smoke-{}", std::process::id()));
+    let all = specs::all_smoke_specs();
+    assert_eq!(all.len(), 19, "15 binaries + 4 examples");
+    let mut names = Vec::new();
+    for mut spec in all {
+        shrink(&mut spec);
+        names.push(spec.name.clone());
+        let report = spec
+            .run()
+            .unwrap_or_else(|e| panic!("spec {} failed: {e}", spec.name));
+        // The spec travels inside its report (self-describing artifacts).
+        assert_eq!(report.spec.name, spec.name);
+        // Persist + verified round-trip (write() re-reads and compares).
+        let path = artifact::write(&report, &dir)
+            .unwrap_or_else(|e| panic!("artifact {} failed: {e}", spec.name));
+        let back = artifact::read(&path).unwrap();
+        assert_eq!(back, report, "artifact {} diverged", spec.name);
+        // Grid reports must have derived rollups for every group.
+        if let SpecKind::Grid(_) = &spec.kind {
+            let grid = report.grid();
+            assert!(!grid.groups.is_empty(), "{} has no groups", spec.name);
+            for group in &grid.groups {
+                assert!(!group.rows.is_empty());
+                for row in &group.rows {
+                    assert!(
+                        row.instructions > 0.0,
+                        "{}: empty cell for {}",
+                        spec.name,
+                        row.scheme
+                    );
+                }
+            }
+        }
+    }
+    // All 15 figure/table binaries and all 4 examples are covered.
+    for expected in [
+        "fig2",
+        "fig5",
+        "fig11",
+        "fig12",
+        "fig13",
+        "fig14",
+        "fig15",
+        "fig16",
+        "fig17",
+        "fig18",
+        "table1",
+        "table3",
+        "coarse_grain",
+        "gmon_ablation",
+        "placement_ablation",
+        "quickstart",
+        "case_study",
+        "multithreaded_mix",
+        "under_committed",
+    ] {
+        assert!(names.contains(&expected.to_string()), "missing {expected}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

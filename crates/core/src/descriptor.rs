@@ -35,25 +35,21 @@ pub struct VcDescriptor {
     buckets: [BankId; DESCRIPTOR_BUCKETS],
 }
 
-/// Serde support for the fixed-size bucket array (serialized as a sequence).
-///
-/// The vendored serde stub's derive does not reference `with`-modules, so
-/// these helpers are dormant until the real serde is swapped back in (see
-/// `vendor/README.md`).
-#[allow(dead_code)]
+/// Serde support for the fixed-size bucket array (serialized as a sequence),
+/// in the vendored serde's push/pull `with`-module shape.
 mod serde_buckets {
     use super::{BankId, DESCRIPTOR_BUCKETS};
     use serde::{Deserialize, Deserializer, Serialize, Serializer};
 
     pub fn serialize<S: Serializer>(
         buckets: &[BankId; DESCRIPTOR_BUCKETS],
-        s: S,
-    ) -> Result<S::Ok, S::Error> {
+        s: &mut S,
+    ) -> Result<(), S::Error> {
         buckets.as_slice().serialize(s)
     }
 
     pub fn deserialize<'de, D: Deserializer<'de>>(
-        d: D,
+        d: &mut D,
     ) -> Result<[BankId; DESCRIPTOR_BUCKETS], D::Error> {
         let v: Vec<BankId> = Vec::deserialize(d)?;
         v.try_into()

@@ -29,7 +29,7 @@ pub enum MonitorKind {
 /// reconfigures every 50 Mcycles over ≥1 Gcycle runs; our synthetic
 /// workloads are stationary, so shorter epochs measure the same steady
 /// state (see `DESIGN.md` §1).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimConfig {
     /// Chip fabric (8×8 for the paper's target, 6×6 for the case study).
     pub mesh: Mesh,
@@ -239,10 +239,181 @@ impl SimConfig {
         if self.alloc_granularity == 0 {
             return Err("allocation granularity must be non-zero".into());
         }
+        if self.alloc_granularity > self.bank_lines {
+            return Err(format!(
+                "allocation granularity ({} lines) exceeds bank capacity ({} lines)",
+                self.alloc_granularity, self.bank_lines
+            ));
+        }
         if self.monitor_sample_period == 0 {
             return Err("monitor sample period must be non-zero".into());
         }
+        if self.monitor_sets == 0 {
+            return Err("monitors need at least one tag set".into());
+        }
+        let monitor_ways = match self.monitor_kind {
+            MonitorKind::Gmon { ways } | MonitorKind::Umon { ways } => ways,
+        };
+        if monitor_ways == 0 {
+            return Err("monitors need at least one tag way".into());
+        }
+        if self.scheme.reconfigures() && self.warmup_epochs == 0 {
+            // Partitioned schemes bootstrap from a placement computed with
+            // no monitor history; with zero warm-up the measured window
+            // starts before the first informed reconfiguration, so the
+            // numbers would measure the bootstrap transient, not the scheme.
+            return Err("reconfiguring schemes need at least one warm-up epoch".into());
+        }
         Ok(())
+    }
+}
+
+/// A declarative, serializable set of overrides on a base [`SimConfig`] —
+/// the experiment API's replacement for the clone-and-mutate idiom the
+/// figure binaries used to hand-roll.
+///
+/// Every field is optional; `None` leaves the base value untouched. The
+/// `label` names the patch in reports and artifact files (an empty label
+/// displays as `"base"`).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ConfigPatch {
+    /// Report label (e.g. `"UMON-256w"`, `"period-2M"`).
+    pub label: String,
+    /// Overrides [`SimConfig::alloc_granularity`].
+    pub alloc_granularity: Option<u64>,
+    /// Overrides [`SimConfig::monitor_kind`].
+    pub monitor_kind: Option<MonitorKind>,
+    /// Overrides [`SimConfig::move_scheme`].
+    pub move_scheme: Option<MoveScheme>,
+    /// Overrides [`SimConfig::epoch_cycles`].
+    pub epoch_cycles: Option<u64>,
+    /// Overrides [`SimConfig::interval_cycles`].
+    pub interval_cycles: Option<u64>,
+    /// Overrides [`SimConfig::warmup_epochs`].
+    pub warmup_epochs: Option<usize>,
+    /// Overrides [`SimConfig::measure_epochs`].
+    pub measure_epochs: Option<usize>,
+    /// Overrides [`SimConfig::monitor_sample_period`].
+    pub monitor_sample_period: Option<u32>,
+    /// Overrides [`SimConfig::monitor_sets`].
+    pub monitor_sets: Option<usize>,
+    /// Overrides [`SimConfig::reconfig_benefit_factor`].
+    pub reconfig_benefit_factor: Option<f64>,
+    /// Overrides [`SimConfig::intra_cell_threads`].
+    pub intra_cell_threads: Option<usize>,
+}
+
+impl ConfigPatch {
+    /// An empty patch carrying only a report label.
+    pub fn named(label: impl Into<String>) -> Self {
+        ConfigPatch {
+            label: label.into(),
+            ..Self::default()
+        }
+    }
+
+    /// The label shown in reports (`"base"` for unnamed patches).
+    pub fn display_label(&self) -> &str {
+        if self.label.is_empty() {
+            "base"
+        } else {
+            &self.label
+        }
+    }
+
+    /// Returns whether the patch overrides nothing (label aside).
+    pub fn is_identity(&self) -> bool {
+        *self
+            == ConfigPatch {
+                label: self.label.clone(),
+                ..Self::default()
+            }
+    }
+
+    /// Applies every override onto `config`.
+    pub fn apply(&self, config: &mut SimConfig) {
+        if let Some(v) = self.alloc_granularity {
+            config.alloc_granularity = v;
+        }
+        if let Some(v) = self.monitor_kind {
+            config.monitor_kind = v;
+        }
+        if let Some(v) = self.move_scheme {
+            config.move_scheme = v;
+        }
+        if let Some(v) = self.epoch_cycles {
+            config.epoch_cycles = v;
+        }
+        if let Some(v) = self.interval_cycles {
+            config.interval_cycles = v;
+        }
+        if let Some(v) = self.warmup_epochs {
+            config.warmup_epochs = v;
+        }
+        if let Some(v) = self.measure_epochs {
+            config.measure_epochs = v;
+        }
+        if let Some(v) = self.monitor_sample_period {
+            config.monitor_sample_period = v;
+        }
+        if let Some(v) = self.monitor_sets {
+            config.monitor_sets = v;
+        }
+        if let Some(v) = self.reconfig_benefit_factor {
+            config.reconfig_benefit_factor = v;
+        }
+        if let Some(v) = self.intra_cell_threads {
+            config.intra_cell_threads = v;
+        }
+    }
+
+    /// Fluent setter for [`SimConfig::alloc_granularity`].
+    #[must_use]
+    pub fn with_alloc_granularity(mut self, lines: u64) -> Self {
+        self.alloc_granularity = Some(lines);
+        self
+    }
+
+    /// Fluent setter for [`SimConfig::monitor_kind`].
+    #[must_use]
+    pub fn with_monitor_kind(mut self, kind: MonitorKind) -> Self {
+        self.monitor_kind = Some(kind);
+        self
+    }
+
+    /// Fluent setter for [`SimConfig::move_scheme`].
+    #[must_use]
+    pub fn with_move_scheme(mut self, mv: MoveScheme) -> Self {
+        self.move_scheme = Some(mv);
+        self
+    }
+
+    /// Fluent setter for [`SimConfig::epoch_cycles`].
+    #[must_use]
+    pub fn with_epoch_cycles(mut self, cycles: u64) -> Self {
+        self.epoch_cycles = Some(cycles);
+        self
+    }
+
+    /// Fluent setter for [`SimConfig::interval_cycles`].
+    #[must_use]
+    pub fn with_interval_cycles(mut self, cycles: u64) -> Self {
+        self.interval_cycles = Some(cycles);
+        self
+    }
+
+    /// Fluent setter for [`SimConfig::reconfig_benefit_factor`].
+    #[must_use]
+    pub fn with_reconfig_benefit_factor(mut self, factor: f64) -> Self {
+        self.reconfig_benefit_factor = Some(factor);
+        self
+    }
+
+    /// Fluent setter for [`SimConfig::intra_cell_threads`].
+    #[must_use]
+    pub fn with_intra_cell_threads(mut self, workers: usize) -> Self {
+        self.intra_cell_threads = Some(workers);
+        self
     }
 }
 
@@ -290,6 +461,83 @@ mod tests {
             ..SimConfig::default()
         };
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_monitors() {
+        let c = SimConfig {
+            monitor_sets: 0,
+            ..SimConfig::default()
+        };
+        assert!(c.validate().unwrap_err().contains("tag set"));
+        let c = SimConfig {
+            monitor_kind: MonitorKind::Gmon { ways: 0 },
+            ..SimConfig::default()
+        };
+        assert!(c.validate().unwrap_err().contains("tag way"));
+        let c = SimConfig {
+            monitor_kind: MonitorKind::Umon { ways: 0 },
+            ..SimConfig::default()
+        };
+        assert!(c.validate().unwrap_err().contains("tag way"));
+        let c = SimConfig {
+            monitor_sample_period: 0,
+            ..SimConfig::default()
+        };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_granularity_above_bank_capacity() {
+        let base = SimConfig::default();
+        let c = SimConfig {
+            alloc_granularity: base.bank_lines + 1,
+            ..base.clone()
+        };
+        assert!(c.validate().unwrap_err().contains("granularity"));
+        // Whole-bank allocation (the §VI-C coarse-grain ablation) stays
+        // legal: granularity == bank_lines.
+        let c = SimConfig {
+            alloc_granularity: base.bank_lines,
+            ..base
+        };
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_unwarmed_reconfiguring_schemes() {
+        let c = SimConfig {
+            scheme: crate::Scheme::cdcs(),
+            warmup_epochs: 0,
+            ..SimConfig::default()
+        };
+        assert!(c.validate().unwrap_err().contains("warm-up"));
+        // Static schemes have no reconfiguration transient to warm past.
+        let c = SimConfig {
+            scheme: crate::Scheme::SNuca,
+            warmup_epochs: 0,
+            ..SimConfig::default()
+        };
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn config_patch_applies_only_set_fields() {
+        let base = SimConfig::default();
+        let patch = ConfigPatch::named("coarse")
+            .with_alloc_granularity(8192)
+            .with_move_scheme(MoveScheme::BulkInvalidate);
+        assert_eq!(patch.display_label(), "coarse");
+        assert!(!patch.is_identity());
+        assert!(ConfigPatch::default().is_identity());
+        assert_eq!(ConfigPatch::default().display_label(), "base");
+        let mut patched = base.clone();
+        patch.apply(&mut patched);
+        assert_eq!(patched.alloc_granularity, 8192);
+        assert_eq!(patched.move_scheme, MoveScheme::BulkInvalidate);
+        // Untouched fields survive.
+        assert_eq!(patched.epoch_cycles, base.epoch_cycles);
+        assert_eq!(patched.monitor_kind, base.monitor_kind);
     }
 
     #[test]

@@ -59,8 +59,9 @@ struct ThreadState {
 ///
 /// `PartialEq` compares every counter and trace point exactly — the
 /// parallel-runner equivalence tests assert cell-for-cell identity between
-/// [`crate::runner::run_grid`] and serial execution with it.
-#[derive(Debug, Clone, PartialEq)]
+/// [`crate::runner::run_grid`] and serial execution with it, and the
+/// experiment-artifact tests assert exact JSON round-trips.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct SimResult {
     /// Scheme display name.
     pub scheme: String,

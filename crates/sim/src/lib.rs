@@ -47,7 +47,7 @@ pub mod metrics;
 pub mod runner;
 mod scheme;
 
-pub use config::{MonitorKind, SimConfig};
+pub use config::{ConfigPatch, MonitorKind, SimConfig};
 pub use energy::{EnergyBreakdown, EnergyModel};
 pub use engine::{SimResult, Simulation, SHARD_SEQ_THRESHOLD};
 pub use memory::MemoryModel;

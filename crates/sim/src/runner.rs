@@ -8,13 +8,32 @@
 //! sample balancing addresses non-stationarity that synthetic streams do
 //! not have).
 
+use crate::config::ConfigPatch;
 use crate::{Scheme, SimConfig, SimResult, Simulation};
 use cdcs_workload::{AppProfile, WorkloadMix};
 use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
 
-/// One cell of an experiment grid: a scheme, a mix, and an optional
-/// per-cell seed override (deterministic regardless of which worker runs
-/// the cell or in what order).
+/// How a grid cell drives the simulation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CellRun {
+    /// The standard warm-up + measurement window ([`Simulation::run`]).
+    #[default]
+    Steady,
+    /// A Fig. 17-style reconfiguration trace ([`Simulation::run_trace`]):
+    /// `pre_intervals` unmeasured intervals, then `post_intervals` measured
+    /// ones straddling the mid-trace reconfiguration.
+    Trace {
+        /// Unmeasured warm-up intervals before the trace window.
+        pre_intervals: usize,
+        /// Measured intervals (reconfiguration in the middle).
+        post_intervals: usize,
+    },
+}
+
+/// One cell of an experiment grid: a scheme, a mix, and optional per-cell
+/// overrides — a seed, a [`ConfigPatch`], and the run mode (deterministic
+/// regardless of which worker runs the cell or in what order).
 #[derive(Debug, Clone)]
 pub struct GridCell {
     /// NUCA scheme to simulate.
@@ -23,6 +42,12 @@ pub struct GridCell {
     pub mix: WorkloadMix,
     /// Overrides `config.seed` for this cell when set.
     pub seed: Option<u64>,
+    /// Config overrides applied before the scheme/seed for this cell,
+    /// letting one grid wave span config axes (granularity, monitors,
+    /// movement machinery, epoch length, ...).
+    pub patch: Option<ConfigPatch>,
+    /// Steady-state measurement or a reconfiguration trace.
+    pub run: CellRun,
 }
 
 impl GridCell {
@@ -32,25 +57,52 @@ impl GridCell {
             scheme,
             mix,
             seed: None,
+            patch: None,
+            run: CellRun::Steady,
         }
     }
 
     /// Pins this cell to an explicit seed (for `scheme × mix × seed` fans).
+    #[must_use]
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = Some(seed);
         self
     }
+
+    /// Applies `patch` to this cell's config (for config-axis fans).
+    #[must_use]
+    pub fn with_patch(mut self, patch: ConfigPatch) -> Self {
+        self.patch = Some(patch);
+        self
+    }
+
+    /// Switches this cell to a reconfiguration trace run.
+    #[must_use]
+    pub fn with_run(mut self, run: CellRun) -> Self {
+        self.run = run;
+        self
+    }
 }
 
-/// Runs one grid cell: `config` with the cell's scheme (and seed, if
-/// overridden) applied.
+/// Runs one grid cell: `config` with the cell's patch, scheme, and seed
+/// applied, driven in the cell's run mode.
 fn run_cell(config: &SimConfig, cell: &GridCell) -> Result<SimResult, String> {
     let mut cfg = config.clone();
+    if let Some(patch) = &cell.patch {
+        patch.apply(&mut cfg);
+    }
     cfg.scheme = cell.scheme;
     if let Some(seed) = cell.seed {
         cfg.seed = seed;
     }
-    Ok(Simulation::new(cfg, cell.mix.clone())?.run())
+    let sim = Simulation::new(cfg, cell.mix.clone())?;
+    Ok(match cell.run {
+        CellRun::Steady => sim.run(),
+        CellRun::Trace {
+            pre_intervals,
+            post_intervals,
+        } => sim.run_trace(pre_intervals, post_intervals),
+    })
 }
 
 /// Runs every cell of an experiment grid across all cores.
@@ -320,6 +372,44 @@ mod tests {
             .map(|app| alone_perf(&config, app).unwrap())
             .collect();
         assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn patched_cells_match_patched_configs() {
+        let config = SimConfig::small_test();
+        let mix = WorkloadMix::from_spec(&MixSpec::Named(vec!["calculix".into(), "milc".into()]))
+            .unwrap();
+        let patch = ConfigPatch::named("coarse").with_alloc_granularity(config.bank_lines);
+        let cells = [
+            GridCell::new(Scheme::cdcs(), mix.clone()),
+            GridCell::new(Scheme::cdcs(), mix.clone()).with_patch(patch.clone()),
+        ];
+        let results = run_grid(&config, &cells).unwrap();
+        // The patched cell equals running the mutated config directly...
+        let mut coarse_cfg = config.clone();
+        patch.apply(&mut coarse_cfg);
+        let direct = run_scheme(&coarse_cfg, &mix, Scheme::cdcs()).unwrap();
+        assert_eq!(results[1], direct);
+        // ...and differs from the unpatched cell (the knob is load-bearing).
+        assert_ne!(results[0], results[1]);
+    }
+
+    #[test]
+    fn trace_cells_match_run_trace() {
+        let mut config = SimConfig::small_test();
+        config.reconfig_benefit_factor = 0.0;
+        let mix =
+            WorkloadMix::from_spec(&MixSpec::Named(vec!["omnet".into(), "milc".into()])).unwrap();
+        let cell = GridCell::new(Scheme::cdcs(), mix.clone()).with_run(CellRun::Trace {
+            pre_intervals: 10,
+            post_intervals: 5,
+        });
+        let via_grid = run_grid(&config, std::slice::from_ref(&cell)).unwrap();
+        let mut cfg = config.clone();
+        cfg.scheme = Scheme::cdcs();
+        let direct = Simulation::new(cfg, mix).unwrap().run_trace(10, 5);
+        assert_eq!(via_grid[0], direct);
+        assert_eq!(via_grid[0].ipc_trace.len(), 5);
     }
 
     #[test]

@@ -96,6 +96,14 @@ impl Scheme {
             Scheme::Cdcs { planner, .. } => {
                 if planner.latency_aware && planner.place_threads && planner.refine_trades {
                     "CDCS".into()
+                } else if !(planner.latency_aware || planner.place_threads || planner.refine_trades)
+                {
+                    // All three steps disabled still runs the partitioned
+                    // CDCS pipeline (miss-driven allocation, greedy
+                    // placement), which is *not* the plain Jigsaw+R scheme —
+                    // give it a distinct label so a Fig. 12-style factor
+                    // table cannot silently alias two different cells.
+                    "Jigsaw+R+∅".into()
                 } else {
                     format!(
                         "Jigsaw+R{}{}{}",
@@ -158,6 +166,18 @@ mod tests {
             sched: ThreadSched::Random,
         };
         assert_eq!(s.name(), "Jigsaw+R+T+D");
+    }
+
+    #[test]
+    fn featureless_cdcs_does_not_alias_jigsaw_r() {
+        // CDCS with every planner step off still runs the partitioned CDCS
+        // pipeline; its label must not collide with the real Jigsaw+R.
+        let s = Scheme::Cdcs {
+            planner: CdcsPlanner::with_features(false, false, false),
+            sched: ThreadSched::Random,
+        };
+        assert_eq!(s.name(), "Jigsaw+R+∅");
+        assert_ne!(s.name(), Scheme::jigsaw_random().name());
     }
 
     #[test]

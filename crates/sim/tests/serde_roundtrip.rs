@@ -1,0 +1,92 @@
+//! JSON round-trip golden tests for the simulator's serializable surface.
+//!
+//! The vendored serde was a panic-stub until the experiment-API redesign;
+//! these tests pin the now-working pipeline end to end: derive → JSON
+//! writer → JSON reader → derive, bit-exact for every float.
+
+use cdcs_sim::{ConfigPatch, MonitorKind, MoveScheme, Scheme, SimConfig, Simulation};
+use cdcs_workload::{MixSpec, WorkloadMix};
+
+fn roundtrip<T>(value: &T) -> T
+where
+    T: serde::Serialize + for<'de> serde::Deserialize<'de>,
+{
+    let compact = serde_json::to_string(value).expect("serialize");
+    let pretty = serde_json::to_string_pretty(value).expect("serialize pretty");
+    let from_pretty: T = serde_json::from_str(&pretty).expect("deserialize pretty");
+    drop(from_pretty);
+    serde_json::from_str(&compact).expect("deserialize")
+}
+
+#[test]
+fn sim_config_round_trips() {
+    for config in [
+        SimConfig::default(),
+        SimConfig::case_study(),
+        SimConfig::small_test(),
+        SimConfig {
+            scheme: Scheme::cdcs(),
+            move_scheme: MoveScheme::BulkInvalidate,
+            monitor_kind: MonitorKind::Umon { ways: 256 },
+            reconfig_benefit_factor: 0.125,
+            ..SimConfig::default()
+        },
+    ] {
+        assert_eq!(roundtrip(&config), config);
+    }
+}
+
+#[test]
+fn schemes_round_trip_through_json() {
+    for scheme in [
+        Scheme::SNuca,
+        Scheme::rnuca(),
+        Scheme::jigsaw_clustered(),
+        Scheme::jigsaw_random(),
+        Scheme::cdcs(),
+    ] {
+        let json = serde_json::to_string(&scheme).unwrap();
+        let back: Scheme = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, scheme, "{json}");
+    }
+    // Unit variants are bare strings; payload variants single-key objects.
+    assert_eq!(serde_json::to_string(&Scheme::SNuca).unwrap(), "\"SNuca\"");
+    assert!(serde_json::to_string(&Scheme::cdcs())
+        .unwrap()
+        .starts_with("{\"Cdcs\":"));
+}
+
+#[test]
+fn config_patch_round_trips() {
+    let patch = ConfigPatch::named("umon-256")
+        .with_monitor_kind(MonitorKind::Umon { ways: 256 })
+        .with_epoch_cycles(2_000_000)
+        .with_reconfig_benefit_factor(0.0);
+    assert_eq!(roundtrip(&patch), patch);
+    assert_eq!(roundtrip(&ConfigPatch::default()), ConfigPatch::default());
+}
+
+#[test]
+fn sim_result_round_trips_bit_exactly() {
+    let mut config = SimConfig::small_test();
+    config.scheme = Scheme::cdcs();
+    let mix = WorkloadMix::from_spec(&MixSpec::Named(vec!["omnet".into(), "milc".into()])).unwrap();
+    let result = Simulation::new(config, mix).unwrap().run();
+    let back = roundtrip(&result);
+    // PartialEq on SimResult compares every counter, float, and trace
+    // point exactly — this is the artifact-gate guarantee.
+    assert_eq!(back, result);
+    assert!(!result.ipc_trace.is_empty());
+}
+
+#[test]
+fn unknown_fields_are_skipped_and_missing_fields_fail() {
+    let json = serde_json::to_string(&ConfigPatch::default()).unwrap();
+    // Inject an unknown key: forward compatibility for hand-edited specs.
+    let with_extra = json.replacen('{', "{\"future_knob\":[1,{\"x\":2}],", 1);
+    let patch: ConfigPatch = serde_json::from_str(&with_extra).expect("unknown key skipped");
+    assert_eq!(patch, ConfigPatch::default());
+    // A missing required field fails loudly with the field name.
+    let err = serde_json::from_str::<SimConfig>("{}").unwrap_err();
+    assert!(err.to_string().contains("missing field"), "{err}");
+}

@@ -1,49 +1,35 @@
 //! The paper's §II-B case study (Fig. 1 + Table 1): a 36-tile CMP running
-//! 6x omnet, 14x milc, and 2x 8-thread ilbdc under four NUCA schemes.
-//!
-//! Prints per-app speedups over S-NUCA and an ASCII rendition of Fig. 1's
-//! thread map.
+//! 6x omnet, 14x milc, and 2x 8-thread ilbdc under four NUCA schemes —
+//! declared as an [`ExperimentSpec`] (alone runs, baseline, and every
+//! scheme fan out in one grid wave) and persisted as a JSON artifact.
 //!
 //! ```sh
 //! cargo run --example case_study --release
 //! ```
 
-use cdcs::sim::{runner, Scheme, SimConfig};
-use cdcs::workload::{MixSpec, WorkloadMix};
+use cdcs::bench::exp::SpecKind;
+use cdcs::bench::{run_and_save, specs};
+use cdcs::workload::WorkloadMix;
 
 fn main() -> Result<(), String> {
-    let mut config = SimConfig::case_study();
-    // The headline runs below are one cell at a time, so cell-level
-    // parallelism has nothing to chew on; bank-sharding the cell itself
-    // puts the idle cores to work. Results are bit-identical to the
-    // single-core engine, and `run_grid` (the alone-perf fan-out) clamps
-    // the inner count so outer × inner stays within the machine.
-    config.intra_cell_threads = SimConfig::auto_intra_cell_threads();
-    let mix = WorkloadMix::from_spec(&MixSpec::CaseStudy)?;
-    let alone = runner::alone_perf_for_mix(&config, &mix)?;
-    let snuca = runner::run_scheme(&config, &mix, Scheme::SNuca)?;
+    let report = run_and_save(specs::case_study())?;
+    let grid = report.grid();
+    let group = &grid.groups[0];
+    let SpecKind::Grid(spec) = &report.spec.kind else {
+        unreachable!("case study is a grid experiment");
+    };
+    let mix = WorkloadMix::from_spec(&spec.mixes[0].spec)?;
 
-    for scheme in [
-        Scheme::rnuca(),
-        Scheme::jigsaw_clustered(),
-        Scheme::jigsaw_random(),
-        Scheme::cdcs(),
-    ] {
-        let r = runner::run_scheme(&config, &mix, scheme)?;
-        let ws = runner::weighted_speedup_vs(&r, &snuca, &alone);
-        // Speedup per benchmark (gmean over instances).
-        let perf = r.process_perf();
-        let base = snuca.process_perf();
-        let mut by_app: std::collections::BTreeMap<&str, Vec<f64>> = Default::default();
-        for (p, app) in mix.processes().iter().enumerate() {
-            by_app
-                .entry(app.name.as_str())
-                .or_default()
-                .push(perf[p] / base[p]);
+    for row in &group.rows {
+        if row.scheme == "S-NUCA" {
+            continue;
         }
-        println!("== {} (weighted speedup {ws:.2}) ==", r.scheme);
-        for (app, v) in &by_app {
-            println!("  {app:<8} {:>5.2}x", runner::gmean(v));
+        let ws = row.weighted_speedup.expect("ws derived");
+        println!("== {} (weighted speedup {ws:.2}) ==", row.scheme);
+        // Speedup per benchmark (gmean over instances), via the shared
+        // report rollup.
+        for (app, speedup) in grid.per_app_speedups(group, row, &mix) {
+            println!("  {app:<8} {speedup:>5.2}x");
         }
     }
     Ok(())

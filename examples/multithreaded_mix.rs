@@ -1,42 +1,39 @@
 //! Multi-threaded co-scheduling (the paper's Fig. 16 scenario): a
 //! private-heavy, intensive process (mgrid) plus shared-heavy processes
 //! (md, ilbdc, nab). CDCS spreads mgrid's threads and clusters each
-//! shared-heavy process around its shared data.
+//! shared-heavy process around its shared data. Declared as an
+//! [`ExperimentSpec`]; the artifact lands under `out/`.
 //!
 //! ```sh
 //! cargo run --example multithreaded_mix --release
 //! ```
 
-use cdcs::sim::{runner, Scheme, SimConfig};
-use cdcs::workload::{MixSpec, WorkloadMix};
+use cdcs::bench::exp::SpecKind;
+use cdcs::bench::{run_and_save, specs};
+use cdcs::workload::WorkloadMix;
 
 fn main() -> Result<(), String> {
-    let config = SimConfig::default();
-    let mix = WorkloadMix::from_spec(&MixSpec::Named(vec![
-        "mgrid".into(),
-        "md".into(),
-        "ilbdc".into(),
-        "nab".into(),
-    ]))?;
-    let alone = runner::alone_perf_for_mix(&config, &mix)?;
-    let snuca = runner::run_scheme(&config, &mix, Scheme::SNuca)?;
+    let report = run_and_save(specs::multithreaded_mix())?;
+    let grid = report.grid();
+    let group = &grid.groups[0];
+    let SpecKind::Grid(spec) = &report.spec.kind else {
+        unreachable!("multithreaded mix is a grid experiment");
+    };
+    let mix = WorkloadMix::from_spec(&spec.mixes[0].spec)?;
+    let baseline = &grid.cells[group.baseline.expect("baseline ran")].result;
+
     println!("{:<10} {:>8}   per-process speedups", "scheme", "WS");
-    for scheme in [
-        Scheme::jigsaw_clustered(),
-        Scheme::jigsaw_random(),
-        Scheme::cdcs(),
-    ] {
-        let r = runner::run_scheme(&config, &mix, scheme)?;
-        let ws = runner::weighted_speedup_vs(&r, &snuca, &alone);
-        let perf = r.process_perf();
-        let base = snuca.process_perf();
+    for row in &group.rows {
+        let perf = grid.result(row).process_perf();
+        let base = baseline.process_perf();
         let per: Vec<String> = mix
             .processes()
             .iter()
             .enumerate()
             .map(|(p, app)| format!("{}={:.2}x", app.name, perf[p] / base[p]))
             .collect();
-        println!("{:<10} {:>8.3}   {}", r.scheme, ws, per.join(" "));
+        let ws = row.weighted_speedup.expect("ws derived");
+        println!("{:<10} {:>8.3}   {}", row.scheme, ws, per.join(" "));
     }
     println!("\nexpected: CDCS at least matches the better of Jigsaw+C / Jigsaw+R per mix");
     Ok(())

@@ -1,31 +1,21 @@
-//! Quickstart: simulate a small mix under S-NUCA and CDCS and compare.
+//! Quickstart: simulate a small mix under S-NUCA and CDCS and compare —
+//! declared as an [`ExperimentSpec`], run as one parallel wave, persisted
+//! as a JSON artifact under `out/`.
 //!
 //! ```sh
 //! cargo run --example quickstart --release
 //! ```
 
-use cdcs::sim::{runner, Scheme, SimConfig};
-use cdcs::workload::{MixSpec, WorkloadMix};
+use cdcs::bench::{run_and_save, specs};
 
 fn main() -> Result<(), String> {
-    // Four apps on the paper's 64-tile chip: a cache-fitting app, a
-    // streaming app, and two in between.
-    let mix = WorkloadMix::from_spec(&MixSpec::Named(vec![
-        "omnet".into(),
-        "milc".into(),
-        "xalancbmk".into(),
-        "calculix".into(),
-    ]))?;
-    let config = SimConfig::default();
+    let report = run_and_save(specs::quickstart())?;
+    let grid = report.grid();
+    let group = &grid.groups[0];
+    let snuca = grid.result(&group.rows[0]);
+    let cdcs = grid.result(&group.rows[1]);
 
-    println!("running alone-IPC calibration...");
-    let alone = runner::alone_perf_for_mix(&config, &mix)?;
-    println!("running S-NUCA baseline...");
-    let snuca = runner::run_scheme(&config, &mix, Scheme::SNuca)?;
-    println!("running CDCS...");
-    let cdcs = runner::run_scheme(&config, &mix, Scheme::cdcs())?;
-
-    println!("\nper-app results (IPC):");
+    println!("per-app results (IPC):");
     println!(
         "{:<12} {:>8} {:>8} {:>9}",
         "app", "S-NUCA", "CDCS", "speedup"
@@ -39,12 +29,11 @@ fn main() -> Result<(), String> {
             c.ipc() / s.ipc()
         );
     }
-    let ws = runner::weighted_speedup_vs(&cdcs, &snuca, &alone);
+    let ws = group.rows[1].weighted_speedup.expect("ws derived");
     println!("\nweighted speedup of CDCS over S-NUCA: {ws:.3}");
     println!(
         "on-chip LLC latency: S-NUCA {:.1} vs CDCS {:.1} cycles/access",
-        snuca.mean_on_chip_latency(),
-        cdcs.mean_on_chip_latency()
+        group.rows[0].on_chip_latency, group.rows[1].on_chip_latency
     );
     Ok(())
 }

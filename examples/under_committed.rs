@@ -1,20 +1,24 @@
 //! Under-committed chips (the paper's Fig. 13 scenario): few apps on a big
 //! chip, where latency-aware allocation matters most — Jigsaw's "use all
 //! capacity" hurts on-chip latency while CDCS leaves capacity unused.
+//! Declared as an [`ExperimentSpec`]; the artifact lands under `out/`.
 //!
 //! ```sh
 //! cargo run --example under_committed --release
 //! ```
 
-use cdcs::sim::{runner, Scheme, SimConfig};
-use cdcs::workload::{MixSpec, WorkloadMix};
+use cdcs::bench::exp::SpecKind;
+use cdcs::bench::{run_and_save, specs};
+use cdcs::workload::WorkloadMix;
 
 fn main() -> Result<(), String> {
-    let config = SimConfig::default(); // 64 cores
-    let mix = WorkloadMix::from_spec(&MixSpec::RandomSingleThreaded {
-        count: 4,
-        mix_seed: 7,
-    })?;
+    let report = run_and_save(specs::under_committed())?;
+    let grid = report.grid();
+    let group = &grid.groups[0];
+    let SpecKind::Grid(spec) = &report.spec.kind else {
+        unreachable!("under_committed is a grid experiment");
+    };
+    let mix = WorkloadMix::from_spec(&spec.mixes[0].spec)?;
     println!(
         "4 apps on 64 cores: {:?}",
         mix.processes()
@@ -22,21 +26,17 @@ fn main() -> Result<(), String> {
             .map(|p| p.name.as_str())
             .collect::<Vec<_>>()
     );
-    let alone = runner::alone_perf_for_mix(&config, &mix)?;
-    let snuca = runner::run_scheme(&config, &mix, Scheme::SNuca)?;
     println!(
         "{:<10} {:>8} {:>12} {:>12}",
         "scheme", "WS", "on-chip/acc", "off-chip/acc"
     );
-    for scheme in [Scheme::SNuca, Scheme::jigsaw_random(), Scheme::cdcs()] {
-        let r = runner::run_scheme(&config, &mix, scheme)?;
-        let ws = runner::weighted_speedup_vs(&r, &snuca, &alone);
+    for row in &group.rows {
         println!(
             "{:<10} {:>8.3} {:>12.2} {:>12.2}",
-            r.scheme,
-            ws,
-            r.mean_on_chip_latency(),
-            r.mean_off_chip_latency()
+            row.scheme,
+            row.weighted_speedup.expect("ws derived"),
+            row.on_chip_latency,
+            row.off_chip_latency
         );
     }
     println!("\nexpected: CDCS keeps VCs compact (low on-chip latency); Jigsaw spreads allocations chip-wide");

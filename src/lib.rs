@@ -21,6 +21,11 @@
 //! * [`sim`] (`cdcs-sim`) — the trace-driven 64-tile CMP simulator with
 //!   incremental reconfiguration (demand moves, background invalidations,
 //!   bulk invalidations).
+//! * [`bench`] (`cdcs-bench`) — the declarative experiment API: typed
+//!   [`bench::exp::ExperimentSpec`]s (schemes × mixes × seeds × config
+//!   patches) expanded into one parallel grid wave, with structured
+//!   [`bench::exp::ExperimentReport`]s persisted as verified JSON
+//!   artifacts under `out/`.
 //!
 //! # Quickstart
 //!
@@ -48,6 +53,7 @@
 //! through Computation and Data Co-Scheduling"*, HPCA 2015]:
 //!     https://people.csail.mit.edu/sanchez/papers/2015.cdcs.hpca.pdf
 
+pub use cdcs_bench as bench;
 pub use cdcs_cache as cache;
 pub use cdcs_core as core;
 pub use cdcs_mesh as mesh;

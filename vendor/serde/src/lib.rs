@@ -1,45 +1,153 @@
-//! Stub `serde`: the trait surface the repository compiles against, without
-//! any working serializer behind it.
+//! Vendored `serde`: a working, minimal serialization framework.
 //!
 //! The workspace builds offline (no crates.io), so the real serde cannot be
-//! fetched. The codebase annotates its types with `Serialize`/`Deserialize`
-//! for forward compatibility but never serializes at runtime; this stub
-//! keeps those annotations compiling. Every runtime entry point panics with
-//! a clear message. Swapping the real serde back in is a one-line change in
-//! the workspace manifest.
+//! fetched. Until PR 4 this crate was a panic-stub that only kept
+//! `#[derive(Serialize, Deserialize)]` annotations compiling; it is now a
+//! real (if deliberately small) framework: `vendor/serde_derive` generates
+//! field-wise impls against the traits below, and `vendor/serde_json`
+//! provides the JSON serializer/deserializer the experiment harness uses to
+//! persist [`ExperimentReport`]-style artifacts.
+//!
+//! The design diverges from crates.io serde in one deliberate way: instead
+//! of the visitor machinery, both traits drive a *push/pull* interface
+//! (`&mut S` writer, `&mut D` reader). That keeps the derive macro small
+//! enough to hand-roll without `syn` while still supporting everything the
+//! repository serializes: nested structs, all four enum variant shapes,
+//! sequences, tuples, fixed-size arrays, options, and the `skip` /
+//! `default` / `with` field attributes. Call sites (`derive` annotations,
+//! `serde_json::to_string_pretty`, `serde_json::from_str`) remain
+//! source-compatible with the real crates, so swapping crates.io serde back
+//! in stays a manifest-level change plus the `with`-module signatures.
+//!
+//! [`ExperimentReport`]: ../cdcs_bench/exp/struct.ExperimentReport.html
 
 pub use serde_derive::{Deserialize, Serialize};
 
-/// A type that can be serialized (stub: implementations panic if invoked).
+/// A type that can be serialized through any [`Serializer`].
 pub trait Serialize {
-    /// Serializes `self` (stub: panics).
-    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+    /// Writes `self` into `serializer`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serializer errors (I/O, unsupported values).
+    fn serialize<S: Serializer>(&self, serializer: &mut S) -> Result<(), S::Error>;
 }
 
-/// A data format that can serialize values (stub: never instantiated).
-pub trait Serializer: Sized {
-    /// Output produced on success.
-    type Ok;
+/// A data format that can serialize values (push interface).
+///
+/// The value being serialized calls exactly one scalar method, or one
+/// balanced `*_begin`/`*_end` pair with elements in between. Separator and
+/// layout bookkeeping (commas, indentation) is the serializer's job, not
+/// the value's.
+pub trait Serializer {
     /// Error type.
     type Error: ser::Error;
+
+    /// Writes a boolean.
+    fn emit_bool(&mut self, v: bool) -> Result<(), Self::Error>;
+    /// Writes a signed integer.
+    fn emit_i64(&mut self, v: i64) -> Result<(), Self::Error>;
+    /// Writes an unsigned integer.
+    fn emit_u64(&mut self, v: u64) -> Result<(), Self::Error>;
+    /// Writes a 128-bit signed integer.
+    fn emit_i128(&mut self, v: i128) -> Result<(), Self::Error>;
+    /// Writes a 128-bit unsigned integer.
+    fn emit_u128(&mut self, v: u128) -> Result<(), Self::Error>;
+    /// Writes a float.
+    fn emit_f64(&mut self, v: f64) -> Result<(), Self::Error>;
+    /// Writes a string.
+    fn emit_str(&mut self, v: &str) -> Result<(), Self::Error>;
+    /// Writes a unit/null value (`None`, unit structs).
+    fn emit_unit(&mut self) -> Result<(), Self::Error>;
+
+    /// Starts a sequence of `len` elements.
+    fn seq_begin(&mut self, len: usize) -> Result<(), Self::Error>;
+    /// Announces the next sequence element (the value follows).
+    fn seq_element(&mut self) -> Result<(), Self::Error>;
+    /// Ends the current sequence.
+    fn seq_end(&mut self) -> Result<(), Self::Error>;
+
+    /// Starts a struct with `fields` serialized fields.
+    fn struct_begin(&mut self, name: &'static str, fields: usize) -> Result<(), Self::Error>;
+    /// Announces the next struct field (the value follows).
+    fn struct_field(&mut self, name: &'static str) -> Result<(), Self::Error>;
+    /// Ends the current struct.
+    fn struct_end(&mut self) -> Result<(), Self::Error>;
+
+    /// Writes a dataless enum variant.
+    fn unit_variant(
+        &mut self,
+        name: &'static str,
+        variant: &'static str,
+    ) -> Result<(), Self::Error>;
+    /// Starts a variant with a payload (the payload value follows).
+    fn variant_begin(
+        &mut self,
+        name: &'static str,
+        variant: &'static str,
+    ) -> Result<(), Self::Error>;
+    /// Ends the current payload-carrying variant.
+    fn variant_end(&mut self) -> Result<(), Self::Error>;
 }
 
-/// A type that can be deserialized (stub: implementations panic if invoked).
+/// A type that can be deserialized through any [`Deserializer`].
 pub trait Deserialize<'de>: Sized {
-    /// Deserializes a value (stub: panics).
-    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+    /// Reads a value of `Self` from `deserializer`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a deserializer error on malformed or mistyped input.
+    fn deserialize<D: Deserializer<'de>>(deserializer: &mut D) -> Result<Self, D::Error>;
 }
 
-/// A data format that can deserialize values (stub: never instantiated).
-pub trait Deserializer<'de>: Sized {
+/// A data format that can deserialize values (pull interface).
+pub trait Deserializer<'de> {
     /// Error type.
     type Error: de::Error;
+
+    /// Reads a boolean.
+    fn parse_bool(&mut self) -> Result<bool, Self::Error>;
+    /// Reads a signed integer.
+    fn parse_i64(&mut self) -> Result<i64, Self::Error>;
+    /// Reads an unsigned integer.
+    fn parse_u64(&mut self) -> Result<u64, Self::Error>;
+    /// Reads a 128-bit signed integer.
+    fn parse_i128(&mut self) -> Result<i128, Self::Error>;
+    /// Reads a 128-bit unsigned integer.
+    fn parse_u128(&mut self) -> Result<u128, Self::Error>;
+    /// Reads a float.
+    fn parse_f64(&mut self) -> Result<f64, Self::Error>;
+    /// Reads a string.
+    fn parse_string(&mut self) -> Result<String, Self::Error>;
+    /// Consumes a unit/null value if one is next; returns whether it did.
+    fn parse_null(&mut self) -> Result<bool, Self::Error>;
+
+    /// Enters a sequence.
+    fn seq_begin(&mut self) -> Result<(), Self::Error>;
+    /// Advances to the next element; `false` once the sequence is exhausted
+    /// (the terminator is consumed).
+    fn seq_next(&mut self) -> Result<bool, Self::Error>;
+
+    /// Enters a map/struct.
+    fn map_begin(&mut self) -> Result<(), Self::Error>;
+    /// Reads the next key, or `None` once the map is exhausted (the
+    /// terminator is consumed). After `Some(key)`, the value is next.
+    fn map_key(&mut self) -> Result<Option<String>, Self::Error>;
+
+    /// Reads an enum header: the variant name, and whether a payload
+    /// follows (`true` for newtype/tuple/struct variants).
+    fn variant_begin(&mut self) -> Result<(String, bool), Self::Error>;
+    /// Closes an enum value opened by [`Self::variant_begin`].
+    fn variant_end(&mut self, has_payload: bool) -> Result<(), Self::Error>;
+
+    /// Skips one complete value of any shape (unknown fields).
+    fn skip_value(&mut self) -> Result<(), Self::Error>;
 }
 
 /// Serialization-side error plumbing.
 pub mod ser {
     /// Errors produced by serializers.
-    pub trait Error: Sized {
+    pub trait Error: Sized + core::fmt::Display {
         /// Builds an error from a display-able message.
         fn custom<T: core::fmt::Display>(msg: T) -> Self;
     }
@@ -60,7 +168,7 @@ pub mod de {
     }
 
     /// Errors produced by deserializers.
-    pub trait Error: Sized {
+    pub trait Error: Sized + core::fmt::Display {
         /// Builds an error from a display-able message.
         fn custom<T: core::fmt::Display>(msg: T) -> Self;
 
@@ -77,78 +185,314 @@ pub mod de {
                 Wrap(expected)
             ))
         }
+
+        /// A required struct field was absent from the input.
+        fn missing_field(type_name: &'static str, field: &'static str) -> Self {
+            Self::custom(format_args!("missing field `{field}` in `{type_name}`"))
+        }
+
+        /// An enum variant name was not recognized.
+        fn unknown_variant(type_name: &'static str, variant: &str) -> Self {
+            Self::custom(format_args!(
+                "unknown variant `{variant}` of enum `{type_name}`"
+            ))
+        }
     }
 }
 
-macro_rules! stub_serialize_impls {
+macro_rules! serialize_unsigned {
     ($($ty:ty),* $(,)?) => {$(
         impl Serialize for $ty {
-            fn serialize<S: Serializer>(&self, _serializer: S) -> Result<S::Ok, S::Error> {
-                panic!("stub serde: serialization is not implemented")
+            fn serialize<S: Serializer>(&self, s: &mut S) -> Result<(), S::Error> {
+                s.emit_u64(u64::from(*self))
             }
         }
         impl<'de> Deserialize<'de> for $ty {
-            fn deserialize<D: Deserializer<'de>>(_deserializer: D) -> Result<Self, D::Error> {
-                panic!("stub serde: deserialization is not implemented")
+            fn deserialize<D: Deserializer<'de>>(d: &mut D) -> Result<Self, D::Error> {
+                let v = d.parse_u64()?;
+                <$ty>::try_from(v).map_err(|_| {
+                    <D::Error as de::Error>::custom(format_args!(
+                        "integer {v} out of range for {}",
+                        stringify!($ty)
+                    ))
+                })
             }
         }
     )*};
 }
 
-stub_serialize_impls!(
-    bool, u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64, char, String,
-);
+macro_rules! serialize_signed {
+    ($($ty:ty),* $(,)?) => {$(
+        impl Serialize for $ty {
+            fn serialize<S: Serializer>(&self, s: &mut S) -> Result<(), S::Error> {
+                s.emit_i64(i64::from(*self))
+            }
+        }
+        impl<'de> Deserialize<'de> for $ty {
+            fn deserialize<D: Deserializer<'de>>(d: &mut D) -> Result<Self, D::Error> {
+                let v = d.parse_i64()?;
+                <$ty>::try_from(v).map_err(|_| {
+                    <D::Error as de::Error>::custom(format_args!(
+                        "integer {v} out of range for {}",
+                        stringify!($ty)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+serialize_unsigned!(u8, u16, u32, u64);
+serialize_signed!(i8, i16, i32, i64);
+
+impl Serialize for usize {
+    fn serialize<S: Serializer>(&self, s: &mut S) -> Result<(), S::Error> {
+        s.emit_u64(*self as u64)
+    }
+}
+
+impl<'de> Deserialize<'de> for usize {
+    fn deserialize<D: Deserializer<'de>>(d: &mut D) -> Result<Self, D::Error> {
+        let v = d.parse_u64()?;
+        usize::try_from(v)
+            .map_err(|_| <D::Error as de::Error>::custom(format_args!("{v} overflows usize")))
+    }
+}
+
+impl Serialize for isize {
+    fn serialize<S: Serializer>(&self, s: &mut S) -> Result<(), S::Error> {
+        s.emit_i64(*self as i64)
+    }
+}
+
+impl<'de> Deserialize<'de> for isize {
+    fn deserialize<D: Deserializer<'de>>(d: &mut D) -> Result<Self, D::Error> {
+        let v = d.parse_i64()?;
+        isize::try_from(v)
+            .map_err(|_| <D::Error as de::Error>::custom(format_args!("{v} overflows isize")))
+    }
+}
+
+impl Serialize for u128 {
+    fn serialize<S: Serializer>(&self, s: &mut S) -> Result<(), S::Error> {
+        s.emit_u128(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for u128 {
+    fn deserialize<D: Deserializer<'de>>(d: &mut D) -> Result<Self, D::Error> {
+        d.parse_u128()
+    }
+}
+
+impl Serialize for i128 {
+    fn serialize<S: Serializer>(&self, s: &mut S) -> Result<(), S::Error> {
+        s.emit_i128(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for i128 {
+    fn deserialize<D: Deserializer<'de>>(d: &mut D) -> Result<Self, D::Error> {
+        d.parse_i128()
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, s: &mut S) -> Result<(), S::Error> {
+        s.emit_f64(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(d: &mut D) -> Result<Self, D::Error> {
+        d.parse_f64()
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize<S: Serializer>(&self, s: &mut S) -> Result<(), S::Error> {
+        s.emit_f64(f64::from(*self))
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    #[allow(clippy::cast_possible_truncation)]
+    fn deserialize<D: Deserializer<'de>>(d: &mut D) -> Result<Self, D::Error> {
+        Ok(d.parse_f64()? as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, s: &mut S) -> Result<(), S::Error> {
+        s.emit_bool(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(d: &mut D) -> Result<Self, D::Error> {
+        d.parse_bool()
+    }
+}
+
+impl Serialize for char {
+    fn serialize<S: Serializer>(&self, s: &mut S) -> Result<(), S::Error> {
+        s.emit_str(self.encode_utf8(&mut [0u8; 4]))
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn deserialize<D: Deserializer<'de>>(d: &mut D) -> Result<Self, D::Error> {
+        let s = d.parse_string()?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(<D::Error as de::Error>::custom(format_args!(
+                "expected a single character, got {s:?}"
+            ))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, s: &mut S) -> Result<(), S::Error> {
+        s.emit_str(self)
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(d: &mut D) -> Result<Self, D::Error> {
+        d.parse_string()
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, s: &mut S) -> Result<(), S::Error> {
+        s.emit_str(self)
+    }
+}
 
 impl<T: Serialize> Serialize for [T] {
-    fn serialize<S: Serializer>(&self, _serializer: S) -> Result<S::Ok, S::Error> {
-        panic!("stub serde: serialization is not implemented")
+    fn serialize<S: Serializer>(&self, s: &mut S) -> Result<(), S::Error> {
+        s.seq_begin(self.len())?;
+        for item in self {
+            s.seq_element()?;
+            item.serialize(s)?;
+        }
+        s.seq_end()
     }
 }
 
 impl<T: Serialize> Serialize for Vec<T> {
-    fn serialize<S: Serializer>(&self, _serializer: S) -> Result<S::Ok, S::Error> {
-        panic!("stub serde: serialization is not implemented")
+    fn serialize<S: Serializer>(&self, s: &mut S) -> Result<(), S::Error> {
+        self.as_slice().serialize(s)
     }
 }
 
 impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
-    fn deserialize<D: Deserializer<'de>>(_deserializer: D) -> Result<Self, D::Error> {
-        panic!("stub serde: deserialization is not implemented")
+    fn deserialize<D: Deserializer<'de>>(d: &mut D) -> Result<Self, D::Error> {
+        d.seq_begin()?;
+        let mut out = Vec::new();
+        while d.seq_next()? {
+            out.push(T::deserialize(d)?);
+        }
+        Ok(out)
     }
 }
 
 impl<T: Serialize, const N: usize> Serialize for [T; N] {
-    fn serialize<S: Serializer>(&self, _serializer: S) -> Result<S::Ok, S::Error> {
-        panic!("stub serde: serialization is not implemented")
+    fn serialize<S: Serializer>(&self, s: &mut S) -> Result<(), S::Error> {
+        self.as_slice().serialize(s)
+    }
+}
+
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {
+    fn deserialize<D: Deserializer<'de>>(d: &mut D) -> Result<Self, D::Error> {
+        let v: Vec<T> = Vec::deserialize(d)?;
+        let len = v.len();
+        v.try_into()
+            .map_err(|_| <D::Error as de::Error>::invalid_length(len, &"a fixed-size array"))
     }
 }
 
 impl<T: Serialize> Serialize for Option<T> {
-    fn serialize<S: Serializer>(&self, _serializer: S) -> Result<S::Ok, S::Error> {
-        panic!("stub serde: serialization is not implemented")
+    fn serialize<S: Serializer>(&self, s: &mut S) -> Result<(), S::Error> {
+        match self {
+            Some(v) => v.serialize(s),
+            None => s.emit_unit(),
+        }
     }
 }
 
 impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
-    fn deserialize<D: Deserializer<'de>>(_deserializer: D) -> Result<Self, D::Error> {
-        panic!("stub serde: deserialization is not implemented")
+    fn deserialize<D: Deserializer<'de>>(d: &mut D) -> Result<Self, D::Error> {
+        if d.parse_null()? {
+            Ok(None)
+        } else {
+            Ok(Some(T::deserialize(d)?))
+        }
     }
 }
 
 impl<T: Serialize + ?Sized> Serialize for &T {
-    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+    fn serialize<S: Serializer>(&self, serializer: &mut S) -> Result<(), S::Error> {
         (**self).serialize(serializer)
     }
 }
 
-impl<A: Serialize, B: Serialize> Serialize for (A, B) {
-    fn serialize<S: Serializer>(&self, _serializer: S) -> Result<S::Ok, S::Error> {
-        panic!("stub serde: serialization is not implemented")
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize<S: Serializer>(&self, serializer: &mut S) -> Result<(), S::Error> {
+        (**self).serialize(serializer)
     }
 }
 
-impl<'de, A: Deserialize<'de>, B: Deserialize<'de>> Deserialize<'de> for (A, B) {
-    fn deserialize<D: Deserializer<'de>>(_deserializer: D) -> Result<Self, D::Error> {
-        panic!("stub serde: deserialization is not implemented")
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn deserialize<D: Deserializer<'de>>(d: &mut D) -> Result<Self, D::Error> {
+        Ok(Box::new(T::deserialize(d)?))
     }
+}
+
+macro_rules! tuple_impls {
+    ($(($len:expr => $($name:ident . $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize<S: Serializer>(&self, s: &mut S) -> Result<(), S::Error> {
+                s.seq_begin($len)?;
+                $(
+                    s.seq_element()?;
+                    self.$idx.serialize(s)?;
+                )+
+                s.seq_end()
+            }
+        }
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize<De: Deserializer<'de>>(d: &mut De) -> Result<Self, De::Error> {
+                d.seq_begin()?;
+                let mut seen = 0usize;
+                let out = ($(
+                    {
+                        if !d.seq_next()? {
+                            return Err(<De::Error as de::Error>::invalid_length(
+                                seen,
+                                &stringify!(a $len-tuple),
+                            ));
+                        }
+                        seen += 1;
+                        $name::deserialize(d)?
+                    },
+                )+);
+                if d.seq_next()? {
+                    return Err(<De::Error as de::Error>::invalid_length(
+                        seen + 1,
+                        &stringify!(a $len-tuple),
+                    ));
+                }
+                Ok(out)
+            }
+        }
+    )+};
+}
+
+tuple_impls! {
+    (2 => A.0, B.1),
+    (3 => A.0, B.1, C.2),
+    (4 => A.0, B.1, C.2, D.3),
 }

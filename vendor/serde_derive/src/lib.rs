@@ -1,73 +1,551 @@
-//! Stub `serde_derive`: emits marker impls of the stub `serde` traits.
+//! Vendored `serde_derive`: generates real field-wise impls of the vendored
+//! `serde` traits.
 //!
-//! The workspace builds offline, so the real serde is unavailable. Nothing
-//! in the repository serializes at runtime today — derives exist so types
-//! stay annotated for the day a real serializer is wired in — hence the
-//! generated impls panic if ever invoked. The macro only needs the type's
-//! name (and generics, which no annotated type uses), so parsing is a small
-//! hand-rolled scan rather than a `syn` dependency.
+//! The workspace builds offline, so the crates.io derive (and its `syn`
+//! dependency tree) is unavailable. This macro hand-parses the token stream
+//! of the annotated type — enough for everything the repository derives:
+//! structs with named fields, tuple/newtype structs, unit structs, and
+//! enums with unit, newtype, tuple, and struct variants. Generics are
+//! deliberately unsupported (no annotated type uses them). Three field
+//! attributes are honored, mirroring serde's:
+//!
+//! * `#[serde(skip)]` — never serialized; filled from `Default::default()`
+//!   on deserialization.
+//! * `#[serde(default)]` — serialized normally; `Default::default()` when
+//!   absent from the input.
+//! * `#[serde(with = "module")]` — delegates to `module::serialize` /
+//!   `module::deserialize` (push/pull signatures; see
+//!   `cdcs_core::descriptor::serde_buckets` for the shape).
 
-use proc_macro::{TokenStream, TokenTree};
+use proc_macro::{Delimiter, TokenStream, TokenTree};
 
-/// Extracts the identifier following the `struct`/`enum` keyword.
-fn type_name(input: TokenStream) -> String {
-    let mut iter = input.into_iter();
-    while let Some(tt) = iter.next() {
+/// One parsed field of a struct or struct variant.
+struct Field {
+    name: String,
+    skip: bool,
+    default: bool,
+    with: Option<String>,
+}
+
+/// The shape of a variant's payload.
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+/// The parsed body of the annotated type.
+enum Body {
+    UnitStruct,
+    TupleStruct(usize),
+    NamedStruct(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+/// Field attributes recognized inside `#[serde(...)]`.
+#[derive(Default)]
+struct FieldAttrs {
+    skip: bool,
+    default: bool,
+    with: Option<String>,
+}
+
+/// Parses the contents of one `#[...]` attribute group, returning parsed
+/// serde options if it was a `serde` attribute.
+fn parse_attr(group: &proc_macro::Group, attrs: &mut FieldAttrs) {
+    let mut iter = group.stream().into_iter();
+    match iter.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return, // doc comment or other attribute
+    }
+    let Some(TokenTree::Group(inner)) = iter.next() else {
+        return;
+    };
+    let mut it = inner.stream().into_iter().peekable();
+    while let Some(tt) = it.next() {
         match tt {
-            TokenTree::Ident(id) => {
-                let s = id.to_string();
-                if s == "struct" || s == "enum" {
-                    match iter.next() {
-                        Some(TokenTree::Ident(name)) => {
-                            let name = name.to_string();
-                            if let Some(TokenTree::Punct(p)) = iter.next() {
-                                assert!(
-                                    p.as_char() != '<',
-                                    "stub serde_derive does not support generic type `{name}`"
-                                );
-                            }
-                            return name;
+            TokenTree::Ident(id) => match id.to_string().as_str() {
+                "skip" => attrs.skip = true,
+                "default" => attrs.default = true,
+                "with" => {
+                    match (it.next(), it.next()) {
+                        (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit)))
+                            if eq.as_char() == '=' =>
+                        {
+                            let s = lit.to_string();
+                            attrs.with = Some(s.trim_matches('"').to_string());
                         }
-                        other => panic!("expected type name, found {other:?}"),
+                        other => {
+                            panic!("serde(with = ...) expects a string literal, got {other:?}")
+                        }
+                    };
+                }
+                other => panic!("unsupported serde attribute `{other}`"),
+            },
+            TokenTree::Punct(p) if p.as_char() == ',' => {}
+            other => panic!("unexpected token in serde attribute: {other}"),
+        }
+    }
+}
+
+/// Consumes leading attributes from `iter`, folding serde options.
+fn take_attrs(iter: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) -> FieldAttrs {
+    let mut attrs = FieldAttrs::default();
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                match iter.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                        parse_attr(&g, &mut attrs);
                     }
+                    other => panic!("expected attribute body after `#`, got {other:?}"),
+                }
+            }
+            _ => return attrs,
+        }
+    }
+}
+
+/// Consumes a visibility qualifier (`pub`, `pub(crate)`, ...) if present.
+fn skip_visibility(iter: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    if matches!(iter.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        iter.next();
+        if matches!(iter.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            iter.next();
+        }
+    }
+}
+
+/// Consumes type tokens up to (and including) a top-level `,`, tracking
+/// angle-bracket depth so commas inside generics do not terminate early.
+fn skip_type(iter: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    let mut depth = 0i32;
+    for tt in iter.by_ref() {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => return,
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Parses a brace-delimited named-field list (`{ a: T, b: U }`).
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+    loop {
+        let attrs = take_attrs(&mut iter);
+        skip_visibility(&mut iter);
+        let name = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("expected field name, got {other:?}"),
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field `{name}`, got {other:?}"),
+        }
+        skip_type(&mut iter);
+        fields.push(Field {
+            name,
+            skip: attrs.skip,
+            default: attrs.default,
+            with: attrs.with,
+        });
+    }
+    fields
+}
+
+/// Counts the fields of a parenthesized tuple-field list (`(A, B)`).
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut iter = stream.into_iter().peekable();
+    let mut count = 0usize;
+    loop {
+        let _ = take_attrs(&mut iter);
+        skip_visibility(&mut iter);
+        if iter.peek().is_none() {
+            return count;
+        }
+        skip_type(&mut iter);
+        count += 1;
+    }
+}
+
+/// Parses a brace-delimited enum body into variants.
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+    loop {
+        let _ = take_attrs(&mut iter);
+        let name = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("expected variant name, got {other:?}"),
+        };
+        let kind = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                iter.next();
+                VariantKind::Named(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                iter.next();
+                VariantKind::Tuple(arity)
+            }
+            _ => VariantKind::Unit,
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            None => {
+                variants.push(Variant { name, kind });
+                break;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                panic!("explicit enum discriminants are not supported by the vendored derive")
+            }
+            other => panic!("expected `,` after variant, got {other:?}"),
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+/// Parses the macro input into the type name and its body shape.
+fn parse_input(input: TokenStream) -> (String, Body) {
+    let mut iter = input.into_iter().peekable();
+    loop {
+        match iter.next() {
+            Some(TokenTree::Ident(id)) => {
+                let kw = id.to_string();
+                if kw != "struct" && kw != "enum" {
+                    continue; // visibility or other modifier
+                }
+                let name = match iter.next() {
+                    Some(TokenTree::Ident(n)) => n.to_string(),
+                    other => panic!("expected type name, got {other:?}"),
+                };
+                match iter.next() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                        panic!("the vendored serde_derive does not support generic type `{name}`")
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let body = if kw == "struct" {
+                            Body::NamedStruct(parse_named_fields(g.stream()))
+                        } else {
+                            Body::Enum(parse_variants(g.stream()))
+                        };
+                        return (name, body);
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        assert!(kw == "struct", "parenthesized enum body");
+                        return (name, Body::TupleStruct(count_tuple_fields(g.stream())));
+                    }
+                    Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                        return (name, Body::UnitStruct);
+                    }
+                    other => panic!("unexpected token after type name: {other:?}"),
                 }
             }
             // Skip attributes (`#` followed by a bracketed group).
-            TokenTree::Punct(p) if p.as_char() == '#' => {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
                 iter.next();
             }
-            _ => {}
+            Some(_) => {}
+            None => panic!("serde_derive: no struct or enum in input"),
         }
     }
-    panic!("serde_derive: no struct or enum in input")
+}
+
+/// Emits the serialization statements for a named-field list, reading each
+/// field through `accessor(name)` (e.g. `&self.a` or a match binding).
+fn gen_serialize_fields(out: &mut String, fields: &[Field], accessor: impl Fn(&str) -> String) {
+    for f in fields.iter().filter(|f| !f.skip) {
+        out.push_str(&format!(
+            "::serde::Serializer::struct_field(__s, \"{}\")?;",
+            f.name
+        ));
+        let value = accessor(&f.name);
+        match &f.with {
+            Some(module) => out.push_str(&format!("{module}::serialize({value}, __s)?;")),
+            None => out.push_str(&format!("::serde::Serialize::serialize({value}, __s)?;")),
+        }
+    }
+}
+
+/// Emits the deserialization body for a named-field list: local options,
+/// the key-dispatch loop, and the struct-literal field list (into
+/// `literal`). `type_name` feeds error messages.
+fn gen_deserialize_fields(
+    out: &mut String,
+    literal: &mut String,
+    fields: &[Field],
+    type_name: &str,
+) {
+    for f in fields.iter().filter(|f| !f.skip) {
+        out.push_str(&format!(
+            "let mut __f_{} = ::core::option::Option::None;",
+            f.name
+        ));
+    }
+    out.push_str("while let ::core::option::Option::Some(__key) = ::serde::Deserializer::map_key(__d)? { match __key.as_str() {");
+    for f in fields.iter().filter(|f| !f.skip) {
+        let read = match &f.with {
+            Some(module) => format!("{module}::deserialize(__d)?"),
+            None => "::serde::Deserialize::deserialize(__d)?".to_string(),
+        };
+        out.push_str(&format!(
+            "\"{0}\" => {{ __f_{0} = ::core::option::Option::Some({read}); }}",
+            f.name
+        ));
+    }
+    out.push_str("_ => { ::serde::Deserializer::skip_value(__d)?; } } }");
+    for f in fields {
+        if f.skip {
+            literal.push_str(&format!("{}: ::core::default::Default::default(),", f.name));
+        } else if f.default {
+            literal.push_str(&format!("{0}: __f_{0}.unwrap_or_default(),", f.name));
+        } else {
+            literal.push_str(&format!(
+                "{0}: match __f_{0} {{ ::core::option::Option::Some(__v) => __v, \
+                 ::core::option::Option::None => return ::core::result::Result::Err(\
+                 <D::Error as ::serde::de::Error>::missing_field(\"{1}\", \"{0}\")) }},",
+                f.name, type_name
+            ));
+        }
+    }
 }
 
 #[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
-    let name = type_name(input);
-    format!(
-        "impl serde::Serialize for {name} {{\
-             fn serialize<S: serde::Serializer>(&self, _serializer: S)\
-                 -> ::core::result::Result<S::Ok, S::Error> {{\
-                 ::core::panic!(\"stub serde: serialization of {name} is not implemented\")\
-             }}\
-         }}"
-    )
-    .parse()
-    .expect("generated impl parses")
+    let (name, body) = parse_input(input);
+    let mut out = String::new();
+    out.push_str("#[automatically_derived] #[allow(clippy::all, clippy::pedantic)] ");
+    out.push_str(&format!("impl ::serde::Serialize for {name} {{"));
+    out.push_str(
+        "fn serialize<S: ::serde::Serializer>(&self, __s: &mut S) \
+         -> ::core::result::Result<(), S::Error> {",
+    );
+    match &body {
+        Body::UnitStruct => out.push_str("::serde::Serializer::emit_unit(__s)"),
+        Body::TupleStruct(1) => {
+            out.push_str("::serde::Serialize::serialize(&self.0, __s)");
+        }
+        Body::TupleStruct(arity) => {
+            out.push_str(&format!("::serde::Serializer::seq_begin(__s, {arity})?;"));
+            for i in 0..*arity {
+                out.push_str(&format!(
+                    "::serde::Serializer::seq_element(__s)?;\
+                     ::serde::Serialize::serialize(&self.{i}, __s)?;"
+                ));
+            }
+            out.push_str("::serde::Serializer::seq_end(__s)");
+        }
+        Body::NamedStruct(fields) => {
+            let n = fields.iter().filter(|f| !f.skip).count();
+            out.push_str(&format!(
+                "::serde::Serializer::struct_begin(__s, \"{name}\", {n})?;"
+            ));
+            gen_serialize_fields(&mut out, fields, |f| format!("&self.{f}"));
+            out.push_str("::serde::Serializer::struct_end(__s)");
+        }
+        Body::Enum(variants) => {
+            out.push_str("match self {");
+            for v in variants {
+                match &v.kind {
+                    VariantKind::Unit => out.push_str(&format!(
+                        "{name}::{0} => ::serde::Serializer::unit_variant(__s, \"{name}\", \"{0}\"),",
+                        v.name
+                    )),
+                    VariantKind::Tuple(1) => out.push_str(&format!(
+                        "{name}::{0}(__v0) => {{\
+                         ::serde::Serializer::variant_begin(__s, \"{name}\", \"{0}\")?;\
+                         ::serde::Serialize::serialize(__v0, __s)?;\
+                         ::serde::Serializer::variant_end(__s) }},",
+                        v.name
+                    )),
+                    VariantKind::Tuple(arity) => {
+                        let binds: Vec<String> = (0..*arity).map(|i| format!("__v{i}")).collect();
+                        out.push_str(&format!(
+                            "{name}::{0}({binds}) => {{\
+                             ::serde::Serializer::variant_begin(__s, \"{name}\", \"{0}\")?;\
+                             ::serde::Serializer::seq_begin(__s, {arity})?;",
+                            v.name,
+                            binds = binds.join(", ")
+                        ));
+                        for b in &binds {
+                            out.push_str(&format!(
+                                "::serde::Serializer::seq_element(__s)?;\
+                                 ::serde::Serialize::serialize({b}, __s)?;"
+                            ));
+                        }
+                        out.push_str(
+                            "::serde::Serializer::seq_end(__s)?;\
+                             ::serde::Serializer::variant_end(__s) },",
+                        );
+                    }
+                    VariantKind::Named(fields) => {
+                        // Skipped fields bind to `_` so the generated match
+                        // arm has no unused bindings.
+                        let binds: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                if f.skip {
+                                    format!("{}: _", f.name)
+                                } else {
+                                    format!("{0}: __b_{0}", f.name)
+                                }
+                            })
+                            .collect();
+                        let n = fields.iter().filter(|f| !f.skip).count();
+                        out.push_str(&format!(
+                            "{name}::{0} {{ {binds} }} => {{\
+                             ::serde::Serializer::variant_begin(__s, \"{name}\", \"{0}\")?;\
+                             ::serde::Serializer::struct_begin(__s, \"{0}\", {n})?;",
+                            v.name,
+                            binds = binds.join(", ")
+                        ));
+                        gen_serialize_fields(&mut out, fields, |f| format!("__b_{f}"));
+                        out.push_str(
+                            "::serde::Serializer::struct_end(__s)?;\
+                             ::serde::Serializer::variant_end(__s) },",
+                        );
+                    }
+                }
+            }
+            out.push('}');
+        }
+    }
+    out.push_str("} }");
+    out.parse().expect("generated Serialize impl parses")
 }
 
 #[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
-    let name = type_name(input);
-    format!(
-        "impl<'de> serde::Deserialize<'de> for {name} {{\
-             fn deserialize<D: serde::Deserializer<'de>>(_deserializer: D)\
-                 -> ::core::result::Result<Self, D::Error> {{\
-                 ::core::panic!(\"stub serde: deserialization of {name} is not implemented\")\
-             }}\
-         }}"
-    )
-    .parse()
-    .expect("generated impl parses")
+    let (name, body) = parse_input(input);
+    let mut out = String::new();
+    out.push_str("#[automatically_derived] #[allow(clippy::all, clippy::pedantic)] ");
+    out.push_str(&format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{"
+    ));
+    out.push_str(
+        "fn deserialize<D: ::serde::Deserializer<'de>>(__d: &mut D) \
+         -> ::core::result::Result<Self, D::Error> {",
+    );
+    match &body {
+        Body::UnitStruct => out.push_str(&format!(
+            "if ::serde::Deserializer::parse_null(__d)? {{ ::core::result::Result::Ok({name}) }} \
+             else {{ ::core::result::Result::Err(<D::Error as ::serde::de::Error>::custom(\
+             \"expected null for unit struct {name}\")) }}"
+        )),
+        Body::TupleStruct(1) => out.push_str(&format!(
+            "::core::result::Result::Ok({name}(::serde::Deserialize::deserialize(__d)?))"
+        )),
+        Body::TupleStruct(arity) => {
+            out.push_str("::serde::Deserializer::seq_begin(__d)?;");
+            let mut fields = String::new();
+            for i in 0..*arity {
+                fields.push_str(&format!(
+                    "{{ if !::serde::Deserializer::seq_next(__d)? {{\
+                     return ::core::result::Result::Err(\
+                     <D::Error as ::serde::de::Error>::invalid_length({i}, &\"{arity} fields\")); }}\
+                     ::serde::Deserialize::deserialize(__d)? }},"
+                ));
+            }
+            out.push_str(&format!("let __value = {name}({fields});"));
+            out.push_str(&format!(
+                "if ::serde::Deserializer::seq_next(__d)? {{\
+                 return ::core::result::Result::Err(\
+                 <D::Error as ::serde::de::Error>::invalid_length({arity} + 1, &\"{arity} fields\")); }}\
+                 ::core::result::Result::Ok(__value)"
+            ));
+        }
+        Body::NamedStruct(fields) => {
+            out.push_str("::serde::Deserializer::map_begin(__d)?;");
+            let mut literal = String::new();
+            gen_deserialize_fields(&mut out, &mut literal, fields, &name);
+            out.push_str(&format!(
+                "::core::result::Result::Ok({name} {{ {literal} }})"
+            ));
+        }
+        Body::Enum(variants) => {
+            out.push_str(
+                "let (__variant, __has_payload) = ::serde::Deserializer::variant_begin(__d)?;",
+            );
+            out.push_str("let __value = match __variant.as_str() {");
+            for v in variants {
+                match &v.kind {
+                    VariantKind::Unit => out.push_str(&format!(
+                        "\"{0}\" => {{ if __has_payload {{\
+                         return ::core::result::Result::Err(<D::Error as ::serde::de::Error>::custom(\
+                         \"unit variant {name}::{0} takes no payload\")); }} {name}::{0} }},",
+                        v.name
+                    )),
+                    VariantKind::Tuple(1) => out.push_str(&format!(
+                        "\"{0}\" => {{ if !__has_payload {{\
+                         return ::core::result::Result::Err(<D::Error as ::serde::de::Error>::custom(\
+                         \"variant {name}::{0} expects a payload\")); }}\
+                         {name}::{0}(::serde::Deserialize::deserialize(__d)?) }},",
+                        v.name
+                    )),
+                    VariantKind::Tuple(arity) => {
+                        let mut fields = String::new();
+                        for i in 0..*arity {
+                            fields.push_str(&format!(
+                                "{{ if !::serde::Deserializer::seq_next(__d)? {{\
+                                 return ::core::result::Result::Err(\
+                                 <D::Error as ::serde::de::Error>::invalid_length({i}, &\"{arity} fields\")); }}\
+                                 ::serde::Deserialize::deserialize(__d)? }},"
+                            ));
+                        }
+                        out.push_str(&format!(
+                            "\"{0}\" => {{ if !__has_payload {{\
+                             return ::core::result::Result::Err(<D::Error as ::serde::de::Error>::custom(\
+                             \"variant {name}::{0} expects a payload\")); }}\
+                             ::serde::Deserializer::seq_begin(__d)?;\
+                             let __tuple = {name}::{0}({fields});\
+                             if ::serde::Deserializer::seq_next(__d)? {{\
+                             return ::core::result::Result::Err(\
+                             <D::Error as ::serde::de::Error>::invalid_length({arity} + 1, &\"{arity} fields\")); }}\
+                             __tuple }},",
+                            v.name
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let mut body_code = String::new();
+                        let mut literal = String::new();
+                        gen_deserialize_fields(&mut body_code, &mut literal, fields, &v.name);
+                        out.push_str(&format!(
+                            "\"{0}\" => {{ if !__has_payload {{\
+                             return ::core::result::Result::Err(<D::Error as ::serde::de::Error>::custom(\
+                             \"variant {name}::{0} expects a payload\")); }}\
+                             ::serde::Deserializer::map_begin(__d)?;\
+                             {body_code} {name}::{0} {{ {literal} }} }},",
+                            v.name
+                        ));
+                    }
+                }
+            }
+            out.push_str(&format!(
+                "_ => return ::core::result::Result::Err(\
+                 <D::Error as ::serde::de::Error>::unknown_variant(\"{name}\", &__variant)), }};"
+            ));
+            out.push_str(
+                "::serde::Deserializer::variant_end(__d, __has_payload)?;\
+                 ::core::result::Result::Ok(__value)",
+            );
+        }
+    }
+    out.push_str("} }");
+    out.parse().expect("generated Deserialize impl parses")
 }

@@ -1,0 +1,710 @@
+//! Vendored `serde_json`: a working JSON format for the vendored `serde`.
+//!
+//! Implements the push [`serde::Serializer`] (compact and pretty writers)
+//! and the pull [`serde::Deserializer`] over a borrowed input string. The
+//! public entry points mirror crates.io `serde_json` so call sites stay
+//! source-compatible: [`to_string`], [`to_string_pretty`], [`from_str`].
+//!
+//! Representation choices match crates.io `serde_json`:
+//!
+//! * structs → objects, sequences/tuples → arrays, `None` → `null`;
+//! * unit enum variants → `"Variant"`; payload variants →
+//!   `{"Variant": payload}`;
+//! * non-finite floats serialize as `null` (and `null` deserializes to
+//!   `NaN` where a float is expected);
+//! * integers print exactly (no float round-trip), so `u64::MAX` survives.
+//!
+//! Floats print through Rust's shortest-round-trip `Display`, so a
+//! serialize → deserialize cycle reproduces every `f64` bit-exactly — the
+//! experiment-artifact gate in CI relies on this.
+
+use std::fmt;
+
+/// Error raised by JSON serialization or deserialization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error: {}", self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl serde::ser::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error {
+            message: msg.to_string(),
+        }
+    }
+}
+
+impl serde::de::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error {
+            message: msg.to_string(),
+        }
+    }
+}
+
+/// Serializes `value` to a compact JSON string.
+///
+/// # Errors
+///
+/// Propagates [`serde::Serialize`] implementation errors (the built-in
+/// impls are infallible).
+pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    let mut ser = Serializer::compact();
+    value.serialize(&mut ser)?;
+    Ok(ser.into_inner())
+}
+
+/// Serializes `value` to a human-readable, two-space-indented JSON string
+/// (the format of the committed experiment artifacts).
+///
+/// # Errors
+///
+/// Propagates [`serde::Serialize`] implementation errors.
+pub fn to_string_pretty<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    let mut ser = Serializer::pretty();
+    value.serialize(&mut ser)?;
+    Ok(ser.into_inner())
+}
+
+/// Deserializes a value of `T` from a JSON string.
+///
+/// # Errors
+///
+/// Returns an error on malformed JSON, type mismatches, missing fields, or
+/// trailing non-whitespace input.
+pub fn from_str<'de, T: serde::Deserialize<'de>>(input: &'de str) -> Result<T, Error> {
+    let mut de = Deserializer::new(input);
+    let value = T::deserialize(&mut de)?;
+    de.end()?;
+    Ok(value)
+}
+
+/// JSON writer implementing the push [`serde::Serializer`].
+pub struct Serializer {
+    out: String,
+    pretty: bool,
+    /// Per-open-container element counts (for comma placement).
+    counts: Vec<usize>,
+}
+
+impl Serializer {
+    /// A compact (single-line) writer.
+    pub fn compact() -> Self {
+        Serializer {
+            out: String::new(),
+            pretty: false,
+            counts: Vec::new(),
+        }
+    }
+
+    /// A two-space-indented writer.
+    pub fn pretty() -> Self {
+        Serializer {
+            out: String::new(),
+            pretty: true,
+            counts: Vec::new(),
+        }
+    }
+
+    /// Consumes the writer, returning the JSON produced so far.
+    pub fn into_inner(self) -> String {
+        self.out
+    }
+
+    fn newline_indent(&mut self, depth: usize) {
+        self.out.push('\n');
+        for _ in 0..depth {
+            self.out.push_str("  ");
+        }
+    }
+
+    /// Starts the next element of the innermost container: comma separator
+    /// plus (pretty) line break and indentation.
+    fn next_element(&mut self) {
+        let depth = self.counts.len();
+        if let Some(count) = self.counts.last_mut() {
+            if *count > 0 {
+                self.out.push(',');
+            }
+            *count += 1;
+        }
+        if self.pretty {
+            self.newline_indent(depth);
+        }
+    }
+
+    fn open(&mut self, delim: char) {
+        self.out.push(delim);
+        self.counts.push(0);
+    }
+
+    fn close(&mut self, delim: char) {
+        let count = self.counts.pop().unwrap_or(0);
+        if self.pretty && count > 0 {
+            self.newline_indent(self.counts.len());
+        }
+        self.out.push(delim);
+    }
+
+    fn write_escaped(&mut self, v: &str) {
+        self.out.push('"');
+        for c in v.chars() {
+            match c {
+                '"' => self.out.push_str("\\\""),
+                '\\' => self.out.push_str("\\\\"),
+                '\n' => self.out.push_str("\\n"),
+                '\r' => self.out.push_str("\\r"),
+                '\t' => self.out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    self.out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => self.out.push(c),
+            }
+        }
+        self.out.push('"');
+    }
+}
+
+impl serde::Serializer for Serializer {
+    type Error = Error;
+
+    fn emit_bool(&mut self, v: bool) -> Result<(), Error> {
+        self.out.push_str(if v { "true" } else { "false" });
+        Ok(())
+    }
+
+    fn emit_i64(&mut self, v: i64) -> Result<(), Error> {
+        self.out.push_str(&v.to_string());
+        Ok(())
+    }
+
+    fn emit_u64(&mut self, v: u64) -> Result<(), Error> {
+        self.out.push_str(&v.to_string());
+        Ok(())
+    }
+
+    fn emit_i128(&mut self, v: i128) -> Result<(), Error> {
+        self.out.push_str(&v.to_string());
+        Ok(())
+    }
+
+    fn emit_u128(&mut self, v: u128) -> Result<(), Error> {
+        self.out.push_str(&v.to_string());
+        Ok(())
+    }
+
+    fn emit_f64(&mut self, v: f64) -> Result<(), Error> {
+        if v.is_finite() {
+            // Rust's `Display` prints the shortest string that parses back
+            // to the same bits — exact round-trips, no precision knob.
+            let s = v.to_string();
+            self.out.push_str(&s);
+            // Keep floats recognizable as floats (serde_json prints 1.0
+            // as "1.0", not "1").
+            if !s.contains(['.', 'e', 'E']) {
+                self.out.push_str(".0");
+            }
+        } else {
+            self.out.push_str("null");
+        }
+        Ok(())
+    }
+
+    fn emit_str(&mut self, v: &str) -> Result<(), Error> {
+        self.write_escaped(v);
+        Ok(())
+    }
+
+    fn emit_unit(&mut self) -> Result<(), Error> {
+        self.out.push_str("null");
+        Ok(())
+    }
+
+    fn seq_begin(&mut self, _len: usize) -> Result<(), Error> {
+        self.open('[');
+        Ok(())
+    }
+
+    fn seq_element(&mut self) -> Result<(), Error> {
+        self.next_element();
+        Ok(())
+    }
+
+    fn seq_end(&mut self) -> Result<(), Error> {
+        self.close(']');
+        Ok(())
+    }
+
+    fn struct_begin(&mut self, _name: &'static str, _fields: usize) -> Result<(), Error> {
+        self.open('{');
+        Ok(())
+    }
+
+    fn struct_field(&mut self, name: &'static str) -> Result<(), Error> {
+        self.next_element();
+        self.write_escaped(name);
+        self.out.push(':');
+        if self.pretty {
+            self.out.push(' ');
+        }
+        Ok(())
+    }
+
+    fn struct_end(&mut self) -> Result<(), Error> {
+        self.close('}');
+        Ok(())
+    }
+
+    fn unit_variant(&mut self, _name: &'static str, variant: &'static str) -> Result<(), Error> {
+        self.write_escaped(variant);
+        Ok(())
+    }
+
+    fn variant_begin(&mut self, _name: &'static str, variant: &'static str) -> Result<(), Error> {
+        self.open('{');
+        self.next_element();
+        self.write_escaped(variant);
+        self.out.push(':');
+        if self.pretty {
+            self.out.push(' ');
+        }
+        Ok(())
+    }
+
+    fn variant_end(&mut self) -> Result<(), Error> {
+        self.close('}');
+        Ok(())
+    }
+}
+
+/// JSON reader implementing the pull [`serde::Deserializer`] over a
+/// borrowed string.
+pub struct Deserializer<'de> {
+    input: &'de str,
+    pos: usize,
+    /// Per-open-container element counts (for comma handling).
+    counts: Vec<usize>,
+}
+
+impl<'de> Deserializer<'de> {
+    /// Builds a reader over `input`.
+    pub fn new(input: &'de str) -> Self {
+        Deserializer {
+            input,
+            pos: 0,
+            counts: Vec::new(),
+        }
+    }
+
+    /// Asserts that only whitespace remains.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when trailing non-whitespace input exists.
+    pub fn end(&mut self) -> Result<(), Error> {
+        self.skip_ws();
+        if self.pos < self.input.len() {
+            return Err(self.error("trailing characters after JSON value"));
+        }
+        Ok(())
+    }
+
+    fn error(&self, msg: &str) -> Error {
+        Error {
+            message: format!("{msg} at byte {}", self.pos),
+        }
+    }
+
+    fn bytes(&self) -> &[u8] {
+        self.input.as_bytes()
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes().get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes().get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    /// Consumes `word` if it is next (after whitespace).
+    fn eat_word(&mut self, word: &str) -> bool {
+        self.skip_ws();
+        if self.input[self.pos..].starts_with(word) {
+            self.pos += word.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Scans a JSON number token and returns its slice.
+    fn number_token(&mut self) -> Result<&'de str, Error> {
+        self.skip_ws();
+        let start = self.pos;
+        while let Some(&b) = self.bytes().get(self.pos) {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.error("expected a number"));
+        }
+        Ok(&self.input[start..self.pos])
+    }
+
+    fn parse_string_inner(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let rest = &self.input[self.pos..];
+            let mut chars = rest.char_indices();
+            match chars.next() {
+                None => return Err(self.error("unterminated string")),
+                Some((_, '"')) => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some((_, '\\')) => {
+                    self.pos += 1;
+                    let esc = self
+                        .bytes()
+                        .get(self.pos)
+                        .copied()
+                        .ok_or_else(|| self.error("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000C}'),
+                        b'u' => {
+                            let code = self.hex4()?;
+                            // Surrogate pair: a high surrogate must be
+                            // followed by `\uXXXX` with the low half.
+                            let c = if (0xD800..0xDC00).contains(&code) {
+                                if !(self.eat_word("\\u")) {
+                                    return Err(self.error("unpaired surrogate"));
+                                }
+                                let low = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&low) {
+                                    return Err(self.error("invalid low surrogate"));
+                                }
+                                let combined = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                char::from_u32(combined)
+                            } else {
+                                char::from_u32(code)
+                            };
+                            out.push(c.ok_or_else(|| self.error("invalid unicode escape"))?);
+                        }
+                        _ => return Err(self.error("unknown escape")),
+                    }
+                }
+                Some((i, c)) => {
+                    self.pos += i + c.len_utf8();
+                    out.push(c);
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, Error> {
+        let hex = self
+            .input
+            .get(self.pos..self.pos + 4)
+            .ok_or_else(|| self.error("truncated unicode escape"))?;
+        let code =
+            u32::from_str_radix(hex, 16).map_err(|_| self.error("invalid unicode escape"))?;
+        self.pos += 4;
+        Ok(code)
+    }
+
+    /// Shared comma/terminator handling for `]`- and `}`-closed containers.
+    /// Returns `false` (popping the container) at the terminator.
+    fn container_next(&mut self, close: u8) -> Result<bool, Error> {
+        match self.peek() {
+            Some(b) if b == close => {
+                self.pos += 1;
+                self.counts.pop();
+                Ok(false)
+            }
+            Some(_) => {
+                let first = match self.counts.last() {
+                    Some(&count) => count == 0,
+                    None => return Err(self.error("element outside any container")),
+                };
+                if !first {
+                    self.expect(b',')?;
+                    self.skip_ws();
+                    if self.bytes().get(self.pos) == Some(&close) {
+                        return Err(self.error("trailing comma"));
+                    }
+                }
+                if let Some(count) = self.counts.last_mut() {
+                    *count += 1;
+                }
+                Ok(true)
+            }
+            None => Err(self.error("unterminated container")),
+        }
+    }
+}
+
+impl<'de> serde::Deserializer<'de> for Deserializer<'de> {
+    type Error = Error;
+
+    fn parse_bool(&mut self) -> Result<bool, Error> {
+        if self.eat_word("true") {
+            Ok(true)
+        } else if self.eat_word("false") {
+            Ok(false)
+        } else {
+            Err(self.error("expected a boolean"))
+        }
+    }
+
+    fn parse_i64(&mut self) -> Result<i64, Error> {
+        let tok = self.number_token()?;
+        tok.parse()
+            .map_err(|_| self.error(&format!("invalid integer `{tok}`")))
+    }
+
+    fn parse_u64(&mut self) -> Result<u64, Error> {
+        let tok = self.number_token()?;
+        tok.parse()
+            .map_err(|_| self.error(&format!("invalid integer `{tok}`")))
+    }
+
+    fn parse_i128(&mut self) -> Result<i128, Error> {
+        let tok = self.number_token()?;
+        tok.parse()
+            .map_err(|_| self.error(&format!("invalid integer `{tok}`")))
+    }
+
+    fn parse_u128(&mut self) -> Result<u128, Error> {
+        let tok = self.number_token()?;
+        tok.parse()
+            .map_err(|_| self.error(&format!("invalid integer `{tok}`")))
+    }
+
+    fn parse_f64(&mut self) -> Result<f64, Error> {
+        // Non-finite floats serialize as `null`; read them back as NaN.
+        if self.eat_word("null") {
+            return Ok(f64::NAN);
+        }
+        let tok = self.number_token()?;
+        tok.parse()
+            .map_err(|_| self.error(&format!("invalid number `{tok}`")))
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.skip_ws();
+        self.parse_string_inner()
+    }
+
+    fn parse_null(&mut self) -> Result<bool, Error> {
+        Ok(self.eat_word("null"))
+    }
+
+    fn seq_begin(&mut self) -> Result<(), Error> {
+        self.expect(b'[')?;
+        self.counts.push(0);
+        Ok(())
+    }
+
+    fn seq_next(&mut self) -> Result<bool, Error> {
+        self.container_next(b']')
+    }
+
+    fn map_begin(&mut self) -> Result<(), Error> {
+        self.expect(b'{')?;
+        self.counts.push(0);
+        Ok(())
+    }
+
+    fn map_key(&mut self) -> Result<Option<String>, Error> {
+        if !self.container_next(b'}')? {
+            return Ok(None);
+        }
+        let key = self.parse_string()?;
+        self.expect(b':')?;
+        Ok(Some(key))
+    }
+
+    fn variant_begin(&mut self) -> Result<(String, bool), Error> {
+        match self.peek() {
+            Some(b'"') => Ok((self.parse_string_inner()?, false)),
+            Some(b'{') => {
+                self.pos += 1;
+                let variant = self.parse_string()?;
+                self.expect(b':')?;
+                Ok((variant, true))
+            }
+            _ => Err(self.error("expected an enum (string or single-key object)")),
+        }
+    }
+
+    fn variant_end(&mut self, has_payload: bool) -> Result<(), Error> {
+        if has_payload {
+            self.expect(b'}')?;
+        }
+        Ok(())
+    }
+
+    fn skip_value(&mut self) -> Result<(), Error> {
+        match self.peek() {
+            Some(b'"') => {
+                self.parse_string_inner()?;
+                Ok(())
+            }
+            Some(b'[') => {
+                self.seq_begin()?;
+                while self.seq_next()? {
+                    self.skip_value()?;
+                }
+                Ok(())
+            }
+            Some(b'{') => {
+                self.map_begin()?;
+                while self.map_key()?.is_some() {
+                    self.skip_value()?;
+                }
+                Ok(())
+            }
+            Some(b't') | Some(b'f') => {
+                self.parse_bool()?;
+                Ok(())
+            }
+            Some(b'n') => {
+                if self.eat_word("null") {
+                    Ok(())
+                } else {
+                    Err(self.error("expected null"))
+                }
+            }
+            Some(_) => {
+                self.number_token()?;
+                Ok(())
+            }
+            None => Err(self.error("expected a value")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(to_string(&42u64).unwrap(), "42");
+        assert_eq!(to_string(&-7i32).unwrap(), "-7");
+        assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
+        assert_eq!(to_string(&2.0f64).unwrap(), "2.0");
+        assert_eq!(
+            to_string(&"hi\n\"there\"").unwrap(),
+            "\"hi\\n\\\"there\\\"\""
+        );
+        assert!(from_str::<bool>("true").unwrap());
+        assert_eq!(from_str::<u64>(" 42 ").unwrap(), 42);
+        assert_eq!(from_str::<f64>("1.5e3").unwrap(), 1500.0);
+        assert_eq!(from_str::<String>("\"a\\u0041b\"").unwrap(), "aAb");
+    }
+
+    #[test]
+    fn extreme_numbers_round_trip_exactly() {
+        for v in [u64::MAX, u64::MAX - 1, 0, 1 << 63] {
+            let s = to_string(&v).unwrap();
+            assert_eq!(from_str::<u64>(&s).unwrap(), v);
+        }
+        for v in [
+            f64::MIN_POSITIVE,
+            f64::MAX,
+            -0.0,
+            0.1 + 0.2,
+            1.0 / 3.0,
+            6.02214076e23,
+        ] {
+            let s = to_string(&v).unwrap();
+            assert_eq!(from_str::<f64>(&s).unwrap().to_bits(), v.to_bits(), "{s}");
+        }
+    }
+
+    #[test]
+    fn non_finite_floats_become_null_then_nan() {
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+        assert_eq!(to_string(&f64::INFINITY).unwrap(), "null");
+        assert!(from_str::<f64>("null").unwrap().is_nan());
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![1u32, 2, 3];
+        let s = to_string(&v).unwrap();
+        assert_eq!(s, "[1,2,3]");
+        assert_eq!(from_str::<Vec<u32>>(&s).unwrap(), v);
+
+        let t: (u64, f64) = (9, 0.25);
+        let s = to_string(&t).unwrap();
+        assert_eq!(from_str::<(u64, f64)>(&s).unwrap(), t);
+
+        let a: [u8; 3] = [7, 8, 9];
+        assert_eq!(from_str::<[u8; 3]>(&to_string(&a).unwrap()).unwrap(), a);
+        assert!(from_str::<[u8; 3]>("[1,2]").is_err());
+
+        let o: Option<u32> = None;
+        assert_eq!(to_string(&o).unwrap(), "null");
+        assert_eq!(from_str::<Option<u32>>("null").unwrap(), None);
+        assert_eq!(from_str::<Option<u32>>("5").unwrap(), Some(5));
+    }
+
+    #[test]
+    fn malformed_input_is_rejected() {
+        assert!(from_str::<Vec<u32>>("[1,2,]").is_err());
+        assert!(from_str::<Vec<u32>>("[1 2]").is_err());
+        assert!(from_str::<u64>("12x").is_err());
+        assert!(from_str::<u64>("1.5").is_err());
+        assert!(from_str::<bool>("yes").is_err());
+        assert!(from_str::<String>("\"unterminated").is_err());
+        assert!(from_str::<u64>("5 trailing").is_err());
+    }
+
+    #[test]
+    fn pretty_output_is_indented_and_parses() {
+        let v = vec![vec![1u8], vec![2, 3]];
+        let s = to_string_pretty(&v).unwrap();
+        assert!(s.contains("\n  "), "{s}");
+        assert_eq!(from_str::<Vec<Vec<u8>>>(&s).unwrap(), v);
+    }
+}
