@@ -363,13 +363,172 @@ impl GridReport {
     }
 }
 
+/// A grid spec expanded into its executable form: the effective base
+/// config, the flat cell list, and the report wiring that turns the cells'
+/// results back into a [`GridReport`].
+///
+/// This is the seam the streaming path uses: [`GridSpec::run`] feeds the
+/// cells through one blocking [`runner::run_grid`] wave, while the
+/// `cdcs-serve` daemon hands the same cells to a
+/// [`cdcs_sim::GridSession`] on its shared pool, streams per-cell
+/// progress, and calls [`ExpandedGrid::assemble`] when the last cell
+/// lands — both produce identical reports because assembly only depends
+/// on `(cells, results)`.
+pub struct ExpandedGrid {
+    /// The configuration every cell runs under (auto-intra-cell applied).
+    pub config: SimConfig,
+    /// The flat cell list, in expansion order.
+    pub cells: Vec<GridCell>,
+    cell_meta: Vec<CellReportMeta>,
+    layout: Vec<GroupLayout>,
+}
+
+impl ExpandedGrid {
+    /// Splits the expansion into the executable half (config + cells,
+    /// which a [`cdcs_sim::GridSession`] takes ownership of) and the
+    /// report-assembly half (kept until the results stream back).
+    pub fn into_parts(self) -> (SimConfig, Vec<GridCell>, GridAssembly) {
+        (
+            self.config,
+            self.cells,
+            GridAssembly {
+                cell_meta: self.cell_meta,
+                layout: self.layout,
+            },
+        )
+    }
+
+    /// Assembles per-cell results (in cell order) into the structured
+    /// report: per-cell [`CellReport`]s plus per-group rollups.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `results` does not hold exactly one result per cell.
+    pub fn assemble(self, results: Vec<SimResult>) -> GridReport {
+        assert_eq!(
+            results.len(),
+            self.cells.len(),
+            "one result per expanded cell"
+        );
+        let (_, _, assembly) = self.into_parts();
+        assembly.assemble(results)
+    }
+}
+
+/// The report-wiring half of an [`ExpandedGrid`] (see
+/// [`ExpandedGrid::into_parts`]): turns the cells' results into a
+/// [`GridReport`] once they have all arrived.
+pub struct GridAssembly {
+    cell_meta: Vec<CellReportMeta>,
+    layout: Vec<GroupLayout>,
+}
+
+impl GridAssembly {
+    /// Assembles per-cell results (in cell order) into the structured
+    /// report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `results` does not hold exactly one result per expanded
+    /// cell.
+    pub fn assemble(self, results: Vec<SimResult>) -> GridReport {
+        assert_eq!(
+            results.len(),
+            self.cell_meta.len(),
+            "one result per expanded cell"
+        );
+        let cells: Vec<CellReport> = self
+            .cell_meta
+            .into_iter()
+            .zip(results)
+            .map(|(meta, result)| CellReport {
+                patch: meta.patch,
+                seed: meta.seed,
+                mix: meta.mix,
+                scheme: meta.scheme,
+                role: meta.role,
+                result,
+            })
+            .collect();
+
+        let groups =
+            self.layout
+                .into_iter()
+                .map(|group| {
+                    let alone: Vec<f64> = group
+                        .alone_cells
+                        .iter()
+                        .map(|&i| cells[i].result.process_perf()[0])
+                        .collect();
+                    let rows = group
+                        .scheme_cells
+                        .iter()
+                        .map(|&idx| {
+                            let result = &cells[idx].result;
+                            let weighted_speedup = group
+                                .baseline
+                                .filter(|_| !alone.is_empty())
+                                .map(|baseline| {
+                                    runner::weighted_speedup_vs(
+                                        result,
+                                        &cells[baseline].result,
+                                        &alone,
+                                    )
+                                });
+                            let e = &result.energy;
+                            SchemeRow {
+                                scheme: cells[idx].scheme.clone(),
+                                cell: idx,
+                                weighted_speedup,
+                                on_chip_latency: result.mean_on_chip_latency(),
+                                off_chip_latency: result.mean_off_chip_latency(),
+                                instructions: result.system.instructions,
+                                flit_hops: std::array::from_fn(|k| {
+                                    result
+                                        .system
+                                        .traffic
+                                        .flit_hops(cdcs_mesh::TrafficClass::ALL[k])
+                                        as f64
+                                }),
+                                energy_nj: [e.static_nj, e.core_nj, e.net_nj, e.llc_nj, e.mem_nj],
+                            }
+                        })
+                        .collect();
+                    GroupReport {
+                        patch: group.patch,
+                        seed: group.seed,
+                        mix: group.mix,
+                        baseline: group.baseline,
+                        alone,
+                        rows,
+                    }
+                })
+                .collect();
+
+        GridReport { cells, groups }
+    }
+}
+
 impl GridSpec {
-    /// Expands the spec and executes every cell in one parallel wave.
+    /// Expands the spec and executes every cell in one parallel wave:
+    /// a thin collector over the session-backed [`runner::run_grid`].
     ///
     /// # Errors
     ///
     /// Propagates mix-materialization and simulation-construction errors.
     pub fn run(&self) -> Result<GridReport, String> {
+        let expanded = self.expand()?;
+        let results = runner::run_grid(&expanded.config, &expanded.cells)?;
+        Ok(expanded.assemble(results))
+    }
+
+    /// Expands every axis into the flat cell list plus report wiring,
+    /// without executing anything.
+    ///
+    /// # Errors
+    ///
+    /// Rejects empty axes and propagates mix-materialization errors.
+    pub fn expand(&self) -> Result<ExpandedGrid, String> {
         if self.schemes.is_empty() {
             return Err("experiment declares no schemes".into());
         }
@@ -507,77 +666,12 @@ impl GridSpec {
             }
         }
 
-        // The single parallel wave.
-        let results = runner::run_grid(&config, &cells)?;
-
-        let cells: Vec<CellReport> = cell_meta
-            .into_iter()
-            .zip(results)
-            .map(|(meta, result)| CellReport {
-                patch: meta.patch,
-                seed: meta.seed,
-                mix: meta.mix,
-                scheme: meta.scheme,
-                role: meta.role,
-                result,
-            })
-            .collect();
-
-        let groups = layout
-            .into_iter()
-            .map(|group| {
-                let alone: Vec<f64> = group
-                    .alone_cells
-                    .iter()
-                    .map(|&i| cells[i].result.process_perf()[0])
-                    .collect();
-                let rows = group
-                    .scheme_cells
-                    .iter()
-                    .map(|&idx| {
-                        let result = &cells[idx].result;
-                        let weighted_speedup =
-                            group
-                                .baseline
-                                .filter(|_| !alone.is_empty())
-                                .map(|baseline| {
-                                    runner::weighted_speedup_vs(
-                                        result,
-                                        &cells[baseline].result,
-                                        &alone,
-                                    )
-                                });
-                        let e = &result.energy;
-                        SchemeRow {
-                            scheme: cells[idx].scheme.clone(),
-                            cell: idx,
-                            weighted_speedup,
-                            on_chip_latency: result.mean_on_chip_latency(),
-                            off_chip_latency: result.mean_off_chip_latency(),
-                            instructions: result.system.instructions,
-                            flit_hops: std::array::from_fn(|k| {
-                                result
-                                    .system
-                                    .traffic
-                                    .flit_hops(cdcs_mesh::TrafficClass::ALL[k])
-                                    as f64
-                            }),
-                            energy_nj: [e.static_nj, e.core_nj, e.net_nj, e.llc_nj, e.mem_nj],
-                        }
-                    })
-                    .collect();
-                GroupReport {
-                    patch: group.patch,
-                    seed: group.seed,
-                    mix: group.mix,
-                    baseline: group.baseline,
-                    alone,
-                    rows,
-                }
-            })
-            .collect();
-
-        Ok(GridReport { cells, groups })
+        Ok(ExpandedGrid {
+            config,
+            cells,
+            cell_meta,
+            layout,
+        })
     }
 }
 
@@ -704,6 +798,27 @@ mod tests {
             grid.mixes.clear();
         }
         assert!(spec.run().is_err());
+    }
+
+    #[test]
+    fn streamed_session_assembly_matches_blocking_run() {
+        // The server's path: expand, drive a session, assemble from the
+        // streamed results — must be bit-identical to `GridSpec::run`.
+        let spec = two_scheme_spec();
+        let SpecKind::Grid(grid) = &spec.kind else {
+            unreachable!()
+        };
+        let blocking = grid.run().unwrap();
+        let expanded = grid.expand().unwrap();
+        let session = cdcs_sim::GridSession::queued(&expanded.config, expanded.cells.clone());
+        session.drive();
+        let mut results: Vec<Option<cdcs_sim::SimResult>> =
+            (0..expanded.cells.len()).map(|_| None).collect();
+        while let Some(done) = session.recv() {
+            results[done.index] = Some(done.result.unwrap());
+        }
+        let streamed = expanded.assemble(results.into_iter().map(Option::unwrap).collect());
+        assert_eq!(streamed, blocking);
     }
 
     #[test]

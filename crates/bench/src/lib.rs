@@ -73,6 +73,14 @@ pub fn flag(name: &str) -> bool {
 /// loudly when the flag is present without a value.
 pub fn arg_value(name: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
+    arg_value_from(&args, name)
+}
+
+/// [`arg_value`] over an explicit argument list — the shared core, also
+/// used by the `cdcs-serve` / `cdcs` binaries so the flag conventions
+/// (and the missing-value warning) cannot drift between harness and
+/// daemon.
+pub fn arg_value_from(args: &[String], name: &str) -> Option<String> {
     let flag = args.iter().position(|a| a == &format!("--{name}"))?;
     match args.get(flag + 1) {
         Some(value) => Some(value.clone()),

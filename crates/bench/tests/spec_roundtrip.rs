@@ -1,0 +1,61 @@
+//! The experiment server's input contract: every built-in
+//! [`ExperimentSpec`] must survive JSON serialize → deserialize *bit*-equal
+//! (structurally identical spec, and a re-serialization that reproduces the
+//! first byte stream exactly). `specs/quickstart.json` is the committed
+//! exemplar clients submit to `cdcs-serve`; it must stay in lockstep with
+//! `specs::quickstart()`.
+
+use cdcs_bench::exp::ExperimentSpec;
+use cdcs_bench::specs;
+
+#[test]
+fn all_builtin_specs_round_trip_bit_equal() {
+    let all = specs::all_smoke_specs();
+    assert_eq!(all.len(), 19, "the built-in spec catalogue");
+    for spec in all {
+        let json = serde_json::to_string_pretty(&spec)
+            .unwrap_or_else(|e| panic!("serializing {}: {e}", spec.name));
+        let back: ExperimentSpec = serde_json::from_str(&json)
+            .unwrap_or_else(|e| panic!("deserializing {}: {e}", spec.name));
+        assert_eq!(back, spec, "{} drifted through JSON", spec.name);
+        // Byte-level fixpoint: the round-tripped spec serializes to the
+        // very same bytes (floats shortest-round-trip, field order stable).
+        let again = serde_json::to_string_pretty(&back)
+            .unwrap_or_else(|e| panic!("re-serializing {}: {e}", spec.name));
+        assert_eq!(again, json, "{} JSON is not a fixpoint", spec.name);
+    }
+}
+
+const QUICKSTART_SPEC: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../specs/quickstart.json");
+
+/// Maintenance hook, not a check: `CDCS_WRITE_SPECS=1 cargo test -p
+/// cdcs-bench --test spec_roundtrip` rewrites the committed spec from the
+/// constructor (the next test then verifies the result).
+#[test]
+fn regenerate_quickstart_spec_when_asked() {
+    if std::env::var("CDCS_WRITE_SPECS").is_err() {
+        return;
+    }
+    let canonical = serde_json::to_string_pretty(&specs::quickstart()).expect("serializes");
+    std::fs::write(QUICKSTART_SPEC, format!("{canonical}\n")).expect("writing spec");
+}
+
+#[test]
+fn committed_quickstart_spec_matches_the_constructor() {
+    let committed =
+        std::fs::read_to_string(QUICKSTART_SPEC).expect("specs/quickstart.json is committed");
+    let parsed: ExperimentSpec = serde_json::from_str(&committed).expect("committed spec parses");
+    assert_eq!(
+        parsed,
+        specs::quickstart(),
+        "specs/quickstart.json drifted from specs::quickstart()"
+    );
+    // And the file itself is the canonical serialization (regenerate with
+    // `serde_json::to_string_pretty(&specs::quickstart())` + newline).
+    let canonical = serde_json::to_string_pretty(&specs::quickstart()).expect("serializes");
+    assert_eq!(
+        committed,
+        format!("{canonical}\n"),
+        "specs/quickstart.json is not the canonical pretty serialization"
+    );
+}

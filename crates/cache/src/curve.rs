@@ -46,13 +46,36 @@ impl MissCurve {
     /// Panics if any capacity is negative or non-finite, or any miss count is
     /// non-finite.
     pub fn new(mut points: Vec<(f64, f64)>) -> Self {
-        for &(c, m) in &points {
+        let mut curve = MissCurve { points: Vec::new() };
+        curve.rebuild(&mut points);
+        curve
+    }
+
+    /// Re-initializes this curve from raw `(capacity, misses)` samples,
+    /// applying exactly [`Self::new`]'s normalization (sort, duplicate
+    /// merge, zero-point synthesis, monotone repair) while reusing this
+    /// curve's point buffer — the pooled construction path the per-epoch
+    /// planner uses so rebuilding total-latency curves allocates nothing
+    /// once warm. `points` is consumed as working storage (sorted in
+    /// place).
+    ///
+    /// # Panics
+    ///
+    /// As [`Self::new`].
+    pub fn rebuild(&mut self, points: &mut [(f64, f64)]) {
+        for &(c, m) in points.iter() {
             assert!(c.is_finite() && c >= 0.0, "invalid capacity {c}");
             assert!(m.is_finite(), "invalid miss count {m}");
         }
-        points.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
-        let mut merged: Vec<(f64, f64)> = Vec::with_capacity(points.len());
-        for (c, m) in points {
+        // An unstable sort cannot change the result: capacities within the
+        // 1e-9 merge tolerance collapse into one point whose miss count is
+        // the (order-independent) minimum, and the surviving capacity of an
+        // exactly-equal run is the shared value itself.
+        points.sort_unstable_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        let merged = &mut self.points;
+        merged.clear();
+        merged.reserve(points.len() + 1);
+        for &(c, m) in points.iter() {
             let m = m.max(0.0);
             match merged.last_mut() {
                 Some(last) if (last.0 - c).abs() < 1e-9 => last.1 = last.1.min(m),
@@ -65,11 +88,10 @@ impl MissCurve {
         }
         // Monotone repair: running minimum.
         let mut running = f64::INFINITY;
-        for p in &mut merged {
+        for p in merged {
             running = running.min(p.1);
             p.1 = running;
         }
-        MissCurve { points: merged }
     }
 
     /// A curve that is identically zero (an app that never misses).
@@ -77,6 +99,13 @@ impl MissCurve {
         MissCurve {
             points: vec![(0.0, 0.0)],
         }
+    }
+
+    /// An empty placeholder curve for pooled buffers ([`Self::rebuild`] /
+    /// [`Self::convex_hull_into`] targets). **Not a valid curve** until
+    /// rebuilt: every query method panics on it.
+    pub fn placeholder() -> Self {
+        MissCurve { points: Vec::new() }
     }
 
     /// A flat curve: `misses` at every capacity (a streaming app that gets no
@@ -196,10 +225,21 @@ impl MissCurve {
     /// resources, and convexity makes greedy marginal-utility allocation
     /// exact. Returns a curve whose points are the hull vertices.
     pub fn convex_hull(&self) -> MissCurve {
+        let mut out = MissCurve { points: Vec::new() };
+        self.convex_hull_into(&mut out);
+        out
+    }
+
+    /// [`Self::convex_hull`] into a caller-pooled curve (identical hull,
+    /// zero allocations once `out`'s buffer is warm).
+    pub fn convex_hull_into(&self, out: &mut MissCurve) {
+        let hull = &mut out.points;
+        hull.clear();
+        hull.reserve(self.points.len());
         if self.points.len() <= 2 {
-            return self.clone();
+            hull.extend_from_slice(&self.points);
+            return;
         }
-        let mut hull: Vec<(f64, f64)> = Vec::with_capacity(self.points.len());
         for &p in &self.points {
             while hull.len() >= 2 {
                 let a = hull[hull.len() - 2];
@@ -215,7 +255,6 @@ impl MissCurve {
             }
             hull.push(p);
         }
-        MissCurve { points: hull }
     }
 
     /// Builds a curve by evaluating `f` on a capacity grid. Used to build
@@ -401,6 +440,42 @@ mod tests {
     fn hits_gained_is_difference() {
         let c = MissCurve::new(vec![(0.0, 100.0), (100.0, 0.0)]);
         assert!((c.hits_gained(0.0, 50.0) - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rebuild_matches_new_and_reuses_the_buffer() {
+        let samples = vec![
+            (100.0, 50.0),
+            (0.0, 40.0),
+            (200.0, 60.0),
+            (100.0, 45.0),
+            (64.0, -3.0),
+        ];
+        let fresh = MissCurve::new(samples.clone());
+        let mut pooled = MissCurve::placeholder();
+        let mut raw = samples.clone();
+        pooled.rebuild(&mut raw);
+        assert_eq!(pooled, fresh);
+        // Rebuilding again from different samples reuses the same buffer
+        // and still matches `new` exactly.
+        let mut raw2 = vec![(0.0, 9.0), (8.0, 1.0)];
+        pooled.rebuild(&mut raw2);
+        assert_eq!(pooled, MissCurve::new(vec![(0.0, 9.0), (8.0, 1.0)]));
+    }
+
+    #[test]
+    fn convex_hull_into_matches_convex_hull() {
+        let curves = [
+            MissCurve::new(vec![(0.0, 100.0), (10.0, 90.0), (20.0, 20.0), (30.0, 10.0)]),
+            MissCurve::new(vec![(0.0, 10.0)]),
+            MissCurve::zero(),
+            MissCurve::new(vec![(0.0, 50.0), (5.0, 49.0), (10.0, 10.0), (15.0, 9.0)]),
+        ];
+        let mut pooled = MissCurve::placeholder();
+        for c in &curves {
+            c.convex_hull_into(&mut pooled);
+            assert_eq!(pooled, c.convex_hull());
+        }
     }
 
     #[test]

@@ -6,8 +6,8 @@
 //! the reconfiguration, so CDCS uses an *optimistic* estimate: the VC placed
 //! compactly around the center of the chip (Fig. 6).
 
-use super::{peekahead, AllocOptions};
-use crate::{PlacementProblem, VcId};
+use super::{peekahead_from_segments, push_hull_segments, AllocOptions, AllocScratch};
+use crate::{PlacementProblem, PlanScratch, VcId};
 use cdcs_cache::MissCurve;
 use cdcs_mesh::geometry;
 
@@ -27,26 +27,33 @@ use cdcs_mesh::geometry;
 pub fn total_latency_curve(problem: &PlacementProblem, vc: VcId) -> MissCurve {
     let center = geometry::chip_center(problem.params.mesh());
     let dists = geometry::CompactDistances::new(problem.params.mesh(), center);
-    total_latency_curve_cached(problem, vc, &dists)
+    let mut grid = Vec::new();
+    let mut raw = Vec::new();
+    let mut curve = MissCurve::placeholder();
+    total_latency_curve_into(problem, vc, &dists, &mut grid, &mut raw, &mut curve);
+    curve
 }
 
-/// [`total_latency_curve`] with the chip-center distance table precomputed.
-///
-/// The curve evaluates the optimistic mean distance at every grid point of
-/// every VC; the distances from the chip center depend only on the mesh, so
-/// [`latency_aware_sizes`] computes them once per call instead of
-/// re-sorting the tile list per evaluation.
-fn total_latency_curve_cached(
+/// [`total_latency_curve`] with the chip-center distance table precomputed
+/// and every buffer caller-pooled: the capacity grid, the raw samples, and
+/// the output curve itself (rebuilt in place). The distances from the chip
+/// center depend only on the mesh, so [`latency_aware_sizes_into`] caches
+/// them in the scratch instead of re-sorting the tile list per evaluation.
+fn total_latency_curve_into(
     problem: &PlacementProblem,
     vc: VcId,
     dists: &geometry::CompactDistances,
-) -> MissCurve {
+    grid: &mut Vec<f64>,
+    raw: &mut Vec<(f64, f64)>,
+    out: &mut MissCurve,
+) {
     let params = &problem.params;
     let info = &problem.vcs[vc as usize];
     let accesses = problem.vc_accesses(vc);
     let per_hop = f64::from(params.noc().round_trip_latency(1));
 
-    let mut grid: Vec<f64> = info.curve.points().iter().map(|p| p.0).collect();
+    grid.clear();
+    grid.extend(info.curve.points().iter().map(|p| p.0));
     let max_cap = params.total_lines() as f64;
     let mut c = params.bank_lines as f64;
     while c <= max_cap {
@@ -55,55 +62,135 @@ fn total_latency_curve_cached(
     }
     grid.push(max_cap);
     grid.retain(|&c| c <= max_cap);
-    grid.sort_by(|a, b| a.partial_cmp(b).expect("finite capacities"));
+    // Unstable sort of plain values: equal keys are interchangeable, so
+    // the sorted sequence (and the dedup below) is identical to the
+    // definitional stable sort's.
+    grid.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite capacities"));
     grid.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
 
     // The grid is ascending, so the miss curve is evaluated with a monotone
     // cursor: one sweep over the curve's points instead of a binary search
     // per grid point (identical values — see `CurveCursor`).
     let mut misses = info.curve.cursor();
-    MissCurve::from_fn(&grid, |s| {
+    raw.clear();
+    raw.extend(grid.iter().map(|&s| {
         let off_chip = misses.misses_at(s) * params.mem_latency;
         let mean_dist = dists.mean_distance(s / params.bank_lines as f64);
         let on_chip = accesses * mean_dist * per_hop;
-        off_chip + on_chip
-    })
+        (s, off_chip + on_chip)
+    }));
+    out.rebuild(raw);
 }
 
 /// CDCS latency-aware capacity allocation (§IV-C): Peekahead over
 /// total-latency curves, leaving capacity unused when further allocation
 /// would raise latency.
+///
+/// One-shot wrapper over [`latency_aware_sizes_into`] (allocates a fresh
+/// scratch).
 pub fn latency_aware_sizes(problem: &PlacementProblem, granularity: u64) -> Vec<u64> {
-    let center = geometry::chip_center(problem.params.mesh());
-    let dists = geometry::CompactDistances::new(problem.params.mesh(), center);
-    let curves: Vec<MissCurve> = (0..problem.vcs.len())
-        .map(|d| total_latency_curve_cached(problem, d as VcId, &dists))
-        .collect();
-    peekahead(
-        &curves,
+    let mut out = Vec::new();
+    latency_aware_sizes_into(problem, granularity, &mut PlanScratch::new(), &mut out);
+    out
+}
+
+/// [`latency_aware_sizes`] against caller-owned buffers: the per-VC
+/// total-latency curves, their hulls, the chip-center distance table, and
+/// all of Peekahead's working state live in the scratch, so per-epoch
+/// reallocation runs allocation-free once warm (each VC's curve is built,
+/// hulled, and reduced to segments before the next VC's overwrites the
+/// buffers — nothing per-VC is retained).
+pub fn latency_aware_sizes_into(
+    problem: &PlacementProblem,
+    granularity: u64,
+    scratch: &mut PlanScratch,
+    out: &mut Vec<u64>,
+) {
+    let scratch = &mut scratch.alloc;
+    let mesh = *problem.params.mesh();
+    let stale = scratch.dists.as_ref().is_none_or(|(m, _)| *m != mesh);
+    if stale {
+        let center = geometry::chip_center(&mesh);
+        scratch.dists = Some((mesh, geometry::CompactDistances::new(&mesh, center)));
+    }
+    scratch.segments.clear();
+    let AllocScratch {
+        grid,
+        raw,
+        curve,
+        hull,
+        dists,
+        segments,
+        ..
+    } = scratch;
+    let (_, dists) = dists.as_ref().expect("distance cache ensured above");
+    for d in 0..problem.vcs.len() {
+        total_latency_curve_into(problem, d as VcId, dists, grid, raw, curve);
+        curve.convex_hull_into(hull);
+        push_hull_segments(d, hull, segments);
+    }
+    scratch.demanders.clear();
+    peekahead_from_segments(
+        problem.vcs.len(),
         AllocOptions {
             total_lines: problem.params.total_lines(),
             granularity,
             use_all_capacity: false,
             tie_tolerance: 0.25,
         },
-    )
+        scratch,
+        out,
+    );
 }
 
 /// Jigsaw's miss-driven allocation: Peekahead over raw miss curves, spreading
 /// leftover capacity over all demanders ("sizes VCs obliviously to their
 /// latency", §IV).
+///
+/// One-shot wrapper over [`miss_driven_sizes_into`] (allocates a fresh
+/// scratch).
 pub fn miss_driven_sizes(problem: &PlacementProblem, granularity: u64) -> Vec<u64> {
-    let curves: Vec<MissCurve> = problem.vcs.iter().map(|v| v.curve.clone()).collect();
-    peekahead(
-        &curves,
+    let mut out = Vec::new();
+    miss_driven_sizes_into(problem, granularity, &mut PlanScratch::new(), &mut out);
+    out
+}
+
+/// [`miss_driven_sizes`] against caller-owned buffers (hulls are built
+/// straight from the problem's miss curves — no clones, no per-epoch
+/// allocation once warm).
+pub fn miss_driven_sizes_into(
+    problem: &PlacementProblem,
+    granularity: u64,
+    scratch: &mut PlanScratch,
+    out: &mut Vec<u64>,
+) {
+    let scratch = &mut scratch.alloc;
+    scratch.segments.clear();
+    let AllocScratch { hull, segments, .. } = scratch;
+    for (d, vc) in problem.vcs.iter().enumerate() {
+        vc.curve.convex_hull_into(hull);
+        push_hull_segments(d, hull, segments);
+    }
+    scratch.demanders.clear();
+    scratch.demanders.extend(
+        problem
+            .vcs
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.curve.at_zero() > 0.0)
+            .map(|(i, _)| i),
+    );
+    peekahead_from_segments(
+        problem.vcs.len(),
         AllocOptions {
             total_lines: problem.params.total_lines(),
             granularity,
             use_all_capacity: true,
             tie_tolerance: 0.25,
         },
-    )
+        scratch,
+        out,
+    );
 }
 
 #[cfg(test)]

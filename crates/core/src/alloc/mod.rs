@@ -17,9 +17,14 @@
 
 mod latency;
 
-pub use latency::{latency_aware_sizes, miss_driven_sizes, total_latency_curve};
+pub use latency::{
+    latency_aware_sizes, latency_aware_sizes_into, miss_driven_sizes, miss_driven_sizes_into,
+    total_latency_curve,
+};
 
 use cdcs_cache::MissCurve;
+use cdcs_mesh::geometry::CompactDistances;
+use cdcs_mesh::Mesh;
 
 /// Options for [`peekahead`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -59,10 +64,94 @@ impl AllocOptions {
 /// A hull segment: allocating `lines` more lines to `vc` lowers its curve by
 /// `benefit_per_line * lines`.
 #[derive(Debug, Clone, Copy)]
-struct Segment {
+pub(crate) struct Segment {
     vc: usize,
     lines: f64,
     benefit_per_line: f64,
+    /// Build-order index, the tie-break that makes the unstable
+    /// best-first sort reproduce the definitional stable sort exactly.
+    seq: usize,
+}
+
+/// Reusable buffers for the whole capacity-allocation step: the per-VC
+/// total-latency curve and hull under construction, the chip-center
+/// distance cache, the extracted hull segments, and every working vector
+/// Peekahead and its rounding pass need.
+///
+/// One scratch serves any sequence of problems (buffers grow to the
+/// largest problem seen; the distance cache is rebuilt only when the mesh
+/// changes). Owned by [`crate::PlanScratch`], so threading the planner's
+/// scratch through [`latency_aware_sizes_into`] makes entire
+/// reconfigurations allocation-free in steady state — pinned by
+/// `crates/core/tests/alloc_free.rs`.
+#[derive(Debug)]
+pub struct AllocScratch {
+    /// Capacity grid under construction (latency-aware allocation).
+    pub(crate) grid: Vec<f64>,
+    /// Raw `(capacity, cost)` samples before curve normalization.
+    pub(crate) raw: Vec<(f64, f64)>,
+    /// The current VC's total-latency curve (rebuilt per VC).
+    pub(crate) curve: MissCurve,
+    /// The current VC's convex hull (rebuilt per VC).
+    pub(crate) hull: MissCurve,
+    /// Chip-center compact-placement distances, cached per mesh.
+    pub(crate) dists: Option<(Mesh, CompactDistances)>,
+    /// Beneficial hull segments of every VC.
+    pub(crate) segments: Vec<Segment>,
+    /// Fractional allocation per VC.
+    alloc: Vec<f64>,
+    /// Per-group remaining lines (tie-sharing walk).
+    rem: Vec<f64>,
+    /// Remainder-descending VC order (granularity rounding).
+    order: Vec<usize>,
+    /// VCs with non-zero demand (`use_all_capacity` spreading).
+    pub(crate) demanders: Vec<usize>,
+}
+
+impl Default for AllocScratch {
+    fn default() -> Self {
+        AllocScratch {
+            grid: Vec::new(),
+            raw: Vec::new(),
+            curve: MissCurve::placeholder(),
+            hull: MissCurve::placeholder(),
+            dists: None,
+            segments: Vec::new(),
+            alloc: Vec::new(),
+            rem: Vec::new(),
+            order: Vec::new(),
+            demanders: Vec::new(),
+        }
+    }
+}
+
+impl AllocScratch {
+    /// An empty scratch; buffers are sized on first use.
+    pub fn new() -> Self {
+        AllocScratch::default()
+    }
+}
+
+/// Appends `hull`'s beneficial segments for `vc` to `segments` (the
+/// per-curve half of [`peekahead`]'s segment construction).
+fn push_hull_segments(vc: usize, hull: &MissCurve, segments: &mut Vec<Segment>) {
+    for w in hull.points().windows(2) {
+        let (c0, m0) = w[0];
+        let (c1, m1) = w[1];
+        let lines = c1 - c0;
+        if lines <= 0.0 {
+            continue;
+        }
+        let benefit = (m0 - m1) / lines;
+        if benefit > 0.0 {
+            segments.push(Segment {
+                vc,
+                lines,
+                benefit_per_line: benefit,
+                seq: segments.len(),
+            });
+        }
+    }
 }
 
 /// Allocates `opts.total_lines` among benefit curves by greedy convex-hull
@@ -81,35 +170,80 @@ struct Segment {
 ///
 /// Panics if `opts.granularity` is zero.
 pub fn peekahead(curves: &[MissCurve], opts: AllocOptions) -> Vec<u64> {
+    let mut out = Vec::new();
+    peekahead_into(curves, opts, &mut AllocScratch::new(), &mut out);
+    out
+}
+
+/// [`peekahead`] against caller-owned buffers, writing the allocations
+/// into `out` (identical values, zero steady-state allocations once the
+/// scratch is warm).
+///
+/// # Panics
+///
+/// As [`peekahead`].
+pub fn peekahead_into(
+    curves: &[MissCurve],
+    opts: AllocOptions,
+    scratch: &mut AllocScratch,
+    out: &mut Vec<u64>,
+) {
+    scratch.segments.clear();
+    let AllocScratch { hull, segments, .. } = scratch;
+    for (vc, curve) in curves.iter().enumerate() {
+        curve.convex_hull_into(hull);
+        push_hull_segments(vc, hull, segments);
+    }
+    scratch.demanders.clear();
+    if opts.use_all_capacity {
+        scratch.demanders.extend(
+            curves
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.at_zero() > 0.0)
+                .map(|(i, _)| i),
+        );
+    }
+    peekahead_from_segments(curves.len(), opts, scratch, out);
+}
+
+/// The allocator core over pre-extracted hull segments (`scratch.segments`,
+/// built by [`push_hull_segments`]) and pre-computed `scratch.demanders`
+/// (only read when `opts.use_all_capacity`). Writes per-VC allocations into
+/// `out`.
+///
+/// # Panics
+///
+/// Panics if `opts.granularity` is zero.
+fn peekahead_from_segments(
+    num_vcs: usize,
+    opts: AllocOptions,
+    scratch: &mut AllocScratch,
+    out: &mut Vec<u64>,
+) {
     assert!(opts.granularity > 0, "granularity must be non-zero");
-    let mut alloc = vec![0.0f64; curves.len()];
+    let AllocScratch {
+        segments,
+        alloc,
+        rem,
+        order,
+        demanders,
+        ..
+    } = scratch;
+    alloc.clear();
+    alloc.resize(num_vcs, 0.0f64);
     let mut remaining = opts.total_lines as f64;
 
-    // Build all beneficial hull segments up front; convexity means each VC's
-    // segments have non-increasing benefit density, so a global sort visits
-    // them in exactly the order iterative lookahead would.
-    let mut segments: Vec<Segment> = Vec::new();
-    for (vc, curve) in curves.iter().enumerate() {
-        let hull = curve.convex_hull();
-        let pts = hull.points();
-        for w in pts.windows(2) {
-            let (c0, m0) = w[0];
-            let (c1, m1) = w[1];
-            let lines = c1 - c0;
-            if lines <= 0.0 {
-                continue;
-            }
-            let benefit = (m0 - m1) / lines;
-            if benefit > 0.0 {
-                segments.push(Segment {
-                    vc,
-                    lines,
-                    benefit_per_line: benefit,
-                });
-            }
-        }
-    }
-    segments.sort_by(|a, b| b.benefit_per_line.partial_cmp(&a.benefit_per_line).unwrap());
+    // Best-first order. Convexity means each VC's segments have
+    // non-increasing benefit density, so this visits them in exactly the
+    // order iterative lookahead would; the `seq` tie-break makes the
+    // unstable (allocation-free) sort equivalent to the stable one.
+    segments.sort_unstable_by(|a, b| {
+        b.benefit_per_line
+            .partial_cmp(&a.benefit_per_line)
+            .unwrap()
+            .then(a.seq.cmp(&b.seq))
+    });
 
     // Walk segments best-first; near-tied groups share capacity in
     // granularity-sized chunks round-robin so that ties do not serialize.
@@ -120,7 +254,8 @@ pub fn peekahead(curves: &[MissCurve], opts: AllocOptions) -> Vec<u64> {
         while j < segments.len() && segments[j].benefit_per_line >= group_floor {
             j += 1;
         }
-        let mut rem: Vec<f64> = segments[i..j].iter().map(|s| s.lines).collect();
+        rem.clear();
+        rem.extend(segments[i..j].iter().map(|s| s.lines));
         loop {
             let mut progressed = false;
             for (k, seg) in segments[i..j].iter().enumerate() {
@@ -145,53 +280,53 @@ pub fn peekahead(curves: &[MissCurve], opts: AllocOptions) -> Vec<u64> {
 
     // Round to granularity, preserving the grand total (largest remainders
     // get the leftover chunks).
-    let mut rounded = round_to_granularity(&alloc, opts.granularity, opts.total_lines);
+    round_to_granularity_into(alloc, opts.granularity, opts.total_lines, order, out);
 
     if opts.use_all_capacity {
-        let mut left = opts.total_lines - rounded.iter().sum::<u64>();
-        let demanders: Vec<usize> = curves
-            .iter()
-            .enumerate()
-            .filter(|(_, c)| c.at_zero() > 0.0)
-            .map(|(i, _)| i)
-            .collect();
+        let mut left = opts.total_lines - out.iter().sum::<u64>();
         if !demanders.is_empty() {
             let mut i = 0;
             while left > 0 {
                 let chunk = opts.granularity.min(left);
-                rounded[demanders[i % demanders.len()]] += chunk;
+                out[demanders[i % demanders.len()]] += chunk;
                 left -= chunk;
                 i += 1;
             }
         }
     }
-    rounded
 }
 
 /// Rounds fractional allocations down to multiples of `granularity`, then
 /// hands whole chunks back to the largest fractional remainders while the
 /// `total` budget allows. All outputs are multiples of `granularity` and the
-/// sum never exceeds `total`.
-fn round_to_granularity(alloc: &[f64], granularity: u64, total: u64) -> Vec<u64> {
+/// sum never exceeds `total`. `order` is a caller-pooled index buffer; the
+/// result lands in `out`.
+fn round_to_granularity_into(
+    alloc: &[f64],
+    granularity: u64,
+    total: u64,
+    order: &mut Vec<usize>,
+    out: &mut Vec<u64>,
+) {
     let g = granularity as f64;
-    let mut rounded: Vec<u64> = alloc
-        .iter()
-        .map(|&a| (a / g).floor() as u64 * granularity)
-        .collect();
-    let mut sum: u64 = rounded.iter().sum();
-    let mut order: Vec<usize> = (0..alloc.len()).collect();
-    order.sort_by(|&a, &b| {
+    out.clear();
+    out.extend(alloc.iter().map(|&a| (a / g).floor() as u64 * granularity));
+    let mut sum: u64 = out.iter().sum();
+    order.clear();
+    order.extend(0..alloc.len());
+    // Remainder-descending with an index tie-break: equivalent to the
+    // definitional stable sort, without its merge buffer.
+    order.sort_unstable_by(|&a, &b| {
         let ra = alloc[a] % g;
         let rb = alloc[b] % g;
-        rb.partial_cmp(&ra).unwrap()
+        rb.partial_cmp(&ra).unwrap().then(a.cmp(&b))
     });
-    for &i in &order {
+    for &i in order.iter() {
         if alloc[i] % g > 0.0 && sum + granularity <= total {
-            rounded[i] += granularity;
+            out[i] += granularity;
             sum += granularity;
         }
     }
-    rounded
 }
 
 /// Reference O(D·S²/g²) utility-based lookahead (UCP [Qureshi & Patt]) used

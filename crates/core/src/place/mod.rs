@@ -32,11 +32,13 @@ mod optimistic;
 mod refine;
 mod thread;
 
-pub use optimistic::{optimistic_place, optimistic_place_with, OptimisticPlacement};
+pub use optimistic::{
+    optimistic_place, optimistic_place_into, optimistic_place_with, OptimisticPlacement,
+};
 pub use refine::{
     greedy_place, greedy_place_into, greedy_place_with, trade_refine, trade_refine_with,
 };
-pub use thread::{place_threads, place_threads_with};
+pub use thread::{place_threads, place_threads_into, place_threads_with};
 
 use crate::PlacementProblem;
 use cdcs_mesh::geometry::{Point, SpiralTable};
@@ -138,6 +140,16 @@ pub struct PlanScratch {
     pub(crate) preferred: Vec<Point>,
     /// Thread placement: occupied tiles.
     pub(crate) taken: Vec<bool>,
+    /// Capacity-allocation scratch (total-latency curves, hulls, Peekahead
+    /// working state, chip-center distance cache).
+    pub(crate) alloc: crate::alloc::AllocScratch,
+    /// Pooled per-VC size output (`CdcsPlanner::plan_into` step 1).
+    pub(crate) sizes: Vec<u64>,
+    /// Pooled per-thread core output (`CdcsPlanner::plan_into` step 3).
+    pub(crate) cores: Vec<TileId>,
+    /// Pooled optimistic-placement output (`CdcsPlanner::plan_into`
+    /// step 2).
+    pub(crate) optimistic: optimistic::OptimisticPlacement,
 }
 
 impl PlanScratch {

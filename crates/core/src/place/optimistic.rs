@@ -21,7 +21,10 @@ use cdcs_mesh::{TileId, Topology};
 
 /// Result of optimistic placement: a rough center for every VC with data,
 /// plus the per-bank claimed-capacity tally (in bank units).
-#[derive(Debug, Clone)]
+///
+/// `Default` is an empty placement — a pooled output buffer for
+/// [`optimistic_place_into`], resized on use.
+#[derive(Debug, Clone, Default)]
 pub struct OptimisticPlacement {
     /// Per-VC center of mass of the sketched placement; `None` for VCs with
     /// no allocation.
@@ -88,14 +91,37 @@ pub fn optimistic_place_with(
     current_cores: Option<&[TileId]>,
     scratch: &mut PlanScratch,
 ) -> OptimisticPlacement {
+    let mut out = OptimisticPlacement::default();
+    optimistic_place_into(problem, sizes, current_cores, scratch, &mut out);
+    out
+}
+
+/// [`optimistic_place_with`] writing into a caller-pooled output (the
+/// planner keeps one [`OptimisticPlacement`] buffer in its scratch, so
+/// steady-state reconfigurations emit the sketch without allocating).
+///
+/// # Panics
+///
+/// As [`optimistic_place`].
+pub fn optimistic_place_into(
+    problem: &PlacementProblem,
+    sizes: &[u64],
+    current_cores: Option<&[TileId]>,
+    scratch: &mut PlanScratch,
+    out: &mut OptimisticPlacement,
+) {
     assert_eq!(sizes.len(), problem.vcs.len(), "one size per VC");
     if let Some(cores) = current_cores {
         assert_eq!(cores.len(), problem.threads.len(), "one core per thread");
     }
     let mesh = &problem.params.mesh();
     let n = mesh.num_tiles();
-    let mut claimed = vec![0.0f64; n];
-    let mut centers = vec![None; sizes.len()];
+    let claimed = &mut out.claimed;
+    claimed.clear();
+    claimed.resize(n, 0.0f64);
+    let centers = &mut out.centers;
+    centers.clear();
+    centers.resize(sizes.len(), None);
     scratch.spiral_table(mesh);
 
     // Largest-first, with sizes quantized to half-bank buckets so that
@@ -125,7 +151,7 @@ pub fn optimistic_place_with(
         // Iterate tile ids directly: `Topology::tiles()` collects a fresh
         // Vec, which would put one allocation per VC in the hottest sweep.
         for t in (0..n as u16).map(TileId) {
-            let contention = compact_contention(spiral.from_tile(t), &claimed, size_banks);
+            let contention = compact_contention(spiral.from_tile(t), claimed, size_banks);
             let quantized = (contention / 0.05).round() * 0.05;
             let anchor_dist = anchor.map_or(0.0, |a| {
                 let c = mesh.coord(t);
@@ -155,7 +181,6 @@ pub fn optimistic_place_with(
         }
         centers[d] = Some(center);
     }
-    OptimisticPlacement { centers, claimed }
 }
 
 #[cfg(test)]

@@ -65,6 +65,35 @@ pub fn place_threads_with(
     stability_bias: f64,
     scratch: &mut PlanScratch,
 ) -> Vec<TileId> {
+    let mut out = Vec::new();
+    place_threads_into(
+        problem,
+        sizes,
+        optimistic,
+        prev_cores,
+        stability_bias,
+        scratch,
+        &mut out,
+    );
+    out
+}
+
+/// [`place_threads_with`] writing into a caller-pooled core buffer (the
+/// planner keeps one in its scratch, so steady-state reconfigurations emit
+/// thread placements without allocating).
+///
+/// # Panics
+///
+/// As [`place_threads`].
+pub fn place_threads_into(
+    problem: &PlacementProblem,
+    sizes: &[u64],
+    optimistic: &OptimisticPlacement,
+    prev_cores: Option<&[TileId]>,
+    stability_bias: f64,
+    scratch: &mut PlanScratch,
+    out: &mut Vec<TileId>,
+) {
     assert_eq!(sizes.len(), problem.vcs.len(), "one size per VC");
     assert_eq!(
         optimistic.centers.len(),
@@ -128,7 +157,8 @@ pub fn place_threads_with(
 
     scratch.taken.clear();
     scratch.taken.resize(mesh.num_tiles(), false);
-    let mut cores = vec![TileId(0); problem.threads.len()];
+    out.clear();
+    out.resize(problem.threads.len(), TileId(0));
     for oi in 0..scratch.order.len() {
         let t = scratch.order[oi];
         let home = prev_cores.map(|prev| prev[t]);
@@ -140,9 +170,8 @@ pub fn place_threads_with(
             stability_bias,
         );
         scratch.taken[tile.index()] = true;
-        cores[t] = tile;
+        out[t] = tile;
     }
-    cores
 }
 
 /// The free tile nearest to `p` (ties by tile id). The thread's current
@@ -162,7 +191,9 @@ fn nearest_free_tile(
     let mut best: Option<(f64, TileId)> = home
         .filter(|h| !taken[h.index()])
         .map(|h| (mesh.hops_to_point(h, p.x, p.y) - stability_bias, h));
-    for t in mesh.tiles() {
+    // Iterate tile ids directly (`Topology::tiles()` collects a fresh Vec;
+    // this runs once per thread per epoch): same id order, no allocation.
+    for t in (0..mesh.num_tiles() as u16).map(TileId) {
         if taken[t.index()] || Some(t) == home {
             continue;
         }

@@ -11,9 +11,9 @@
 //!   local bank, shared → chip-wide interleaving, instructions → rotational
 //!   interleaving). S-NUCA needs no planner: lines hash over all banks.
 
-use crate::alloc::{latency_aware_sizes, miss_driven_sizes};
+use crate::alloc::{latency_aware_sizes_into, miss_driven_sizes_into};
 use crate::place::{
-    greedy_place_into, optimistic_place_with, place_threads_with, trade_refine_with, PlanScratch,
+    greedy_place_into, optimistic_place_into, place_threads_into, trade_refine_with, PlanScratch,
 };
 use crate::{Placement, PlacementProblem};
 use cdcs_mesh::{Coord, Mesh, TileId, Topology};
@@ -114,33 +114,52 @@ impl CdcsPlanner {
         scratch: &mut PlanScratch,
         out: &mut Placement,
     ) {
+        // The step outputs live in the scratch between epochs; they are
+        // taken out for the duration of the plan (so the scratch can still
+        // be threaded through each step) and returned warm at the end —
+        // the whole reconfiguration allocates nothing in steady state
+        // (pinned by `crates/core/tests/alloc_free.rs`).
+        let mut sizes = std::mem::take(&mut scratch.sizes);
+        let mut optimistic = std::mem::take(&mut scratch.optimistic);
+        let mut cores = std::mem::take(&mut scratch.cores);
         // Step 1: capacity allocation (latency-aware or miss-driven).
-        let sizes = if self.latency_aware {
-            latency_aware_sizes(problem, self.granularity)
+        if self.latency_aware {
+            latency_aware_sizes_into(problem, self.granularity, scratch, &mut sizes);
         } else {
-            miss_driven_sizes(problem, self.granularity)
-        };
+            miss_driven_sizes_into(problem, self.granularity, scratch, &mut sizes);
+        }
         // Step 2: optimistic contention-aware VC placement, anchored to the
         // current cores on contention ties.
-        let optimistic = optimistic_place_with(problem, &sizes, Some(current_cores), scratch);
+        optimistic_place_into(
+            problem,
+            &sizes,
+            Some(current_cores),
+            scratch,
+            &mut optimistic,
+        );
         // Step 3: thread placement.
-        let cores = if self.place_threads {
-            place_threads_with(
+        if self.place_threads {
+            place_threads_into(
                 problem,
                 &sizes,
                 &optimistic,
                 Some(current_cores),
                 self.stability_bias,
                 scratch,
-            )
+                &mut cores,
+            );
         } else {
-            current_cores.to_vec()
-        };
+            cores.clear();
+            cores.extend_from_slice(current_cores);
+        }
         // Step 4: refined VC placement (greedy start + trades).
         greedy_place_into(problem, &sizes, &cores, self.chunk, scratch, out);
         if self.refine_trades {
             trade_refine_with(problem, out, scratch);
         }
+        scratch.sizes = sizes;
+        scratch.optimistic = optimistic;
+        scratch.cores = cores;
     }
 }
 
@@ -204,8 +223,10 @@ impl JigsawPlanner {
         scratch: &mut PlanScratch,
         out: &mut Placement,
     ) {
-        let sizes = miss_driven_sizes(problem, self.granularity);
+        let mut sizes = std::mem::take(&mut scratch.sizes);
+        miss_driven_sizes_into(problem, self.granularity, scratch, &mut sizes);
         greedy_place_into(problem, &sizes, current_cores, self.chunk, scratch, out);
+        scratch.sizes = sizes;
     }
 }
 

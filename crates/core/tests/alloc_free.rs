@@ -12,7 +12,10 @@
 
 use cdcs_cache::MissCurve;
 use cdcs_core::place::{greedy_place_into, trade_refine_with, vc_bank_cost};
-use cdcs_core::{PlacementProblem, PlanScratch, SystemParams, ThreadInfo, VcInfo, VcKind};
+use cdcs_core::policy::CdcsPlanner;
+use cdcs_core::{
+    Placement, PlacementProblem, PlanScratch, SystemParams, ThreadInfo, VcInfo, VcKind,
+};
 use cdcs_mesh::{Mesh, TileId};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -110,5 +113,36 @@ fn warm_cost_paths_do_not_allocate() {
         allocations, 0,
         "cost-matrix construction / vc_bank_cost / trade search / pooled \
          plan output allocated {allocations} times"
+    );
+
+    // The whole reconfiguration: with the allocation step's curves, hulls
+    // and Peekahead state threaded through the scratch
+    // (`latency_aware_sizes_into` et al.), a full `CdcsPlanner::plan_into`
+    // epoch — all four steps, latency-aware — performs zero steady-state
+    // allocations too.
+    let planner = CdcsPlanner::default();
+    let cores: Vec<TileId> = (0..p.threads.len() as u16).map(TileId).collect();
+    let mut plan = Placement::default();
+    // Warm the allocation-path buffers (sizes, optimistic sketch, cores,
+    // total-latency curves, distance cache).
+    planner.plan_into(&p, &cores, &mut scratch, &mut plan);
+    let mut jigsaw_plan = Placement::default();
+    let jigsaw = cdcs_core::policy::JigsawPlanner::default();
+    jigsaw.plan_into(&p, &cores, &mut scratch, &mut jigsaw_plan);
+
+    ALLOCATIONS.store(0, Ordering::SeqCst);
+    COUNTING.store(true, Ordering::SeqCst);
+    planner.plan_into(&p, &cores, &mut scratch, &mut plan);
+    jigsaw.plan_into(&p, &cores, &mut scratch, &mut jigsaw_plan);
+    COUNTING.store(false, Ordering::SeqCst);
+    let allocations = ALLOCATIONS.load(Ordering::SeqCst);
+
+    plan.check_feasible(&p).expect("plan feasible");
+    jigsaw_plan
+        .check_feasible(&p)
+        .expect("jigsaw plan feasible");
+    assert_eq!(
+        allocations, 0,
+        "a warm whole-reconfiguration plan_into allocated {allocations} times"
     );
 }

@@ -1,0 +1,112 @@
+//! `cdcs`: the experiment-daemon client.
+//!
+//! ```sh
+//! cdcs submit specs/quickstart.json            # -> job id
+//! cdcs status 0                                # live per-cell progress
+//! cdcs report 0 --out out/quickstart.json      # finished report (artifact bytes)
+//! cdcs cancel 0
+//! cdcs run specs/quickstart.json --small       # submit + poll + report
+//! ```
+//!
+//! The server defaults to `127.0.0.1:7077`; override with `--server
+//! host:port` or the `CDCS_SERVER` environment variable. `--small`
+//! rebases a grid spec onto the 4×4 test chip and renames it
+//! `<name>_small` — the same convention as the in-process binaries, so a
+//! served report stays byte-comparable to `out/<name>_small.json`.
+
+use cdcs_bench::arg_value_from;
+use cdcs_bench::exp::{BaseConfig, ExperimentSpec};
+use cdcs_serve::Client;
+use std::time::Duration;
+
+fn client(args: &[String]) -> Client {
+    let addr = arg_value_from(args, "server")
+        .or_else(|| std::env::var("CDCS_SERVER").ok())
+        .unwrap_or_else(|| "127.0.0.1:7077".to_string());
+    Client::new(addr)
+}
+
+/// Reads a spec file, applying the shared `--small` convention.
+fn load_spec(args: &[String], path: &str) -> Result<String, String> {
+    let json = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let mut spec: ExperimentSpec =
+        serde_json::from_str(&json).map_err(|e| format!("parsing {path}: {e}"))?;
+    if args.iter().any(|a| a == "--small") {
+        spec.set_base(BaseConfig::SmallTest);
+        spec.name = format!("{}_small", spec.name);
+    }
+    serde_json::to_string(&spec).map_err(|e| format!("re-serializing spec: {e}"))
+}
+
+fn parse_id(arg: Option<&String>) -> Result<u64, String> {
+    let raw = arg.ok_or("missing job id")?;
+    raw.parse().map_err(|e| format!("job id {raw:?}: {e}"))
+}
+
+/// Prints `report` to stdout, or writes it to `--out FILE`.
+fn emit_report(args: &[String], report: &str) -> Result<(), String> {
+    match arg_value_from(args, "out") {
+        Some(path) => {
+            std::fs::write(&path, report).map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!("[report: {path}]");
+            Ok(())
+        }
+        None => {
+            println!("{report}");
+            Ok(())
+        }
+    }
+}
+
+fn usage() -> String {
+    "usage: cdcs <submit SPEC.json | status ID | report ID | cancel ID | run SPEC.json> \
+     [--server host:port] [--small] [--out FILE] [--poll-ms N]"
+        .to_string()
+}
+
+fn main() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().collect();
+    let command = args.get(1).map(String::as_str).ok_or_else(usage)?;
+    let client = client(&args);
+    match command {
+        "submit" => {
+            let path = args.get(2).ok_or_else(usage)?;
+            let spec = load_spec(&args, path)?;
+            let id = client.submit(&spec)?;
+            println!("{id}");
+            Ok(())
+        }
+        "status" => {
+            let status = client.status(parse_id(args.get(2))?)?;
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&status)
+                    .map_err(|e| format!("serializing status: {e}"))?
+            );
+            Ok(())
+        }
+        "report" => {
+            let report = client.report(parse_id(args.get(2))?)?;
+            emit_report(&args, &report)
+        }
+        "cancel" => {
+            let status = client.cancel(parse_id(args.get(2))?)?;
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&status)
+                    .map_err(|e| format!("serializing status: {e}"))?
+            );
+            Ok(())
+        }
+        "run" => {
+            let path = args.get(2).ok_or_else(usage)?;
+            let spec = load_spec(&args, path)?;
+            let poll = arg_value_from(&args, "poll-ms")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(200u64);
+            let report = client.run(&spec, Duration::from_millis(poll))?;
+            emit_report(&args, &report)
+        }
+        other => Err(format!("unknown subcommand {other:?}\n{}", usage())),
+    }
+}

@@ -1,0 +1,31 @@
+//! The experiment daemon.
+//!
+//! ```sh
+//! cdcs-serve --addr 127.0.0.1:7077 --workers 4
+//! ```
+//!
+//! Accepts `ExperimentSpec` JSON on `POST /jobs`, interleaves cells from
+//! concurrent jobs fairly across one shared worker pool, and serves
+//! per-cell progress and finished reports (see the `cdcs` client).
+
+use cdcs_bench::arg_value;
+use cdcs_serve::JobServer;
+
+fn main() -> Result<(), String> {
+    let addr = arg_value("addr").unwrap_or_else(|| "127.0.0.1:7077".to_string());
+    let workers = match arg_value("workers") {
+        Some(value) => value
+            .parse()
+            .map_err(|e| format!("--workers {value:?}: {e}"))?,
+        None => rayon::current_num_threads(),
+    };
+    let server = JobServer::start(&addr, workers)?;
+    eprintln!(
+        "cdcs-serve listening on http://{} ({} worker{})",
+        server.addr(),
+        workers,
+        if workers == 1 { "" } else { "s" }
+    );
+    server.join();
+    Ok(())
+}

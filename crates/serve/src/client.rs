@@ -1,0 +1,112 @@
+//! Client-side bindings for the daemon's protocol (used by the `cdcs`
+//! binary and the end-to-end tests).
+
+use crate::http;
+use crate::protocol::{ErrorReply, JobList, JobState, JobStatus, SubmitReply};
+use std::time::Duration;
+
+/// A handle to one daemon.
+#[derive(Debug, Clone)]
+pub struct Client {
+    /// `host:port` of the daemon.
+    pub addr: String,
+}
+
+impl Client {
+    /// A client for the daemon at `addr` (`host:port`).
+    pub fn new(addr: impl Into<String>) -> Client {
+        Client { addr: addr.into() }
+    }
+
+    /// Submits a spec (raw [`cdcs_bench::exp::ExperimentSpec`] JSON) and
+    /// returns the job id.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport errors and server-side rejections.
+    pub fn submit(&self, spec_json: &str) -> Result<u64, String> {
+        let body = self.call("POST", "/jobs", Some(spec_json))?;
+        let reply: SubmitReply =
+            serde_json::from_str(&body).map_err(|e| format!("parsing submit reply: {e}"))?;
+        Ok(reply.id)
+    }
+
+    /// One job's live status.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport errors and server-side rejections.
+    pub fn status(&self, id: u64) -> Result<JobStatus, String> {
+        let body = self.call("GET", &format!("/jobs/{id}"), None)?;
+        serde_json::from_str(&body).map_err(|e| format!("parsing status: {e}"))
+    }
+
+    /// Every job's status.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport errors and server-side rejections.
+    pub fn list(&self) -> Result<Vec<JobStatus>, String> {
+        let body = self.call("GET", "/jobs", None)?;
+        let list: JobList =
+            serde_json::from_str(&body).map_err(|e| format!("parsing job list: {e}"))?;
+        Ok(list.jobs)
+    }
+
+    /// The finished report's JSON (byte-equal to the `out/` artifact).
+    ///
+    /// # Errors
+    ///
+    /// Returns transport errors, `409` while the job is unfinished, and
+    /// other server-side rejections.
+    pub fn report(&self, id: u64) -> Result<String, String> {
+        self.call("GET", &format!("/jobs/{id}/report"), None)
+    }
+
+    /// Cancels a job and returns its status.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport errors and server-side rejections.
+    pub fn cancel(&self, id: u64) -> Result<JobStatus, String> {
+        let body = self.call("DELETE", &format!("/jobs/{id}"), None)?;
+        serde_json::from_str(&body).map_err(|e| format!("parsing status: {e}"))
+    }
+
+    /// Submits a spec, polls until it reaches a terminal state, and
+    /// returns the report JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport errors and a description when the job ends
+    /// cancelled or failed.
+    pub fn run(&self, spec_json: &str, poll: Duration) -> Result<String, String> {
+        let id = self.submit(spec_json)?;
+        loop {
+            let status = self.status(id)?;
+            match status.state {
+                JobState::Done => return self.report(id),
+                JobState::Cancelled => return Err(format!("job {id} was cancelled")),
+                JobState::Failed => {
+                    return Err(format!(
+                        "job {id} failed: {}",
+                        status.error.unwrap_or_else(|| "unknown error".into())
+                    ))
+                }
+                JobState::Queued | JobState::Running => std::thread::sleep(poll),
+            }
+        }
+    }
+
+    fn call(&self, method: &str, path: &str, body: Option<&str>) -> Result<String, String> {
+        let (status, body) = http::request(&self.addr, method, path, body)?;
+        if (200..300).contains(&status) {
+            return Ok(body);
+        }
+        // Prefer the server's structured error message when present.
+        let detail = serde_json::from_str::<ErrorReply>(&body)
+            .map(|e| e.error)
+            .unwrap_or(body);
+        Err(format!("{method} {path}: HTTP {status}: {detail}"))
+    }
+}

@@ -1,0 +1,132 @@
+//! A minimal, dependency-free HTTP/1.1 codec over `std::net`.
+//!
+//! The experiment daemon needs exactly four verbs on a handful of routes
+//! and always closes the connection after one exchange, so this is the
+//! whole protocol surface: parse one request (start line, headers,
+//! `Content-Length` body), write one response, plus the client-side dual.
+//! No keep-alive, no chunked encoding, no TLS — the daemon serves trusted
+//! lab traffic, not the open internet.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// `GET`, `POST`, `DELETE`, ...
+    pub method: String,
+    /// The request target, e.g. `/jobs/3/report` (query strings are not
+    /// used by the protocol and are kept verbatim).
+    pub path: String,
+    /// The request body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+/// Reads one request from `stream`.
+///
+/// # Errors
+///
+/// Returns a human-readable message on malformed requests or I/O errors.
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
+    let mut reader = BufReader::new(stream);
+    let mut start_line = String::new();
+    reader
+        .read_line(&mut start_line)
+        .map_err(|e| format!("reading request line: {e}"))?;
+    let mut parts = start_line.split_whitespace();
+    let method = parts.next().ok_or("empty request line")?.to_string();
+    let path = parts
+        .next()
+        .ok_or("request line has no target")?
+        .to_string();
+
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader
+            .read_line(&mut line)
+            .map_err(|e| format!("reading header: {e}"))?;
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|e| format!("bad Content-Length: {e}"))?;
+            }
+        }
+    }
+
+    let mut body = vec![0u8; content_length];
+    reader
+        .read_exact(&mut body)
+        .map_err(|e| format!("reading {content_length}-byte body: {e}"))?;
+    Ok(Request { method, path, body })
+}
+
+/// Writes one `Connection: close` response.
+///
+/// # Errors
+///
+/// Returns I/O errors.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    body: &[u8],
+) -> Result<(), String> {
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream
+        .write_all(head.as_bytes())
+        .and_then(|()| stream.write_all(body))
+        .and_then(|()| stream.flush())
+        .map_err(|e| format!("writing response: {e}"))
+}
+
+/// Performs one client request against `addr` (`host:port`) and returns
+/// `(status code, body)`.
+///
+/// # Errors
+///
+/// Returns connection, I/O, and malformed-response errors.
+pub fn request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> Result<(u16, String), String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connecting to {addr}: {e}"))?;
+    let payload = body.unwrap_or("");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        payload.len()
+    );
+    stream
+        .write_all(head.as_bytes())
+        .and_then(|()| stream.write_all(payload.as_bytes()))
+        .map_err(|e| format!("sending request: {e}"))?;
+
+    let mut raw = String::new();
+    stream
+        .read_to_string(&mut raw)
+        .map_err(|e| format!("reading response: {e}"))?;
+    let (head, response_body) = raw
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| format!("malformed response: {raw:?}"))?;
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .ok_or("response has no status code")?
+        .parse()
+        .map_err(|e| format!("bad status code: {e}"))?;
+    Ok((status, response_body.to_string()))
+}

@@ -1,0 +1,267 @@
+//! One submitted experiment job: a spec bound to its streaming session.
+//!
+//! Grid specs expand once at submission ([`GridSpec::expand`]) into a
+//! [`GridSession`] the shared pool drives cell-by-cell; analysis specs
+//! (miss curves, latency/capacity, planner runtimes, placement ablation)
+//! are a single unit of work. Either way the finished job stores its
+//! [`ExperimentReport`] pre-serialized with `serde_json::to_string_pretty`
+//! — exactly the bytes [`cdcs_bench::artifact::write`] would put in
+//! `out/<name>.json`, so a served report and an in-process artifact are
+//! byte-comparable.
+
+use crate::protocol::{JobState, JobStatus};
+use cdcs_bench::exp::{ExperimentReport, ExperimentSpec, GridAssembly, ReportData, SpecKind};
+use cdcs_sim::session::clamp_intra_cell;
+use cdcs_sim::{GridSession, SimResult};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+/// Internal lifecycle (the wire state plus the finished payloads).
+#[derive(Debug)]
+enum Phase {
+    Queued,
+    Running,
+    Done { report_json: String },
+    Cancelled,
+    Failed { error: String },
+}
+
+impl Phase {
+    fn is_terminal(&self) -> bool {
+        matches!(
+            self,
+            Phase::Done { .. } | Phase::Cancelled | Phase::Failed { .. }
+        )
+    }
+}
+
+/// The job's executable payload.
+enum Work {
+    /// A simulator sweep: cells stream through a session on the shared
+    /// pool; the assembly half waits for the results.
+    Grid {
+        session: GridSession,
+        assembly: Mutex<Option<GridAssembly>>,
+    },
+    /// An analysis spec: one opaque unit of work, run inline by whichever
+    /// worker claims it.
+    Inline {
+        claimed: AtomicBool,
+        cancelled: AtomicBool,
+    },
+}
+
+/// One unit of claimed work, to be executed by a pool worker.
+pub enum WorkUnit {
+    /// Run grid cell `i` of the job's session.
+    Cell(usize),
+    /// Run the whole (analysis) spec.
+    Inline,
+}
+
+/// A submitted job.
+pub struct Job {
+    /// Server-assigned id.
+    pub id: u64,
+    /// The spec as submitted (embedded verbatim in the report).
+    pub spec: ExperimentSpec,
+    work: Work,
+    phase: Mutex<Phase>,
+}
+
+impl Job {
+    /// Builds a job for `spec`, expanding grid specs eagerly so malformed
+    /// submissions fail at `POST /jobs` time. `pool_workers` feeds the
+    /// intra-cell nested clamp ([`clamp_intra_cell`]): `pool × inner`
+    /// never exceeds the machine, exactly as in `run_grid`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates spec-expansion errors (empty axes, unknown apps, ...).
+    pub fn new(id: u64, spec: ExperimentSpec, pool_workers: usize) -> Result<Job, String> {
+        let work = match &spec.kind {
+            SpecKind::Grid(grid) => {
+                let (config, cells, assembly) = grid.expand()?.into_parts();
+                let config = clamp_intra_cell(&config, pool_workers);
+                Work::Grid {
+                    session: GridSession::queued(&config, cells),
+                    assembly: Mutex::new(Some(assembly)),
+                }
+            }
+            _ => Work::Inline {
+                claimed: AtomicBool::new(false),
+                cancelled: AtomicBool::new(false),
+            },
+        };
+        Ok(Job {
+            id,
+            spec,
+            work,
+            phase: Mutex::new(Phase::Queued),
+        })
+    }
+
+    /// Claims the job's next unit of work for the calling worker, or
+    /// `None` when the job has nothing left to issue (drained, cancelled,
+    /// or — for analysis jobs — already claimed).
+    pub fn try_claim(&self) -> Option<WorkUnit> {
+        let unit = match &self.work {
+            Work::Grid { session, .. } => session.try_claim().map(WorkUnit::Cell),
+            Work::Inline { claimed, cancelled } => {
+                if cancelled.load(Ordering::SeqCst) || claimed.swap(true, Ordering::SeqCst) {
+                    None
+                } else {
+                    Some(WorkUnit::Inline)
+                }
+            }
+        };
+        if unit.is_some() {
+            let mut phase = self.lock_phase();
+            if matches!(*phase, Phase::Queued) {
+                *phase = Phase::Running;
+            }
+        }
+        unit
+    }
+
+    /// Executes a claimed unit on the calling thread.
+    pub fn run(&self, unit: WorkUnit) {
+        match (&self.work, unit) {
+            (Work::Grid { session, .. }, WorkUnit::Cell(i)) => session.run_claimed(i),
+            (Work::Inline { .. }, WorkUnit::Inline) => {
+                let outcome = self.spec.run().and_then(|report| {
+                    serde_json::to_string_pretty(&report)
+                        .map_err(|e| format!("serializing report: {e}"))
+                });
+                let mut phase = self.lock_phase();
+                if !phase.is_terminal() {
+                    *phase = match outcome {
+                        Ok(report_json) => Phase::Done { report_json },
+                        Err(error) => Phase::Failed { error },
+                    };
+                }
+            }
+            _ => unreachable!("work unit claimed from this job"),
+        }
+    }
+
+    /// Finalizes the job if every issued cell has completed and no more
+    /// will be issued: drains the session's stream, assembles the report
+    /// (or records the failure / cancellation). Idempotent and safe to
+    /// call from any worker after any unit completes.
+    pub fn try_finalize(&self) {
+        let Work::Grid { session, assembly } = &self.work else {
+            // Inline jobs finalize in `run`; the one loose end is a job
+            // cancelled before any worker claimed it.
+            if let Work::Inline { claimed, cancelled } = &self.work {
+                if cancelled.load(Ordering::SeqCst) && !claimed.load(Ordering::SeqCst) {
+                    let mut phase = self.lock_phase();
+                    if !phase.is_terminal() {
+                        *phase = Phase::Cancelled;
+                    }
+                }
+            }
+            return;
+        };
+        if !session.progress().finished() {
+            return;
+        }
+        let mut phase = self.lock_phase();
+        if phase.is_terminal() {
+            return;
+        }
+        // Sole finalizer (the phase lock is held): drain the stream. recv
+        // cannot block — the session is finished, so every result is
+        // already queued.
+        let total = session.progress().total;
+        let mut slots: Vec<Option<Result<SimResult, String>>> = (0..total).map(|_| None).collect();
+        while let Some(done) = session.recv() {
+            slots[done.index] = Some(done.result);
+        }
+        if slots.iter().any(Option::is_none) {
+            // Cancelled before every cell was issued: partial work, no
+            // report. (A cancel that lands after the last cell completed
+            // still produces a full report below.)
+            *phase = Phase::Cancelled;
+            return;
+        }
+        let mut results = Vec::with_capacity(total);
+        for slot in slots {
+            match slot.expect("checked above") {
+                Ok(result) => results.push(result),
+                Err(error) => {
+                    *phase = Phase::Failed { error };
+                    return;
+                }
+            }
+        }
+        let assembly = assembly
+            .lock()
+            .expect("assembly lock")
+            .take()
+            .expect("finalized exactly once");
+        let report = ExperimentReport {
+            spec: self.spec.clone(),
+            data: ReportData::Grid(assembly.assemble(results)),
+        };
+        *phase = match serde_json::to_string_pretty(&report) {
+            Ok(report_json) => Phase::Done { report_json },
+            Err(error) => Phase::Failed {
+                error: format!("serializing report: {error}"),
+            },
+        };
+    }
+
+    /// Requests cancellation: no new work is issued; in-flight cells
+    /// finish. Too late for analysis jobs already running.
+    pub fn cancel(&self) {
+        match &self.work {
+            Work::Grid { session, .. } => session.cancel_token().cancel(),
+            Work::Inline { cancelled, .. } => cancelled.store(true, Ordering::SeqCst),
+        }
+    }
+
+    /// The job's current wire status.
+    pub fn status(&self) -> JobStatus {
+        let phase = self.lock_phase();
+        let (state, error) = match &*phase {
+            Phase::Queued => (JobState::Queued, None),
+            Phase::Running => (JobState::Running, None),
+            Phase::Done { .. } => (JobState::Done, None),
+            Phase::Cancelled => (JobState::Cancelled, None),
+            Phase::Failed { error } => (JobState::Failed, Some(error.clone())),
+        };
+        let (total, issued, completed) = match &self.work {
+            Work::Grid { session, .. } => {
+                let p = session.progress();
+                (p.total, p.issued, p.completed)
+            }
+            Work::Inline { claimed, .. } => {
+                let claimed = claimed.load(Ordering::SeqCst) as usize;
+                let done = matches!(*phase, Phase::Done { .. } | Phase::Failed { .. }) as usize;
+                (1, claimed.max(done), done)
+            }
+        };
+        JobStatus {
+            id: self.id,
+            name: self.spec.name.clone(),
+            state,
+            total_cells: total,
+            issued_cells: issued,
+            completed_cells: completed,
+            error,
+        }
+    }
+
+    /// The finished report's JSON, when the job is done.
+    pub fn report_json(&self) -> Option<String> {
+        match &*self.lock_phase() {
+            Phase::Done { report_json } => Some(report_json.clone()),
+            _ => None,
+        }
+    }
+
+    fn lock_phase(&self) -> std::sync::MutexGuard<'_, Phase> {
+        self.phase.lock().expect("job phase poisoned")
+    }
+}

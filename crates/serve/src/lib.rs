@@ -1,0 +1,32 @@
+//! `cdcs-serve`: a spec-serving experiment daemon over streaming grid
+//! sessions.
+//!
+//! The execution API used to be one blocking `run_grid` wave per process.
+//! This crate turns the machine into a long-running service in the shape
+//! the paper's co-scheduling pitch implies (and elastic cache services
+//! like CoT/DistCache motivate): a daemon that accepts typed
+//! [`cdcs_bench::exp::ExperimentSpec`]s as JSON, schedules their cells
+//! **fairly across one shared worker pool** (round-robin over concurrent
+//! jobs, each cell claimed from a [`cdcs_sim::GridSession`]), streams
+//! per-cell progress, supports cancellation, and serves finished
+//! [`cdcs_bench::exp::ExperimentReport`]s byte-equal to the `out/`
+//! artifacts the same specs produce in process.
+//!
+//! Two binaries ship with the crate:
+//!
+//! * `cdcs-serve` — the daemon (`--addr`, `--workers`);
+//! * `cdcs` — the client: `submit` / `status` / `report` / `cancel` /
+//!   `run` subcommands speaking the JSON protocol in [`protocol`].
+//!
+//! Everything is dependency-free `std::net` HTTP/1.1 ([`http`]) over the
+//! vendored `serde_json` — the workspace still builds fully offline.
+
+pub mod client;
+pub mod http;
+pub mod job;
+pub mod protocol;
+pub mod scheduler;
+pub mod server;
+
+pub use client::Client;
+pub use server::JobServer;

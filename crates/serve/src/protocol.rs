@@ -1,0 +1,94 @@
+//! The daemon's JSON wire types.
+//!
+//! Job *inputs* are plain [`cdcs_bench::exp::ExperimentSpec`] JSON (the
+//! same bytes `specs/quickstart.json` holds and the round-trip golden test
+//! pins); job *reports* are [`cdcs_bench::exp::ExperimentReport`] JSON,
+//! byte-equal to the `out/` artifact the same spec produces in process.
+//! This module only adds the thin envelope around them: job status,
+//! submission replies, and errors.
+
+use serde::{Deserialize, Serialize};
+
+/// Lifecycle of a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JobState {
+    /// Accepted; no cell has started yet.
+    Queued,
+    /// At least one cell has been claimed by the pool.
+    Running,
+    /// Finished; the report is available.
+    Done,
+    /// Cancelled before every cell ran; no report.
+    Cancelled,
+    /// A cell (or the report serialization) failed; no report.
+    Failed,
+}
+
+/// One job's live status (`GET /jobs/<id>`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobStatus {
+    /// Server-assigned job id.
+    pub id: u64,
+    /// The submitted spec's name (`out/<name>.json` artifact name).
+    pub name: String,
+    /// Lifecycle state.
+    pub state: JobState,
+    /// Total cells in the job's grid (1 for analysis specs).
+    pub total_cells: usize,
+    /// Cells claimed by the pool so far (running or finished).
+    pub issued_cells: usize,
+    /// Cells finished so far.
+    pub completed_cells: usize,
+    /// The failure message, when `state` is `Failed`.
+    pub error: Option<String>,
+}
+
+/// Reply to `POST /jobs`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SubmitReply {
+    /// The new job's id (poll `GET /jobs/<id>`).
+    pub id: u64,
+}
+
+/// Reply to `GET /jobs`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobList {
+    /// Every job the daemon has accepted, in submission order.
+    pub jobs: Vec<JobStatus>,
+}
+
+/// Error envelope for non-2xx replies.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ErrorReply {
+    /// What went wrong.
+    pub error: String,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_round_trips() {
+        let status = JobStatus {
+            id: 3,
+            name: "quickstart".into(),
+            state: JobState::Running,
+            total_cells: 7,
+            issued_cells: 4,
+            completed_cells: 2,
+            error: None,
+        };
+        let json = serde_json::to_string(&status).unwrap();
+        let back: JobStatus = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, status);
+        let failed = JobStatus {
+            state: JobState::Failed,
+            error: Some("boom".into()),
+            ..status
+        };
+        let back: JobStatus =
+            serde_json::from_str(&serde_json::to_string(&failed).unwrap()).unwrap();
+        assert_eq!(back, failed);
+    }
+}

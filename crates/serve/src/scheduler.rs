@@ -1,0 +1,127 @@
+//! Fair scheduling of concurrent jobs over one shared worker pool.
+//!
+//! Jobs sit in a FIFO rotation. A worker pops the front job, claims **one**
+//! unit of work from it under the scheduler lock, pushes the job to the
+//! back, and executes the unit outside the lock. With several active jobs
+//! the claim sequence therefore strictly interleaves them — two concurrent
+//! sweeps each make progress on every rotation lap, regardless of their
+//! sizes (no starvation; the fairness test pins the alternation). A job
+//! whose claim comes back empty (drained or cancelled) leaves the rotation
+//! and is finalized.
+//!
+//! Claims are recorded in a log (job ids, in claim order) so fairness is
+//! observable and testable without timing assumptions.
+
+use crate::job::{Job, WorkUnit};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+#[derive(Default)]
+struct Rotation {
+    queue: VecDeque<Arc<Job>>,
+    claim_log: Vec<u64>,
+}
+
+/// The shared scheduler: rotation + pool wake-up.
+pub struct Scheduler {
+    rotation: Mutex<Rotation>,
+    cv: Condvar,
+    shutdown: AtomicBool,
+}
+
+/// What a worker got from one rotation pop.
+enum Pop {
+    /// Pool is shutting down.
+    Shutdown,
+    /// A claimed unit of `job`'s work (job already re-queued).
+    Task(Arc<Job>, WorkUnit),
+    /// `job` had nothing to claim and left the rotation.
+    Drained(Arc<Job>),
+}
+
+impl Scheduler {
+    /// An empty scheduler.
+    pub fn new() -> Scheduler {
+        Scheduler {
+            rotation: Mutex::new(Rotation::default()),
+            cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        }
+    }
+
+    /// Adds a job to the rotation and wakes the pool.
+    pub fn enqueue(&self, job: Arc<Job>) {
+        let mut rotation = self.lock();
+        rotation.queue.push_back(job);
+        self.cv.notify_all();
+    }
+
+    /// Stops the pool: blocked workers wake and exit; running cells finish.
+    pub fn stop(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        let _rotation = self.lock();
+        self.cv.notify_all();
+    }
+
+    /// The claim sequence so far (job ids, in claim order).
+    pub fn claim_log(&self) -> Vec<u64> {
+        self.lock().claim_log.clone()
+    }
+
+    /// Starts `workers` pool threads driving this scheduler.
+    pub fn start_pool(self: &Arc<Self>, workers: usize) -> Vec<JoinHandle<()>> {
+        (0..workers.max(1))
+            .map(|_| {
+                let sched = Arc::clone(self);
+                std::thread::spawn(move || sched.worker_loop())
+            })
+            .collect()
+    }
+
+    fn worker_loop(&self) {
+        loop {
+            match self.pop() {
+                Pop::Shutdown => return,
+                Pop::Drained(job) => job.try_finalize(),
+                Pop::Task(job, unit) => {
+                    job.run(unit);
+                    job.try_finalize();
+                }
+            }
+        }
+    }
+
+    /// Pops one job and claims one unit from it (see module docs). Blocks
+    /// while the rotation is empty.
+    fn pop(&self) -> Pop {
+        let mut rotation = self.lock();
+        loop {
+            if self.shutdown.load(Ordering::SeqCst) {
+                return Pop::Shutdown;
+            }
+            if let Some(job) = rotation.queue.pop_front() {
+                return match job.try_claim() {
+                    Some(unit) => {
+                        rotation.claim_log.push(job.id);
+                        rotation.queue.push_back(Arc::clone(&job));
+                        Pop::Task(job, unit)
+                    }
+                    None => Pop::Drained(job),
+                };
+            }
+            rotation = self.cv.wait(rotation).expect("scheduler poisoned");
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Rotation> {
+        self.rotation.lock().expect("scheduler poisoned")
+    }
+}
+
+impl Default for Scheduler {
+    fn default() -> Self {
+        Scheduler::new()
+    }
+}

@@ -1,0 +1,285 @@
+//! The experiment daemon: HTTP front end over the shared-pool scheduler.
+//!
+//! Routes (all JSON, `Connection: close`):
+//!
+//! * `POST /jobs` — body is an [`ExperimentSpec`]; expands the spec,
+//!   enqueues the job, replies `{"id": n}`.
+//! * `GET /jobs` — every job's status, in submission order.
+//! * `GET /jobs/<id>` — one job's live status (per-cell progress).
+//! * `GET /jobs/<id>/report` — the finished [`ExperimentReport`] JSON,
+//!   byte-equal to the `out/<name>.json` artifact the same spec produces
+//!   in process; `409` while the job is still running.
+//! * `DELETE /jobs/<id>` — cancels via the session's token; replies with
+//!   the job's status.
+//! * `GET /healthz` — liveness probe.
+
+use crate::http::{read_request, write_response, Request};
+use crate::job::Job;
+use crate::protocol::{ErrorReply, JobList, SubmitReply};
+use crate::scheduler::Scheduler;
+use cdcs_bench::exp::ExperimentSpec;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+struct ServerState {
+    jobs: Mutex<Vec<Arc<Job>>>,
+    next_id: AtomicU64,
+    sched: Arc<Scheduler>,
+    pool_workers: usize,
+    stopping: AtomicBool,
+}
+
+/// A running daemon: worker pool + accept loop. Dropping (or
+/// [`JobServer::shutdown`]) stops accepting, stops the pool, and joins
+/// every thread; running cells finish first.
+pub struct JobServer {
+    state: Arc<ServerState>,
+    addr: std::net::SocketAddr,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl JobServer {
+    /// Binds `addr` (e.g. `127.0.0.1:7077`, or port `0` for an ephemeral
+    /// port) and starts `workers` pool threads plus the accept loop.
+    ///
+    /// # Errors
+    ///
+    /// Returns bind errors.
+    pub fn start(addr: &str, workers: usize) -> Result<JobServer, String> {
+        let listener = TcpListener::bind(addr).map_err(|e| format!("binding {addr}: {e}"))?;
+        let local = listener
+            .local_addr()
+            .map_err(|e| format!("local addr: {e}"))?;
+        let state = Arc::new(ServerState {
+            jobs: Mutex::new(Vec::new()),
+            next_id: AtomicU64::new(0),
+            sched: Arc::new(Scheduler::new()),
+            pool_workers: workers.max(1),
+            stopping: AtomicBool::new(false),
+        });
+        let mut threads = state.sched.start_pool(state.pool_workers);
+        let accept_state = Arc::clone(&state);
+        threads.push(std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if accept_state.stopping.load(Ordering::SeqCst) {
+                    return;
+                }
+                let Ok(mut stream) = stream else { continue };
+                // One detached thread per connection, with I/O deadlines:
+                // a client that connects and goes silent must never wedge
+                // the accept loop (or `GET /healthz`) — it times out in
+                // its own thread instead.
+                let timeout = Some(std::time::Duration::from_secs(10));
+                let _ = stream.set_read_timeout(timeout);
+                let _ = stream.set_write_timeout(timeout);
+                let conn_state = Arc::clone(&accept_state);
+                std::thread::spawn(move || conn_state.handle(&mut stream));
+            }
+        }));
+        Ok(JobServer {
+            state,
+            addr: local,
+            threads,
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// The claim sequence so far (job ids, in claim order) — the fairness
+    /// tests assert concurrent jobs alternate here.
+    pub fn claim_log(&self) -> Vec<u64> {
+        self.state.sched.claim_log()
+    }
+
+    /// Submits a spec directly (the HTTP-free path for embedding and
+    /// tests).
+    ///
+    /// # Errors
+    ///
+    /// Propagates spec-expansion errors.
+    pub fn submit(&self, spec: ExperimentSpec) -> Result<u64, String> {
+        self.state.submit(spec)
+    }
+
+    /// Stops the accept loop and the pool, joining every thread.
+    pub fn shutdown(mut self) {
+        self.stop();
+        for handle in self.threads.drain(..) {
+            handle.join().expect("server thread panicked");
+        }
+    }
+
+    fn stop(&self) {
+        self.state.stopping.store(true, Ordering::SeqCst);
+        self.state.sched.stop();
+        // Unblock `listener.incoming()` with one throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+    }
+
+    /// Blocks the calling thread on the accept loop (the daemon binary's
+    /// main thread parks here).
+    pub fn join(mut self) {
+        for handle in self.threads.drain(..) {
+            handle.join().expect("server thread panicked");
+        }
+    }
+}
+
+impl Drop for JobServer {
+    fn drop(&mut self) {
+        if self.threads.is_empty() {
+            return;
+        }
+        self.stop();
+        for handle in self.threads.drain(..) {
+            handle.join().expect("server thread panicked");
+        }
+    }
+}
+
+impl ServerState {
+    fn submit(&self, spec: ExperimentSpec) -> Result<u64, String> {
+        let id = self.next_id.fetch_add(1, Ordering::SeqCst);
+        let job = Arc::new(Job::new(id, spec, self.pool_workers)?);
+        self.jobs.lock().expect("jobs lock").push(Arc::clone(&job));
+        self.sched.enqueue(job);
+        Ok(id)
+    }
+
+    fn job(&self, id: u64) -> Option<Arc<Job>> {
+        self.jobs
+            .lock()
+            .expect("jobs lock")
+            .iter()
+            .find(|j| j.id == id)
+            .cloned()
+    }
+
+    /// Handles one request; every response is written before the
+    /// connection closes.
+    fn handle(&self, stream: &mut TcpStream) {
+        let reply = match read_request(stream) {
+            Ok(request) => self.route(&request),
+            Err(error) => Reply::error(400, "Bad Request", &error),
+        };
+        let _ = write_response(
+            stream,
+            reply.status,
+            reply.reason,
+            "application/json",
+            reply.body.as_bytes(),
+        );
+    }
+
+    fn route(&self, request: &Request) -> Reply {
+        let segments: Vec<&str> = request
+            .path
+            .split('?')
+            .next()
+            .unwrap_or("")
+            .split('/')
+            .filter(|s| !s.is_empty())
+            .collect();
+        match (request.method.as_str(), segments.as_slice()) {
+            ("GET", ["healthz"]) => Reply::ok("{\"ok\":true}".into()),
+            ("POST", ["jobs"]) => self.post_job(&request.body),
+            ("GET", ["jobs"]) => {
+                let jobs = self.jobs.lock().expect("jobs lock");
+                let list = JobList {
+                    jobs: jobs.iter().map(|j| j.status()).collect(),
+                };
+                Reply::json(&list)
+            }
+            ("GET", ["jobs", id]) => self.with_job(id, |job| Reply::json(&job.status())),
+            ("GET", ["jobs", id, "report"]) => self.with_job(id, |job| match job.report_json() {
+                Some(json) => Reply::ok(json),
+                None => Reply::error(
+                    409,
+                    "Conflict",
+                    &format!(
+                        "job {} is not finished (state {:?})",
+                        job.id,
+                        job.status().state
+                    ),
+                ),
+            }),
+            ("DELETE", ["jobs", id]) => self.with_job(id, |job| {
+                job.cancel();
+                job.try_finalize();
+                Reply::json(&job.status())
+            }),
+            _ => Reply::error(
+                404,
+                "Not Found",
+                &format!("no route for {} {}", request.method, request.path),
+            ),
+        }
+    }
+
+    fn post_job(&self, body: &[u8]) -> Reply {
+        let text = match std::str::from_utf8(body) {
+            Ok(text) => text,
+            Err(e) => return Reply::error(400, "Bad Request", &format!("body is not UTF-8: {e}")),
+        };
+        let spec: ExperimentSpec = match serde_json::from_str(text) {
+            Ok(spec) => spec,
+            Err(e) => {
+                return Reply::error(400, "Bad Request", &format!("parsing spec: {e}"));
+            }
+        };
+        match self.submit(spec) {
+            Ok(id) => Reply {
+                status: 201,
+                reason: "Created",
+                body: serde_json::to_string(&SubmitReply { id }).expect("submit reply serializes"),
+            },
+            Err(error) => Reply::error(400, "Bad Request", &error),
+        }
+    }
+
+    fn with_job(&self, id: &str, f: impl FnOnce(&Job) -> Reply) -> Reply {
+        let Ok(id) = id.parse::<u64>() else {
+            return Reply::error(400, "Bad Request", &format!("bad job id {id:?}"));
+        };
+        match self.job(id) {
+            Some(job) => f(&job),
+            None => Reply::error(404, "Not Found", &format!("no job {id}")),
+        }
+    }
+}
+
+struct Reply {
+    status: u16,
+    reason: &'static str,
+    body: String,
+}
+
+impl Reply {
+    fn ok(body: String) -> Reply {
+        Reply {
+            status: 200,
+            reason: "OK",
+            body,
+        }
+    }
+
+    fn json<T: serde::Serialize>(value: &T) -> Reply {
+        Reply::ok(serde_json::to_string(value).expect("reply serializes"))
+    }
+
+    fn error(status: u16, reason: &'static str, message: &str) -> Reply {
+        Reply {
+            status,
+            reason,
+            body: serde_json::to_string(&ErrorReply {
+                error: message.to_string(),
+            })
+            .expect("error reply serializes"),
+        }
+    }
+}

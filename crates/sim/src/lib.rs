@@ -19,6 +19,11 @@
 //!   energy breakdown — everything the paper's figures plot.
 //! * [`runner`] — weighted-speedup methodology helpers: alone-IPC
 //!   calibration runs and scheme comparisons normalized to S-NUCA.
+//! * [`session`] — the streaming execution layer under every grid wave:
+//!   a [`GridSession`] claims cells into a bounded worker pool, streams
+//!   completed `(cell, result)` pairs as they finish, and supports
+//!   cancellation and live progress (what the `cdcs-serve` experiment
+//!   daemon schedules concurrent jobs on).
 //!
 //! # Example: one small mix under two schemes
 //!
@@ -46,6 +51,7 @@ mod memory;
 pub mod metrics;
 pub mod runner;
 mod scheme;
+pub mod session;
 
 pub use config::{ConfigPatch, MonitorKind, SimConfig};
 pub use energy::{EnergyBreakdown, EnergyModel};
@@ -53,3 +59,4 @@ pub use engine::{SimResult, Simulation, SHARD_SEQ_THRESHOLD};
 pub use memory::MemoryModel;
 pub use metrics::{SystemMetrics, ThreadMetrics};
 pub use scheme::{MoveScheme, Scheme, ThreadSched};
+pub use session::{CancelToken, CellDone, GridSession, SessionProgress};

@@ -9,9 +9,9 @@
 //! not have).
 
 use crate::config::ConfigPatch;
+use crate::session::GridSession;
 use crate::{Scheme, SimConfig, SimResult, Simulation};
 use cdcs_workload::{AppProfile, WorkloadMix};
-use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// How a grid cell drives the simulation.
@@ -86,7 +86,7 @@ impl GridCell {
 
 /// Runs one grid cell: `config` with the cell's patch, scheme, and seed
 /// applied, driven in the cell's run mode.
-fn run_cell(config: &SimConfig, cell: &GridCell) -> Result<SimResult, String> {
+pub(crate) fn run_cell(config: &SimConfig, cell: &GridCell) -> Result<SimResult, String> {
     let mut cfg = config.clone();
     if let Some(patch) = &cell.patch {
         patch.apply(&mut cfg);
@@ -105,21 +105,37 @@ fn run_cell(config: &SimConfig, cell: &GridCell) -> Result<SimResult, String> {
     })
 }
 
+/// Collects a finished-or-finishing session into cell-order results,
+/// returning the first error in *cell* order (the pre-session `run_grid`
+/// contract). All cells run to completion even when an early one errors.
+fn collect_session(session: GridSession) -> Result<Vec<SimResult>, String> {
+    session
+        .join()
+        .into_iter()
+        .map(|slot| slot.expect("uncancelled session issues every cell"))
+        .collect()
+}
+
 /// Runs every cell of an experiment grid across all cores.
 ///
-/// Cells fan out over a work-stealing thread pool (simulation cost varies
-/// widely between schemes and mixes, so static partitioning would leave
-/// cores idle). Every cell derives its RNG state from `(config, cell)`
-/// alone — never from worker identity or execution order — so the results
-/// are identical to [`run_grid_serial`] cell-for-cell, byte-for-byte (the
-/// equivalence tests assert this). `RAYON_NUM_THREADS=1` forces serial
-/// execution through the same code path.
+/// Thin collector over a [`GridSession`]: cells are claimed from a shared
+/// queue by a bounded worker pool (simulation cost varies widely between
+/// schemes and mixes, so static partitioning would leave cores idle) and
+/// results stream back as they finish. Every cell derives its RNG state
+/// from `(config, cell)` alone — never from worker identity or execution
+/// order — so the results are identical to [`run_grid_serial`]
+/// cell-for-cell, byte-for-byte (the equivalence tests assert this).
+/// `RAYON_NUM_THREADS=1` forces serial execution through the same
+/// claim/run path. Callers that want the stream itself — progress,
+/// cancellation, per-cell latency — hold the session directly (the
+/// `cdcs-serve` daemon does).
 ///
 /// When `config.intra_cell_threads` asks for bank-sharded intra-cell
 /// parallelism too, the inner worker count is clamped so that
 /// `outer × inner` never exceeds the machine: wide grids keep cell-level
 /// parallelism (the better-scaling axis) and shed inner workers; a 1-cell
-/// "grid" keeps its full intra-cell fan-out. The clamp cannot change any
+/// "grid" keeps its full intra-cell fan-out (see
+/// [`crate::session::clamp_intra_cell`]). The clamp cannot change any
 /// result — sharded results are bit-identical for every worker count.
 ///
 /// # Errors
@@ -128,30 +144,30 @@ fn run_cell(config: &SimConfig, cell: &GridCell) -> Result<SimResult, String> {
 pub fn run_grid(config: &SimConfig, cells: &[GridCell]) -> Result<Vec<SimResult>, String> {
     let machine = rayon::current_num_threads();
     let outer = machine.min(cells.len().max(1));
-    let mut cfg = config.clone();
-    if cfg.intra_cell_threads > 1 {
-        // Flooring at 1 (not falling back to 0 = the batched engine) is
-        // deliberate: a 1-worker shard pipeline drains in-thread with no
-        // spawns, and its bank-grouped processing measured *faster* than
-        // the batched engine's interleaved drain (case-study cell: 84 ms
-        // batched vs 62 ms 1-worker-sharded on the 1-core dev container).
-        cfg.intra_cell_threads = cfg.intra_cell_threads.min((machine / outer).max(1));
+    if outer <= 1 {
+        // One-worker pool: drive the session on the calling thread (no
+        // spawns), preserving the intra-cell clamp semantics.
+        let session = GridSession::queued(
+            &crate::session::clamp_intra_cell(config, outer),
+            cells.to_vec(),
+        );
+        session.drive();
+        return collect_session(session);
     }
-    cells
-        .par_iter()
-        .map(|cell| run_cell(&cfg, cell))
-        .collect::<Vec<_>>()
-        .into_iter()
-        .collect()
+    collect_session(GridSession::spawn(config, cells.to_vec(), outer))
 }
 
-/// Serial reference for [`run_grid`]: same cells, same order, one core.
+/// Serial reference for [`run_grid`]: same cells, same order, one core —
+/// a session driven to completion on the calling thread, with no pool
+/// clamp applied to `config.intra_cell_threads`.
 ///
 /// # Errors
 ///
 /// Returns the first cell's construction error, if any.
 pub fn run_grid_serial(config: &SimConfig, cells: &[GridCell]) -> Result<Vec<SimResult>, String> {
-    cells.iter().map(|cell| run_cell(config, cell)).collect()
+    let session = GridSession::queued(config, cells.to_vec());
+    session.drive();
+    collect_session(session)
 }
 
 /// Runs one process alone on the chip under S-NUCA and returns its

@@ -26,6 +26,10 @@
 //!   patches) expanded into one parallel grid wave, with structured
 //!   [`bench::exp::ExperimentReport`]s persisted as verified JSON
 //!   artifacts under `out/`.
+//! * [`serve`] (`cdcs-serve`) — the spec-serving experiment daemon and
+//!   client: specs in as JSON over HTTP, cells scheduled fairly across
+//!   one shared pool of streaming [`sim::GridSession`]s, reports out
+//!   byte-equal to the `out/` artifacts.
 //!
 //! # Quickstart
 //!
@@ -57,5 +61,6 @@ pub use cdcs_bench as bench;
 pub use cdcs_cache as cache;
 pub use cdcs_core as core;
 pub use cdcs_mesh as mesh;
+pub use cdcs_serve as serve;
 pub use cdcs_sim as sim;
 pub use cdcs_workload as workload;
