@@ -1,0 +1,177 @@
+//! Admission control: per-tenant token buckets and a queue-depth cap.
+//!
+//! Submission is the only way work enters the daemon, so it is the one
+//! place overload must become a *bounded, observable* state instead of an
+//! unbounded queue (DistCache's framing): every `POST /jobs` passes
+//! through [`Admission::admit`], which charges one token from the
+//! caller's tenant bucket (tenant id from the `X-Tenant` header, the
+//! default tenant otherwise) and checks the active-job queue depth. A
+//! refusal carries a retry hint that the HTTP layer surfaces as
+//! `429 Too Many Requests` + `Retry-After`, and the `cdcs` client honors.
+//!
+//! Buckets refill continuously at `rate` tokens/second up to `burst`, so
+//! a greedy tenant exhausts only its own credit: the quiet tenant's
+//! bucket is untouched and its submissions keep landing (pinned by the
+//! tenant-isolation e2e test).
+
+use std::collections::HashMap;
+use std::sync::{Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+/// The tenant used when a request carries no `X-Tenant` header.
+pub const DEFAULT_TENANT: &str = "default";
+
+/// Why a submission was refused, plus when to try again.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Refusal {
+    /// Human-readable reason (`tenant "x" is out of credits`, ...).
+    pub reason: String,
+    /// Suggested wait before retrying.
+    pub retry_after: Duration,
+}
+
+/// Per-tenant token-bucket rate limit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TenantLimit {
+    /// Bucket capacity: how many submissions a tenant may burst.
+    pub burst: f64,
+    /// Refill rate, tokens per second.
+    pub rate: f64,
+}
+
+#[derive(Debug)]
+struct Bucket {
+    tokens: f64,
+    refilled: Instant,
+}
+
+/// The daemon's admission gate. `None` limits admit everything — the
+/// default, so an unconfigured daemon behaves exactly as before.
+#[derive(Debug, Default)]
+pub struct Admission {
+    /// Per-tenant rate limit, when configured.
+    limit: Option<TenantLimit>,
+    /// Cap on jobs that are queued or running, when configured.
+    queue_cap: Option<usize>,
+    buckets: Mutex<HashMap<String, Bucket>>,
+}
+
+impl Admission {
+    /// An admission gate with the given knobs.
+    pub fn new(limit: Option<TenantLimit>, queue_cap: Option<usize>) -> Admission {
+        Admission {
+            limit,
+            queue_cap,
+            buckets: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Admits or refuses one submission from `tenant` while `active_jobs`
+    /// jobs are queued or running.
+    ///
+    /// # Errors
+    ///
+    /// Returns the refusal (reason + retry hint). The queue check runs
+    /// first and does not charge the tenant's bucket — a full queue is
+    /// the machine's fault, not the tenant's.
+    pub fn admit(&self, tenant: &str, active_jobs: usize) -> Result<(), Refusal> {
+        if let Some(cap) = self.queue_cap {
+            if active_jobs >= cap {
+                return Err(Refusal {
+                    reason: format!(
+                        "job queue is full ({active_jobs} active jobs, cap {cap}); \
+                         wait for a job to finish"
+                    ),
+                    // No completion signal to predict; suggest a short poll.
+                    retry_after: Duration::from_secs(1),
+                });
+            }
+        }
+        let Some(limit) = self.limit else {
+            return Ok(());
+        };
+        let mut buckets = self.buckets.lock().unwrap_or_else(PoisonError::into_inner);
+        let now = Instant::now();
+        let bucket = buckets.entry(tenant.to_string()).or_insert(Bucket {
+            tokens: limit.burst,
+            refilled: now,
+        });
+        let elapsed = now.saturating_duration_since(bucket.refilled).as_secs_f64();
+        bucket.tokens = (bucket.tokens + elapsed * limit.rate).min(limit.burst);
+        bucket.refilled = now;
+        if bucket.tokens >= 1.0 {
+            bucket.tokens -= 1.0;
+            return Ok(());
+        }
+        let deficit = 1.0 - bucket.tokens;
+        let wait = if limit.rate > 0.0 {
+            Duration::from_secs_f64(deficit / limit.rate)
+        } else {
+            Duration::from_secs(60)
+        };
+        Err(Refusal {
+            reason: format!(
+                "tenant {tenant:?} is out of submission credits \
+                 (burst {}, {}/s); retry after {:.1}s",
+                limit.burst,
+                limit.rate,
+                wait.as_secs_f64()
+            ),
+            retry_after: wait,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unconfigured_gate_admits_everything() {
+        let gate = Admission::default();
+        for i in 0..100 {
+            gate.admit("anyone", i).expect("no limits configured");
+        }
+    }
+
+    #[test]
+    fn queue_cap_refuses_with_a_retry_hint() {
+        let gate = Admission::new(None, Some(2));
+        gate.admit("t", 0).unwrap();
+        gate.admit("t", 1).unwrap();
+        let refusal = gate.admit("t", 2).expect_err("queue full");
+        assert!(refusal.reason.contains("queue is full"), "{refusal:?}");
+        assert!(refusal.retry_after > Duration::ZERO);
+    }
+
+    #[test]
+    fn greedy_tenant_cannot_drain_a_quiet_tenants_bucket() {
+        let limit = TenantLimit {
+            burst: 2.0,
+            // Refill so slow the test window cannot restore a token.
+            rate: 0.001,
+        };
+        let gate = Admission::new(Some(limit), None);
+        gate.admit("greedy", 0).unwrap();
+        gate.admit("greedy", 0).unwrap();
+        let refusal = gate.admit("greedy", 0).expect_err("burst spent");
+        assert!(refusal.reason.contains("greedy"), "{refusal:?}");
+        assert!(refusal.retry_after >= Duration::from_secs(60 * 10));
+        // The quiet tenant's bucket is untouched.
+        gate.admit("quiet", 0).expect("quiet tenant admitted");
+    }
+
+    #[test]
+    fn buckets_refill_over_time() {
+        let limit = TenantLimit {
+            burst: 1.0,
+            rate: 200.0, // a token every 5ms
+        };
+        let gate = Admission::new(Some(limit), None);
+        gate.admit("t", 0).unwrap();
+        let refusal = gate.admit("t", 0).expect_err("bucket empty");
+        assert!(refusal.retry_after <= Duration::from_millis(10));
+        std::thread::sleep(Duration::from_millis(20));
+        gate.admit("t", 0).expect("refilled");
+    }
+}

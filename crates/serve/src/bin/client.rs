@@ -13,17 +13,43 @@
 //! rebases a grid spec onto the 4×4 test chip and renames it
 //! `<name>_small` — the same convention as the in-process binaries, so a
 //! served report stays byte-comparable to `out/<name>_small.json`.
+//!
+//! Multi-tenant knobs: `--tenant NAME` (or `CDCS_TENANT`) identifies the
+//! submitting tenant for the daemon's admission control; `--deadline-ms
+//! N` attaches a wall-clock deadline to submitted jobs. Transient
+//! failures (connection refused/dropped, `429` + `Retry-After`, daemon
+//! restarts mid-`run`) are retried with bounded exponential backoff —
+//! tune with `--retries N` (retries after the first attempt).
 
 use cdcs_bench::arg_value_from;
 use cdcs_bench::exp::{BaseConfig, ExperimentSpec};
-use cdcs_serve::Client;
+use cdcs_serve::{Client, RetryPolicy};
 use std::time::Duration;
 
-fn client(args: &[String]) -> Client {
+fn client(args: &[String]) -> Result<Client, String> {
     let addr = arg_value_from(args, "server")
         .or_else(|| std::env::var("CDCS_SERVER").ok())
         .unwrap_or_else(|| "127.0.0.1:7077".to_string());
-    Client::new(addr)
+    let mut client = Client::new(addr);
+    if let Some(tenant) =
+        arg_value_from(args, "tenant").or_else(|| std::env::var("CDCS_TENANT").ok())
+    {
+        client = client.with_tenant(tenant);
+    }
+    if let Some(raw) = arg_value_from(args, "deadline-ms") {
+        let ms = raw
+            .parse()
+            .map_err(|e| format!("--deadline-ms {raw:?}: {e}"))?;
+        client = client.with_deadline_ms(ms);
+    }
+    if let Some(raw) = arg_value_from(args, "retries") {
+        let max_attempts: u32 = raw.parse().map_err(|e| format!("--retries {raw:?}: {e}"))?;
+        client = client.with_retry(RetryPolicy {
+            max_attempts: max_attempts.saturating_add(1),
+            ..RetryPolicy::default()
+        });
+    }
+    Ok(client)
 }
 
 /// Reads a spec file, applying the shared `--small` convention.
@@ -60,14 +86,15 @@ fn emit_report(args: &[String], report: &str) -> Result<(), String> {
 
 fn usage() -> String {
     "usage: cdcs <submit SPEC.json | status ID | report ID | cancel ID | run SPEC.json> \
-     [--server host:port] [--small] [--out FILE] [--poll-ms N]"
+     [--server host:port] [--small] [--out FILE] [--poll-ms N] \
+     [--tenant NAME] [--deadline-ms N] [--retries N]"
         .to_string()
 }
 
 fn main() -> Result<(), String> {
     let args: Vec<String> = std::env::args().collect();
     let command = args.get(1).map(String::as_str).ok_or_else(usage)?;
-    let client = client(&args);
+    let client = client(&args)?;
     match command {
         "submit" => {
             let path = args.get(2).ok_or_else(usage)?;

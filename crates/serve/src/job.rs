@@ -8,13 +8,20 @@
 //! — exactly the bytes [`cdcs_bench::artifact::write`] would put in
 //! `out/<name>.json`, so a served report and an in-process artifact are
 //! byte-comparable.
+//!
+//! Every failure a job can suffer is *contained*: a panicking cell (or a
+//! panicking analysis run, or an injected fault) fails this job with the
+//! captured message; a passed deadline moves it to `DeadlineExceeded`;
+//! neither takes down a worker, the daemon, or any other tenant's jobs.
 
+use crate::faults::FaultPlan;
 use crate::protocol::{JobState, JobStatus};
 use cdcs_bench::exp::{ExperimentReport, ExperimentSpec, GridAssembly, ReportData, SpecKind};
 use cdcs_sim::session::clamp_intra_cell;
-use cdcs_sim::{GridSession, SimResult};
+use cdcs_sim::{GridSession, SessionOptions, SimResult};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::{Duration, Instant};
 
 /// Internal lifecycle (the wire state plus the finished payloads).
 #[derive(Debug)]
@@ -23,6 +30,7 @@ enum Phase {
     Running,
     Done { report_json: String },
     Cancelled,
+    DeadlineExceeded,
     Failed { error: String },
 }
 
@@ -30,9 +38,22 @@ impl Phase {
     fn is_terminal(&self) -> bool {
         matches!(
             self,
-            Phase::Done { .. } | Phase::Cancelled | Phase::Failed { .. }
+            Phase::Done { .. } | Phase::Cancelled | Phase::DeadlineExceeded | Phase::Failed { .. }
         )
     }
+}
+
+/// Per-job submission options (tenant, deadline, fault plan).
+#[derive(Default, Clone)]
+pub struct JobOptions {
+    /// The submitting tenant (for status observability; admission already
+    /// happened by the time a job exists).
+    pub tenant: String,
+    /// Wall-clock deadline: enforced at claim time through the session
+    /// and between claims by the server's watchdog.
+    pub deadline: Option<Instant>,
+    /// Fault-injection plan to install as the session's cell hook.
+    pub faults: Option<Arc<FaultPlan>>,
 }
 
 /// The job's executable payload.
@@ -65,8 +86,15 @@ pub struct Job {
     pub id: u64,
     /// The spec as submitted (embedded verbatim in the report).
     pub spec: ExperimentSpec,
+    /// The submitting tenant.
+    pub tenant: String,
+    /// The job's wall-clock deadline, if any (the watchdog scans this).
+    pub deadline: Option<Instant>,
     work: Work,
     phase: Mutex<Phase>,
+    /// Cells currently executing: `(cell index, start time)` — the
+    /// watchdog's view for per-cell wall-clock enforcement.
+    running_cells: Mutex<Vec<(usize, Instant)>>,
 }
 
 impl Job {
@@ -78,13 +106,31 @@ impl Job {
     /// # Errors
     ///
     /// Propagates spec-expansion errors (empty axes, unknown apps, ...).
-    pub fn new(id: u64, spec: ExperimentSpec, pool_workers: usize) -> Result<Job, String> {
+    pub fn new(
+        id: u64,
+        spec: ExperimentSpec,
+        pool_workers: usize,
+        options: JobOptions,
+    ) -> Result<Job, String> {
+        let tenant = if options.tenant.is_empty() {
+            crate::admission::DEFAULT_TENANT.to_string()
+        } else {
+            options.tenant.clone()
+        };
         let work = match &spec.kind {
             SpecKind::Grid(grid) => {
                 let (config, cells, assembly) = grid.expand()?.into_parts();
                 let config = clamp_intra_cell(&config, pool_workers);
+                let session_options = SessionOptions {
+                    deadline: options.deadline,
+                    cell_hook: options
+                        .faults
+                        .as_ref()
+                        .filter(|plan| plan.has_cell_faults())
+                        .map(FaultPlan::cell_hook),
+                };
                 Work::Grid {
-                    session: GridSession::queued(&config, cells),
+                    session: GridSession::queued_with(&config, cells, session_options),
                     assembly: Mutex::new(Some(assembly)),
                 }
             }
@@ -96,19 +142,25 @@ impl Job {
         Ok(Job {
             id,
             spec,
+            tenant,
+            deadline: options.deadline,
             work,
             phase: Mutex::new(Phase::Queued),
+            running_cells: Mutex::new(Vec::new()),
         })
     }
 
     /// Claims the job's next unit of work for the calling worker, or
     /// `None` when the job has nothing left to issue (drained, cancelled,
-    /// or — for analysis jobs — already claimed).
+    /// past its deadline, or — for analysis jobs — already claimed).
     pub fn try_claim(&self) -> Option<WorkUnit> {
         let unit = match &self.work {
             Work::Grid { session, .. } => session.try_claim().map(WorkUnit::Cell),
             Work::Inline { claimed, cancelled } => {
-                if cancelled.load(Ordering::SeqCst) || claimed.swap(true, Ordering::SeqCst) {
+                if self.deadline.is_some_and(|d| Instant::now() >= d) {
+                    cancelled.store(true, Ordering::SeqCst);
+                    None
+                } else if cancelled.load(Ordering::SeqCst) || claimed.swap(true, Ordering::SeqCst) {
                     None
                 } else {
                     Some(WorkUnit::Inline)
@@ -124,15 +176,29 @@ impl Job {
         unit
     }
 
-    /// Executes a claimed unit on the calling thread.
+    /// Executes a claimed unit on the calling thread. Panics inside the
+    /// unit are contained: a grid cell's unwind is caught by the session
+    /// (failing that cell); an analysis spec's unwind is caught here
+    /// (failing this job). Neither propagates to the worker.
     pub fn run(&self, unit: WorkUnit) {
         match (&self.work, unit) {
-            (Work::Grid { session, .. }, WorkUnit::Cell(i)) => session.run_claimed(i),
+            (Work::Grid { session, .. }, WorkUnit::Cell(i)) => {
+                self.lock_running().push((i, Instant::now()));
+                session.run_claimed(i);
+                self.lock_running().retain(|(cell, _)| *cell != i);
+            }
             (Work::Inline { .. }, WorkUnit::Inline) => {
-                let outcome = self.spec.run().and_then(|report| {
-                    serde_json::to_string_pretty(&report)
-                        .map_err(|e| format!("serializing report: {e}"))
+                self.lock_running().push((0, Instant::now()));
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    self.spec.run().and_then(|report| {
+                        serde_json::to_string_pretty(&report)
+                            .map_err(|e| format!("serializing report: {e}"))
+                    })
+                }))
+                .unwrap_or_else(|payload| {
+                    Err(format!("job panicked: {}", panic_message(payload.as_ref())))
                 });
+                self.lock_running().retain(|(cell, _)| *cell != 0);
                 let mut phase = self.lock_phase();
                 if !phase.is_terminal() {
                     *phase = match outcome {
@@ -147,17 +213,23 @@ impl Job {
 
     /// Finalizes the job if every issued cell has completed and no more
     /// will be issued: drains the session's stream, assembles the report
-    /// (or records the failure / cancellation). Idempotent and safe to
-    /// call from any worker after any unit completes.
+    /// (or records the failure / cancellation / expiry). Idempotent and
+    /// safe to call from any worker after any unit completes.
     pub fn try_finalize(&self) {
         let Work::Grid { session, assembly } = &self.work else {
-            // Inline jobs finalize in `run`; the one loose end is a job
-            // cancelled before any worker claimed it.
+            // Inline jobs finalize in `run`; the loose ends are a job
+            // cancelled or expired before any worker claimed it.
             if let Work::Inline { claimed, cancelled } = &self.work {
-                if cancelled.load(Ordering::SeqCst) && !claimed.load(Ordering::SeqCst) {
+                let expired = self.deadline.is_some_and(|d| Instant::now() >= d);
+                if (cancelled.load(Ordering::SeqCst) || expired) && !claimed.load(Ordering::SeqCst)
+                {
                     let mut phase = self.lock_phase();
                     if !phase.is_terminal() {
-                        *phase = Phase::Cancelled;
+                        *phase = if expired {
+                            Phase::DeadlineExceeded
+                        } else {
+                            Phase::Cancelled
+                        };
                     }
                 }
             }
@@ -179,10 +251,14 @@ impl Job {
             slots[done.index] = Some(done.result);
         }
         if slots.iter().any(Option::is_none) {
-            // Cancelled before every cell was issued: partial work, no
+            // Stopped before every cell was issued: partial work, no
             // report. (A cancel that lands after the last cell completed
             // still produces a full report below.)
-            *phase = Phase::Cancelled;
+            *phase = if session.deadline_exceeded() {
+                Phase::DeadlineExceeded
+            } else {
+                Phase::Cancelled
+            };
             return;
         }
         let mut results = Vec::with_capacity(total);
@@ -197,7 +273,7 @@ impl Job {
         }
         let assembly = assembly
             .lock()
-            .expect("assembly lock")
+            .unwrap_or_else(PoisonError::into_inner)
             .take()
             .expect("finalized exactly once");
         let report = ExperimentReport {
@@ -221,6 +297,38 @@ impl Job {
         }
     }
 
+    /// Enforces a passed deadline from outside the claim path (the
+    /// server's watchdog): finalizes if the job actually finished in
+    /// time, otherwise stops the work and records `DeadlineExceeded`.
+    pub fn expire_deadline(&self) {
+        self.try_finalize();
+        self.cancel();
+        let mut phase = self.lock_phase();
+        if !phase.is_terminal() {
+            *phase = Phase::DeadlineExceeded;
+        }
+    }
+
+    /// Forces the job into `Failed` with `error` (unless already
+    /// terminal) and stops issuing work: the scheduler's last-resort
+    /// containment when something outside the per-cell panic boundary
+    /// unwinds, and the watchdog's verdict for stuck cells.
+    pub fn fail_with(&self, error: String) {
+        self.cancel();
+        let mut phase = self.lock_phase();
+        if !phase.is_terminal() {
+            *phase = Phase::Failed { error };
+        }
+    }
+
+    /// The longest-running in-flight cell, as `(index, elapsed)`.
+    pub fn longest_running_cell(&self) -> Option<(usize, Duration)> {
+        self.lock_running()
+            .iter()
+            .map(|&(index, start)| (index, start.elapsed()))
+            .max_by_key(|&(_, elapsed)| elapsed)
+    }
+
     /// The job's current wire status.
     pub fn status(&self) -> JobStatus {
         let phase = self.lock_phase();
@@ -229,6 +337,7 @@ impl Job {
             Phase::Running => (JobState::Running, None),
             Phase::Done { .. } => (JobState::Done, None),
             Phase::Cancelled => (JobState::Cancelled, None),
+            Phase::DeadlineExceeded => (JobState::DeadlineExceeded, None),
             Phase::Failed { error } => (JobState::Failed, Some(error.clone())),
         };
         let (total, issued, completed) = match &self.work {
@@ -245,12 +354,18 @@ impl Job {
         JobStatus {
             id: self.id,
             name: self.spec.name.clone(),
+            tenant: self.tenant.clone(),
             state,
             total_cells: total,
             issued_cells: issued,
             completed_cells: completed,
             error,
         }
+    }
+
+    /// Whether the job can still make progress (queued or running).
+    pub fn is_active(&self) -> bool {
+        !self.lock_phase().is_terminal()
     }
 
     /// The finished report's JSON, when the job is done.
@@ -261,7 +376,26 @@ impl Job {
         }
     }
 
+    // Poison tolerance: phase/running-cell updates are straight-line
+    // (no user code runs under these locks), so a poisoned guard's data
+    // is intact; recovering keeps one panicked thread from wedging
+    // status, cancellation, and shutdown for everyone else.
     fn lock_phase(&self) -> std::sync::MutexGuard<'_, Phase> {
-        self.phase.lock().expect("job phase poisoned")
+        self.phase.lock().unwrap_or_else(PoisonError::into_inner)
     }
+
+    fn lock_running(&self) -> std::sync::MutexGuard<'_, Vec<(usize, Instant)>> {
+        self.running_cells
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// Extracts a human-readable message from a panic payload.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string())
 }

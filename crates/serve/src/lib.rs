@@ -12,21 +12,34 @@
 //! [`cdcs_bench::exp::ExperimentReport`]s byte-equal to the `out/`
 //! artifacts the same specs produce in process.
 //!
+//! The daemon is hardened for multi-tenant traffic: [`admission`] bounds
+//! overload (per-tenant token buckets + a queue-depth cap → `429` +
+//! `Retry-After`), jobs carry optional wall-clock deadlines enforced
+//! through the session's cancellation machinery (plus a per-cell
+//! watchdog), panics anywhere in job execution are contained to the job
+//! that caused them, and [`faults`] can deterministically inject cell
+//! panics, slow cells, and dropped/garbled connections to prove each
+//! degradation mode end to end.
+//!
 //! Two binaries ship with the crate:
 //!
-//! * `cdcs-serve` — the daemon (`--addr`, `--workers`);
+//! * `cdcs-serve` — the daemon (`--addr`, `--workers`, admission and
+//!   watchdog knobs, `CDCS_FAULT`);
 //! * `cdcs` — the client: `submit` / `status` / `report` / `cancel` /
-//!   `run` subcommands speaking the JSON protocol in [`protocol`].
+//!   `run` subcommands speaking the JSON protocol in [`protocol`], with
+//!   bounded exponential-backoff retry on transient failures.
 //!
 //! Everything is dependency-free `std::net` HTTP/1.1 ([`http`]) over the
 //! vendored `serde_json` — the workspace still builds fully offline.
 
+pub mod admission;
 pub mod client;
+pub mod faults;
 pub mod http;
 pub mod job;
 pub mod protocol;
 pub mod scheduler;
 pub mod server;
 
-pub use client::Client;
-pub use server::JobServer;
+pub use client::{Client, RetryPolicy};
+pub use server::{JobServer, ServerConfig};

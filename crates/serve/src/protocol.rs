@@ -20,8 +20,17 @@ pub enum JobState {
     Done,
     /// Cancelled before every cell ran; no report.
     Cancelled,
+    /// The job's deadline passed before it finished; no report.
+    DeadlineExceeded,
     /// A cell (or the report serialization) failed; no report.
     Failed,
+}
+
+impl JobState {
+    /// Whether the state is final (no further transitions).
+    pub fn is_terminal(self) -> bool {
+        !matches!(self, JobState::Queued | JobState::Running)
+    }
 }
 
 /// One job's live status (`GET /jobs/<id>`).
@@ -31,6 +40,8 @@ pub struct JobStatus {
     pub id: u64,
     /// The submitted spec's name (`out/<name>.json` artifact name).
     pub name: String,
+    /// The submitting tenant (`X-Tenant` header; `"default"` otherwise).
+    pub tenant: String,
     /// Lifecycle state.
     pub state: JobState,
     /// Total cells in the job's grid (1 for analysis specs).
@@ -73,6 +84,7 @@ mod tests {
         let status = JobStatus {
             id: 3,
             name: "quickstart".into(),
+            tenant: "default".into(),
             state: JobState::Running,
             total_cells: 7,
             issued_cells: 4,
@@ -90,5 +102,22 @@ mod tests {
         let back: JobStatus =
             serde_json::from_str(&serde_json::to_string(&failed).unwrap()).unwrap();
         assert_eq!(back, failed);
+    }
+
+    #[test]
+    fn terminal_states_are_exactly_the_non_live_ones() {
+        for (state, terminal) in [
+            (JobState::Queued, false),
+            (JobState::Running, false),
+            (JobState::Done, true),
+            (JobState::Cancelled, true),
+            (JobState::DeadlineExceeded, true),
+            (JobState::Failed, true),
+        ] {
+            assert_eq!(state.is_terminal(), terminal, "{state:?}");
+            let back: JobState =
+                serde_json::from_str(&serde_json::to_string(&state).unwrap()).unwrap();
+            assert_eq!(back, state);
+        }
     }
 }

@@ -11,11 +11,20 @@
 //!
 //! Claims are recorded in a log (job ids, in claim order) so fairness is
 //! observable and testable without timing assumptions.
+//!
+//! Workers are expendable-proof: the whole execute/finalize step runs
+//! inside `catch_unwind`, so an unwind that escapes the per-cell panic
+//! boundary fails *that job* (with the captured message) and the worker
+//! returns to the rotation — a poisoned job can never shrink the pool or
+//! take the daemon down. Shutdown comes in two flavors: [`Scheduler::stop`]
+//! (running cells finish, queued work is abandoned) and
+//! [`Scheduler::drain`] (workers keep claiming until every queued cell has
+//! run, then exit).
 
-use crate::job::{Job, WorkUnit};
+use crate::job::{panic_message, Job, WorkUnit};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 
 #[derive(Default)]
@@ -29,6 +38,7 @@ pub struct Scheduler {
     rotation: Mutex<Rotation>,
     cv: Condvar,
     shutdown: AtomicBool,
+    draining: AtomicBool,
 }
 
 /// What a worker got from one rotation pop.
@@ -48,6 +58,7 @@ impl Scheduler {
             rotation: Mutex::new(Rotation::default()),
             cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
         }
     }
 
@@ -58,9 +69,18 @@ impl Scheduler {
         self.cv.notify_all();
     }
 
-    /// Stops the pool: blocked workers wake and exit; running cells finish.
+    /// Stops the pool: blocked workers wake and exit; running cells finish;
+    /// queued cells are abandoned.
     pub fn stop(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
+        let _rotation = self.lock();
+        self.cv.notify_all();
+    }
+
+    /// Drains the pool: workers keep claiming until the rotation is empty
+    /// (every queued cell of every job has run), then exit.
+    pub fn drain(&self) {
+        self.draining.store(true, Ordering::SeqCst);
         let _rotation = self.lock();
         self.cv.notify_all();
     }
@@ -84,17 +104,14 @@ impl Scheduler {
         loop {
             match self.pop() {
                 Pop::Shutdown => return,
-                Pop::Drained(job) => job.try_finalize(),
-                Pop::Task(job, unit) => {
-                    job.run(unit);
-                    job.try_finalize();
-                }
+                Pop::Drained(job) => run_contained(&job, None),
+                Pop::Task(job, unit) => run_contained(&job, Some(unit)),
             }
         }
     }
 
     /// Pops one job and claims one unit from it (see module docs). Blocks
-    /// while the rotation is empty.
+    /// while the rotation is empty (unless draining or shut down).
     fn pop(&self) -> Pop {
         let mut rotation = self.lock();
         loop {
@@ -111,12 +128,43 @@ impl Scheduler {
                     None => Pop::Drained(job),
                 };
             }
-            rotation = self.cv.wait(rotation).expect("scheduler poisoned");
+            if self.draining.load(Ordering::SeqCst) {
+                // Draining and the rotation is empty: every queued cell
+                // has been claimed (in-flight ones finish on their own
+                // workers). Done.
+                return Pop::Shutdown;
+            }
+            rotation = self
+                .cv
+                .wait(rotation)
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 
+    // The rotation holds only queue order and the claim log — both
+    // updated in straight-line code — so a poisoned guard's data is
+    // intact and recovering it beats wedging every worker.
     fn lock(&self) -> std::sync::MutexGuard<'_, Rotation> {
-        self.rotation.lock().expect("scheduler poisoned")
+        self.rotation.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// Runs one claimed unit (or just finalization) with last-resort panic
+/// containment: an unwind is converted into the job's failure instead of
+/// the worker's death.
+fn run_contained(job: &Arc<Job>, unit: Option<WorkUnit>) {
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        if let Some(unit) = unit {
+            job.run(unit);
+        }
+        job.try_finalize();
+    }));
+    if let Err(payload) = outcome {
+        job.fail_with(format!(
+            "internal error executing job {}: {}",
+            job.id,
+            panic_message(payload.as_ref())
+        ));
     }
 }
 

@@ -3,7 +3,11 @@
 //! Routes (all JSON, `Connection: close`):
 //!
 //! * `POST /jobs` — body is an [`ExperimentSpec`]; expands the spec,
-//!   enqueues the job, replies `{"id": n}`.
+//!   enqueues the job, replies `{"id": n}`. Admission-controlled: the
+//!   tenant (`X-Tenant` header, `"default"` otherwise) is charged one
+//!   token-bucket credit and the active-job queue depth is checked; a
+//!   refusal is `429 Too Many Requests` with `Retry-After`. An optional
+//!   `X-Deadline-Ms` header sets the job's wall-clock deadline.
 //! * `GET /jobs` — every job's status, in submission order.
 //! * `GET /jobs/<id>` — one job's live status (per-cell progress).
 //! * `GET /jobs/<id>/report` — the finished [`ExperimentReport`] JSON,
@@ -12,26 +16,86 @@
 //! * `DELETE /jobs/<id>` — cancels via the session's token; replies with
 //!   the job's status.
 //! * `GET /healthz` — liveness probe.
+//!
+//! Degradation is designed, not accidental: oversized bodies are `413`
+//! before any allocation, malformed requests are `400` without wedging
+//! their connection thread, overload is `429` + `Retry-After` (never an
+//! unbounded queue), a panicking cell fails its own job while every other
+//! tenant's jobs keep running, and deadlines/watchdogs move stuck jobs to
+//! a terminal state. A [`FaultPlan`] can inject each of these failures
+//! deterministically for the e2e suite and the CI smoke job.
 
-use crate::http::{read_request, write_response, Request};
-use crate::job::Job;
-use crate::protocol::{ErrorReply, JobList, SubmitReply};
+use crate::admission::{Admission, TenantLimit, DEFAULT_TENANT};
+use crate::faults::{ConnFault, FaultPlan};
+use crate::http::{read_request, write_response, Request, RequestError};
+use crate::job::{Job, JobOptions};
+use crate::protocol::{ErrorReply, JobList, JobStatus, SubmitReply};
 use crate::scheduler::Scheduler;
 use cdcs_bench::exp::ExperimentSpec;
+use std::io::Write;
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Daemon configuration. [`ServerConfig::new`] gives the permissive
+/// defaults (no admission limits, no watchdog, no faults) — the shape the
+/// pre-hardening daemon had.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address (`host:port`; port `0` for ephemeral).
+    pub addr: String,
+    /// Worker pool size (floored at 1).
+    pub workers: usize,
+    /// Per-tenant submission rate limit.
+    pub tenant_limit: Option<TenantLimit>,
+    /// Cap on queued-or-running jobs.
+    pub queue_cap: Option<usize>,
+    /// Per-cell wall-clock watchdog: a cell running longer than this
+    /// fails its job (the pool slot frees once the cell returns).
+    pub cell_timeout: Option<Duration>,
+    /// Fault-injection plan (empty by default).
+    pub faults: Arc<FaultPlan>,
+}
+
+impl ServerConfig {
+    /// Permissive defaults on `addr` with `workers` pool threads.
+    pub fn new(addr: impl Into<String>, workers: usize) -> ServerConfig {
+        ServerConfig {
+            addr: addr.into(),
+            workers,
+            tenant_limit: None,
+            queue_cap: None,
+            cell_timeout: None,
+            faults: Arc::new(FaultPlan::default()),
+        }
+    }
+}
+
+/// How a shutdown went: which threads had to be abandoned rather than
+/// joined cleanly, plus every job's final status.
+#[derive(Debug)]
+pub struct ShutdownReport {
+    /// Threads whose join reported a panic (0 in healthy operation — the
+    /// pool contains every unwind).
+    pub panicked_threads: usize,
+    /// Final status of every job the daemon accepted.
+    pub jobs: Vec<JobStatus>,
+}
 
 struct ServerState {
     jobs: Mutex<Vec<Arc<Job>>>,
     next_id: AtomicU64,
     sched: Arc<Scheduler>,
+    admission: Admission,
     pool_workers: usize,
+    cell_timeout: Option<Duration>,
+    faults: Arc<FaultPlan>,
     stopping: AtomicBool,
 }
 
-/// A running daemon: worker pool + accept loop. Dropping (or
+/// A running daemon: worker pool + accept loop + watchdog. Dropping (or
 /// [`JobServer::shutdown`]) stops accepting, stops the pool, and joins
 /// every thread; running cells finish first.
 pub struct JobServer {
@@ -42,13 +106,24 @@ pub struct JobServer {
 
 impl JobServer {
     /// Binds `addr` (e.g. `127.0.0.1:7077`, or port `0` for an ephemeral
-    /// port) and starts `workers` pool threads plus the accept loop.
+    /// port) and starts `workers` pool threads plus the accept loop, with
+    /// permissive defaults (no limits, no faults).
     ///
     /// # Errors
     ///
     /// Returns bind errors.
     pub fn start(addr: &str, workers: usize) -> Result<JobServer, String> {
-        let listener = TcpListener::bind(addr).map_err(|e| format!("binding {addr}: {e}"))?;
+        JobServer::start_with(ServerConfig::new(addr, workers))
+    }
+
+    /// Binds and starts a daemon with the full configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns bind errors.
+    pub fn start_with(config: ServerConfig) -> Result<JobServer, String> {
+        let listener =
+            TcpListener::bind(&config.addr).map_err(|e| format!("binding {}: {e}", config.addr))?;
         let local = listener
             .local_addr()
             .map_err(|e| format!("local addr: {e}"))?;
@@ -56,10 +131,15 @@ impl JobServer {
             jobs: Mutex::new(Vec::new()),
             next_id: AtomicU64::new(0),
             sched: Arc::new(Scheduler::new()),
-            pool_workers: workers.max(1),
+            admission: Admission::new(config.tenant_limit, config.queue_cap),
+            pool_workers: config.workers.max(1),
+            cell_timeout: config.cell_timeout,
+            faults: config.faults,
             stopping: AtomicBool::new(false),
         });
         let mut threads = state.sched.start_pool(state.pool_workers);
+        let watchdog_state = Arc::clone(&state);
+        threads.push(std::thread::spawn(move || watchdog_state.watchdog_loop()));
         let accept_state = Arc::clone(&state);
         threads.push(std::thread::spawn(move || {
             for stream in listener.incoming() {
@@ -71,7 +151,7 @@ impl JobServer {
                 // a client that connects and goes silent must never wedge
                 // the accept loop (or `GET /healthz`) — it times out in
                 // its own thread instead.
-                let timeout = Some(std::time::Duration::from_secs(10));
+                let timeout = Some(Duration::from_secs(10));
                 let _ = stream.set_read_timeout(timeout);
                 let _ = stream.set_write_timeout(timeout);
                 let conn_state = Arc::clone(&accept_state);
@@ -97,35 +177,60 @@ impl JobServer {
     }
 
     /// Submits a spec directly (the HTTP-free path for embedding and
-    /// tests).
+    /// tests). Bypasses tenant buckets but not the queue cap.
     ///
     /// # Errors
     ///
-    /// Propagates spec-expansion errors.
+    /// Propagates spec-expansion errors and queue-cap refusals.
     pub fn submit(&self, spec: ExperimentSpec) -> Result<u64, String> {
-        self.state.submit(spec)
+        self.state
+            .submit(spec, JobOptions::default())
+            .map_err(|e| e.message)
     }
 
-    /// Stops the accept loop and the pool, joining every thread.
-    pub fn shutdown(mut self) {
+    /// Stops the accept loop and the pool (running cells finish, queued
+    /// cells are abandoned) and joins every thread. A panicked thread is
+    /// *reported*, never propagated: shutdown always completes.
+    pub fn shutdown(mut self) -> ShutdownReport {
         self.stop();
-        for handle in self.threads.drain(..) {
-            handle.join().expect("server thread panicked");
-        }
+        self.join_threads()
+    }
+
+    /// Drain-mode shutdown: stops accepting, lets the pool finish every
+    /// queued cell of every job, then joins. The report carries each
+    /// job's final status.
+    pub fn shutdown_drain(mut self) -> ShutdownReport {
+        self.state.stopping.store(true, Ordering::SeqCst);
+        self.state.sched.drain();
+        // Unblock `listener.incoming()` with one throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        self.join_threads()
     }
 
     fn stop(&self) {
         self.state.stopping.store(true, Ordering::SeqCst);
         self.state.sched.stop();
-        // Unblock `listener.incoming()` with one throwaway connection.
         let _ = TcpStream::connect(self.addr);
     }
 
-    /// Blocks the calling thread on the accept loop (the daemon binary's
-    /// main thread parks here).
+    fn join_threads(&mut self) -> ShutdownReport {
+        let mut panicked = 0usize;
+        for handle in self.threads.drain(..) {
+            if handle.join().is_err() {
+                panicked += 1;
+            }
+        }
+        ShutdownReport {
+            panicked_threads: panicked,
+            jobs: self.state.lock_jobs().iter().map(|j| j.status()).collect(),
+        }
+    }
+
+    /// Blocks the calling thread on the daemon's threads (the daemon
+    /// binary's main thread parks here).
     pub fn join(mut self) {
         for handle in self.threads.drain(..) {
-            handle.join().expect("server thread panicked");
+            let _ = handle.join();
         }
     }
 }
@@ -136,42 +241,138 @@ impl Drop for JobServer {
             return;
         }
         self.stop();
+        // Never panic in Drop: a panicked worker is already contained
+        // (its job is Failed); a double panic here would abort.
         for handle in self.threads.drain(..) {
-            handle.join().expect("server thread panicked");
+            let _ = handle.join();
+        }
+    }
+}
+
+/// A submission refusal with its HTTP shape.
+struct SubmitRefusal {
+    status: u16,
+    reason: &'static str,
+    message: String,
+    retry_after: Option<Duration>,
+}
+
+impl SubmitRefusal {
+    fn bad_request(message: String) -> SubmitRefusal {
+        SubmitRefusal {
+            status: 400,
+            reason: "Bad Request",
+            message,
+            retry_after: None,
         }
     }
 }
 
 impl ServerState {
-    fn submit(&self, spec: ExperimentSpec) -> Result<u64, String> {
+    fn submit(&self, spec: ExperimentSpec, options: JobOptions) -> Result<u64, SubmitRefusal> {
+        if self.stopping.load(Ordering::SeqCst) {
+            return Err(SubmitRefusal {
+                status: 503,
+                reason: "Service Unavailable",
+                message: "daemon is shutting down".into(),
+                retry_after: Some(Duration::from_secs(1)),
+            });
+        }
+        let tenant = if options.tenant.is_empty() {
+            DEFAULT_TENANT
+        } else {
+            options.tenant.as_str()
+        };
+        let active = self.lock_jobs().iter().filter(|j| j.is_active()).count();
+        self.admission
+            .admit(tenant, active)
+            .map_err(|refusal| SubmitRefusal {
+                status: 429,
+                reason: "Too Many Requests",
+                message: refusal.reason,
+                retry_after: Some(refusal.retry_after),
+            })?;
         let id = self.next_id.fetch_add(1, Ordering::SeqCst);
-        let job = Arc::new(Job::new(id, spec, self.pool_workers)?);
-        self.jobs.lock().expect("jobs lock").push(Arc::clone(&job));
+        let job = Arc::new(
+            Job::new(id, spec, self.pool_workers, options).map_err(SubmitRefusal::bad_request)?,
+        );
+        self.lock_jobs().push(Arc::clone(&job));
         self.sched.enqueue(job);
         Ok(id)
     }
 
     fn job(&self, id: u64) -> Option<Arc<Job>> {
-        self.jobs
-            .lock()
-            .expect("jobs lock")
-            .iter()
-            .find(|j| j.id == id)
-            .cloned()
+        self.lock_jobs().iter().find(|j| j.id == id).cloned()
+    }
+
+    fn lock_jobs(&self) -> std::sync::MutexGuard<'_, Vec<Arc<Job>>> {
+        self.jobs.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Periodically enforces wall-clock limits no claim path would catch:
+    /// job deadlines while nothing claims (queued or mid-flight jobs) and
+    /// the per-cell watchdog for stuck cells.
+    fn watchdog_loop(&self) {
+        while !self.stopping.load(Ordering::SeqCst) {
+            let jobs: Vec<Arc<Job>> = self.lock_jobs().clone();
+            for job in jobs {
+                if !job.is_active() {
+                    continue;
+                }
+                if job.deadline.is_some_and(|d| Instant::now() >= d) {
+                    job.expire_deadline();
+                    continue;
+                }
+                if let (Some(timeout), Some((cell, elapsed))) =
+                    (self.cell_timeout, job.longest_running_cell())
+                {
+                    if elapsed > timeout {
+                        job.fail_with(format!(
+                            "cell {cell} exceeded the {}ms per-cell watchdog \
+                             (running for {}ms)",
+                            timeout.as_millis(),
+                            elapsed.as_millis()
+                        ));
+                    }
+                }
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
     }
 
     /// Handles one request; every response is written before the
-    /// connection closes.
+    /// connection closes (unless a connection fault is injected).
     fn handle(&self, stream: &mut TcpStream) {
+        match self.faults.on_conn() {
+            Some(ConnFault::Drop) => return, // close without a byte
+            Some(ConnFault::Garble) => {
+                let _ = stream.write_all(b"\x07garbled by fault injection\x07");
+                return;
+            }
+            None => {}
+        }
         let reply = match read_request(stream) {
             Ok(request) => self.route(&request),
-            Err(error) => Reply::error(400, "Bad Request", &error),
+            Err(RequestError::TooLarge { declared }) => Reply::error(
+                413,
+                "Payload Too Large",
+                &format!(
+                    "declared body of {declared} bytes exceeds the \
+                     {}-byte cap",
+                    crate::http::MAX_BODY
+                ),
+            ),
+            Err(RequestError::Malformed(error)) => Reply::error(400, "Bad Request", &error),
+            // The transport died mid-read; writing a reply is best-effort
+            // noise, but must never wedge or kill this thread.
+            Err(RequestError::Io(error)) => Reply::error(400, "Bad Request", &error),
         };
         let _ = write_response(
             stream,
             reply.status,
             reply.reason,
             "application/json",
+            &reply.headers,
             reply.body.as_bytes(),
         );
     }
@@ -187,11 +388,10 @@ impl ServerState {
             .collect();
         match (request.method.as_str(), segments.as_slice()) {
             ("GET", ["healthz"]) => Reply::ok("{\"ok\":true}".into()),
-            ("POST", ["jobs"]) => self.post_job(&request.body),
+            ("POST", ["jobs"]) => self.post_job(request),
             ("GET", ["jobs"]) => {
-                let jobs = self.jobs.lock().expect("jobs lock");
                 let list = JobList {
-                    jobs: jobs.iter().map(|j| j.status()).collect(),
+                    jobs: self.lock_jobs().iter().map(|j| j.status()).collect(),
                 };
                 Reply::json(&list)
             }
@@ -213,6 +413,11 @@ impl ServerState {
                 job.try_finalize();
                 Reply::json(&job.status())
             }),
+            (method, ["jobs", ..]) => Reply::error(
+                405,
+                "Method Not Allowed",
+                &format!("method {method} is not supported on {}", request.path),
+            ),
             _ => Reply::error(
                 404,
                 "Not Found",
@@ -221,8 +426,8 @@ impl ServerState {
         }
     }
 
-    fn post_job(&self, body: &[u8]) -> Reply {
-        let text = match std::str::from_utf8(body) {
+    fn post_job(&self, request: &Request) -> Reply {
+        let text = match std::str::from_utf8(&request.body) {
             Ok(text) => text,
             Err(e) => return Reply::error(400, "Bad Request", &format!("body is not UTF-8: {e}")),
         };
@@ -232,13 +437,42 @@ impl ServerState {
                 return Reply::error(400, "Bad Request", &format!("parsing spec: {e}"));
             }
         };
-        match self.submit(spec) {
+        let deadline = match request.header("x-deadline-ms") {
+            Some(raw) => match raw.parse::<u64>() {
+                Ok(ms) => Some(Instant::now() + Duration::from_millis(ms)),
+                Err(e) => {
+                    return Reply::error(
+                        400,
+                        "Bad Request",
+                        &format!("bad X-Deadline-Ms {raw:?}: {e}"),
+                    )
+                }
+            },
+            None => None,
+        };
+        let options = JobOptions {
+            tenant: request.header("x-tenant").unwrap_or("").to_string(),
+            deadline,
+            faults: Some(Arc::clone(&self.faults)),
+        };
+        match self.submit(spec, options) {
             Ok(id) => Reply {
                 status: 201,
                 reason: "Created",
+                headers: Vec::new(),
                 body: serde_json::to_string(&SubmitReply { id }).expect("submit reply serializes"),
             },
-            Err(error) => Reply::error(400, "Bad Request", &error),
+            Err(refusal) => {
+                let mut reply = Reply::error(refusal.status, refusal.reason, &refusal.message);
+                if let Some(wait) = refusal.retry_after {
+                    // Retry-After is delta-seconds; round up so a client
+                    // that sleeps exactly this long finds a token.
+                    reply
+                        .headers
+                        .push(("Retry-After", wait.as_secs_f64().ceil().to_string()));
+                }
+                reply
+            }
         }
     }
 
@@ -256,6 +490,7 @@ impl ServerState {
 struct Reply {
     status: u16,
     reason: &'static str,
+    headers: Vec<(&'static str, String)>,
     body: String,
 }
 
@@ -264,6 +499,7 @@ impl Reply {
         Reply {
             status: 200,
             reason: "OK",
+            headers: Vec::new(),
             body,
         }
     }
@@ -276,6 +512,7 @@ impl Reply {
         Reply {
             status,
             reason,
+            headers: Vec::new(),
             body: serde_json::to_string(&ErrorReply {
                 error: message.to_string(),
             })

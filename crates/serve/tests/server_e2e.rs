@@ -205,9 +205,10 @@ fn protocol_errors_are_structured() {
         .expect_err("unexpandable spec");
     assert!(err.contains("400"), "unexpected error: {err}");
     // Health probe.
-    let (status, body) =
-        cdcs_serve::http::request(&client.addr, "GET", "/healthz", None).expect("healthz");
-    assert_eq!(status, 200);
-    assert!(body.contains("true"));
-    server.shutdown();
+    let response =
+        cdcs_serve::http::request(&client.addr, "GET", "/healthz", &[], None).expect("healthz");
+    assert_eq!(response.status, 200);
+    assert!(response.body.contains("true"));
+    let report = server.shutdown();
+    assert_eq!(report.panicked_threads, 0);
 }

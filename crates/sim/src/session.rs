@@ -30,8 +30,37 @@ use crate::runner::{run_cell, GridCell};
 use crate::{SimConfig, SimResult};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// A hook run on the worker thread just before each claimed cell, inside
+/// the same panic boundary as the cell body: a panicking hook fails *that
+/// cell* (its `Err` carries the payload message), never the worker. This
+/// is the seam the `cdcs-serve` fault-injection harness uses to inject
+/// deterministic cell panics and slowdowns without touching the engine.
+pub type CellHook = Arc<dyn Fn(usize) + Send + Sync>;
+
+/// Optional session behaviors beyond the plain claim/run/deliver loop.
+#[derive(Default, Clone)]
+pub struct SessionOptions {
+    /// Wall-clock deadline: once it passes, no new cells are issued (the
+    /// session behaves as cancelled) and
+    /// [`GridSession::deadline_exceeded`] reports `true`. In-flight cells
+    /// still complete and deliver.
+    pub deadline: Option<Instant>,
+    /// Pre-cell hook (see [`CellHook`]).
+    pub cell_hook: Option<CellHook>,
+}
+
+impl std::fmt::Debug for SessionOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SessionOptions")
+            .field("deadline", &self.deadline)
+            .field("cell_hook", &self.cell_hook.is_some())
+            .finish()
+    }
+}
 
 /// Applies the PR 3 nested-clamp rule for a session executed by
 /// `pool_workers` concurrent workers: when the config asks for bank-sharded
@@ -100,7 +129,7 @@ impl CancelToken {
         self.shared.cancelled.store(true, Ordering::SeqCst);
         // Wake any blocked `recv`: with nothing in flight the session is
         // now finished and the stream must return `None`.
-        let _guard = self.shared.state.lock().expect("session lock");
+        let _guard = self.shared.lock();
         self.shared.cv.notify_all();
     }
 
@@ -125,7 +154,6 @@ struct SessionState {
     stream: VecDeque<CellDone>,
 }
 
-#[derive(Debug)]
 struct SessionShared {
     /// Pool-clamped configuration every cell runs under.
     config: SimConfig,
@@ -133,20 +161,49 @@ struct SessionShared {
     cells: Vec<GridCell>,
     /// Cancellation flag (outside the lock so checks are free).
     cancelled: AtomicBool,
+    /// Set the first time a claim observes the deadline has passed.
+    deadline_hit: AtomicBool,
+    options: SessionOptions,
     state: Mutex<SessionState>,
     cv: Condvar,
 }
 
+impl std::fmt::Debug for SessionShared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SessionShared")
+            .field("cells", &self.cells.len())
+            .field("cancelled", &self.cancelled.load(Ordering::SeqCst))
+            .field("deadline_hit", &self.deadline_hit.load(Ordering::SeqCst))
+            .field("options", &self.options)
+            .finish_non_exhaustive()
+    }
+}
+
 impl SessionShared {
+    // A poisoned session mutex means some holder panicked mid-update; the
+    // state it guards (counters + stream queue) is only ever mutated in
+    // panic-free straight-line code, so recovering the guard is safe —
+    // and a cancel/status path that panicked on poison would turn one bad
+    // cell into a wedged daemon.
     fn lock(&self) -> MutexGuard<'_, SessionState> {
-        self.state.lock().expect("session state poisoned")
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
-    /// Claims the next cell, or `None` when the session is cancelled or
-    /// drained. Each index is handed out exactly once.
+    /// Claims the next cell, or `None` when the session is cancelled,
+    /// past its deadline, or drained. Each index is handed out exactly
+    /// once.
     fn try_claim(&self) -> Option<usize> {
         if self.cancelled.load(Ordering::SeqCst) {
             return None;
+        }
+        if let Some(deadline) = self.options.deadline {
+            if Instant::now() >= deadline {
+                self.deadline_hit.store(true, Ordering::SeqCst);
+                self.cancelled.store(true, Ordering::SeqCst);
+                let _guard = self.lock();
+                self.cv.notify_all();
+                return None;
+            }
         }
         let mut state = self.lock();
         if self.cancelled.load(Ordering::SeqCst) || state.next >= self.cells.len() {
@@ -168,7 +225,12 @@ impl SessionShared {
     /// pool). The session keeps streaming; the failure surfaces exactly
     /// like a construction error.
     fn run_claimed(&self, index: usize) {
-        let result = catch_cell_panic(index, || run_cell(&self.config, &self.cells[index]));
+        let result = catch_cell_panic(index, || {
+            if let Some(hook) = &self.options.cell_hook {
+                hook(index);
+            }
+            run_cell(&self.config, &self.cells[index])
+        });
         let mut state = self.lock();
         state.completed += 1;
         state.stream.push_back(CellDone { index, result });
@@ -238,16 +300,32 @@ impl GridSession {
     /// session from a wide shared pool apply [`clamp_intra_cell`]
     /// themselves (the `cdcs-serve` scheduler does).
     pub fn queued(config: &SimConfig, cells: Vec<GridCell>) -> Self {
+        GridSession::queued_with(config, cells, SessionOptions::default())
+    }
+
+    /// [`Self::queued`] with extra behaviors: a wall-clock deadline and/or
+    /// a pre-cell hook (the `cdcs-serve` daemon's deadline enforcement and
+    /// fault-injection seams).
+    pub fn queued_with(config: &SimConfig, cells: Vec<GridCell>, options: SessionOptions) -> Self {
         GridSession {
             shared: Arc::new(SessionShared {
                 config: config.clone(),
                 cells,
                 cancelled: AtomicBool::new(false),
+                deadline_hit: AtomicBool::new(false),
+                options,
                 state: Mutex::new(SessionState::default()),
                 cv: Condvar::new(),
             }),
             workers: Vec::new(),
         }
+    }
+
+    /// Whether a claim has observed the session's deadline passing (the
+    /// session then behaves as cancelled; callers use this to distinguish
+    /// `deadline_exceeded` from a user cancel).
+    pub fn deadline_exceeded(&self) -> bool {
+        self.shared.deadline_hit.load(Ordering::SeqCst)
     }
 
     /// The cells this session runs.
@@ -304,7 +382,11 @@ impl GridSession {
             if self.shared.progress_locked(&state).finished() {
                 return None;
             }
-            state = self.shared.cv.wait(state).expect("session state poisoned");
+            state = self
+                .shared
+                .cv
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 
@@ -317,8 +399,12 @@ impl GridSession {
         while let Some(done) = self.recv() {
             slots[done.index] = Some(done.result);
         }
+        // Workers convert every cell unwind into that cell's `Err`, so a
+        // join failure would mean a panic outside the catch boundary —
+        // the results are already drained, so report nothing rather than
+        // propagate.
         for handle in self.workers.drain(..) {
-            handle.join().expect("session worker panicked");
+            let _ = handle.join();
         }
         slots
     }
@@ -327,10 +413,11 @@ impl GridSession {
 impl Drop for GridSession {
     fn drop(&mut self) {
         // Stop issuing new cells and wait for in-flight ones, so dropping a
-        // half-consumed session never leaks running simulations.
+        // half-consumed session never leaks running simulations. Never
+        // panic in Drop (a double panic aborts the process).
         self.shared.cancelled.store(true, Ordering::SeqCst);
         for handle in self.workers.drain(..) {
-            handle.join().expect("session worker panicked");
+            let _ = handle.join();
         }
     }
 }

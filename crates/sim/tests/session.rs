@@ -151,6 +151,86 @@ fn empty_session_finishes_immediately() {
 }
 
 #[test]
+fn expired_deadline_stops_issuing_and_is_distinguishable_from_cancel() {
+    use cdcs_sim::SessionOptions;
+    use std::time::{Duration, Instant};
+
+    let config = SimConfig::small_test();
+    let cells = five_cells();
+    let serial = run_grid_serial(&config, &cells).expect("serial grid");
+
+    // One cell completes before the deadline passes; the rest never issue.
+    let session = GridSession::queued_with(
+        &config,
+        cells.clone(),
+        SessionOptions {
+            deadline: Some(Instant::now() + Duration::from_secs(3600)),
+            ..SessionOptions::default()
+        },
+    );
+    let i = session.try_claim().expect("claimable before the deadline");
+    session.run_claimed(i);
+    assert!(!session.deadline_exceeded());
+
+    // A second session whose deadline is already in the past.
+    let expired = GridSession::queued_with(
+        &config,
+        cells.clone(),
+        SessionOptions {
+            deadline: Some(Instant::now() - Duration::from_millis(1)),
+            ..SessionOptions::default()
+        },
+    );
+    assert!(!expired.deadline_exceeded(), "unobserved until a claim");
+    assert!(
+        expired.try_claim().is_none(),
+        "expired sessions issue nothing"
+    );
+    assert!(expired.deadline_exceeded());
+    let progress = expired.progress();
+    assert!(progress.cancelled, "expiry behaves as cancellation");
+    assert!(progress.finished());
+    assert!(expired.recv().is_none(), "the stream terminates cleanly");
+
+    // The live session still works and its result matches the reference.
+    let done = session.recv().expect("pre-deadline cell delivered");
+    assert_eq!(done.result.expect("ran"), serial[done.index]);
+}
+
+#[test]
+fn cell_hook_panics_fail_only_that_cell() {
+    use cdcs_sim::SessionOptions;
+    use std::sync::Arc;
+
+    let config = SimConfig::small_test();
+    let cells = five_cells();
+    let serial = run_grid_serial(&config, &cells).expect("serial grid");
+    let session = GridSession::queued_with(
+        &config,
+        cells.clone(),
+        SessionOptions {
+            cell_hook: Some(Arc::new(|index| {
+                if index == 1 {
+                    panic!("injected fault in cell {index}");
+                }
+            })),
+            ..SessionOptions::default()
+        },
+    );
+    session.drive();
+    let slots = session.join();
+    for (i, slot) in slots.into_iter().enumerate() {
+        let result = slot.expect("every cell issued");
+        if i == 1 {
+            let err = result.expect_err("hooked cell fails");
+            assert_eq!(err, "cell 1 panicked: injected fault in cell 1");
+        } else {
+            assert_eq!(result.expect("clean cell runs"), serial[i], "cell {i}");
+        }
+    }
+}
+
+#[test]
 fn construction_errors_stream_per_cell() {
     let mut config = SimConfig::small_test();
     config.bank_lines = 0; // invalid: every cell errors
