@@ -1,10 +1,21 @@
 //! Placement-algorithm scaling: optimistic placement, thread placement and
 //! the trade search as thread counts grow (the paper projects 1.2% overhead
 //! at 1024 cores from the quadratic steps).
+//!
+//! The 16/64/144 rows run the flat four-step pipeline; the 256/1024 rows
+//! run the hierarchical region planner (flat planning is what the
+//! hierarchy exists to replace at that scale — `check_bench_regression.sh`
+//! gates `full_pipeline/256` against the linear extrapolation of the flat
+//! 64→144 trend from the same run). `placement_incremental` compares a
+//! cold hierarchical epoch against a warm-start epoch where only a handful
+//! of VCs changed demand; the checker requires warm ≥5× faster.
 
 use cdcs_cache::MissCurve;
 use cdcs_core::place::{greedy_place, optimistic_place, place_threads, trade_refine};
-use cdcs_core::{PlacementProblem, SystemParams, ThreadInfo, VcInfo, VcKind};
+use cdcs_core::policy::HierarchicalPlanner;
+use cdcs_core::{
+    Placement, PlacementProblem, PlanScratch, SystemParams, ThreadInfo, VcInfo, VcKind,
+};
 use cdcs_mesh::{Mesh, TileId};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
@@ -21,6 +32,29 @@ fn problem(threads: usize, side: u16) -> PlacementProblem {
         .collect();
     let infos = (0..threads)
         .map(|i| ThreadInfo::new(i as u32, vec![(i as u32, 20_000.0)]))
+        .collect();
+    PlacementProblem::new(params, vcs, infos).expect("problem")
+}
+
+/// A mega-mesh problem with per-VC cliffs; ids below `changed_prefix` have
+/// their demand scaled (the incremental bench's "changed epoch").
+fn mega_problem(threads: usize, side: u16, changed_prefix: usize) -> PlacementProblem {
+    let params = SystemParams::default_for_mesh(Mesh::square(side), 8192);
+    let vcs = (0..threads)
+        .map(|i| {
+            let scale = if i < changed_prefix { 2.0 } else { 1.0 };
+            VcInfo::new(
+                i as u32,
+                VcKind::thread_private(i as u32),
+                MissCurve::new(vec![
+                    (0.0, scale * (18_000.0 + 7.0 * i as f64)),
+                    (scale * (2048.0 + 32.0 * (i % 64) as f64), 400.0),
+                ]),
+            )
+        })
+        .collect();
+    let infos = (0..threads)
+        .map(|i| ThreadInfo::new(i as u32, vec![(i as u32, 15_000.0 + i as f64)]))
         .collect();
     PlacementProblem::new(params, vcs, infos).expect("problem")
 }
@@ -42,8 +76,68 @@ fn bench_scaling(c: &mut Criterion) {
             })
         });
     }
+    // Mega-mesh scales: the flat pipeline is superlinear per tile, so these
+    // rows run the hierarchical planner (cold: sizing + region assignment +
+    // thread placement + per-region solves) — the configuration a mega-mesh
+    // chip would actually plan with.
+    for &(threads, side) in &[(256usize, 16u16), (1024, 32)] {
+        let p = mega_problem(threads, side, 0);
+        let cores: Vec<TileId> = (0..threads as u16).map(TileId).collect();
+        let planner = HierarchicalPlanner::new(4, 0.0);
+        let mut scratch = PlanScratch::new();
+        let mut out = Placement::default();
+        group.bench_with_input(BenchmarkId::new("full_pipeline", threads), &p, |b, p| {
+            b.iter(|| {
+                planner.plan_into(p, None, &cores, &mut scratch, &mut out);
+                out.num_banks()
+            })
+        });
+    }
     group.finish();
 }
 
-criterion_group!(benches, bench_scaling);
+fn bench_incremental(c: &mut Criterion) {
+    let mut group = c.benchmark_group("placement_incremental");
+    group.sample_size(10);
+    for &(threads, side) in &[(256usize, 16u16), (1024, 32)] {
+        let pa = mega_problem(threads, side, 0);
+        let pb = mega_problem(threads, side, 4); // 4 VCs change demand
+        let cores: Vec<TileId> = (0..threads as u16).map(TileId).collect();
+        let planner = HierarchicalPlanner::new(4, 0.05);
+
+        // Cold: every epoch replans hierarchically from scratch.
+        let mut scratch = PlanScratch::new();
+        let mut out = Placement::default();
+        group.bench_with_input(BenchmarkId::new("cold", threads), &pa, |b, p| {
+            b.iter(|| {
+                planner.plan_into(p, None, &cores, &mut scratch, &mut out);
+                out.num_banks()
+            })
+        });
+
+        // Warm: epochs alternate between two demand snapshots that differ
+        // in 4 VCs, so every iteration is a genuine incremental replan
+        // (signatures diff, unchanged rows copied, 4 VCs re-solved).
+        let mut scratch = PlanScratch::new();
+        let mut prev = planner.plan_with(&pa, None, &cores, &mut scratch);
+        let mut cur = Placement::default();
+        planner.plan_into(&pb, Some(&prev), &prev.thread_cores, &mut scratch, &mut cur);
+        std::mem::swap(&mut prev, &mut cur);
+        planner.plan_into(&pa, Some(&prev), &prev.thread_cores, &mut scratch, &mut cur);
+        std::mem::swap(&mut prev, &mut cur);
+        let mut flip = false;
+        group.bench_function(BenchmarkId::new("warm", threads), |b| {
+            b.iter(|| {
+                let p = if flip { &pa } else { &pb };
+                flip = !flip;
+                planner.plan_into(p, Some(&prev), &prev.thread_cores, &mut scratch, &mut cur);
+                std::mem::swap(&mut prev, &mut cur);
+                prev.num_banks()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling, bench_incremental);
 criterion_main!(benches);

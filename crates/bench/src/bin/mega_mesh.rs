@@ -1,0 +1,29 @@
+//! Mega-mesh scaling scenario (ISSUE 7): S-NUCA and CDCS on a 256-tile
+//! chip — 1024 tiles with `--tiles 1024` — comparing flat chip-wide
+//! planning against the hierarchical region planner with incremental
+//! warm-start reconfiguration (`hier_region_side` / `hier_change_threshold`).
+//!
+//! Flags follow the shared conventions: `--mixes N`, `--apps N`,
+//! `--tiles 256|1024`, `--small` (rebase onto the 4×4 test chip, where the
+//! hierarchical patch still runs multi-region).
+
+use cdcs_bench::exp::BaseConfig;
+use cdcs_bench::{arg, fmt, run_and_save, specs};
+
+fn main() -> Result<(), String> {
+    let mixes = arg("mixes", 2);
+    let apps = arg("apps", 32);
+    let tiles = arg("tiles", 256);
+    let mut spec = specs::mega_mesh(mixes, apps);
+    match tiles {
+        256 => {}
+        1024 => {
+            spec.set_base(BaseConfig::Mega1024);
+            spec.name = "mega_mesh_1024".into();
+        }
+        other => return Err(format!("--tiles must be 256 or 1024, got {other}")),
+    }
+    let report = run_and_save(spec)?;
+    fmt::mega_mesh(&report, tiles);
+    Ok(())
+}

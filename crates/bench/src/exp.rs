@@ -31,6 +31,10 @@ pub enum BaseConfig {
     CaseStudy,
     /// The fast 4×4 test chip ([`SimConfig::small_test`]).
     SmallTest,
+    /// A 256-tile (16×16) mega-mesh ([`SimConfig::mega_mesh`] at side 16).
+    Mega256,
+    /// A 1024-tile (32×32) mega-mesh ([`SimConfig::mega_mesh`] at side 32).
+    Mega1024,
 }
 
 impl BaseConfig {
@@ -40,6 +44,8 @@ impl BaseConfig {
             BaseConfig::Target => SimConfig::default(),
             BaseConfig::CaseStudy => SimConfig::case_study(),
             BaseConfig::SmallTest => SimConfig::small_test(),
+            BaseConfig::Mega256 => SimConfig::mega_mesh(16),
+            BaseConfig::Mega1024 => SimConfig::mega_mesh(32),
         }
     }
 }

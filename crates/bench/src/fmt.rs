@@ -322,6 +322,23 @@ pub fn gmon_ablation(report: &ExperimentReport, mixes: usize, apps: usize) {
     println!("\npaper: GMON-64w ~= UMON-256w; UMON-64w ~3% worse; UMON-1Kw only ~1.1% better");
 }
 
+/// Mega-mesh scaling scenario: per-planner-patch gmean WS across schemes.
+pub fn mega_mesh(report: &ExperimentReport, tiles: usize) {
+    let grid = report.grid();
+    println!("mega-mesh scaling ({tiles} tiles): gmean weighted speedup vs S-NUCA");
+    for patch in patch_labels(grid) {
+        print!("{patch:<10}");
+        for (name, g) in gmean_ws(grid, |group| group.patch == patch) {
+            print!(" {name}={g:.3}");
+        }
+        println!();
+    }
+    println!(
+        "\nflat and hier-r2 should land close in WS; the hierarchical planner is what \
+         keeps reconfiguration affordable as the mesh grows (see BENCH_planner.json)"
+    );
+}
+
 /// Distinct patch labels in group order.
 fn patch_labels(grid: &GridReport) -> Vec<String> {
     let mut labels: Vec<String> = Vec::new();

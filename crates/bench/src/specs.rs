@@ -370,6 +370,32 @@ pub fn under_committed() -> ExperimentSpec {
     )
 }
 
+/// `bin/mega_mesh`: the ISSUE 7 mega-mesh scaling scenario — S-NUCA and
+/// CDCS on a 256-tile chip (1024 via `--tiles 1024`), flat planning vs the
+/// hierarchical planner with incremental warm starts.
+///
+/// Region side 2 keeps the hierarchical cells multi-region at *every* scale
+/// this spec runs at — including the 4×4 chip the `--small` CI smoke
+/// rebases onto (4 regions there, 64 at 256 tiles, 256 at 1024) — so the
+/// smoke gate genuinely exercises region assignment, per-region solves and
+/// the warm-start path, not the one-region flat delegation.
+pub fn mega_mesh(mixes: usize, apps: usize) -> ExperimentSpec {
+    let mut grid = GridSpec::new(
+        BaseConfig::Mega256,
+        vec![Scheme::SNuca, Scheme::cdcs()],
+        st_mixes(mixes, apps),
+    );
+    grid.patches = vec![
+        ConfigPatch::named("flat"),
+        ConfigPatch::named("hier-r2")
+            .with_hier_region_side(2)
+            .with_hier_change_threshold(0.02),
+    ];
+    // Mega cells are enormous; bank-shard each one across the idle cores.
+    grid.auto_intra_cell = true;
+    ExperimentSpec::grid("mega_mesh", grid)
+}
+
 /// Every spec constructor at smoke-test scale, for the CI end-to-end gate.
 /// Grid specs are rebased onto the small test chip by the caller.
 pub fn all_smoke_specs() -> Vec<ExperimentSpec> {
@@ -393,5 +419,6 @@ pub fn all_smoke_specs() -> Vec<ExperimentSpec> {
         case_study(),
         multithreaded_mix(),
         under_committed(),
+        mega_mesh(1, 2),
     ]
 }

@@ -11,7 +11,7 @@ use cdcs_bench::specs;
 #[test]
 fn all_builtin_specs_round_trip_bit_equal() {
     let all = specs::all_smoke_specs();
-    assert_eq!(all.len(), 19, "the built-in spec catalogue");
+    assert_eq!(all.len(), 20, "the built-in spec catalogue");
     for spec in all {
         let json = serde_json::to_string_pretty(&spec)
             .unwrap_or_else(|e| panic!("serializing {}: {e}", spec.name));
@@ -27,35 +27,45 @@ fn all_builtin_specs_round_trip_bit_equal() {
 }
 
 const QUICKSTART_SPEC: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../specs/quickstart.json");
+const MEGA_MESH_SPEC: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../specs/mega_mesh.json");
+
+/// The committed exemplar specs and the constructors they must track.
+fn committed_specs() -> Vec<(&'static str, ExperimentSpec)> {
+    vec![
+        (QUICKSTART_SPEC, specs::quickstart()),
+        (MEGA_MESH_SPEC, specs::mega_mesh(1, 2)),
+    ]
+}
 
 /// Maintenance hook, not a check: `CDCS_WRITE_SPECS=1 cargo test -p
-/// cdcs-bench --test spec_roundtrip` rewrites the committed spec from the
-/// constructor (the next test then verifies the result).
+/// cdcs-bench --test spec_roundtrip` rewrites the committed specs from the
+/// constructors (the next test then verifies the result).
 #[test]
-fn regenerate_quickstart_spec_when_asked() {
+fn regenerate_committed_specs_when_asked() {
     if std::env::var("CDCS_WRITE_SPECS").is_err() {
         return;
     }
-    let canonical = serde_json::to_string_pretty(&specs::quickstart()).expect("serializes");
-    std::fs::write(QUICKSTART_SPEC, format!("{canonical}\n")).expect("writing spec");
+    for (path, spec) in committed_specs() {
+        let canonical = serde_json::to_string_pretty(&spec).expect("serializes");
+        std::fs::write(path, format!("{canonical}\n")).expect("writing spec");
+    }
 }
 
 #[test]
-fn committed_quickstart_spec_matches_the_constructor() {
-    let committed =
-        std::fs::read_to_string(QUICKSTART_SPEC).expect("specs/quickstart.json is committed");
-    let parsed: ExperimentSpec = serde_json::from_str(&committed).expect("committed spec parses");
-    assert_eq!(
-        parsed,
-        specs::quickstart(),
-        "specs/quickstart.json drifted from specs::quickstart()"
-    );
-    // And the file itself is the canonical serialization (regenerate with
-    // `serde_json::to_string_pretty(&specs::quickstart())` + newline).
-    let canonical = serde_json::to_string_pretty(&specs::quickstart()).expect("serializes");
-    assert_eq!(
-        committed,
-        format!("{canonical}\n"),
-        "specs/quickstart.json is not the canonical pretty serialization"
-    );
+fn committed_specs_match_their_constructors() {
+    for (path, spec) in committed_specs() {
+        let committed =
+            std::fs::read_to_string(path).unwrap_or_else(|e| panic!("{path} is committed: {e}"));
+        let parsed: ExperimentSpec =
+            serde_json::from_str(&committed).expect("committed spec parses");
+        assert_eq!(parsed, spec, "{path} drifted from its constructor");
+        // And the file itself is the canonical serialization (regenerate
+        // with `CDCS_WRITE_SPECS=1`).
+        let canonical = serde_json::to_string_pretty(&spec).expect("serializes");
+        assert_eq!(
+            committed,
+            format!("{canonical}\n"),
+            "{path} is not the canonical pretty serialization"
+        );
+    }
 }

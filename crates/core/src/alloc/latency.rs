@@ -30,7 +30,7 @@ pub fn total_latency_curve(problem: &PlacementProblem, vc: VcId) -> MissCurve {
     let mut grid = Vec::new();
     let mut raw = Vec::new();
     let mut curve = MissCurve::placeholder();
-    total_latency_curve_into(problem, vc, &dists, &mut grid, &mut raw, &mut curve);
+    total_latency_curve_into(problem, vc, &dists, 1, &mut grid, &mut raw, &mut curve);
     curve
 }
 
@@ -43,6 +43,7 @@ fn total_latency_curve_into(
     problem: &PlacementProblem,
     vc: VcId,
     dists: &geometry::CompactDistances,
+    grid_step_banks: u64,
     grid: &mut Vec<f64>,
     raw: &mut Vec<(f64, f64)>,
     out: &mut MissCurve,
@@ -55,10 +56,11 @@ fn total_latency_curve_into(
     grid.clear();
     grid.extend(info.curve.points().iter().map(|p| p.0));
     let max_cap = params.total_lines() as f64;
-    let mut c = params.bank_lines as f64;
+    let step = params.bank_lines as f64 * grid_step_banks.max(1) as f64;
+    let mut c = step;
     while c <= max_cap {
         grid.push(c);
-        c += params.bank_lines as f64;
+        c += step;
     }
     grid.push(max_cap);
     grid.retain(|&c| c <= max_cap);
@@ -106,6 +108,25 @@ pub fn latency_aware_sizes_into(
     scratch: &mut PlanScratch,
     out: &mut Vec<u64>,
 ) {
+    latency_aware_sizes_stepped_into(problem, granularity, 1, scratch, out);
+}
+
+/// [`latency_aware_sizes_into`] on a coarsened capacity grid: the
+/// total-latency curves sample every `grid_step_banks` banks instead of
+/// every bank. The per-bank grid makes sizing O(VCs × banks) — quadratic in
+/// tiles when every tile runs a thread — which is what caps flat planning
+/// at mega-mesh scale. The hierarchical planner
+/// ([`crate::policy::HierarchicalPlanner`]) passes a step that bounds the
+/// grid to ~128 capacity points, keeping sizing near-linear; with step 1
+/// this is exactly the flat sizing (the delegation above), so all
+/// flat-path results are untouched.
+pub(crate) fn latency_aware_sizes_stepped_into(
+    problem: &PlacementProblem,
+    granularity: u64,
+    grid_step_banks: u64,
+    scratch: &mut PlanScratch,
+    out: &mut Vec<u64>,
+) {
     let scratch = &mut scratch.alloc;
     let mesh = *problem.params.mesh();
     let stale = scratch.dists.as_ref().is_none_or(|(m, _)| *m != mesh);
@@ -125,7 +146,7 @@ pub fn latency_aware_sizes_into(
     } = scratch;
     let (_, dists) = dists.as_ref().expect("distance cache ensured above");
     for d in 0..problem.vcs.len() {
-        total_latency_curve_into(problem, d as VcId, dists, grid, raw, curve);
+        total_latency_curve_into(problem, d as VcId, dists, grid_step_banks, grid, raw, curve);
         curve.convex_hull_into(hull);
         push_hull_segments(d, hull, segments);
     }
@@ -186,6 +207,83 @@ pub fn miss_driven_sizes_into(
             total_lines: problem.params.total_lines(),
             granularity,
             use_all_capacity: true,
+            tie_tolerance: 0.25,
+        },
+        scratch,
+        out,
+    );
+}
+
+/// Capacity allocation restricted to a subset of VCs against a residual
+/// budget: Peekahead over the hulls of the `include`d VCs only, with
+/// `total_lines` capacity (the chip minus what the excluded VCs keep).
+///
+/// This is the incremental warm-start's sizing step
+/// ([`crate::policy::HierarchicalPlanner`]): unchanged VCs retain their
+/// previous allocations verbatim, so only the changed VCs are re-sized, and
+/// only against the capacity those allocations left free. Excluded VCs get
+/// zero in `out`. Allocation-free once the scratch is warm.
+#[allow(clippy::too_many_arguments)] // mirrors the sizing knobs one-for-one
+pub(crate) fn residual_sizes_into(
+    problem: &PlacementProblem,
+    include: &[bool],
+    total_lines: u64,
+    latency_aware: bool,
+    granularity: u64,
+    grid_step_banks: u64,
+    scratch: &mut PlanScratch,
+    out: &mut Vec<u64>,
+) {
+    assert_eq!(include.len(), problem.vcs.len(), "one flag per VC");
+    let scratch = &mut scratch.alloc;
+    if latency_aware {
+        let mesh = *problem.params.mesh();
+        let stale = scratch.dists.as_ref().is_none_or(|(m, _)| *m != mesh);
+        if stale {
+            let center = geometry::chip_center(&mesh);
+            scratch.dists = Some((mesh, geometry::CompactDistances::new(&mesh, center)));
+        }
+    }
+    scratch.segments.clear();
+    let AllocScratch {
+        grid,
+        raw,
+        curve,
+        hull,
+        dists,
+        segments,
+        ..
+    } = scratch;
+    for (d, &included) in include.iter().enumerate() {
+        if !included {
+            continue;
+        }
+        if latency_aware {
+            let (_, dists) = dists.as_ref().expect("distance cache ensured above");
+            total_latency_curve_into(problem, d as VcId, dists, grid_step_banks, grid, raw, curve);
+            curve.convex_hull_into(hull);
+        } else {
+            problem.vcs[d].curve.convex_hull_into(hull);
+        }
+        push_hull_segments(d, hull, segments);
+    }
+    scratch.demanders.clear();
+    if !latency_aware {
+        scratch.demanders.extend(
+            problem
+                .vcs
+                .iter()
+                .enumerate()
+                .filter(|&(d, v)| include[d] && v.curve.at_zero() > 0.0)
+                .map(|(d, _)| d),
+        );
+    }
+    peekahead_from_segments(
+        problem.vcs.len(),
+        AllocOptions {
+            total_lines,
+            granularity,
+            use_all_capacity: !latency_aware,
             tie_tolerance: 0.25,
         },
         scratch,
@@ -278,6 +376,52 @@ mod tests {
             sizes[1] > 0,
             "Jigsaw spreads leftover even to streaming apps"
         );
+    }
+
+    #[test]
+    fn residual_sizes_cover_only_included_vcs() {
+        let p = problem();
+        let mut scratch = PlanScratch::new();
+        let mut out = Vec::new();
+        // Miss-driven over VC 0 only, against a 4096-line residual: the
+        // excluded VC gets nothing and the budget is fully used.
+        residual_sizes_into(
+            &p,
+            &[true, false],
+            4096,
+            false,
+            512,
+            1,
+            &mut scratch,
+            &mut out,
+        );
+        assert_eq!(out[1], 0, "excluded VC must not be sized");
+        assert_eq!(out.iter().sum::<u64>(), 4096);
+    }
+
+    #[test]
+    fn residual_sizes_with_everything_included_match_full_allocation() {
+        let p = problem();
+        let mut scratch = PlanScratch::new();
+        let mut out = Vec::new();
+        for latency_aware in [false, true] {
+            residual_sizes_into(
+                &p,
+                &[true, true],
+                p.params.total_lines(),
+                latency_aware,
+                512,
+                1,
+                &mut scratch,
+                &mut out,
+            );
+            let full = if latency_aware {
+                latency_aware_sizes(&p, 512)
+            } else {
+                miss_driven_sizes(&p, 512)
+            };
+            assert_eq!(out, full, "latency_aware={latency_aware}");
+        }
     }
 
     #[test]

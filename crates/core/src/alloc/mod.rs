@@ -21,6 +21,7 @@ pub use latency::{
     latency_aware_sizes, latency_aware_sizes_into, miss_driven_sizes, miss_driven_sizes_into,
     total_latency_curve,
 };
+pub(crate) use latency::{latency_aware_sizes_stepped_into, residual_sizes_into};
 
 use cdcs_cache::MissCurve;
 use cdcs_mesh::geometry::CompactDistances;

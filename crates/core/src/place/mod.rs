@@ -42,7 +42,7 @@ pub use thread::{place_threads, place_threads_into, place_threads_with};
 
 use crate::PlacementProblem;
 use cdcs_mesh::geometry::{Point, SpiralTable};
-use cdcs_mesh::{Mesh, TileId};
+use cdcs_mesh::{Mesh, RegionGrid, RegionTables, TileId, Topology};
 
 /// Access-weighted cost of placing one line of `vc`'s data in `bank`:
 /// `Σ_t a_{t,d} · round_trip(c_t, bank)` — the paper's `D(VC, b)` scaled by
@@ -150,6 +150,75 @@ pub struct PlanScratch {
     /// Pooled optimistic-placement output (`CdcsPlanner::plan_into`
     /// step 2).
     pub(crate) optimistic: optimistic::OptimisticPlacement,
+    /// Hierarchical-planner working state (region grid, region tables,
+    /// share matrix, warm-start signatures). Untouched by the flat path.
+    pub(crate) hier: HierScratch,
+}
+
+/// Working state of the hierarchical planner
+/// ([`crate::policy::HierarchicalPlanner`]): the cached region partition and
+/// its aggregated distance tables, the `vc × region` share matrix, and the
+/// per-VC demand signatures that drive incremental warm starts.
+///
+/// Everything here is pooled: the grid/tables rebuild only when the mesh or
+/// region side changes, and all vectors grow to the largest problem seen.
+/// Crucially, every buffer is linear in `vcs`, `regions`, or `banks` — the
+/// hierarchical path never materializes the flat planner's quadratic
+/// `vc × bank` cost matrix or the `tiles²` spiral cache (pinned by
+/// `crates/core/tests/scratch_growth.rs`).
+#[derive(Debug, Default)]
+pub(crate) struct HierScratch {
+    /// The `(mesh, side)` the grid and tables were last built for.
+    pub(crate) grid_key: Option<(Mesh, u16)>,
+    /// Region partition of the mesh (valid iff `grid_key` matches).
+    pub(crate) grid: Option<RegionGrid>,
+    /// Region-aggregated distance tables for `grid`.
+    pub(crate) tables: RegionTables,
+    /// Share matrix: `share[vc * regions + r]` lines of `vc` assigned to
+    /// region `r`.
+    pub(crate) share: Vec<u64>,
+    /// Free lines per region during assignment.
+    pub(crate) region_free: Vec<u64>,
+    /// Per-VC scratch: cost of each region.
+    pub(crate) region_cost: Vec<f64>,
+    /// Per-VC scratch: region ids sorted cheapest-first.
+    pub(crate) region_order: Vec<u32>,
+    /// Per-region scratch: cost of each region bank for the current VC.
+    pub(crate) bank_cost: Vec<f64>,
+    /// Per-region scratch: region-bank indices sorted cheapest-first.
+    pub(crate) bank_rank: Vec<u32>,
+    /// Per-region scratch: the VCs holding shares in the current region.
+    pub(crate) region_vcs: Vec<u32>,
+    /// VC processing order (descending size).
+    pub(crate) vc_order: Vec<u32>,
+    /// Per-VC demand signatures of the previous planned epoch
+    /// (`SIG_COMPONENTS` floats per VC).
+    pub(crate) sig: Vec<f64>,
+    /// Signatures of the problem being planned (compared against `sig`).
+    pub(crate) sig_next: Vec<f64>,
+    /// Whether `sig` describes the previous epoch of the same problem shape.
+    pub(crate) sig_valid: bool,
+    /// Per-VC change flags of the current warm plan.
+    pub(crate) changed: Vec<bool>,
+}
+
+impl HierScratch {
+    /// Ensures the region grid and tables match `(mesh, side)`, rebuilding
+    /// both in place only when the key changes.
+    pub(crate) fn ensure_grid(&mut self, problem: &PlacementProblem, side: u16) {
+        let mesh = *problem.params.mesh();
+        if self.grid_key != Some((mesh, side)) {
+            match &mut self.grid {
+                Some(grid) => grid.rebuild(mesh, side),
+                None => self.grid = Some(RegionGrid::new(mesh, side)),
+            }
+            let grid = self.grid.as_ref().expect("just ensured");
+            self.tables.rebuild(grid, problem.params.noc());
+            self.grid_key = Some((mesh, side));
+            // A new partition invalidates warm-start history.
+            self.sig_valid = false;
+        }
+    }
 }
 
 impl PlanScratch {
@@ -196,6 +265,24 @@ impl PlanScratch {
             self.spiral = Some(SpiralTable::new(mesh));
         }
         self.spiral.as_ref().expect("just ensured")
+    }
+
+    /// Heap bytes held by the buffers that scale as `vcs × banks` (the
+    /// flattened cost matrix and the greedy bank orders). The flat planner
+    /// sizes these to the full chip; the hierarchical planner leaves them
+    /// empty — `crates/core/tests/scratch_growth.rs` asserts both.
+    pub fn quadratic_matrix_bytes(&self) -> usize {
+        self.cost.capacity() * std::mem::size_of::<f64>()
+            + self.bank_order.capacity() * std::mem::size_of::<u32>()
+    }
+
+    /// Heap bytes held by the cached per-tile spiral orders (`tiles²`
+    /// entries when present). Only the flat planner's optimistic and trade
+    /// steps build this cache.
+    pub fn spiral_cache_bytes(&self) -> usize {
+        self.spiral.as_ref().map_or(0, |s| {
+            s.mesh().num_tiles() * s.mesh().num_tiles() * std::mem::size_of::<TileId>()
+        })
     }
 }
 

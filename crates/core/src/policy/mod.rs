@@ -10,6 +10,13 @@
 //! * [`RNucaPolicy`] — R-NUCA's classification-based bank mapping (private →
 //!   local bank, shared → chip-wide interleaving, instructions → rotational
 //!   interleaving). S-NUCA needs no planner: lines hash over all banks.
+//! * [`HierarchicalPlanner`] — region-decomposed CDCS planning with
+//!   incremental warm-start reconfiguration for mega-meshes (256–1024
+//!   tiles).
+
+mod hierarchical;
+
+pub use hierarchical::HierarchicalPlanner;
 
 use crate::alloc::{latency_aware_sizes_into, miss_driven_sizes_into};
 use crate::place::{

@@ -376,6 +376,18 @@ impl Placement {
         self.banks = num_banks;
     }
 
+    /// Refills this placement as a copy of `other`, reusing buffers
+    /// (allocation-free once capacities are warm). One bulk matrix copy —
+    /// the warm-start primitive: cheaper than `reset` (a full zero-fill)
+    /// followed by per-row copies.
+    pub fn copy_from(&mut self, other: &Placement) {
+        self.thread_cores.clear();
+        self.thread_cores.extend_from_slice(&other.thread_cores);
+        self.alloc.clear();
+        self.alloc.extend_from_slice(&other.alloc);
+        self.banks = other.banks;
+    }
+
     /// Number of VCs in the matrix.
     pub fn num_vcs(&self) -> usize {
         self.alloc.len().checked_div(self.banks).unwrap_or(0)

@@ -12,7 +12,7 @@
 
 use cdcs_cache::MissCurve;
 use cdcs_core::place::{greedy_place_into, trade_refine_with, vc_bank_cost};
-use cdcs_core::policy::CdcsPlanner;
+use cdcs_core::policy::{CdcsPlanner, HierarchicalPlanner};
 use cdcs_core::{
     Placement, PlacementProblem, PlanScratch, SystemParams, ThreadInfo, VcInfo, VcKind,
 };
@@ -145,4 +145,93 @@ fn warm_cost_paths_do_not_allocate() {
         allocations, 0,
         "a warm whole-reconfiguration plan_into allocated {allocations} times"
     );
+
+    // Mega-mesh pin (ISSUE 7): hierarchical *incremental* epochs at 256
+    // tiles — signature diffing, verbatim row copies for unchanged VCs,
+    // residual Peekahead for the changed ones, region re-assignment and
+    // per-region re-placement — stay zero-alloc once the scratch is warm.
+    let side = 16u16; // 256 tiles
+    let pa = mega_problem(side, 0);
+    let pb = mega_problem(side, 6); // 6 of 64 VCs change demand
+    let cores: Vec<TileId> = (0..pa.threads.len() as u16).map(TileId).collect();
+    let hier = HierarchicalPlanner::new(4, 0.05);
+    let mut hier_scratch = PlanScratch::new();
+
+    // Warm-up: one cold epoch, then one warm epoch in each direction so
+    // every buffer (signatures, changed flags, residual-alloc hulls,
+    // region shares) reaches steady-state size.
+    let mut prev = hier.plan_with(&pa, None, &cores, &mut hier_scratch);
+    let mut cur = Placement::default();
+    hier.plan_into(
+        &pb,
+        Some(&prev),
+        &prev.thread_cores,
+        &mut hier_scratch,
+        &mut cur,
+    );
+    std::mem::swap(&mut prev, &mut cur);
+    hier.plan_into(
+        &pa,
+        Some(&prev),
+        &prev.thread_cores,
+        &mut hier_scratch,
+        &mut cur,
+    );
+    std::mem::swap(&mut prev, &mut cur);
+
+    ALLOCATIONS.store(0, Ordering::SeqCst);
+    COUNTING.store(true, Ordering::SeqCst);
+    hier.plan_into(
+        &pb,
+        Some(&prev),
+        &prev.thread_cores,
+        &mut hier_scratch,
+        &mut cur,
+    );
+    std::mem::swap(&mut prev, &mut cur);
+    hier.plan_into(
+        &pa,
+        Some(&prev),
+        &prev.thread_cores,
+        &mut hier_scratch,
+        &mut cur,
+    );
+    COUNTING.store(false, Ordering::SeqCst);
+    let allocations = ALLOCATIONS.load(Ordering::SeqCst);
+
+    cur.check_feasible(&pa).expect("warm hierarchical feasible");
+    assert_eq!(
+        allocations, 0,
+        "a warm hierarchical incremental epoch at 256 tiles allocated \
+         {allocations} times"
+    );
+}
+
+/// `tiles/4` thread-private VCs on a `side×side` mesh; ids below
+/// `changed_prefix` get doubled demand (a changed-epoch fabricator for the
+/// incremental path).
+fn mega_problem(side: u16, changed_prefix: usize) -> PlacementProblem {
+    let n = (side as usize * side as usize) / 4;
+    let params = SystemParams::default_for_mesh(Mesh::square(side), 1024);
+    let vcs = (0..n as u32)
+        .map(|i| {
+            let scale = if (i as usize) < changed_prefix {
+                2.0
+            } else {
+                1.0
+            };
+            VcInfo::new(
+                i,
+                VcKind::thread_private(i),
+                MissCurve::new(vec![
+                    (0.0, scale * (1100.0 + 3.0 * i as f64)),
+                    (scale * (1024.0 + 32.0 * i as f64), 30.0),
+                ]),
+            )
+        })
+        .collect();
+    let threads = (0..n as u32)
+        .map(|i| ThreadInfo::new(i, vec![(i, 650.0 + i as f64)]))
+        .collect();
+    PlacementProblem::new(params, vcs, threads).expect("problem")
 }

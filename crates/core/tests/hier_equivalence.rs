@@ -1,0 +1,131 @@
+//! Equivalence guard for the hierarchical planner (ISSUE 7 satellite 2):
+//! with the partition collapsed to **one whole-mesh region** and warm
+//! starts disabled (`change_threshold = 0`), [`HierarchicalPlanner`] must
+//! produce **bit-identical** output to the flat [`CdcsPlanner`] it wraps —
+//! across every per-step feature combination the Fig. 12 factor analysis
+//! exercises, on two different synthetic mixes, cold and with a previous
+//! placement supplied.
+//!
+//! This is what makes the hierarchy a strict superset of the flat planner:
+//! enabling it with degenerate settings changes nothing, so the committed
+//! fig5/fig12 goldens stay byte-exact with hierarchy off by construction.
+
+use cdcs_cache::MissCurve;
+use cdcs_core::policy::{clustered_cores, CdcsPlanner, HierarchicalPlanner};
+use cdcs_core::{
+    Placement, PlacementProblem, PlanScratch, SystemParams, ThreadInfo, VcInfo, VcKind,
+};
+use cdcs_mesh::Mesh;
+
+/// Mix A: thread-private VCs with staggered cliffy curves (capacity
+/// contention, distinct winners).
+fn private_mix(side: u16) -> PlacementProblem {
+    let n = (side as usize * side as usize) / 4;
+    let params = SystemParams::default_for_mesh(Mesh::square(side), 1024);
+    let vcs = (0..n as u32)
+        .map(|i| {
+            VcInfo::new(
+                i,
+                VcKind::thread_private(i),
+                MissCurve::new(vec![
+                    (0.0, 1500.0 + 13.0 * i as f64),
+                    (1024.0 + 128.0 * i as f64, 40.0 + i as f64),
+                ]),
+            )
+        })
+        .collect();
+    let threads = (0..n as u32)
+        .map(|i| ThreadInfo::new(i, vec![(i, 800.0 + 7.0 * i as f64)]))
+        .collect();
+    PlacementProblem::new(params, vcs, threads).unwrap()
+}
+
+/// Mix B: per-thread private VCs plus process-shared VCs accessed by
+/// several threads each (the multi-accessor paths: centers, accessor-
+/// weighted costs).
+fn shared_mix(side: u16) -> PlacementProblem {
+    let n = (side as usize * side as usize) / 4;
+    let processes = 4u32;
+    let params = SystemParams::default_for_mesh(Mesh::square(side), 1024);
+    let mut vcs: Vec<VcInfo> = (0..n as u32)
+        .map(|i| {
+            VcInfo::new(
+                i,
+                VcKind::thread_private(i),
+                MissCurve::new(vec![
+                    (0.0, 900.0 + 11.0 * i as f64),
+                    (768.0 + 96.0 * i as f64, 25.0),
+                ]),
+            )
+        })
+        .collect();
+    for p in 0..processes {
+        vcs.push(VcInfo::new(
+            n as u32 + p,
+            VcKind::process_shared(p),
+            MissCurve::new(vec![(0.0, 4000.0 + 100.0 * p as f64), (6144.0, 200.0)]),
+        ));
+    }
+    let threads = (0..n as u32)
+        .map(|i| {
+            ThreadInfo::new(
+                i,
+                vec![
+                    (i, 600.0 + 5.0 * i as f64),
+                    (n as u32 + (i % processes), 300.0 + 3.0 * i as f64),
+                ],
+            )
+        })
+        .collect();
+    PlacementProblem::new(params, vcs, threads).unwrap()
+}
+
+#[test]
+fn one_region_zero_threshold_is_bit_identical_to_flat() {
+    let side = 8u16;
+    let schemes = [
+        ("CDCS", CdcsPlanner::default()),
+        ("CDCS+L", CdcsPlanner::with_features(true, false, false)),
+        ("CDCS+T", CdcsPlanner::with_features(false, true, false)),
+        ("CDCS+D", CdcsPlanner::with_features(false, false, true)),
+    ];
+    let mixes = [("private", private_mix(side)), ("shared", shared_mix(side))];
+    for (mix_name, problem) in &mixes {
+        let cores = clustered_cores(problem.threads.len(), problem.params.mesh());
+        for (scheme_name, inner) in &schemes {
+            // Region side >= the mesh side collapses to one region.
+            let hier = HierarchicalPlanner {
+                inner: *inner,
+                region_side: side,
+                change_threshold: 0.0,
+            };
+
+            let mut flat_scratch = PlanScratch::new();
+            let mut hier_scratch = PlanScratch::new();
+            let flat = inner.plan_with(problem, &cores, &mut flat_scratch);
+            let cold = hier.plan_with(problem, None, &cores, &mut hier_scratch);
+            assert_eq!(
+                flat, cold,
+                "{scheme_name}/{mix_name}: cold hierarchical (1 region, \
+                 threshold 0) must be bit-identical to flat"
+            );
+
+            // Supplying the previous epoch's placement must change nothing:
+            // threshold 0 disables warm starts, so the epoch replans flat.
+            let mut warm = Placement::default();
+            hier.plan_into(
+                problem,
+                Some(&cold),
+                &cold.thread_cores,
+                &mut hier_scratch,
+                &mut warm,
+            );
+            let flat2 = inner.plan_with(problem, &cold.thread_cores, &mut flat_scratch);
+            assert_eq!(
+                flat2, warm,
+                "{scheme_name}/{mix_name}: hierarchical with prev (threshold \
+                 0) must still be bit-identical to flat"
+            );
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Pins the mega-mesh scratch-memory property (ISSUE 7 satellite 4): a
+//! hierarchical plan at 1024 tiles must never materialize the flat
+//! planner's quadratic buffers — the `vcs × banks` cost matrix / bank-order
+//! table and the `tiles²` spiral ring cache. Those are what make flat
+//! planning unaffordable at mega-mesh scale; the hierarchical path works
+//! region-by-region and must keep them empty, cold and warm.
+
+use cdcs_cache::MissCurve;
+use cdcs_core::policy::{clustered_cores, CdcsPlanner, HierarchicalPlanner};
+use cdcs_core::{
+    Placement, PlacementProblem, PlanScratch, SystemParams, ThreadInfo, VcInfo, VcKind,
+};
+use cdcs_mesh::Mesh;
+
+/// `tiles/4` thread-private VCs; VCs with id below `changed_prefix` get
+/// their demand doubled (to fabricate a changed epoch for the warm path).
+fn mega_problem(side: u16, changed_prefix: usize) -> PlacementProblem {
+    let n = (side as usize * side as usize) / 4;
+    let params = SystemParams::default_for_mesh(Mesh::square(side), 1024);
+    let vcs = (0..n as u32)
+        .map(|i| {
+            let scale = if (i as usize) < changed_prefix {
+                2.0
+            } else {
+                1.0
+            };
+            VcInfo::new(
+                i,
+                VcKind::thread_private(i),
+                MissCurve::new(vec![
+                    (0.0, scale * (1200.0 + 3.0 * i as f64)),
+                    (scale * (1024.0 + 16.0 * (i % 64) as f64), scale * 30.0),
+                ]),
+            )
+        })
+        .collect();
+    let threads = (0..n as u32)
+        .map(|i| {
+            ThreadInfo::new(
+                i,
+                vec![(i, scale_for(i, changed_prefix) * (700.0 + i as f64))],
+            )
+        })
+        .collect();
+    PlacementProblem::new(params, vcs, threads).unwrap()
+}
+
+fn scale_for(i: u32, changed_prefix: usize) -> f64 {
+    if (i as usize) < changed_prefix {
+        2.0
+    } else {
+        1.0
+    }
+}
+
+#[test]
+fn hierarchical_planning_at_1024_tiles_keeps_scratch_linear() {
+    let side = 32u16; // 1024 tiles
+    let p = mega_problem(side, 0);
+    let cores = clustered_cores(p.threads.len(), p.params.mesh());
+    let planner = HierarchicalPlanner::new(4, 0.05); // 64 regions
+    let mut scratch = PlanScratch::new();
+
+    // Cold hierarchical plan: no quadratic buffer may be touched.
+    let cold = planner.plan_with(&p, None, &cores, &mut scratch);
+    cold.check_feasible(&p).expect("cold plan feasible");
+    assert_eq!(
+        scratch.quadratic_matrix_bytes(),
+        0,
+        "cold hierarchical plan materialized the vcs×banks cost matrix"
+    );
+    assert_eq!(
+        scratch.spiral_cache_bytes(),
+        0,
+        "cold hierarchical plan materialized the tiles² spiral cache"
+    );
+
+    // Warm incremental replan (a few VCs change): still nothing quadratic.
+    let p2 = mega_problem(side, 8);
+    let mut warm = Placement::default();
+    planner.plan_into(
+        &p2,
+        Some(&cold),
+        &cold.thread_cores,
+        &mut scratch,
+        &mut warm,
+    );
+    warm.check_feasible(&p2).expect("warm plan feasible");
+    assert_eq!(scratch.quadratic_matrix_bytes(), 0, "warm replan (matrix)");
+    assert_eq!(scratch.spiral_cache_bytes(), 0, "warm replan (spiral)");
+
+    // Sanity: the accessors are not vacuous — a flat plan on a small mesh
+    // does materialize both buffers.
+    let small = mega_problem(8, 0);
+    let small_cores = clustered_cores(small.threads.len(), small.params.mesh());
+    let mut flat_scratch = PlanScratch::new();
+    CdcsPlanner::default().plan_with(&small, &small_cores, &mut flat_scratch);
+    assert!(
+        flat_scratch.quadratic_matrix_bytes() > 0,
+        "flat planning should use the cost matrix (accessor is vacuous?)"
+    );
+    assert!(
+        flat_scratch.spiral_cache_bytes() > 0,
+        "flat planning should build the spiral cache (accessor is vacuous?)"
+    );
+}

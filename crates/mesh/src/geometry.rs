@@ -153,42 +153,63 @@ impl SpiralTable {
 /// The latency-aware allocation step (§IV-C) evaluates the optimistic
 /// on-chip distance of a chip-center placement at every grid point of every
 /// VC's total-latency curve; the distances from the chip center never
-/// change, so they are computed once. [`Self::mean_distance`] replays the
-/// same accumulation loop as [`compact_mean_distance`], so results are
-/// bit-identical.
+/// change, so they are computed once — along with their running prefix
+/// sums, making [`Self::mean_distance`] O(1) per query instead of a walk
+/// over the tile list (which made sizing O(tiles) per grid point, a
+/// quadratic term at mega-mesh scale). Results stay bit-identical to
+/// [`compact_mean_distance`]'s definitional loop.
 #[derive(Debug, Clone)]
 pub struct CompactDistances {
     /// Hop distances from the center, in spiral order.
     dists: Vec<f64>,
+    /// `prefix[k]` = sum of the first `k` distances, accumulated in the
+    /// same left-to-right order the definitional scan adds them (so the
+    /// O(1) lookup below is bit-identical to walking the list).
+    prefix: Vec<f64>,
 }
 
 impl CompactDistances {
     /// Builds the sorted distance list from `p` on `mesh`.
     pub fn new(mesh: &Mesh, p: Point) -> Self {
-        let dists = tiles_by_distance_from_point(mesh, p)
+        let dists: Vec<f64> = tiles_by_distance_from_point(mesh, p)
             .into_iter()
             .map(|t| mesh.hops_to_point(t, p.x, p.y))
             .collect();
-        CompactDistances { dists }
+        let mut prefix = Vec::with_capacity(dists.len() + 1);
+        let mut sum = 0.0;
+        prefix.push(sum);
+        for &d in &dists {
+            sum += d;
+            prefix.push(sum);
+        }
+        CompactDistances { dists, prefix }
     }
 
     /// Average distance of `size` banks of capacity placed compactly around
     /// the center (see [`compact_mean_distance`]).
+    ///
+    /// O(1): whole banks take exactly their distance (`1.0 * d` is `d`),
+    /// so the definitional walk's partial sum is the precomputed prefix;
+    /// only the final fractional bank contributes a product term. Values
+    /// are bit-identical to the walk for any `size` (whole-bank takes and
+    /// the denominator are exact: `size` is far below 2^52, so repeated
+    /// `-= 1.0` is exact subtraction).
     pub fn mean_distance(&self, size: f64) -> f64 {
         if size <= 0.0 {
             return 0.0;
         }
-        let mut remaining = size;
-        let mut weighted = 0.0;
-        for &d in &self.dists {
-            if remaining <= 0.0 {
-                break;
+        let n = self.dists.len();
+        let whole = (size.floor() as usize).min(n);
+        let mut weighted = self.prefix[whole];
+        let mut placed = whole as f64;
+        if whole < n {
+            let frac = size - whole as f64;
+            if frac > 0.0 {
+                weighted += frac * self.dists[whole];
+                placed = size;
             }
-            let take = remaining.min(1.0);
-            weighted += take * d;
-            remaining -= take;
         }
-        weighted / (size - remaining.max(0.0)).max(f64::MIN_POSITIVE)
+        weighted / placed.max(f64::MIN_POSITIVE)
     }
 }
 

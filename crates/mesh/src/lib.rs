@@ -17,6 +17,9 @@
 //!   traffic breakdowns of Figs. 11d, 14 and 15.
 //! * [`MemCtrlPlacement`] — edge memory-controller placement; pages are
 //!   interleaved across controllers as in Tilera/Knights Corner (§III).
+//! * [`RegionGrid`]/[`RegionTables`] — rectangular region partitioning and
+//!   region-aggregated distance tables for hierarchical planning on
+//!   mega-meshes (beyond the paper's 64 tiles).
 //!
 //! # Example
 //!
@@ -35,11 +38,13 @@
 
 pub mod geometry;
 mod mesh;
+mod region;
 mod tables;
 mod topology;
 pub mod traffic;
 
 pub use crate::mesh::{Coord, MemCtrlPlacement, Mesh};
+pub use crate::region::{RegionGrid, RegionTables};
 pub use crate::tables::{DistanceTables, PortDistanceTables};
 pub use crate::topology::{ExplicitTopology, Topology};
 pub use crate::traffic::{NocConfig, TrafficClass, TrafficStats};

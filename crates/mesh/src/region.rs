@@ -1,0 +1,366 @@
+//! Rectangular region partitioning for hierarchical planning.
+//!
+//! At mega-mesh scale (256/1024 tiles) the flat planner's cost grows
+//! superlinearly with tile count, so the hierarchical planner clusters tiles
+//! into rectangular `side × side` sub-meshes ([`RegionGrid`]) and sizes
+//! virtual caches against *region-aggregated* distances ([`RegionTables`])
+//! before solving placement within each region independently.
+//!
+//! Both types are pooled: [`RegionGrid::rebuild`] and
+//! [`RegionTables::rebuild`] reuse their buffers, so a planner that keeps
+//! them in its scratch pays no allocations once warm.
+//!
+//! Table values are exact aggregates of the underlying topology — the region
+//! mean-hop entry for `(a, b)` equals the double sum of [`Topology::hops`]
+//! over the two tile sets divided by the pair count, accumulated in ascending
+//! tile-id order, so recomputing from the mesh reproduces every entry
+//! bit-for-bit (`crates/mesh/tests/properties.rs` pins this for arbitrary
+//! mesh shapes and region sides).
+
+use crate::geometry::Point;
+use crate::mesh::{Coord, Mesh};
+use crate::topology::Topology;
+use crate::traffic::NocConfig;
+use crate::TileId;
+
+/// A partition of a [`Mesh`] into rectangular regions of at most
+/// `side × side` tiles.
+///
+/// Regions tile the mesh row-major: region `(rx, ry)` covers columns
+/// `rx*side .. min((rx+1)*side, cols)` and rows `ry*side .. min((ry+1)*side,
+/// rows)`, so edge regions on non-multiple meshes are smaller rectangles but
+/// every tile belongs to exactly one region.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegionGrid {
+    mesh: Mesh,
+    side: u16,
+    region_cols: u16,
+    region_rows: u16,
+    /// `tile_region[tile]` — the region index of each tile.
+    tile_region: Vec<u16>,
+    /// CSR layout of the tiles in each region, ascending tile id within a
+    /// region: region `r` owns `region_tiles[region_offsets[r] ..
+    /// region_offsets[r + 1]]`.
+    region_offsets: Vec<u32>,
+    region_tiles: Vec<TileId>,
+}
+
+impl RegionGrid {
+    /// Partitions `mesh` into regions of side `side`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `side` is zero.
+    pub fn new(mesh: Mesh, side: u16) -> Self {
+        let mut grid = RegionGrid {
+            mesh: Mesh::new(1, 1),
+            side: 1,
+            region_cols: 1,
+            region_rows: 1,
+            tile_region: Vec::new(),
+            region_offsets: Vec::new(),
+            region_tiles: Vec::new(),
+        };
+        grid.rebuild(mesh, side);
+        grid
+    }
+
+    /// Re-partitions for a (possibly different) mesh and side, reusing the
+    /// existing buffers. Allocation-free when capacities already suffice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `side` is zero.
+    pub fn rebuild(&mut self, mesh: Mesh, side: u16) {
+        assert!(side > 0, "region side must be non-zero");
+        self.mesh = mesh;
+        self.side = side;
+        self.region_cols = mesh.cols().div_ceil(side);
+        self.region_rows = mesh.rows().div_ceil(side);
+        let regions = self.num_regions();
+
+        self.tile_region.clear();
+        self.tile_region.resize(mesh.num_tiles(), 0);
+        for t in 0..mesh.num_tiles() {
+            let c = mesh.coord(TileId(t as u16));
+            let rx = c.x / side;
+            let ry = c.y / side;
+            self.tile_region[t] = ry * self.region_cols + rx;
+        }
+
+        self.region_offsets.clear();
+        self.region_tiles.clear();
+        for r in 0..regions {
+            self.region_offsets.push(self.region_tiles.len() as u32);
+            let (lo, hi) = Self::bounds_for(mesh, side, self.region_cols, r as u16);
+            for y in lo.y..=hi.y {
+                for x in lo.x..=hi.x {
+                    self.region_tiles.push(mesh.tile_at(Coord { x, y }));
+                }
+            }
+        }
+        self.region_offsets.push(self.region_tiles.len() as u32);
+    }
+
+    fn bounds_for(mesh: Mesh, side: u16, region_cols: u16, r: u16) -> (Coord, Coord) {
+        let rx = r % region_cols;
+        let ry = r / region_cols;
+        let lo = Coord {
+            x: rx * side,
+            y: ry * side,
+        };
+        let hi = Coord {
+            x: (lo.x + side - 1).min(mesh.cols() - 1),
+            y: (lo.y + side - 1).min(mesh.rows() - 1),
+        };
+        (lo, hi)
+    }
+
+    /// The partitioned mesh.
+    pub fn mesh(&self) -> Mesh {
+        self.mesh
+    }
+
+    /// The requested region side.
+    pub fn side(&self) -> u16 {
+        self.side
+    }
+
+    /// Number of regions in the partition.
+    pub fn num_regions(&self) -> usize {
+        self.region_cols as usize * self.region_rows as usize
+    }
+
+    /// The region a tile belongs to.
+    #[inline]
+    pub fn region_of(&self, t: TileId) -> usize {
+        self.tile_region[t.index()] as usize
+    }
+
+    /// The tiles of region `r`, ascending by tile id.
+    #[inline]
+    pub fn tiles(&self, r: usize) -> &[TileId] {
+        let lo = self.region_offsets[r] as usize;
+        let hi = self.region_offsets[r + 1] as usize;
+        &self.region_tiles[lo..hi]
+    }
+
+    /// Inclusive corner coordinates `(top-left, bottom-right)` of region `r`.
+    pub fn bounds(&self, r: usize) -> (Coord, Coord) {
+        Self::bounds_for(self.mesh, self.side, self.region_cols, r as u16)
+    }
+
+    /// Geometric center of region `r` (midpoint of its bounding rectangle).
+    pub fn center(&self, r: usize) -> Point {
+        let (lo, hi) = self.bounds(r);
+        Point {
+            x: (lo.x as f64 + hi.x as f64) / 2.0,
+            y: (lo.y as f64 + hi.y as f64) / 2.0,
+        }
+    }
+}
+
+/// Region-aggregated distance tables: mean hops and mean NoC round-trip
+/// latency between regions, and from each tile to each region.
+///
+/// The hierarchical planner prices "place this virtual cache's share in
+/// region `r`" as accessor rate × `tile_mean_round_trip(core, r)` — the exact
+/// expected cost of spreading lines uniformly over the region's banks —
+/// which is a `tiles × regions` table instead of the flat planner's
+/// `vcs × tiles` cost matrix.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RegionTables {
+    regions: usize,
+    /// `mean_hops[a * regions + b]` — mean hops over all tile pairs.
+    mean_hops: Vec<f64>,
+    /// `mean_round_trip[a * regions + b]`, in cycles.
+    mean_round_trip: Vec<f64>,
+    /// `tile_mean_hops[tile * regions + r]` — mean hops from a tile to the
+    /// tiles of region `r`.
+    tile_mean_hops: Vec<f64>,
+    /// `tile_mean_round_trip[tile * regions + r]`, in cycles.
+    tile_mean_round_trip: Vec<f64>,
+}
+
+impl RegionTables {
+    /// Evaluates every `(region, region)` and `(tile, region)` pair of `grid`
+    /// under `noc` timing.
+    pub fn new(grid: &RegionGrid, noc: NocConfig) -> Self {
+        let mut tables = RegionTables::default();
+        tables.rebuild(grid, noc);
+        tables
+    }
+
+    /// Recomputes the tables for a (possibly different) grid, reusing the
+    /// existing buffers. Allocation-free when capacities already suffice.
+    pub fn rebuild(&mut self, grid: &RegionGrid, noc: NocConfig) {
+        let mesh = grid.mesh();
+        let regions = grid.num_regions();
+        self.regions = regions;
+
+        self.tile_mean_hops.clear();
+        self.tile_mean_round_trip.clear();
+        for t in 0..mesh.num_tiles() {
+            let t = TileId(t as u16);
+            for r in 0..regions {
+                let tiles = grid.tiles(r);
+                let mut hops = 0.0;
+                let mut rt = 0.0;
+                for &b in tiles {
+                    let h = mesh.hops(t, b);
+                    hops += f64::from(h);
+                    rt += f64::from(noc.round_trip_latency(h));
+                }
+                let n = tiles.len() as f64;
+                self.tile_mean_hops.push(hops / n);
+                self.tile_mean_round_trip.push(rt / n);
+            }
+        }
+
+        self.mean_hops.clear();
+        self.mean_round_trip.clear();
+        for a in 0..regions {
+            for b in 0..regions {
+                let mut hops = 0.0;
+                let mut rt = 0.0;
+                for &ta in grid.tiles(a) {
+                    for &tb in grid.tiles(b) {
+                        let h = mesh.hops(ta, tb);
+                        hops += f64::from(h);
+                        rt += f64::from(noc.round_trip_latency(h));
+                    }
+                }
+                let pairs = (grid.tiles(a).len() * grid.tiles(b).len()) as f64;
+                self.mean_hops.push(hops / pairs);
+                self.mean_round_trip.push(rt / pairs);
+            }
+        }
+    }
+
+    /// Number of regions the tables cover.
+    pub fn num_regions(&self) -> usize {
+        self.regions
+    }
+
+    /// Mean hop distance over all tile pairs of regions `a` and `b`.
+    #[inline]
+    pub fn mean_hops(&self, a: usize, b: usize) -> f64 {
+        self.mean_hops[a * self.regions + b]
+    }
+
+    /// Mean round-trip latency in cycles over all tile pairs of `a` and `b`.
+    #[inline]
+    pub fn mean_round_trip(&self, a: usize, b: usize) -> f64 {
+        self.mean_round_trip[a * self.regions + b]
+    }
+
+    /// Mean hop distance from `tile` to the tiles of region `r`.
+    #[inline]
+    pub fn tile_mean_hops(&self, tile: TileId, r: usize) -> f64 {
+        self.tile_mean_hops[tile.index() * self.regions + r]
+    }
+
+    /// Mean round-trip latency in cycles from `tile` to region `r`.
+    #[inline]
+    pub fn tile_mean_round_trip(&self, tile: TileId, r: usize) -> f64 {
+        self.tile_mean_round_trip[tile.index() * self.regions + r]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_covers_mesh_exactly_once() {
+        let mesh = Mesh::new(8, 8);
+        let grid = RegionGrid::new(mesh, 4);
+        assert_eq!(grid.num_regions(), 4);
+        let mut seen = vec![0u32; mesh.num_tiles()];
+        for r in 0..grid.num_regions() {
+            for &t in grid.tiles(r) {
+                assert_eq!(grid.region_of(t), r);
+                seen[t.index()] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn non_multiple_mesh_gets_smaller_edge_regions() {
+        // 5×3 mesh, side 2 -> 3×2 regions; right column is 1 wide, bottom
+        // row is 1 tall.
+        let mesh = Mesh::new(5, 3);
+        let grid = RegionGrid::new(mesh, 2);
+        assert_eq!(grid.num_regions(), 6);
+        assert_eq!(grid.tiles(0).len(), 4); // 2×2
+        assert_eq!(grid.tiles(2).len(), 2); // 1×2 right edge
+        assert_eq!(grid.tiles(5).len(), 1); // 1×1 corner
+        let total: usize = (0..6).map(|r| grid.tiles(r).len()).sum();
+        assert_eq!(total, 15);
+    }
+
+    #[test]
+    fn side_larger_than_mesh_is_one_region() {
+        let mesh = Mesh::new(4, 4);
+        let grid = RegionGrid::new(mesh, 16);
+        assert_eq!(grid.num_regions(), 1);
+        assert_eq!(grid.tiles(0).len(), 16);
+    }
+
+    #[test]
+    fn rebuild_reuses_buffers() {
+        // Once sized for the finest partition, coarser/equal rebuilds reuse
+        // the buffers without growing them.
+        let mut grid = RegionGrid::new(Mesh::new(8, 8), 2);
+        let cap = (
+            grid.tile_region.capacity(),
+            grid.region_tiles.capacity(),
+            grid.region_offsets.capacity(),
+        );
+        grid.rebuild(Mesh::new(8, 8), 4);
+        grid.rebuild(Mesh::new(8, 8), 2);
+        assert_eq!(
+            cap,
+            (
+                grid.tile_region.capacity(),
+                grid.region_tiles.capacity(),
+                grid.region_offsets.capacity(),
+            )
+        );
+    }
+
+    #[test]
+    fn single_tile_regions_match_mesh_distances() {
+        // side 1 -> every region is one tile, so region means collapse to the
+        // underlying tile distances.
+        let mesh = Mesh::new(3, 3);
+        let grid = RegionGrid::new(mesh, 1);
+        let noc = NocConfig::default();
+        let t = RegionTables::new(&grid, noc);
+        for a in mesh.tiles() {
+            for b in mesh.tiles() {
+                let h = mesh.hops(a, b);
+                assert_eq!(t.mean_hops(a.index(), b.index()), f64::from(h));
+                assert_eq!(
+                    t.mean_round_trip(a.index(), b.index()).to_bits(),
+                    f64::from(noc.round_trip_latency(h)).to_bits()
+                );
+                assert_eq!(t.tile_mean_hops(a, b.index()), f64::from(h));
+            }
+        }
+    }
+
+    #[test]
+    fn region_center_is_rectangle_midpoint() {
+        let grid = RegionGrid::new(Mesh::new(8, 8), 4);
+        let c = grid.center(3); // bottom-right 4×4 region: x 4..=7, y 4..=7
+        assert_eq!((c.x, c.y), (5.5, 5.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_side_panics() {
+        RegionGrid::new(Mesh::new(4, 4), 0);
+    }
+}

@@ -5,7 +5,8 @@ use cdcs_mesh::geometry::{
     center_of_mass, compact_mean_distance, nearest_tile, tiles_by_distance_from_point, Point,
 };
 use cdcs_mesh::{
-    DistanceTables, MemCtrlPlacement, Mesh, NocConfig, PortDistanceTables, TileId, Topology,
+    DistanceTables, MemCtrlPlacement, Mesh, NocConfig, PortDistanceTables, RegionGrid,
+    RegionTables, TileId, Topology,
 };
 use proptest::prelude::*;
 
@@ -107,6 +108,89 @@ proptest! {
                     tables.round_trip(a, b).to_bits(),
                     f64::from(noc.round_trip_latency(mesh.hops(a, b))).to_bits()
                 );
+            }
+        }
+    }
+
+    // Region partitioning invariants for the hierarchical planner: the
+    // partition is exact (every tile in exactly one region), each region is a
+    // contiguous axis-aligned rectangle, and the region-aggregated distance
+    // tables reproduce `mesh.hops` aggregates bit-for-bit.
+    #[test]
+    fn region_partition_is_exact_rectangles(
+        cols in 1u16..12, rows in 1u16..12, side in 1u16..6,
+    ) {
+        let mesh = Mesh::new(cols, rows);
+        let grid = RegionGrid::new(mesh, side);
+
+        // Every tile belongs to exactly one region, and the CSR tile lists
+        // agree with `region_of`.
+        let mut owner = vec![usize::MAX; mesh.num_tiles()];
+        for r in 0..grid.num_regions() {
+            for &t in grid.tiles(r) {
+                prop_assert_eq!(owner[t.index()], usize::MAX, "tile in two regions");
+                owner[t.index()] = r;
+                prop_assert_eq!(grid.region_of(t), r);
+            }
+        }
+        prop_assert!(owner.iter().all(|&r| r != usize::MAX), "uncovered tile");
+
+        // Each region is the full contiguous rectangle of its bounds.
+        for r in 0..grid.num_regions() {
+            let (lo, hi) = grid.bounds(r);
+            prop_assert!(lo.x <= hi.x && lo.y <= hi.y);
+            prop_assert!(hi.x - lo.x < side && hi.y - lo.y < side);
+            let area = (hi.x - lo.x + 1) as usize * (hi.y - lo.y + 1) as usize;
+            prop_assert_eq!(grid.tiles(r).len(), area);
+            for &t in grid.tiles(r) {
+                let c = mesh.coord(t);
+                prop_assert!(c.x >= lo.x && c.x <= hi.x && c.y >= lo.y && c.y <= hi.y);
+            }
+        }
+    }
+
+    #[test]
+    fn region_tables_match_mesh_hops_aggregates(
+        cols in 1u16..9, rows in 1u16..9, side in 1u16..5,
+        router in 1u32..6, link in 1u32..4,
+    ) {
+        let mesh = Mesh::new(cols, rows);
+        let noc = NocConfig { router_cycles: router, link_cycles: link, flit_bytes: 16 };
+        let grid = RegionGrid::new(mesh, side);
+        let tables = RegionTables::new(&grid, noc);
+        prop_assert_eq!(tables.num_regions(), grid.num_regions());
+
+        // Tile → region means, accumulated in the same ascending tile order
+        // the tables use, must be bit-identical.
+        for t in mesh.tiles() {
+            for r in 0..grid.num_regions() {
+                let mut hops = 0.0;
+                let mut rt = 0.0;
+                for &b in grid.tiles(r) {
+                    let h = mesh.hops(t, b);
+                    hops += f64::from(h);
+                    rt += f64::from(noc.round_trip_latency(h));
+                }
+                let n = grid.tiles(r).len() as f64;
+                prop_assert_eq!(tables.tile_mean_hops(t, r).to_bits(), (hops / n).to_bits());
+                prop_assert_eq!(
+                    tables.tile_mean_round_trip(t, r).to_bits(),
+                    (rt / n).to_bits()
+                );
+            }
+        }
+
+        // Region → region means over all tile pairs.
+        for a in 0..grid.num_regions() {
+            for b in 0..grid.num_regions() {
+                let mut hops = 0.0;
+                for &ta in grid.tiles(a) {
+                    for &tb in grid.tiles(b) {
+                        hops += f64::from(mesh.hops(ta, tb));
+                    }
+                }
+                let pairs = (grid.tiles(a).len() * grid.tiles(b).len()) as f64;
+                prop_assert_eq!(tables.mean_hops(a, b).to_bits(), (hops / pairs).to_bits());
             }
         }
     }

@@ -114,6 +114,22 @@ pub struct SimConfig {
     /// oversubscribe. Nested inside [`crate::runner::run_grid`], the outer
     /// pool clamps it so `outer × inner` stays within the machine.
     pub intra_cell_threads: usize,
+    /// Region side (in tiles) for hierarchical CDCS planning; `0` (default)
+    /// keeps the flat chip-wide planner. When non-zero, CDCS epochs plan
+    /// through the region-decomposed planner — required for mega-meshes
+    /// (256+ tiles), where the flat planner's quadratic cost and scratch
+    /// become prohibitive. Only `Scheme::Cdcs` routes through the
+    /// hierarchy; the Jigsaw variants always plan flat.
+    #[serde(default)]
+    pub hier_region_side: u16,
+    /// Relative per-VC demand-signature delta below which an epoch may
+    /// *warm-start*: VCs whose miss curves and access rates changed by at
+    /// most this fraction keep their previous placement verbatim, and only
+    /// the changed VCs are re-sized and re-placed. `0.0` (default) replans
+    /// every epoch from scratch. Only meaningful with
+    /// `hier_region_side > 0`.
+    #[serde(default)]
+    pub hier_change_threshold: f64,
 }
 
 impl Default for SimConfig {
@@ -144,6 +160,8 @@ impl Default for SimConfig {
             seed: 1,
             reference_engine: false,
             intra_cell_threads: 0,
+            hier_region_side: 0,
+            hier_change_threshold: 0.0,
         }
     }
 }
@@ -182,6 +200,25 @@ impl SimConfig {
                 .ok()
                 .and_then(|v| v.parse().ok())
                 .unwrap_or(0),
+            ..Self::default()
+        }
+    }
+
+    /// A mega-mesh chip: `side × side` tiles (256 at 16, 1024 at 32) with
+    /// the small-test time scaling, so the scenario stays runnable in CI.
+    /// The hierarchy knobs default off — experiments opt in per patch
+    /// (`with_hier_region_side` / `with_hier_change_threshold`), which keeps
+    /// the flat-vs-hierarchical comparison inside one spec.
+    pub fn mega_mesh(side: u16) -> Self {
+        SimConfig {
+            mesh: Mesh::square(side),
+            epoch_cycles: 500_000,
+            interval_cycles: 25_000,
+            warmup_epochs: 2,
+            measure_epochs: 3,
+            bulk_pause_cycles: 20_000,
+            background_delay_cycles: 10_000,
+            background_walk_cycles: 20_000,
             ..Self::default()
         }
     }
@@ -257,6 +294,16 @@ impl SimConfig {
         if monitor_ways == 0 {
             return Err("monitors need at least one tag way".into());
         }
+        if self.hier_change_threshold.is_nan() || self.hier_change_threshold < 0.0 {
+            return Err("hierarchical change threshold must be a non-negative number".into());
+        }
+        if self.hier_change_threshold > 0.0 && self.hier_region_side == 0 {
+            return Err(
+                "hier_change_threshold requires hier_region_side > 0 (warm starts are a \
+                 feature of the hierarchical planner)"
+                    .into(),
+            );
+        }
         if self.scheme.reconfigures() && self.warmup_epochs == 0 {
             // Partitioned schemes bootstrap from a placement computed with
             // no monitor history; with zero warm-up the measured window
@@ -301,6 +348,12 @@ pub struct ConfigPatch {
     pub reconfig_benefit_factor: Option<f64>,
     /// Overrides [`SimConfig::intra_cell_threads`].
     pub intra_cell_threads: Option<usize>,
+    /// Overrides [`SimConfig::hier_region_side`].
+    #[serde(default)]
+    pub hier_region_side: Option<u16>,
+    /// Overrides [`SimConfig::hier_change_threshold`].
+    #[serde(default)]
+    pub hier_change_threshold: Option<f64>,
 }
 
 impl ConfigPatch {
@@ -365,6 +418,12 @@ impl ConfigPatch {
         if let Some(v) = self.intra_cell_threads {
             config.intra_cell_threads = v;
         }
+        if let Some(v) = self.hier_region_side {
+            config.hier_region_side = v;
+        }
+        if let Some(v) = self.hier_change_threshold {
+            config.hier_change_threshold = v;
+        }
     }
 
     /// Fluent setter for [`SimConfig::alloc_granularity`].
@@ -413,6 +472,20 @@ impl ConfigPatch {
     #[must_use]
     pub fn with_intra_cell_threads(mut self, workers: usize) -> Self {
         self.intra_cell_threads = Some(workers);
+        self
+    }
+
+    /// Fluent setter for [`SimConfig::hier_region_side`].
+    #[must_use]
+    pub fn with_hier_region_side(mut self, side: u16) -> Self {
+        self.hier_region_side = Some(side);
+        self
+    }
+
+    /// Fluent setter for [`SimConfig::hier_change_threshold`].
+    #[must_use]
+    pub fn with_hier_change_threshold(mut self, threshold: f64) -> Self {
+        self.hier_change_threshold = Some(threshold);
         self
     }
 }
@@ -485,6 +558,71 @@ mod tests {
             ..SimConfig::default()
         };
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn hier_knobs_default_off_and_tolerate_old_json() {
+        let c = SimConfig::default();
+        assert_eq!(c.hier_region_side, 0);
+        assert_eq!(c.hier_change_threshold, 0.0);
+        // Configs serialized before the hierarchy existed (no hier_* keys)
+        // must still deserialize, with the knobs off. The fields are the
+        // struct's last, so stripping them from the JSON tail reconstructs a
+        // pre-hierarchy artifact exactly.
+        let json = serde_json::to_string(&c).unwrap();
+        let legacy = json.replace(",\"hier_region_side\":0,\"hier_change_threshold\":0.0", "");
+        assert_ne!(legacy, json, "expected to strip the hier keys");
+        let back: SimConfig = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn validate_checks_hier_knobs() {
+        let ok = SimConfig {
+            hier_region_side: 4,
+            hier_change_threshold: 0.02,
+            ..SimConfig::mega_mesh(16)
+        };
+        assert!(ok.validate().is_ok());
+        let c = SimConfig {
+            hier_change_threshold: -0.1,
+            hier_region_side: 4,
+            ..SimConfig::default()
+        };
+        assert!(c.validate().unwrap_err().contains("non-negative"));
+        let c = SimConfig {
+            hier_change_threshold: f64::NAN,
+            hier_region_side: 4,
+            ..SimConfig::default()
+        };
+        assert!(c.validate().is_err());
+        // Warm starts without the hierarchy are a misconfiguration, not a
+        // silent no-op.
+        let c = SimConfig {
+            hier_change_threshold: 0.02,
+            ..SimConfig::default()
+        };
+        assert!(c.validate().unwrap_err().contains("hier_region_side"));
+    }
+
+    #[test]
+    fn mega_mesh_presets_have_the_advertised_tile_counts() {
+        assert_eq!(SimConfig::mega_mesh(16).num_banks(), 256);
+        assert_eq!(SimConfig::mega_mesh(32).num_banks(), 1024);
+        assert!(SimConfig::mega_mesh(16).validate().is_ok());
+        assert!(SimConfig::mega_mesh(32).validate().is_ok());
+    }
+
+    #[test]
+    fn patch_applies_hier_overrides() {
+        let patch = ConfigPatch::named("hier-r4")
+            .with_hier_region_side(4)
+            .with_hier_change_threshold(0.02);
+        assert!(!patch.is_identity());
+        let mut c = SimConfig::mega_mesh(16);
+        patch.apply(&mut c);
+        assert_eq!(c.hier_region_side, 4);
+        assert_eq!(c.hier_change_threshold, 0.02);
     }
 
     #[test]

@@ -22,7 +22,9 @@ use crate::scheme::{MoveScheme, Scheme, ThreadSched};
 use cdcs_cache::monitor::{Gmon, GmonConfig, Monitor, Umon, UmonConfig};
 
 use cdcs_cache::{BankId, Line, MissCurve};
-use cdcs_core::policy::{clustered_cores, random_cores, CdcsPlanner, JigsawPlanner, RNucaPolicy};
+use cdcs_core::policy::{
+    clustered_cores, random_cores, CdcsPlanner, HierarchicalPlanner, JigsawPlanner, RNucaPolicy,
+};
 use cdcs_core::{
     Placement, PlacementProblem, PlanScratch, SystemParams, ThreadInfo, VcInfo, VcKind,
 };
@@ -856,7 +858,26 @@ impl Simulation {
                     chunk: self.config.alloc_granularity,
                     ..*planner
                 };
-                planner.plan_into(&problem, &self.cores, &mut self.scratch, &mut placement);
+                if self.config.hier_region_side > 0 {
+                    // Mega-mesh path: region-decomposed planning, with
+                    // incremental warm starts off the applied placement when
+                    // the threshold allows. CDCS-only — the Jigsaw variants
+                    // model prior work and always plan flat.
+                    let hier = HierarchicalPlanner {
+                        inner: planner,
+                        region_side: self.config.hier_region_side,
+                        change_threshold: self.config.hier_change_threshold,
+                    };
+                    hier.plan_into(
+                        &problem,
+                        self.last_placement.as_ref(),
+                        &self.cores,
+                        &mut self.scratch,
+                        &mut placement,
+                    );
+                } else {
+                    planner.plan_into(&problem, &self.cores, &mut self.scratch, &mut placement);
+                }
             }
             _ => unreachable!("only partitioned schemes reconfigure"),
         };

@@ -10,6 +10,17 @@
 # allocation, a serialized shard phase) shows up as that ratio degrading
 # vs the committed baseline.
 #
+# The planner trajectory (BENCH_planner.json) adds two gates of its own,
+# also machine-independent because every operand comes from the same fresh
+# run: the hierarchical `placement_scaling/full_pipeline/{256,1024}` rows
+# must beat the linear extrapolation of the flat 64->144 trend (the flat
+# pipeline is superlinear per tile, so the linear bound is conservative —
+# exceeding it means the hierarchy stopped paying for itself), and each
+# `placement_incremental/warm/N` row must be >=5x faster than its
+# `placement_incremental/cold/N` sibling (the incremental warm-start
+# contract). These gates engage whenever the committed baseline carries
+# the corresponding rows.
+#
 # Any benchmark row the committed baseline gates on that is missing from
 # either file is a hard failure: silently skipping a vanished row is
 # exactly how a deleted bench would sneak past the gate.
@@ -80,15 +91,57 @@ for group in simulation simulation_sharded; do
     done
 done
 
+# Hierarchical planner scaling gate: engages when the baseline gates on
+# the mega-mesh rows. The fresh hierarchical median at N tiles must beat
+# the linear extrapolation of the fresh flat 64->144 trend to N tiles.
+if [ -n "$(lookup "$workdir/baseline" placement_scaling/full_pipeline/256)" ]; then
+    f64="$(lookup "$workdir/fresh" placement_scaling/full_pipeline/64)"
+    f144="$(lookup "$workdir/fresh" placement_scaling/full_pipeline/144)"
+    require "$f64" placement_scaling/full_pipeline/64 "fresh $fresh"
+    require "$f144" placement_scaling/full_pipeline/144 "fresh $fresh"
+    for tiles in $(awk -F'[/ ]' '$1 == "placement_scaling" && $2 == "full_pipeline" && $3 + 0 >= 256 { print $3 }' "$workdir/baseline"); do
+        fh="$(lookup "$workdir/fresh" "placement_scaling/full_pipeline/$tiles")"
+        require "$fh" "placement_scaling/full_pipeline/$tiles" "fresh $fresh"
+        if [ -z "$f64" ] || [ -z "$f144" ] || [ -z "$fh" ]; then
+            continue
+        fi
+        checked=$((checked + 1))
+        verdict="$(awk -v a="$f64" -v b="$f144" -v h="$fh" -v t="$tiles" 'BEGIN {
+            limit = b + (b - a) / (144 - 64) * (t - 144)
+            printf "%.0fns vs flat-linear limit %.0fns  %s", h, limit, (h < limit) ? "ok" : "regressed"
+        }')"
+        printf '%-36s hierarchical %s\n' "placement_scaling/full_pipeline/$tiles" "$verdict"
+        case "$verdict" in *regressed) status=1 ;; esac
+    done
+fi
+
+# Incremental warm-start gate: for every scale the baseline carries a
+# cold row for, the fresh warm row must be >=5x faster than fresh cold.
+for tiles in $(awk -F'[/ ]' '$1 == "placement_incremental" && $2 == "cold" { print $3 }' "$workdir/baseline"); do
+    fc="$(lookup "$workdir/fresh" "placement_incremental/cold/$tiles")"
+    fw="$(lookup "$workdir/fresh" "placement_incremental/warm/$tiles")"
+    require "$fc" "placement_incremental/cold/$tiles" "fresh $fresh"
+    require "$fw" "placement_incremental/warm/$tiles" "fresh $fresh"
+    if [ -z "$fc" ] || [ -z "$fw" ]; then
+        continue
+    fi
+    checked=$((checked + 1))
+    verdict="$(awk -v c="$fc" -v w="$fw" 'BEGIN {
+        printf "warm %.1fx faster than cold (need >=5x)  %s", c / w, (w * 5 <= c) ? "ok" : "regressed"
+    }')"
+    printf '%-36s %s\n' "placement_incremental/$tiles" "$verdict"
+    case "$verdict" in *regressed) status=1 ;; esac
+done
+
 if [ "$missing" -ne 0 ]; then
     echo "baseline rows without counterparts — refusing to pass a partial comparison" >&2
     exit 1
 fi
 if [ "$checked" -eq 0 ]; then
-    echo "no comparable simulation rows found" >&2
+    echo "no comparable benchmark rows found" >&2
     exit 1
 fi
 if [ "$status" -ne 0 ]; then
-    echo "an engine regressed >$max_ratio x relative to the reference engine" >&2
+    echo "a gated benchmark regressed (engine ratio >$max_ratio x, hier above flat-linear, or warm <5x cold)" >&2
 fi
 exit "$status"

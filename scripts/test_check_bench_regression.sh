@@ -2,9 +2,11 @@
 # Shell-level tests for scripts/check_bench_regression.sh: the gate must
 # (1) pass identical files, (2) fail a genuine ratio regression, (3) fail
 # loudly when a baseline row has no counterpart instead of silently
-# skipping it, (4) parse re-formatted (pretty-printed) JSON, and (5) leave
+# skipping it, (4) parse re-formatted (pretty-printed) JSON, (5) leave
 # no temp files behind in any of those outcomes — including the early
-# `set -e` exits.
+# `set -e` exits — and (6) enforce the planner gates: hierarchical
+# mega-mesh rows below the flat linear extrapolation, warm incremental
+# replans >=5x faster than cold, and missing planner rows failing loudly.
 #
 # Usage: scripts/test_check_bench_regression.sh
 
@@ -100,6 +102,58 @@ sed 's/,/,\n    /g' "$scratch/base.json" > "$scratch/pretty.json"
 rc=0; "$checker" "$scratch/base.json" "$scratch/pretty.json" > /dev/null || rc=$?
 check "re-formatted JSON parses" 0 "$rc"
 assert_no_temp_leaks "re-formatted JSON"
+
+# 6. Planner gates (BENCH_planner.json shape): hierarchical scaling and
+# incremental warm-start. Flat trend 64->144 has slope 10 ns/tile here, so
+# the linear limit at 256 tiles is 2000 + 10*(256-144) = 3120 ns and at
+# 1024 tiles 2000 + 10*(1024-144) = 10800 ns.
+emit_planner_json() { # file f64 f144 h256 h1024 cold256 warm256 cold1024 warm1024
+    cat > "$1" <<EOF
+{
+  "bench": "planner",
+  "unit": "ns_per_op_median",
+  "benchmarks": [
+    {"group":"placement_scaling","name":"full_pipeline/64","median_ns":$2,"samples":10},
+    {"group":"placement_scaling","name":"full_pipeline/144","median_ns":$3,"samples":10},
+    {"group":"placement_scaling","name":"full_pipeline/256","median_ns":$4,"samples":10},
+    {"group":"placement_scaling","name":"full_pipeline/1024","median_ns":$5,"samples":10},
+    {"group":"placement_incremental","name":"cold/256","median_ns":$6,"samples":10},
+    {"group":"placement_incremental","name":"warm/256","median_ns":$7,"samples":10},
+    {"group":"placement_incremental","name":"cold/1024","median_ns":$8,"samples":10},
+    {"group":"placement_incremental","name":"warm/1024","median_ns":$9,"samples":10}
+  ]
+}
+EOF
+}
+
+emit_planner_json "$scratch/planner-base.json" 1200 2000 2500 8000 2500 300 8000 900
+
+# 6a. Healthy planner trajectory passes.
+rc=0; "$checker" "$scratch/planner-base.json" "$scratch/planner-base.json" > /dev/null || rc=$?
+check "healthy planner gates pass" 0 "$rc"
+assert_no_temp_leaks "healthy planner gates"
+
+# 6b. Hierarchical 256 above the flat linear extrapolation (3120) fails.
+emit_planner_json "$scratch/planner-slow.json" 1200 2000 3500 8000 2500 300 8000 900
+rc=0; "$checker" "$scratch/planner-base.json" "$scratch/planner-slow.json" > /dev/null 2>&1 || rc=$?
+check "hier above flat-linear fails" 1 "$rc"
+assert_no_temp_leaks "hier above flat-linear"
+
+# 6c. Warm replan slower than cold/5 fails (1024-tile row here: 8000/5=1600).
+emit_planner_json "$scratch/planner-warm.json" 1200 2000 2500 8000 2500 300 8000 1700
+rc=0; "$checker" "$scratch/planner-base.json" "$scratch/planner-warm.json" > /dev/null 2>&1 || rc=$?
+check "warm <5x cold fails" 1 "$rc"
+assert_no_temp_leaks "warm <5x cold"
+
+# 6d. A vanished warm row fails loudly, not silently.
+grep -v '"warm/1024"' "$scratch/planner-base.json" > "$scratch/planner-missing.json"
+rc=0; out="$("$checker" "$scratch/planner-base.json" "$scratch/planner-missing.json" 2>&1)" || rc=$?
+check "missing warm row fails" 1 "$rc"
+case "$out" in
+    *"MISSING ROW: placement_incremental/warm/1024"*) echo "ok: missing warm row is named" ;;
+    *) echo "FAIL: missing warm row not reported: $out" >&2; fails=$((fails + 1)) ;;
+esac
+assert_no_temp_leaks "missing warm row"
 
 # 5. Legacy /tmp/bench_* names must not be used at all (the old leak).
 stray="$(find /tmp -maxdepth 1 -name 'bench_*' -newer "$scratch/base.json" 2>/dev/null | head -3)"
