@@ -1,0 +1,87 @@
+//! Diagnostics and their text/JSON renderings.
+
+/// One lint finding, anchored to a file and line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Lint name (`determinism`, `panic-freedom`, `zero-alloc`,
+    /// `lock-order`, `golden-coupling`, `safety-comment`, `waiver`).
+    pub lint: String,
+    /// Repo-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// `file:line: [lint] message` — the clickable form.
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.lint, self.message
+        )
+    }
+}
+
+/// Renders diagnostics as a JSON array (hand-rolled: the analyzer depends
+/// on nothing, including the vendored serde).
+pub fn render_json(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("[\n");
+    for (i, d) in diags.iter().enumerate() {
+        out.push_str("  {\"lint\":");
+        json_string(&mut out, &d.lint);
+        out.push_str(",\"file\":");
+        json_string(&mut out, &d.file);
+        out.push_str(&format!(",\"line\":{}", d.line));
+        out.push_str(",\"message\":");
+        json_string(&mut out, &d.message);
+        out.push('}');
+        if i + 1 < diags.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push(']');
+    out
+}
+
+fn json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Sorts diagnostics for stable output: by file, then line, then lint.
+pub fn sort(diags: &mut [Diagnostic]) {
+    diags.sort_by(|a, b| {
+        (&a.file, a.line, &a.lint, &a.message).cmp(&(&b.file, b.line, &b.lint, &b.message))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes() {
+        let d = vec![Diagnostic {
+            lint: "determinism".into(),
+            file: "a\\b.rs".into(),
+            line: 3,
+            message: "say \"no\"".into(),
+        }];
+        let j = render_json(&d);
+        assert!(j.contains("a\\\\b.rs"));
+        assert!(j.contains("\\\"no\\\""));
+    }
+}

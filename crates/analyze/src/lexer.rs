@@ -1,0 +1,398 @@
+//! A minimal, dependency-free Rust lexer producing a span-carrying token
+//! stream with comments and string contents stripped.
+//!
+//! The lint passes match on *token sequences* (`Instant` `::` `now`,
+//! `.` `lock` `(` `)` `.` `unwrap`), so the lexer's job is to make those
+//! sequences reliable: comments never alias code, string literals never
+//! contain false idents (`"HashMap"` lexes as an empty string literal), and
+//! every token remembers the 1-based line it started on.
+//!
+//! The grammar handled here is the subset of Rust that affects tokenization
+//! boundaries: line/nested-block comments, plain/raw/byte string literals,
+//! char literals vs. lifetimes, raw identifiers, and numeric literals.
+//! Everything else is an identifier or a single-character punct.
+
+/// Kind of a lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `HashMap`, `r#type` → `type`).
+    Ident,
+    /// Single punctuation character (`.`, `:`, `(` …). Multi-character
+    /// operators arrive as consecutive puncts (`::` is `:` `:`).
+    Punct,
+    /// Literal: strings and chars are stripped to `""`/`''`; numbers keep
+    /// their text.
+    Lit,
+    /// Lifetime (`'a`), including the quote.
+    Lifetime,
+}
+
+/// One token with its source position.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+/// One comment, recorded separately from the token stream.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// Text after the `//` / `/*` opener (closer stripped for block
+    /// comments). Doc comments keep their extra marker (`/`, `!`, `*`) as
+    /// the first character so directive parsing can exclude them.
+    pub text: String,
+    /// `true` for `//`-style comments (lint directives are line comments
+    /// only).
+    pub line_comment: bool,
+}
+
+/// The result of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub toks: Vec<Tok>,
+    pub comments: Vec<Comment>,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes Rust source. Total: unterminated constructs consume to EOF rather
+/// than erroring (the analyzer must never panic on the code it audits).
+pub fn lex(src: &str) -> Lexed {
+    let mut out = Lexed::default();
+    let chars: Vec<char> = src.chars().collect();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    // Consumes chars[i..] while `f` holds, tracking newlines.
+    macro_rules! bump {
+        () => {{
+            if chars[i] == '\n' {
+                line += 1;
+            }
+            i += 1;
+        }};
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        let start_line = line;
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == '/' && i + 1 < chars.len() {
+            if chars[i + 1] == '/' {
+                let text_start = i + 2;
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+                out.comments.push(Comment {
+                    line: start_line,
+                    text: chars[text_start.min(i)..i].iter().collect(),
+                    line_comment: true,
+                });
+                continue;
+            }
+            if chars[i + 1] == '*' {
+                let text_start = i + 2;
+                i += 2;
+                let mut depth = 1;
+                let mut text_end = chars.len();
+                while i < chars.len() {
+                    if chars[i] == '/' && i + 1 < chars.len() && chars[i + 1] == '*' {
+                        depth += 1;
+                        bump!();
+                        bump!();
+                    } else if chars[i] == '*' && i + 1 < chars.len() && chars[i + 1] == '/' {
+                        depth -= 1;
+                        if depth == 0 {
+                            text_end = i;
+                            bump!();
+                            bump!();
+                            break;
+                        }
+                        bump!();
+                        bump!();
+                    } else {
+                        bump!();
+                    }
+                }
+                out.comments.push(Comment {
+                    line: start_line,
+                    text: chars[text_start.min(text_end)..text_end].iter().collect(),
+                    line_comment: false,
+                });
+                continue;
+            }
+        }
+        // Raw strings / raw identifiers / byte strings: r"", r#""#, br"", b"".
+        if (c == 'r' || c == 'b') && i + 1 < chars.len() {
+            let (prefix_len, rest) = if c == 'b' && chars[i + 1] == 'r' {
+                (2, i + 2)
+            } else {
+                (1, i + 1)
+            };
+            let after = chars.get(rest).copied();
+            if (c == 'r' || prefix_len == 2) && matches!(after, Some('#') | Some('"')) {
+                // Raw (byte) string: count #s, then scan to the matching
+                // closer `"###`.
+                let mut j = rest;
+                let mut hashes = 0usize;
+                while chars.get(j) == Some(&'#') {
+                    hashes += 1;
+                    j += 1;
+                }
+                if chars.get(j) == Some(&'"') {
+                    i = j;
+                    bump!(); // opening quote
+                    'raw: while i < chars.len() {
+                        if chars[i] == '"' {
+                            let mut k = 0;
+                            while k < hashes && chars.get(i + 1 + k) == Some(&'#') {
+                                k += 1;
+                            }
+                            if k == hashes {
+                                bump!();
+                                for _ in 0..hashes {
+                                    bump!();
+                                }
+                                break 'raw;
+                            }
+                        }
+                        bump!();
+                    }
+                    out.toks.push(Tok {
+                        kind: TokKind::Lit,
+                        text: String::from("\"\""),
+                        line: start_line,
+                    });
+                    continue;
+                }
+                // `r#ident` raw identifier: fall through to ident lexing
+                // below after skipping `r#`.
+                if c == 'r' && hashes == 1 && chars.get(j).is_some_and(|&c| is_ident_start(c)) {
+                    i = j;
+                    let start = i;
+                    while i < chars.len() && is_ident_continue(chars[i]) {
+                        i += 1;
+                    }
+                    out.toks.push(Tok {
+                        kind: TokKind::Ident,
+                        text: chars[start..i].iter().collect(),
+                        line: start_line,
+                    });
+                    continue;
+                }
+            }
+            if c == 'b' && after == Some('"') && prefix_len == 1 {
+                // b"..." — handled by the plain-string arm below after
+                // skipping the prefix.
+                i += 1;
+                // fall through to the '"' case on the next loop turn
+                continue;
+            }
+        }
+        // Plain strings.
+        if c == '"' {
+            bump!();
+            while i < chars.len() {
+                if chars[i] == '\\' && i + 1 < chars.len() {
+                    bump!();
+                    bump!();
+                } else if chars[i] == '"' {
+                    bump!();
+                    break;
+                } else {
+                    bump!();
+                }
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Lit,
+                text: String::from("\"\""),
+                line: start_line,
+            });
+            continue;
+        }
+        // Char literal vs. lifetime.
+        if c == '\'' {
+            // `'\x'`-style or `'c'` char literal: a quote appears within a
+            // few chars. Otherwise it's a lifetime.
+            if i + 1 < chars.len() && chars[i + 1] == '\\' {
+                bump!(); // '
+                bump!(); // backslash
+                while i < chars.len() && chars[i] != '\'' {
+                    bump!();
+                }
+                if i < chars.len() {
+                    bump!();
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Lit,
+                    text: String::from("''"),
+                    line: start_line,
+                });
+                continue;
+            }
+            if i + 2 < chars.len() && chars[i + 2] == '\'' && chars[i + 1] != '\'' {
+                i += 3;
+                out.toks.push(Tok {
+                    kind: TokKind::Lit,
+                    text: String::from("''"),
+                    line: start_line,
+                });
+                continue;
+            }
+            // Lifetime: 'ident (no closing quote).
+            let start = i;
+            i += 1;
+            while i < chars.len() && is_ident_continue(chars[i]) {
+                i += 1;
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Lifetime,
+                text: chars[start..i].iter().collect(),
+                line: start_line,
+            });
+            continue;
+        }
+        // Identifiers and keywords.
+        if is_ident_start(c) {
+            let start = i;
+            while i < chars.len() && is_ident_continue(chars[i]) {
+                i += 1;
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Ident,
+                text: chars[start..i].iter().collect(),
+                line: start_line,
+            });
+            continue;
+        }
+        // Numbers (good enough for span purposes; `1..2` must not swallow
+        // the range dots, `1.5` must stay one token).
+        if c.is_ascii_digit() {
+            let start = i;
+            i += 1;
+            while i < chars.len() {
+                let d = chars[i];
+                if d == '.' {
+                    // Two dots = range operator; stop before them.
+                    if chars.get(i + 1) == Some(&'.') {
+                        break;
+                    }
+                    // `1.method()` — stop before the dot if an ident
+                    // follows.
+                    if chars.get(i + 1).is_some_and(|&n| is_ident_start(n)) {
+                        break;
+                    }
+                    i += 1;
+                } else if is_ident_continue(d) {
+                    i += 1;
+                } else {
+                    break;
+                }
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Lit,
+                text: chars[start..i].iter().collect(),
+                line: start_line,
+            });
+            continue;
+        }
+        // Everything else: single-char punct.
+        out.toks.push(Tok {
+            kind: TokKind::Punct,
+            text: c.to_string(),
+            line: start_line,
+        });
+        i += 1;
+    }
+    out
+}
+
+impl Tok {
+    /// `true` if this token is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == name
+    }
+
+    /// `true` if this token is the punct `p`.
+    pub fn is_punct(&self, p: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.as_bytes()[0] == p as u8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).toks.into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn strips_strings_and_comments() {
+        let l = lex("let x = \"HashMap\"; // HashMap in a comment\nuse a::b;");
+        assert!(!l.toks.iter().any(|t| t.text == "HashMap"));
+        assert_eq!(l.comments.len(), 1);
+        assert!(l.comments[0].text.contains("HashMap"));
+        assert_eq!(l.toks.last().unwrap().line, 2);
+    }
+
+    #[test]
+    fn raw_strings_and_nested_block_comments() {
+        let l = lex("r#\"Instant::now\"# /* outer /* inner */ still */ ident");
+        assert_eq!(
+            l.toks.iter().filter(|t| t.kind == TokKind::Ident).count(),
+            1
+        );
+        assert_eq!(l.comments.len(), 1);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let v = texts("&'a str; 'x'; '\\n';");
+        assert!(v.contains(&"'a".to_string()));
+        assert_eq!(v.iter().filter(|t| *t == "''").count(), 2);
+    }
+
+    #[test]
+    fn double_colon_is_two_puncts() {
+        let v = texts("Instant::now()");
+        assert_eq!(v, vec!["Instant", ":", ":", "now", "(", ")"]);
+    }
+
+    #[test]
+    fn ranges_do_not_swallow_dots() {
+        let v = texts("0..10 1.5 2.x");
+        assert_eq!(v, vec!["0", ".", ".", "10", "1.5", "2", ".", "x"]);
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        let v = texts("r#type r#\"s\"#");
+        assert_eq!(v, vec!["type", "\"\""]);
+    }
+
+    #[test]
+    fn lines_are_tracked_through_multiline_strings() {
+        let l = lex("\"a\nb\nc\"\nident");
+        assert_eq!(l.toks[1].line, 4);
+    }
+}

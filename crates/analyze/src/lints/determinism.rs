@@ -1,0 +1,99 @@
+//! `determinism` — result-affecting crates must be reproducible from the
+//! seed alone.
+//!
+//! Every committed golden (`out/fig5.json`, `out/fig12_small.json`) and
+//! every bit-identity suite (engine equivalence, sharded equivalence,
+//! hierarchical equivalence) assumes that `core`/`sim`/`cache`/`mesh`/
+//! `workload` compute the same bytes on every run and every machine. Two
+//! things silently break that:
+//!
+//! * **Randomized-iteration maps.** `std::collections::HashMap`/`HashSet`
+//!   seed their hasher per process, so any iteration (even one feeding a
+//!   later sort with ties) can reorder results between runs. Use
+//!   `FxHashMap` (fixed hasher, insertion-stable across runs — already the
+//!   LLC's choice) or `BTreeMap`/`BTreeSet` (ordered by construction).
+//! * **Wall-clock and thread identity.** `Instant::now`, `SystemTime`, and
+//!   `std::thread::current` leak the machine into the computation.
+//!
+//! Scope: non-test lines of the result crates. Waive with
+//! `lint: allow(determinism) — <why the use cannot reach a result>`.
+
+use crate::diag::Diagnostic;
+use crate::lexer::Tok;
+use crate::source::SourceFile;
+
+const LINT: &str = "determinism";
+
+fn diag(file: &SourceFile, line: u32, message: String, out: &mut Vec<Diagnostic>) {
+    out.push(Diagnostic {
+        lint: LINT.to_string(),
+        file: file.rel.clone(),
+        line,
+        message,
+    });
+}
+
+/// `toks[i..]` starts with the given idents separated by `::`.
+fn path_seq(toks: &[Tok], i: usize, segs: &[&str]) -> bool {
+    let mut j = i;
+    for (k, seg) in segs.iter().enumerate() {
+        if !toks.get(j).is_some_and(|t| t.is_ident(seg)) {
+            return false;
+        }
+        j += 1;
+        if k + 1 < segs.len() {
+            if !(toks.get(j).is_some_and(|t| t.is_punct(':'))
+                && toks.get(j + 1).is_some_and(|t| t.is_punct(':')))
+            {
+                return false;
+            }
+            j += 2;
+        }
+    }
+    true
+}
+
+pub fn check(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    let toks = &file.toks;
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if file.is_test_line(t.line) {
+            continue;
+        }
+        if t.is_ident("HashMap") || t.is_ident("HashSet") {
+            diag(
+                file,
+                t.line,
+                format!(
+                    "`{}` iterates in a per-process random order; use `Fx{}` or `BTree{}` in \
+                     result-affecting crates",
+                    t.text,
+                    t.text,
+                    t.text.replace("Hash", "")
+                ),
+                out,
+            );
+        } else if path_seq(toks, i, &["Instant", "now"]) {
+            diag(
+                file,
+                t.line,
+                "`Instant::now` reads the wall clock inside a result-affecting crate".to_string(),
+                out,
+            );
+        } else if t.is_ident("SystemTime") {
+            diag(
+                file,
+                t.line,
+                "`SystemTime` reads the wall clock inside a result-affecting crate".to_string(),
+                out,
+            );
+        } else if path_seq(toks, i, &["thread", "current"]) {
+            diag(
+                file,
+                t.line,
+                "`thread::current` leaks thread identity into a result-affecting crate".to_string(),
+                out,
+            );
+        }
+    }
+}

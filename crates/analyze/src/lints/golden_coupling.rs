@@ -1,0 +1,141 @@
+//! `golden-coupling` — config structs may never break committed goldens.
+//!
+//! `out/fig5.json` and `out/fig12_small.json` are byte-exact CI goldens,
+//! and `specs/*.json` round-trip to byte fixpoints. A new `SimConfig` or
+//! `ConfigPatch` field *without* `#[serde(default)]` makes every committed
+//! JSON document (written before the field existed) fail to deserialize —
+//! the exact regression that turns "add a knob" into "regenerate every
+//! golden". This pass requires the attribute on every field of the structs
+//! in [`GOLDEN_STRUCTS`], so the mistake is caught at analysis time rather
+//! than in the artifact-diff CI step.
+
+use crate::diag::Diagnostic;
+use crate::lexer::TokKind;
+use crate::source::{match_brace, SourceFile};
+
+const LINT: &str = "golden-coupling";
+
+/// Structs whose serialized form is pinned by committed artifacts.
+pub const GOLDEN_STRUCTS: [&str; 2] = ["SimConfig", "ConfigPatch"];
+
+pub fn check(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    let toks = &file.toks;
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !(toks[i].is_ident("struct")
+            && toks
+                .get(i + 1)
+                .is_some_and(|t| GOLDEN_STRUCTS.iter().any(|s| t.is_ident(s))))
+        {
+            i += 1;
+            continue;
+        }
+        let struct_name = toks[i + 1].text.clone();
+        // Find the body brace (tuple/unit structs end in `;` — none here).
+        let mut b = i + 2;
+        while b < toks.len() && !toks[b].is_punct('{') && !toks[b].is_punct(';') {
+            b += 1;
+        }
+        if b >= toks.len() || toks[b].is_punct(';') {
+            i = b + 1;
+            continue;
+        }
+        let end = match_brace(toks, b);
+        check_fields(file, &struct_name, b + 1, end, out);
+        i = end + 1;
+    }
+}
+
+fn check_fields(
+    file: &SourceFile,
+    struct_name: &str,
+    mut j: usize,
+    end: usize,
+    out: &mut Vec<Diagnostic>,
+) {
+    let toks = &file.toks;
+    while j < end {
+        // Gather this field's attributes.
+        let mut has_serde_default = false;
+        while j + 1 < end && toks[j].is_punct('#') && toks[j + 1].is_punct('[') {
+            let close = bracket_match(file, j + 1, end);
+            let attr = &toks[j + 2..close];
+            let is_serde = attr.first().is_some_and(|t| t.is_ident("serde"));
+            if is_serde
+                && attr
+                    .iter()
+                    .any(|t| t.is_ident("default") || t.is_ident("skip"))
+            {
+                // `skip` fields are refilled from Default and never
+                // serialized, which is golden-compatible too.
+                has_serde_default = true;
+            }
+            j = close + 1;
+        }
+        // `pub` / `pub(crate)` visibility.
+        if toks.get(j).is_some_and(|t| t.is_ident("pub")) {
+            j += 1;
+            if toks.get(j).is_some_and(|t| t.is_punct('(')) {
+                while j < end && !toks[j].is_punct(')') {
+                    j += 1;
+                }
+                j += 1;
+            }
+        }
+        // Field name.
+        let Some(name_tok) = toks.get(j).filter(|t| t.kind == TokKind::Ident) else {
+            break;
+        };
+        if !has_serde_default {
+            out.push(Diagnostic {
+                lint: LINT.to_string(),
+                file: file.rel.clone(),
+                line: name_tok.line,
+                message: format!(
+                    "`{struct_name}::{}` lacks `#[serde(default)]`; committed goldens and \
+                     specs written before this field existed would fail to deserialize",
+                    name_tok.text
+                ),
+            });
+        }
+        // Skip to the field-separating comma at brace/bracket/paren depth 0
+        // (generic commas in the type hide behind `<…>`, which the lexer
+        // leaves as puncts — track angle depth too, conservatively).
+        j += 1;
+        let mut depth = 0i32;
+        let mut angle = 0i32;
+        while j < end {
+            let t = &toks[j];
+            if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                depth -= 1;
+            } else if t.is_punct('<') {
+                angle += 1;
+            } else if t.is_punct('>') {
+                angle -= 1;
+            } else if t.is_punct(',') && depth == 0 && angle <= 0 {
+                j += 1;
+                break;
+            }
+            j += 1;
+        }
+    }
+}
+
+/// Bracket-matches from `open` (a `[`), bounded by `end`.
+fn bracket_match(file: &SourceFile, open: usize, end: usize) -> usize {
+    let toks = &file.toks;
+    let mut depth = 0i32;
+    for (j, t) in toks.iter().enumerate().take(end).skip(open) {
+        if t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                return j;
+            }
+        }
+    }
+    end
+}

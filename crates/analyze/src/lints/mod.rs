@@ -1,0 +1,98 @@
+//! The lint passes and their scoping rules.
+//!
+//! Each pass is a function from one [`SourceFile`] to diagnostics; this
+//! module owns which crates/lines each pass applies to, waiver filtering,
+//! and the one workspace-level check (`#![forbid(unsafe_code)]` presence).
+
+pub mod determinism;
+pub mod golden_coupling;
+pub mod lock_order;
+pub mod panic_freedom;
+pub mod safety;
+pub mod zero_alloc;
+
+use crate::diag::Diagnostic;
+use crate::source::SourceFile;
+
+/// Names of every lint, in the order they run. `waiver` (malformed
+/// directives, unbalanced fences) is produced during parsing, not listed.
+pub const LINT_NAMES: [&str; 6] = [
+    "determinism",
+    "panic-freedom",
+    "zero-alloc",
+    "lock-order",
+    "golden-coupling",
+    "safety-comment",
+];
+
+/// Crates whose non-test code feeds committed byte-exact goldens; the
+/// determinism pass runs only here. `serve` and `bench` orchestrate (their
+/// timing/maps never reach a `SimResult`), and `analyze` audits.
+pub const RESULT_CRATES: [&str; 5] = ["core", "sim", "cache", "mesh", "workload"];
+
+/// Runs every requested pass over one file, drops waived findings, and
+/// appends the rest (plus any malformed-directive findings) to `out`.
+pub fn check_file(file: &SourceFile, only: Option<&[String]>, out: &mut Vec<Diagnostic>) {
+    let enabled = |name: &str| only.is_none_or(|names| names.iter().any(|n| n == name));
+    let mut raw: Vec<Diagnostic> = Vec::new();
+    if enabled("determinism") && RESULT_CRATES.contains(&file.crate_name.as_str()) {
+        determinism::check(file, &mut raw);
+    }
+    if enabled("panic-freedom") && file.crate_name == "serve" {
+        panic_freedom::check(file, &mut raw);
+    }
+    if enabled("zero-alloc") {
+        zero_alloc::check(file, &mut raw);
+    }
+    if enabled("lock-order") && file.crate_name == "serve" {
+        lock_order::check(file, &mut raw);
+    }
+    if enabled("golden-coupling") {
+        golden_coupling::check(file, &mut raw);
+    }
+    if enabled("safety-comment") {
+        safety::check(file, &mut raw);
+    }
+    raw.retain(|d| !file.waived(&d.lint, d.line));
+    out.extend(raw);
+    if enabled("waiver") || only.is_none() {
+        out.extend(file.directive_diags.iter().cloned());
+    }
+}
+
+/// Workspace-level pass: every crate root except `cdcs-cache` (SIMD
+/// monitors) must carry `#![forbid(unsafe_code)]`, so the attribute can't
+/// be silently dropped once added.
+pub fn check_forbid_unsafe(files: &[SourceFile], out: &mut Vec<Diagnostic>) {
+    for file in files {
+        let is_crate_root = file.rel.ends_with("src/lib.rs");
+        if !is_crate_root || file.crate_name == "cache" {
+            continue;
+        }
+        let toks = &file.toks;
+        let mut found = false;
+        for i in 0..toks.len().saturating_sub(3) {
+            if toks[i].is_punct('#')
+                && toks[i + 1].is_punct('!')
+                && toks[i + 2].is_punct('[')
+                && toks[i + 3].is_ident("forbid")
+                && toks.get(i + 5).is_some_and(|t| t.is_ident("unsafe_code"))
+            {
+                found = true;
+                break;
+            }
+        }
+        if !found {
+            out.push(Diagnostic {
+                lint: "safety-comment".to_string(),
+                file: file.rel.clone(),
+                line: 1,
+                message: format!(
+                    "crate `{}` must declare `#![forbid(unsafe_code)]` (only cdcs-cache's \
+                     SIMD monitors may use unsafe)",
+                    file.crate_name
+                ),
+            });
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! `panic-freedom` — the daemon never panics on a poisoned lock.
+//!
+//! PR 6's hardening rule, pinned statically: a worker that panicked while
+//! holding a lock poisons it, and any later `.lock().unwrap()` turns one
+//! contained fault into a daemon-wide cascade. Every lock acquisition in
+//! `cdcs-serve` non-test code must recover instead:
+//!
+//! ```ignore
+//! let guard = self.jobs.lock().unwrap_or_else(PoisonError::into_inner);
+//! ```
+//!
+//! The pass flags `.lock()`, `.read()` or `.write()` results consumed by
+//! `.unwrap()` / `.expect(…)`.
+
+use crate::diag::Diagnostic;
+use crate::source::SourceFile;
+
+const LINT: &str = "panic-freedom";
+
+pub fn check(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    let toks = &file.toks;
+    // Pattern: `.` {lock|read|write} `(` `)` `.` {unwrap|expect} `(`
+    for i in 0..toks.len() {
+        if !toks[i].is_punct('.') {
+            continue;
+        }
+        let Some(m) = toks.get(i + 1) else { continue };
+        if !(m.is_ident("lock") || m.is_ident("read") || m.is_ident("write")) {
+            continue;
+        }
+        if file.is_test_line(m.line) {
+            continue;
+        }
+        if !(toks.get(i + 2).is_some_and(|t| t.is_punct('('))
+            && toks.get(i + 3).is_some_and(|t| t.is_punct(')'))
+            && toks.get(i + 4).is_some_and(|t| t.is_punct('.')))
+        {
+            continue;
+        }
+        let Some(sink) = toks.get(i + 5) else {
+            continue;
+        };
+        if (sink.is_ident("unwrap") || sink.is_ident("expect"))
+            && toks.get(i + 6).is_some_and(|t| t.is_punct('('))
+        {
+            out.push(Diagnostic {
+                lint: LINT.to_string(),
+                file: file.rel.clone(),
+                line: sink.line,
+                message: format!(
+                    "`.{}().{}(…)` panics on a poisoned lock; recover with \
+                     `.{}().unwrap_or_else(PoisonError::into_inner)`",
+                    m.text, sink.text, m.text
+                ),
+            });
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! `safety-comment` — every `unsafe` block justifies itself.
+//!
+//! Only `cdcs-cache`'s SIMD monitor scans may use `unsafe` (every other
+//! crate carries `#![forbid(unsafe_code)]`, checked at the workspace
+//! level by [`crate::lints::check_forbid_unsafe`]). Each `unsafe { … }`
+//! block must be announced by a `// SAFETY:` comment on the same line or
+//! within the three lines above it — close enough that the justification
+//! and the code can't drift apart silently.
+//!
+//! `unsafe fn` / `unsafe impl` / `unsafe trait` declarations are not
+//! flagged: the compiler already forces their *callers* into `unsafe`
+//! blocks, which is where the justification lands.
+
+use crate::diag::Diagnostic;
+use crate::source::SourceFile;
+
+const LINT: &str = "safety-comment";
+
+/// How far above the `unsafe` keyword a `SAFETY:` comment may sit. Three
+/// lines covers one comment plus a wrapped continuation plus one
+/// intervening statement (the fused SIMD loads share one comment).
+const SAFETY_WINDOW: u32 = 3;
+
+pub fn check(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    let toks = &file.toks;
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if !t.is_ident("unsafe") || file.is_test_line(t.line) {
+            continue;
+        }
+        // Declaration forms introduce no executable region; skip.
+        if toks.get(i + 1).is_some_and(|n| {
+            n.is_ident("fn") || n.is_ident("impl") || n.is_ident("trait") || n.is_ident("extern")
+        }) {
+            continue;
+        }
+        let covered = file.comments.iter().any(|c| {
+            c.line <= t.line
+                && c.line + SAFETY_WINDOW >= t.line
+                && c.text
+                    .trim_start()
+                    .trim_start_matches('/')
+                    .trim_start()
+                    .starts_with("SAFETY:")
+        });
+        if !covered {
+            out.push(Diagnostic {
+                lint: LINT.to_string(),
+                file: file.rel.clone(),
+                line: t.line,
+                message: format!(
+                    "`unsafe` block without a `// SAFETY:` comment within {SAFETY_WINDOW} \
+                     lines above"
+                ),
+            });
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! `zero-alloc` — fenced hot regions may not allocate.
+//!
+//! The `plan_into` call graph performs a whole warm reconfiguration epoch
+//! with zero allocations (pinned dynamically by `crates/core/tests/
+//! alloc_free.rs` under a counting allocator). The dynamic test only sees
+//! lines it executes; this pass pins the property at the source level for
+//! every line inside a fence:
+//!
+//! ```ignore
+//! // lint: zero-alloc
+//! pub fn plan_into(&mut self, …) { … }
+//! // lint: end-zero-alloc
+//! ```
+//!
+//! Forbidden inside fences: `Vec::new`, `vec![…]`, `.collect`, `.to_vec`,
+//! `.clone()`, `Box::new`, `format!`. Cold-path setup lines (first-use
+//! pool growth) carry `lint: allow(zero-alloc) — <why cold>` waivers.
+
+use crate::diag::Diagnostic;
+use crate::source::SourceFile;
+
+const LINT: &str = "zero-alloc";
+
+pub fn check(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if file.fences.is_empty() {
+        return;
+    }
+    let toks = &file.toks;
+    let push = |line: u32, what: &str, out: &mut Vec<Diagnostic>| {
+        out.push(Diagnostic {
+            lint: LINT.to_string(),
+            file: file.rel.clone(),
+            line,
+            message: format!("`{what}` allocates inside a zero-alloc fence"),
+        });
+    };
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if !file.in_fence(t.line) {
+            continue;
+        }
+        let colon2 = |j: usize| {
+            toks.get(j).is_some_and(|t| t.is_punct(':'))
+                && toks.get(j + 1).is_some_and(|t| t.is_punct(':'))
+        };
+        if (t.is_ident("Vec") || t.is_ident("Box") || t.is_ident("String"))
+            && colon2(i + 1)
+            && toks.get(i + 2 + 1).is_some_and(|n| n.is_ident("new"))
+        {
+            push(t.line, &format!("{}::new", t.text), out);
+        } else if t.is_ident("vec") && toks.get(i + 1).is_some_and(|n| n.is_punct('!')) {
+            push(t.line, "vec!", out);
+        } else if t.is_ident("format") && toks.get(i + 1).is_some_and(|n| n.is_punct('!')) {
+            push(t.line, "format!", out);
+        } else if t.is_punct('.') {
+            let Some(m) = toks.get(i + 1) else { continue };
+            if m.is_ident("collect") || m.is_ident("to_vec") {
+                push(m.line, &format!(".{}", m.text), out);
+            } else if m.is_ident("clone")
+                && toks.get(i + 2).is_some_and(|p| p.is_punct('('))
+                && toks.get(i + 3).is_some_and(|p| p.is_punct(')'))
+            {
+                push(m.line, ".clone()", out);
+            }
+        }
+    }
+}

@@ -1,0 +1,139 @@
+#![forbid(unsafe_code)]
+//! CLI for `cdcs-analyze`. See the library docs for the lint catalog.
+
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use cdcs_analyze::{analyze_workspace, diag, find_root, lints};
+
+/// Writes to stdout. `Err(true)` is a closed pipe (`--json | head` —
+/// finish quietly with whatever verdict we already hold), `Err(false)`
+/// a real I/O error.
+fn out(text: std::fmt::Arguments) -> Result<(), bool> {
+    let mut stdout = std::io::stdout().lock();
+    match writeln!(stdout, "{text}") {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => Err(true),
+        Err(e) => {
+            eprintln!("cdcs-analyze: stdout: {e}");
+            Err(false)
+        }
+    }
+}
+
+/// On a closed pipe, return `$code` — the exit status the run would have
+/// produced anyway — so `--deny | head` can never hide a failure.
+macro_rules! outln {
+    (code = $code:expr, $($arg:tt)*) => {
+        if let Err(pipe) = out(format_args!($($arg)*)) {
+            return if pipe { $code } else { ExitCode::from(2) };
+        }
+    };
+    ($($arg:tt)*) => { outln!(code = ExitCode::SUCCESS, $($arg)*) };
+}
+
+const USAGE: &str = "\
+cdcs-analyze — workspace-invariant static analysis
+
+USAGE:
+    cargo run -p cdcs-analyze -- [OPTIONS]
+
+OPTIONS:
+    --deny           exit non-zero when any diagnostic is found (the CI gate)
+    --json           emit diagnostics as a JSON array
+    --root <path>    workspace root (default: walk up from the current dir)
+    --lint <name>    run only this lint (repeatable); names:
+                     determinism panic-freedom zero-alloc lock-order
+                     golden-coupling safety-comment waiver
+    --list-lints     print the lint names and exit
+    -h, --help       this help
+";
+
+fn main() -> ExitCode {
+    let mut deny = false;
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut only: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny" => deny = true,
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => return usage_error("--root needs a path"),
+            },
+            "--lint" => match args.next() {
+                Some(l) => only.push(l),
+                None => return usage_error("--lint needs a name"),
+            },
+            "--list-lints" => {
+                for l in lints::LINT_NAMES {
+                    outln!("{l}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "-h" | "--help" => {
+                outln!("{}", USAGE.trim_end());
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unknown argument `{other}`")),
+        }
+    }
+    for l in &only {
+        if !lints::LINT_NAMES.contains(&l.as_str()) && l != "waiver" {
+            return usage_error(&format!("unknown lint `{l}`"));
+        }
+    }
+    let root = match root.or_else(|| std::env::current_dir().ok().and_then(|d| find_root(&d))) {
+        Some(r) => r,
+        None => {
+            eprintln!("cdcs-analyze: no workspace root found (pass --root)");
+            return ExitCode::from(2);
+        }
+    };
+    let filter = if only.is_empty() {
+        None
+    } else {
+        Some(only.as_slice())
+    };
+    let diags = match analyze_workspace(&root, filter) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("cdcs-analyze: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let verdict = if deny && !diags.is_empty() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    };
+    if json {
+        outln!(code = verdict, "{}", diag::render_json(&diags));
+    } else {
+        for d in &diags {
+            outln!(code = verdict, "{}", d.render());
+        }
+        if diags.is_empty() {
+            outln!(
+                code = verdict,
+                "cdcs-analyze: workspace clean ({} lints)",
+                lints::LINT_NAMES.len()
+            );
+        } else {
+            outln!(
+                code = verdict,
+                "cdcs-analyze: {} diagnostic(s)",
+                diags.len()
+            );
+        }
+    }
+    verdict
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("cdcs-analyze: {msg}\n\n{USAGE}");
+    ExitCode::from(2)
+}

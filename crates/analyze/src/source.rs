@@ -1,0 +1,376 @@
+//! Source model: one lexed file plus the workspace-level facts the lint
+//! passes key on — which crate a file belongs to, which lines are test
+//! code, which lines sit inside `zero-alloc` fences, and which diagnostics
+//! the author has waived.
+//!
+//! ## Directive grammar (line comments only)
+//!
+//! * `lint: allow(<name>[, <name>…]) — <reason>` — waives the named lints
+//!   on the directive's own line and on the next line carrying code (so a
+//!   justification may continue over several comment lines). The reason
+//!   is mandatory; `—`, `--`, `-` and `:` all work as the separator. A
+//!   reasonless or unparsable directive is itself reported (lint
+//!   `waiver`).
+//! * `lint: zero-alloc` / `lint: end-zero-alloc` — open/close a fenced
+//!   region checked by the `zero-alloc` pass. Unbalanced fences are
+//!   reported (lint `waiver`).
+//!
+//! Doc comments (`///`, `//!`) and block comments never carry directives,
+//! so prose *about* the grammar can quote it freely.
+
+use crate::diag::Diagnostic;
+use crate::lexer::{lex, Comment, Lexed, Tok};
+
+/// A waiver extracted from a `lint: allow(...)` directive.
+#[derive(Debug, Clone)]
+pub struct Waiver {
+    /// Lint names the directive waives.
+    pub lints: Vec<String>,
+    /// Directive line (covered, for trailing-comment waivers).
+    pub line: u32,
+    /// The next line carrying code after the directive (covered too, so a
+    /// multi-line justification comment can sit between directive and
+    /// code). Filled in after lexing.
+    pub code_line: u32,
+}
+
+/// One analyzed source file.
+pub struct SourceFile {
+    /// Repo-relative path, `/`-separated (used in diagnostics).
+    pub rel: String,
+    /// Crate short name: `core`, `sim`, `cache`, `mesh`, `workload`,
+    /// `bench`, `serve`, `analyze`, or `cdcs` for the workspace-root crate.
+    pub crate_name: String,
+    /// Whole file is test code (under `tests/`, `benches/`, `examples/`).
+    pub test_file: bool,
+    pub toks: Vec<Tok>,
+    pub comments: Vec<Comment>,
+    /// `[start, end]` line ranges of `#[cfg(test)] mod … { … }` bodies.
+    test_regions: Vec<(u32, u32)>,
+    /// `[start, end]` line ranges of zero-alloc fences.
+    pub fences: Vec<(u32, u32)>,
+    pub waivers: Vec<Waiver>,
+    /// Malformed-directive diagnostics found while parsing comments.
+    pub directive_diags: Vec<Diagnostic>,
+}
+
+impl SourceFile {
+    /// Lexes `src` and extracts regions/waivers. `rel` is the path shown in
+    /// diagnostics; `crate_name` scopes the passes.
+    pub fn parse(rel: &str, crate_name: &str, src: &str) -> SourceFile {
+        let Lexed { toks, comments } = lex(src);
+        let test_file = ["/tests/", "/benches/", "/examples/"]
+            .iter()
+            .any(|d| rel.contains(d))
+            || rel.starts_with("tests/")
+            || rel.starts_with("benches/")
+            || rel.starts_with("examples/");
+        let mut file = SourceFile {
+            rel: rel.to_string(),
+            crate_name: crate_name.to_string(),
+            test_file,
+            test_regions: find_test_regions(&toks),
+            fences: Vec::new(),
+            waivers: Vec::new(),
+            directive_diags: Vec::new(),
+            toks,
+            comments,
+        };
+        file.parse_directives();
+        file
+    }
+
+    /// `true` if `line` is test code (file-level or inside `#[cfg(test)]`).
+    pub fn is_test_line(&self, line: u32) -> bool {
+        self.test_file
+            || self
+                .test_regions
+                .iter()
+                .any(|&(s, e)| line >= s && line <= e)
+    }
+
+    /// `true` if `line` sits inside a `zero-alloc` fence.
+    pub fn in_fence(&self, line: u32) -> bool {
+        self.fences.iter().any(|&(s, e)| line >= s && line <= e)
+    }
+
+    /// `true` if a waiver for `lint` covers `line`.
+    pub fn waived(&self, lint: &str, line: u32) -> bool {
+        self.waivers
+            .iter()
+            .any(|w| (w.line == line || w.code_line == line) && w.lints.iter().any(|l| l == lint))
+    }
+
+    fn diag(&mut self, lint: &'static str, line: u32, message: String) {
+        self.directive_diags.push(Diagnostic {
+            lint: lint.to_string(),
+            file: self.rel.clone(),
+            line,
+            message,
+        });
+    }
+
+    fn parse_directives(&mut self) {
+        let mut open_fence: Option<u32> = None;
+        let comments = std::mem::take(&mut self.comments);
+        for c in &comments {
+            // Only plain `//` comments carry directives; `///` and `//!`
+            // doc text starts with an extra `/` or `!`.
+            if !c.line_comment || c.text.starts_with('/') || c.text.starts_with('!') {
+                continue;
+            }
+            let Some(body) = c.text.trim_start().strip_prefix("lint:") else {
+                continue;
+            };
+            let body = body.trim();
+            if body == "zero-alloc" {
+                if let Some(start) = open_fence {
+                    self.diag(
+                        "waiver",
+                        c.line,
+                        format!("zero-alloc fence opened again (previous open on line {start})"),
+                    );
+                } else {
+                    open_fence = Some(c.line);
+                }
+            } else if body == "end-zero-alloc" {
+                match open_fence.take() {
+                    Some(start) => self.fences.push((start, c.line)),
+                    None => self.diag(
+                        "waiver",
+                        c.line,
+                        "end-zero-alloc without an open fence".to_string(),
+                    ),
+                }
+            } else if let Some(rest) = body.strip_prefix("allow(") {
+                match parse_allow(rest) {
+                    Ok(lints) => {
+                        let code_line = self
+                            .toks
+                            .iter()
+                            .map(|t| t.line)
+                            .find(|&l| l > c.line)
+                            .unwrap_or(c.line);
+                        self.waivers.push(Waiver {
+                            lints,
+                            line: c.line,
+                            code_line,
+                        });
+                    }
+                    Err(why) => self.diag("waiver", c.line, why),
+                }
+            } else {
+                self.diag(
+                    "waiver",
+                    c.line,
+                    format!("unknown lint directive `lint: {body}`"),
+                );
+            }
+        }
+        if let Some(start) = open_fence {
+            self.diag(
+                "waiver",
+                start,
+                "zero-alloc fence never closed (missing `lint: end-zero-alloc`)".to_string(),
+            );
+        }
+        self.comments = comments;
+    }
+}
+
+/// Parses `name[, name…]) — reason`. The reason is mandatory — a waiver
+/// without a recorded justification is how exceptions rot.
+fn parse_allow(rest: &str) -> Result<Vec<String>, String> {
+    let Some(close) = rest.find(')') else {
+        return Err("allow(...) missing closing parenthesis".to_string());
+    };
+    let lints: Vec<String> = rest[..close]
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect();
+    if lints.is_empty() {
+        return Err("allow() names no lints".to_string());
+    }
+    if let Some(bad) = lints
+        .iter()
+        .find(|l| !crate::lints::LINT_NAMES.contains(&l.as_str()))
+    {
+        // A misspelled name would otherwise waive nothing, silently —
+        // the author believes the finding is covered and it is not.
+        return Err(format!(
+            "allow() names unknown lint `{bad}` (known: {})",
+            crate::lints::LINT_NAMES.join(", ")
+        ));
+    }
+    let mut reason = rest[close + 1..].trim_start();
+    let mut found_sep = false;
+    for sep in ["—", "--", "-", ":"] {
+        if let Some(r) = reason.strip_prefix(sep) {
+            reason = r;
+            found_sep = true;
+            break;
+        }
+    }
+    if !found_sep || reason.trim().is_empty() {
+        return Err(format!(
+            "waiver for `{}` has no reason (grammar: `lint: allow(<name>) — <why this is sound>`)",
+            lints.join(", ")
+        ));
+    }
+    Ok(lints)
+}
+
+/// Finds `#[cfg(test)] mod name { … }` body line ranges by token scanning:
+/// an attribute whose tokens include both `cfg` and `test`, followed
+/// (possibly through further attributes) by `mod <name> {`, brace-matched.
+fn find_test_regions(toks: &[Tok]) -> Vec<(u32, u32)> {
+    let mut regions = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !(toks[i].is_punct('#') && i + 1 < toks.len() && toks[i + 1].is_punct('[')) {
+            i += 1;
+            continue;
+        }
+        // Bracket-match the attribute, noting whether it is cfg(...test...).
+        let mut j = i + 2;
+        let mut depth = 1i32;
+        let mut saw_cfg = false;
+        let mut saw_test = false;
+        while j < toks.len() && depth > 0 {
+            if toks[j].is_punct('[') {
+                depth += 1;
+            } else if toks[j].is_punct(']') {
+                depth -= 1;
+            } else if toks[j].is_ident("cfg") {
+                saw_cfg = true;
+            } else if toks[j].is_ident("test") {
+                saw_test = true;
+            }
+            j += 1;
+        }
+        if !(saw_cfg && saw_test) {
+            i = j;
+            continue;
+        }
+        // Skip any further attributes, then expect `mod <name> {`.
+        let mut k = j;
+        while k + 1 < toks.len() && toks[k].is_punct('#') && toks[k + 1].is_punct('[') {
+            let mut d = 1i32;
+            k += 2;
+            while k < toks.len() && d > 0 {
+                if toks[k].is_punct('[') {
+                    d += 1;
+                } else if toks[k].is_punct(']') {
+                    d -= 1;
+                }
+                k += 1;
+            }
+        }
+        if k < toks.len() && toks[k].is_ident("mod") {
+            // mod name { ... } — find the opening brace, then match it.
+            let mut b = k + 1;
+            while b < toks.len() && !toks[b].is_punct('{') && !toks[b].is_punct(';') {
+                b += 1;
+            }
+            if b < toks.len() && toks[b].is_punct('{') {
+                let start = toks[b].line;
+                let mut d = 1i32;
+                let mut e = b + 1;
+                let mut end = toks.last().map_or(start, |t| t.line);
+                while e < toks.len() {
+                    if toks[e].is_punct('{') {
+                        d += 1;
+                    } else if toks[e].is_punct('}') {
+                        d -= 1;
+                        if d == 0 {
+                            end = toks[e].line;
+                            break;
+                        }
+                    }
+                    e += 1;
+                }
+                regions.push((start, end));
+                i = e + 1;
+                continue;
+            }
+        }
+        i = j;
+    }
+    regions
+}
+
+/// Brace-matches from the token at `open` (which must be `{`), returning
+/// the index of the matching `}` (or `toks.len() - 1` when unbalanced).
+pub fn match_brace(toks: &[Tok], open: usize) -> usize {
+    debug_assert!(toks[open].is_punct('{'));
+    let mut depth = 0i32;
+    for (j, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return j;
+            }
+        }
+    }
+    toks.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(src: &str) -> SourceFile {
+        SourceFile::parse("crates/core/src/x.rs", "core", src)
+    }
+
+    #[test]
+    fn cfg_test_mod_lines_are_test_code() {
+        let f = file("fn a() {}\n#[cfg(test)]\nmod tests {\n    fn b() {}\n}\nfn c() {}");
+        assert!(!f.is_test_line(1));
+        assert!(f.is_test_line(4));
+        assert!(!f.is_test_line(6));
+    }
+
+    #[test]
+    fn waiver_covers_own_and_next_line() {
+        let f = file("// lint: allow(determinism) — stable order proven\nlet x = 1;\nlet y = 2;");
+        assert!(f.waived("determinism", 1));
+        assert!(f.waived("determinism", 2));
+        assert!(!f.waived("determinism", 3));
+        assert!(!f.waived("zero-alloc", 2));
+        assert!(f.directive_diags.is_empty());
+    }
+
+    #[test]
+    fn reasonless_waiver_is_reported() {
+        let f = file("// lint: allow(determinism)\nlet x = 1;");
+        assert_eq!(f.directive_diags.len(), 1);
+        assert!(f.directive_diags[0].message.contains("no reason"));
+    }
+
+    #[test]
+    fn fences_and_unbalanced_fences() {
+        let f = file("// lint: zero-alloc\nfn a() {}\n// lint: end-zero-alloc\n");
+        assert_eq!(f.fences, vec![(1, 3)]);
+        let g = file("// lint: zero-alloc\nfn a() {}\n");
+        assert_eq!(g.directive_diags.len(), 1);
+        assert!(g.directive_diags[0].message.contains("never closed"));
+    }
+
+    #[test]
+    fn doc_comments_do_not_carry_directives() {
+        let f = file("/// lint: allow(determinism) — prose\nfn a() {}\n");
+        assert!(f.waivers.is_empty());
+        assert!(f.directive_diags.is_empty());
+    }
+
+    #[test]
+    fn multi_lint_waiver() {
+        let f = file("// lint: allow(determinism, zero-alloc) -- both fine here\nlet x = 1;");
+        assert!(f.waived("determinism", 2));
+        assert!(f.waived("zero-alloc", 2));
+    }
+}

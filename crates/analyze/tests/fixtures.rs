@@ -1,0 +1,96 @@
+//! Fixture-corpus tests: each lint must catch its seeded violation and
+//! stay silent on the compliant twin, pinned down to the exact rendered
+//! diagnostics (`*.expected` sidecars). Plus the workspace gate: the repo
+//! itself must be clean under `--deny`.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use cdcs_analyze::{analyze_source_as, analyze_workspace, find_root};
+
+/// (lint, crate the fixture impersonates). `waiver` exercises the
+/// directive grammar itself (malformed allows, unbalanced fences).
+const CASES: &[(&str, &str)] = &[
+    ("determinism", "core"),
+    ("panic-freedom", "serve"),
+    ("zero-alloc", "core"),
+    ("lock-order", "serve"),
+    ("golden-coupling", "sim"),
+    ("safety-comment", "cache"),
+    ("waiver", "core"),
+];
+
+fn fixtures_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+/// Runs exactly one lint over one fixture, rendering diagnostics the same
+/// way the CLI does.
+fn run_fixture(lint: &str, file_name: &str, crate_name: &str) -> Vec<String> {
+    let path = fixtures_dir().join(file_name);
+    let src = fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+    let only = vec![lint.to_string()];
+    analyze_source_as(file_name, crate_name, &src, Some(&only))
+        .iter()
+        .map(cdcs_analyze::diag::Diagnostic::render)
+        .collect()
+}
+
+#[test]
+fn accept_fixtures_are_clean() {
+    for &(lint, crate_name) in CASES {
+        let diags = run_fixture(lint, &format!("{lint}_accept.rs"), crate_name);
+        assert!(
+            diags.is_empty(),
+            "{lint}_accept.rs should be clean, got:\n{}",
+            diags.join("\n")
+        );
+    }
+}
+
+#[test]
+fn reject_fixtures_produce_exactly_the_expected_diagnostics() {
+    for &(lint, crate_name) in CASES {
+        let actual = run_fixture(lint, &format!("{lint}_reject.rs"), crate_name);
+        assert!(
+            !actual.is_empty(),
+            "{lint}_reject.rs: the seeded violations were not caught"
+        );
+        for line in &actual {
+            assert!(
+                line.contains(&format!("[{lint}]")),
+                "{lint}_reject.rs produced a foreign diagnostic: {line}"
+            );
+        }
+        let sidecar = fixtures_dir().join(format!("{lint}_reject.expected"));
+        if std::env::var_os("CDCS_ANALYZE_BLESS").is_some() {
+            // Regeneration mode: rewrite the sidecars from actual output
+            // (then diff them in review, like any golden).
+            fs::write(&sidecar, actual.join("\n") + "\n").expect("write sidecar");
+        }
+        let expected =
+            fs::read_to_string(&sidecar).unwrap_or_else(|e| panic!("{}: {e}", sidecar.display()));
+        let expected: Vec<&str> = expected.lines().filter(|l| !l.is_empty()).collect();
+        assert_eq!(
+            actual,
+            expected,
+            "{lint}_reject.rs diagnostics drifted from the sidecar; actual:\n{}",
+            actual.join("\n")
+        );
+    }
+}
+
+#[test]
+fn workspace_is_clean_under_deny() {
+    let root = find_root(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("workspace root");
+    let diags = analyze_workspace(&root, None).expect("workspace scan");
+    assert!(
+        diags.is_empty(),
+        "the workspace must stay clean under --deny; findings:\n{}",
+        diags
+            .iter()
+            .map(cdcs_analyze::diag::Diagnostic::render)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -1,0 +1,27 @@
+//! Accept fixture (crate `core`): deterministic containers, one waived
+//! wall-clock read, and test-only use of the forbidden types.
+
+use rustc_hash::FxHashMap;
+use std::collections::BTreeMap;
+
+pub struct EpochStats {
+    pub last_seen: FxHashMap<u64, u64>,
+    pub by_bank: BTreeMap<u32, u64>,
+}
+
+pub fn deadline_check(deadline_nanos: u64) -> bool {
+    // lint: allow(determinism) — deadline enforcement only stops issuing
+    // work; no result bytes depend on this read.
+    let now = std::time::Instant::now();
+    now.elapsed().as_nanos() as u64 > deadline_nanos
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_helpers_may_use_std_maps() {
+        let mut m = std::collections::HashMap::new();
+        m.insert(1u64, 2u64);
+        assert_eq!(m.len(), 1);
+    }
+}

@@ -1,0 +1,18 @@
+//! Reject fixture (crate `core`): every determinism trigger, unwaived.
+//! Fixtures are analyzer inputs, not compiled code.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub struct EpochStats {
+    pub last_seen: HashMap<u64, u64>,
+}
+
+pub fn measure(stats: &mut EpochStats) -> u64 {
+    let t0 = Instant::now();
+    let ids: std::collections::HashSet<u64> = Default::default();
+    let stamp = std::time::SystemTime::now();
+    let who = std::thread::current();
+    drop((stamp, who, ids));
+    stats.last_seen.len() as u64 + t0.elapsed().as_nanos() as u64
+}

@@ -1,0 +1,29 @@
+//! Accept fixture (crate `sim`): every golden-struct field is default- or
+//! skip-marked, and non-golden structs are out of scope entirely.
+
+use serde::{Deserialize, Serialize};
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    #[serde(default)]
+    pub bank_lines: u64,
+    #[serde(default)]
+    pub seed: u64,
+    #[serde(skip)]
+    pub scratch_hint: usize,
+}
+
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ConfigPatch {
+    #[serde(default)]
+    pub label: String,
+    #[serde(default)]
+    pub epoch_cycles: Option<u64>,
+}
+
+/// Not a golden struct: bare fields are fine here.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct EphemeralReport {
+    pub cells_done: u64,
+    pub wall_nanos: u64,
+}

@@ -1,0 +1,22 @@
+//! Reject fixture (crate `sim`): golden structs with bare fields. Adding
+//! either field this way would break every committed JSON artifact
+//! written before it existed.
+
+use serde::{Deserialize, Serialize};
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Undefaulted: old goldens fail to deserialize.
+    pub bank_lines: u64,
+    #[serde(default)]
+    pub seed: u64,
+    /// Undefaulted, and the generic comma must not split the field.
+    pub overrides: Option<(u64, u64)>,
+}
+
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ConfigPatch {
+    pub label: String,
+    #[serde(default)]
+    pub epoch_cycles: Option<u64>,
+}

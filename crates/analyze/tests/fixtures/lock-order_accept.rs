@@ -1,0 +1,35 @@
+//! Accept fixture (crate `serve`): acquisitions follow the declared
+//! order (jobs → phase → assembly), wrapper methods resolve to their
+//! lock names, and a deliberate out-of-order touch is waived.
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+pub struct Daemon {
+    jobs: Mutex<Vec<u64>>,
+    phase: Mutex<u8>,
+    assembly: Mutex<Vec<u8>>,
+}
+
+impl Daemon {
+    fn lock_phase(&self) -> MutexGuard<'_, u8> {
+        self.phase.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    pub fn finalize(&self) {
+        let j = self.jobs.lock().unwrap_or_else(PoisonError::into_inner);
+        let p = self.lock_phase();
+        let a = self.assembly.lock().unwrap_or_else(PoisonError::into_inner);
+        drop((j, p, a));
+    }
+
+    pub fn drain_then_report(&self) {
+        {
+            let a = self.assembly.lock().unwrap_or_else(PoisonError::into_inner);
+            drop(a);
+        }
+        // lint: allow(lock-order) — the assembly guard was dropped above;
+        // the acquisitions never overlap.
+        let p = self.lock_phase();
+        drop(p);
+    }
+}

@@ -1,0 +1,25 @@
+//! Reject fixture (crate `serve`): an inverted acquisition pair and an
+//! undeclared mutex.
+
+use std::sync::Mutex;
+
+pub struct Daemon {
+    jobs: Mutex<Vec<u64>>,
+    phase: Mutex<u8>,
+    assembly: Mutex<Vec<u8>>,
+    cache_dir: Mutex<String>,
+}
+
+impl Daemon {
+    pub fn finalize_backwards(&self) {
+        let a = self.assembly.lock().unwrap_or_else(|e| e.into_inner());
+        let p = self.phase.lock().unwrap_or_else(|e| e.into_inner());
+        drop((a, p));
+    }
+
+    pub fn undeclared(&self) {
+        let d = self.cache_dir.lock().unwrap_or_else(|e| e.into_inner());
+        let j = self.jobs.lock().unwrap_or_else(|e| e.into_inner());
+        drop((d, j));
+    }
+}

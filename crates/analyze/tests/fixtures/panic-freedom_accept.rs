@@ -1,0 +1,40 @@
+//! Accept fixture (crate `serve`): every acquisition recovers from poison.
+
+use std::sync::{Mutex, PoisonError, RwLock};
+
+pub struct Registry {
+    jobs: Mutex<Vec<u64>>,
+    index: RwLock<Vec<u64>>,
+}
+
+impl Registry {
+    pub fn push(&self, id: u64) {
+        self.jobs
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(id);
+    }
+
+    pub fn first(&self) -> Option<u64> {
+        self.index
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .first()
+            .copied()
+    }
+
+    pub fn len_for_metrics(&self) -> usize {
+        // Plain Option/Result unwraps are not poison panics; only lock
+        // results are in scope for this lint.
+        Some(1usize).unwrap()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap_locks() {
+        let m = std::sync::Mutex::new(3u64);
+        assert_eq!(*m.lock().unwrap(), 3);
+    }
+}

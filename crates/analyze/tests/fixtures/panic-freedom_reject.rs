@@ -1,0 +1,22 @@
+//! Reject fixture (crate `serve`): poison-panicking lock acquisitions.
+
+use std::sync::{Mutex, RwLock};
+
+pub struct Registry {
+    jobs: Mutex<Vec<u64>>,
+    index: RwLock<Vec<u64>>,
+}
+
+impl Registry {
+    pub fn push(&self, id: u64) {
+        self.jobs.lock().unwrap().push(id);
+    }
+
+    pub fn first(&self) -> Option<u64> {
+        self.index.read().expect("index poisoned").first().copied()
+    }
+
+    pub fn clear(&self) {
+        self.index.write().unwrap().clear();
+    }
+}

@@ -1,0 +1,26 @@
+//! Accept fixture (crate `cache`): every unsafe block is announced, and
+//! declaration forms need no comment of their own.
+
+pub fn sum_lanes(xs: &[u64; 4]) -> u64 {
+    let p = xs.as_ptr();
+    // SAFETY: `xs` is a fixed-size array of 4 lanes, so `p..p+3` are all
+    // in bounds and aligned.
+    unsafe { p.read() + p.add(1).read() + p.add(2).read() + p.add(3).read() }
+}
+
+/// # Safety
+///
+/// `xs` must be non-empty.
+pub unsafe fn read_first_unchecked(xs: &[u64]) -> u64 {
+    // SAFETY: the caller contract above guarantees at least one element.
+    unsafe { *xs.as_ptr() }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_out_of_scope() {
+        let xs = [7u64];
+        assert_eq!(unsafe { *xs.as_ptr() }, 7);
+    }
+}

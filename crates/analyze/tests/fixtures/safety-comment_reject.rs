@@ -1,0 +1,16 @@
+//! Reject fixture (crate `cache`): unsafe blocks without (or with
+//! too-distant) `SAFETY:` justifications.
+
+pub fn sum_lanes(xs: &[u64; 4]) -> u64 {
+    let p = xs.as_ptr();
+    unsafe { p.read() + p.add(1).read() + p.add(2).read() + p.add(3).read() }
+}
+
+// SAFETY: this comment is five lines above the block — outside the
+// three-line window, so the justification and the code have already
+// drifted apart. The pass must flag the block below.
+//
+//
+pub fn read_first(xs: &[u64]) -> u64 {
+    unsafe { *xs.as_ptr() }
+}

@@ -1,0 +1,17 @@
+//! Accept fixture (crate `core`): well-formed directives — reasons on
+//! every waiver, fences balanced, multiple lints in one allow.
+
+pub fn stale() -> u64 {
+    // lint: allow(determinism) — fixture demonstrating the grammar; the
+    // waived line is compliant anyway.
+    let t = 1u64;
+    // lint: allow(determinism, zero-alloc): alternate separator form
+    let u = 2u64;
+    t + u
+}
+
+// lint: zero-alloc
+pub fn hot(out: &mut Vec<u64>) {
+    out.clear();
+}
+// lint: end-zero-alloc

@@ -1,0 +1,15 @@
+//! Reject fixture (crate `core`): malformed waiver directives and an
+//! unbalanced fence.
+
+pub fn stale() -> u64 {
+    // lint: allow(determinism)
+    let t = 1u64;
+    // lint: allow(nonexistent-lint) — the lint name must be real
+    let u = 2u64;
+    t + u
+}
+
+// lint: zero-alloc
+pub fn hot(out: &mut Vec<u64>) {
+    out.clear();
+}

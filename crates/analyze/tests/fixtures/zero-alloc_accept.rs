@@ -1,0 +1,26 @@
+//! Accept fixture (crate `core`): the fenced hot path reuses pooled
+//! buffers; the one cold-path growth line carries a waiver. Allocation
+//! outside the fence is not this lint's business.
+
+pub struct Scratch {
+    pub order: Vec<usize>,
+}
+
+// lint: zero-alloc
+pub fn plan_into(sizes: &[u64], scratch: &mut Scratch, out: &mut Vec<u64>) {
+    out.clear();
+    out.extend_from_slice(sizes);
+    scratch.order.clear();
+    if scratch.order.capacity() < sizes.len() {
+        // lint: allow(zero-alloc) — first-use pool growth; warm epochs
+        // never enter this branch (pinned by alloc_free.rs).
+        scratch.order = (0..sizes.len()).collect();
+    }
+    scratch.order.clear();
+    scratch.order.extend(0..sizes.len());
+}
+// lint: end-zero-alloc
+
+pub fn one_shot(sizes: &[u64]) -> Vec<u64> {
+    sizes.to_vec()
+}

@@ -1,0 +1,20 @@
+//! Reject fixture (crate `core`): a fenced hot path that allocates.
+
+pub struct Scratch {
+    pub order: Vec<usize>,
+}
+
+// lint: zero-alloc
+pub fn plan_into(sizes: &[u64], scratch: &mut Scratch, out: &mut Vec<u64>) {
+    let fresh: Vec<u64> = Vec::new();
+    let seeded = vec![0u64; sizes.len()];
+    let doubled: Vec<u64> = sizes.iter().map(|s| s * 2).collect();
+    let copied = sizes.to_vec();
+    let label = format!("{} vcs", sizes.len());
+    let again = copied.clone();
+    let boxed = Box::new(sizes.len());
+    drop((fresh, seeded, doubled, label, again, boxed));
+    out.extend_from_slice(sizes);
+    scratch.order.clear();
+}
+// lint: end-zero-alloc

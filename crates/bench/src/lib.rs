@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Experiment harness for the per-figure/per-table binaries.
 //!
 //! Every binary in `src/bin/` regenerates one table or figure from the

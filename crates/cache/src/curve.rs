@@ -62,6 +62,7 @@ impl MissCurve {
     /// # Panics
     ///
     /// As [`Self::new`].
+    // lint: zero-alloc
     pub fn rebuild(&mut self, points: &mut [(f64, f64)]) {
         for &(c, m) in points.iter() {
             assert!(c.is_finite() && c >= 0.0, "invalid capacity {c}");
@@ -93,6 +94,7 @@ impl MissCurve {
             p.1 = running;
         }
     }
+    // lint: end-zero-alloc
 
     /// A curve that is identically zero (an app that never misses).
     pub fn zero() -> Self {
@@ -232,6 +234,7 @@ impl MissCurve {
 
     /// [`Self::convex_hull`] into a caller-pooled curve (identical hull,
     /// zero allocations once `out`'s buffer is warm).
+    // lint: zero-alloc
     pub fn convex_hull_into(&self, out: &mut MissCurve) {
         let hull = &mut out.points;
         hull.clear();
@@ -256,6 +259,7 @@ impl MissCurve {
             hull.push(p);
         }
     }
+    // lint: end-zero-alloc
 
     /// Builds a curve by evaluating `f` on a capacity grid. Used to build
     /// total-latency curves (miss latency + on-chip latency) in `cdcs-core`.

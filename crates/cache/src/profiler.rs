@@ -13,7 +13,7 @@
 //! since a line's previous access, which is exactly its LRU stack distance.
 
 use crate::{Line, MissCurve};
-use std::collections::HashMap;
+use rustc_hash::FxHashMap;
 
 /// Exact LRU stack-distance profiler.
 ///
@@ -44,7 +44,7 @@ pub struct StackProfiler {
     /// ranges).
     marks: Vec<bool>,
     /// Most recent access timestamp of each line (1-based for the BIT).
-    last: HashMap<u64, usize>,
+    last: FxHashMap<u64, usize>,
     /// Next timestamp.
     now: usize,
     /// Histogram of stack distances: `hist[d]` = accesses with distance d

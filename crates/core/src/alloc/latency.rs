@@ -39,6 +39,7 @@ pub fn total_latency_curve(problem: &PlacementProblem, vc: VcId) -> MissCurve {
 /// the output curve itself (rebuilt in place). The distances from the chip
 /// center depend only on the mesh, so [`latency_aware_sizes_into`] caches
 /// them in the scratch instead of re-sorting the tile list per evaluation.
+// lint: zero-alloc
 fn total_latency_curve_into(
     problem: &PlacementProblem,
     vc: VcId,
@@ -83,6 +84,7 @@ fn total_latency_curve_into(
     }));
     out.rebuild(raw);
 }
+// lint: end-zero-alloc
 
 /// CDCS latency-aware capacity allocation (§IV-C): Peekahead over
 /// total-latency curves, leaving capacity unused when further allocation
@@ -102,6 +104,7 @@ pub fn latency_aware_sizes(problem: &PlacementProblem, granularity: u64) -> Vec<
 /// reallocation runs allocation-free once warm (each VC's curve is built,
 /// hulled, and reduced to segments before the next VC's overwrites the
 /// buffers — nothing per-VC is retained).
+// lint: zero-alloc
 pub fn latency_aware_sizes_into(
     problem: &PlacementProblem,
     granularity: u64,
@@ -110,6 +113,7 @@ pub fn latency_aware_sizes_into(
 ) {
     latency_aware_sizes_stepped_into(problem, granularity, 1, scratch, out);
 }
+// lint: end-zero-alloc
 
 /// [`latency_aware_sizes_into`] on a coarsened capacity grid: the
 /// total-latency curves sample every `grid_step_banks` banks instead of
@@ -120,6 +124,7 @@ pub fn latency_aware_sizes_into(
 /// grid to ~128 capacity points, keeping sizing near-linear; with step 1
 /// this is exactly the flat sizing (the delegation above), so all
 /// flat-path results are untouched.
+// lint: zero-alloc
 pub(crate) fn latency_aware_sizes_stepped_into(
     problem: &PlacementProblem,
     granularity: u64,
@@ -163,6 +168,7 @@ pub(crate) fn latency_aware_sizes_stepped_into(
         out,
     );
 }
+// lint: end-zero-alloc
 
 /// Jigsaw's miss-driven allocation: Peekahead over raw miss curves, spreading
 /// leftover capacity over all demanders ("sizes VCs obliviously to their
@@ -179,6 +185,7 @@ pub fn miss_driven_sizes(problem: &PlacementProblem, granularity: u64) -> Vec<u6
 /// [`miss_driven_sizes`] against caller-owned buffers (hulls are built
 /// straight from the problem's miss curves — no clones, no per-epoch
 /// allocation once warm).
+// lint: zero-alloc
 pub fn miss_driven_sizes_into(
     problem: &PlacementProblem,
     granularity: u64,
@@ -213,6 +220,7 @@ pub fn miss_driven_sizes_into(
         out,
     );
 }
+// lint: end-zero-alloc
 
 /// Capacity allocation restricted to a subset of VCs against a residual
 /// budget: Peekahead over the hulls of the `include`d VCs only, with
@@ -224,6 +232,7 @@ pub fn miss_driven_sizes_into(
 /// only against the capacity those allocations left free. Excluded VCs get
 /// zero in `out`. Allocation-free once the scratch is warm.
 #[allow(clippy::too_many_arguments)] // mirrors the sizing knobs one-for-one
+                                     // lint: zero-alloc
 pub(crate) fn residual_sizes_into(
     problem: &PlacementProblem,
     include: &[bool],
@@ -290,6 +299,7 @@ pub(crate) fn residual_sizes_into(
         out,
     );
 }
+// lint: end-zero-alloc
 
 #[cfg(test)]
 mod tests {

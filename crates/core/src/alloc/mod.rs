@@ -135,6 +135,7 @@ impl AllocScratch {
 
 /// Appends `hull`'s beneficial segments for `vc` to `segments` (the
 /// per-curve half of [`peekahead`]'s segment construction).
+// lint: zero-alloc
 fn push_hull_segments(vc: usize, hull: &MissCurve, segments: &mut Vec<Segment>) {
     for w in hull.points().windows(2) {
         let (c0, m0) = w[0];
@@ -154,6 +155,7 @@ fn push_hull_segments(vc: usize, hull: &MissCurve, segments: &mut Vec<Segment>) 
         }
     }
 }
+// lint: end-zero-alloc
 
 /// Allocates `opts.total_lines` among benefit curves by greedy convex-hull
 /// descent (Peekahead).
@@ -183,6 +185,7 @@ pub fn peekahead(curves: &[MissCurve], opts: AllocOptions) -> Vec<u64> {
 /// # Panics
 ///
 /// As [`peekahead`].
+// lint: zero-alloc
 pub fn peekahead_into(
     curves: &[MissCurve],
     opts: AllocOptions,
@@ -207,6 +210,7 @@ pub fn peekahead_into(
     }
     peekahead_from_segments(curves.len(), opts, scratch, out);
 }
+// lint: end-zero-alloc
 
 /// The allocator core over pre-extracted hull segments (`scratch.segments`,
 /// built by [`push_hull_segments`]) and pre-computed `scratch.demanders`
@@ -216,6 +220,7 @@ pub fn peekahead_into(
 /// # Panics
 ///
 /// Panics if `opts.granularity` is zero.
+// lint: zero-alloc
 fn peekahead_from_segments(
     num_vcs: usize,
     opts: AllocOptions,
@@ -296,6 +301,7 @@ fn peekahead_from_segments(
         }
     }
 }
+// lint: end-zero-alloc
 
 /// Rounds fractional allocations down to multiples of `granularity`, then
 /// hands whole chunks back to the largest fractional remainders while the

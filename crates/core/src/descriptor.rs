@@ -132,7 +132,7 @@ impl VcDescriptor {
         // the new counts allow (minimizing line movement), then fill the
         // remaining buckets with banks still under target.
         counts.sort_by_key(|&(b, _, _)| b);
-        let mut target: std::collections::HashMap<usize, usize> =
+        let mut target: std::collections::BTreeMap<usize, usize> =
             counts.iter().map(|&(b, c, _)| (b, c)).collect();
         let mut buckets = [BankId(u16::MAX); DESCRIPTOR_BUCKETS];
         if let Some(prev) = prev {
@@ -176,9 +176,9 @@ impl VcDescriptor {
         self.buckets[cdcs_cache::hash::bucket(line.0, DESCRIPTOR_BUCKETS)]
     }
 
-    /// Bucket counts per bank.
-    pub fn bucket_histogram(&self) -> std::collections::HashMap<BankId, usize> {
-        let mut h = std::collections::HashMap::new();
+    /// Bucket counts per bank, ordered by bank id.
+    pub fn bucket_histogram(&self) -> std::collections::BTreeMap<BankId, usize> {
+        let mut h = std::collections::BTreeMap::new();
         for &b in &self.buckets {
             *h.entry(b).or_insert(0) += 1;
         }

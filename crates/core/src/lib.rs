@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! CDCS core algorithms — the contribution of [Beckmann, Tsai, Sanchez,
 //! HPCA 2015]: joint computation (thread) and data (virtual cache)
 //! co-scheduling for distributed NUCA cache hierarchies.

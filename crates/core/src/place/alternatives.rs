@@ -245,8 +245,9 @@ fn bisect(problem: &PlacementProblem, threads: &[u32], tiles: &[TileId], cores: 
 /// Groups threads connected through shared VCs (threads of one process end
 /// up together).
 fn group_by_shared_vcs(problem: &PlacementProblem, threads: &[u32]) -> Vec<Vec<u32>> {
-    let mut parent: std::collections::HashMap<u32, u32> = threads.iter().map(|&t| (t, t)).collect();
-    fn find(parent: &mut std::collections::HashMap<u32, u32>, x: u32) -> u32 {
+    let mut parent: std::collections::BTreeMap<u32, u32> =
+        threads.iter().map(|&t| (t, t)).collect();
+    fn find(parent: &mut std::collections::BTreeMap<u32, u32>, x: u32) -> u32 {
         let p = parent[&x];
         if p == x {
             return x;
@@ -255,7 +256,7 @@ fn group_by_shared_vcs(problem: &PlacementProblem, threads: &[u32]) -> Vec<Vec<u
         parent.insert(x, root);
         root
     }
-    let in_set: std::collections::HashSet<u32> = threads.iter().copied().collect();
+    let in_set: std::collections::BTreeSet<u32> = threads.iter().copied().collect();
     for d in 0..problem.vcs.len() as u32 {
         let accessors: Vec<u32> = problem
             .vc_accessors(d)
@@ -270,7 +271,7 @@ fn group_by_shared_vcs(problem: &PlacementProblem, threads: &[u32]) -> Vec<Vec<u
             }
         }
     }
-    let mut groups: std::collections::HashMap<u32, Vec<u32>> = std::collections::HashMap::new();
+    let mut groups: std::collections::BTreeMap<u32, Vec<u32>> = std::collections::BTreeMap::new();
     for &t in threads {
         let r = find(&mut parent, t);
         groups.entry(r).or_default().push(t);

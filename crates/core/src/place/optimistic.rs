@@ -103,6 +103,7 @@ pub fn optimistic_place_with(
 /// # Panics
 ///
 /// As [`optimistic_place`].
+// lint: zero-alloc
 pub fn optimistic_place_into(
     problem: &PlacementProblem,
     sizes: &[u64],
@@ -182,6 +183,7 @@ pub fn optimistic_place_into(
         centers[d] = Some(center);
     }
 }
+// lint: end-zero-alloc
 
 #[cfg(test)]
 mod tests {

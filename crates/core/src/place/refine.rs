@@ -64,6 +64,7 @@ pub fn greedy_place_with(
 /// # Panics
 ///
 /// As [`greedy_place`].
+// lint: zero-alloc
 pub fn greedy_place_into(
     problem: &PlacementProblem,
     sizes: &[u64],
@@ -149,6 +150,7 @@ pub fn greedy_place_into(
         }
     }
 }
+// lint: end-zero-alloc
 
 /// The trade search (§IV-F): every VC, once, spirals outward from its data's
 /// center of mass, collecting "desirable" banks (where it has unclaimed
@@ -167,6 +169,7 @@ pub fn trade_refine(problem: &PlacementProblem, placement: &mut Placement) -> us
 /// matrix, free-space tally, VC totals, spiral order and desirable list all
 /// live in `scratch`, so steady-state epochs run the search without heap
 /// traffic.
+// lint: zero-alloc
 pub fn trade_refine_with(
     problem: &PlacementProblem,
     placement: &mut Placement,
@@ -297,6 +300,7 @@ pub fn trade_refine_with(
     placement.thread_cores = cores;
     trades
 }
+// lint: end-zero-alloc
 
 #[cfg(test)]
 mod tests {

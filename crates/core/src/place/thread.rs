@@ -85,6 +85,7 @@ pub fn place_threads_with(
 /// # Panics
 ///
 /// As [`place_threads`].
+// lint: zero-alloc
 pub fn place_threads_into(
     problem: &PlacementProblem,
     sizes: &[u64],
@@ -173,6 +174,7 @@ pub fn place_threads_into(
         out[t] = tile;
     }
 }
+// lint: end-zero-alloc
 
 /// The free tile nearest to `p` (ties by tile id). The thread's current
 /// `home` tile gets a `stability_bias`-hop head start.

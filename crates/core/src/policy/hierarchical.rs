@@ -85,6 +85,7 @@ impl HierarchicalPlanner {
     ///
     /// Panics if `region_side` is zero or `current_cores` length differs
     /// from the problem's thread count.
+    // lint: zero-alloc
     pub fn plan_into(
         &self,
         problem: &PlacementProblem,
@@ -163,6 +164,7 @@ impl HierarchicalPlanner {
         std::mem::swap(&mut hier.sig, &mut hier.sig_next);
         hier.sig_valid = true;
     }
+    // lint: end-zero-alloc
 
     /// [`Self::plan_into`] returning a fresh placement.
     pub fn plan_with(
@@ -179,6 +181,7 @@ impl HierarchicalPlanner {
 
     /// The cold hierarchical plan: global sizing, region assignment, thread
     /// placement, independent per-region solves.
+    // lint: zero-alloc
     fn plan_cold(
         &self,
         problem: &PlacementProblem,
@@ -258,11 +261,13 @@ impl HierarchicalPlanner {
         scratch.sizes = sizes;
         scratch.cores = cores;
     }
+    // lint: end-zero-alloc
 
     /// The incremental warm start: unchanged VCs keep their previous rows
     /// verbatim (and threads stay on their cores); changed VCs are re-sized
     /// against the residual capacity, re-assigned to regions, and re-placed
     /// within the affected regions only.
+    // lint: zero-alloc
     fn plan_warm(
         &self,
         problem: &PlacementProblem,
@@ -336,6 +341,7 @@ impl HierarchicalPlanner {
         scratch.sizes = sizes;
         scratch.hier.changed = changed;
     }
+    // lint: end-zero-alloc
 }
 
 impl Planner for HierarchicalPlanner {

@@ -114,6 +114,7 @@ impl CdcsPlanner {
     /// the previous epoch's plan, so steady-state reconfigurations emit
     /// their placement without allocating or cloning the `vc × bank` matrix
     /// (pinned by `crates/core/tests/alloc_free.rs`).
+    // lint: zero-alloc
     pub fn plan_into(
         &self,
         problem: &PlacementProblem,
@@ -168,6 +169,7 @@ impl CdcsPlanner {
         scratch.optimistic = optimistic;
         scratch.cores = cores;
     }
+    // lint: end-zero-alloc
 }
 
 impl Planner for CdcsPlanner {
@@ -223,6 +225,7 @@ impl JigsawPlanner {
 
     /// [`Self::plan_with`] writing into a caller-pooled output buffer (see
     /// [`CdcsPlanner::plan_into`]).
+    // lint: zero-alloc
     pub fn plan_into(
         &self,
         problem: &PlacementProblem,
@@ -235,6 +238,7 @@ impl JigsawPlanner {
         greedy_place_into(problem, &sizes, current_cores, self.chunk, scratch, out);
         scratch.sizes = sizes;
     }
+    // lint: end-zero-alloc
 }
 
 impl Planner for JigsawPlanner {

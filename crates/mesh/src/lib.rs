@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Mesh network-on-chip substrate for the CDCS reproduction.
 //!
 //! CDCS ([Beckmann, Tsai, Sanchez, HPCA 2015]) targets tiled chip

@@ -43,6 +43,15 @@ pub struct Mesh {
     rows: u16,
 }
 
+impl Default for Mesh {
+    /// The paper's target chip: an 8×8 mesh (Table 2). Exists so
+    /// mesh-carrying config structs can mark every field
+    /// `#[serde(default)]` (the golden-coupling rule).
+    fn default() -> Self {
+        Mesh::new(8, 8)
+    }
+}
+
 impl Mesh {
     /// Creates a `cols × rows` mesh.
     ///

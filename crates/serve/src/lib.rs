@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! `cdcs-serve`: a spec-serving experiment daemon over streaming grid
 //! sessions.
 //!

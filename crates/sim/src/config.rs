@@ -21,6 +21,16 @@ pub enum MonitorKind {
     },
 }
 
+impl Default for MonitorKind {
+    /// The paper's 64-way GMON (§IV-G) — the same monitor
+    /// [`SimConfig::default`] picks, so a config deserialized from a
+    /// document missing `monitor_kind` (the golden-coupling
+    /// `#[serde(default)]` rule) matches the built-in default.
+    fn default() -> Self {
+        MonitorKind::Gmon { ways: 64 }
+    }
+}
+
 /// Full simulator configuration.
 ///
 /// Defaults model the paper's 64-core CMP (Table 2): 8×8 mesh, 512 KB
@@ -32,55 +42,75 @@ pub enum MonitorKind {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimConfig {
     /// Chip fabric (8×8 for the paper's target, 6×6 for the case study).
+    #[serde(default)]
     pub mesh: Mesh,
     /// LLC bank capacity in lines (512 KB = 8192 lines).
+    #[serde(default)]
     pub bank_lines: u64,
     /// NoC timing.
+    #[serde(default)]
     pub noc: NocConfig,
     /// LLC bank access latency, cycles (Table 2: 9).
+    #[serde(default)]
     pub bank_latency: u32,
     /// L2 hit latency, cycles (Table 2: 6) — folded into the base IPC of the
     /// core model; kept for documentation/energy accounting.
+    #[serde(default)]
     pub l2_latency: u32,
     /// Number of memory controllers (Table 2: 8).
+    #[serde(default)]
     pub mem_controllers: usize,
     /// Zero-load memory latency, cycles (Table 2: 120), excluding NoC.
+    #[serde(default)]
     pub mem_zero_load: f64,
     /// Peak bandwidth per controller, in cache lines per cycle (12.8 GB/s at
     /// 2 GHz and 64 B lines = 0.1 lines/cycle).
+    #[serde(default)]
     pub mem_lines_per_cycle_per_ctrl: f64,
     /// The NUCA scheme under test.
+    #[serde(default)]
     pub scheme: Scheme,
     /// Line-movement machinery used at reconfigurations (§IV-H).
+    #[serde(default)]
     pub move_scheme: MoveScheme,
     /// Reconfiguration period, cycles (scaled stand-in for the paper's
     /// 25 ms / 50 Mcycles).
+    #[serde(default)]
     pub epoch_cycles: u64,
     /// Interval length for the IPC feedback loop, cycles.
+    #[serde(default)]
     pub interval_cycles: u64,
     /// Warm-up epochs excluded from measurement.
+    #[serde(default)]
     pub warmup_epochs: usize,
     /// Measured epochs.
+    #[serde(default)]
     pub measure_epochs: usize,
     /// Capacity-allocation granularity in lines (64 KB = 1024; the
     /// bank-granularity ablation of §VI-C uses larger values).
+    #[serde(default)]
     pub alloc_granularity: u64,
     /// Cores paused for this many cycles on a bulk-invalidation
     /// reconfiguration (the paper measures 114 Kcycles on average).
+    #[serde(default)]
     pub bulk_pause_cycles: u64,
     /// Cycles after a reconfiguration before background invalidations start
     /// (§IV-H: 50 Kcycles).
+    #[serde(default)]
     pub background_delay_cycles: u64,
     /// Cycles for the background walk to complete once started (§IV-H:
     /// ~100 Kcycles).
+    #[serde(default)]
     pub background_walk_cycles: u64,
     /// GMON address-sampling period. The paper samples every 64th access
     /// over 50 Mcycle epochs; our epochs are ~50x shorter, so the default
     /// period is denser to give the monitors equivalent sample counts.
+    #[serde(default)]
     pub monitor_sample_period: u32,
     /// GMON tag-array sets. The paper's 1024-tag GMON has 16 sets; the
     /// scaled-down epochs need a larger array (64 sets = 4096 tags) for the
     /// same curve fidelity per epoch.
+    #[serde(default)]
     pub monitor_sets: usize,
     /// Cost-benefit gate for applying a new placement: the predicted
     /// total-latency gain (Eq. 1 + Eq. 2, per epoch) must exceed
@@ -93,10 +123,13 @@ pub struct SimConfig {
     /// compressed epochs they are ~50x larger relative, so noise-driven
     /// rearrangements must pay for themselves (see `DESIGN.md` §6).
     /// 0.0 applies every placement like the paper.
+    #[serde(default)]
     pub reconfig_benefit_factor: f64,
     /// Monitor type for partitioned schemes.
+    #[serde(default)]
     pub monitor_kind: MonitorKind,
     /// Base RNG seed for the run.
+    #[serde(default)]
     pub seed: u64,
     /// Run the one-access-at-a-time reference engine instead of the batched,
     /// table-driven pipeline. Results are bit-identical either way (the
@@ -104,6 +137,7 @@ pub struct SimConfig {
     /// other); the reference path exists for that test and as the
     /// definitional spec of the access path. Takes precedence over
     /// `intra_cell_threads`.
+    #[serde(default)]
     pub reference_engine: bool,
     /// Worker threads for the bank-sharded intra-cell pipeline; `0`
     /// (default) runs the single-core batched engine. Results are
@@ -113,6 +147,7 @@ pub struct SimConfig {
     /// worker (useful in tests); values above the physical core count just
     /// oversubscribe. Nested inside [`crate::runner::run_grid`], the outer
     /// pool clamps it so `outer × inner` stays within the machine.
+    #[serde(default)]
     pub intra_cell_threads: usize,
     /// Region side (in tiles) for hierarchical CDCS planning; `0` (default)
     /// keeps the flat chip-wide planner. When non-zero, CDCS epochs plan
@@ -325,28 +360,40 @@ impl SimConfig {
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct ConfigPatch {
     /// Report label (e.g. `"UMON-256w"`, `"period-2M"`).
+    #[serde(default)]
     pub label: String,
     /// Overrides [`SimConfig::alloc_granularity`].
+    #[serde(default)]
     pub alloc_granularity: Option<u64>,
     /// Overrides [`SimConfig::monitor_kind`].
+    #[serde(default)]
     pub monitor_kind: Option<MonitorKind>,
     /// Overrides [`SimConfig::move_scheme`].
+    #[serde(default)]
     pub move_scheme: Option<MoveScheme>,
     /// Overrides [`SimConfig::epoch_cycles`].
+    #[serde(default)]
     pub epoch_cycles: Option<u64>,
     /// Overrides [`SimConfig::interval_cycles`].
+    #[serde(default)]
     pub interval_cycles: Option<u64>,
     /// Overrides [`SimConfig::warmup_epochs`].
+    #[serde(default)]
     pub warmup_epochs: Option<usize>,
     /// Overrides [`SimConfig::measure_epochs`].
+    #[serde(default)]
     pub measure_epochs: Option<usize>,
     /// Overrides [`SimConfig::monitor_sample_period`].
+    #[serde(default)]
     pub monitor_sample_period: Option<u32>,
     /// Overrides [`SimConfig::monitor_sets`].
+    #[serde(default)]
     pub monitor_sets: Option<usize>,
     /// Overrides [`SimConfig::reconfig_benefit_factor`].
+    #[serde(default)]
     pub reconfig_benefit_factor: Option<f64>,
     /// Overrides [`SimConfig::intra_cell_threads`].
+    #[serde(default)]
     pub intra_cell_threads: Option<usize>,
     /// Overrides [`SimConfig::hier_region_side`].
     #[serde(default)]

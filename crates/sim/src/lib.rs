@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Trace-driven tiled-CMP NUCA simulator for the CDCS reproduction.
 //!
 //! This crate is the evaluation substrate standing in for the paper's

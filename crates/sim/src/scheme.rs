@@ -42,6 +42,16 @@ pub enum Scheme {
     },
 }
 
+impl Default for Scheme {
+    /// S-NUCA, the paper's baseline — and [`crate::SimConfig::default`]'s
+    /// choice, so a config deserialized from a pre-`scheme` document (the
+    /// golden-coupling `#[serde(default)]` rule) matches the built-in
+    /// default config.
+    fn default() -> Self {
+        Scheme::SNuca
+    }
+}
+
 impl Scheme {
     /// Full CDCS with random initial placement.
     pub fn cdcs() -> Self {
@@ -128,6 +138,14 @@ pub enum MoveScheme {
     /// CDCS: demand moves through the shadow descriptors, plus background
     /// invalidations off the critical path — no pauses.
     DemandMove,
+}
+
+impl Default for MoveScheme {
+    /// Demand moves — the paper's mechanism and
+    /// [`crate::SimConfig::default`]'s choice.
+    fn default() -> Self {
+        MoveScheme::DemandMove
+    }
 }
 
 impl MoveScheme {

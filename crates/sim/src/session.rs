@@ -197,6 +197,9 @@ impl SessionShared {
             return None;
         }
         if let Some(deadline) = self.options.deadline {
+            // lint: allow(determinism) — deadline enforcement reads the wall
+            // clock to *stop* issuing cells; completed cells' SimResults are
+            // untouched, so no golden byte depends on this read.
             if Instant::now() >= deadline {
                 self.deadline_hit.store(true, Ordering::SeqCst);
                 self.cancelled.store(true, Ordering::SeqCst);

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Synthetic application models for the CDCS reproduction.
 //!
 //! The paper evaluates CDCS on SPEC CPU2006 (single-threaded) and SPEC

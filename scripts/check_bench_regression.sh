@@ -80,14 +80,14 @@ for group in simulation simulation_sharded; do
             continue
         fi
         checked=$((checked + 1))
-        verdict="$(awk -v bb="$bb" -v br="$br" -v fb="$fb" -v fr="$fr" -v r="$max_ratio" 'BEGIN {
+        read -r committed_ratio fresh_ratio flag <<< "$(awk -v bb="$bb" -v br="$br" -v fb="$fb" -v fr="$fr" -v r="$max_ratio" 'BEGIN {
             base_ratio = bb / br
             fresh_ratio = fb / fr
             printf "%.3f %.3f %s", base_ratio, fresh_ratio, (fresh_ratio <= base_ratio * r) ? "ok" : "regressed"
         }')"
         printf '%-28s engine/reference: committed %s  fresh %s  %s\n' \
-            "$group/$scheme" $verdict
-        case "$verdict" in *regressed) status=1 ;; esac
+            "$group/$scheme" "$committed_ratio" "$fresh_ratio" "$flag"
+        case "$flag" in regressed) status=1 ;; esac
     done
 done
 

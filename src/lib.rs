@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # CDCS — Computation and Data Co-Scheduling for Distributed Caches
 //!
 //! A from-scratch Rust reproduction of [Beckmann, Tsai & Sanchez, *"Scaling
