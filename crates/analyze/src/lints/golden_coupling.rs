@@ -15,8 +15,22 @@ use crate::source::{match_brace, SourceFile};
 
 const LINT: &str = "golden-coupling";
 
-/// Structs whose serialized form is pinned by committed artifacts.
-pub const GOLDEN_STRUCTS: [&str; 2] = ["SimConfig", "ConfigPatch"];
+/// Structs whose serialized form is pinned by committed artifacts, plus
+/// the fleet wire types (a version-skewed runner/daemon pair must parse
+/// each other leniently — same mechanism, same lint).
+pub const GOLDEN_STRUCTS: [&str; 11] = [
+    "SimConfig",
+    "ConfigPatch",
+    "GridCell",
+    "WorkloadMix",
+    "RunnerHello",
+    "RegisterReply",
+    "PollReply",
+    "LeaseGrant",
+    "LeaseResult",
+    "FleetStatus",
+    "RunnerStatus",
+];
 
 pub fn check(file: &SourceFile, out: &mut Vec<Diagnostic>) {
     let toks = &file.toks;

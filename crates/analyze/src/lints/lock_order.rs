@@ -27,13 +27,17 @@ const LINT: &str = "lock-order";
 
 /// The declared acquisition order, outermost first. Derived from the
 /// daemon's layering: the server's job list is the entry point, the
-/// scheduler's rotation coordinates workers, per-job state nests inside
-/// (the running-cell bookkeeping is touch-and-release around each unit,
-/// the phase is the terminal-state gate, and the assembly is drained
-/// *while the phase lock is held* in `try_finalize` — the one deliberate
-/// nesting), and the admission buckets are a leaf taken on their own.
-pub const ORDER: [&str; 6] = [
+/// fleet's runner/lease/ring state nests next (its poll path holds
+/// `fleet` while claiming from the rotation — the second deliberate
+/// nesting), the scheduler's rotation coordinates workers, per-job state
+/// nests inside (the running-cell bookkeeping is touch-and-release
+/// around each unit, the phase is the terminal-state gate, and the
+/// assembly is drained *while the phase lock is held* in `try_finalize`
+/// — the other deliberate nesting), and the admission buckets are a leaf
+/// taken on their own.
+pub const ORDER: [&str; 7] = [
     "jobs",
+    "fleet",
     "rotation",
     "running_cells",
     "phase",
@@ -42,8 +46,9 @@ pub const ORDER: [&str; 6] = [
 ];
 
 /// Wrapper methods that acquire a named lock.
-pub const WRAPPERS: [(&str, &str); 3] = [
+pub const WRAPPERS: [(&str, &str); 4] = [
     ("lock_jobs", "jobs"),
+    ("lock_fleet", "fleet"),
     ("lock_phase", "phase"),
     ("lock_running", "running_cells"),
 ];

@@ -20,8 +20,17 @@
 //! * `--cell-timeout-ms MS` — per-cell wall-clock watchdog: a cell
 //!   running longer fails its job;
 //! * `CDCS_FAULT` / `--fault SPEC` — deterministic fault injection
-//!   (`panic_cell:3`, `slow_cell:1:500`, `drop_conn:2`, `garble_conn`),
-//!   for the e2e suites and operational drills.
+//!   (`panic_cell:3`, `slow_cell:1:500`, `drop_conn:2`, `garble_conn`,
+//!   `lose_lease:2`), for the e2e suites and operational drills.
+//!
+//! Fleet knobs (see `cdcs-runner` for the worker side):
+//!
+//! * `--workers 0` — fleet-only mode: no local pool; every cell is
+//!   leased to remote runners;
+//! * `--lease-ttl-ms MS` — heartbeat window before a lease is revoked
+//!   and its cell re-queued (default 5000);
+//! * `--runner-ttl-ms MS` — silence window before a runner is expired
+//!   and all its work re-queued (default 20000).
 
 use cdcs_bench::arg_value;
 use cdcs_serve::admission::TenantLimit;
@@ -63,6 +72,12 @@ fn main() -> Result<(), String> {
             })
         }
     };
+    if let Some(ms) = parsed::<u64>("lease-ttl-ms")? {
+        config.fleet.lease_ttl = Duration::from_millis(ms.max(1));
+    }
+    if let Some(ms) = parsed::<u64>("runner-ttl-ms")? {
+        config.fleet.runner_ttl = Duration::from_millis(ms.max(1));
+    }
     let faults = match arg_value("fault") {
         Some(spec) => FaultPlan::parse(&spec)?,
         None => FaultPlan::from_env()?,

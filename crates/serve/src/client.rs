@@ -42,6 +42,12 @@ impl RetryPolicy {
         }
     }
 
+    /// The jittered sleep after `failures` consecutive failures
+    /// (1-based) — the runner loop's backoff between reconnect attempts.
+    pub fn sleep_for(&self, failures: u32) -> Duration {
+        self.backoff(failures.saturating_sub(1))
+    }
+
     /// The backoff before attempt `attempt + 1` (0-based), jittered to
     /// 50–100% of the exponential step so synchronized clients spread out.
     fn backoff(&self, attempt: u32) -> Duration {

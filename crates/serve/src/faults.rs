@@ -12,12 +12,18 @@
 //!   connection is served: `drop_conn` closes the socket without a
 //!   response, `garble_conn` writes bytes that are not HTTP.
 //!
+//! * **lease faults** — consulted by the fleet at grant time:
+//!   `lose_lease` dooms a matching cell's lease on grant — the cell is
+//!   re-queued immediately and the lease is never entered in the table,
+//!   so the runner's heartbeats and result land stale. This exercises
+//!   the whole revoke-and-requeue path deterministically, without
+//!   waiting out a heartbeat window.
+//!
 //! Every rule carries a *budget* (how many times it fires, default once)
 //! so a harness run is deterministic and self-limiting: inject a panic
 //! into one job's cell 3, then watch the daemon serve the next job
 //! cleanly — the exact shape of the fault-injection e2e suite and the CI
-//! smoke job. Lost runner leases in the planned remote fleet are the same
-//! shape: one more injected fault kind.
+//! smoke job.
 //!
 //! Grammar (comma-separated, whitespace ignored):
 //!
@@ -26,6 +32,7 @@
 //! slow_cell:<index>:<millis>[:<count>]
 //! drop_conn[:<count>]
 //! garble_conn[:<count>]
+//! lose_lease:<index>[:<count>]
 //! ```
 
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -64,12 +71,19 @@ struct ConnRule {
     budget: AtomicUsize,
 }
 
+#[derive(Debug)]
+struct LeaseRule {
+    index: usize,
+    budget: AtomicUsize,
+}
+
 /// A parsed, budgeted set of faults to inject. Cheap to share; all state
 /// is atomic budgets.
 #[derive(Debug, Default)]
 pub struct FaultPlan {
     cells: Vec<CellRule>,
     conns: Vec<ConnRule>,
+    leases: Vec<LeaseRule>,
 }
 
 impl FaultPlan {
@@ -113,6 +127,17 @@ impl FaultPlan {
                         budget: AtomicUsize::new(budget),
                     });
                 }
+                "lose_lease" => {
+                    let index = num("cell index")?;
+                    let budget = parts.next().map_or(Ok(1), |raw| {
+                        raw.parse()
+                            .map_err(|e| format!("fault {entry:?}: bad count {raw:?}: {e}"))
+                    })?;
+                    plan.leases.push(LeaseRule {
+                        index,
+                        budget: AtomicUsize::new(budget),
+                    });
+                }
                 "drop_conn" | "garble_conn" => {
                     let fault = if kind == "drop_conn" {
                         ConnFault::Drop
@@ -153,7 +178,7 @@ impl FaultPlan {
 
     /// Whether the plan has no rules at all.
     pub fn is_empty(&self) -> bool {
-        self.cells.is_empty() && self.conns.is_empty()
+        self.cells.is_empty() && self.conns.is_empty() && self.leases.is_empty()
     }
 
     /// Whether any cell rules exist (used to decide whether a session
@@ -176,6 +201,16 @@ impl FaultPlan {
                 }
             }
         }
+    }
+
+    /// Whether an in-budget `lose_lease` rule matches a grant of cell
+    /// `index` — consuming one budget unit if so. `true` means the fleet
+    /// must doom this grant: re-queue the cell now and never enter the
+    /// lease in the table.
+    pub fn on_lease(&self, index: usize) -> bool {
+        self.leases
+            .iter()
+            .any(|rule| rule.index == index && take_budget(&rule.budget))
     }
 
     /// Takes the next in-budget connection fault, if any.
@@ -233,10 +268,26 @@ mod tests {
             "slow_cell:1",
             "slow_cell:1:abc",
             "panic_cell:1:2:3",
+            "lose_lease",
+            "lose_lease:x",
+            "lose_lease:1:2:3",
             "meteor_strike:7",
         ] {
             assert!(FaultPlan::parse(bad).is_err(), "{bad:?} should not parse");
         }
+    }
+
+    #[test]
+    fn lose_lease_fires_per_matching_grant_within_budget() {
+        let plan = FaultPlan::parse("lose_lease:2:2").unwrap();
+        assert!(!plan.is_empty());
+        assert!(!plan.on_lease(0), "non-matching cell is untouched");
+        assert!(plan.on_lease(2));
+        assert!(plan.on_lease(2));
+        assert!(!plan.on_lease(2), "budget exhausted");
+        let single = FaultPlan::parse("lose_lease:5").unwrap();
+        assert!(single.on_lease(5));
+        assert!(!single.on_lease(5), "default budget is one");
     }
 
     #[test]

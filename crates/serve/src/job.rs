@@ -72,12 +72,27 @@ enum Work {
     },
 }
 
-/// One unit of claimed work, to be executed by a pool worker.
+/// One unit of claimed work, to be executed by a pool worker or leased to
+/// a fleet runner. `Copy` so the lease table can hold a unit and hand
+/// copies to the requeue path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WorkUnit {
     /// Run grid cell `i` of the job's session.
     Cell(usize),
     /// Run the whole (analysis) spec.
     Inline,
+}
+
+/// What a fleet lease ships to a remote runner: either one grid cell with
+/// the session's (pool-clamped) config, or the whole analysis spec.
+#[derive(Debug)]
+pub enum LeasePayload {
+    /// `(config, cell)` — the runner calls `run_cell` on them, exactly as
+    /// a local session worker would.
+    Cell(cdcs_sim::SimConfig, Box<cdcs_sim::runner::GridCell>),
+    /// The full spec — the runner calls `spec.run()` and pretty-prints the
+    /// report (byte-equal by the spec serialization fixpoint).
+    Spec(ExperimentSpec),
 }
 
 /// A submitted job.
@@ -286,6 +301,56 @@ impl Job {
                 error: format!("serializing report: {error}"),
             },
         };
+    }
+
+    /// The wire payload for leasing `unit` to a remote runner.
+    pub fn lease_payload(&self, unit: WorkUnit) -> LeasePayload {
+        match (&self.work, unit) {
+            (Work::Grid { session, .. }, WorkUnit::Cell(i)) => LeasePayload::Cell(
+                session.config().clone(),
+                Box::new(session.cells()[i].clone()),
+            ),
+            (_, WorkUnit::Inline) => LeasePayload::Spec(self.spec.clone()),
+            (Work::Inline { .. }, WorkUnit::Cell(_)) => {
+                unreachable!("cell unit claimed from an inline job")
+            }
+        }
+    }
+
+    /// Returns a claimed-but-undelivered unit to the job (its fleet lease
+    /// was revoked): the cell (or the inline claim) becomes claimable
+    /// again, so a dead runner costs only its in-flight work.
+    pub fn requeue_unit(&self, unit: WorkUnit) {
+        match (&self.work, unit) {
+            (Work::Grid { session, .. }, WorkUnit::Cell(i)) => session.requeue(i),
+            (Work::Inline { claimed, .. }, WorkUnit::Inline) => {
+                claimed.store(false, Ordering::SeqCst);
+            }
+            _ => {}
+        }
+    }
+
+    /// Delivers a remotely-computed cell result into the job's session —
+    /// determinism makes this indistinguishable from local execution.
+    pub fn deliver_cell(&self, index: usize, result: Result<SimResult, String>) {
+        if let Work::Grid { session, .. } = &self.work {
+            session.deliver(index, result);
+        }
+    }
+
+    /// Delivers a remotely-computed analysis outcome: the report's pretty
+    /// JSON on success, the error otherwise. No-op if already terminal
+    /// (a late result after cancellation is simply dropped).
+    pub fn deliver_inline(&self, outcome: Result<String, String>) {
+        if matches!(self.work, Work::Inline { .. }) {
+            let mut phase = self.lock_phase();
+            if !phase.is_terminal() {
+                *phase = match outcome {
+                    Ok(report_json) => Phase::Done { report_json },
+                    Err(error) => Phase::Failed { error },
+                };
+            }
+        }
     }
 
     /// Requests cancellation: no new work is issued; in-flight cells

@@ -36,11 +36,17 @@
 pub mod admission;
 pub mod client;
 pub mod faults;
+pub mod fleet;
 pub mod http;
 pub mod job;
+pub mod lease;
 pub mod protocol;
+pub mod ring;
+pub mod runner;
 pub mod scheduler;
 pub mod server;
 
 pub use client::{Client, RetryPolicy};
+pub use fleet::FleetConfig;
+pub use runner::{Runner, RunnerHandle};
 pub use server::{JobServer, ServerConfig};

@@ -75,6 +75,136 @@ pub struct ErrorReply {
     pub error: String,
 }
 
+// ---------------------------------------------------------------------------
+// Fleet wire types. Every field is `#[serde(default)]` so a version-skewed
+// runner and daemon parse each other leniently (the golden-coupling lint
+// pins this); enums are avoided in favor of flat `Option` fields for the
+// same reason.
+// ---------------------------------------------------------------------------
+
+/// Body of `POST /fleet/runners` — a runner introducing itself.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunnerHello {
+    /// Free-form runner name (host, pid, ...) for observability.
+    #[serde(default)]
+    pub name: String,
+}
+
+/// Reply to registration: the runner's identity plus the protocol knobs
+/// it must honor.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RegisterReply {
+    /// Server-assigned runner id (also its consistent-hash ring identity).
+    #[serde(default)]
+    pub runner_id: u64,
+    /// Heartbeat window: a lease unbeaten for this long is revoked.
+    #[serde(default)]
+    pub lease_ttl_ms: u64,
+    /// Suggested idle poll interval.
+    #[serde(default)]
+    pub poll_ms: u64,
+}
+
+/// Reply to `POST /fleet/runners/<id>/poll`.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PollReply {
+    /// The granted lease, or `None` when no work routed here right now.
+    #[serde(default)]
+    pub lease: Option<LeaseGrant>,
+}
+
+/// One leased unit of work. Exactly one of `cell` / `spec` is populated:
+/// a grid-cell lease carries `(config, cell)` (the runner calls
+/// `run_cell`), an analysis lease carries the whole `spec` (the runner
+/// calls `spec.run()`).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LeaseGrant {
+    /// Lease id — heartbeats and the result POST reference it.
+    #[serde(default)]
+    pub lease_id: u64,
+    /// The job this unit belongs to.
+    #[serde(default)]
+    pub job_id: u64,
+    /// Grid-cell index within the job, for cell leases.
+    #[serde(default)]
+    pub cell_index: Option<usize>,
+    /// The session's (pool-clamped) config, for cell leases.
+    #[serde(default)]
+    pub config: Option<cdcs_sim::SimConfig>,
+    /// The cell itself, for cell leases.
+    #[serde(default)]
+    pub cell: Option<cdcs_sim::runner::GridCell>,
+    /// The full spec, for analysis (inline) leases.
+    #[serde(default)]
+    pub spec: Option<cdcs_bench::exp::ExperimentSpec>,
+}
+
+/// Body of `POST /fleet/leases/<id>/result`. Exactly one field is
+/// populated: `ok` for a cell's `SimResult`, `report_json` for an
+/// analysis lease's pretty-printed report, `err` for either kind's
+/// failure.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LeaseResult {
+    /// A cell lease's result.
+    #[serde(default)]
+    pub ok: Option<cdcs_sim::SimResult>,
+    /// An analysis lease's report, pre-serialized with
+    /// `to_string_pretty` (the byte-equality fixpoint).
+    #[serde(default)]
+    pub report_json: Option<String>,
+    /// The failure message, for either kind.
+    #[serde(default)]
+    pub err: Option<String>,
+}
+
+/// Generic acknowledgement (heartbeats, result posts, deregistration).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct AckReply {
+    /// Whether the referenced lease/runner was still live. `false` means
+    /// the lease was revoked (or the runner expired): stop working on it;
+    /// its cell is already re-queued.
+    #[serde(default)]
+    pub ok: bool,
+}
+
+/// Reply to `GET /fleet` — fleet-wide observability counters.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FleetStatus {
+    /// Registered runners, in id order.
+    #[serde(default)]
+    pub runners: Vec<RunnerStatus>,
+    /// Leases currently outstanding.
+    #[serde(default)]
+    pub active_leases: usize,
+    /// Units completed by the fleet since startup.
+    #[serde(default)]
+    pub completed: usize,
+    /// Units re-queued by revocations (lost heartbeats, dead runners,
+    /// injected `lose_lease` faults) since startup.
+    #[serde(default)]
+    pub requeued: usize,
+}
+
+/// One runner's slice of [`FleetStatus`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunnerStatus {
+    /// Runner id.
+    #[serde(default)]
+    pub id: u64,
+    /// The name it registered with.
+    #[serde(default)]
+    pub name: String,
+    /// Leases it currently holds.
+    #[serde(default)]
+    pub active_leases: usize,
+    /// Units it has completed.
+    #[serde(default)]
+    pub completed: usize,
+    /// Units parked in its routing bucket awaiting its next poll.
+    #[serde(default)]
+    pub bucket_depth: usize,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -102,6 +232,35 @@ mod tests {
         let back: JobStatus =
             serde_json::from_str(&serde_json::to_string(&failed).unwrap()).unwrap();
         assert_eq!(back, failed);
+    }
+
+    #[test]
+    fn fleet_types_round_trip_and_parse_leniently() {
+        let grant = LeaseGrant {
+            lease_id: 9,
+            job_id: 2,
+            cell_index: Some(4),
+            config: None,
+            cell: None,
+            spec: None,
+        };
+        let reply = PollReply {
+            lease: Some(grant.clone()),
+        };
+        let back: PollReply =
+            serde_json::from_str(&serde_json::to_string(&reply).unwrap()).unwrap();
+        assert_eq!(back, reply);
+
+        // Lenient parsing: an empty object is every fleet type's default —
+        // the version-skew contract the golden-coupling lint pins.
+        let empty: PollReply = serde_json::from_str("{}").unwrap();
+        assert_eq!(empty, PollReply::default());
+        let empty: RegisterReply = serde_json::from_str("{}").unwrap();
+        assert_eq!(empty, RegisterReply::default());
+        let empty: LeaseResult = serde_json::from_str("{}").unwrap();
+        assert_eq!(empty, LeaseResult::default());
+        let empty: FleetStatus = serde_json::from_str("{}").unwrap();
+        assert_eq!(empty, FleetStatus::default());
     }
 
     #[test]

@@ -1,0 +1,193 @@
+//! Consistent-hash ring for routing cells across runner shards.
+//!
+//! The fleet needs elastic membership: runners come and go, and each
+//! change must move only a bounded slice of the key space — never trigger
+//! a global reshuffle (DistCache's shard-routing argument). The classic
+//! construction does exactly that: every runner owns `vnodes` points on a
+//! `u64` ring, and a key routes to the owner of the first point at or
+//! clockwise-after the key's hash. Adding a runner steals only the arcs
+//! that now end at its points; removing one donates only its own arcs.
+//!
+//! Placement is **deterministic and insertion-order independent**: points
+//! live in a `BTreeMap` keyed by `(point_hash, runner_id)` — the same
+//! membership set always produces the identical ring, regardless of the
+//! order runners registered, and hash collisions between runners
+//! tie-break by id rather than by arrival. The whole ring is seeded so
+//! tests can pin exact layouts.
+//!
+//! Routing never affects report bytes — every cell's result derives from
+//! `(config, cell)` alone — so the ring only shapes *where* work runs,
+//! and the byte-equality e2e suites hold for any membership history.
+
+use std::collections::BTreeMap;
+
+/// Default virtual nodes per runner: enough to keep per-runner load
+/// within a few percent of even for fleets up to a few hundred runners.
+pub const DEFAULT_VNODES: usize = 64;
+
+/// SplitMix64 finalizer: a full-avalanche `u64 -> u64` mix, the same
+/// construction the workload crate uses for stream seeds.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// A seeded consistent-hash ring over `u64` runner ids.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// Virtual nodes per runner.
+    vnodes: usize,
+    /// Seed folded into every point and key hash.
+    seed: u64,
+    /// Ring points: `(point_hash, runner_id)` → the composite key makes
+    /// iteration order — and therefore routing — independent of insertion
+    /// order and deterministic under collisions.
+    points: BTreeMap<(u64, u64), ()>,
+    /// Member count (points / vnodes, tracked directly for clarity).
+    members: usize,
+}
+
+impl HashRing {
+    /// An empty ring. `vnodes` is clamped to at least 1.
+    pub fn new(vnodes: usize, seed: u64) -> Self {
+        HashRing {
+            vnodes: vnodes.max(1),
+            seed,
+            points: BTreeMap::new(),
+            members: 0,
+        }
+    }
+
+    /// Number of runners on the ring.
+    pub fn len(&self) -> usize {
+        self.members
+    }
+
+    /// Whether the ring has no runners.
+    pub fn is_empty(&self) -> bool {
+        self.members == 0
+    }
+
+    /// The hash of `runner`'s `vnode`-th point.
+    fn point(&self, runner: u64, vnode: usize) -> u64 {
+        mix64(self.seed ^ mix64(runner) ^ mix64(vnode as u64 ^ 0xf1ee_7000_0000_0000))
+    }
+
+    /// Adds a runner's points. Idempotent: re-adding an existing runner
+    /// changes nothing.
+    pub fn add(&mut self, runner: u64) {
+        if self.contains(runner) {
+            return;
+        }
+        for v in 0..self.vnodes {
+            self.points.insert((self.point(runner, v), runner), ());
+        }
+        self.members += 1;
+    }
+
+    /// Removes a runner's points. Idempotent.
+    pub fn remove(&mut self, runner: u64) {
+        if !self.contains(runner) {
+            return;
+        }
+        for v in 0..self.vnodes {
+            self.points.remove(&(self.point(runner, v), runner));
+        }
+        self.members -= 1;
+    }
+
+    /// Whether `runner` is on the ring.
+    pub fn contains(&self, runner: u64) -> bool {
+        // Any one point identifies membership; vnodes ≥ 1 always.
+        self.points.contains_key(&(self.point(runner, 0), runner))
+    }
+
+    /// Routes a key to its owning runner: the first ring point at or after
+    /// the key's (seeded) hash, wrapping around. `None` on an empty ring.
+    pub fn route(&self, key: u64) -> Option<u64> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let h = mix64(self.seed ^ mix64(key));
+        self.points
+            .range((h, 0)..)
+            .next()
+            .or_else(|| self.points.iter().next())
+            .map(|((_, runner), ())| *runner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_ring_routes_nothing() {
+        let ring = HashRing::new(DEFAULT_VNODES, 0);
+        assert!(ring.is_empty());
+        assert_eq!(ring.route(42), None);
+    }
+
+    #[test]
+    fn single_runner_owns_everything() {
+        let mut ring = HashRing::new(DEFAULT_VNODES, 7);
+        ring.add(3);
+        for key in 0..1000u64 {
+            assert_eq!(ring.route(key), Some(3));
+        }
+    }
+
+    #[test]
+    fn placement_is_insertion_order_independent() {
+        let ids = [11u64, 2, 45, 7, 30];
+        let mut forward = HashRing::new(DEFAULT_VNODES, 99);
+        let mut reverse = HashRing::new(DEFAULT_VNODES, 99);
+        for id in ids {
+            forward.add(id);
+        }
+        for id in ids.iter().rev() {
+            reverse.add(*id);
+        }
+        for key in 0..4096u64 {
+            assert_eq!(forward.route(key), reverse.route(key), "key {key}");
+        }
+    }
+
+    #[test]
+    fn add_and_remove_are_idempotent_and_inverse() {
+        let mut ring = HashRing::new(8, 1);
+        ring.add(5);
+        ring.add(5);
+        assert_eq!(ring.len(), 1);
+        ring.add(9);
+        assert_eq!(ring.len(), 2);
+        let before: Vec<Option<u64>> = (0..256).map(|k| ring.route(k)).collect();
+        ring.add(13);
+        ring.remove(13);
+        ring.remove(13);
+        let after: Vec<Option<u64>> = (0..256).map(|k| ring.route(k)).collect();
+        assert_eq!(before, after, "add+remove restores the exact layout");
+    }
+
+    #[test]
+    fn load_spreads_across_runners() {
+        let mut ring = HashRing::new(DEFAULT_VNODES, 0xCDC5);
+        for id in 0..10u64 {
+            ring.add(id);
+        }
+        let mut counts = [0usize; 10];
+        for key in 0..10_000u64 {
+            counts[ring.route(key).expect("non-empty") as usize] += 1;
+        }
+        for (id, n) in counts.iter().enumerate() {
+            // 10k keys over 10 runners: each should be within a loose 4x
+            // band of the mean — catches catastrophic skew, not variance.
+            assert!(
+                (250..4000).contains(n),
+                "runner {id} owns {n} of 10000 keys"
+            );
+        }
+    }
+}

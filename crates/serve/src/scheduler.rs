@@ -34,6 +34,14 @@ struct Rotation {
 }
 
 /// The shared scheduler: rotation + pool wake-up.
+/// One non-blocking claim attempt: at most one claimed unit, plus the
+/// jobs drained from the rotation (empty claims) that the caller must
+/// finalize *outside* its own locks.
+pub(crate) struct ClaimOutcome {
+    pub claimed: Option<(Arc<Job>, WorkUnit)>,
+    pub drained: Vec<Arc<Job>>,
+}
+
 pub struct Scheduler {
     rotation: Mutex<Rotation>,
     cv: Condvar,
@@ -88,6 +96,56 @@ impl Scheduler {
     /// The claim sequence so far (job ids, in claim order).
     pub fn claim_log(&self) -> Vec<u64> {
         self.lock().claim_log.clone()
+    }
+
+    /// Non-blocking single-unit claim for the fleet lease path: scans the
+    /// rotation once (at most one full lap), claiming one unit from the
+    /// first job that has work — exactly the fairness step a pool worker
+    /// takes, so fleet leases and local workers interleave jobs
+    /// identically. Jobs whose claim comes back empty leave the rotation
+    /// and are returned as `drained` for the caller to finalize *outside*
+    /// its own locks.
+    pub(crate) fn try_claim_unit(&self) -> ClaimOutcome {
+        let mut drained = Vec::new();
+        if self.shutdown.load(Ordering::SeqCst) {
+            return ClaimOutcome {
+                claimed: None,
+                drained,
+            };
+        }
+        let mut rotation = self.lock();
+        for _ in 0..rotation.queue.len() {
+            let Some(job) = rotation.queue.pop_front() else {
+                break;
+            };
+            match job.try_claim() {
+                Some(unit) => {
+                    rotation.claim_log.push(job.id);
+                    rotation.queue.push_back(Arc::clone(&job));
+                    return ClaimOutcome {
+                        claimed: Some((job, unit)),
+                        drained,
+                    };
+                }
+                None => drained.push(job),
+            }
+        }
+        ClaimOutcome {
+            claimed: None,
+            drained,
+        }
+    }
+
+    /// Returns a job to the rotation after a revoked lease re-queued some
+    /// of its work (no-op if the job is already rotating — a job must
+    /// never occupy two rotation slots, or fairness double-counts it).
+    pub fn reenqueue(&self, job: Arc<Job>) {
+        let mut rotation = self.lock();
+        if rotation.queue.iter().any(|j| j.id == job.id) {
+            return;
+        }
+        rotation.queue.push_back(job);
+        self.cv.notify_all();
     }
 
     /// Starts `workers` pool threads driving this scheduler.
@@ -151,8 +209,9 @@ impl Scheduler {
 
 /// Runs one claimed unit (or just finalization) with last-resort panic
 /// containment: an unwind is converted into the job's failure instead of
-/// the worker's death.
-fn run_contained(job: &Arc<Job>, unit: Option<WorkUnit>) {
+/// the worker's death. `pub(crate)` because the fleet's result/revocation
+/// paths finalize jobs through the same boundary.
+pub(crate) fn run_contained(job: &Arc<Job>, unit: Option<WorkUnit>) {
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         if let Some(unit) = unit {
             job.run(unit);

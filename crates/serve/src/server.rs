@@ -17,6 +17,19 @@
 //!   the job's status.
 //! * `GET /healthz` — liveness probe.
 //!
+//! Fleet routes (the `cdcs-runner` worker protocol, see [`crate::fleet`]):
+//!
+//! * `POST /fleet/runners` — register; body [`RunnerHello`], reply
+//!   [`crate::protocol::RegisterReply`] with the lease TTL to honor.
+//! * `POST /fleet/runners/<id>/poll` — lease at most one unit of work.
+//! * `DELETE /fleet/runners/<id>` — graceful deregistration (held work
+//!   re-queues immediately).
+//! * `POST /fleet/leases/<id>/heartbeat` — keep a lease alive; `410` once
+//!   the lease is revoked (abandon the work).
+//! * `POST /fleet/leases/<id>/result` — deliver a lease's result; `410`
+//!   if the lease was revoked first (the result is discarded as stale).
+//! * `GET /fleet` — fleet status: runners, leases, requeue counters.
+//!
 //! Degradation is designed, not accidental: oversized bodies are `413`
 //! before any allocation, malformed requests are `400` without wedging
 //! their connection thread, overload is `429` + `Retry-After` (never an
@@ -27,9 +40,12 @@
 
 use crate::admission::{Admission, TenantLimit, DEFAULT_TENANT};
 use crate::faults::{ConnFault, FaultPlan};
+use crate::fleet::{Fleet, FleetConfig};
 use crate::http::{read_request, write_response, Request, RequestError};
 use crate::job::{Job, JobOptions};
-use crate::protocol::{ErrorReply, JobList, JobStatus, SubmitReply};
+use crate::protocol::{
+    AckReply, ErrorReply, JobList, JobStatus, LeaseResult, PollReply, RunnerHello, SubmitReply,
+};
 use crate::scheduler::Scheduler;
 use cdcs_bench::exp::ExperimentSpec;
 use std::io::Write;
@@ -46,7 +62,8 @@ use std::time::{Duration, Instant};
 pub struct ServerConfig {
     /// Bind address (`host:port`; port `0` for ephemeral).
     pub addr: String,
-    /// Worker pool size (floored at 1).
+    /// Local worker pool size. `0` is legal and means *fleet-only*: no
+    /// local workers; every unit of work is leased to remote runners.
     pub workers: usize,
     /// Per-tenant submission rate limit.
     pub tenant_limit: Option<TenantLimit>,
@@ -57,6 +74,8 @@ pub struct ServerConfig {
     pub cell_timeout: Option<Duration>,
     /// Fault-injection plan (empty by default).
     pub faults: Arc<FaultPlan>,
+    /// Runner-fleet knobs (lease/runner TTLs, ring shape).
+    pub fleet: FleetConfig,
 }
 
 impl ServerConfig {
@@ -69,6 +88,7 @@ impl ServerConfig {
             queue_cap: None,
             cell_timeout: None,
             faults: Arc::new(FaultPlan::default()),
+            fleet: FleetConfig::default(),
         }
     }
 }
@@ -89,6 +109,7 @@ struct ServerState {
     next_id: AtomicU64,
     sched: Arc<Scheduler>,
     admission: Admission,
+    fleet: Fleet,
     pool_workers: usize,
     cell_timeout: Option<Duration>,
     faults: Arc<FaultPlan>,
@@ -132,12 +153,18 @@ impl JobServer {
             next_id: AtomicU64::new(0),
             sched: Arc::new(Scheduler::new()),
             admission: Admission::new(config.tenant_limit, config.queue_cap),
-            pool_workers: config.workers.max(1),
+            fleet: Fleet::new(config.fleet, Arc::clone(&config.faults)),
+            pool_workers: config.workers,
             cell_timeout: config.cell_timeout,
             faults: config.faults,
             stopping: AtomicBool::new(false),
         });
-        let mut threads = state.sched.start_pool(state.pool_workers);
+        // `workers == 0` starts no local pool: fleet-only execution.
+        let mut threads = if state.pool_workers > 0 {
+            state.sched.start_pool(state.pool_workers)
+        } else {
+            Vec::new()
+        };
         let watchdog_state = Arc::clone(&state);
         threads.push(std::thread::spawn(move || watchdog_state.watchdog_loop()));
         let accept_state = Arc::clone(&state);
@@ -310,10 +337,12 @@ impl ServerState {
     }
 
     /// Periodically enforces wall-clock limits no claim path would catch:
-    /// job deadlines while nothing claims (queued or mid-flight jobs) and
-    /// the per-cell watchdog for stuck cells.
+    /// job deadlines while nothing claims (queued or mid-flight jobs),
+    /// the per-cell watchdog for stuck cells, and fleet lease/runner
+    /// expiry (revoke-and-requeue).
     fn watchdog_loop(&self) {
         while !self.stopping.load(Ordering::SeqCst) {
+            self.fleet.tick(&self.sched);
             let jobs: Vec<Arc<Job>> = self.lock_jobs().clone();
             for job in jobs {
                 if !job.is_active() {
@@ -418,6 +447,51 @@ impl ServerState {
                 "Method Not Allowed",
                 &format!("method {method} is not supported on {}", request.path),
             ),
+            ("GET", ["fleet"]) => Reply::json(&self.fleet.status()),
+            ("POST", ["fleet", "runners"]) => self.post_runner(request),
+            ("POST", ["fleet", "runners", id, "poll"]) => {
+                with_id(id, "runner", |id| match self.fleet.poll(id, &self.sched) {
+                    Ok(lease) => Reply::json(&PollReply { lease }),
+                    Err(message) => Reply::error(404, "Not Found", &message),
+                })
+            }
+            ("DELETE", ["fleet", "runners", id]) => with_id(id, "runner", |id| {
+                if self.fleet.deregister(id, &self.sched) {
+                    Reply::json(&AckReply { ok: true })
+                } else {
+                    Reply::error(404, "Not Found", &format!("no runner {id}"))
+                }
+            }),
+            ("POST", ["fleet", "leases", id, "heartbeat"]) => with_id(id, "lease", |id| {
+                if self.fleet.heartbeat(id) {
+                    Reply::json(&AckReply { ok: true })
+                } else {
+                    // 410: the lease was revoked (or completed) — the
+                    // runner must abandon the work; its unit is already
+                    // re-queued.
+                    Reply::gone(&AckReply { ok: false })
+                }
+            }),
+            ("POST", ["fleet", "leases", id, "result"]) => with_id(id, "lease", |id| {
+                let body: LeaseResult = match parse_body(&request.body) {
+                    Ok(body) => body,
+                    Err(e) => {
+                        return Reply::error(400, "Bad Request", &format!("parsing result: {e}"))
+                    }
+                };
+                if self.fleet.result(id, body) {
+                    Reply::json(&AckReply { ok: true })
+                } else {
+                    // Stale: the lease was revoked before the result
+                    // arrived; the unit re-ran (or will) elsewhere.
+                    Reply::gone(&AckReply { ok: false })
+                }
+            }),
+            (method, ["fleet", ..]) => Reply::error(
+                405,
+                "Method Not Allowed",
+                &format!("method {method} is not supported on {}", request.path),
+            ),
             _ => Reply::error(
                 404,
                 "Not Found",
@@ -476,6 +550,27 @@ impl ServerState {
         }
     }
 
+    fn post_runner(&self, request: &Request) -> Reply {
+        if self.stopping.load(Ordering::SeqCst) {
+            return Reply::error(503, "Service Unavailable", "daemon is shutting down");
+        }
+        let hello: RunnerHello = if request.body.is_empty() {
+            RunnerHello::default()
+        } else {
+            match parse_body(&request.body) {
+                Ok(hello) => hello,
+                Err(e) => return Reply::error(400, "Bad Request", &format!("parsing hello: {e}")),
+            }
+        };
+        let reply = self.fleet.register(&hello.name);
+        Reply {
+            status: 201,
+            reason: "Created",
+            headers: Vec::new(),
+            body: serde_json::to_string(&reply).expect("register reply serializes"),
+        }
+    }
+
     fn with_job(&self, id: &str, f: impl FnOnce(&Job) -> Reply) -> Reply {
         let Ok(id) = id.parse::<u64>() else {
             return Reply::error(400, "Bad Request", &format!("bad job id {id:?}"));
@@ -484,6 +579,20 @@ impl ServerState {
             Some(job) => f(&job),
             None => Reply::error(404, "Not Found", &format!("no job {id}")),
         }
+    }
+}
+
+/// Parses a JSON request body (UTF-8 checked first).
+fn parse_body<T: for<'de> serde::Deserialize<'de>>(body: &[u8]) -> Result<T, String> {
+    let text = std::str::from_utf8(body).map_err(|e| format!("body is not UTF-8: {e}"))?;
+    serde_json::from_str(text).map_err(|e| e.to_string())
+}
+
+/// Parses a numeric path segment, naming `what` in the error.
+fn with_id(raw: &str, what: &str, f: impl FnOnce(u64) -> Reply) -> Reply {
+    match raw.parse::<u64>() {
+        Ok(id) => f(id),
+        Err(_) => Reply::error(400, "Bad Request", &format!("bad {what} id {raw:?}")),
     }
 }
 
@@ -506,6 +615,16 @@ impl Reply {
 
     fn json<T: serde::Serialize>(value: &T) -> Reply {
         Reply::ok(serde_json::to_string(value).expect("reply serializes"))
+    }
+
+    /// `410 Gone` with a JSON body: a lease/runner that no longer exists.
+    fn gone<T: serde::Serialize>(value: &T) -> Reply {
+        Reply {
+            status: 410,
+            reason: "Gone",
+            headers: Vec::new(),
+            body: serde_json::to_string(value).expect("reply serializes"),
+        }
     }
 
     fn error(status: u16, reason: &'static str, message: &str) -> Reply {

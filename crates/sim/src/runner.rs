@@ -34,19 +34,29 @@ pub enum CellRun {
 /// One cell of an experiment grid: a scheme, a mix, and optional per-cell
 /// overrides — a seed, a [`ConfigPatch`], and the run mode (deterministic
 /// regardless of which worker runs the cell or in what order).
-#[derive(Debug, Clone)]
+///
+/// Wire-safe: a cell (with its config) is everything a remote fleet
+/// runner needs to execute it, so the whole struct serializes, and every
+/// field is `#[serde(default)]` so version-skewed peers parse leniently
+/// (the golden-coupling lint pins this).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct GridCell {
     /// NUCA scheme to simulate.
+    #[serde(default)]
     pub scheme: Scheme,
     /// Workload to run.
+    #[serde(default)]
     pub mix: WorkloadMix,
     /// Overrides `config.seed` for this cell when set.
+    #[serde(default)]
     pub seed: Option<u64>,
     /// Config overrides applied before the scheme/seed for this cell,
     /// letting one grid wave span config axes (granularity, monitors,
     /// movement machinery, epoch length, ...).
+    #[serde(default)]
     pub patch: Option<ConfigPatch>,
     /// Steady-state measurement or a reconfiguration trace.
+    #[serde(default)]
     pub run: CellRun,
 }
 
@@ -86,7 +96,15 @@ impl GridCell {
 
 /// Runs one grid cell: `config` with the cell's patch, scheme, and seed
 /// applied, driven in the cell's run mode.
-pub(crate) fn run_cell(config: &SimConfig, cell: &GridCell) -> Result<SimResult, String> {
+///
+/// Public because it is the fleet execution seam: a remote `cdcs-runner`
+/// receives `(config, cell)` over the wire and must run it exactly as a
+/// local session worker would — same entry point, bit-identical result.
+///
+/// # Errors
+///
+/// Returns simulation construction errors.
+pub fn run_cell(config: &SimConfig, cell: &GridCell) -> Result<SimResult, String> {
     let mut cfg = config.clone();
     if let Some(patch) = &cell.patch {
         patch.apply(&mut cfg);

@@ -152,6 +152,9 @@ struct SessionState {
     completed: usize,
     /// Finished cells not yet taken by `recv`.
     stream: VecDeque<CellDone>,
+    /// Cells returned by [`GridSession::requeue`] (a revoked fleet
+    /// lease); claimed again before any fresh index is issued.
+    requeued: VecDeque<usize>,
 }
 
 struct SessionShared {
@@ -209,13 +212,45 @@ impl SessionShared {
             }
         }
         let mut state = self.lock();
-        if self.cancelled.load(Ordering::SeqCst) || state.next >= self.cells.len() {
+        if self.cancelled.load(Ordering::SeqCst) {
+            return None;
+        }
+        // Revoked-lease cells outrank fresh indices: re-running them first
+        // keeps the issued window tight so `finished()` flips as soon as
+        // the stragglers land.
+        if let Some(i) = state.requeued.pop_front() {
+            state.issued += 1;
+            return Some(i);
+        }
+        if state.next >= self.cells.len() {
             return None;
         }
         let i = state.next;
         state.next += 1;
         state.issued += 1;
         Some(i)
+    }
+
+    /// Returns a claimed-but-unfinished cell to the queue (a fleet lease
+    /// was revoked before its result arrived). The index becomes claimable
+    /// again and `issued` is rolled back so progress accounting stays
+    /// exact. Callers must only requeue indices they claimed and have not
+    /// delivered — double-delivery would corrupt the counters.
+    fn requeue(&self, index: usize) {
+        let mut state = self.lock();
+        state.issued = state.issued.saturating_sub(1);
+        state.requeued.push_back(index);
+        self.cv.notify_all();
+    }
+
+    /// Delivers an externally-computed result for a claimed cell (a fleet
+    /// runner executed it remotely). Counter-wise this is the tail of
+    /// [`Self::run_claimed`] without the local execution.
+    fn deliver(&self, index: usize, result: Result<SimResult, String>) {
+        let mut state = self.lock();
+        state.completed += 1;
+        state.stream.push_back(CellDone { index, result });
+        self.cv.notify_all();
     }
 
     /// Runs a claimed cell on the calling thread and delivers its result to
@@ -234,10 +269,7 @@ impl SessionShared {
             }
             run_cell(&self.config, &self.cells[index])
         });
-        let mut state = self.lock();
-        state.completed += 1;
-        state.stream.push_back(CellDone { index, result });
-        self.cv.notify_all();
+        self.deliver(index, result);
     }
 
     fn progress_locked(&self, state: &SessionState) -> SessionProgress {
@@ -346,6 +378,30 @@ impl GridSession {
     /// Runs a claimed cell on the calling thread and delivers its result.
     pub fn run_claimed(&self, index: usize) {
         self.shared.run_claimed(index);
+    }
+
+    /// Returns a claimed cell to the queue without a result — the fleet
+    /// revocation path: a remote lease missed its heartbeat window, so the
+    /// cell must be claimable again (requeued indices are re-issued before
+    /// any fresh index). Only call with an index obtained from
+    /// [`Self::try_claim`] that has not been delivered.
+    pub fn requeue(&self, index: usize) {
+        self.shared.requeue(index);
+    }
+
+    /// Delivers an externally-computed result for a claimed cell — the
+    /// fleet result path: a remote runner executed `(config, cell)` and
+    /// shipped the `SimResult` back. Determinism makes this
+    /// indistinguishable from running the cell locally. Only call once per
+    /// claimed index.
+    pub fn deliver(&self, index: usize, result: Result<SimResult, String>) {
+        self.shared.deliver(index, result);
+    }
+
+    /// The (pool-clamped) configuration every cell runs under — what a
+    /// fleet lease ships to a remote runner alongside the cell.
+    pub fn config(&self) -> &SimConfig {
+        &self.shared.config
     }
 
     /// Drives the session on the calling thread until no cells remain

@@ -231,6 +231,64 @@ fn cell_hook_panics_fail_only_that_cell() {
 }
 
 #[test]
+fn requeued_cells_are_reclaimed_before_fresh_indices() {
+    let config = SimConfig::small_test();
+    let cells = five_cells();
+    let serial = run_grid_serial(&config, &cells).expect("serial grid");
+    let session = GridSession::queued(&config, cells.clone());
+
+    // Claim two cells; "lose" the first lease (revocation) and keep the
+    // second in flight.
+    let a = session.try_claim().expect("cell 0");
+    let b = session.try_claim().expect("cell 1");
+    assert_eq!((a, b), (0, 1));
+    session.requeue(a);
+    let progress = session.progress();
+    assert_eq!(
+        (progress.issued, progress.completed),
+        (1, 0),
+        "requeue rolls the claim back"
+    );
+
+    // The revoked index is handed out again before any fresh cell.
+    let again = session.try_claim().expect("requeued cell");
+    assert_eq!(again, a, "revoked cell outranks fresh indices");
+    session.run_claimed(again);
+    session.run_claimed(b);
+    session.drive();
+
+    let slots = session.join();
+    for (i, slot) in slots.into_iter().enumerate() {
+        let result = slot.expect("every cell issued");
+        assert_eq!(result.expect("ran"), serial[i], "cell {i}");
+    }
+}
+
+#[test]
+fn external_delivery_is_indistinguishable_from_local_execution() {
+    let config = SimConfig::small_test();
+    let cells = five_cells();
+    let serial = run_grid_serial(&config, &cells).expect("serial grid");
+    let session = GridSession::queued(&config, cells.clone());
+
+    // A "remote runner": claim a cell, execute it from the shipped
+    // (config, cell) pair alone, and deliver the result externally.
+    let i = session.try_claim().expect("claimable");
+    let remote = cdcs_sim::runner::run_cell(session.config(), &session.cells()[i]);
+    session.deliver(i, remote);
+
+    let done = session.recv().expect("delivered result streams");
+    assert_eq!(done.index, i);
+    assert_eq!(done.result.expect("ran"), serial[i]);
+    let progress = session.progress();
+    assert_eq!((progress.issued, progress.completed), (1, 1));
+    assert!(!progress.finished(), "fresh cells remain");
+
+    session.drive();
+    assert!(session.progress().finished());
+}
+
+#[test]
 fn construction_errors_stream_per_cell() {
     let mut config = SimConfig::small_test();
     config.bank_lines = 0; // invalid: every cell errors

@@ -37,6 +37,11 @@ pub enum MixSpec {
 /// A concrete mix: an ordered list of process profiles plus the seed that
 /// derives all per-thread stream seeds.
 ///
+/// Serializable so a mix can travel inside a wire-safe `GridCell` to
+/// remote fleet runners; both fields are `#[serde(default)]` so a
+/// version-skewed peer parses leniently (an empty mix is rejected at
+/// simulation construction, not at parse time).
+///
 /// # Example
 ///
 /// ```
@@ -46,10 +51,23 @@ pub enum MixSpec {
 /// assert_eq!(mix.processes().len(), 22);
 /// assert_eq!(mix.total_threads(), 6 + 14 + 2 * 8);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct WorkloadMix {
+    #[serde(default)]
     processes: Vec<AppProfile>,
+    #[serde(default)]
     seed: u64,
+}
+
+impl Default for WorkloadMix {
+    /// An empty mix — only a serde fallback for lenient wire parsing;
+    /// `Simulation::new` rejects it.
+    fn default() -> Self {
+        WorkloadMix {
+            processes: Vec::new(),
+            seed: 0,
+        }
+    }
 }
 
 impl WorkloadMix {
