@@ -17,8 +17,10 @@ const LINT: &str = "golden-coupling";
 
 /// Structs whose serialized form is pinned by committed artifacts, plus
 /// the fleet wire types (a version-skewed runner/daemon pair must parse
-/// each other leniently — same mechanism, same lint).
-pub const GOLDEN_STRUCTS: [&str; 11] = [
+/// each other leniently — same mechanism, same lint), plus the dynamic
+/// workload types that ride inside `SimConfig`/`ConfigPatch` (event
+/// scripts in committed specs, trace indexes in committed fixtures).
+pub const GOLDEN_STRUCTS: [&str; 15] = [
     "SimConfig",
     "ConfigPatch",
     "GridCell",
@@ -30,6 +32,10 @@ pub const GOLDEN_STRUCTS: [&str; 11] = [
     "LeaseResult",
     "FleetStatus",
     "RunnerStatus",
+    "EventScript",
+    "TimedEvent",
+    "TraceIndex",
+    "TraceThreadMeta",
 ];
 
 pub fn check(file: &SourceFile, out: &mut Vec<Diagnostic>) {

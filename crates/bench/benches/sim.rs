@@ -16,8 +16,8 @@
 //! sharding exists for); it is informational, not gated — absolute medians
 //! are machine-dependent.
 
-use cdcs_sim::{Scheme, SimConfig, Simulation};
-use cdcs_workload::{MixSpec, WorkloadMix};
+use cdcs_sim::{EngineMode, Scheme, SimConfig, Simulation};
+use cdcs_workload::{EventScript, MixSpec, WorkloadMix};
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn run_cell(scheme: Scheme, reference: bool, intra_cell_threads: usize) -> cdcs_sim::SimResult {
@@ -77,6 +77,37 @@ fn bench_reference(c: &mut Criterion) {
     group.finish();
 }
 
+/// The event-driven engine on the same small CDCS cell: `steady` is an
+/// empty script (bit-identical results to `simulation/CDCS` — the row
+/// measures the pure dispatch/gating overhead, which
+/// `scripts/check_bench_regression.sh` bounds against the batched row),
+/// `bursty` runs a seeded generated script so event application itself
+/// stays on the trajectory.
+fn run_event_cell(events: EventScript) -> cdcs_sim::SimResult {
+    let mut config = SimConfig::small_test();
+    config.scheme = Scheme::cdcs();
+    config.warmup_epochs = 1;
+    config.measure_epochs = 1;
+    config.engine = EngineMode::Event;
+    config.events = events;
+    let mix = WorkloadMix::from_spec(&MixSpec::Named(vec!["calculix".into(), "milc".into()]))
+        .expect("mix");
+    Simulation::new(config, mix).expect("sim").run()
+}
+
+fn bench_event(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulation_event");
+    group.sample_size(10);
+    group.bench_function("steady", |b| {
+        b.iter(|| run_event_cell(EventScript::steady()))
+    });
+    // Two epochs of the small config = 1M cycles of horizon; seed fixed so
+    // the script (and thus the row) is identical on every machine.
+    let bursty = EventScript::generate(7, 1_000_000, 2);
+    group.bench_function("bursty", |b| b.iter(|| run_event_cell(bursty.clone())));
+    group.finish();
+}
+
 fn bench_case_study(c: &mut Criterion) {
     // Where sharding pays: one big cell — the batched engine, the
     // 1-worker sharded pipeline (pure bank-grouped locality, no spawns:
@@ -94,6 +125,7 @@ criterion_group!(
     bench_sim,
     bench_sharded,
     bench_reference,
+    bench_event,
     bench_case_study
 );
 criterion_main!(benches);

@@ -339,6 +339,59 @@ pub fn mega_mesh(report: &ExperimentReport, tiles: usize) {
     );
 }
 
+/// Dynamic-mix scenario: chip totals per scheme, then each scheme's
+/// per-process instruction shares — arrivals show up mid-run, departures
+/// stop accruing, so the shares are the scenario's signature.
+pub fn dynamic_mix(report: &ExperimentReport) {
+    let grid = report.grid();
+    println!("dynamic mix (event engine): chip totals per scheme");
+    println!(
+        "{:<10} {:>14} {:>10} {:>10}",
+        "scheme", "instructions", "on-chip", "off-chip"
+    );
+    for group in &grid.groups {
+        for row in &group.rows {
+            println!(
+                "{:<10} {:>14.0} {:>10.2} {:>10.2}",
+                row.scheme, row.instructions, row.on_chip_latency, row.off_chip_latency
+            );
+        }
+    }
+    println!("\nper-process instructions (process:app=instructions)");
+    for group in &grid.groups {
+        for row in &group.rows {
+            let result = &grid.cells[row.cell].result;
+            print!("{:<10}", row.scheme);
+            let procs = result.threads.iter().map(|t| t.process).max().unwrap_or(0) + 1;
+            for p in 0..procs {
+                let threads: Vec<_> = result.threads.iter().filter(|t| t.process == p).collect();
+                let instr: f64 = threads.iter().map(|t| t.instructions).sum();
+                let app = threads.first().map(|t| t.app.as_str()).unwrap_or("?");
+                print!(" {p}:{app}={instr:.0}");
+            }
+            println!();
+        }
+    }
+}
+
+/// Trace replay: per-scheme totals from replaying the recorded logs.
+pub fn trace_replay(report: &ExperimentReport) {
+    let grid = report.grid();
+    println!("trace replay (recorded access logs through the batched engine)");
+    println!(
+        "{:<10} {:>14} {:>10} {:>10}",
+        "scheme", "instructions", "on-chip", "off-chip"
+    );
+    for group in &grid.groups {
+        for row in &group.rows {
+            println!(
+                "{:<10} {:>14.0} {:>10.2} {:>10.2}",
+                row.scheme, row.instructions, row.on_chip_latency, row.off_chip_latency
+            );
+        }
+    }
+}
+
 /// Distinct patch labels in group order.
 fn patch_labels(grid: &GridReport) -> Vec<String> {
     let mut labels: Vec<String> = Vec::new();

@@ -12,8 +12,8 @@ use crate::analysis::{
 use crate::exp::{BaseConfig, ExperimentSpec, GridSpec, MixEntry, SpecKind};
 use cdcs_core::policy::CdcsPlanner;
 use cdcs_sim::runner::CellRun;
-use cdcs_sim::{ConfigPatch, MonitorKind, MoveScheme, Scheme, ThreadSched};
-use cdcs_workload::MixSpec;
+use cdcs_sim::{ConfigPatch, EngineMode, MonitorKind, MoveScheme, Scheme, ThreadSched};
+use cdcs_workload::{EventScript, MixSpec, TimedEvent, WorkloadEvent};
 
 /// The paper's five schemes in figure order.
 pub fn all_schemes() -> Vec<Scheme> {
@@ -396,6 +396,96 @@ pub fn mega_mesh(mixes: usize, apps: usize) -> ExperimentSpec {
     ExperimentSpec::grid("mega_mesh", grid)
 }
 
+/// `bin/dynamic_mix`: the event-driven engine end to end — a two-app base
+/// mix whose script arrives a third app, bursts, idles, and departs,
+/// under S-NUCA and CDCS.
+///
+/// Epochs and event times are pinned in the patch so the committed spec,
+/// the CI `--small` smoke, and a full run all execute the *same* scenario
+/// (3 × 150k-cycle epochs; every event fires inside the run window —
+/// a rebased-but-unpinned smoke would end before the first event).
+pub fn dynamic_mix() -> ExperimentSpec {
+    let script = EventScript {
+        events: vec![
+            TimedEvent {
+                at_cycle: 60_000,
+                event: WorkloadEvent::Arrival {
+                    app: "omnet".into(),
+                },
+            },
+            TimedEvent {
+                at_cycle: 120_000,
+                event: WorkloadEvent::RateBurst {
+                    process: 1,
+                    scale: 3.0,
+                    duration: 90_000,
+                },
+            },
+            TimedEvent {
+                at_cycle: 210_000,
+                event: WorkloadEvent::IdleGap {
+                    process: 0,
+                    duration: 45_000,
+                },
+            },
+            TimedEvent {
+                at_cycle: 300_000,
+                event: WorkloadEvent::Departure { process: 1 },
+            },
+        ],
+    };
+    let mut grid = GridSpec::new(
+        BaseConfig::SmallTest,
+        vec![Scheme::SNuca, Scheme::cdcs()],
+        vec![MixEntry::auto(MixSpec::Named(vec![
+            "calculix".into(),
+            "milc".into(),
+        ]))],
+    );
+    // Alone/baseline cells would run the same patch on one-process rosters
+    // the script's indices don't fit; the dynamic scenario reports raw
+    // per-thread results instead.
+    grid.weighted_speedup = false;
+    grid.patches = vec![ConfigPatch::named("dynamic")
+        .with_engine(EngineMode::Event)
+        .with_events(script)
+        .with_epoch_cycles(150_000)
+        .with_interval_cycles(15_000)
+        .with_warmup_epochs(1)
+        .with_measure_epochs(2)];
+    ExperimentSpec::grid("dynamic_mix", grid)
+}
+
+/// `bin/trace_replay`: trace replay — the committed
+/// `specs/traces/calculix_milc` recording run through S-NUCA and CDCS on
+/// the batched engine.
+///
+/// The fixture is recorded by `crates/sim/tests/events.rs`
+/// (`CDCS_WRITE_TRACES=1`) under this exact pinned config with S-NUCA, so
+/// the S-NUCA replay cell reproduces the recording run bit-exactly; the
+/// CDCS cell replays the same logs under a different organization (the
+/// record-mode cushion absorbs its different draw count).
+pub fn trace_replay() -> ExperimentSpec {
+    let mut grid = GridSpec::new(
+        BaseConfig::SmallTest,
+        vec![Scheme::SNuca, Scheme::cdcs()],
+        vec![MixEntry::auto(MixSpec::Named(vec![
+            "calculix".into(),
+            "milc".into(),
+        ]))],
+    );
+    // Alone runs replay the same two-thread trace; weighted speedup over
+    // them would be meaningless.
+    grid.weighted_speedup = false;
+    grid.patches = vec![ConfigPatch::named("replay")
+        .with_trace_replay("specs/traces/calculix_milc/index.json")
+        .with_epoch_cycles(60_000)
+        .with_interval_cycles(15_000)
+        .with_warmup_epochs(1)
+        .with_measure_epochs(1)];
+    ExperimentSpec::grid("trace_replay", grid)
+}
+
 /// Every spec constructor at smoke-test scale, for the CI end-to-end gate.
 /// Grid specs are rebased onto the small test chip by the caller.
 pub fn all_smoke_specs() -> Vec<ExperimentSpec> {
@@ -420,5 +510,7 @@ pub fn all_smoke_specs() -> Vec<ExperimentSpec> {
         multithreaded_mix(),
         under_committed(),
         mega_mesh(1, 2),
+        dynamic_mix(),
+        trace_replay(),
     ]
 }

@@ -11,7 +11,7 @@ use cdcs_bench::specs;
 #[test]
 fn all_builtin_specs_round_trip_bit_equal() {
     let all = specs::all_smoke_specs();
-    assert_eq!(all.len(), 20, "the built-in spec catalogue");
+    assert_eq!(all.len(), 22, "the built-in spec catalogue");
     for spec in all {
         let json = serde_json::to_string_pretty(&spec)
             .unwrap_or_else(|e| panic!("serializing {}: {e}", spec.name));
@@ -28,12 +28,14 @@ fn all_builtin_specs_round_trip_bit_equal() {
 
 const QUICKSTART_SPEC: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../specs/quickstart.json");
 const MEGA_MESH_SPEC: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../specs/mega_mesh.json");
+const DYNAMIC_MIX_SPEC: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../specs/dynamic_mix.json");
 
 /// The committed exemplar specs and the constructors they must track.
 fn committed_specs() -> Vec<(&'static str, ExperimentSpec)> {
     vec![
         (QUICKSTART_SPEC, specs::quickstart()),
         (MEGA_MESH_SPEC, specs::mega_mesh(1, 2)),
+        (DYNAMIC_MIX_SPEC, specs::dynamic_mix()),
     ]
 }
 

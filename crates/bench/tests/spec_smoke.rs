@@ -49,7 +49,7 @@ fn shrink(spec: &mut ExperimentSpec) {
 fn every_spec_runs_end_to_end_and_round_trips() {
     let dir = std::env::temp_dir().join(format!("cdcs-spec-smoke-{}", std::process::id()));
     let all = specs::all_smoke_specs();
-    assert_eq!(all.len(), 20, "16 binaries + 4 examples");
+    assert_eq!(all.len(), 22, "18 binaries + 4 examples");
     let mut names = Vec::new();
     for mut spec in all {
         shrink(&mut spec);
@@ -81,7 +81,7 @@ fn every_spec_runs_end_to_end_and_round_trips() {
             }
         }
     }
-    // All 16 figure/table binaries and all 4 examples are covered.
+    // All 18 figure/table/scenario binaries and all 4 examples are covered.
     for expected in [
         "fig2",
         "fig5",
@@ -103,6 +103,8 @@ fn every_spec_runs_end_to_end_and_round_trips() {
         "multithreaded_mix",
         "under_committed",
         "mega_mesh",
+        "dynamic_mix",
+        "trace_replay",
     ] {
         assert!(names.contains(&expected.to_string()), "missing {expected}");
     }

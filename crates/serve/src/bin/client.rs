@@ -6,6 +6,7 @@
 //! cdcs report 0 --out out/quickstart.json      # finished report (artifact bytes)
 //! cdcs cancel 0
 //! cdcs run specs/quickstart.json --small       # submit + poll + report
+//! cdcs fleet --watch                           # live remote-runner fleet table
 //! ```
 //!
 //! The server defaults to `127.0.0.1:7077`; override with `--server
@@ -23,6 +24,7 @@
 
 use cdcs_bench::arg_value_from;
 use cdcs_bench::exp::{BaseConfig, ExperimentSpec};
+use cdcs_serve::protocol::FleetStatus;
 use cdcs_serve::{Client, RetryPolicy};
 use std::time::Duration;
 
@@ -84,9 +86,30 @@ fn emit_report(args: &[String], report: &str) -> Result<(), String> {
     }
 }
 
+/// Renders one fleet snapshot as a runner table plus fleet totals.
+fn print_fleet(fleet: &FleetStatus) {
+    println!(
+        "{:>4}  {:<20} {:>7} {:>10} {:>7}",
+        "id", "runner", "leases", "completed", "bucket"
+    );
+    for r in &fleet.runners {
+        println!(
+            "{:>4}  {:<20} {:>7} {:>10} {:>7}",
+            r.id, r.name, r.active_leases, r.completed, r.bucket_depth
+        );
+    }
+    println!(
+        "fleet: {} runner(s), {} active lease(s), {} completed, {} requeued",
+        fleet.runners.len(),
+        fleet.active_leases,
+        fleet.completed,
+        fleet.requeued
+    );
+}
+
 fn usage() -> String {
-    "usage: cdcs <submit SPEC.json | status ID | report ID | cancel ID | run SPEC.json> \
-     [--server host:port] [--small] [--out FILE] [--poll-ms N] \
+    "usage: cdcs <submit SPEC.json | status ID | report ID | cancel ID | run SPEC.json | fleet> \
+     [--server host:port] [--small] [--out FILE] [--poll-ms N] [--watch] \
      [--tenant NAME] [--deadline-ms N] [--retries N]"
         .to_string()
 }
@@ -133,6 +156,20 @@ fn main() -> Result<(), String> {
                 .unwrap_or(200u64);
             let report = client.run(&spec, Duration::from_millis(poll))?;
             emit_report(&args, &report)
+        }
+        "fleet" => {
+            let poll = arg_value_from(&args, "poll-ms")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(1000u64);
+            let watch = args.iter().any(|a| a == "--watch");
+            loop {
+                print_fleet(&client.fleet()?);
+                if !watch {
+                    return Ok(());
+                }
+                println!();
+                std::thread::sleep(Duration::from_millis(poll));
+            }
         }
         other => Err(format!("unknown subcommand {other:?}\n{}", usage())),
     }

@@ -9,7 +9,7 @@
 //! when the job id it was polling no longer exists.
 
 use crate::http;
-use crate::protocol::{ErrorReply, JobList, JobState, JobStatus, SubmitReply};
+use crate::protocol::{ErrorReply, FleetStatus, JobList, JobState, JobStatus, SubmitReply};
 use std::time::{Duration, SystemTime, UNIX_EPOCH};
 
 /// Bounded exponential backoff for transient failures.
@@ -156,6 +156,17 @@ impl Client {
     /// other server-side rejections.
     pub fn report(&self, id: u64) -> Result<String, String> {
         self.call("GET", &format!("/jobs/{id}/report"), None)
+    }
+
+    /// The remote-runner fleet's live status (runners, routing buckets,
+    /// outstanding leases, lifetime completed/requeued counts).
+    ///
+    /// # Errors
+    ///
+    /// Returns transport errors and server-side rejections.
+    pub fn fleet(&self) -> Result<FleetStatus, String> {
+        let body = self.call("GET", "/fleet", None)?;
+        serde_json::from_str(&body).map_err(|e| format!("parsing fleet status: {e}"))
     }
 
     /// Cancels a job and returns its status.

@@ -136,6 +136,10 @@ fn ten_runner_fleet_report_is_byte_equal_to_in_process() {
     assert_eq!(status.active_leases, 0, "nothing in flight after the job");
     let fleet_completed: usize = status.runners.iter().map(|r| r.completed).sum();
     assert_eq!(fleet_completed, status.completed);
+    // The typed client binding (what `cdcs fleet` renders) sees the same
+    // snapshot as the raw endpoint.
+    let via_client = client.fleet().expect("Client::fleet");
+    assert_eq!(via_client, status);
 
     for handle in runners {
         handle.stop();

@@ -2,6 +2,7 @@
 
 use crate::scheme::{MoveScheme, Scheme};
 use cdcs_mesh::{Mesh, NocConfig, Topology};
+use cdcs_workload::EventScript;
 use serde::{Deserialize, Serialize};
 
 /// Which miss-curve monitor the partitioned schemes use (§VI-C compares
@@ -29,6 +30,25 @@ impl Default for MonitorKind {
     fn default() -> Self {
         MonitorKind::Gmon { ways: 64 }
     }
+}
+
+/// Which outer run loop drives the simulation.
+///
+/// Results from the two loops coincide exactly when the workload is
+/// static: the event engine with an empty [`EventScript`] is bit-identical
+/// to the batched loop (pinned by the `event_engine_golden` tests). The
+/// batched loop stays the steady-state fast path; the event loop adds the
+/// dynamic machinery — mid-run arrivals, departures, bursts, and idle
+/// gaps.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EngineMode {
+    /// The steady-state loop: fixed thread roster, no workload events.
+    #[default]
+    Batched,
+    /// The event-driven loop: consumes [`SimConfig::events`] at interval
+    /// granularity; threads join and leave mid-run through the ordinary
+    /// reconfiguration path.
+    Event,
 }
 
 /// Full simulator configuration.
@@ -165,6 +185,26 @@ pub struct SimConfig {
     /// `hier_region_side > 0`.
     #[serde(default)]
     pub hier_change_threshold: f64,
+    /// Which outer run loop drives the simulation. [`EngineMode::Batched`]
+    /// (default) is the steady-state path; [`EngineMode::Event`] consumes
+    /// [`Self::events`] and supports mid-run thread membership changes.
+    #[serde(default)]
+    pub engine: EngineMode,
+    /// Dynamic workload script for the event engine. An empty script (the
+    /// default) leaves the run steady-state — and bit-identical to the
+    /// batched engine. Non-empty scripts require `engine = Event`.
+    #[serde(default)]
+    pub events: EventScript,
+    /// Directory to record per-thread access traces into (record mode
+    /// writes a `cdcs_workload::trace` index + binary logs at the end of
+    /// the run). Empty (default) disables recording.
+    #[serde(default)]
+    pub trace_record: String,
+    /// Path to a recorded trace index (`index.json`) to replay instead of
+    /// the synthetic generators; the trace's mix overrides the cell's.
+    /// Empty (default) disables replay.
+    #[serde(default)]
+    pub trace_replay: String,
 }
 
 impl Default for SimConfig {
@@ -197,6 +237,10 @@ impl Default for SimConfig {
             intra_cell_threads: 0,
             hier_region_side: 0,
             hier_change_threshold: 0.0,
+            engine: EngineMode::Batched,
+            events: EventScript::steady(),
+            trace_record: String::new(),
+            trace_replay: String::new(),
         }
     }
 }
@@ -339,6 +383,24 @@ impl SimConfig {
                     .into(),
             );
         }
+        if self.engine == EngineMode::Batched && !self.events.is_empty() {
+            return Err(
+                "a workload event script requires the event engine (engine = Event)".into(),
+            );
+        }
+        if !self.trace_record.is_empty() && !self.trace_replay.is_empty() {
+            return Err("trace_record and trace_replay are mutually exclusive".into());
+        }
+        if !self.trace_replay.is_empty() && self.engine == EngineMode::Event {
+            return Err(
+                "trace replay re-issues a recorded steady-state run; it cannot be combined \
+                 with the event engine"
+                    .into(),
+            );
+        }
+        // Process indices are checked against the full roster at simulation
+        // construction; scales are checkable here.
+        self.events.validate(usize::MAX)?;
         if self.scheme.reconfigures() && self.warmup_epochs == 0 {
             // Partitioned schemes bootstrap from a placement computed with
             // no monitor history; with zero warm-up the measured window
@@ -401,6 +463,18 @@ pub struct ConfigPatch {
     /// Overrides [`SimConfig::hier_change_threshold`].
     #[serde(default)]
     pub hier_change_threshold: Option<f64>,
+    /// Overrides [`SimConfig::engine`].
+    #[serde(default)]
+    pub engine: Option<EngineMode>,
+    /// Overrides [`SimConfig::events`].
+    #[serde(default)]
+    pub events: Option<EventScript>,
+    /// Overrides [`SimConfig::trace_record`].
+    #[serde(default)]
+    pub trace_record: Option<String>,
+    /// Overrides [`SimConfig::trace_replay`].
+    #[serde(default)]
+    pub trace_replay: Option<String>,
 }
 
 impl ConfigPatch {
@@ -471,6 +545,18 @@ impl ConfigPatch {
         if let Some(v) = self.hier_change_threshold {
             config.hier_change_threshold = v;
         }
+        if let Some(v) = self.engine {
+            config.engine = v;
+        }
+        if let Some(v) = &self.events {
+            config.events = v.clone();
+        }
+        if let Some(v) = &self.trace_record {
+            config.trace_record = v.clone();
+        }
+        if let Some(v) = &self.trace_replay {
+            config.trace_replay = v.clone();
+        }
     }
 
     /// Fluent setter for [`SimConfig::alloc_granularity`].
@@ -533,6 +619,48 @@ impl ConfigPatch {
     #[must_use]
     pub fn with_hier_change_threshold(mut self, threshold: f64) -> Self {
         self.hier_change_threshold = Some(threshold);
+        self
+    }
+
+    /// Fluent setter for [`SimConfig::warmup_epochs`].
+    #[must_use]
+    pub fn with_warmup_epochs(mut self, epochs: usize) -> Self {
+        self.warmup_epochs = Some(epochs);
+        self
+    }
+
+    /// Fluent setter for [`SimConfig::measure_epochs`].
+    #[must_use]
+    pub fn with_measure_epochs(mut self, epochs: usize) -> Self {
+        self.measure_epochs = Some(epochs);
+        self
+    }
+
+    /// Fluent setter for [`SimConfig::engine`].
+    #[must_use]
+    pub fn with_engine(mut self, engine: EngineMode) -> Self {
+        self.engine = Some(engine);
+        self
+    }
+
+    /// Fluent setter for [`SimConfig::events`].
+    #[must_use]
+    pub fn with_events(mut self, events: EventScript) -> Self {
+        self.events = Some(events);
+        self
+    }
+
+    /// Fluent setter for [`SimConfig::trace_record`].
+    #[must_use]
+    pub fn with_trace_record(mut self, dir: impl Into<String>) -> Self {
+        self.trace_record = Some(dir.into());
+        self
+    }
+
+    /// Fluent setter for [`SimConfig::trace_replay`].
+    #[must_use]
+    pub fn with_trace_replay(mut self, index: impl Into<String>) -> Self {
+        self.trace_replay = Some(index.into());
         self
     }
 }
@@ -621,6 +749,90 @@ mod tests {
         assert_ne!(legacy, json, "expected to strip the hier keys");
         let back: SimConfig = serde_json::from_str(&legacy).unwrap();
         assert_eq!(back, c);
+    }
+
+    #[test]
+    fn dynamic_knobs_default_off_and_tolerate_old_json() {
+        let c = SimConfig::default();
+        assert_eq!(c.engine, EngineMode::Batched);
+        assert!(c.events.is_empty());
+        assert!(c.trace_record.is_empty() && c.trace_replay.is_empty());
+        // Configs serialized before the event engine existed (no dynamic
+        // keys) must still deserialize with the knobs off. The fields are
+        // the struct's last, so stripping them from the JSON tail
+        // reconstructs a pre-event-engine artifact exactly.
+        let json = serde_json::to_string(&c).unwrap();
+        let legacy = json.replace(
+            ",\"engine\":\"Batched\",\"events\":{\"events\":[]},\"trace_record\":\"\",\
+             \"trace_replay\":\"\"",
+            "",
+        );
+        assert_ne!(legacy, json, "expected to strip the dynamic keys");
+        let back: SimConfig = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn validate_checks_dynamic_knobs() {
+        use cdcs_workload::{TimedEvent, WorkloadEvent};
+        let script = EventScript {
+            events: vec![TimedEvent {
+                at_cycle: 1000,
+                event: WorkloadEvent::Departure { process: 0 },
+            }],
+        };
+        // A script without the event engine is a misconfiguration, not a
+        // silent no-op.
+        let c = SimConfig {
+            events: script.clone(),
+            ..SimConfig::default()
+        };
+        assert!(c.validate().unwrap_err().contains("event engine"));
+        let c = SimConfig {
+            engine: EngineMode::Event,
+            events: script,
+            ..SimConfig::default()
+        };
+        assert!(c.validate().is_ok());
+        let c = SimConfig {
+            trace_record: "out/t".into(),
+            trace_replay: "out/t/index.json".into(),
+            ..SimConfig::default()
+        };
+        assert!(c.validate().unwrap_err().contains("mutually exclusive"));
+        let c = SimConfig {
+            engine: EngineMode::Event,
+            trace_replay: "out/t/index.json".into(),
+            ..SimConfig::default()
+        };
+        assert!(c.validate().unwrap_err().contains("replay"));
+        let c = SimConfig {
+            trace_record: "out/t".into(),
+            ..SimConfig::default()
+        };
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn patch_applies_dynamic_overrides() {
+        let patch = ConfigPatch::named("dynamic")
+            .with_engine(EngineMode::Event)
+            .with_warmup_epochs(1)
+            .with_measure_epochs(2)
+            .with_events(EventScript::generate(3, 100_000, 2))
+            .with_trace_record("out/rec");
+        assert!(!patch.is_identity());
+        let mut c = SimConfig::default();
+        patch.apply(&mut c);
+        assert_eq!(c.engine, EngineMode::Event);
+        assert_eq!(c.warmup_epochs, 1);
+        assert_eq!(c.measure_epochs, 2);
+        assert_eq!(c.events, EventScript::generate(3, 100_000, 2));
+        assert_eq!(c.trace_record, "out/rec");
+        let replay = ConfigPatch::named("replay").with_trace_replay("specs/t/index.json");
+        let mut c = SimConfig::default();
+        replay.apply(&mut c);
+        assert_eq!(c.trace_replay, "specs/t/index.json");
     }
 
     #[test]

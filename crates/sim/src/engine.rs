@@ -13,7 +13,7 @@
 //! GMONs, build a [`PlacementProblem`], run their planner, and apply the new
 //! placement through the §IV-H movement machinery.
 
-use crate::config::SimConfig;
+use crate::config::{EngineMode, SimConfig};
 use crate::energy::{EnergyBreakdown, EnergyModel};
 use crate::llc::{lookup_result, Llc, LookupResult, Route};
 use crate::memory::MemoryModel;
@@ -31,7 +31,10 @@ use cdcs_core::{
 use cdcs_mesh::{
     DistanceTables, MemCtrlPlacement, PortDistanceTables, TileId, Topology, TrafficClass,
 };
-use cdcs_workload::{AccessStream, StreamTarget, WorkloadMix};
+use cdcs_workload::trace::{write_trace, TraceRecord};
+use cdcs_workload::{
+    AccessStream, StreamTarget, ThreadSource, TimedEvent, TraceSource, WorkloadEvent, WorkloadMix,
+};
 use rayon::prelude::*;
 
 /// Per-thread simulation state.
@@ -41,13 +44,27 @@ struct ThreadState {
     apki: f64,
     ipc0: f64,
     mlp: f64,
-    stream: AccessStream,
+    source: ThreadSource,
     vc_private: u32,
     vc_shared: Option<u32>,
     /// Current IPC estimate (updated each interval).
     ipc: f64,
     /// Fractional access budget carried between intervals.
     carry: f64,
+    /// Whether the thread currently runs. Threads of scripted-arrival
+    /// processes start inactive; a departure clears it for good. Inactive
+    /// threads retire nothing and issue nothing — always `true` outside
+    /// the event engine.
+    active: bool,
+    /// First cycle the thread may issue again after an
+    /// [`WorkloadEvent::IdleGap`] (0 = not idle). Cycles still pass for an
+    /// idle thread; instructions do not.
+    idle_until: u64,
+    /// Access-rate multiplier from an active [`WorkloadEvent::RateBurst`]
+    /// (1.0 = steady). Multiplies the effective APKI in the budget and
+    /// IPC-feedback formulas; at exactly 1.0 both are bit-identical to the
+    /// unscaled computation (IEEE multiplication by 1.0 is exact).
+    rate_scale: f64,
     /// Interval accumulators.
     iv_accesses: u64,
     iv_latency: f64,
@@ -382,11 +399,11 @@ struct GenTask<'a> {
 impl GenTask<'_> {
     fn run(&mut self, llc: &Llc, mesh: &cdcs_mesh::Mesh) {
         let t = &mut *self.thread;
-        if t.stream.is_private_only() {
+        if t.source.is_private_only() {
             // Same bulk draw (and same epoch accounting) as the serial
             // generation loop.
             let base = (t.vc_private as u64) << 40;
-            t.stream.fill_private_offsets_slice(self.acc);
+            t.source.fill_private_offsets_slice(self.acc);
             for a in self.acc.iter_mut() {
                 // Disjoint address spaces per VC.
                 *a |= base;
@@ -394,7 +411,7 @@ impl GenTask<'_> {
             t.ep_private += self.acc.len() as f64;
         } else {
             for slot in self.acc.iter_mut() {
-                let (target, offset) = t.stream.next_access();
+                let (target, offset) = t.source.next_access();
                 let (vc, class_bits) = match target {
                     StreamTarget::ThreadPrivate => {
                         t.ep_private += 1.0;
@@ -575,6 +592,12 @@ pub struct Simulation {
     ipc_trace: Vec<(u64, f64)>,
     pending_pause: u64,
     last_placement: Option<Placement>,
+    /// Processes in the base mix; roster slots `>= base_processes` belong
+    /// to scripted arrivals and start inactive (event engine only).
+    base_processes: usize,
+    /// The full roster mix, kept only when `trace_record` is set so
+    /// [`Self::finish`] can write it into the trace index.
+    record_mix: Option<WorkloadMix>,
 }
 
 impl Simulation {
@@ -586,6 +609,32 @@ impl Simulation {
     /// threads than the chip has cores.
     pub fn new(config: SimConfig, mix: WorkloadMix) -> Result<Self, String> {
         config.validate()?;
+        // Trace replay substitutes the recorded mix (and, below, the
+        // recorded streams) for the cell's own.
+        let replay = if config.trace_replay.is_empty() {
+            None
+        } else {
+            Some(TraceSource::load(&config.trace_replay)?)
+        };
+        let mut mix = match &replay {
+            Some(src) => src.mix().clone(),
+            None => mix,
+        };
+        // Event engine: the roster is fixed at construction — scripted
+        // arrivals occupy process slots after the base mix (in time order,
+        // the order the engine activates them), so cores, VCs, and
+        // monitors exist from cycle 0 and no mid-run re-layout is needed.
+        let base_processes = mix.processes().len();
+        if config.engine == EngineMode::Event {
+            for e in config.events.sorted() {
+                if let WorkloadEvent::Arrival { app } = &e.event {
+                    let profile = cdcs_workload::spec::by_name(app)
+                        .ok_or_else(|| format!("unknown arrival app {app}"))?;
+                    mix.push_process(profile.clone());
+                }
+            }
+            config.events.validate(mix.processes().len())?;
+        }
         let total_threads = mix.total_threads();
         if total_threads > config.mesh.num_tiles() {
             return Err(format!(
@@ -608,16 +657,30 @@ impl Simulation {
             for tip in 0..app.threads {
                 let global_tid = threads.len() as u32;
                 vc_kinds.push(VcKind::thread_private(global_tid));
+                let mut source = match &replay {
+                    Some(src) => ThreadSource::replay(src.cursor(global_tid as usize)),
+                    None => ThreadSource::synthetic(AccessStream::for_thread(
+                        app,
+                        tip,
+                        mix.stream_seed(p, tip),
+                    )),
+                };
+                if !config.trace_record.is_empty() {
+                    source.enable_tap();
+                }
                 threads.push(ThreadState {
                     process: p,
                     apki: app.apki,
                     ipc0: app.ipc0,
                     mlp: app.mlp,
-                    stream: AccessStream::for_thread(app, tip, mix.stream_seed(p, tip)),
+                    source,
                     vc_private: global_tid,
                     vc_shared: None, // patched below
                     ipc: app.ipc0 * 0.5,
                     carry: 0.0,
+                    active: p < base_processes,
+                    idle_until: 0,
+                    rate_scale: 1.0,
                     iv_accesses: 0,
                     iv_latency: 0.0,
                     ep_private: 0.0,
@@ -707,6 +770,11 @@ impl Simulation {
         let avg_mc_round_trip =
             f64::from(config.noc.round_trip_latency(avg_mc_hops.round() as u32));
 
+        let record_mix = if config.trace_record.is_empty() {
+            None
+        } else {
+            Some(mix.clone())
+        };
         let memory = MemoryModel::new(config.mem_zero_load, config.total_mem_bandwidth());
         let base_params = SystemParams::new(
             config.mesh,
@@ -760,6 +828,8 @@ impl Simulation {
             ipc_trace: Vec::new(),
             pending_pause: 0,
             last_placement: None,
+            base_processes,
+            record_mix,
         };
         if sim.config.scheme.partitioned() {
             sim.bootstrap_placement();
@@ -975,7 +1045,7 @@ impl Simulation {
     /// other.
     fn issue_access(&mut self, ti: usize) -> f64 {
         let core = self.cores[ti];
-        let (target, offset) = self.threads[ti].stream.next_access();
+        let (target, offset) = self.threads[ti].source.next_access();
         let vc = match target {
             StreamTarget::ThreadPrivate => {
                 self.threads[ti].ep_private += 1.0;
@@ -1291,14 +1361,14 @@ impl Simulation {
         batch.offsets.push(0);
         for (ti, t) in self.threads.iter_mut().enumerate() {
             let budget = batch.budgets[ti] as usize;
-            if t.stream.is_private_only() {
+            if t.source.is_private_only() {
                 // Single-class stream: bulk-draw the offsets (pattern
                 // dispatch hoisted) and pack them against the constant
                 // private-VC tag. Identical draws, identical epoch counts
                 // (`budget` unit additions of an exact integer).
                 let base = (t.vc_private as u64) << 40;
                 let start = batch.acc.len();
-                t.stream.fill_private_offsets(budget, &mut batch.acc);
+                t.source.fill_private_offsets(budget, &mut batch.acc);
                 for acc in &mut batch.acc[start..] {
                     // Disjoint address spaces per VC.
                     *acc |= base;
@@ -1306,7 +1376,7 @@ impl Simulation {
                 t.ep_private += budget as f64;
             } else {
                 for _ in 0..budget {
-                    let (target, offset) = t.stream.next_access();
+                    let (target, offset) = t.source.next_access();
                     let (vc, class_bits) = match target {
                         StreamTarget::ThreadPrivate => {
                             t.ep_private += 1.0;
@@ -1541,13 +1611,32 @@ impl Simulation {
     /// Simulates one interval; returns the aggregate instructions retired.
     fn run_interval(&mut self) -> f64 {
         let interval = self.config.interval_cycles;
+        let cycle_now = self.cycle;
         let mut batch = std::mem::take(&mut self.batch);
         // Budgets from current IPC estimates.
         batch.budgets.clear();
         let mut instr_total = 0.0;
         for t in &mut self.threads {
+            // Event-engine gates. Outside the event engine `active` is
+            // always true, `idle_until` 0, and `rate_scale` 1.0, so the
+            // steady path below computes bit-identical budgets (IEEE
+            // `x * 1.0 == x` bitwise for finite x).
+            if !t.active {
+                // Not yet arrived, or departed: the core is off — no
+                // cycles, no instructions, no accesses.
+                batch.budgets.push(0);
+                continue;
+            }
+            if cycle_now < t.idle_until {
+                // Idle gap: cycles pass, instructions don't.
+                batch.budgets.push(0);
+                if self.measuring {
+                    t.metrics.cycles += interval as f64;
+                }
+                continue;
+            }
             let instrs = t.ipc * interval as f64;
-            let exact = instrs * t.apki / 1000.0 + t.carry;
+            let exact = instrs * (t.apki * t.rate_scale) / 1000.0 + t.carry;
             let n = exact.floor();
             t.carry = exact - n;
             batch.budgets.push(n as u64);
@@ -1584,7 +1673,7 @@ impl Simulation {
         for t in &mut self.threads {
             if t.iv_accesses > 0 {
                 let amat = t.iv_latency / t.iv_accesses as f64;
-                let target = 1.0 / (1.0 / t.ipc0 + t.apki / 1000.0 * amat / t.mlp);
+                let target = 1.0 / (1.0 / t.ipc0 + (t.apki * t.rate_scale) / 1000.0 * amat / t.mlp);
                 t.ipc = 0.5 * t.ipc + 0.5 * target;
             }
             t.iv_accesses = 0;
@@ -1604,7 +1693,7 @@ impl Simulation {
             self.pending_pause = 0;
             self.cycle += pause;
             for t in &mut self.threads {
-                if self.measuring {
+                if self.measuring && t.active {
                     t.metrics.cycles += pause as f64;
                 }
             }
@@ -1621,7 +1710,14 @@ impl Simulation {
 
     /// Runs the configured warm-up and measurement epochs and returns the
     /// results.
+    ///
+    /// With `SimConfig::engine = Event` this dispatches to the event-driven
+    /// loop ([`Self::run_event`]); the batched loop below stays the
+    /// steady-state fast path.
     pub fn run(mut self) -> SimResult {
+        if self.config.engine == EngineMode::Event {
+            return self.run_event();
+        }
         let intervals_per_epoch = (self.config.epoch_cycles / self.config.interval_cycles).max(1);
         let total_epochs = self.config.warmup_epochs + self.config.measure_epochs;
         for epoch in 0..total_epochs {
@@ -1630,6 +1726,122 @@ impl Simulation {
             // can ever read the samples it would record.
             self.monitors_live = epoch + 1 < total_epochs;
             for _ in 0..intervals_per_epoch {
+                self.run_interval();
+            }
+            if self.config.scheme.reconfigures() && epoch + 1 < total_epochs {
+                self.reconfigure();
+            }
+        }
+        self.finish()
+    }
+
+    /// The event-driven engine: the batched epoch/interval loop with a
+    /// script consumed at interval granularity.
+    ///
+    /// Before each interval, due events mutate thread state — phase
+    /// changes scale APKI, bursts set `rate_scale` (restored when the
+    /// burst's duration elapses), idle gaps set `idle_until`, arrivals and
+    /// departures flip `active`. A membership change (arrival/departure)
+    /// immediately rebuilds placement through the existing reconfiguration
+    /// path, so the planner sees the new roster without bespoke machinery.
+    ///
+    /// With an empty script every gate is a no-op and the loop performs
+    /// the exact operation sequence of [`Self::run`] — pinned bit-identical
+    /// by `crates/sim/tests/events.rs`.
+    fn run_event(mut self) -> SimResult {
+        let script: Vec<TimedEvent> = self.config.events.sorted();
+        // Sorted-script index -> roster process id for arrivals; slots
+        // after the base mix were appended in this same time order by
+        // `Simulation::new`.
+        let mut arrival_process = Vec::with_capacity(script.len());
+        let mut next_arrival = self.base_processes;
+        for e in &script {
+            if matches!(e.event, WorkloadEvent::Arrival { .. }) {
+                arrival_process.push(next_arrival);
+                next_arrival += 1;
+            } else {
+                arrival_process.push(usize::MAX);
+            }
+        }
+        let mut cursor = 0usize;
+        // Open bursts as (end_cycle, process); expiry restores steady rate.
+        let mut burst_ends: Vec<(u64, usize)> = Vec::new();
+
+        let intervals_per_epoch = (self.config.epoch_cycles / self.config.interval_cycles).max(1);
+        let total_epochs = self.config.warmup_epochs + self.config.measure_epochs;
+        for epoch in 0..total_epochs {
+            self.measuring = epoch >= self.config.warmup_epochs;
+            // Monitors must also stay live while a future membership event
+            // can still trigger a mid-epoch reconfiguration that reads them.
+            let membership_ahead = script[cursor..].iter().any(|e| {
+                matches!(
+                    e.event,
+                    WorkloadEvent::Arrival { .. } | WorkloadEvent::Departure { .. }
+                )
+            });
+            self.monitors_live = epoch + 1 < total_epochs || membership_ahead;
+            for _ in 0..intervals_per_epoch {
+                let mut membership_changed = false;
+                // Burst expiries first: a burst scheduled to end at or
+                // before this interval's start is over before any event due
+                // now is applied (so a new burst on the same process wins).
+                burst_ends.retain(|&(end, p)| {
+                    if end <= self.cycle {
+                        for t in self.threads.iter_mut().filter(|t| t.process == p) {
+                            t.rate_scale = 1.0;
+                        }
+                        false
+                    } else {
+                        true
+                    }
+                });
+                while cursor < script.len() && script[cursor].at_cycle <= self.cycle {
+                    let target = arrival_process[cursor];
+                    match &script[cursor].event {
+                        WorkloadEvent::PhaseChange {
+                            process,
+                            apki_scale,
+                        } => {
+                            for t in self.threads.iter_mut().filter(|t| t.process == *process) {
+                                t.apki *= apki_scale;
+                            }
+                        }
+                        WorkloadEvent::RateBurst {
+                            process,
+                            scale,
+                            duration,
+                        } => {
+                            for t in self.threads.iter_mut().filter(|t| t.process == *process) {
+                                t.rate_scale = *scale;
+                            }
+                            burst_ends.push((self.cycle + duration, *process));
+                        }
+                        WorkloadEvent::IdleGap { process, duration } => {
+                            let until = self.cycle + duration;
+                            for t in self.threads.iter_mut().filter(|t| t.process == *process) {
+                                t.idle_until = until;
+                            }
+                        }
+                        WorkloadEvent::Arrival { .. } => {
+                            for t in self.threads.iter_mut().filter(|t| t.process == target) {
+                                t.active = true;
+                            }
+                            membership_changed = true;
+                        }
+                        WorkloadEvent::Departure { process } => {
+                            for t in self.threads.iter_mut().filter(|t| t.process == *process) {
+                                t.active = false;
+                            }
+                            membership_changed = true;
+                        }
+                    }
+                    cursor += 1;
+                }
+                if membership_changed && self.config.scheme.reconfigures() {
+                    // Rebuild monitor/planner state for the new roster
+                    // through the ordinary epoch-boundary path.
+                    self.reconfigure();
+                }
                 self.run_interval();
             }
             if self.config.scheme.reconfigures() && epoch + 1 < total_epochs {
@@ -1669,6 +1881,23 @@ impl Simulation {
     }
 
     fn finish(mut self) -> SimResult {
+        // Record mode: flush every thread's tap into the trace directory.
+        // The cushion (a quarter of the drawn accesses plus a floor) gives
+        // replays under other schemes — whose IPC feedback draws more or
+        // fewer accesses — headroom before the cursor would wrap.
+        if let Some(mix) = self.record_mix.take() {
+            let mut logs: Vec<(Vec<TraceRecord>, bool)> = Vec::with_capacity(self.threads.len());
+            for t in &mut self.threads {
+                let cushion = (t.metrics.accesses / 4 + 1024) as usize;
+                logs.push(
+                    t.source
+                        .finish_tap(cushion)
+                        .expect("trace_record set but tap disabled"),
+                );
+            }
+            write_trace(std::path::Path::new(&self.config.trace_record), &mix, &logs)
+                .unwrap_or_else(|e| panic!("writing trace to {}: {e}", self.config.trace_record));
+        }
         let move_stats = self.llc.stats;
         self.system.demand_moves = self.system.demand_moves.max(move_stats.demand_moves);
         self.system.background_invalidations = move_stats.background_invalidations;

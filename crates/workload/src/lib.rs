@@ -33,11 +33,15 @@
 //! assert!(offset < omnet.private_pattern.footprint_lines());
 //! ```
 
+pub mod events;
 mod mix;
 mod pattern;
 mod profile;
 pub mod spec;
+pub mod trace;
 
+pub use events::{EventScript, TimedEvent, WorkloadEvent};
 pub use mix::{MixSpec, WorkloadMix};
 pub use pattern::{Pattern, PatternStream};
 pub use profile::{AccessStream, AppProfile, StreamTarget};
+pub use trace::{ThreadSource, TraceCursor, TraceIndex, TraceSource, TraceThreadMeta};

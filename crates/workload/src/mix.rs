@@ -142,6 +142,14 @@ impl WorkloadMix {
         &self.processes
     }
 
+    /// Appends a process to the mix (the event engine extends the roster
+    /// with one slot per scripted arrival before construction). Stream
+    /// seeds of existing processes are unaffected — [`Self::stream_seed`]
+    /// depends only on the mix seed and the process/thread indices.
+    pub fn push_process(&mut self, app: AppProfile) {
+        self.processes.push(app);
+    }
+
     /// Total thread count across all processes.
     pub fn total_threads(&self) -> usize {
         self.processes.iter().map(|p| p.threads).sum()

@@ -91,6 +91,37 @@ for group in simulation simulation_sharded; do
     done
 done
 
+# Event-engine gate: engages when the baseline carries the event rows.
+# `simulation_event/steady` runs the exact cell `simulation/CDCS` runs —
+# an empty script through the event-driven loop, bit-identical results —
+# so steady/batched is the event engine's pure dispatch-and-gating
+# overhead, machine-independent like the engine/reference ratios above.
+# `simulation_event/bursty` must exist (it is the trajectory row for
+# event application itself) but is not ratio-gated: a script that bursts
+# and idles legitimately does different work than the steady cell.
+if [ -n "$(lookup "$workdir/baseline" simulation_event/steady)" ]; then
+    bev="$(lookup "$workdir/baseline" simulation_event/steady)"
+    bbat="$(lookup "$workdir/baseline" simulation/CDCS)"
+    fev="$(lookup "$workdir/fresh" simulation_event/steady)"
+    fbat="$(lookup "$workdir/fresh" simulation/CDCS)"
+    fbur="$(lookup "$workdir/fresh" simulation_event/bursty)"
+    require "$bbat" simulation/CDCS "baseline $baseline"
+    require "$fev" simulation_event/steady "fresh $fresh"
+    require "$fbat" simulation/CDCS "fresh $fresh"
+    require "$fbur" simulation_event/bursty "fresh $fresh"
+    if [ -n "$bev" ] && [ -n "$bbat" ] && [ -n "$fev" ] && [ -n "$fbat" ]; then
+        checked=$((checked + 1))
+        read -r committed_ratio fresh_ratio flag <<< "$(awk -v be="$bev" -v bb="$bbat" -v fe="$fev" -v fb="$fbat" -v r="$max_ratio" 'BEGIN {
+            base_ratio = be / bb
+            fresh_ratio = fe / fb
+            printf "%.3f %.3f %s", base_ratio, fresh_ratio, (fresh_ratio <= base_ratio * r) ? "ok" : "regressed"
+        }')"
+        printf '%-28s event/batched: committed %s  fresh %s  %s\n' \
+            "simulation_event/steady" "$committed_ratio" "$fresh_ratio" "$flag"
+        case "$flag" in regressed) status=1 ;; esac
+    fi
+fi
+
 # Hierarchical planner scaling gate: engages when the baseline gates on
 # the mega-mesh rows. The fresh hierarchical median at N tiles must beat
 # the linear extrapolation of the fresh flat 64->144 trend to N tiles.
@@ -142,6 +173,6 @@ if [ "$checked" -eq 0 ]; then
     exit 1
 fi
 if [ "$status" -ne 0 ]; then
-    echo "a gated benchmark regressed (engine ratio >$max_ratio x, hier above flat-linear, or warm <5x cold)" >&2
+    echo "a gated benchmark regressed (engine ratio >$max_ratio x, event overhead >$max_ratio x, hier above flat-linear, or warm <5x cold)" >&2
 fi
 exit "$status"

@@ -4,9 +4,11 @@
 # loudly when a baseline row has no counterpart instead of silently
 # skipping it, (4) parse re-formatted (pretty-printed) JSON, (5) leave
 # no temp files behind in any of those outcomes — including the early
-# `set -e` exits — and (6) enforce the planner gates: hierarchical
+# `set -e` exits — (6) enforce the planner gates: hierarchical
 # mega-mesh rows below the flat linear extrapolation, warm incremental
-# replans >=5x faster than cold, and missing planner rows failing loudly.
+# replans >=5x faster than cold, and missing planner rows failing loudly —
+# and (7) enforce the event-engine gate: the steady event row's overhead
+# over the batched CDCS row bounded, and a vanished bursty row loud.
 #
 # Usage: scripts/test_check_bench_regression.sh
 
@@ -44,7 +46,7 @@ assert_no_temp_leaks() { # name
     fi
 }
 
-emit_json() { # file  b-snuca b-cdcs sh-snuca sh-cdcs ref-snuca ref-cdcs
+emit_json() { # file  b-snuca b-cdcs sh-snuca sh-cdcs ref-snuca ref-cdcs ev-steady ev-bursty
     cat > "$1" <<EOF
 {
   "bench": "sim",
@@ -55,13 +57,15 @@ emit_json() { # file  b-snuca b-cdcs sh-snuca sh-cdcs ref-snuca ref-cdcs
     {"group":"simulation_sharded","name":"S-NUCA","median_ns":$4,"samples":10},
     {"group":"simulation_sharded","name":"CDCS","median_ns":$5,"samples":10},
     {"group":"simulation_reference","name":"S-NUCA","median_ns":$6,"samples":10},
-    {"group":"simulation_reference","name":"CDCS","median_ns":$7,"samples":10}
+    {"group":"simulation_reference","name":"CDCS","median_ns":$7,"samples":10},
+    {"group":"simulation_event","name":"steady","median_ns":$8,"samples":10},
+    {"group":"simulation_event","name":"bursty","median_ns":$9,"samples":10}
   ]
 }
 EOF
 }
 
-emit_json "$scratch/base.json" 600 700 650 720 800 900
+emit_json "$scratch/base.json" 600 700 650 720 800 900 770 1400
 
 # 1. Identical files pass.
 rc=0; "$checker" "$scratch/base.json" "$scratch/base.json" > /dev/null || rc=$?
@@ -69,10 +73,27 @@ check "identical files pass" 0 "$rc"
 assert_no_temp_leaks "identical files"
 
 # 2. A >30% engine/reference ratio regression fails.
-emit_json "$scratch/slow.json" 1200 700 650 720 800 900
+emit_json "$scratch/slow.json" 1200 700 650 720 800 900 770 1400
 rc=0; "$checker" "$scratch/base.json" "$scratch/slow.json" > /dev/null 2>&1 || rc=$?
 check "ratio regression fails" 1 "$rc"
 assert_no_temp_leaks "ratio regression"
+
+# 7a. A >30% event-dispatch overhead regression (steady/batched ratio:
+# committed 770/700 = 1.1, fresh 2000/700 = 2.86) fails.
+emit_json "$scratch/event-slow.json" 600 700 650 720 800 900 2000 1400
+rc=0; "$checker" "$scratch/base.json" "$scratch/event-slow.json" > /dev/null 2>&1 || rc=$?
+check "event overhead regression fails" 1 "$rc"
+assert_no_temp_leaks "event overhead regression"
+
+# 7b. A vanished bursty trajectory row fails loudly, not silently.
+grep -v '"bursty"' "$scratch/base.json" > "$scratch/no-bursty.json"
+rc=0; out="$("$checker" "$scratch/base.json" "$scratch/no-bursty.json" 2>&1)" || rc=$?
+check "missing bursty row fails" 1 "$rc"
+case "$out" in
+    *"MISSING ROW: simulation_event/bursty"*) echo "ok: missing bursty row is named" ;;
+    *) echo "FAIL: missing bursty row not reported: $out" >&2; fails=$((fails + 1)) ;;
+esac
+assert_no_temp_leaks "missing bursty row"
 
 # 3a. A baseline row missing from the fresh file fails loudly.
 grep -v 'simulation_sharded","name":"CDCS' "$scratch/base.json" > "$scratch/missing-row.json"
